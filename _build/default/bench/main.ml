@@ -1,0 +1,254 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6), the ablations called out in DESIGN.md, and
+   bechamel micro-benchmarks backing the paper's processing-time claims.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig2    # just the Figure 2 panels
+     sections: fig2 overhead ablation coverage sim synthetic ttl micro *)
+
+module Topology = Pr_topo.Topology
+
+let banner title =
+  Printf.printf "\n================ %s ================\n" title
+
+(* ---- Figure 2: the six stretch-CCDF panels ----
+
+   Embeddings come from the Recommend pipeline: certified planar for the
+   planar maps (Abilene, and our Géant reconstruction), best annealed
+   strong embedding otherwise (Teleglobe, genus 1). *)
+
+let run_fig2 () =
+  List.iter
+    (fun (name, config) ->
+      banner (String.uppercase_ascii name);
+      Pr_exp.Fig2.print_gnuplot (Pr_exp.Fig2.run config))
+    (Pr_exp.Report.paper_panels ())
+
+(* ---- Section 6 overheads ---- *)
+
+let run_overhead () =
+  banner "OVERHEAD (paper section 6)";
+  print_string (Pr_exp.Overhead.table (Pr_topo.Zoo.paper_evaluation ()))
+
+(* ---- Ablations ---- *)
+
+let run_ablation () =
+  banner "ABLATION: embedding quality vs PR stretch (single failures)";
+  print_string (Pr_exp.Ablation.embedding_table (Pr_topo.Zoo.paper_evaluation ()));
+  banner "ABLATION: distance discriminator kind";
+  print_string
+    (Pr_exp.Ablation.discriminator_table
+       [ Pr_topo.Abilene.weighted (); Pr_topo.Teleglobe.weighted (); Pr_topo.Geant.weighted () ])
+
+(* ---- Coverage sweep ---- *)
+
+let run_coverage () =
+  banner "COVERAGE: delivery ratio vs simultaneous link failures";
+  let rows =
+    List.concat_map
+      (fun topo -> Pr_exp.Coverage.sweep ~samples:60 topo ~ks:[ 1; 2; 4; 8 ])
+      (Pr_topo.Zoo.paper_evaluation ())
+  in
+  print_string (Pr_exp.Coverage.table rows);
+  banner "COVERAGE: exhaustive double failures (ground truth at k = 2)";
+  print_string
+    (Pr_exp.Coverage.table
+       [ Pr_exp.Coverage.measure_double (Pr_topo.Abilene.topology ()) ]);
+  banner "COVERAGE: router (node) failures — the title's other claim";
+  let node_rows =
+    List.concat_map
+      (fun topo ->
+        (* One annealed embedding per topology, shared across the rows. *)
+        let safe_rotation =
+          (Pr_embed.Recommend.for_topology topo).Pr_embed.Recommend.rotation
+        in
+        [
+          Pr_exp.Coverage.measure_nodes ~samples:60 ~safe_rotation topo ~k:1;
+          Pr_exp.Coverage.measure_nodes ~samples:60 ~safe_rotation topo ~k:2;
+        ])
+      (Pr_topo.Zoo.paper_evaluation ())
+  in
+  print_string (Pr_exp.Coverage.table node_rows)
+
+(* ---- Event simulation: packets lost during reconvergence ---- *)
+
+let run_sim () =
+  banner "SIMULATION: loss during reconvergence vs PR (Abilene, random failures)";
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let rng = Pr_util.Rng.create ~seed:2026 in
+  let link_events =
+    Pr_sim.Workload.failure_process (Pr_util.Rng.copy rng) g ~mtbf:200.0
+      ~mttr:15.0 ~horizon:400.0
+  in
+  let injections =
+    Pr_sim.Workload.poisson_flows (Pr_util.Rng.copy rng) g ~rate:100.0 ~horizon:400.0
+  in
+  Printf.printf "%d packets, %d link transitions over 400 time units\n"
+    (List.length injections) (List.length link_events);
+  List.iter
+    (fun scheme ->
+      let outcome =
+        Pr_sim.Engine.run { Pr_sim.Engine.topology = topo; rotation; scheme }
+          ~link_events ~injections
+      in
+      Format.printf "%-14s %a, SPF runs: %d@."
+        (Pr_sim.Engine.scheme_name scheme)
+        Pr_sim.Metrics.pp outcome.Pr_sim.Engine.metrics
+        outcome.Pr_sim.Engine.spf_runs)
+    [
+      Pr_sim.Engine.Reconvergence_scheme { convergence_delay = 1.0 };
+      Pr_sim.Engine.Reconvergence_scheme { convergence_delay = 5.0 };
+      Pr_sim.Engine.Reconvergence_jittered
+        { min_delay = 0.5; max_delay = 5.0; seed = 17 };
+      Pr_sim.Engine.Lfa_scheme;
+      Pr_sim.Engine.Pr_scheme { termination = Pr_core.Forward.Simple };
+      Pr_sim.Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator };
+    ];
+  (* Packet-level PR: per-hop latency 0.1, failures can hit in flight. *)
+  let timed =
+    Pr_sim.Timed.run
+      (Pr_sim.Timed.default_config topo rotation)
+      ~link_events ~injections
+  in
+  Format.printf "%-14s %a, max hops %d (packet-level, in-flight failures)@."
+    "pr-timed" Pr_sim.Metrics.pp timed.Pr_sim.Timed.metrics
+    timed.Pr_sim.Timed.max_hops
+
+(* ---- Beyond the paper: the IP TTL budget ---- *)
+
+let run_ttl () =
+  banner "TTL BUDGET: re-cycling walks vs the IP TTL";
+  let rows =
+    List.concat_map
+      (fun (topo, k) ->
+        Pr_exp.Ttl_study.measure topo ~k ~ttls:[ 16; 32; 64; 255 ])
+      [
+        (Pr_topo.Abilene.topology (), 4);
+        (Pr_topo.Teleglobe.topology (), 10);
+        (Pr_topo.Geant.topology (), 16);
+      ]
+  in
+  print_string (Pr_exp.Ttl_study.table rows)
+
+(* ---- Beyond the paper: synthetic families ---- *)
+
+let run_synthetic () =
+  banner "SYNTHETIC FAMILIES: single-failure stretch, recommended embeddings";
+  print_string (Pr_exp.Synthetic.table ())
+
+(* ---- Bechamel micro-benchmarks: the paper's processing-time claims ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let abilene = Pr_topo.Abilene.topology () in
+  let geant = Pr_topo.Geant.topology () in
+  let g_abilene = abilene.Topology.graph in
+  let g_geant = geant.Topology.graph in
+  let routing = Pr_core.Routing.build g_abilene in
+  let rotation = Pr_embed.Geometric.of_topology abilene in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let failures = Pr_core.Failure.of_list g_abilene [ (3, 4) (* DNVR-KSCY *) ] in
+  let geant_rotation = Pr_embed.Geometric.of_topology geant in
+  let geant_failures = Pr_core.Failure.of_list g_geant [] in
+  [
+    (* PR's data-plane work: one cycle-following table lookup. *)
+    Test.make ~name:"pr/cycle-table-lookup"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Pr_core.Cycle_table.cycle_next cycles ~node:4 ~from_:3)));
+    (* PR end-to-end reroute of one packet around a failure. *)
+    Test.make ~name:"pr/reroute-one-packet"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Pr_core.Forward.run ~routing ~cycles ~failures ~src:0 ~dst:10 ())));
+    (* FCP's per-failure control-plane work: one SPF on Géant. *)
+    Test.make ~name:"fcp/spf-recompute-geant"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Pr_graph.Dijkstra.tree
+                ~blocked:(Pr_core.Failure.is_failed_index geant_failures)
+                g_geant ~root:0)));
+    (* Reconvergence's network-wide work: full table build. *)
+    Test.make ~name:"reconv/full-tables-abilene"
+      (Staged.stage (fun () -> Sys.opaque_identity (Pr_core.Routing.build g_abilene)));
+    (* PR's offline work: face tracing of the Géant embedding. *)
+    Test.make ~name:"embed/face-tracing-geant"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Pr_embed.Faces.compute geant_rotation)));
+    (* Offline: certified planar embedding of Abilene. *)
+    Test.make ~name:"embed/planar-dmp-abilene"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Pr_embed.Planar.embed g_abilene)));
+    (* MRC's offline cost: building all backup configurations. *)
+    Test.make ~name:"mrc/build-abilene"
+      (Staged.stage (fun () -> Sys.opaque_identity (Pr_baselines.Mrc.build g_abilene)));
+    (* Header codec. *)
+    Test.make ~name:"pr/header-encode-decode"
+      (Staged.stage (fun () ->
+           let field = Pr_core.Header.encode ~dd_bits:3 { Pr_core.Header.pr = true; dd = 5 } in
+           Sys.opaque_identity (Pr_core.Header.decode ~dd_bits:3 field)));
+  ]
+
+let run_micro () =
+  banner "MICRO-BENCHMARKS (bechamel, monotonic clock)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          Hashtbl.replace results (Test.Elt.name elt) raw)
+        (Test.elements test))
+    (micro_tests ());
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analysed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%12.1f" t
+          | Some [] | None -> "n/a"
+        in
+        [ name; ns ] :: acc)
+      analysed []
+    |> List.sort compare
+  in
+  Pr_util.Tablefmt.print ~header:[ "benchmark"; "ns/run" ] rows
+
+(* ---- driver ---- *)
+
+let sections =
+  [
+    ("fig2", run_fig2);
+    ("overhead", run_overhead);
+    ("ablation", run_ablation);
+    ("coverage", run_coverage);
+    ("sim", run_sim);
+    ("synthetic", run_synthetic);
+    ("ttl", run_ttl);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picked) -> picked
+    | _ :: [] | [] -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    requested

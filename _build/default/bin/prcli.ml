@@ -1,0 +1,411 @@
+(* Command-line interface over the Packet Re-cycling library:
+   topology inspection, embedding reports, packet traces and the paper's
+   experiments. *)
+
+open Cmdliner
+module Topology = Pr_topo.Topology
+
+let find_topology name =
+  match Pr_topo.Zoo.find name with
+  | topo -> topo
+  | exception Not_found ->
+      Printf.eprintf "unknown topology %S; available: %s\n" name
+        (String.concat ", " (Pr_topo.Zoo.names ()));
+      exit 2
+
+let topo_arg =
+  let doc = "Topology name (see `prcli topo list') or a path to a topology file." in
+  Arg.(value & opt string "abilene" & info [ "t"; "topology" ] ~docv:"NAME" ~doc)
+
+let load_topology name =
+  if Sys.file_exists name && not (Sys.is_directory name) then
+    if Filename.check_suffix name ".gml" then begin
+      let { Pr_topo.Gml.topology; dropped_parallel; dropped_self } =
+        Pr_topo.Gml.load name
+      in
+      if dropped_parallel + dropped_self > 0 then
+        Printf.eprintf "note: dropped %d parallel edges and %d self loops\n"
+          dropped_parallel dropped_self;
+      topology
+    end
+    else Pr_topo.Parse.load name
+  else find_topology name
+
+let seed_arg =
+  let doc = "Random seed (all experiments are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let embedding_arg =
+  let doc = "Embedding: $(b,geometric), $(b,adjacency), $(b,random), $(b,optimised) or $(b,safe)." in
+  let choices =
+    Arg.enum
+      [
+        ("geometric", Pr_exp.Fig2.Geometric);
+        ("adjacency", Pr_exp.Fig2.Adjacency);
+        ("random", Pr_exp.Fig2.Random_rotation);
+        ("optimised", Pr_exp.Fig2.Optimised);
+        ("safe", Pr_exp.Fig2.Safe_optimised);
+      ]
+  in
+  Arg.(value & opt choices Pr_exp.Fig2.Geometric & info [ "embedding" ] ~docv:"KIND" ~doc)
+
+(* ---- topo ---- *)
+
+let topo_list () =
+  List.iter
+    (fun name ->
+      let t = find_topology name in
+      Printf.printf "%-14s %s\n" name (Topology.summary t))
+    (Pr_topo.Zoo.names ())
+
+let topo_show name dot =
+  let topo = load_topology name in
+  if dot then
+    print_string
+      (Pr_graph.Dot.to_dot ~name:topo.Topology.name
+         ~node_label:(Topology.label topo) topo.Topology.graph)
+  else begin
+    Format.printf "%a@." Topology.pp topo;
+    Printf.printf "connected: %b, bridges: %d, 2-edge-connected: %b\n"
+      (Pr_graph.Connectivity.is_connected topo.Topology.graph)
+      (List.length (Pr_graph.Connectivity.bridges topo.Topology.graph))
+      (Pr_graph.Connectivity.is_two_edge_connected topo.Topology.graph)
+  end
+
+let topo_convert name out =
+  let topo = load_topology name in
+  if Filename.check_suffix out ".gml" then Pr_topo.Gml.save out topo
+  else if Filename.check_suffix out ".dot" then
+    Pr_graph.Dot.write_file ~path:out ~name:topo.Topology.name
+      ~node_label:(Topology.label topo) topo.Topology.graph
+  else Pr_topo.Parse.save out topo;
+  Printf.printf "wrote %s (%s)\n" out (Topology.summary topo)
+
+let topo_convert_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT"
+           ~doc:"Output file; format from the extension (.gml, .dot, else plain text).")
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert a topology between text, GML and DOT formats.")
+    Term.(const topo_convert $ topo_arg $ out)
+
+let topo_list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List built-in topologies.")
+    Term.(const topo_list $ const ())
+
+let topo_show_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Show a topology.")
+    Term.(const topo_show $ topo_arg $ dot)
+
+let topo_cmd =
+  Cmd.group (Cmd.info "topo" ~doc:"Topology inspection.")
+    [ topo_list_cmd; topo_show_cmd; topo_convert_cmd ]
+
+(* ---- embed ---- *)
+
+let embed name embedding seed save =
+  let topo = load_topology name in
+  let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  (match save with
+  | Some path ->
+      Pr_embed.Rotation_io.save path rotation;
+      Printf.printf "rotation written to %s\n" path
+  | None -> ());
+  let faces = Pr_embed.Faces.compute rotation in
+  Printf.printf "%s, %s embedding: %s, curved edges %d, PR-safe %b\n"
+    topo.Topology.name
+    (Pr_exp.Ablation.embedding_name embedding)
+    (Pr_embed.Surface.describe faces)
+    (List.length (Pr_embed.Validate.curved_edges faces))
+    (Pr_embed.Validate.is_pr_safe faces);
+  for f = 0 to Pr_embed.Faces.count faces - 1 do
+    let nodes = Pr_embed.Faces.face_nodes faces f in
+    Printf.printf "  c%-3d (%d arcs): %s\n" (f + 1) (List.length nodes)
+      (String.concat " -> " (List.map (Topology.label topo) nodes))
+  done;
+  match Pr_embed.Validate.check faces with
+  | [] -> print_endline "embedding valid."
+  | problems ->
+      List.iter
+        (fun p -> Format.printf "PROBLEM: %a@." Pr_embed.Validate.pp_problem p)
+        problems;
+      exit 1
+
+let embed_cmd =
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Also write the rotation system to a file (Rotation_io format).")
+  in
+  Cmd.v
+    (Cmd.info "embed" ~doc:"Compute and validate a cellular embedding.")
+    Term.(const embed $ topo_arg $ embedding_arg $ seed_arg $ save)
+
+(* ---- table ---- *)
+
+let table name router_label embedding seed =
+  let topo = load_topology name in
+  let x = Topology.node_id topo router_label in
+  let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let label = Topology.label topo in
+  Printf.printf "Cycle following table at %s (%s embedding, %s):\n" (label x)
+    (Pr_exp.Ablation.embedding_name embedding)
+    (Pr_embed.Surface.describe (Pr_embed.Faces.compute rotation));
+  Pr_util.Tablefmt.print
+    ~align:[ Pr_util.Tablefmt.Left; Pr_util.Tablefmt.Left; Pr_util.Tablefmt.Left ]
+    ~header:[ "incoming"; "cycle following"; "complementary" ]
+    (List.map
+       (fun (e : Pr_core.Cycle_table.entry) ->
+         [
+           Printf.sprintf "I_%s%s" (label e.incoming) (label x);
+           Printf.sprintf "I_%s%s" (label x) (label e.cycle_following);
+           Printf.sprintf "I_%s%s" (label x) (label e.complementary);
+         ])
+       (Pr_core.Cycle_table.entries cycles x));
+  let routing = Pr_core.Routing.build topo.Topology.graph in
+  Printf.printf "\nRouting table at %s (next hop, distance discriminator):\n" (label x);
+  Pr_util.Tablefmt.print
+    ~header:[ "destination"; "next hop"; "DD" ]
+    (List.filter_map
+       (fun dst ->
+         if dst = x then None
+         else
+           match Pr_core.Routing.next_hop routing ~node:x ~dst with
+           | None -> Some [ label dst; "-"; "inf" ]
+           | Some nh ->
+               Some
+                 [
+                   label dst;
+                   label nh;
+                   Printf.sprintf "%g" (Pr_core.Routing.disc routing ~node:x ~dst);
+                 ])
+       (List.init (Topology.n topo) Fun.id))
+
+let table_cmd =
+  let router =
+    Arg.(required & opt (some string) None & info [ "r"; "router" ] ~docv:"LABEL"
+           ~doc:"Router whose tables to print.")
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print a router's cycle following and routing tables.")
+    Term.(const table $ topo_arg $ router $ embedding_arg $ seed_arg)
+
+(* ---- trace ---- *)
+
+let parse_failures topo spec =
+  if spec = "" then []
+  else
+    String.split_on_char ',' spec
+    |> List.map (fun pair ->
+           match String.split_on_char '-' (String.trim pair) with
+           | [ a; b ] -> (Topology.node_id topo a, Topology.node_id topo b)
+           | _ ->
+               Printf.eprintf "bad failure spec %S (want LABEL-LABEL,...)\n" pair;
+               exit 2)
+
+let trace name src_label dst_label failures_spec embedding seed simple =
+  let topo = load_topology name in
+  let src = Topology.node_id topo src_label
+  and dst = Topology.node_id topo dst_label in
+  let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  let routing = Pr_core.Routing.build topo.Topology.graph in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let failures =
+    Pr_core.Failure.of_list topo.Topology.graph (parse_failures topo failures_spec)
+  in
+  let termination =
+    if simple then Pr_core.Forward.Simple
+    else Pr_core.Forward.Distance_discriminator
+  in
+  let t = Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst () in
+  let outcome =
+    match t.outcome with
+    | Pr_core.Forward.Delivered -> "delivered"
+    | Pr_core.Forward.Dropped_no_interface -> "DROPPED (no live interface)"
+    | Pr_core.Forward.Dropped_unreachable -> "DROPPED (unreachable)"
+    | Pr_core.Forward.Ttl_exceeded -> "LOOP (TTL exceeded)"
+  in
+  Printf.printf "PR %s: %s\n" outcome
+    (String.concat " -> " (List.map (Topology.label topo) t.path));
+  Printf.printf "PR episodes: %d, failure encounters: %d, max DD carried: %d\n"
+    t.pr_episodes t.failure_hits t.max_header.Pr_core.Header.dd;
+  if t.outcome = Pr_core.Forward.Delivered then
+    Printf.printf "stretch: %.3f\n"
+      (Pr_core.Forward.stretch ~routing ~trace:t ~src ~dst);
+  let fcp = Pr_baselines.Fcp.run topo.Topology.graph ~failures ~src ~dst () in
+  (match fcp.outcome with
+  | Pr_baselines.Fcp.Delivered ->
+      Printf.printf "FCP delivered: %s (stretch %.3f, %d SPF runs)\n"
+        (String.concat " -> " (List.map (Topology.label topo) fcp.path))
+        (Pr_baselines.Fcp.stretch ~routing ~trace:fcp ~src ~dst)
+        fcp.recomputations
+  | Pr_baselines.Fcp.Disconnected -> print_endline "FCP: disconnected"
+  | Pr_baselines.Fcp.Ttl_exceeded -> print_endline "FCP: TTL exceeded");
+  match Pr_baselines.Reconvergence.path topo.Topology.graph ~failures ~src ~dst with
+  | Some p ->
+      Printf.printf "post-reconvergence: %s (stretch %.3f)\n"
+        (String.concat " -> " (List.map (Topology.label topo) p))
+        (Pr_baselines.Reconvergence.stretch ~routing ~failures ~src ~dst)
+  | None -> print_endline "post-reconvergence: disconnected"
+
+let trace_cmd =
+  let src =
+    Arg.(required & opt (some string) None & info [ "s"; "src" ] ~docv:"LABEL" ~doc:"Source node label.")
+  in
+  let dst =
+    Arg.(required & opt (some string) None & info [ "d"; "dst" ] ~docv:"LABEL" ~doc:"Destination node label.")
+  in
+  let failures =
+    Arg.(value & opt string "" & info [ "f"; "fail" ] ~docv:"A-B,C-D" ~doc:"Failed links, by node labels.")
+  in
+  let simple =
+    Arg.(value & flag & info [ "simple" ] ~doc:"Use the §4.2 simple termination condition.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace one packet under PR, FCP and reconvergence.")
+    Term.(const trace $ topo_arg $ src $ dst $ failures $ embedding_arg $ seed_arg $ simple)
+
+(* ---- fig2 ---- *)
+
+let fig2 name k samples seed embedding simple weighted quantise out =
+  let topo = load_topology name in
+  let config =
+    {
+      (Pr_exp.Fig2.default topo ~k) with
+      samples;
+      seed;
+      embedding;
+      termination =
+        (if simple then Pr_core.Forward.Simple
+         else Pr_core.Forward.Distance_discriminator);
+      discriminator =
+        (if weighted then Pr_core.Discriminator.Weighted
+         else Pr_core.Discriminator.Hops);
+      quantise_dd = quantise;
+    }
+  in
+  let result = Pr_exp.Fig2.run config in
+  match out with
+  | None -> Pr_exp.Fig2.print_gnuplot result
+  | Some dir ->
+      let name = Printf.sprintf "%s_k%d" topo.Topology.name k in
+      Pr_exp.Report.write_fig2 ~dir ~name result;
+      Printf.printf "wrote %s/%s.dat and %s/%s.gp
+" dir name dir name
+
+let fig2_cmd =
+  let k =
+    Arg.(value & opt int 1 & info [ "k" ] ~docv:"INT" ~doc:"Simultaneous link failures per scenario.")
+  in
+  let samples =
+    Arg.(value & opt int 200 & info [ "samples" ] ~docv:"INT" ~doc:"Scenarios when k > 1.")
+  in
+  let simple =
+    Arg.(value & flag & info [ "simple" ] ~doc:"Simple termination instead of DD.")
+  in
+  let weighted =
+    Arg.(value & flag & info [ "weighted" ] ~doc:"Weighted discriminator instead of hops.")
+  in
+  let quantise =
+    Arg.(value & flag & info [ "quantise" ] ~doc:"Header-faithful integer DD comparison.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Write .dat/.gp files instead of printing.")
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Regenerate a panel of the paper's Figure 2.")
+    Term.(const fig2 $ topo_arg $ k $ samples $ seed_arg $ embedding_arg $ simple $ weighted $ quantise $ out)
+
+(* ---- figures ---- *)
+
+let figures out =
+  Pr_exp.Report.write_paper_figures ~echo:print_endline ~dir:out ();
+  Printf.printf "master script: %s/fig2.gp (run gnuplot there)\n" out
+
+let figures_cmd =
+  let out =
+    Arg.(value & opt string "figures" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Write all six Figure 2 panels as gnuplot data + scripts.")
+    Term.(const figures $ out)
+
+(* ---- hunt ---- *)
+
+let hunt seed attempts =
+  match Pr_exp.Counterexample.search ~attempts ~seed () with
+  | None -> Printf.printf "no counterexample found in %d attempts (seed %d)
+" attempts seed
+  | Some found ->
+      print_string (Pr_exp.Counterexample.describe found);
+      if not (Pr_exp.Counterexample.verify found) then begin
+        prerr_endline "internal error: witness did not verify";
+        exit 1
+      end
+
+let hunt_cmd =
+  let attempts =
+    Arg.(value & opt int 2000 & info [ "attempts" ] ~docv:"INT" ~doc:"Random cases to try.")
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Search for a minimal counterexample to PR's delivery guarantee              (random rotations; planar embeddings yield none).")
+    Term.(const hunt $ seed_arg $ attempts)
+
+(* ---- overhead / ablation / coverage ---- *)
+
+let overhead () =
+  print_string (Pr_exp.Overhead.table (Pr_topo.Zoo.paper_evaluation ()))
+
+let overhead_cmd =
+  Cmd.v (Cmd.info "overhead" ~doc:"The paper's §6 overhead comparison.")
+    Term.(const overhead $ const ())
+
+let ablation what seed =
+  let topologies = Pr_topo.Zoo.paper_evaluation () in
+  match what with
+  | `Embedding -> print_string (Pr_exp.Ablation.embedding_table ~seed topologies)
+  | `Discriminator -> print_string (Pr_exp.Ablation.discriminator_table topologies)
+
+let ablation_cmd =
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("embedding", `Embedding); ("discriminator", `Discriminator) ]) `Embedding
+      & info [ "what" ] ~docv:"KIND" ~doc:"$(b,embedding) or $(b,discriminator).")
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations.")
+    Term.(const ablation $ what $ seed_arg)
+
+let coverage name kmax samples seed =
+  let topo = load_topology name in
+  let ks = List.init kmax (fun i -> i + 1) in
+  print_string (Pr_exp.Coverage.table (Pr_exp.Coverage.sweep ~seed ~samples topo ~ks))
+
+let coverage_cmd =
+  let kmax =
+    Arg.(value & opt int 6 & info [ "kmax" ] ~docv:"INT" ~doc:"Sweep k = 1 .. kmax.")
+  in
+  let samples =
+    Arg.(value & opt int 100 & info [ "samples" ] ~docv:"INT" ~doc:"Scenarios per k.")
+  in
+  Cmd.v (Cmd.info "coverage" ~doc:"Delivery-ratio sweep (PR vs simple PR vs LFA).")
+    Term.(const coverage $ topo_arg $ kmax $ samples $ seed_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "prcli" ~version:"1.0.0"
+       ~doc:"Packet Re-cycling (HotNets 2010) reproduction toolkit.")
+    [
+      topo_cmd; embed_cmd; table_cmd; trace_cmd; fig2_cmd; figures_cmd; hunt_cmd;
+      overhead_cmd; ablation_cmd; coverage_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/abilene_failover.ml: List Pr_core Pr_embed Pr_exp Pr_graph Pr_stats Pr_topo Pr_util Printf

@@ -1,0 +1,1 @@
+examples/abilene_failover.mli:

@@ -1,0 +1,1 @@
+examples/custom_topology.ml: Filename List Out_channel Pr_core Pr_embed Pr_graph Pr_topo Printf String Sys

@@ -1,0 +1,1 @@
+examples/embedding_explorer.ml: List Pr_embed Pr_topo Pr_util Printf

@@ -1,0 +1,1 @@
+examples/embedding_explorer.mli:

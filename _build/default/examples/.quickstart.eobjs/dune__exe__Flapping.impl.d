@@ -1,0 +1,1 @@
+examples/flapping.ml: Format List Pr_core Pr_embed Pr_sim Pr_topo Pr_util Printf

@@ -1,0 +1,1 @@
+examples/geant_multi_failure.ml: List Option Pr_exp Pr_stats Pr_topo Printf

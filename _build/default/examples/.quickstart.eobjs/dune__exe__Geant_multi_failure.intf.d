@@ -1,0 +1,1 @@
+examples/geant_multi_failure.mli:

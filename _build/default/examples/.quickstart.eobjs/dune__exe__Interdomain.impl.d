@@ -1,0 +1,1 @@
+examples/interdomain.ml: List Pr_core Pr_interdomain Pr_topo Printf String

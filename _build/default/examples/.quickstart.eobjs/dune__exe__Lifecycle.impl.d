@@ -1,0 +1,1 @@
+examples/lifecycle.ml: List Pr_core Pr_embed Pr_graph Pr_topo Printf String

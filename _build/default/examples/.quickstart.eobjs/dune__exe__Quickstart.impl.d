@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pr_core Pr_embed Pr_topo Printf String

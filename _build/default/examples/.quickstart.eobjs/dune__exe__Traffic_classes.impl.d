@@ -1,0 +1,1 @@
+examples/traffic_classes.ml: List Pr_core Pr_embed Pr_topo Pr_util Printf String

@@ -1,0 +1,68 @@
+(* Bring your own topology: the text interchange format end to end.
+
+   Writes a small metro network to disk in the `Pr_topo.Parse` format,
+   loads it back, embeds it, and runs a failure drill — the workflow a
+   network operator would follow with their own map.
+
+   Run with:  dune exec examples/custom_topology.exe *)
+
+module Topology = Pr_topo.Topology
+
+let metro_text =
+  {|# A small metro ring with two cross links.
+topology metro
+node core1 0 0
+node core2 4 0
+node agg1  0 2
+node agg2  4 2
+node edge1 0 4
+node edge2 4 4
+edge core1 core2 1
+edge core1 agg1 1
+edge core2 agg2 1
+edge agg1 agg2 1
+edge agg1 edge1 1
+edge agg2 edge2 1
+edge edge1 edge2 1
+edge core1 agg2 2
+|}
+
+let () =
+  let path = Filename.temp_file "metro" ".topo" in
+  Out_channel.with_open_text path (fun oc -> output_string oc metro_text);
+  let topo = Pr_topo.Parse.load path in
+  Sys.remove path;
+  Printf.printf "Loaded %s\n" (Topology.summary topo);
+  Printf.printf "2-edge-connected: %b\n\n"
+    (Pr_graph.Connectivity.is_two_edge_connected topo.Topology.graph);
+
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  Printf.printf "Embedding: %s\n\n"
+    (Pr_embed.Surface.describe (Pr_embed.Faces.compute rotation));
+
+  let routing = Pr_core.Routing.build topo.Topology.graph in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let src = Topology.node_id topo "edge1" and dst = Topology.node_id topo "core2" in
+
+  (* Drill: fail every link on edge1's shortest path to core2 one by one. *)
+  let drill failed =
+    let failures = Pr_core.Failure.of_list topo.Topology.graph [ failed ] in
+    let trace = Pr_core.Forward.run ~routing ~cycles ~failures ~src ~dst () in
+    let u, v = failed in
+    Printf.printf "fail %s-%s: %s (stretch %.2f)\n"
+      (Topology.label topo u) (Topology.label topo v)
+      (String.concat " -> " (List.map (Topology.label topo) trace.path))
+      (Pr_core.Forward.stretch ~routing ~trace ~src ~dst)
+  in
+  match Pr_core.Routing.shortest_path routing ~src ~dst with
+  | None -> assert false
+  | Some path ->
+      Printf.printf "shortest path: %s\n"
+        (String.concat " -> " (List.map (Topology.label topo) path));
+      let rec drill_path = function
+        | u :: (v :: _ as rest) ->
+            drill (u, v);
+            drill_path rest
+        | [ _ ] | [] -> ()
+      in
+      drill_path path

@@ -1,0 +1,54 @@
+(* Embedding explorer: how rotation systems shape PR's behaviour.
+
+   Compares, on several graphs, the faces/genus/curved-edge profile of the
+   adjacency, geometric, random and annealed rotation systems — the
+   offline step the paper delegates to an "embedding server" and leaves as
+   future work.
+
+   Run with:  dune exec examples/embedding_explorer.exe *)
+
+module Topology = Pr_topo.Topology
+module Generate = Pr_topo.Generate
+
+let profile name rotation =
+  let faces = Pr_embed.Faces.compute rotation in
+  [
+    name;
+    string_of_int (Pr_embed.Faces.count faces);
+    string_of_int (Pr_embed.Surface.genus faces);
+    string_of_int (List.length (Pr_embed.Validate.curved_edges faces));
+    (if Pr_embed.Validate.is_pr_safe faces then "yes" else "no");
+  ]
+
+let explore (topo : Topology.t) =
+  let g = topo.Topology.graph in
+  Printf.printf "== %s ==\n" (Topology.summary topo);
+  Printf.printf "max genus bound (cycle rank / 2): %d\n"
+    (Pr_embed.Surface.max_genus_bound g);
+  let rng = Pr_util.Rng.create ~seed:11 in
+  let rows =
+    [
+      profile "adjacency" (Pr_embed.Rotation.adjacency g);
+      profile "geometric" (Pr_embed.Geometric.of_topology topo);
+      profile "random" (Pr_embed.Rotation.random (Pr_util.Rng.copy rng) g);
+      profile "annealed (min genus)"
+        (Pr_embed.Optimize.best_of (Pr_util.Rng.copy rng) g);
+      profile "annealed (PR safe)"
+        (Pr_embed.Optimize.best_of ~objective:Pr_embed.Optimize.Pr_safe
+           ~seeds:[ Pr_embed.Geometric.of_topology topo ]
+           (Pr_util.Rng.copy rng) g);
+    ]
+    @ (match Pr_embed.Planar.embed g with
+      | Some rotation -> [ profile "certified planar (DMP)" rotation ]
+      | None -> [])
+  in
+  Pr_util.Tablefmt.print
+    ~header:[ "rotation"; "faces"; "genus"; "curved"; "PR-safe" ]
+    rows;
+  print_newline ()
+
+let () =
+  explore (Pr_topo.Abilene.topology ());
+  explore (Generate.petersen ());
+  explore (Generate.torus ~rows:4 ~cols:4);
+  explore (Pr_topo.Teleglobe.topology ())

@@ -1,0 +1,84 @@
+(* Link flapping and packets lost during reconvergence.
+
+   The paper's motivation: while the IGP reconverges, packets die at the
+   failure point — "a quarter of a million packets" per second of OC-192
+   downtime.  PR forwards through the failure with zero routing downtime.
+   Section 7 adds that flapping links should be damped with a hold-down so
+   a recovering link does not confuse in-flight cycle following.
+
+   This example drives the event simulator with a flapping Abilene link and
+   compares reconvergence (with a convergence delay), LFA and PR on the
+   same packet workload, then shows the hold-down damping the flap storm.
+
+   Run with:  dune exec examples/flapping.exe *)
+
+module Topology = Pr_topo.Topology
+
+let () =
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let rng = Pr_util.Rng.create ~seed:7 in
+
+  (* KSCY-IPLS flaps every 10 time units, down 30% of the cycle. *)
+  let kscy = Topology.node_id topo "KSCY" and ipls = Topology.node_id topo "IPLS" in
+  let flaps =
+    Pr_sim.Workload.flapping_link
+      (Pr_util.Rng.copy rng)
+      ~u:kscy ~v:ipls ~period:10.0 ~duty_down:0.3 ~flaps:10
+  in
+  let injections =
+    Pr_sim.Workload.poisson_flows (Pr_util.Rng.copy rng) g ~rate:50.0 ~horizon:100.0
+  in
+  Printf.printf "Workload: %d packets over 100 time units, link KSCY-IPLS flapping (%d transitions)\n\n"
+    (List.length injections) (List.length flaps);
+
+  let run scheme =
+    let outcome =
+      Pr_sim.Engine.run
+        { Pr_sim.Engine.topology = topo; rotation; scheme }
+        ~link_events:flaps ~injections
+    in
+    Format.printf "%-14s %a, SPF runs: %d@."
+      (Pr_sim.Engine.scheme_name scheme)
+      Pr_sim.Metrics.pp outcome.Pr_sim.Engine.metrics
+      outcome.Pr_sim.Engine.spf_runs
+  in
+  run (Pr_sim.Engine.Reconvergence_scheme { convergence_delay = 2.0 });
+  run Pr_sim.Engine.Lfa_scheme;
+  run (Pr_sim.Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator });
+
+  (* Hold-down damping (paper §7): delay up-transitions until the link has
+     been stable, suppressing rapid oscillation. *)
+  print_newline ();
+  List.iter
+    (fun hold ->
+      let damped = Pr_sim.Flap.apply_hold_down flaps ~hold_down:hold in
+      Printf.printf "hold-down %4.1f: %2d transitions reach the data plane\n" hold
+        (List.length damped))
+    [ 0.0; 1.0; 5.0; 8.0 ];
+
+  (* The §7 pathology needs packets in flight while the link oscillates:
+     the timed simulator moves packets one hop per 0.1 time units, and the
+     link now flaps every 0.8 units — comparable to the length of a cycle
+     following detour.  Without damping, packets can meet the link in both
+     states during one episode; the hold-down restores stability. *)
+  print_newline ();
+  print_endline "packet-level (in-flight) view, KSCY-IPLS flapping every 0.8 units:";
+  let fast_flaps =
+    Pr_sim.Workload.flapping_link
+      (Pr_util.Rng.copy rng)
+      ~u:kscy ~v:ipls ~period:0.8 ~duty_down:0.5 ~flaps:120
+  in
+  let timed_config = Pr_sim.Timed.default_config topo rotation in
+  List.iter
+    (fun (label, hold) ->
+      let events =
+        match hold with
+        | None -> fast_flaps
+        | Some h -> Pr_sim.Flap.apply_hold_down fast_flaps ~hold_down:h
+      in
+      let outcome = Pr_sim.Timed.run timed_config ~link_events:events ~injections in
+      Format.printf "  %-22s %a, max hops %d@." label Pr_sim.Metrics.pp
+        outcome.Pr_sim.Timed.metrics outcome.Pr_sim.Timed.max_hops)
+    [ ("no hold-down", None); ("hold-down 2.0", Some 2.0) ]

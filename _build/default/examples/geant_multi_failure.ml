@@ -1,0 +1,55 @@
+(* Multi-failure resilience on the GÉANT backbone.
+
+   The paper's Figure 2(f) subjects Géant to 16 simultaneous link failures.
+   This example runs that workload with the recommended embedding and
+   reports delivery and stretch for PR, FCP and post-reconvergence
+   routing.  Our Géant reconstruction turns out to be planar, so the
+   certified genus-0 embedding delivers every connected pair — the
+   regime where this reproduction found the paper's coverage claim to
+   actually hold (on genus > 0 embeddings a residue of multi-failure
+   cases loops; see EXPERIMENTS.md and examples on Teleglobe).
+
+   Run with:  dune exec examples/geant_multi_failure.exe *)
+
+module Topology = Pr_topo.Topology
+
+let () =
+  let topo = Pr_topo.Geant.topology () in
+  Printf.printf "%s\n\n" (Topology.summary topo);
+
+  let config =
+    {
+      (Pr_exp.Fig2.default topo ~k:16) with
+      samples = 100;
+      embedding = Pr_exp.Fig2.Safe_optimised;
+    }
+  in
+  let result = Pr_exp.Fig2.run config in
+  Printf.printf
+    "k=16 failures, %d scenarios, %d affected connected pairs, embedding genus %d (curved edges: %d)\n\n"
+    result.scenarios result.pairs_measured result.genus result.curved_edges;
+
+  let describe (scheme, ccdf) =
+    Printf.printf "%-14s mean stretch %.3f, P(>2) = %.3f, undeliverable fraction %.4f\n"
+      (Pr_exp.Fig2.scheme_name scheme)
+      (Option.value ~default:infinity (Pr_stats.Ccdf.mean_finite ccdf))
+      (Pr_stats.Ccdf.eval ccdf 2.0)
+      (Pr_stats.Ccdf.infinite_fraction ccdf)
+  in
+  List.iter describe result.curves;
+
+  Printf.printf "\nPR undelivered pairs: %d of %d (%.2f%%)\n"
+    (List.length result.pr_failures)
+    result.pairs_measured
+    (100.0
+    *. float_of_int (List.length result.pr_failures)
+    /. float_of_int (max 1 result.pairs_measured));
+  print_endline
+    (if result.genus = 0 then
+       "(Genus-0 embedding: the full-coverage claim holds — every connected\n\
+        pair above was delivered, a finding of this reproduction detailed\n\
+        in EXPERIMENTS.md.)"
+     else
+       "(Genus > 0 embedding: a residue of multi-failure cases loops even\n\
+        though the pairs stay connected — a finding of this reproduction\n\
+        detailed in EXPERIMENTS.md.)")

@@ -1,0 +1,67 @@
+(* Operational lifecycle: long-term topology changes (paper §4.3).
+
+   "The network embedding (with its corresponding cycle following tables)
+   needs to be recomputed only when the network topology experiences a
+   long-term change, such as when new links are introduced."
+
+   This example walks that workflow: provision a new Abilene link with an
+   incremental embedding update (no full recomputation), refresh the
+   tables, verify protection still covers everything, then decommission a
+   link and check again.
+
+   Run with:  dune exec examples/lifecycle.exe *)
+
+module Topology = Pr_topo.Topology
+module Graph = Pr_graph.Graph
+
+let coverage_report label (g : Graph.t) rotation =
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let faces = Pr_embed.Faces.compute rotation in
+  let total = ref 0 and delivered = ref 0 in
+  List.iter
+    (fun scenario ->
+      let failures = Pr_core.Failure.of_list g scenario in
+      List.iter
+        (fun (src, dst) ->
+          incr total;
+          let trace = Pr_core.Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          if trace.Pr_core.Forward.outcome = Pr_core.Forward.Delivered then
+            incr delivered)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+    (Pr_core.Scenario.single_links g);
+  Printf.printf "%-28s %d links, %s, PR-safe %b -> %d/%d single-failure pairs delivered\n"
+    label (Graph.m g)
+    (Pr_embed.Surface.describe faces)
+    (Pr_embed.Validate.is_pr_safe faces)
+    !delivered !total
+
+let () =
+  let topo = Pr_topo.Abilene.topology () in
+  let label = Topology.label topo in
+  let rotation = Pr_embed.Planar.embed_exn topo.Topology.graph in
+  coverage_report "day 0: certified planar" topo.Topology.graph rotation;
+
+  (* Provision a new Denver - Atlanta wave. *)
+  let dnvr = Topology.node_id topo "DNVR" and atla = Topology.node_id topo "ATLA" in
+  let rotation, grown = Pr_embed.Update.add_link rotation dnvr atla ~weight:1.0 in
+  let g = Pr_embed.Rotation.graph rotation in
+  Printf.printf "\nprovisioned %s-%s (%s insertion)\n" (label dnvr) (label atla)
+    (match grown with Pr_embed.Update.Chord -> "chord" | Pr_embed.Update.Handle -> "handle");
+  coverage_report "after provisioning" g rotation;
+
+  (* Decommission the Sunnyvale - Denver link. *)
+  let snva = Topology.node_id topo "SNVA" in
+  let rotation = Pr_embed.Update.remove_link rotation snva dnvr in
+  let g = Pr_embed.Rotation.graph rotation in
+  Printf.printf "\ndecommissioned %s-%s\n" (label snva) (label dnvr);
+  coverage_report "after decommissioning" g rotation;
+
+  (* The incremental path never touched the optimizer; show the tables can
+     be serialised for upload to the routers, as the paper's offline
+     server would. *)
+  let text = Pr_embed.Rotation_io.to_string rotation in
+  let again = Pr_embed.Rotation_io.of_string g text in
+  Printf.printf "\nserialised rotation: %d bytes, round-trips %b\n"
+    (String.length text)
+    (Pr_embed.Rotation.equal rotation again)

@@ -1,0 +1,63 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Builds the six-node network of Figure 1(a), embeds it with the paper's
+   cycles c1..c4, prints the cycle following table of Table 1, and traces
+   the packet walkthroughs of Sections 4.2 and 4.3.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Topology = Pr_topo.Topology
+module Example = Pr_topo.Example
+
+let () =
+  let topo = Example.topology () in
+  let label = Topology.label topo in
+  Printf.printf "Topology: %s\n\n" (Topology.summary topo);
+
+  (* The embedding is a rotation system: a cyclic order of neighbours at
+     every node.  Here we install the paper's own embedding; for real maps
+     use Pr_embed.Geometric or Pr_embed.Optimize. *)
+  let rotation = Pr_embed.Rotation.of_orders topo.graph Example.rotation_orders in
+  let faces = Pr_embed.Faces.compute rotation in
+  Printf.printf "Cellular embedding: %s\n" (Pr_embed.Surface.describe faces);
+  for f = 0 to Pr_embed.Faces.count faces - 1 do
+    Printf.printf "  c%d: %s\n" (f + 1)
+      (String.concat " -> " (List.map label (Pr_embed.Faces.face_nodes faces f)))
+  done;
+
+  (* Table 1: the cycle following table at node D. *)
+  let cycles = Pr_core.Cycle_table.build rotation in
+  Printf.printf "\nCycle following table at %s (Table 1):\n" (label Example.d);
+  Printf.printf "  %-10s %-16s %s\n" "incoming" "cycle following" "complementary";
+  List.iter
+    (fun (e : Pr_core.Cycle_table.entry) ->
+      Printf.printf "  I_%s%s       I_%s%s             I_%s%s\n"
+        (label e.incoming) (label Example.d)
+        (label Example.d) (label e.cycle_following)
+        (label Example.d) (label e.complementary))
+    (Pr_core.Cycle_table.entries cycles Example.d);
+
+  (* Forwarding demos. *)
+  let routing = Pr_core.Routing.build topo.graph in
+  let demo title failed =
+    let failures = Pr_core.Failure.of_list topo.graph failed in
+    let trace =
+      Pr_core.Forward.run ~routing ~cycles ~failures ~src:Example.a
+        ~dst:Example.f ()
+    in
+    Printf.printf "\n%s\n  path: %s\n  PR episodes: %d, stretch: %.2f\n" title
+      (String.concat " -> " (List.map label trace.path))
+      trace.pr_episodes
+      (Pr_core.Forward.stretch ~routing ~trace ~src:Example.a ~dst:Example.f)
+  in
+  demo "No failures (plain shortest path):" [];
+  demo "Figure 1(b): link D-E fails —" [ (Example.d, Example.e) ];
+  demo "Figure 1(c): links D-E and B-C fail —"
+    [ (Example.d, Example.e); (Example.b, Example.c) ];
+
+  (* Header encoding: PR needs 1 + ceil(log2(diameter+1)) bits here. *)
+  let dd_bits = Pr_core.Routing.dd_bits routing in
+  Printf.printf "\nHeader: %d DD bit(s) + 1 PR bit = %d bits; fits DSCP pool 2: %b\n"
+    dd_bits
+    (Pr_core.Header.bits_used ~dd_bits)
+    (Pr_core.Header.fits_in_dscp ~dd_bits)

@@ -1,0 +1,1 @@
+lib/baselines/fcp.ml: List Pr_core Pr_graph Pr_util

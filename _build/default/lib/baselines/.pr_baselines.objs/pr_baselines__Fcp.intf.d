@@ -1,0 +1,1 @@
+lib/baselines/fcp.mli: Pr_core Pr_graph

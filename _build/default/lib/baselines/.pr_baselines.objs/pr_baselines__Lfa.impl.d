@@ -1,0 +1,1 @@
+lib/baselines/lfa.ml: Array List Pr_core Pr_graph

@@ -1,0 +1,1 @@
+lib/baselines/lfa.mli: Pr_core

@@ -1,0 +1,1 @@
+lib/baselines/mrc.ml: Array List Pr_core Pr_graph

@@ -1,0 +1,1 @@
+lib/baselines/mrc.mli: Pr_core Pr_graph

@@ -1,0 +1,1 @@
+lib/baselines/reconvergence.ml: Pr_core Pr_graph

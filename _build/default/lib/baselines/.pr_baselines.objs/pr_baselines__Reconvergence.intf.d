@@ -1,0 +1,1 @@
+lib/baselines/reconvergence.mli: Pr_core Pr_graph

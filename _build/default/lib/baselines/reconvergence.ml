@@ -1,0 +1,12 @@
+module Dijkstra = Pr_graph.Dijkstra
+
+let tree g ~failures ~dst =
+  Dijkstra.tree ~blocked:(Pr_core.Failure.is_failed_index failures) g ~root:dst
+
+let path g ~failures ~src ~dst = Dijkstra.path_to_root (tree g ~failures ~dst) src
+
+let cost g ~failures ~src ~dst = Dijkstra.distance (tree g ~failures ~dst) src
+
+let stretch ~routing ~failures ~src ~dst =
+  let g = Pr_core.Routing.graph routing in
+  cost g ~failures ~src ~dst /. Pr_core.Routing.distance routing ~node:src ~dst

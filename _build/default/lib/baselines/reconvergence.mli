@@ -1,0 +1,24 @@
+(** Full routing-protocol reconvergence — the paper's second comparator.
+
+    After the IGP floods the failures and every router re-runs SPF, packets
+    follow the shortest path of the surviving graph.  That path's cost over
+    the pre-failure shortest path cost is the stretch the paper plots; the
+    packets lost *while* convergence is in progress are the paper's
+    motivating problem and are modelled by {!Pr_sim}. *)
+
+val path :
+  Pr_graph.Graph.t -> failures:Pr_core.Failure.t -> src:int -> dst:int -> int list option
+(** Shortest path in the surviving graph, [None] when disconnected. *)
+
+val cost :
+  Pr_graph.Graph.t -> failures:Pr_core.Failure.t -> src:int -> dst:int -> float
+(** Cost of that path, [infinity] when disconnected. *)
+
+val stretch :
+  routing:Pr_core.Routing.t ->
+  failures:Pr_core.Failure.t ->
+  src:int ->
+  dst:int ->
+  float
+(** Post-convergence cost over failure-free cost ([>= 1.0]); [infinity]
+    when disconnected. *)

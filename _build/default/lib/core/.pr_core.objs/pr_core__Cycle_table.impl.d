@@ -1,0 +1,1 @@
+lib/core/cycle_table.ml: Array List Pr_embed Pr_graph

@@ -1,0 +1,1 @@
+lib/core/cycle_table.mli: Pr_embed Pr_graph

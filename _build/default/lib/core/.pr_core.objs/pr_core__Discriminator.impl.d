@@ -1,0 +1,1 @@
+lib/core/discriminator.ml: Float Pr_graph

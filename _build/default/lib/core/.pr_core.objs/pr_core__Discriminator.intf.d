@@ -1,0 +1,1 @@
+lib/core/discriminator.mli: Pr_graph

@@ -1,0 +1,1 @@
+lib/core/failure.ml: Array Format List Pr_graph Pr_util Printf

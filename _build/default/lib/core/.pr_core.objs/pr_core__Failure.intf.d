@@ -1,0 +1,1 @@
+lib/core/failure.mli: Format Pr_graph

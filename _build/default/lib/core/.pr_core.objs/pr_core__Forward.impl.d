@@ -1,0 +1,1 @@
+lib/core/forward.ml: Cycle_table Failure Header List Pr_graph Routing

@@ -1,0 +1,1 @@
+lib/core/forward.mli: Cycle_table Failure Header Pr_graph Routing

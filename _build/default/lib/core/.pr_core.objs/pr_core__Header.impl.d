@@ -1,0 +1,1 @@
+lib/core/header.ml: Format Printf

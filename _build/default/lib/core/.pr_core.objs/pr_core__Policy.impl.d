@@ -1,0 +1,1 @@
+lib/core/policy.ml: Failure Forward Fun List Pr_graph Routing

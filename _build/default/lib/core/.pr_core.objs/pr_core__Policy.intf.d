@@ -1,0 +1,1 @@
+lib/core/policy.mli: Cycle_table Failure Forward Routing

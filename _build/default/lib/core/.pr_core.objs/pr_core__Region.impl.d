@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Cycle_table Failure Hashtbl List Pr_embed Pr_graph Pr_util

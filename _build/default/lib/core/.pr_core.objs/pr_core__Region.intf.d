@@ -1,0 +1,1 @@
+lib/core/region.mli: Cycle_table Failure Pr_embed

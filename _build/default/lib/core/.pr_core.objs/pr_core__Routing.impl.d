@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Discriminator Float Pr_graph

@@ -1,0 +1,1 @@
+lib/core/routing.mli: Discriminator Pr_graph

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Failure Hashtbl List Pr_graph Pr_util Printf Routing

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Failure Pr_graph Pr_util Routing

@@ -1,0 +1,28 @@
+module Rotation = Pr_embed.Rotation
+
+type entry = { incoming : int; cycle_following : int; complementary : int }
+
+type t = { rot : Rotation.t }
+
+let build rot = { rot }
+
+let rotation t = t.rot
+
+let graph t = Rotation.graph t.rot
+
+let cycle_next t ~node ~from_ = Rotation.next t.rot node from_
+
+let complement_for_failed t ~node ~failed = Rotation.next t.rot node failed
+
+let entries t node =
+  Rotation.order t.rot node
+  |> Array.to_list
+  |> List.map (fun incoming ->
+         let cycle_following = cycle_next t ~node ~from_:incoming in
+         {
+           incoming;
+           cycle_following;
+           complementary = cycle_next t ~node ~from_:cycle_following;
+         })
+
+let memory_entries t = 2 * Pr_graph.Graph.m (graph t)

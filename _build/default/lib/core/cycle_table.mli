@@ -1,0 +1,43 @@
+(** Cycle following tables (paper §4.1, Table 1).
+
+    At node [x], the entry for packets arriving from neighbour [y] holds:
+    - the outgoing interface under cycle following: [next_x y] — the
+      continuation of the face cycle the arc (y, x) lies on;
+    - the outgoing interface under failure avoidance: the next hop along
+      the complementary cycle of the link (x, next_x y), which is
+      [next_x (next_x y)].
+
+    When a router must bypass a *failed outgoing* interface [z], the
+    complementary cycle of the link (x, z) starts at [next_x z].
+
+    The table is exactly a permutation of the interfaces, as the paper
+    notes: it implements the rotation system of the embedding. *)
+
+type entry = {
+  incoming : int;         (** neighbour the packet arrived from *)
+  cycle_following : int;  (** outgoing interface continuing the cycle *)
+  complementary : int;    (** outgoing interface under failure avoidance *)
+}
+
+type t
+
+val build : Pr_embed.Rotation.t -> t
+
+val rotation : t -> Pr_embed.Rotation.t
+
+val graph : t -> Pr_graph.Graph.t
+
+val entries : t -> int -> entry list
+(** A node's table, one entry per interface, in rotation order. *)
+
+val cycle_next : t -> node:int -> from_:int -> int
+(** Column 2: continuation of cycle following for a packet that arrived
+    from [from_]. *)
+
+val complement_for_failed : t -> node:int -> failed:int -> int
+(** First hop of the complementary cycle of the failed outgoing interface
+    [failed]. *)
+
+val memory_entries : t -> int
+(** Total cycle-following entries across all routers: one per interface,
+    i.e. [2 m] — the paper's "very limited memory" claim, quantified. *)

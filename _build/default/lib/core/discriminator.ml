@@ -1,0 +1,23 @@
+type kind = Hops | Weighted
+
+let value kind tree v =
+  match kind with
+  | Hops ->
+      let h = Pr_graph.Dijkstra.hop_count tree v in
+      if h = max_int then infinity else float_of_int h
+  | Weighted -> Pr_graph.Dijkstra.distance tree v
+
+let bits_for_range max_value =
+  (* Smallest b with 2^b > max_value, i.e. values 0..max_value encodable. *)
+  let rec loop b capacity =
+    if capacity > max_value then b else loop (b + 1) (2 * capacity)
+  in
+  loop 0 1
+
+let bits_needed kind g =
+  match kind with
+  | Hops -> bits_for_range (Pr_graph.Dijkstra.diameter_hops g)
+  | Weighted ->
+      bits_for_range (int_of_float (Float.ceil (Pr_graph.Dijkstra.diameter_weight g)))
+
+let to_string = function Hops -> "hops" | Weighted -> "weighted"

@@ -1,0 +1,23 @@
+(** Distance discriminators (paper §4.3).
+
+    A discriminator is a strictly increasing function of the links along
+    the shortest path to a destination.  The paper proposes two candidates:
+    the hop count and the sum of link weights along that path.  Termination
+    of cycle following compares the local discriminator against the value
+    carried in the packet's DD bits. *)
+
+type kind =
+  | Hops      (** hop count along the chosen shortest path; needs
+                  ~log2(diameter) DD bits *)
+  | Weighted  (** weighted cost of the chosen shortest path *)
+
+val value : kind -> Pr_graph.Dijkstra.tree -> int -> float
+(** [value kind tree v] — discriminator from [v] to the tree's root.
+    [infinity] when unreachable. *)
+
+val bits_needed : kind -> Pr_graph.Graph.t -> int
+(** Number of DD bits PR needs on this graph: [ceil (log2 (d + 1))] where
+    [d] is the (hop or weighted, rounded up) diameter.  This is the paper's
+    O(log2 d) header-overhead claim. *)
+
+val to_string : kind -> string

@@ -1,0 +1,176 @@
+module Graph = Pr_graph.Graph
+
+type termination = Simple | Distance_discriminator
+
+type outcome =
+  | Delivered
+  | Dropped_no_interface
+  | Dropped_unreachable
+  | Ttl_exceeded
+
+type hop_header = { pr_bit : bool; dd_value : float }
+
+let fresh_header = { pr_bit = false; dd_value = 0.0 }
+
+type step_result =
+  | Transmit of {
+      next : int;
+      header : hop_header;
+      episode_started : bool;
+      failure_hits : int;
+    }
+  | Stuck of { outcome : outcome; failure_hits : int }
+
+let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
+    ~cycles ~failures ~dst ~node ~arrived_from ~header () =
+  let g = Routing.graph routing in
+  let x = node in
+  let up w = Failure.link_up failures x w in
+  (* Header-faithful mode: discriminators live in the integer DD bits. *)
+  let as_carried v =
+    if quantise then float_of_int (Routing.quantise_dd routing v) else v
+  in
+  let failure_hits = ref 0 in
+  (* Start the complementary cycle of the failed interface (x, failed):
+     rotate from [failed] to the first live interface.  Each dead interface
+     passed is a further failure encounter; under the DD condition the
+     comparison that would run at each encounter uses the same local
+     discriminator and the same header DD, so its outcome cannot change
+     mid-rotation and skipping straight to the first live interface is
+     faithful to the protocol. *)
+  let start_complementary failed ~dd ~episode_started =
+    let deg = Graph.degree g x in
+    let rec rotate candidate remaining =
+      if remaining = 0 then
+        Stuck { outcome = Dropped_no_interface; failure_hits = !failure_hits }
+      else if up candidate then
+        Transmit
+          {
+            next = candidate;
+            header = { pr_bit = true; dd_value = dd };
+            episode_started;
+            failure_hits = !failure_hits;
+          }
+      else begin
+        incr failure_hits;
+        rotate
+          (Cycle_table.complement_for_failed cycles ~node:x ~failed:candidate)
+          (remaining - 1)
+      end
+    in
+    rotate (Cycle_table.complement_for_failed cycles ~node:x ~failed) deg
+  in
+  (* Normal shortest-path forwarding; on a failed next hop, start a PR
+     episode with the local discriminator in the DD bits (§4.2/§4.3). *)
+  let routed () =
+    match Routing.next_hop routing ~node:x ~dst with
+    | None -> Stuck { outcome = Dropped_unreachable; failure_hits = !failure_hits }
+    | Some w ->
+        if up w then
+          Transmit
+            {
+              next = w;
+              header = fresh_header;
+              episode_started = false;
+              failure_hits = !failure_hits;
+            }
+        else begin
+          incr failure_hits;
+          let dd = as_carried (Routing.disc routing ~node:x ~dst) in
+          start_complementary w ~dd ~episode_started:true
+        end
+  in
+  if not header.pr_bit then routed ()
+  else
+    match arrived_from with
+    | None ->
+        (* A PR-marked packet always has a previous hop; treat a source
+           with a stale PR bit as freshly injected. *)
+        routed ()
+    | Some y ->
+        (* Cycle following. *)
+        let w = Cycle_table.cycle_next cycles ~node:x ~from_:y in
+        if up w then
+          Transmit
+            {
+              next = w;
+              header;
+              episode_started = false;
+              failure_hits = !failure_hits;
+            }
+        else begin
+          incr failure_hits;
+          match termination with
+          | Simple -> routed ()
+          | Distance_discriminator ->
+              if as_carried (Routing.disc routing ~node:x ~dst) < header.dd_value
+              then routed ()
+              else start_complementary w ~dd:header.dd_value ~episode_started:false
+        end
+
+type trace = {
+  outcome : outcome;
+  path : int list;
+  pr_episodes : int;
+  failure_hits : int;
+  max_header : Header.t;
+  episodes : (int * float) list;
+}
+
+let default_ttl g = (2 * Graph.m g * (Graph.n g + 2)) + Graph.n g + 16
+
+let run ?termination ?ttl ?quantise ~routing ~cycles ~failures ~src ~dst () =
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Forward.run: node out of range";
+  if src = dst then invalid_arg "Forward.run: src = dst";
+  let ttl = match ttl with Some t -> t | None -> default_ttl g in
+  let pr_episodes = ref 0 in
+  let failure_hits = ref 0 in
+  let max_dd = ref 0.0 in
+  let episodes = ref [] in
+  let rec walk x arrived_from header ~ttl acc =
+    if x = dst then finish Delivered acc
+    else if ttl = 0 then finish Ttl_exceeded acc
+    else begin
+      match
+        step ?termination ?quantise ~routing ~cycles ~failures ~dst ~node:x
+          ~arrived_from ~header ()
+      with
+      | Stuck { outcome; failure_hits = hits } ->
+          failure_hits := !failure_hits + hits;
+          finish outcome acc
+      | Transmit { next; header; episode_started; failure_hits = hits } ->
+          failure_hits := !failure_hits + hits;
+          if episode_started then begin
+            incr pr_episodes;
+            episodes := (x, header.dd_value) :: !episodes;
+            if header.dd_value > !max_dd then max_dd := header.dd_value
+          end;
+          walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
+    end
+  and finish outcome acc =
+    {
+      outcome;
+      path = List.rev acc;
+      pr_episodes = !pr_episodes;
+      failure_hits = !failure_hits;
+      max_header =
+        {
+          Header.pr = !pr_episodes > 0;
+          dd = Routing.quantise_dd routing !max_dd;
+        };
+      episodes = List.rev !episodes;
+    }
+  in
+  walk src None fresh_header ~ttl [ src ]
+
+let path_cost g trace = Pr_graph.Paths.cost g trace.path
+
+let stretch ~routing ~trace ~src ~dst =
+  match trace.outcome with
+  | Delivered ->
+      let base = Routing.distance routing ~node:src ~dst in
+      path_cost (Routing.graph routing) trace /. base
+  | Dropped_no_interface | Dropped_unreachable | Ttl_exceeded -> infinity

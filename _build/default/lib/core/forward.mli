@@ -1,0 +1,115 @@
+(** The PR forwarding engine: conventional routing plus cycle following
+    (paper §4.2–4.3).
+
+    {!step} is one router's forwarding decision — the code a line card
+    would run; {!run} chains it into a full path trace under a frozen
+    failure set.  The timed simulator ({!Pr_sim.Timed}) chains the same
+    {!step} across time-varying link state instead.
+
+    Per-hop behaviour at node [x]:
+
+    - PR bit clear: forward to the routing-table next hop.  If that link is
+      down, set the PR bit, write the local distance discriminator into the
+      DD bits, and forward along the complementary cycle of the failed
+      interface (the first live interface in rotation order after it).
+    - PR bit set, arrived from [y]: forward to [next_x y] (cycle
+      following).  If that link is down, apply the termination condition:
+      {!Simple} clears the PR bit and resumes routing; {!Distance_discriminator}
+      compares the local discriminator with the DD bits — smaller means
+      clear-and-resume, otherwise keep cycle following along the
+      complementary cycle of the newly failed interface. *)
+
+type termination =
+  | Simple
+      (** §4.2: any failure encountered during cycle following ends the
+          episode.  Guaranteed only for single link failures. *)
+  | Distance_discriminator
+      (** §4.3: the DD termination condition; covers any failure
+          combination that keeps source and destination connected (on a
+          genus-0 embedding — see EXPERIMENTS.md). *)
+
+type outcome =
+  | Delivered
+  | Dropped_no_interface
+      (** every interface of some node on the route was down *)
+  | Dropped_unreachable
+      (** the routing table had no entry (destination unreachable even
+          before failures) *)
+  | Ttl_exceeded
+      (** forwarding loop: the protocol failed to terminate within the hop
+          budget *)
+
+type hop_header = { pr_bit : bool; dd_value : float }
+(** The in-flight header state: the PR bit plus the DD bits (kept as the
+    discriminator value; see [quantise] for the integer-rounded mode). *)
+
+val fresh_header : hop_header
+(** PR clear. *)
+
+type step_result =
+  | Transmit of {
+      next : int;
+      header : hop_header;      (** header on the wire after this router *)
+      episode_started : bool;   (** this router set the PR bit *)
+      failure_hits : int;       (** failed-link encounters at this router *)
+    }
+  | Stuck of { outcome : outcome; failure_hits : int }
+      (** [outcome] is never [Delivered] or [Ttl_exceeded] *)
+
+val step :
+  ?termination:termination ->
+  ?quantise:bool ->
+  routing:Routing.t ->
+  cycles:Cycle_table.t ->
+  failures:Failure.t ->
+  dst:int ->
+  node:int ->
+  arrived_from:int option ->
+  header:hop_header ->
+  unit ->
+  step_result
+(** One router's decision for a packet addressed to [dst] (with
+    [node <> dst]) that arrived from [arrived_from] ([None] at the
+    source). *)
+
+type trace = {
+  outcome : outcome;
+  path : int list;        (** nodes visited, starting at the source *)
+  pr_episodes : int;      (** how many times the PR bit was set *)
+  failure_hits : int;     (** failed-link encounters, including repeats *)
+  max_header : Header.t;  (** header with the largest DD carried *)
+  episodes : (int * float) list;
+      (** one entry per PR episode, oldest first: the router that set the
+          PR bit and the DD it wrote.  §5.3's termination argument says
+          these DD values strictly decrease — property-tested on planar
+          embeddings. *)
+}
+
+val default_ttl : Pr_graph.Graph.t -> int
+(** Hop budget generous enough for any terminating execution:
+    2 m (n + 2) + n + 16. *)
+
+val run :
+  ?termination:termination ->
+  ?ttl:int ->
+  ?quantise:bool ->
+  routing:Routing.t ->
+  cycles:Cycle_table.t ->
+  failures:Failure.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  trace
+(** Default termination: {!Distance_discriminator}; default TTL:
+    {!default_ttl}.  [quantise] (default false) makes the engine
+    header-faithful: DD values are rounded through {!Routing.quantise_dd}
+    before being written and compared, exactly as the integer DD bits
+    would carry them.  A no-op for the hop discriminator.  Raises
+    [Invalid_argument] if [src = dst] or either is out of range. *)
+
+val path_cost : Pr_graph.Graph.t -> trace -> float
+(** Weighted cost of the traversed walk. *)
+
+val stretch : routing:Routing.t -> trace:trace -> src:int -> dst:int -> float
+(** Paper §6 definition: traversed cost over the failure-free shortest
+    path cost.  [infinity] when the trace did not deliver. *)

@@ -1,0 +1,26 @@
+type t = { pr : bool; dd : int }
+
+let normal = { pr = false; dd = 0 }
+
+(* DSCP is 6 bits; pool 2 codepoints are those of the form xxxx11, leaving
+   4 assignable bits once the pool discriminator is fixed. *)
+let dscp_pool2_bits = 4
+
+let encode ~dd_bits { pr; dd } =
+  if dd_bits < 0 || dd_bits > 61 then invalid_arg "Header.encode: bad dd_bits";
+  if dd < 0 || dd >= 1 lsl dd_bits then
+    invalid_arg (Printf.sprintf "Header.encode: DD %d does not fit %d bits" dd dd_bits);
+  (dd lsl 1) lor (if pr then 1 else 0)
+
+let decode ~dd_bits field =
+  if dd_bits < 0 || dd_bits > 61 then invalid_arg "Header.decode: bad dd_bits";
+  if field < 0 || field >= 1 lsl (dd_bits + 1) then
+    invalid_arg "Header.decode: field out of range";
+  { pr = field land 1 = 1; dd = field lsr 1 }
+
+let bits_used ~dd_bits = 1 + dd_bits
+
+let fits_in_dscp ~dd_bits = bits_used ~dd_bits <= dscp_pool2_bits
+
+let pp ppf { pr; dd } =
+  Format.fprintf ppf "{pr=%b; dd=%d}" pr dd

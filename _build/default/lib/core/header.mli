@@ -1,0 +1,32 @@
+(** The PR packet-header fields and their bit-level encoding.
+
+    PR consumes one PR bit plus DD bits.  The paper suggests carrying them
+    in pool 2 of the DSCP field (RFC 2474 experimental/local-use
+    codepoints).  The codec here packs [1 + dd_bits] bits into an integer
+    field and round-trips exactly; [fits_in_dscp] checks the paper's
+    deployment claim for a given topology. *)
+
+type t = { pr : bool; dd : int }
+(** [dd] is only meaningful while [pr] is set; it stores the quantised
+    distance discriminator. *)
+
+val normal : t
+(** PR clear, DD zero — the failure-free header. *)
+
+val dscp_pool2_bits : int
+(** Bits usable in DSCP pool 2 as the paper proposes (the 6-bit DSCP with
+    the xxxx11 pool-2 discriminator leaves 4 usable bits). *)
+
+val encode : dd_bits:int -> t -> int
+(** Pack into [1 + dd_bits] bits: PR bit in the LSB, DD above it.  Raises
+    [Invalid_argument] if the DD value does not fit or is negative. *)
+
+val decode : dd_bits:int -> int -> t
+(** Inverse of {!encode}.  Raises [Invalid_argument] on out-of-range
+    fields. *)
+
+val bits_used : dd_bits:int -> int
+
+val fits_in_dscp : dd_bits:int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type class_id = int
+
+type t = { protected_mask : int }
+
+let check_class c =
+  if c < 0 || c > 7 then invalid_arg "Policy: class out of range (0..7)"
+
+let make ~protected_classes =
+  List.iter check_class protected_classes;
+  { protected_mask = List.fold_left (fun m c -> m lor (1 lsl c)) 0 protected_classes }
+
+let protect_all = { protected_mask = 0xFF }
+
+let protect_none = { protected_mask = 0 }
+
+let protects t c =
+  check_class c;
+  t.protected_mask land (1 lsl c) <> 0
+
+let protected_classes t =
+  List.filter (protects t) (List.init 8 Fun.id)
+
+type outcome =
+  | Forwarded of Forward.trace
+  | Shortest_path of int list
+  | Dropped_at of { node : int; walked : int list }
+
+(* Plain shortest-path forwarding with no repair: what an unprotected class
+   experiences between failure and reconvergence. *)
+let plain_walk ~routing ~failures ~src ~dst =
+  let n = Pr_graph.Graph.n (Routing.graph routing) in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Policy.forward: node out of range";
+  if src = dst then invalid_arg "Policy.forward: src = dst";
+  let rec walk x acc =
+    if x = dst then Shortest_path (List.rev acc)
+    else
+      match Routing.next_hop routing ~node:x ~dst with
+      | None -> Dropped_at { node = x; walked = List.rev acc }
+      | Some w ->
+          if Failure.link_up failures x w then walk w (w :: acc)
+          else Dropped_at { node = x; walked = List.rev acc }
+  in
+  walk src [ src ]
+
+let forward t ~class_id ~routing ~cycles ~failures ~src ~dst =
+  if protects t class_id then
+    Forwarded (Forward.run ~routing ~cycles ~failures ~src ~dst ())
+  else plain_walk ~routing ~failures ~src ~dst
+
+let delivered = function
+  | Forwarded trace -> trace.Forward.outcome = Forward.Delivered
+  | Shortest_path _ -> true
+  | Dropped_at _ -> false
+
+let path_of = function
+  | Forwarded trace -> trace.Forward.path
+  | Shortest_path path -> path
+  | Dropped_at { walked; _ } -> walked

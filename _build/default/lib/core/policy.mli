@@ -1,0 +1,48 @@
+(** Traffic-class policy (paper §7).
+
+    "ISPs can include extra rules and policies to limit PR to certain types
+    of traffic (for example by limiting it to certain classes identifiable
+    by the remaining DSCP bits)."
+
+    Classes are DSCP class selectors 0–7.  Protected classes are forwarded
+    with PR; unprotected classes get plain shortest-path forwarding and die
+    at the first failed link, exactly like pre-convergence traffic. *)
+
+type class_id = int
+(** 0 .. 7. *)
+
+type t
+
+val make : protected_classes:class_id list -> t
+(** Raises [Invalid_argument] on out-of-range classes. *)
+
+val protect_all : t
+
+val protect_none : t
+
+val protects : t -> class_id -> bool
+(** Raises [Invalid_argument] on out-of-range classes. *)
+
+val protected_classes : t -> class_id list
+(** In increasing order. *)
+
+type outcome =
+  | Forwarded of Forward.trace  (** protected: the PR trace *)
+  | Shortest_path of int list   (** unprotected, path survived *)
+  | Dropped_at of { node : int; walked : int list }
+      (** unprotected, died at [node] after visiting [walked] *)
+
+val forward :
+  t ->
+  class_id:class_id ->
+  routing:Routing.t ->
+  cycles:Cycle_table.t ->
+  failures:Failure.t ->
+  src:int ->
+  dst:int ->
+  outcome
+
+val delivered : outcome -> bool
+
+val path_of : outcome -> int list
+(** Nodes visited, whatever the outcome. *)

@@ -1,0 +1,76 @@
+module Graph = Pr_graph.Graph
+module Faces = Pr_embed.Faces
+
+type regions = { face_region : int array; count : int }
+
+let join faces failures =
+  let face_count = Faces.count faces in
+  let uf = Pr_util.Union_find.create face_count in
+  let g = Pr_embed.Rotation.graph (Faces.rotation faces) in
+  Graph.iter_edges
+    (fun i (e : Graph.edge) ->
+      if Failure.is_failed_index failures i then
+        ignore
+          (Pr_util.Union_find.union uf
+             (Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.u ~head:e.v))
+             (Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.v ~head:e.u))))
+    g;
+  (* Re-label representatives densely, in order of first appearance. *)
+  let labels = Hashtbl.create face_count in
+  let face_region =
+    Array.init face_count (fun f ->
+        let root = Pr_util.Union_find.find uf f in
+        match Hashtbl.find_opt labels root with
+        | Some l -> l
+        | None ->
+            let l = Hashtbl.length labels in
+            Hashtbl.replace labels root l;
+            l)
+  in
+  { face_region; count = Hashtbl.length labels }
+
+let region_of_arc faces regions ~tail ~head =
+  regions.face_region.(Faces.face_of_arc faces (Faces.arc_id faces ~tail ~head))
+
+let boundary_walk ~cycles ~failures ~start =
+  let tail, head = start in
+  let g = Cycle_table.graph cycles in
+  if not (Graph.has_edge g tail head) then
+    invalid_arg "Region.boundary_walk: start is not a link";
+  if Failure.is_failed failures tail head then
+    invalid_arg "Region.boundary_walk: start link is down";
+  (* Successor of live arc (y, x): rotate at x from y past failed links. *)
+  let successor (y, x) =
+    let deg = Graph.degree g x in
+    let rec rotate w remaining =
+      if remaining = 0 then None
+      else if Failure.link_up failures x w then Some (x, w)
+      else rotate (Cycle_table.complement_for_failed cycles ~node:x ~failed:w) (remaining - 1)
+    in
+    rotate (Cycle_table.cycle_next cycles ~node:x ~from_:y) deg
+  in
+  let limit = (2 * Graph.m g) + 1 in
+  let rec walk arc acc remaining =
+    if remaining = 0 then List.rev acc (* unreachable: the map is a bijection *)
+    else
+      match successor arc with
+      | None -> List.rev (arc :: acc)
+      | Some next -> if next = start then List.rev (arc :: acc) else walk next (arc :: acc) (remaining - 1)
+  in
+  walk start [] limit
+
+let live_arcs_of_region faces regions failures ~region =
+  let g = Pr_embed.Rotation.graph (Faces.rotation faces) in
+  let out = ref [] in
+  Graph.iter_edges
+    (fun i (e : Graph.edge) ->
+      if not (Failure.is_failed_index failures i) then begin
+        let forward = Faces.arc_id faces ~tail:e.u ~head:e.v in
+        let backward = Faces.arc_id faces ~tail:e.v ~head:e.u in
+        if regions.face_region.(Faces.face_of_arc faces forward) = region then
+          out := (e.u, e.v) :: !out;
+        if regions.face_region.(Faces.face_of_arc faces backward) = region then
+          out := (e.v, e.u) :: !out
+      end)
+    g;
+  List.rev !out

@@ -1,0 +1,38 @@
+(** The topological machinery behind the paper's §5 correctness argument.
+
+    §5.1 claims: when a packet encounters failures, the route cycle
+    following takes (with no termination condition) coincides with a
+    boundary component of the region obtained by {e joining} all cells
+    that have a failed link on their boundary.  This module computes both
+    sides of that claim — the joined regions and the boundary walks — so
+    the test suite can check it structurally (it holds on genus-0
+    embeddings; see EXPERIMENTS.md for how it fails on handles). *)
+
+type regions = {
+  face_region : int array;  (** face id -> region id *)
+  count : int;              (** number of regions *)
+}
+
+val join : Pr_embed.Faces.t -> Failure.t -> regions
+(** Union the two faces of every failed link (the paper's join
+    operation).  Untouched faces are singleton regions. *)
+
+val region_of_arc : Pr_embed.Faces.t -> regions -> tail:int -> head:int -> int
+(** Region of the face the arc lies on. *)
+
+val boundary_walk :
+  cycles:Cycle_table.t ->
+  failures:Failure.t ->
+  start:int * int ->
+  (int * int) list
+(** The closed walk of the cycle following protocol with no termination
+    condition, starting from the live arc [start]: repeatedly take the
+    face successor, rotating past failed links.  Returns the arcs in
+    order; the walk provably closes (the transition is a bijection on
+    live arcs).  Raises [Invalid_argument] if [start] is not a live
+    link. *)
+
+val live_arcs_of_region :
+  Pr_embed.Faces.t -> regions -> Failure.t -> region:int -> (int * int) list
+(** All arcs on the region's faces whose links are up — the candidate
+    boundary arcs the walks must partition. *)

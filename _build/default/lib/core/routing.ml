@@ -1,0 +1,40 @@
+module Graph = Pr_graph.Graph
+module Dijkstra = Pr_graph.Dijkstra
+
+type t = {
+  g : Graph.t;
+  kind : Discriminator.kind;
+  trees : Dijkstra.tree array; (* index = destination *)
+}
+
+let build ?(kind = Discriminator.Hops) g =
+  { g; kind; trees = Dijkstra.all_roots g }
+
+let graph t = t.g
+
+let kind t = t.kind
+
+let tree t dst =
+  if dst < 0 || dst >= Graph.n t.g then invalid_arg "Routing: destination out of range";
+  t.trees.(dst)
+
+let next_hop t ~node ~dst = Dijkstra.next_hop (tree t dst) node
+
+let disc t ~node ~dst = Discriminator.value t.kind (tree t dst) node
+
+let distance t ~node ~dst = Dijkstra.distance (tree t dst) node
+
+let hops t ~node ~dst = Dijkstra.hop_count (tree t dst) node
+
+let shortest_path t ~src ~dst = Dijkstra.path_to_root (tree t dst) src
+
+let dd_bits t = Discriminator.bits_needed t.kind t.g
+
+let quantise_dd t v =
+  match t.kind with
+  | Discriminator.Hops -> int_of_float v
+  | Discriminator.Weighted -> int_of_float (Float.ceil v)
+
+let memory_entries t =
+  let n = Graph.n t.g in
+  n * (n - 1)

@@ -1,0 +1,42 @@
+(** Failure-free routing tables with the PR distance-discriminator column.
+
+    One destination-rooted shortest-path tree per destination (the result
+    of an SPF run, paper §2), extended with the discriminator column of
+    paper §4.3.  Tables are computed on the failure-free topology — routers
+    never learn about remote failures under PR. *)
+
+type t
+
+val build : ?kind:Discriminator.kind -> Pr_graph.Graph.t -> t
+(** Default discriminator: {!Discriminator.Hops}. *)
+
+val graph : t -> Pr_graph.Graph.t
+
+val kind : t -> Discriminator.kind
+
+val next_hop : t -> node:int -> dst:int -> int option
+(** [None] at the destination itself or when the destination is
+    unreachable even without failures. *)
+
+val disc : t -> node:int -> dst:int -> float
+(** The distance-discriminator column. *)
+
+val distance : t -> node:int -> dst:int -> float
+(** Weighted shortest-path cost. *)
+
+val hops : t -> node:int -> dst:int -> int
+
+val shortest_path : t -> src:int -> dst:int -> int list option
+(** The concrete path forwarding would take, [src; ...; dst]. *)
+
+val dd_bits : t -> int
+(** DD bits PR needs with this table's discriminator on this graph. *)
+
+val quantise_dd : t -> float -> int
+(** Discriminator value as carried in the DD bits (identity for hop
+    counts, integer ceiling for weighted costs). *)
+
+val memory_entries : t -> int
+(** Total routing-table entries across all routers: n * (n - 1)
+    (next hop + discriminator per destination).  Used by the overhead
+    report. *)

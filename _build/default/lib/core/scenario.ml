@@ -1,0 +1,115 @@
+module Graph = Pr_graph.Graph
+
+let single_links ?(keep_connected = true) g =
+  Graph.fold_edges
+    (fun _ (e : Graph.edge) acc ->
+      let scenario = [ (e.u, e.v) ] in
+      if keep_connected && not (Pr_graph.Connectivity.connected_without g scenario)
+      then acc
+      else scenario :: acc)
+    g []
+  |> List.rev
+
+let random_multi rng g ~k ~samples =
+  let m = Graph.m g in
+  if k < 1 || k > m then invalid_arg "Scenario.random_multi: k out of range";
+  if samples < 0 then invalid_arg "Scenario.random_multi: negative samples";
+  let edge_pair i =
+    let e = Graph.edge g i in
+    (e.u, e.v)
+  in
+  let attempt () =
+    let chosen = Pr_util.Rng.sample_without_replacement rng ~k ~n:m in
+    let scenario = List.map edge_pair chosen in
+    if Pr_graph.Connectivity.connected_without g scenario then Some scenario
+    else None
+  in
+  let max_attempts_per_sample = 10_000 in
+  let rec draw tries =
+    if tries = 0 then
+      failwith
+        (Printf.sprintf
+           "Scenario.random_multi: no connected scenario with k=%d found" k)
+    else match attempt () with Some s -> s | None -> draw (tries - 1)
+  in
+  List.init samples (fun _ -> draw max_attempts_per_sample)
+
+let double_links ?(keep_connected = true) g =
+  let m = Graph.m g in
+  let pair i j =
+    let e = Graph.edge g i and f = Graph.edge g j in
+    [ (e.Graph.u, e.Graph.v); (f.Graph.u, f.Graph.v) ]
+  in
+  let out = ref [] in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let scenario = pair i j in
+      if
+        (not keep_connected)
+        || Pr_graph.Connectivity.connected_without g scenario
+      then out := scenario :: !out
+    done
+  done;
+  List.rev !out
+
+let random_nodes rng g ~k ~samples =
+  let n = Graph.n g in
+  if k < 1 || k >= n - 1 then invalid_arg "Scenario.random_nodes: k out of range";
+  if samples < 0 then invalid_arg "Scenario.random_nodes: negative samples";
+  let survivors_connected nodes =
+    let failed = Hashtbl.create (2 * k) in
+    List.iter (fun v -> Hashtbl.replace failed v ()) nodes;
+    let blocked i =
+      let e = Graph.edge g i in
+      Hashtbl.mem failed e.u || Hashtbl.mem failed e.v
+    in
+    let label, _ = Pr_graph.Connectivity.components ~blocked g in
+    (* All surviving nodes must share one component. *)
+    let reference = ref (-1) in
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (Hashtbl.mem failed v) then
+        if !reference = -1 then reference := label.(v)
+        else if label.(v) <> !reference then ok := false
+    done;
+    !ok
+  in
+  let attempt () =
+    let nodes = Pr_util.Rng.sample_without_replacement rng ~k ~n in
+    if survivors_connected nodes then Some nodes else None
+  in
+  let max_attempts_per_sample = 10_000 in
+  let rec draw tries =
+    if tries = 0 then
+      failwith
+        (Printf.sprintf
+           "Scenario.random_nodes: no connected scenario with k=%d found" k)
+    else match attempt () with Some s -> s | None -> draw (tries - 1)
+  in
+  List.init samples (fun _ -> draw max_attempts_per_sample)
+
+let affected_pairs routing failures =
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  let affected = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        match Routing.shortest_path routing ~src ~dst with
+        | None -> ()
+        | Some path ->
+            let crosses =
+              List.exists
+                (fun i -> Failure.is_failed_index failures i)
+                (Pr_graph.Paths.edges_of_walk g path)
+            in
+            if crosses then affected := (src, dst) :: !affected
+      end
+    done
+  done;
+  List.rev !affected
+
+let connected_affected_pairs routing failures =
+  List.filter
+    (fun (src, dst) -> Failure.pair_connected failures src dst)
+    (affected_pairs routing failures)

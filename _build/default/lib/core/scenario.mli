@@ -1,0 +1,48 @@
+(** Failure-scenario generation for the experiments (paper §6).
+
+    Figure 2 uses (a–c) every single link failure and (d–f) random
+    simultaneous failures of k links.  Scenarios that disconnect the
+    network are excluded, as no scheme (PR included) can recover across a
+    partition; pairs whose failure-free path does not meet a failure are
+    excluded by {!affected_pairs} — the figure conditions on "| path". *)
+
+val single_links : ?keep_connected:bool -> Pr_graph.Graph.t -> (int * int) list list
+(** One scenario per link, in edge-index order.  With [keep_connected]
+    (default true), bridges are skipped. *)
+
+val random_multi :
+  Pr_util.Rng.t ->
+  Pr_graph.Graph.t ->
+  k:int ->
+  samples:int ->
+  (int * int) list list
+(** [samples] scenarios of [k] distinct links each, drawn uniformly among
+    the k-subsets whose removal keeps the graph connected (by rejection).
+    Raises [Invalid_argument] if [k] is out of range, or [Failure] if no
+    connected-surviving scenario can be found in a generous number of
+    attempts. *)
+
+val double_links :
+  ?keep_connected:bool -> Pr_graph.Graph.t -> (int * int) list list
+(** Every unordered pair of distinct links, in edge-index order; with
+    [keep_connected] (default true) only pairs whose removal keeps the
+    graph connected.  Exhaustive ground truth for k = 2 studies (the
+    sampled {!random_multi} is preferred beyond that). *)
+
+val random_nodes :
+  Pr_util.Rng.t ->
+  Pr_graph.Graph.t ->
+  k:int ->
+  samples:int ->
+  int list list
+(** [samples] scenarios of [k] distinct failed routers each, drawn so that
+    the surviving routers (all others) remain connected through surviving
+    links.  Same rejection/exception behaviour as {!random_multi}. *)
+
+val affected_pairs : Routing.t -> Failure.t -> (int * int) list
+(** Ordered (src, dst) pairs, src <> dst, whose failure-free forwarding
+    path traverses at least one failed link. *)
+
+val connected_affected_pairs : Routing.t -> Failure.t -> (int * int) list
+(** {!affected_pairs} restricted to pairs still connected in the surviving
+    graph — the population over which stretch is measured. *)

@@ -1,0 +1,1 @@
+lib/embed/dual.ml: Faces List Pr_graph Pr_util Rotation

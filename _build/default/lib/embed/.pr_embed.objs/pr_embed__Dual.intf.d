@@ -1,0 +1,1 @@
+lib/embed/dual.mli: Faces

@@ -1,0 +1,1 @@
+lib/embed/faces.ml: Array Format List Pr_graph Rotation

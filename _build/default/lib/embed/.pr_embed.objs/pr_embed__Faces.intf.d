@@ -1,0 +1,1 @@
+lib/embed/faces.mli: Format Rotation

@@ -1,0 +1,1 @@
+lib/embed/geometric.ml: Array List Pr_graph Pr_topo Printf Rotation

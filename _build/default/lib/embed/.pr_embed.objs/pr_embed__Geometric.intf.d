@@ -1,0 +1,1 @@
+lib/embed/geometric.mli: Pr_graph Pr_topo Rotation

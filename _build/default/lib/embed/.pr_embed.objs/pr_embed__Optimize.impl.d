@@ -1,0 +1,1 @@
+lib/embed/optimize.ml: Array Faces Float List Pr_graph Pr_util Rotation Validate

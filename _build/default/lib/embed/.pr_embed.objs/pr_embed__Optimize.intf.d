@@ -1,0 +1,1 @@
+lib/embed/optimize.mli: Pr_graph Pr_util Rotation

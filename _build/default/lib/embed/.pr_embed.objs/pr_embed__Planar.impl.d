@@ -1,0 +1,1 @@
+lib/embed/planar.ml: Array Hashtbl List Option Pr_graph Queue Rotation

@@ -1,0 +1,1 @@
+lib/embed/planar.mli: Pr_graph Rotation

@@ -1,0 +1,1 @@
+lib/embed/recommend.ml: Faces Geometric List Optimize Planar Pr_graph Pr_topo Pr_util Rotation Surface Validate

@@ -1,0 +1,1 @@
+lib/embed/recommend.mli: Pr_graph Pr_topo Rotation

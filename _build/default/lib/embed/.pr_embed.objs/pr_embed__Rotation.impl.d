@@ -1,0 +1,1 @@
+lib/embed/rotation.ml: Array Format Hashtbl List Pr_graph Pr_util Printf

@@ -1,0 +1,1 @@
+lib/embed/rotation.mli: Format Pr_graph Pr_util

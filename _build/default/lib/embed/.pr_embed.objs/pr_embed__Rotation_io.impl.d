@@ -1,0 +1,1 @@
+lib/embed/rotation_io.ml: Array Buffer Fun In_channel List Pr_graph Printf Rotation String

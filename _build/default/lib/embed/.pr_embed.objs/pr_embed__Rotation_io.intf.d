@@ -1,0 +1,1 @@
+lib/embed/rotation_io.mli: Pr_graph Rotation

@@ -1,0 +1,1 @@
+lib/embed/surface.ml: Faces Pr_graph Printf Rotation

@@ -1,0 +1,1 @@
+lib/embed/surface.mli: Faces Pr_graph

@@ -1,0 +1,1 @@
+lib/embed/update.ml: Array Faces Float List Pr_graph Rotation

@@ -1,0 +1,1 @@
+lib/embed/update.mli: Rotation

@@ -1,0 +1,1 @@
+lib/embed/validate.ml: Array Faces Format List Pr_graph Rotation

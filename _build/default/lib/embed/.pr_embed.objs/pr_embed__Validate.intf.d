@@ -1,0 +1,1 @@
+lib/embed/validate.mli: Faces Format

@@ -1,0 +1,25 @@
+module Graph = Pr_graph.Graph
+
+let adjacencies faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  Graph.fold_edges
+    (fun i (e : Graph.edge) acc ->
+      let forward = Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.u ~head:e.v) in
+      let backward = Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.v ~head:e.u) in
+      (forward, backward, i) :: acc)
+    g []
+  |> List.rev
+
+let face_sizes faces =
+  List.init (Faces.count faces) (Faces.face_length faces)
+
+let largest_face faces = List.fold_left max 0 (face_sizes faces)
+
+let is_connected faces =
+  let count = Faces.count faces in
+  if count <= 1 then true
+  else begin
+    let uf = Pr_util.Union_find.create count in
+    List.iter (fun (a, b, _) -> ignore (Pr_util.Union_find.union uf a b)) (adjacencies faces);
+    Pr_util.Union_find.count uf = 1
+  end

@@ -1,0 +1,23 @@
+(** The dual view of an embedding: which cells border which.
+
+    Every link of the primal graph corresponds to a dual adjacency between
+    the (at most two) faces on its sides; curved links become dual self
+    loops.  The dual drives analysis of the cycle system — face sizes
+    bound PR's per-episode stretch, and the dual's connectivity is what
+    the §5 region-joining argument manipulates. *)
+
+val adjacencies : Faces.t -> (int * int * int) list
+(** One entry per primal link, in edge-index order:
+    [(face_of u->v, face_of v->u, edge_index)].  Equal faces mark curved
+    links. *)
+
+val face_sizes : Faces.t -> int list
+(** Boundary length of each face, in face-id order. *)
+
+val largest_face : Faces.t -> int
+(** Size of the largest cell: a packet re-cycling around a single failure
+    traverses at most this many links per episode. *)
+
+val is_connected : Faces.t -> bool
+(** Whether the dual is connected (always true for an embedding of a
+    connected graph). *)

@@ -1,0 +1,78 @@
+module Graph = Pr_graph.Graph
+
+type t = {
+  rot : Rotation.t;
+  face_of : int array; (* arc id -> face id *)
+  faces : int list array; (* face id -> arc ids in boundary order *)
+}
+
+let rotation t = t.rot
+
+let graph t = Rotation.graph t.rot
+
+let arc_count t = 2 * Graph.m (graph t)
+
+let arc_id_in g ~tail ~head =
+  let k = Graph.edge_index g tail head in
+  let e = Graph.edge g k in
+  if e.u = tail then 2 * k else (2 * k) + 1
+
+let arc_endpoints_in g arc =
+  let e = Graph.edge g (arc / 2) in
+  if arc mod 2 = 0 then (e.u, e.v) else (e.v, e.u)
+
+let arc_id t ~tail ~head = arc_id_in (graph t) ~tail ~head
+
+let arc_endpoints t arc = arc_endpoints_in (graph t) arc
+
+let successor_in rot arc =
+  let g = Rotation.graph rot in
+  let tail, head = arc_endpoints_in g arc in
+  arc_id_in g ~tail:head ~head:(Rotation.next rot head tail)
+
+let compute rot =
+  let g = Rotation.graph rot in
+  let arcs = 2 * Graph.m g in
+  let face_of = Array.make arcs (-1) in
+  let faces = ref [] in
+  let count = ref 0 in
+  for start = 0 to arcs - 1 do
+    if face_of.(start) = -1 then begin
+      let id = !count in
+      incr count;
+      let rec walk arc acc =
+        face_of.(arc) <- id;
+        let nxt = successor_in rot arc in
+        if nxt = start then List.rev (arc :: acc) else walk nxt (arc :: acc)
+      in
+      faces := walk start [] :: !faces
+    end
+  done;
+  { rot; face_of; faces = Array.of_list (List.rev !faces) }
+
+let successor t arc = successor_in t.rot arc
+
+let count t = Array.length t.faces
+
+let face_of_arc t arc = t.face_of.(arc)
+
+let face_arcs t face = t.faces.(face)
+
+let face_nodes t face =
+  List.map (fun arc -> fst (arc_endpoints t arc)) t.faces.(face)
+
+let face_length t face = List.length t.faces.(face)
+
+let complementary_face t ~tail ~head = t.face_of.(arc_id t ~tail:head ~head:tail)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d faces:" (count t);
+  Array.iteri
+    (fun id _ ->
+      Format.fprintf ppf "@,  f%d: %a" id
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           Format.pp_print_int)
+        (face_nodes t id))
+    t.faces;
+  Format.fprintf ppf "@]"

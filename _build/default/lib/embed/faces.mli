@@ -1,0 +1,48 @@
+(** Face tracing: recover the cells of the embedding from a rotation system.
+
+    Directed arcs are indexed densely: the edge with dense index [k] yields
+    arc [2k] (canonical u->v orientation, u < v) and arc [2k+1] (v->u).
+    The face successor of arc (u, v) is (v, next_v u); iterating the
+    successor partitions the arc set into face boundary cycles — the
+    paper's cellular cycle system.  Every undirected link lies on exactly
+    two directed cycles (possibly the same cycle traversed twice when the
+    link is a bridge). *)
+
+type t
+
+val rotation : t -> Rotation.t
+
+val compute : Rotation.t -> t
+
+val arc_count : t -> int
+(** Always [2 * m]. *)
+
+val arc_id : t -> tail:int -> head:int -> int
+(** Raises [Not_found] when the nodes are not adjacent. *)
+
+val arc_endpoints : t -> int -> int * int
+(** (tail, head) of an arc id. *)
+
+val successor : t -> int -> int
+(** Face successor of an arc (also available before [compute] as
+    [Rotation.next], but here by arc id). *)
+
+val count : t -> int
+(** Number of faces. *)
+
+val face_of_arc : t -> int -> int
+
+val face_arcs : t -> int -> int list
+(** Arc ids of a face, in boundary order (starting from the lowest arc id
+    on the face). *)
+
+val face_nodes : t -> int -> int list
+(** Tails of the face's arcs, in boundary order. *)
+
+val face_length : t -> int -> int
+
+val complementary_face : t -> tail:int -> head:int -> int
+(** The face containing the reverse arc (head -> tail): the paper's
+    complementary cycle of the link for that direction of traversal. *)
+
+val pp : Format.formatter -> t -> unit

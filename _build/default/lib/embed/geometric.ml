@@ -1,0 +1,21 @@
+module Graph = Pr_graph.Graph
+
+let of_coords g coords =
+  if Array.length coords <> Graph.n g then
+    invalid_arg "Geometric.of_coords: coords length mismatch";
+  let bearing v u =
+    let xv, yv = coords.(v) and xu, yu = coords.(u) in
+    if xv = xu && yv = yu then
+      invalid_arg
+        (Printf.sprintf "Geometric.of_coords: nodes %d and %d share coordinates" v u);
+    atan2 (yu -. yv) (xu -. xv)
+  in
+  let orders =
+    Array.init (Graph.n g) (fun v ->
+        let row = Array.to_list (Graph.neighbours g v) in
+        let keyed = List.map (fun u -> (bearing v u, u)) row in
+        List.sort compare keyed |> List.map snd)
+  in
+  Rotation.of_orders g orders
+
+let of_topology (t : Pr_topo.Topology.t) = of_coords t.graph t.coords

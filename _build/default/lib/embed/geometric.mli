@@ -1,0 +1,12 @@
+(** Rotation system induced by node coordinates.
+
+    Sorting each node's neighbours counter-clockwise by bearing gives, for
+    a graph drawn without crossings (ISP backbones very nearly are), the
+    planar — hence minimum-genus — embedding.  This is the practical
+    stand-in for the paper's offline embedding server. *)
+
+val of_topology : Pr_topo.Topology.t -> Rotation.t
+
+val of_coords : Pr_graph.Graph.t -> (float * float) array -> Rotation.t
+(** Raises [Invalid_argument] on length mismatch or if two adjacent nodes
+    share identical coordinates. *)

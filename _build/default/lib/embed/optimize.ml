@@ -1,0 +1,111 @@
+module Graph = Pr_graph.Graph
+module Rng = Pr_util.Rng
+
+type objective = Min_genus | Pr_safe
+
+type report = {
+  initial_faces : int;
+  final_faces : int;
+  final_curved : int;
+  steps_taken : int;
+  improved_at : int list;
+}
+
+(* Larger is better.  For [Pr_safe] each curved edge costs more than any
+   possible face-count gain (faces <= 2m), making the search lexicographic. *)
+let score objective rot =
+  let faces = Faces.compute rot in
+  let face_count = Faces.count faces in
+  match objective with
+  | Min_genus -> face_count
+  | Pr_safe ->
+      let curved = List.length (Validate.curved_edges faces) in
+      face_count - (((2 * Graph.m (Rotation.graph rot)) + 1) * curved)
+
+let curved_count rot = List.length (Validate.curved_edges (Faces.compute rot))
+
+let transpose_move rng orders =
+  (* Swap two positions in the cyclic order of a random node of degree >= 3
+     (transpositions at degree <= 2 nodes do not change the embedding). *)
+  let candidates =
+    Array.to_list orders
+    |> List.mapi (fun v row -> (v, List.length row))
+    |> List.filter (fun (_, d) -> d >= 3)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let v, d = List.nth candidates (Rng.int rng (List.length candidates)) in
+      let i = Rng.int rng d in
+      let j = (i + 1 + Rng.int rng (d - 1)) mod d in
+      let row = Array.of_list orders.(v) in
+      let tmp = row.(i) in
+      row.(i) <- row.(j);
+      row.(j) <- tmp;
+      let fresh = Array.copy orders in
+      fresh.(v) <- Array.to_list row;
+      Some fresh
+
+let anneal ?(objective = Min_genus) ?(steps = 4000) ?(initial_temperature = 1.0)
+    ?(cooling = 0.999) rng rot =
+  let g = Rotation.graph rot in
+  let current = ref (Rotation.orders rot) in
+  let current_score = ref (score objective rot) in
+  let best = ref !current in
+  let best_score = ref !current_score in
+  let initial_faces = Faces.count (Faces.compute rot) in
+  let improved = ref [] in
+  let temperature = ref initial_temperature in
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue && !step < steps do
+    incr step;
+    (match transpose_move rng !current with
+    | None -> continue := false (* no degree-3 node: embedding is unique *)
+    | Some candidate ->
+        let candidate_score = score objective (Rotation.of_orders g candidate) in
+        let delta = float_of_int (candidate_score - !current_score) in
+        let accept =
+          delta >= 0.0
+          || Rng.float rng 1.0 < exp (delta /. Float.max 1e-9 !temperature)
+        in
+        if accept then begin
+          current := candidate;
+          current_score := candidate_score;
+          if candidate_score > !best_score then begin
+            best := candidate;
+            best_score := candidate_score;
+            improved := !step :: !improved
+          end
+        end);
+    temperature := !temperature *. cooling
+  done;
+  let best_rot = Rotation.of_orders g !best in
+  ( best_rot,
+    {
+      initial_faces;
+      final_faces = Faces.count (Faces.compute best_rot);
+      final_curved = curved_count best_rot;
+      steps_taken = !step;
+      improved_at = List.rev !improved;
+    } )
+
+let best_of ?(objective = Min_genus) ?steps ?(restarts = 4) ?(seeds = []) rng g =
+  let starting_points =
+    (Rotation.adjacency g :: seeds)
+    @ List.init restarts (fun _ -> Rotation.random rng g)
+  in
+  let annealed =
+    List.map
+      (fun rot ->
+        let best, _report = anneal ~objective ?steps rng rot in
+        (best, score objective best))
+      starting_points
+  in
+  match annealed with
+  | [] -> assert false
+  | first :: rest ->
+      fst
+        (List.fold_left
+           (fun (r, s) (r', s') -> if s' > s then (r', s') else (r, s))
+           first rest)

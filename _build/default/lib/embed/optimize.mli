@@ -1,0 +1,48 @@
+(** Stochastic search for good rotation systems.
+
+    Minimum-genus embedding is NP-hard in general (Mohar & Thomassen); the
+    paper computes embeddings offline and leaves the algorithm open.  This
+    module provides a simulated-annealing local search over rotation
+    systems; moves transpose two neighbours in one node's cyclic order.
+
+    Two objectives are supported:
+    - {!Min_genus}: maximise the face count (equivalently minimise genus),
+      which minimises PR's path stretch;
+    - {!Pr_safe}: lexicographically minimise the number of curved edges
+      (links with both arcs on one face — see {!Validate.curved_edges}),
+      then maximise faces.  Curved edges break PR's delivery guarantee, so
+      this is the objective to use when building deployable cycle
+      following tables for non-planar maps. *)
+
+type objective = Min_genus | Pr_safe
+
+type report = {
+  initial_faces : int;
+  final_faces : int;
+  final_curved : int; (** curved edges in the returned rotation *)
+  steps_taken : int;
+  improved_at : int list; (** steps where a new best was found, oldest first *)
+}
+
+val anneal :
+  ?objective:objective ->
+  ?steps:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  Pr_util.Rng.t ->
+  Rotation.t ->
+  Rotation.t * report
+(** Defaults: {!Min_genus}, 4000 steps, temperature 1.0, geometric cooling
+    0.999.  Returns the best rotation seen. *)
+
+val best_of :
+  ?objective:objective ->
+  ?steps:int ->
+  ?restarts:int ->
+  ?seeds:Rotation.t list ->
+  Pr_util.Rng.t ->
+  Pr_graph.Graph.t ->
+  Rotation.t
+(** Anneal from the adjacency rotation, the given [seeds] and [restarts]
+    (default 4) random rotations; keep the best result under the
+    objective. *)

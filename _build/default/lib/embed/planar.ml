@@ -1,0 +1,317 @@
+module Graph = Pr_graph.Graph
+
+(* ------------------------------------------------------------------ *)
+(* DMP on one biconnected block.                                       *)
+(*                                                                     *)
+(* The embedded subgraph H grows one path at a time.  Faces are kept   *)
+(* as boundary walks of directed arcs; in a biconnected embedding      *)
+(* every boundary is a simple cycle, so a vertex appears at most once  *)
+(* per face and splitting a face along a path is unambiguous.  At the  *)
+(* end the rotation is recovered from the face-successor relation:     *)
+(* next_v u = head of the arc following (u, v) on its face.            *)
+(* ------------------------------------------------------------------ *)
+
+module Block = struct
+  type t = {
+    vertices : int list;
+    adj : (int, int list) Hashtbl.t; (* block-restricted adjacency *)
+    edges : (int * int) list;        (* canonical *)
+  }
+
+  let make edges =
+    let adj = Hashtbl.create 16 in
+    let add u v =
+      Hashtbl.replace adj u (v :: Option.value ~default:[] (Hashtbl.find_opt adj u))
+    in
+    List.iter
+      (fun (u, v) ->
+        add u v;
+        add v u)
+      edges;
+    let vertices = Hashtbl.fold (fun v _ acc -> v :: acc) adj [] |> List.sort compare in
+    { vertices; adj; edges }
+
+  let neighbours t v = Option.value ~default:[] (Hashtbl.find_opt t.adj v)
+end
+
+(* An initial cycle of a biconnected block: any edge (u, v) plus a
+   shortest u-v path avoiding that edge. *)
+let initial_cycle (b : Block.t) =
+  match b.edges with
+  | [] -> invalid_arg "Planar.initial_cycle: empty block"
+  | (u, v) :: _ ->
+      let parent = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Hashtbl.replace parent u u;
+      Queue.add u queue;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty queue) do
+        let x = Queue.take queue in
+        List.iter
+          (fun y ->
+            let skip = (x = u && y = v) || (x = v && y = u) in
+            if (not skip) && not (Hashtbl.mem parent y) then begin
+              Hashtbl.replace parent y x;
+              if y = v then found := true else Queue.add y queue
+            end)
+          (Block.neighbours b x)
+      done;
+      if not !found then invalid_arg "Planar.initial_cycle: block not biconnected";
+      let rec unwind x acc = if x = u then u :: acc else unwind (Hashtbl.find parent x) (x :: acc) in
+      unwind v []
+
+type fragment = {
+  attachments : int list;      (* embedded vertices it touches, sorted *)
+  interior : int list;         (* non-embedded vertices, [] for a chord *)
+  chord : (int * int) option;  (* the edge itself when interior = [] *)
+}
+
+let fragments_of (b : Block.t) ~in_h ~edge_embedded =
+  let chords =
+    List.filter_map
+      (fun (u, v) ->
+        if in_h u && in_h v && not (edge_embedded u v) then
+          Some { attachments = List.sort compare [ u; v ]; interior = []; chord = Some (u, v) }
+        else None)
+      b.edges
+  in
+  (* Connected components of the non-embedded vertices. *)
+  let seen = Hashtbl.create 16 in
+  let components =
+    List.filter_map
+      (fun start ->
+        if in_h start || Hashtbl.mem seen start then None
+        else begin
+          let interior = ref [] in
+          let attachments = Hashtbl.create 8 in
+          let queue = Queue.create () in
+          Hashtbl.replace seen start ();
+          Queue.add start queue;
+          while not (Queue.is_empty queue) do
+            let x = Queue.take queue in
+            interior := x :: !interior;
+            List.iter
+              (fun y ->
+                if in_h y then Hashtbl.replace attachments y ()
+                else if not (Hashtbl.mem seen y) then begin
+                  Hashtbl.replace seen y ();
+                  Queue.add y queue
+                end)
+              (Block.neighbours b x)
+          done;
+          Some
+            {
+              attachments =
+                Hashtbl.fold (fun v () acc -> v :: acc) attachments []
+                |> List.sort compare;
+              interior = List.sort compare !interior;
+              chord = None;
+            }
+        end)
+      b.vertices
+  in
+  chords @ components
+
+(* A path between two distinct attachments whose interior avoids H. *)
+let fragment_path (b : Block.t) ~in_h fragment =
+  match fragment.chord with
+  | Some (u, v) -> [ u; v ]
+  | None ->
+      let a = List.hd fragment.attachments in
+      let inside = Hashtbl.create 16 in
+      List.iter (fun v -> Hashtbl.replace inside v ()) fragment.interior;
+      let parent = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Hashtbl.replace parent a a;
+      (* First hop must enter the fragment interior. *)
+      List.iter
+        (fun y ->
+          if Hashtbl.mem inside y && not (Hashtbl.mem parent y) then begin
+            Hashtbl.replace parent y a;
+            Queue.add y queue
+          end)
+        (Block.neighbours b a);
+      let target = ref None in
+      while !target = None && not (Queue.is_empty queue) do
+        let x = Queue.take queue in
+        List.iter
+          (fun y ->
+            if !target = None && not (Hashtbl.mem parent y) then
+              if in_h y then begin
+                if y <> a then begin
+                  Hashtbl.replace parent y x;
+                  target := Some y
+                end
+              end
+              else begin
+                Hashtbl.replace parent y x;
+                Queue.add y queue
+              end)
+          (Block.neighbours b x)
+      done;
+      (match !target with
+      | None -> invalid_arg "Planar.fragment_path: fragment with one attachment"
+      | Some b_end ->
+          let rec unwind x acc =
+            if x = a then a :: acc else unwind (Hashtbl.find parent x) (x :: acc)
+          in
+          unwind b_end [])
+
+let arcs_of_path path =
+  let rec pair = function
+    | x :: (y :: _ as rest) -> (x, y) :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair path
+
+let face_vertices face = List.map fst face
+
+(* Split face [f] along [path] (whose endpoints lie on [f]). *)
+let split_face face path =
+  let a = List.hd path and b = List.nth path (List.length path - 1) in
+  let arr = Array.of_list face in
+  let len = Array.length arr in
+  let index_of v =
+    let rec scan i = if i >= len then raise Not_found else if fst arr.(i) = v then i else scan (i + 1) in
+    scan 0
+  in
+  let ia = index_of a and ib = index_of b in
+  let segment from_ to_ =
+    (* arcs from index [from_] up to (excluding) index [to_], cyclically *)
+    let rec collect i acc = if i = to_ then List.rev acc else collect ((i + 1) mod len) (arr.(i) :: acc) in
+    if from_ = to_ then [] else collect from_ []
+  in
+  let s1 = segment ia ib (* a -> ... -> b *) in
+  let s2 = segment ib ia (* b -> ... -> a *) in
+  let forward = arcs_of_path path in
+  let backward = arcs_of_path (List.rev path) in
+  (forward @ s2, s1 @ backward)
+
+(* Embed one biconnected block; gives each block vertex its local cyclic
+   neighbour order, or None if the block is non-planar. *)
+let embed_block edges =
+  match edges with
+  | [] -> Some []
+  | [ (u, v) ] -> Some [ (u, [ v ]); (v, [ u ]) ]
+  | _ ->
+      let b = Block.make edges in
+      let in_h = Hashtbl.create 16 in
+      let embedded_edges = Hashtbl.create 16 in
+      let canon u v = if u < v then (u, v) else (v, u) in
+      let mark_path path =
+        List.iter (fun v -> Hashtbl.replace in_h v ()) path;
+        List.iter (fun (u, v) -> Hashtbl.replace embedded_edges (canon u v) ()) (arcs_of_path path)
+      in
+      let cycle = initial_cycle b in
+      let closed = cycle @ [ List.hd cycle ] in
+      mark_path closed;
+      let faces = ref [ arcs_of_path closed; arcs_of_path (List.rev closed) ] in
+      let exception Non_planar in
+      (try
+         let continue = ref true in
+         while !continue do
+           let frs =
+             fragments_of b
+               ~in_h:(Hashtbl.mem in_h)
+               ~edge_embedded:(fun u v -> Hashtbl.mem embedded_edges (canon u v))
+           in
+           if frs = [] then continue := false
+           else begin
+             (* Admissible faces per fragment; fail fast on zero, prefer
+                forced fragments (exactly one admissible face). *)
+             let scored =
+               List.map
+                 (fun fr ->
+                   let admissible =
+                     List.filter
+                       (fun face ->
+                         let vs = face_vertices face in
+                         List.for_all (fun a -> List.mem a vs) fr.attachments)
+                       !faces
+                   in
+                   (fr, admissible))
+                 frs
+             in
+             (match List.find_opt (fun (_, adm) -> adm = []) scored with
+             | Some _ -> raise Non_planar
+             | None -> ());
+             let fr, admissible =
+               match List.find_opt (fun (_, adm) -> List.length adm = 1) scored with
+               | Some choice -> choice
+               | None -> List.hd scored
+             in
+             let face = List.hd admissible in
+             let path = fragment_path b ~in_h:(Hashtbl.mem in_h) fr in
+             mark_path path;
+             let f1, f2 = split_face face path in
+             faces := f1 :: f2 :: List.filter (fun f -> f != face) !faces
+           end
+         done;
+         (* Recover the rotation from the face-successor relation. *)
+         let next = Hashtbl.create 64 in
+         List.iter
+           (fun face ->
+             let arr = Array.of_list face in
+             let len = Array.length arr in
+             Array.iteri
+               (fun i (u, v) ->
+                 let _, w = arr.((i + 1) mod len) in
+                 (* succ (u,v) = (v,w): at node v, u is followed by w. *)
+                 Hashtbl.replace next (v, u) w)
+               arr)
+           !faces;
+         let order_at v =
+           let nbrs = Block.neighbours b v in
+           match nbrs with
+           | [] -> []
+           | first :: _ ->
+               let rec follow u acc remaining =
+                 if remaining = 0 then List.rev acc
+                 else follow (Hashtbl.find next (v, u)) (u :: acc) (remaining - 1)
+               in
+               follow first [] (List.length nbrs)
+         in
+         Some (List.map (fun v -> (v, order_at v)) b.vertices)
+       with Non_planar -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Whole graphs: blocks, then merge rotations at cut vertices.         *)
+(* ------------------------------------------------------------------ *)
+
+let embed g =
+  let block_edge_lists = Pr_graph.Connectivity.blocks g in
+  let per_vertex : (int, int list list) Hashtbl.t = Hashtbl.create 64 in
+  let add_block_orders orders =
+    List.iter
+      (fun (v, order) ->
+        if order <> [] then
+          Hashtbl.replace per_vertex v
+            (order :: Option.value ~default:[] (Hashtbl.find_opt per_vertex v)))
+      orders
+  in
+  let rec embed_all = function
+    | [] -> true
+    | edges :: rest -> (
+        match embed_block edges with
+        | None -> false
+        | Some orders ->
+            add_block_orders orders;
+            embed_all rest)
+  in
+  if not (embed_all block_edge_lists) then None
+  else begin
+    (* Concatenating the per-block cyclic orders at a cut vertex merges one
+       face of each block: Euler characteristic stays 2 per component. *)
+    let orders =
+      Array.init (Graph.n g) (fun v ->
+          List.concat (Option.value ~default:[] (Hashtbl.find_opt per_vertex v)))
+    in
+    Some (Rotation.of_orders g orders)
+  end
+
+let is_planar g = Option.is_some (embed g)
+
+let embed_exn g =
+  match embed g with
+  | Some rotation -> rotation
+  | None -> invalid_arg "Planar.embed_exn: graph is not planar"

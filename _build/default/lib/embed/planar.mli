@@ -1,0 +1,26 @@
+(** Certified planar embedding (Demoucron–Malgrange–Pertuiset).
+
+    The paper notes that minimum-genus embedding is NP-hard in general but
+    that "in the case of planar graphs, very efficient O(n) algorithms are
+    available".  This module implements the classical DMP incremental
+    algorithm — O(n²) rather than O(n), which is ample for PoP-level maps —
+    yielding a rotation system whose faces realise a genus-0 embedding, or
+    a verdict of non-planarity.
+
+    Planar embeddings are exactly the embeddings on which this
+    reproduction found PR's full-coverage claim to hold (EXPERIMENTS.md),
+    so for a planar backbone this is the embedding to deploy.
+
+    The graph is decomposed into biconnected blocks; DMP runs per block
+    and the block rotations are merged at cut vertices (which cannot
+    create crossings). *)
+
+val embed : Pr_graph.Graph.t -> Rotation.t option
+(** [Some rotation] realising genus 0 when the graph is planar (works for
+    disconnected graphs too — each component contributes faces), [None]
+    when it contains a K5 or K3,3 subdivision. *)
+
+val is_planar : Pr_graph.Graph.t -> bool
+
+val embed_exn : Pr_graph.Graph.t -> Rotation.t
+(** Raises [Invalid_argument] on non-planar input. *)

@@ -1,0 +1,63 @@
+type quality = {
+  rotation : Rotation.t;
+  certified_planar : bool;
+  genus : int;
+  curved_edges : int;
+}
+
+let describe ~certified_planar rotation =
+  let faces = Faces.compute rotation in
+  let genus =
+    if Pr_graph.Connectivity.is_connected (Rotation.graph rotation) then
+      Surface.genus faces
+    else 0
+  in
+  {
+    rotation;
+    certified_planar;
+    genus;
+    curved_edges = List.length (Validate.curved_edges faces);
+  }
+
+let for_graph ?(seed = 42) ?coords g =
+  match Planar.embed g with
+  | Some rotation -> describe ~certified_planar:true rotation
+  | None ->
+      let seeds =
+        match coords with
+        | Some coords -> [ Geometric.of_coords g coords ]
+        | None -> []
+      in
+      (* Run both objectives: the min-genus search sometimes lands on a
+         curved-edge-free embedding with fewer handles than the
+         lexicographic Pr_safe search finds.  Rank by removable curved
+         edges first, then genus. *)
+      let candidates =
+        List.map
+          (fun objective ->
+            let rotation =
+              Optimize.best_of ~objective ~steps:8000 ~restarts:6 ~seeds
+                (Pr_util.Rng.create ~seed) g
+            in
+            let faces = Faces.compute rotation in
+            let removable = List.length (Validate.removable_curved_edges faces) in
+            ((removable, Surface.genus faces), rotation))
+          [ Optimize.Pr_safe; Optimize.Min_genus ]
+      in
+      let best =
+        List.fold_left
+          (fun acc candidate ->
+            match acc with
+            | None -> Some candidate
+            | Some (score, _) ->
+                if fst candidate < score then Some candidate else acc)
+          None candidates
+      in
+      (match best with
+      | Some (_, rotation) -> describe ~certified_planar:false rotation
+      | None -> assert false)
+
+let for_topology ?seed (topo : Pr_topo.Topology.t) =
+  for_graph ?seed ~coords:topo.coords topo.graph
+
+let rotation ?seed topo = (for_topology ?seed topo).rotation

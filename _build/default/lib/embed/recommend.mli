@@ -1,0 +1,24 @@
+(** The embedding pipeline a deployment should use (EXPERIMENTS.md):
+
+    + if the map is planar, the certified DMP embedding — genus 0, where
+      PR's full-coverage claim provably holds empirically;
+    + otherwise, the PR-safe annealed embedding seeded with the geometric
+      rotation — no curved edges (single-failure guarantee restored) and
+      as few handles as the search finds. *)
+
+type quality = {
+  rotation : Rotation.t;
+  certified_planar : bool;  (** produced by {!Planar.embed} *)
+  genus : int;
+  curved_edges : int;
+}
+
+val for_topology : ?seed:int -> Pr_topo.Topology.t -> quality
+
+val for_graph :
+  ?seed:int -> ?coords:(float * float) array -> Pr_graph.Graph.t -> quality
+(** Without coordinates the annealer is seeded from the adjacency rotation
+    only. *)
+
+val rotation : ?seed:int -> Pr_topo.Topology.t -> Rotation.t
+(** Just the rotation of {!for_topology}. *)

@@ -1,0 +1,98 @@
+module Graph = Pr_graph.Graph
+
+type t = {
+  g : Graph.t;
+  order_at : int array array;
+  position : (int, int) Hashtbl.t; (* key v * n + u -> index of u in order_at.(v) *)
+}
+
+let graph t = t.g
+
+let key t v u = (v * Graph.n t.g) + u
+
+let index t v u =
+  match Hashtbl.find_opt t.position (key t v u) with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Rotation: %d is not a neighbour of %d" u v)
+
+let build g order_at =
+  let t = { g; order_at; position = Hashtbl.create (4 * Graph.m g) } in
+  Array.iteri
+    (fun v row -> Array.iteri (fun i u -> Hashtbl.replace t.position (key t v u) i) row)
+    order_at;
+  t
+
+let of_orders g orders =
+  if Array.length orders <> Graph.n g then
+    invalid_arg "Rotation.of_orders: wrong number of nodes";
+  let order_at =
+    Array.mapi
+      (fun v neighbours_in_order ->
+        let row = Array.of_list neighbours_in_order in
+        let reference = Array.copy (Graph.neighbours g v) in
+        let sorted = Array.copy row in
+        Array.sort compare sorted;
+        if sorted <> reference then
+          invalid_arg
+            (Printf.sprintf
+               "Rotation.of_orders: order at node %d is not a permutation of its neighbours"
+               v);
+        row)
+      orders
+  in
+  build g order_at
+
+let adjacency g =
+  build g (Array.init (Graph.n g) (fun v -> Array.copy (Graph.neighbours g v)))
+
+let random rng g =
+  let order_at =
+    Array.init (Graph.n g) (fun v ->
+        let row = Array.copy (Graph.neighbours g v) in
+        Pr_util.Rng.shuffle rng row;
+        row)
+  in
+  build g order_at
+
+let order t v = t.order_at.(v)
+
+let next t v u =
+  let row = t.order_at.(v) in
+  row.((index t v u + 1) mod Array.length row)
+
+let prev t v u =
+  let row = t.order_at.(v) in
+  let len = Array.length row in
+  row.((index t v u + len - 1) mod len)
+
+let orders t = Array.map Array.to_list t.order_at
+
+let canonical_row row =
+  (* Rotate the cyclic order so the smallest neighbour comes first. *)
+  let len = Array.length row in
+  if len = 0 then []
+  else begin
+    let start = ref 0 in
+    Array.iteri (fun i u -> if u < row.(!start) then start := i) row;
+    List.init len (fun i -> row.((!start + i) mod len))
+  end
+
+let equal a b =
+  Graph.equal_structure a.g b.g
+  && Array.for_all2
+       (fun ra rb -> canonical_row ra = canonical_row rb)
+       a.order_at b.order_at
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rotation system:";
+  Array.iteri
+    (fun v row ->
+      Format.fprintf ppf "@,  %d: (%a)" v
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           Format.pp_print_int)
+        (Array.to_list row))
+    t.order_at;
+  Format.fprintf ppf "@]"

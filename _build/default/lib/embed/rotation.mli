@@ -1,0 +1,44 @@
+(** Rotation systems: the combinatorial form of a cellular embedding.
+
+    A rotation system assigns to every node a cyclic order of its incident
+    edges.  By the Heffter–Edmonds principle, each rotation system of a
+    connected graph corresponds to exactly one cellular embedding of the
+    graph on an orientable closed surface; the faces of that embedding are
+    recovered by {!Faces.compute}.  This is the object the paper computes
+    offline and distributes to routers. *)
+
+type t
+
+val graph : t -> Pr_graph.Graph.t
+
+val of_orders : Pr_graph.Graph.t -> int list array -> t
+(** [of_orders g orders] where [orders.(v)] lists the neighbours of [v] in
+    cyclic order.  Raises [Invalid_argument] unless each list is a
+    permutation of [Graph.neighbours g v]. *)
+
+val adjacency : Pr_graph.Graph.t -> t
+(** Neighbours in increasing id order — an arbitrary but deterministic
+    baseline rotation. *)
+
+val random : Pr_util.Rng.t -> Pr_graph.Graph.t -> t
+(** Independent uniform shuffle of every node's order. *)
+
+val order : t -> int -> int array
+(** Cyclic order at a node (owned by the rotation; do not mutate). *)
+
+val next : t -> int -> int -> int
+(** [next t v u] is the neighbour following [u] in the cyclic order at [v].
+    Raises [Invalid_argument] if [u] is not adjacent to [v].  This is the
+    permutation the paper's cycle following tables implement. *)
+
+val prev : t -> int -> int -> int
+(** Inverse of {!next}. *)
+
+val orders : t -> int list array
+(** Copy of all orders, suitable for editing and re-validation. *)
+
+val equal : t -> t -> bool
+(** Same graph structure and same cyclic orders up to rotation of each
+    list. *)
+
+val pp : Format.formatter -> t -> unit

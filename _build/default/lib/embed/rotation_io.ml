@@ -1,0 +1,72 @@
+module Graph = Pr_graph.Graph
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let to_string rot =
+  let g = Rotation.graph rot in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# rotation system, one line per node\n";
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf ':';
+    Array.iter
+      (fun u ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int u))
+      (Rotation.order rot v);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_string g text =
+  let orders = Array.make (Graph.n g) None in
+  let parse_int lineno token =
+    match int_of_string_opt token with
+    | Some v -> v
+    | None -> fail lineno "expected an integer, got %S" token
+  in
+  let handle lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | None -> line
+      | Some i -> String.sub line 0 i
+    in
+    let line = String.trim line in
+    if line <> "" then begin
+      match String.split_on_char ':' line with
+      | [ node_part; order_part ] ->
+          let v = parse_int lineno (String.trim node_part) in
+          if v < 0 || v >= Graph.n g then fail lineno "node %d out of range" v;
+          if orders.(v) <> None then fail lineno "duplicate line for node %d" v;
+          let order =
+            String.split_on_char ' ' order_part
+            |> List.filter (fun s -> s <> "")
+            |> List.map (parse_int lineno)
+          in
+          orders.(v) <- Some order
+      | _ -> fail lineno "expected `node: neighbours...`"
+    end
+  in
+  String.split_on_char '\n' text |> List.iteri (fun i l -> handle (i + 1) l);
+  let complete =
+    Array.mapi
+      (fun v order ->
+        match order with
+        | Some o -> o
+        | None ->
+            if Graph.degree g v = 0 then []
+            else fail 0 "missing line for node %d" v)
+      orders
+  in
+  try Rotation.of_orders g complete
+  with Invalid_argument msg -> fail 0 "invalid rotation: %s" msg
+
+let save path rot =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string rot))
+
+let load g path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_string g (In_channel.input_all ic))

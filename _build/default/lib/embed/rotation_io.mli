@@ -1,0 +1,25 @@
+(** Serialisation of rotation systems.
+
+    The paper's deployment story computes the embedding "offline, on a
+    server designated for that purpose" and uploads the resulting cycle
+    following tables to all routers.  This is the interchange format for
+    that step: one line per node listing its neighbours in cyclic order.
+
+    {v
+    # rotation system, one line per node
+    0: 1 4 2
+    1: 0 2
+    v} *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val to_string : Rotation.t -> string
+
+val of_string : Pr_graph.Graph.t -> string -> Rotation.t
+(** Validates against the graph: every node present exactly once, every
+    line a permutation of the node's neighbours. *)
+
+val save : string -> Rotation.t -> unit
+
+val load : Pr_graph.Graph.t -> string -> Rotation.t

@@ -1,0 +1,27 @@
+module Graph = Pr_graph.Graph
+
+let euler_characteristic faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  Graph.n g - Graph.m g + Faces.count faces
+
+let genus faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  if not (Pr_graph.Connectivity.is_connected g) then
+    invalid_arg "Surface.genus: graph must be connected";
+  if Graph.m g = 0 then 0 (* a lone vertex sits on the sphere *)
+  else
+  let chi = euler_characteristic faces in
+  if (2 - chi) mod 2 <> 0 then
+    invalid_arg "Surface.genus: odd defect — embedding invariant violated";
+  (2 - chi) / 2
+
+let is_planar_embedding faces = genus faces = 0
+
+let max_genus_bound g =
+  if not (Pr_graph.Connectivity.is_connected g) then
+    invalid_arg "Surface.max_genus_bound: graph must be connected";
+  (Graph.m g - Graph.n g + 1) / 2
+
+let describe faces =
+  Printf.sprintf "faces=%d chi=%d genus=%d" (Faces.count faces)
+    (euler_characteristic faces) (genus faces)

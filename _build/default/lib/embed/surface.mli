@@ -1,0 +1,23 @@
+(** Surface invariants of an embedding (Euler characteristic, genus).
+
+    For a connected graph embedded cellularly, V - E + F = 2 - 2g.  Lower
+    genus means more faces, hence shorter cellular cycles, hence lower PR
+    stretch — which is why the paper wants minimum-genus embeddings. *)
+
+val euler_characteristic : Faces.t -> int
+(** V - E + F. *)
+
+val genus : Faces.t -> int
+(** (2 - chi) / 2 for a connected graph.  Raises [Invalid_argument] when
+    the underlying graph is disconnected (the formula needs one component;
+    embed components separately instead). *)
+
+val is_planar_embedding : Faces.t -> bool
+(** Genus 0, i.e. an embedding on the sphere. *)
+
+val max_genus_bound : Pr_graph.Graph.t -> int
+(** Upper bound [floor ((m - n + 1) / 2)] on the genus of any cellular
+    embedding of a connected graph (its cycle rank halved). *)
+
+val describe : Faces.t -> string
+(** One-line summary: faces, characteristic, genus. *)

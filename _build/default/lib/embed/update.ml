@@ -1,0 +1,90 @@
+module Graph = Pr_graph.Graph
+
+type grown = Chord | Handle
+
+let rebuild_graph g ~drop ~add =
+  let edges =
+    Graph.fold_edges
+      (fun _ (e : Graph.edge) acc ->
+        match drop with
+        | Some (u, v) when (e.u, e.v) = (min u v, max u v) -> acc
+        | Some _ | None -> (e.u, e.v, e.w) :: acc)
+      g []
+    |> List.rev
+  in
+  let edges = match add with Some (u, v, w) -> (u, v, w) :: edges | None -> edges in
+  Graph.create ~n:(Graph.n g) edges
+
+let remove_link rot u v =
+  let g = Rotation.graph rot in
+  if not (Graph.has_edge g u v) then invalid_arg "Update.remove_link: not a link";
+  let fresh = rebuild_graph g ~drop:(Some (u, v)) ~add:None in
+  let orders =
+    Array.mapi
+      (fun x order ->
+        if x = u then List.filter (fun y -> y <> v) order
+        else if x = v then List.filter (fun y -> y <> u) order
+        else order)
+      (Rotation.orders rot)
+  in
+  Rotation.of_orders fresh orders
+
+(* Insert [elt] right after [anchor] in a cyclic order. *)
+let insert_after order ~anchor ~elt =
+  List.concat_map (fun y -> if y = anchor then [ y; elt ] else [ y ]) order
+
+let add_link rot u v ~weight =
+  let g = Rotation.graph rot in
+  let n = Graph.n g in
+  if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Update.add_link: out of range";
+  if u = v then invalid_arg "Update.add_link: self loop";
+  if Graph.has_edge g u v then invalid_arg "Update.add_link: link exists";
+  if not (Float.is_finite weight) || weight <= 0.0 then
+    invalid_arg "Update.add_link: bad weight";
+  let fresh = rebuild_graph g ~drop:None ~add:(Some (u, v, weight)) in
+  let orders = Rotation.orders rot in
+  (* Find a face whose boundary visits both endpoints: the chord insertion
+     derived from the face-successor rule.  If the face contains
+     ... (p -> u)(u -> q) ... (r -> v)(v -> s) ..., then inserting v after
+     p at u and u after r at v splits the face in two: genus unchanged. *)
+  let anchors =
+    if Graph.degree g u = 0 || Graph.degree g v = 0 then None
+    else begin
+      let faces = Faces.compute rot in
+      let rec scan f =
+        if f >= Faces.count faces then None
+        else begin
+          let arcs =
+            List.map (Faces.arc_endpoints faces) (Faces.face_arcs faces f)
+          in
+          let into x = List.find_opt (fun (_, head) -> head = x) arcs in
+          match (into u, into v) with
+          | Some (p, _), Some (r, _) -> Some (p, r)
+          | _ -> scan (f + 1)
+        end
+      in
+      scan 0
+    end
+  in
+  let orders =
+    Array.mapi
+      (fun x order ->
+        if x <> u && x <> v then order
+        else begin
+          match anchors with
+          | Some (p, r) ->
+              if x = u then insert_after order ~anchor:p ~elt:v
+              else insert_after order ~anchor:r ~elt:u
+          | None ->
+              (* No common face (or an isolated endpoint): append anywhere;
+                 costs one handle when both endpoints had edges. *)
+              let elt = if x = u then v else u in
+              order @ [ elt ]
+        end)
+      orders
+  in
+  let pendant = Graph.degree g u = 0 || Graph.degree g v = 0 in
+  (* Attaching a so-far isolated endpoint tucks the new link into a corner
+     of an existing face: no handle either. *)
+  let grown = if anchors <> None || pendant then Chord else Handle in
+  (Rotation.of_orders fresh orders, grown)

@@ -1,0 +1,26 @@
+(** Incremental embedding maintenance.
+
+    The paper (§4.3) recomputes the embedding only on long-term topology
+    changes.  For the common changes — provisioning or decommissioning a
+    single link — a full recomputation is unnecessary:
+
+    - {!remove_link} deletes the link from both rotations.  The two faces
+      it separated merge (or its face unglues), never increasing genus.
+    - {!add_link} inserts the link as a chord of a face containing both
+      endpoints when one exists — genus is {e unchanged} — and otherwise
+      joins two distinct faces, which costs exactly one handle
+      (genus + 1); the result reports which happened so the operator can
+      decide to re-run the full pipeline. *)
+
+type grown = Chord | Handle
+(** [Chord]: endpoints shared a face, genus unchanged.  [Handle]: they did
+    not, genus increased by one. *)
+
+val remove_link : Rotation.t -> int -> int -> Rotation.t
+(** New rotation over the graph without the link (same node set, same
+    weights elsewhere).  Raises [Invalid_argument] if the pair is not a
+    link. *)
+
+val add_link : Rotation.t -> int -> int -> weight:float -> Rotation.t * grown
+(** Raises [Invalid_argument] if the link already exists, endpoints are
+    out of range or equal, or the weight is not positive. *)

@@ -1,0 +1,72 @@
+module Graph = Pr_graph.Graph
+
+type problem =
+  | Arc_not_covered of int
+  | Arc_covered_twice of int
+  | Boundary_sum_mismatch of int * int
+  | Odd_euler_defect of int
+
+let check faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  let arcs = Faces.arc_count faces in
+  let cover = Array.make arcs 0 in
+  let boundary_sum = ref 0 in
+  for f = 0 to Faces.count faces - 1 do
+    let face = Faces.face_arcs faces f in
+    boundary_sum := !boundary_sum + List.length face;
+    List.iter (fun arc -> cover.(arc) <- cover.(arc) + 1) face
+  done;
+  let problems = ref [] in
+  Array.iteri
+    (fun arc c ->
+      if c = 0 then problems := Arc_not_covered arc :: !problems
+      else if c > 1 then problems := Arc_covered_twice arc :: !problems)
+    cover;
+  if !boundary_sum <> 2 * Graph.m g then
+    problems := Boundary_sum_mismatch (!boundary_sum, 2 * Graph.m g) :: !problems;
+  let chi = Graph.n g - Graph.m g + Faces.count faces in
+  (* Arc tracing cannot see the face around an isolated vertex, so the
+     parity check only applies when there are edges. *)
+  if Graph.m g > 0 && Pr_graph.Connectivity.is_connected g && (2 - chi) mod 2 <> 0
+  then problems := Odd_euler_defect chi :: !problems;
+  List.rev !problems
+
+let is_valid faces = check faces = []
+
+let edge_cycle_property faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  let ok = ref true in
+  Graph.iter_edges
+    (fun _ (e : Graph.edge) ->
+      (* Both orientations must each lie on exactly one face; validity of
+         the partition is checked separately, so here we simply require the
+         lookups to succeed and be total. *)
+      let forward = Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.u ~head:e.v) in
+      let backward = Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.v ~head:e.u) in
+      if forward < 0 || backward < 0 then ok := false)
+    g;
+  !ok
+
+let curved_edges faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  Graph.fold_edges
+    (fun _ (e : Graph.edge) acc ->
+      let forward = Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.u ~head:e.v) in
+      let backward = Faces.face_of_arc faces (Faces.arc_id faces ~tail:e.v ~head:e.u) in
+      if forward = backward then (e.u, e.v) :: acc else acc)
+    g []
+  |> List.rev
+
+let is_pr_safe faces = is_valid faces && curved_edges faces = []
+
+let removable_curved_edges faces =
+  let g = Rotation.graph (Faces.rotation faces) in
+  let bridges = Pr_graph.Connectivity.bridges g in
+  List.filter (fun e -> not (List.mem e bridges)) (curved_edges faces)
+
+let pp_problem ppf = function
+  | Arc_not_covered arc -> Format.fprintf ppf "arc %d not on any face" arc
+  | Arc_covered_twice arc -> Format.fprintf ppf "arc %d on several faces" arc
+  | Boundary_sum_mismatch (got, want) ->
+      Format.fprintf ppf "face boundary lengths sum to %d, expected %d" got want
+  | Odd_euler_defect chi -> Format.fprintf ppf "odd Euler defect (chi = %d)" chi

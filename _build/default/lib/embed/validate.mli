@@ -1,0 +1,45 @@
+(** Structural validation of embeddings — the invariants the paper's
+    correctness argument rests on. *)
+
+type problem =
+  | Arc_not_covered of int        (** an arc belongs to no face *)
+  | Arc_covered_twice of int      (** an arc belongs to several faces *)
+  | Boundary_sum_mismatch of int * int  (** sum of face lengths <> 2m *)
+  | Odd_euler_defect of int       (** 2 - chi is odd: not an orientable embedding *)
+
+val check : Faces.t -> problem list
+(** Empty list = valid cellular embedding data. *)
+
+val is_valid : Faces.t -> bool
+
+val edge_cycle_property : Faces.t -> bool
+(** The paper's §3 invariant: every link belongs to exactly two directed
+    cycles, one per orientation (they may be the same face twice). *)
+
+val curved_edges : Faces.t -> (int * int) list
+(** Links both of whose arcs lie on the {e same} face — the paper §3's
+    "curved cell" case where a cycle meets itself along the link and the
+    main cycle coincides with its complement.  When such a link fails, its
+    complementary cycle re-crosses the failure and cycle following can
+    loop: see EXPERIMENTS.md.  Bridges are always curved (they border a
+    single face) — but a bridge failure disconnects, so PR owes nothing
+    there.  Empty on every 2-connected planar embedding.
+
+    An embedding with no curved edges is a {e closed 2-cell (strong)
+    embedding}; whether one exists for every 2-connected graph is the
+    open Strong Embedding Conjecture — {!Optimize.Pr_safe} searches for
+    one heuristically and found one for every topology in this
+    repository's experiments. *)
+
+val is_pr_safe : Faces.t -> bool
+(** Valid embedding with no curved edges: the condition under which PR's
+    single-failure guarantee holds on this embedding.  Always false in
+    the presence of bridges; use {!removable_curved_edges} to check only
+    the links PR could actually protect. *)
+
+val removable_curved_edges : Faces.t -> (int * int) list
+(** {!curved_edges} minus the bridges: the curved links whose failure
+    would leave the pair connected yet loop the packet — the ones an
+    embedding change can and should fix. *)
+
+val pp_problem : Format.formatter -> problem -> unit

@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Fig2 List Option Pr_core Pr_embed Pr_stats Pr_topo Pr_util

@@ -1,0 +1,1 @@
+lib/exp/ablation.mli: Fig2 Pr_core Pr_topo

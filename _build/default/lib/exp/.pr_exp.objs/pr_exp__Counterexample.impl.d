@@ -1,0 +1,1 @@
+lib/exp/counterexample.ml: Array Buffer Fun List Pr_core Pr_embed Pr_graph Pr_topo Pr_util Printf String

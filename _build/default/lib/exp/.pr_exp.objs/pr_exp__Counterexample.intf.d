@@ -1,0 +1,1 @@
+lib/exp/counterexample.mli: Pr_core Pr_graph

@@ -1,0 +1,1 @@
+lib/exp/coverage.mli: Pr_embed Pr_topo

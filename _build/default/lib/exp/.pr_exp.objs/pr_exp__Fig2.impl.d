@@ -1,0 +1,1 @@
+lib/exp/fig2.ml: List Option Pr_baselines Pr_core Pr_embed Pr_graph Pr_stats Pr_topo Pr_util Printf String

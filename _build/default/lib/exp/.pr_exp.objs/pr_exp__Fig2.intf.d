@@ -1,0 +1,1 @@
+lib/exp/fig2.mli: Pr_core Pr_embed Pr_stats Pr_topo

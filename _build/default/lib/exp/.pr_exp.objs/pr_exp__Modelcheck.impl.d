@@ -1,0 +1,1 @@
+lib/exp/modelcheck.ml: Hashtbl Pr_core Pr_graph

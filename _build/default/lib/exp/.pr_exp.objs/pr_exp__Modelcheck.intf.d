@@ -1,0 +1,1 @@
+lib/exp/modelcheck.mli: Pr_core

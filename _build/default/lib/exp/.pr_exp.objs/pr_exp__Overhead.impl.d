@@ -1,0 +1,1 @@
+lib/exp/overhead.ml: List Pr_baselines Pr_core Pr_embed Pr_graph Pr_topo Pr_util

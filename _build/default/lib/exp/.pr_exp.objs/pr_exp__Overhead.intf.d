@@ -1,0 +1,1 @@
+lib/exp/overhead.mli: Pr_topo

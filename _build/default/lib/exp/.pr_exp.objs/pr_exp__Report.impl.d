@@ -1,0 +1,1 @@
+lib/exp/report.ml: Fig2 Filename Fun List Pr_stats Pr_topo Printf String Sys

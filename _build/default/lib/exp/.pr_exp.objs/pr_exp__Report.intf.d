@@ -1,0 +1,1 @@
+lib/exp/report.mli: Fig2

@@ -1,0 +1,1 @@
+lib/exp/synthetic.ml: Array Fig2 Fun List Option Pr_embed Pr_graph Pr_stats Pr_topo Pr_util

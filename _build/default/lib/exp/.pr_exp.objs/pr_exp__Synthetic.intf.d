@@ -1,0 +1,1 @@
+lib/exp/synthetic.mli: Pr_topo

@@ -1,0 +1,1 @@
+lib/exp/ttl_study.mli: Pr_embed Pr_topo

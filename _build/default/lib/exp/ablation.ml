@@ -1,0 +1,142 @@
+module Topology = Pr_topo.Topology
+
+let embedding_name = function
+  | Fig2.Geometric -> "geometric"
+  | Fig2.Adjacency -> "adjacency"
+  | Fig2.Random_rotation -> "random"
+  | Fig2.Optimised -> "optimised"
+  | Fig2.Safe_optimised -> "safe-optimised"
+
+type embedding_row = {
+  topology : string;
+  embedding : Fig2.embedding_choice;
+  faces : int;
+  genus : int;
+  curved : int;
+  mean_stretch : float;
+  p95_stretch : float;
+  worst_stretch : float;
+  undelivered : int;
+}
+
+let pr_curve (result : Fig2.result) =
+  match List.assoc_opt Fig2.Pr result.curves with
+  | Some c -> c
+  | None -> invalid_arg "Ablation: no PR curve (no affected pairs?)"
+
+let embedding_sweep ?(seed = 42) topo =
+  let choices =
+    [
+      Fig2.Geometric;
+      Fig2.Adjacency;
+      Fig2.Random_rotation;
+      Fig2.Optimised;
+      Fig2.Safe_optimised;
+    ]
+  in
+  let for_choice embedding =
+    let config = { (Fig2.default topo ~k:1) with embedding; seed } in
+    let rotation = Fig2.resolve_rotation config topo in
+    let faces = Pr_embed.Faces.compute rotation in
+    let result = Fig2.run config in
+    let curve = pr_curve result in
+    {
+      topology = topo.Topology.name;
+      embedding;
+      faces = Pr_embed.Faces.count faces;
+      genus = Pr_embed.Surface.genus faces;
+      curved = List.length (Pr_embed.Validate.curved_edges faces);
+      mean_stretch = Option.value ~default:infinity (Pr_stats.Ccdf.mean_finite curve);
+      p95_stretch = Pr_stats.Ccdf.quantile curve 0.95;
+      worst_stretch =
+        Option.value ~default:infinity (Pr_stats.Ccdf.max_finite curve);
+      undelivered = List.length result.pr_failures;
+    }
+  in
+  List.map for_choice choices
+
+let embedding_table ?seed topologies =
+  let rows = List.concat_map (embedding_sweep ?seed) topologies in
+  Pr_util.Tablefmt.render
+    ~header:
+      [
+        "topology"; "embedding"; "faces"; "genus"; "curved"; "mean"; "p95";
+        "worst"; "undelivered";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           embedding_name r.embedding;
+           string_of_int r.faces;
+           string_of_int r.genus;
+           string_of_int r.curved;
+           Pr_util.Tablefmt.float_cell r.mean_stretch;
+           Pr_util.Tablefmt.float_cell r.p95_stretch;
+           Pr_util.Tablefmt.float_cell r.worst_stretch;
+           string_of_int r.undelivered;
+         ])
+       rows)
+
+type discriminator_row = {
+  topology : string;
+  k : int;
+  kind : Pr_core.Discriminator.kind;
+  quantised : bool;
+  dd_bits : int;
+  mean_stretch : float;
+  undelivered : int;
+}
+
+let discriminator_sweep ?(k = 1) topo =
+  let for_kind kind quantised =
+    (* The PR-safe embedding isolates the discriminator comparison from
+       curved-edge losses. *)
+    let config =
+      {
+        (Fig2.default topo ~k) with
+        samples = 100;
+        discriminator = kind;
+        quantise_dd = quantised;
+        embedding = Fig2.Safe_optimised;
+      }
+    in
+    let result = Fig2.run config in
+    let curve = pr_curve result in
+    {
+      topology = topo.Topology.name;
+      k;
+      kind;
+      quantised;
+      dd_bits = Pr_core.Discriminator.bits_needed kind topo.Topology.graph;
+      mean_stretch = Option.value ~default:infinity (Pr_stats.Ccdf.mean_finite curve);
+      undelivered = List.length result.pr_failures;
+    }
+  in
+  [
+    for_kind Pr_core.Discriminator.Hops false;
+    for_kind Pr_core.Discriminator.Weighted false;
+    for_kind Pr_core.Discriminator.Weighted true;
+  ]
+
+let discriminator_table topologies =
+  let rows =
+    List.concat_map
+      (fun topo -> discriminator_sweep ~k:1 topo @ discriminator_sweep ~k:3 topo)
+      topologies
+  in
+  Pr_util.Tablefmt.render
+    ~header:
+      [ "topology"; "k"; "discriminator"; "quantised"; "DD bits"; "mean stretch"; "undelivered" ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           string_of_int r.k;
+           Pr_core.Discriminator.to_string r.kind;
+           (if r.quantised then "yes" else "no");
+           string_of_int r.dd_bits;
+           Pr_util.Tablefmt.float_cell r.mean_stretch;
+           string_of_int r.undelivered;
+         ])
+       rows)

@@ -1,0 +1,42 @@
+(** Ablations for the design choices the paper leaves open (§7):
+    how much the embedding quality and the discriminator choice matter. *)
+
+type embedding_row = {
+  topology : string;
+  embedding : Fig2.embedding_choice;
+  faces : int;
+  genus : int;
+  curved : int;             (** links with both arcs on one face *)
+  mean_stretch : float;       (** PR mean stretch over single failures *)
+  p95_stretch : float;
+  worst_stretch : float;
+  undelivered : int;          (** connected pairs PR failed — expect 0 *)
+}
+
+val embedding_sweep :
+  ?seed:int -> Pr_topo.Topology.t -> embedding_row list
+(** One row per embedding choice (geometric, adjacency, random,
+    optimised), single-failure workload. *)
+
+val embedding_table : ?seed:int -> Pr_topo.Topology.t list -> string
+
+type discriminator_row = {
+  topology : string;
+  k : int;
+  kind : Pr_core.Discriminator.kind;
+  quantised : bool;   (** header-faithful integer DD comparison *)
+  dd_bits : int;
+  mean_stretch : float;
+  undelivered : int;
+}
+
+val discriminator_sweep : ?k:int -> Pr_topo.Topology.t -> discriminator_row list
+(** Hops, exact weighted, and quantised weighted discriminators on the
+    same (PR-safe) embedding and workload ([k] failures per scenario,
+    default 1).  For single failures the termination point is the same
+    under every discriminator — the difference only shows in header size
+    and, at k > 1, in which node ends cycle following. *)
+
+val discriminator_table : Pr_topo.Topology.t list -> string
+
+val embedding_name : Fig2.embedding_choice -> string

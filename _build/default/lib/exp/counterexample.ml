@@ -1,0 +1,122 @@
+module Graph = Pr_graph.Graph
+
+type found = {
+  graph : Graph.t;
+  orders : int list array;
+  failures : (int * int) list;
+  src : int;
+  dst : int;
+  genus : int;
+  curved_edges : int;
+  outcome : Pr_core.Forward.outcome;
+}
+
+let run_case graph orders failures ~src ~dst =
+  let rotation = Pr_embed.Rotation.of_orders graph orders in
+  let routing = Pr_core.Routing.build graph in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let failure_set = Pr_core.Failure.of_list graph failures in
+  Pr_core.Forward.run ~routing ~cycles ~failures:failure_set ~src ~dst ()
+
+let undelivered graph orders failures ~src ~dst =
+  let failure_set = Pr_core.Failure.of_list graph failures in
+  Pr_core.Failure.pair_connected failure_set src dst
+  && (run_case graph orders failures ~src ~dst).Pr_core.Forward.outcome
+     <> Pr_core.Forward.Delivered
+
+let embed_stats graph orders =
+  let faces = Pr_embed.Faces.compute (Pr_embed.Rotation.of_orders graph orders) in
+  ( Pr_embed.Surface.genus faces,
+    List.length (Pr_embed.Validate.curved_edges faces) )
+
+(* Greedy minimisation: drop failures while the loss persists. *)
+let shrink_failures graph orders failures ~src ~dst =
+  let rec pass failures =
+    let shrunk =
+      List.find_map
+        (fun f ->
+          let smaller = List.filter (fun f' -> f' <> f) failures in
+          if smaller <> [] && undelivered graph orders smaller ~src ~dst then
+            Some smaller
+          else None)
+        failures
+    in
+    match shrunk with Some smaller -> pass smaller | None -> failures
+  in
+  pass failures
+
+let search ?(max_nodes = 9) ?(max_failures = 3) ?(attempts = 2000) ~seed () =
+  let rng = Pr_util.Rng.create ~seed in
+  let rec try_once remaining =
+    if remaining = 0 then None
+    else begin
+      let n = Pr_util.Rng.int_in rng 5 max_nodes in
+      let extra = Pr_util.Rng.int_in rng 1 5 in
+      let graph =
+        (Pr_topo.Generate.two_connected rng ~n ~extra).Pr_topo.Topology.graph
+      in
+      let rotation = Pr_embed.Rotation.random rng graph in
+      let orders = Array.map Array.to_list (Array.init (Graph.n graph) (Pr_embed.Rotation.order rotation)) in
+      let k = Pr_util.Rng.int_in rng 1 (min max_failures (Graph.m graph - 1)) in
+      let failures =
+        List.map
+          (fun i ->
+            let e = Graph.edge graph i in
+            (e.Graph.u, e.Graph.v))
+          (Pr_util.Rng.sample_without_replacement rng ~k ~n:(Graph.m graph))
+      in
+      let failure_set = Pr_core.Failure.of_list graph failures in
+      let witness =
+        if not (Pr_core.Failure.survives_connected failure_set) then None
+        else begin
+          let pairs = List.filter (fun (s, d) -> s <> d)
+              (List.concat_map
+                 (fun s -> List.map (fun d -> (s, d)) (List.init (Graph.n graph) Fun.id))
+                 (List.init (Graph.n graph) Fun.id))
+          in
+          List.find_opt (fun (src, dst) -> undelivered graph orders failures ~src ~dst) pairs
+        end
+      in
+      match witness with
+      | None -> try_once (remaining - 1)
+      | Some (src, dst) ->
+          let failures = shrink_failures graph orders failures ~src ~dst in
+          let genus, curved_edges = embed_stats graph orders in
+          Some
+            {
+              graph;
+              orders;
+              failures;
+              src;
+              dst;
+              genus;
+              curved_edges;
+              outcome = (run_case graph orders failures ~src ~dst).Pr_core.Forward.outcome;
+            }
+    end
+  in
+  try_once attempts
+
+let verify f = undelivered f.graph f.orders f.failures ~src:f.src ~dst:f.dst
+
+let describe f =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "PR delivery counterexample: n=%d m=%d genus=%d curved=%d\n"
+    (Graph.n f.graph) (Graph.m f.graph) f.genus f.curved_edges;
+  Printf.bprintf buf "  edges:";
+  Graph.iter_edges (fun _ (e : Graph.edge) -> Printf.bprintf buf " %d-%d" e.u e.v) f.graph;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun v order ->
+      Printf.bprintf buf "  rotation %d: %s\n" v
+        (String.concat " " (List.map string_of_int order)))
+    f.orders;
+  Printf.bprintf buf "  failures: %s\n"
+    (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) f.failures));
+  Printf.bprintf buf "  %d -> %d: %s\n" f.src f.dst
+    (match f.outcome with
+    | Pr_core.Forward.Ttl_exceeded -> "forwarding loop"
+    | Pr_core.Forward.Dropped_no_interface -> "dropped (no interface)"
+    | Pr_core.Forward.Dropped_unreachable -> "dropped (unreachable)"
+    | Pr_core.Forward.Delivered -> "delivered?!");
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Counterexample search for PR's delivery guarantee.
+
+    Randomly samples small 2-edge-connected graphs, rotation systems and
+    connected-surviving failure sets, looking for a (src, dst) pair the DD
+    termination condition fails to deliver; any hit is then greedily
+    minimised (failures first, then chords).  Running this against planar
+    embeddings finds nothing (the guarantee holds there — a standing
+    property test); against random rotations it produces the small
+    genus > 0 witnesses documented in EXPERIMENTS.md. *)
+
+type found = {
+  graph : Pr_graph.Graph.t;
+  orders : int list array;        (** the rotation system, per node *)
+  failures : (int * int) list;
+  src : int;
+  dst : int;
+  genus : int;
+  curved_edges : int;
+  outcome : Pr_core.Forward.outcome;
+}
+
+val search :
+  ?max_nodes:int ->
+  ?max_failures:int ->
+  ?attempts:int ->
+  seed:int ->
+  unit ->
+  found option
+(** Defaults: graphs of up to 9 nodes, up to 3 simultaneous failures,
+    2000 attempts.  Deterministic in [seed]. *)
+
+val verify : found -> bool
+(** Re-runs the forwarding engine on the witness: true when it still
+    fails to deliver (used to guard minimisation and by the tests). *)
+
+val describe : found -> string
+(** Human-readable report of the witness. *)

@@ -1,0 +1,157 @@
+module Topology = Pr_topo.Topology
+
+type row = {
+  topology : string;
+  k : int;
+  scenarios : int;
+  pairs : int;
+  pr_delivered : int;
+  pr_geometric_delivered : int;
+  pr_simple_delivered : int;
+  lfa_delivered : int;
+  mrc_delivered : int;
+}
+
+let safe_rotation_of ?seed (topo : Topology.t) =
+  (Pr_embed.Recommend.for_topology ?seed topo).Pr_embed.Recommend.rotation
+
+let run ?(seed = 42) ?safe_rotation (topo : Topology.t) ~name ~k failures_list =
+  let g = topo.graph in
+  let routing = Pr_core.Routing.build g in
+  let safe_rotation =
+    match safe_rotation with Some r -> r | None -> safe_rotation_of ~seed topo
+  in
+  let safe_cycles = Pr_core.Cycle_table.build safe_rotation in
+  let geo_cycles = Pr_core.Cycle_table.build (Pr_embed.Geometric.of_topology topo) in
+  let mrc = Pr_baselines.Mrc.build g in
+  let pairs = ref 0 in
+  let pr_delivered = ref 0 in
+  let pr_geometric_delivered = ref 0 in
+  let pr_simple_delivered = ref 0 in
+  let lfa_delivered = ref 0 in
+  let mrc_delivered = ref 0 in
+  let delivered_pr ?termination cycles failures src dst =
+    let trace =
+      Pr_core.Forward.run ?termination ~routing ~cycles ~failures ~src ~dst ()
+    in
+    trace.Pr_core.Forward.outcome = Pr_core.Forward.Delivered
+  in
+  let run_scenario failures =
+    let connected = Pr_core.Scenario.connected_affected_pairs routing failures in
+    let per_pair (src, dst) =
+      incr pairs;
+      if delivered_pr safe_cycles failures src dst then incr pr_delivered;
+      if delivered_pr geo_cycles failures src dst then incr pr_geometric_delivered;
+      if
+        delivered_pr ~termination:Pr_core.Forward.Simple safe_cycles failures
+          src dst
+      then incr pr_simple_delivered;
+      let lfa_trace = Pr_baselines.Lfa.run routing ~failures ~src ~dst () in
+      if lfa_trace.Pr_baselines.Lfa.outcome = Pr_baselines.Lfa.Delivered then
+        incr lfa_delivered;
+      match mrc with
+      | None -> ()
+      | Some t ->
+          if
+            (Pr_baselines.Mrc.run t ~failures ~src ~dst ()).Pr_baselines.Mrc.outcome
+            = Pr_baselines.Mrc.Delivered
+          then incr mrc_delivered
+    in
+    List.iter per_pair connected
+  in
+  List.iter run_scenario failures_list;
+  {
+    topology = name;
+    k;
+    scenarios = List.length failures_list;
+    pairs = !pairs;
+    pr_delivered = !pr_delivered;
+    pr_geometric_delivered = !pr_geometric_delivered;
+    pr_simple_delivered = !pr_simple_delivered;
+    lfa_delivered = !lfa_delivered;
+    mrc_delivered = (match mrc with None -> -1 | Some _ -> !mrc_delivered);
+  }
+
+let measure ?seed ?(samples = 100) ?safe_rotation (topo : Topology.t) ~k =
+  let g = topo.graph in
+  let scenarios =
+    if k = 1 then Pr_core.Scenario.single_links g
+    else
+      Pr_core.Scenario.random_multi
+        (Pr_util.Rng.create ~seed:(Option.value seed ~default:42))
+        g ~k ~samples
+  in
+  run ?seed ?safe_rotation topo ~name:topo.name ~k
+    (List.map (Pr_core.Failure.of_list g) scenarios)
+
+let measure_double ?seed ?safe_rotation (topo : Topology.t) =
+  let g = topo.graph in
+  run ?seed ?safe_rotation topo ~name:(topo.name ^ " (all pairs)") ~k:2
+    (List.map (Pr_core.Failure.of_list g) (Pr_core.Scenario.double_links g))
+
+let measure_nodes ?seed ?(samples = 100) ?safe_rotation (topo : Topology.t) ~k =
+  let g = topo.graph in
+  let node_scenarios =
+    if k = 1 then
+      (* Every router whose loss keeps the survivors connected. *)
+      List.filter_map
+        (fun v ->
+          let blocked i =
+            let e = Pr_graph.Graph.edge g i in
+            e.u = v || e.v = v
+          in
+          let label, _ = Pr_graph.Connectivity.components ~blocked g in
+          let reference = ref (-1) in
+          let connected = ref true in
+          for w = 0 to Pr_graph.Graph.n g - 1 do
+            if w <> v then
+              if !reference = -1 then reference := label.(w)
+              else if label.(w) <> !reference then connected := false
+          done;
+          if !connected then Some [ v ] else None)
+        (List.init (Pr_graph.Graph.n g) Fun.id)
+    else
+      Pr_core.Scenario.random_nodes
+        (Pr_util.Rng.create ~seed:(Option.value seed ~default:42))
+        g ~k ~samples
+  in
+  run ?seed ?safe_rotation topo ~name:(topo.name ^ "+nodes") ~k
+    (List.map (Pr_core.Failure.of_nodes g) node_scenarios)
+
+let sweep ?seed ?samples (topo : Topology.t) ~ks =
+  let cycle_rank =
+    Pr_graph.Graph.m topo.graph - Pr_graph.Graph.n topo.graph + 1
+  in
+  let safe_rotation = safe_rotation_of ?seed topo in
+  List.filter_map
+    (fun k ->
+      if k >= 1 && k <= cycle_rank then
+        Some (measure ?seed ?samples ~safe_rotation topo ~k)
+      else None)
+    ks
+
+let ratio num denom =
+  if denom = 0 then "n/a"
+  else Pr_util.Tablefmt.float_cell (float_of_int num /. float_of_int denom)
+
+let table rows =
+  Pr_util.Tablefmt.render
+    ~header:
+      [
+        "topology"; "k"; "scenarios"; "pairs"; "PR(safe)"; "PR(geometric)";
+        "PR(simple)"; "LFA"; "MRC";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           string_of_int r.k;
+           string_of_int r.scenarios;
+           string_of_int r.pairs;
+           ratio r.pr_delivered r.pairs;
+           ratio r.pr_geometric_delivered r.pairs;
+           ratio r.pr_simple_delivered r.pairs;
+           ratio r.lfa_delivered r.pairs;
+           (if r.mrc_delivered < 0 then "n/a" else ratio r.mrc_delivered r.pairs);
+         ])
+       rows)

@@ -1,0 +1,66 @@
+(** Coverage validation: the paper's central claim is that PR repairs
+    every failure combination that leaves source and destination
+    connected.  This experiment measures delivery ratios across increasing
+    failure counts for:
+    - PR on the deployable PR-safe annealed embedding,
+    - PR on the plain geometric embedding (shows curved-edge losses),
+    - PR with the §4.2 simple termination (safe embedding),
+    - LFA (RFC 5286),
+    - MRC (Kvalbein et al., link-protecting variant).
+
+    The reproduction finding (EXPERIMENTS.md): PR reaches 1.0 exactly when
+    the embedding has genus 0, and for k = 1 whenever it has no curved
+    edges. *)
+
+type row = {
+  topology : string;
+  k : int;
+  scenarios : int;
+  pairs : int;              (** connected affected pairs measured *)
+  pr_delivered : int;       (** DD termination, PR-safe embedding *)
+  pr_geometric_delivered : int; (** DD termination, geometric embedding *)
+  pr_simple_delivered : int;    (** simple termination, PR-safe embedding *)
+  lfa_delivered : int;
+  mrc_delivered : int;   (** -1 when MRC could not be built *)
+}
+
+val measure :
+  ?seed:int ->
+  ?samples:int ->
+  ?safe_rotation:Pr_embed.Rotation.t ->
+  Pr_topo.Topology.t ->
+  k:int ->
+  row
+(** k = 1 is exhaustive over non-disconnecting links; defaults: seed 42,
+    samples 100.  [safe_rotation] overrides the (expensive) annealed
+    embedding, letting callers compute it once per topology. *)
+
+val measure_double :
+  ?seed:int ->
+  ?safe_rotation:Pr_embed.Rotation.t ->
+  Pr_topo.Topology.t ->
+  row
+(** Exhaustive ground truth at k = 2: every pair of links whose joint
+    removal keeps the graph connected.  The row's topology name is
+    suffixed ["(all pairs)"]. *)
+
+val measure_nodes :
+  ?seed:int ->
+  ?samples:int ->
+  ?safe_rotation:Pr_embed.Rotation.t ->
+  Pr_topo.Topology.t ->
+  k:int ->
+  row
+(** Router-failure variant (NF1 in DESIGN.md): each scenario fails [k]
+    routers (all their incident links); k = 1 enumerates every router whose
+    loss keeps the survivors connected.  The row's topology name is
+    suffixed ["+nodes"]. *)
+
+val sweep :
+  ?seed:int -> ?samples:int -> Pr_topo.Topology.t -> ks:int list -> row list
+(** Runs {!measure} for each feasible [k] with a shared safe rotation;
+    values of [k] above the cycle rank [m - n + 1] (beyond which no
+    connected survivor exists) are skipped. *)
+
+val table : row list -> string
+(** Rendered rows with delivery ratios. *)

@@ -1,0 +1,151 @@
+module Graph = Pr_graph.Graph
+module Topology = Pr_topo.Topology
+
+type scheme = Reconvergence | Fcp | Pr
+
+type embedding_choice = Geometric | Adjacency | Random_rotation | Optimised | Safe_optimised
+
+type config = {
+  topology : Topology.t;
+  k : int;
+  samples : int;
+  seed : int;
+  termination : Pr_core.Forward.termination;
+  discriminator : Pr_core.Discriminator.kind;
+  quantise_dd : bool;
+  embedding : embedding_choice;
+}
+
+let default topology ~k =
+  {
+    topology;
+    k;
+    samples = 200;
+    seed = 42;
+    termination = Pr_core.Forward.Distance_discriminator;
+    discriminator = Pr_core.Discriminator.Hops;
+    quantise_dd = false;
+    embedding = Geometric;
+  }
+
+type result = {
+  config : config;
+  scenarios : int;
+  pairs_measured : int;
+  genus : int;
+  curved_edges : int;
+  curves : (scheme * Pr_stats.Ccdf.t) list;
+  pr_failures : (int * int * (int * int) list) list;
+}
+
+let scheme_name = function
+  | Reconvergence -> "reconvergence"
+  | Fcp -> "fcp"
+  | Pr -> "pr"
+
+let resolve_rotation config (topo : Topology.t) =
+  match config.embedding with
+  | Geometric -> Pr_embed.Geometric.of_topology topo
+  | Adjacency -> Pr_embed.Rotation.adjacency topo.graph
+  | Random_rotation ->
+      Pr_embed.Rotation.random (Pr_util.Rng.create ~seed:config.seed) topo.graph
+  | Optimised ->
+      Pr_embed.Optimize.best_of
+        (Pr_util.Rng.create ~seed:config.seed)
+        topo.graph
+  | Safe_optimised ->
+      (Pr_embed.Recommend.for_topology ~seed:config.seed topo).rotation
+
+let scenarios_of config g =
+  if config.k = 1 then Pr_core.Scenario.single_links g
+  else
+    Pr_core.Scenario.random_multi
+      (Pr_util.Rng.create ~seed:config.seed)
+      g ~k:config.k ~samples:config.samples
+
+let run config =
+  let topo = config.topology in
+  let g = topo.graph in
+  let routing = Pr_core.Routing.build ~kind:config.discriminator g in
+  let rotation = resolve_rotation config topo in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let faces = Pr_embed.Faces.compute rotation in
+  let genus = Pr_embed.Surface.genus faces in
+  let curved_edges = List.length (Pr_embed.Validate.curved_edges faces) in
+  let scenarios = scenarios_of config g in
+  let reconv = ref [] and fcp = ref [] and pr = ref [] in
+  let pairs_measured = ref 0 in
+  let pr_failures = ref [] in
+  let measure scenario =
+    let failures = Pr_core.Failure.of_list g scenario in
+    let pairs = Pr_core.Scenario.connected_affected_pairs routing failures in
+    let per_pair (src, dst) =
+      incr pairs_measured;
+      reconv :=
+        Pr_baselines.Reconvergence.stretch ~routing ~failures ~src ~dst
+        :: !reconv;
+      let fcp_trace = Pr_baselines.Fcp.run g ~failures ~src ~dst () in
+      fcp := Pr_baselines.Fcp.stretch ~routing ~trace:fcp_trace ~src ~dst :: !fcp;
+      let pr_trace =
+        Pr_core.Forward.run ~termination:config.termination
+          ~quantise:config.quantise_dd ~routing ~cycles ~failures ~src ~dst ()
+      in
+      if pr_trace.outcome <> Pr_core.Forward.Delivered then
+        pr_failures := (src, dst, scenario) :: !pr_failures;
+      pr := Pr_core.Forward.stretch ~routing ~trace:pr_trace ~src ~dst :: !pr
+    in
+    List.iter per_pair pairs
+  in
+  List.iter measure scenarios;
+  let curve samples =
+    match samples with [] -> None | s -> Some (Pr_stats.Ccdf.of_samples s)
+  in
+  let curves =
+    List.filter_map
+      (fun (scheme, samples) ->
+        Option.map (fun c -> (scheme, c)) (curve samples))
+      [ (Reconvergence, !reconv); (Fcp, !fcp); (Pr, !pr) ]
+  in
+  {
+    config;
+    scenarios = List.length scenarios;
+    pairs_measured = !pairs_measured;
+    genus;
+    curved_edges;
+    curves;
+    pr_failures = List.rev !pr_failures;
+  }
+
+let xs_grid = List.init 29 (fun i -> 1.0 +. (0.5 *. float_of_int i))
+
+let print_gnuplot result =
+  Printf.printf
+    "# %s, k=%d: %d scenarios, %d affected pairs, genus %d, curved edges %d\n"
+    result.config.topology.name result.config.k result.scenarios
+    result.pairs_measured result.genus result.curved_edges;
+  Printf.printf "# x";
+  List.iter (fun (s, _) -> Printf.printf "  P(%s>x)" (scheme_name s)) result.curves;
+  print_newline ();
+  List.iter
+    (fun x ->
+      Printf.printf "%5.1f" x;
+      List.iter
+        (fun (_, ccdf) -> Printf.printf "  %8.4f" (Pr_stats.Ccdf.eval ccdf x))
+        result.curves;
+      print_newline ())
+    xs_grid;
+  if result.pr_failures <> [] then begin
+    let total = List.length result.pr_failures in
+    Printf.printf
+      "# WARNING: PR failed to deliver %d connected pairs (%.2f%%) — see EXPERIMENTS.md on genus > 0:\n"
+      total
+      (100.0 *. float_of_int total /. float_of_int (max 1 result.pairs_measured));
+    List.iteri
+      (fun i (src, dst, scenario) ->
+        if i < 5 then
+          Printf.printf "#   %d -> %d under {%s}\n" src dst
+            (String.concat ", "
+               (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) scenario)))
+      result.pr_failures;
+    if total > 5 then Printf.printf "#   ... and %d more\n" (total - 5)
+  end

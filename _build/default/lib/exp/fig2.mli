@@ -1,0 +1,66 @@
+(** The paper's Figure 2: stretch CCDFs of reconvergence, FCP and PR under
+    single and multiple link failures on Abilene, Teleglobe and Géant.
+
+    Protocol per panel:
+    + enumerate failure scenarios — every non-disconnecting single link for
+      k = 1, otherwise [samples] random connected-surviving k-link sets;
+    + for every scenario, take the (src, dst) pairs whose failure-free path
+      crosses a failure and that remain connected;
+    + for every such pair compute the stretch of each scheme (actual path
+      cost over failure-free shortest-path cost);
+    + plot P(Stretch > x | path). *)
+
+type scheme = Reconvergence | Fcp | Pr
+
+type embedding_choice =
+  | Geometric          (** rotation from node coordinates (default) *)
+  | Adjacency          (** neighbours in id order — an arbitrary embedding *)
+  | Random_rotation    (** uniform random rotation (seeded) *)
+  | Optimised          (** annealed minimum-genus search (seeded) *)
+  | Safe_optimised     (** the {!Pr_embed.Recommend} pipeline: certified
+                           planar embedding when the map is planar,
+                           otherwise a curved-edge-free annealed embedding.
+                           The deployable choice. *)
+
+type config = {
+  topology : Pr_topo.Topology.t;
+  k : int;
+  samples : int;       (** scenarios when k > 1 (k = 1 is exhaustive) *)
+  seed : int;
+  termination : Pr_core.Forward.termination;
+  discriminator : Pr_core.Discriminator.kind;
+  quantise_dd : bool;  (** compare DD values as the integer DD bits carry
+                           them (header-faithful mode) *)
+  embedding : embedding_choice;
+}
+
+val default : Pr_topo.Topology.t -> k:int -> config
+(** samples = 200, seed = 42, DD termination, hop discriminator, geometric
+    embedding. *)
+
+type result = {
+  config : config;
+  scenarios : int;
+  pairs_measured : int;
+  genus : int;                          (** of the embedding used *)
+  curved_edges : int;                   (** links with both arcs on one face *)
+  curves : (scheme * Pr_stats.Ccdf.t) list;
+  pr_failures : (int * int * (int * int) list) list;
+      (** (src, dst, failure set) of any connected pair PR failed to
+          deliver — expected empty; surfaced rather than hidden *)
+}
+
+val scheme_name : scheme -> string
+
+val resolve_rotation :
+  config -> Pr_topo.Topology.t -> Pr_embed.Rotation.t
+(** The rotation system a config selects (exposed for the ablation and the
+    CLI). *)
+
+val run : config -> result
+
+val xs_grid : float list
+(** 1.0, 1.5, ..., 15.0 — the paper's x-axis. *)
+
+val print_gnuplot : result -> unit
+(** Columns: x, then one CCDF column per scheme — directly plottable. *)

@@ -1,0 +1,51 @@
+module Forward = Pr_core.Forward
+
+type verdict = Delivers of int | Drops | Loops of int
+
+type state = {
+  at : int;
+  from_ : int option;
+  pr : bool;
+  dd : float;
+}
+
+let verdict ?termination ~routing ~cycles ~failures ~src ~dst () =
+  let seen = Hashtbl.create 64 in
+  let rec advance state hops =
+    if state.at = dst then Delivers hops
+    else if Hashtbl.mem seen state then Loops hops
+    else begin
+      Hashtbl.replace seen state ();
+      match
+        Forward.step ?termination ~routing ~cycles ~failures ~dst
+          ~node:state.at ~arrived_from:state.from_
+          ~header:{ Forward.pr_bit = state.pr; dd_value = state.dd }
+          ()
+      with
+      | Forward.Stuck _ -> Drops
+      | Forward.Transmit { next; header; _ } ->
+          advance
+            {
+              at = next;
+              from_ = Some state.at;
+              pr = header.Forward.pr_bit;
+              dd = header.Forward.dd_value;
+            }
+            (hops + 1)
+    end
+  in
+  advance { at = src; from_ = None; pr = false; dd = 0.0 } 0
+
+let agrees_with_engine ?termination ~routing ~cycles ~failures ~src ~dst () =
+  let exact = verdict ?termination ~routing ~cycles ~failures ~src ~dst () in
+  (* A TTL beyond the state-space size, so the engine's Ttl_exceeded can
+     only mean a genuine loop. *)
+  let n = Pr_graph.Graph.n (Pr_core.Routing.graph routing) in
+  let ttl = (4 * n * n * n) + 16 in
+  let trace = Forward.run ?termination ~ttl ~routing ~cycles ~failures ~src ~dst () in
+  match (exact, trace.Forward.outcome) with
+  | Delivers hops, Forward.Delivered ->
+      hops = Pr_graph.Paths.hops trace.Forward.path
+  | Drops, (Forward.Dropped_no_interface | Forward.Dropped_unreachable) -> true
+  | Loops _, Forward.Ttl_exceeded -> true
+  | (Delivers _ | Drops | Loops _), _ -> false

@@ -1,0 +1,36 @@
+(** Exact loop detection for the forwarding protocol.
+
+    A packet's journey is a deterministic walk over the finite state space
+    (current node, previous node, PR bit, DD value), so instead of bounding
+    it with a TTL we can detect repetition exactly: the packet loops if
+    and only if a state recurs.  This gives a second, independent
+    implementation of the forwarding semantics used to differentially test
+    {!Pr_core.Forward.run} (same paths, same verdicts, no TTL
+    approximation). *)
+
+type verdict =
+  | Delivers of int   (** hops taken *)
+  | Drops             (** no live interface / no route *)
+  | Loops of int      (** exact loop detected after this many hops *)
+
+val verdict :
+  ?termination:Pr_core.Forward.termination ->
+  routing:Pr_core.Routing.t ->
+  cycles:Pr_core.Cycle_table.t ->
+  failures:Pr_core.Failure.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  verdict
+
+val agrees_with_engine :
+  ?termination:Pr_core.Forward.termination ->
+  routing:Pr_core.Routing.t ->
+  cycles:Pr_core.Cycle_table.t ->
+  failures:Pr_core.Failure.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  bool
+(** Differential test: the exact verdict matches {!Pr_core.Forward.run}'s
+    outcome ([Loops] ↔ [Ttl_exceeded], [Drops] ↔ [Dropped_*]). *)

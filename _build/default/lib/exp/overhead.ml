@@ -1,0 +1,109 @@
+module Graph = Pr_graph.Graph
+module Topology = Pr_topo.Topology
+
+type row = {
+  topology : string;
+  nodes : int;
+  links : int;
+  diameter_hops : int;
+  pr_dd_bits : int;
+  pr_header_bits : int;
+  pr_fits_dscp : bool;
+  fcp_bits_per_failure : int;
+  fcp_header_bits_worst : int;
+  pr_cycle_entries : int;
+  pr_routing_entries : int;
+  pr_spf_per_failure : int;
+  reconv_spf_per_failure : int;
+  mrc_configurations : int;
+  mrc_header_bits : int;
+  mrc_routing_entries : int;
+}
+
+let measure (topo : Topology.t) =
+  let g = topo.graph in
+  let routing = Pr_core.Routing.build g in
+  let dd_bits = Pr_core.Routing.dd_bits routing in
+  let fcp_worst = ref 0 in
+  let single_failure scenario =
+    let failures = Pr_core.Failure.of_list g scenario in
+    let pairs = Pr_core.Scenario.connected_affected_pairs routing failures in
+    List.iter
+      (fun (src, dst) ->
+        let trace = Pr_baselines.Fcp.run g ~failures ~src ~dst () in
+        fcp_worst := max !fcp_worst (Pr_baselines.Fcp.header_bits g trace))
+      pairs
+  in
+  List.iter single_failure (Pr_core.Scenario.single_links g);
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  {
+    topology = topo.name;
+    nodes = Graph.n g;
+    links = Graph.m g;
+    diameter_hops = Pr_graph.Dijkstra.diameter_hops g;
+    pr_dd_bits = dd_bits;
+    pr_header_bits = Pr_core.Header.bits_used ~dd_bits;
+    pr_fits_dscp = Pr_core.Header.fits_in_dscp ~dd_bits;
+    fcp_bits_per_failure = Pr_baselines.Fcp.bits_per_failure g;
+    fcp_header_bits_worst = !fcp_worst;
+    pr_cycle_entries = Pr_core.Cycle_table.memory_entries cycles;
+    pr_routing_entries = Pr_core.Routing.memory_entries routing;
+    pr_spf_per_failure = 0;
+    reconv_spf_per_failure = Graph.n g;
+    mrc_configurations =
+      (match Pr_baselines.Mrc.build g with
+      | Some t -> Pr_baselines.Mrc.configurations t
+      | None -> -1);
+    mrc_header_bits =
+      (match Pr_baselines.Mrc.build g with
+      | Some t -> Pr_baselines.Mrc.header_bits t
+      | None -> -1);
+    mrc_routing_entries =
+      (match Pr_baselines.Mrc.build g with
+      | Some t ->
+          (Pr_baselines.Mrc.configurations t + 1) * Graph.n g * (Graph.n g - 1)
+      | None -> -1);
+  }
+
+let table topologies =
+  let rows = List.map measure topologies in
+  let cells r =
+    [
+      r.topology;
+      string_of_int r.nodes;
+      string_of_int r.links;
+      string_of_int r.diameter_hops;
+      string_of_int r.pr_header_bits;
+      (if r.pr_fits_dscp then "yes" else "no");
+      string_of_int r.fcp_bits_per_failure;
+      string_of_int r.fcp_header_bits_worst;
+      string_of_int r.pr_cycle_entries;
+      string_of_int r.pr_routing_entries;
+      string_of_int r.pr_spf_per_failure;
+      string_of_int r.reconv_spf_per_failure;
+      string_of_int r.mrc_configurations;
+      string_of_int r.mrc_header_bits;
+      string_of_int r.mrc_routing_entries;
+    ]
+  in
+  Pr_util.Tablefmt.render
+    ~header:
+      [
+        "topology";
+        "n";
+        "m";
+        "diam";
+        "PR hdr bits";
+        "fits DSCP";
+        "FCP bits/fail";
+        "FCP worst hdr";
+        "PR cycle entries";
+        "PR rt entries";
+        "PR SPF/fail";
+        "reconv SPF/fail";
+        "MRC cfgs";
+        "MRC hdr bits";
+        "MRC rt entries";
+      ]
+    (List.map cells rows)

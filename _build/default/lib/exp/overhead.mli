@@ -1,0 +1,30 @@
+(** The paper's §6 overhead comparison, quantified per topology:
+    header bits, router memory and per-failure computation of PR, FCP and
+    reconvergence. *)
+
+type row = {
+  topology : string;
+  nodes : int;
+  links : int;
+  diameter_hops : int;
+  pr_dd_bits : int;          (** DD bits for the hop discriminator *)
+  pr_header_bits : int;      (** 1 + DD bits *)
+  pr_fits_dscp : bool;       (** the paper's DSCP pool-2 deployment claim *)
+  fcp_bits_per_failure : int;(** bits to name one link in the header *)
+  fcp_header_bits_worst : int;
+      (** worst observed header across all single-failure runs *)
+  pr_cycle_entries : int;    (** cycle-following entries network-wide, 2m *)
+  pr_routing_entries : int;  (** routing entries network-wide, n(n-1) *)
+  pr_spf_per_failure : int;  (** SPF recomputations PR needs at failure time: 0 *)
+  reconv_spf_per_failure : int; (** every router recomputes: n *)
+  mrc_configurations : int;  (** backup configurations MRC needs; -1 if unbuildable *)
+  mrc_header_bits : int;     (** bits to carry the configuration id *)
+  mrc_routing_entries : int; (** routing entries across all configurations *)
+}
+
+val measure : Pr_topo.Topology.t -> row
+(** FCP's worst header is measured by running FCP on every non-bridge
+    single-link failure and every affected pair. *)
+
+val table : Pr_topo.Topology.t list -> string
+(** Rendered comparison table. *)

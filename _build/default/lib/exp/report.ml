@@ -1,0 +1,96 @@
+let paper_panels () =
+  let abilene = Pr_topo.Abilene.topology () in
+  let teleglobe = Pr_topo.Teleglobe.topology () in
+  let geant = Pr_topo.Geant.topology () in
+  let safe config = { config with Fig2.embedding = Fig2.Safe_optimised } in
+  [
+    ("fig2a", Fig2.default abilene ~k:1);
+    ("fig2b", safe (Fig2.default teleglobe ~k:1));
+    ("fig2c", safe (Fig2.default geant ~k:1));
+    ("fig2d", { (Fig2.default abilene ~k:4) with samples = 100 });
+    ("fig2e", safe { (Fig2.default teleglobe ~k:10) with samples = 100 });
+    ("fig2f", safe { (Fig2.default geant ~k:16) with samples = 100 });
+  ]
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Report: %s exists and is not a directory" dir)
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let scheme_title = function
+  | Fig2.Reconvergence -> "Re-convergence"
+  | Fig2.Fcp -> "Failure-Carrying Packets"
+  | Fig2.Pr -> "Packet Re-cycling"
+
+let write_fig2 ~dir ~name (result : Fig2.result) =
+  ensure_dir dir;
+  let dat = Filename.concat dir (name ^ ".dat") in
+  with_file dat (fun oc ->
+      Printf.fprintf oc "# %s k=%d scenarios=%d pairs=%d genus=%d curved=%d\n"
+        result.config.topology.name result.config.k result.scenarios
+        result.pairs_measured result.genus result.curved_edges;
+      Printf.fprintf oc "# x";
+      List.iter
+        (fun (s, _) -> Printf.fprintf oc " %s" (Fig2.scheme_name s))
+        result.curves;
+      output_char oc '\n';
+      List.iter
+        (fun x ->
+          Printf.fprintf oc "%g" x;
+          List.iter
+            (fun (_, ccdf) -> Printf.fprintf oc " %.6f" (Pr_stats.Ccdf.eval ccdf x))
+            result.curves;
+          output_char oc '\n')
+        Fig2.xs_grid);
+  let gp = Filename.concat dir (name ^ ".gp") in
+  with_file gp (fun oc ->
+      Printf.fprintf oc "set terminal pngcairo size 640,480\n";
+      Printf.fprintf oc "set output '%s.png'\n" name;
+      Printf.fprintf oc "set xlabel 'Stretch'\n";
+      Printf.fprintf oc "set ylabel 'P(Stretch > x | path)'\n";
+      Printf.fprintf oc "set xrange [1:15]\nset yrange [0:1]\nset key top right\n";
+      Printf.fprintf oc "set title '%s, k = %d failures'\n"
+        result.config.topology.name result.config.k;
+      let plots =
+        List.mapi
+          (fun i (s, _) ->
+            Printf.sprintf "'%s.dat' using 1:%d with linespoints title '%s'"
+              name (i + 2) (scheme_title s))
+          result.curves
+      in
+      Printf.fprintf oc "plot %s\n" (String.concat ", \\\n     " plots))
+
+let write_paper_figures ?(echo = ignore) ~dir () =
+  ensure_dir dir;
+  let names =
+    List.map
+      (fun (name, config) ->
+        let result = Fig2.run config in
+        write_fig2 ~dir ~name result;
+        echo
+          (Printf.sprintf "%s: %d pairs, genus %d, %d PR losses -> %s/%s.dat"
+             name result.Fig2.pairs_measured result.Fig2.genus
+             (List.length result.Fig2.pr_failures)
+             dir name);
+        name)
+      (paper_panels ())
+  in
+  with_file (Filename.concat dir "fig2.gp") (fun oc ->
+      Printf.fprintf oc "set terminal pngcairo size 1800,900\n";
+      Printf.fprintf oc "set output 'fig2.png'\n";
+      Printf.fprintf oc "set multiplot layout 2,3\n";
+      Printf.fprintf oc "set xlabel 'Stretch'\nset ylabel 'P(Stretch > x | path)'\n";
+      Printf.fprintf oc "set xrange [1:15]\nset yrange [0:1]\n";
+      List.iter
+        (fun name ->
+          Printf.fprintf oc
+            "plot '%s.dat' using 1:2 with linespoints title 'Re-convergence', \\\n\
+            \     '%s.dat' using 1:3 with linespoints title 'FCP', \\\n\
+            \     '%s.dat' using 1:4 with linespoints title 'PR'\n"
+            name name name)
+        names;
+      Printf.fprintf oc "unset multiplot\n")

@@ -1,0 +1,18 @@
+(** File output for the experiments: gnuplot-ready data and scripts that
+    redraw the paper's Figure 2 panels. *)
+
+val paper_panels : unit -> (string * Fig2.config) list
+(** The six configurations of the paper's Figure 2, in paper order
+    ("fig2a" … "fig2f"): Abilene/Teleglobe/Géant × single/multi failures.
+    Abilene uses its (planar) geometric embedding; the non-planar maps use
+    the PR-safe annealed embedding (DESIGN.md §3). *)
+
+val write_fig2 : dir:string -> name:string -> Fig2.result -> unit
+(** Writes [name.dat] (columns: x, then one CCDF per scheme) and [name.gp]
+    (a gnuplot script in the paper's panel style) into [dir], creating it
+    if needed. *)
+
+val write_paper_figures : ?echo:(string -> unit) -> dir:string -> unit -> unit
+(** Runs all six panels, writes their data and scripts plus a [fig2.gp]
+    master script that renders the full 2x3 figure.  [echo] receives a
+    progress line per panel. *)

@@ -1,0 +1,106 @@
+module Topology = Pr_topo.Topology
+
+type row = {
+  topology : string;
+  nodes : int;
+  links : int;
+  certified_planar : bool;
+  genus : int;
+  curved : int;
+  reconv_mean : float;
+  fcp_mean : float;
+  pr_mean : float;
+  pr_p95 : float;
+  pr_undelivered : int;
+}
+
+(* Waxman graphs can come out disconnected: keep the giant component. *)
+let giant_component (topo : Topology.t) =
+  let labels', count = Pr_graph.Connectivity.components topo.graph in
+  if count <= 1 then topo
+  else begin
+    let sizes = Array.make count 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) labels';
+    let best = ref 0 in
+    Array.iteri (fun c size -> if size > sizes.(!best) then best := c) sizes;
+    let nodes =
+      List.filter (fun v -> labels'.(v) = !best) (List.init (Topology.n topo) Fun.id)
+    in
+    let graph, mapping = Pr_graph.Graph.induced topo.graph nodes in
+    Topology.make ~name:topo.name
+      ~labels:(Array.map (fun v -> topo.labels.(v)) mapping)
+      ~coords:(Array.map (fun v -> topo.coords.(v)) mapping)
+      (Pr_graph.Graph.fold_edges
+         (fun _ (e : Pr_graph.Graph.edge) acc -> (e.u, e.v, e.w) :: acc)
+         graph []
+      |> List.rev)
+  end
+
+let families ?(seed = 42) () =
+  let rng = Pr_util.Rng.create ~seed in
+  [
+    Pr_topo.Generate.waxman (Pr_util.Rng.split rng) ~n:40 ~alpha:0.9 ~beta:0.12
+    |> Topology.with_unit_weights |> giant_component;
+    Pr_topo.Generate.barabasi_albert (Pr_util.Rng.split rng) ~n:40 ~k:2;
+    Pr_topo.Generate.two_connected (Pr_util.Rng.split rng) ~n:30 ~extra:12;
+    Pr_topo.Generate.grid ~rows:6 ~cols:6;
+    Pr_topo.Generate.torus ~rows:5 ~cols:5;
+    Pr_topo.Generate.hypercube 5;
+    Pr_topo.Generate.apollonian (Pr_util.Rng.split rng) ~n:30;
+    Pr_topo.Generate.hierarchical (Pr_util.Rng.split rng) ~regions:8
+      ~per_region:6 ~extra:6;
+  ]
+
+let mean_of ccdf = Option.value ~default:infinity (Pr_stats.Ccdf.mean_finite ccdf)
+
+let measure ?(seed = 42) topo =
+  let quality = Pr_embed.Recommend.for_topology ~seed topo in
+  let removable_curved =
+    List.length
+      (Pr_embed.Validate.removable_curved_edges
+         (Pr_embed.Faces.compute quality.Pr_embed.Recommend.rotation))
+  in
+  let config =
+    { (Fig2.default topo ~k:1) with seed; embedding = Fig2.Safe_optimised }
+  in
+  let result = Fig2.run config in
+  let curve scheme = List.assoc scheme result.Fig2.curves in
+  let pr = curve Fig2.Pr in
+  {
+    topology = topo.Topology.name;
+    nodes = Topology.n topo;
+    links = Topology.m topo;
+    certified_planar = quality.Pr_embed.Recommend.certified_planar;
+    genus = quality.Pr_embed.Recommend.genus;
+    curved = removable_curved;
+    reconv_mean = mean_of (curve Fig2.Reconvergence);
+    fcp_mean = mean_of (curve Fig2.Fcp);
+    pr_mean = mean_of pr;
+    pr_p95 = Pr_stats.Ccdf.quantile pr 0.95;
+    pr_undelivered = List.length result.Fig2.pr_failures;
+  }
+
+let table ?seed () =
+  let rows = List.map (measure ?seed) (families ?seed ()) in
+  Pr_util.Tablefmt.render
+    ~header:
+      [
+        "topology"; "n"; "m"; "planar"; "genus"; "curved"; "reconv mean";
+        "FCP mean"; "PR mean"; "PR p95"; "PR undelivered";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           string_of_int r.nodes;
+           string_of_int r.links;
+           (if r.certified_planar then "yes" else "no");
+           string_of_int r.genus;
+           string_of_int r.curved;
+           Pr_util.Tablefmt.float_cell r.reconv_mean;
+           Pr_util.Tablefmt.float_cell r.fcp_mean;
+           Pr_util.Tablefmt.float_cell r.pr_mean;
+           Pr_util.Tablefmt.float_cell r.pr_p95;
+           string_of_int r.pr_undelivered;
+         ])
+       rows)

@@ -1,0 +1,26 @@
+(** Beyond the paper: does Figure 2's story generalise past the three ISP
+    maps?  Single-failure sweeps over standard synthetic families, each
+    embedded through the {!Pr_embed.Recommend} pipeline. *)
+
+type row = {
+  topology : string;
+  nodes : int;
+  links : int;
+  certified_planar : bool;
+  genus : int;
+  curved : int;          (** non-bridge curved links (bridges are always
+                             curved but their failure disconnects) *)
+  reconv_mean : float;   (** mean stretch over affected pairs *)
+  fcp_mean : float;
+  pr_mean : float;
+  pr_p95 : float;
+  pr_undelivered : int;
+}
+
+val families : ?seed:int -> unit -> Pr_topo.Topology.t list
+(** Waxman, Barabási–Albert, random 2-connected, grid, torus, hypercube,
+    Apollonian, hierarchical ISP — seeded and deterministic. *)
+
+val measure : ?seed:int -> Pr_topo.Topology.t -> row
+
+val table : ?seed:int -> unit -> string

@@ -1,0 +1,82 @@
+module Topology = Pr_topo.Topology
+module Forward = Pr_core.Forward
+
+type row = {
+  topology : string;
+  k : int;
+  ttl : int;
+  pairs : int;
+  delivered : int;
+  died_of_ttl : int;
+  undeliverable : int;
+}
+
+let measure ?(seed = 42) ?(samples = 60) ?safe_rotation (topo : Topology.t) ~k
+    ~ttls =
+  let g = topo.graph in
+  let routing = Pr_core.Routing.build g in
+  let rotation =
+    match safe_rotation with
+    | Some r -> r
+    | None -> (Pr_embed.Recommend.for_topology ~seed topo).Pr_embed.Recommend.rotation
+  in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let scenarios =
+    if k = 1 then Pr_core.Scenario.single_links g
+    else Pr_core.Scenario.random_multi (Pr_util.Rng.create ~seed) g ~k ~samples
+  in
+  (* Hop counts with an effectively unlimited budget, per pair. *)
+  let hops_needed = ref [] in
+  let pairs = ref 0 in
+  List.iter
+    (fun scenario ->
+      let failures = Pr_core.Failure.of_list g scenario in
+      List.iter
+        (fun (src, dst) ->
+          incr pairs;
+          let trace = Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          match trace.Forward.outcome with
+          | Forward.Delivered ->
+              hops_needed := Some (Pr_graph.Paths.hops trace.Forward.path) :: !hops_needed
+          | Forward.Dropped_no_interface | Forward.Dropped_unreachable
+          | Forward.Ttl_exceeded ->
+              hops_needed := None :: !hops_needed)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+    scenarios;
+  let undeliverable =
+    List.length (List.filter (fun h -> h = None) !hops_needed)
+  in
+  List.map
+    (fun ttl ->
+      let delivered =
+        List.length
+          (List.filter (function Some h -> h <= ttl | None -> false) !hops_needed)
+      in
+      {
+        topology = topo.name;
+        k;
+        ttl;
+        pairs = !pairs;
+        delivered;
+        died_of_ttl = !pairs - undeliverable - delivered;
+        undeliverable;
+      })
+    ttls
+
+let table rows =
+  Pr_util.Tablefmt.render
+    ~header:
+      [ "topology"; "k"; "TTL"; "pairs"; "delivered"; "died of TTL"; "undeliverable" ]
+    (List.map
+       (fun r ->
+         [
+           r.topology;
+           string_of_int r.k;
+           string_of_int r.ttl;
+           string_of_int r.pairs;
+           Printf.sprintf "%d (%.1f%%)" r.delivered
+             (100.0 *. float_of_int r.delivered /. float_of_int (max 1 r.pairs));
+           string_of_int r.died_of_ttl;
+           string_of_int r.undeliverable;
+         ])
+       rows)

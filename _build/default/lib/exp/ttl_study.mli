@@ -1,0 +1,28 @@
+(** Deployment question the paper leaves open: PR's recovery walks can be
+    long (stretch up to ~15 in Figure 2), and in a real network the IP TTL
+    caps them.  This experiment measures, per TTL budget, how many
+    otherwise-recoverable packets die of TTL expiry while re-cycling. *)
+
+type row = {
+  topology : string;
+  k : int;
+  ttl : int;
+  pairs : int;           (** connected affected pairs *)
+  delivered : int;       (** within the TTL budget *)
+  died_of_ttl : int;     (** delivered with unlimited TTL, lost with this one *)
+  undeliverable : int;   (** lost even with unlimited TTL (genus residue) *)
+}
+
+val measure :
+  ?seed:int ->
+  ?samples:int ->
+  ?safe_rotation:Pr_embed.Rotation.t ->
+  Pr_topo.Topology.t ->
+  k:int ->
+  ttls:int list ->
+  row list
+(** One row per TTL over a shared scenario set (k = 1 exhaustive,
+    otherwise [samples] random connected-surviving sets; defaults
+    seed 42, samples 60). *)
+
+val table : row list -> string

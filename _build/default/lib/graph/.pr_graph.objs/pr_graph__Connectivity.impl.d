@@ -1,0 +1,1 @@
+lib/graph/connectivity.ml: Array Graph Hashtbl List Pr_util Stack Traversal

@@ -1,0 +1,1 @@
+lib/graph/connectivity.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Format Graph List

@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Array Graph List Pr_util Queue

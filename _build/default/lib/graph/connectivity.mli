@@ -1,0 +1,37 @@
+(** Connectivity, components, bridges and biconnectivity.
+
+    PR's single-failure guarantee requires 2-edge-connectivity; failure
+    scenario generation must keep the surviving graph connected.  These are
+    the predicates that enforce both. *)
+
+val components : ?blocked:(int -> bool) -> Graph.t -> int array * int
+(** [components g] labels each node with a component id in [\[0, count)];
+    returns the labels and the component count.  Component ids are assigned
+    in increasing order of their smallest node. *)
+
+val is_connected : ?blocked:(int -> bool) -> Graph.t -> bool
+(** True when the graph has at most one component ([n <= 1] counts). *)
+
+val same_component : ?blocked:(int -> bool) -> Graph.t -> int -> int -> bool
+
+val connected_without : Graph.t -> (int * int) list -> bool
+(** [connected_without g removals] — connectivity of the surviving graph,
+    computed with union-find without rebuilding the graph. *)
+
+val bridges : Graph.t -> (int * int) list
+(** Bridge edges (canonical orientation, increasing order). *)
+
+val articulation_points : Graph.t -> int list
+
+val blocks : Graph.t -> (int * int) list list
+(** Biconnected components (blocks): a partition of the edge set such that
+    two edges share a block iff they lie on a common simple cycle.
+    Bridges form singleton blocks.  Edges are in canonical orientation;
+    blocks are sorted by their smallest edge.  Planarity and embedding
+    algorithms work block by block. *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** Connected, at least 2 nodes, and bridge-free. *)
+
+val is_biconnected : Graph.t -> bool
+(** Connected, at least 3 nodes, and articulation-free. *)

@@ -1,0 +1,27 @@
+let to_dot ?(name = "g") ?(node_label = string_of_int) ?(highlight_edges = []) g =
+  let buf = Buffer.create 1024 in
+  let highlighted = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace highlighted (Graph.edge_index g u v) ())
+    highlight_edges;
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" v (node_label v))
+  done;
+  Graph.iter_edges
+    (fun i e ->
+      let attrs =
+        if Hashtbl.mem highlighted i then
+          Printf.sprintf " [label=\"%g\", color=red, style=dashed]" e.w
+        else Printf.sprintf " [label=\"%g\"]" e.w
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" e.u e.v attrs))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path ?name ?node_label ?highlight_edges g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?node_label ?highlight_edges g))

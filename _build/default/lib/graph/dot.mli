@@ -1,0 +1,18 @@
+(** Graphviz export, for inspecting topologies and embeddings. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?highlight_edges:(int * int) list ->
+  Graph.t ->
+  string
+(** Undirected dot output.  [highlight_edges] are drawn dashed red (used for
+    failed links). *)
+
+val write_file :
+  path:string ->
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?highlight_edges:(int * int) list ->
+  Graph.t ->
+  unit

@@ -1,0 +1,141 @@
+type edge = { u : int; v : int; w : float }
+
+type t = {
+  n : int;
+  edge_array : edge array;
+  adj : int array array;
+  edge_of : (int, int) Hashtbl.t; (* key u * n + v, both orientations *)
+}
+
+let key t u v = (u * t.n) + v
+
+let create ~n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  let seen = Hashtbl.create (2 * List.length edge_list) in
+  let canonical =
+    List.map
+      (fun (u, v, w) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg
+            (Printf.sprintf "Graph.create: endpoint out of range (%d,%d)" u v);
+        if u = v then invalid_arg "Graph.create: self loop";
+        if not (Float.is_finite w) || w <= 0.0 then
+          invalid_arg "Graph.create: weights must be finite and positive";
+        let u, v = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen (u, v) then
+          invalid_arg (Printf.sprintf "Graph.create: duplicate edge (%d,%d)" u v);
+        Hashtbl.replace seen (u, v) ();
+        { u; v; w })
+      edge_list
+  in
+  let edge_array = Array.of_list canonical in
+  let degree = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      degree.(e.u) <- degree.(e.u) + 1;
+      degree.(e.v) <- degree.(e.v) + 1)
+    edge_array;
+  let adj = Array.init n (fun i -> Array.make degree.(i) (-1)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      adj.(e.u).(fill.(e.u)) <- e.v;
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- e.u;
+      fill.(e.v) <- fill.(e.v) + 1)
+    edge_array;
+  Array.iter (fun row -> Array.sort compare row) adj;
+  let t = { n; edge_array; adj; edge_of = Hashtbl.create (4 * Array.length edge_array) } in
+  Array.iteri
+    (fun i e ->
+      Hashtbl.replace t.edge_of (key t e.u e.v) i;
+      Hashtbl.replace t.edge_of (key t e.v e.u) i)
+    edge_array;
+  t
+
+let unweighted ~n pairs = create ~n (List.map (fun (u, v) -> (u, v, 1.0)) pairs)
+
+let n t = t.n
+
+let m t = Array.length t.edge_array
+
+let neighbours t v =
+  if v < 0 || v >= t.n then invalid_arg "Graph.neighbours: node out of range";
+  t.adj.(v)
+
+let degree t v = Array.length (neighbours t v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (degree t v)
+  done;
+  !best
+
+let has_edge t u v =
+  u >= 0 && u < t.n && v >= 0 && v < t.n && Hashtbl.mem t.edge_of (key t u v)
+
+let edge_index t u v =
+  match Hashtbl.find_opt t.edge_of (key t u v) with
+  | Some i -> i
+  | None -> raise Not_found
+
+let edge t i = t.edge_array.(i)
+
+let weight t u v = (edge t (edge_index t u v)).w
+
+let edges t = t.edge_array
+
+let fold_edges f t init =
+  let acc = ref init in
+  Array.iteri (fun i e -> acc := f i e !acc) t.edge_array;
+  !acc
+
+let iter_edges f t = Array.iteri f t.edge_array
+
+let total_weight t = Array.fold_left (fun acc e -> acc +. e.w) 0.0 t.edge_array
+
+let without_edges t removals =
+  let removed = Hashtbl.create (2 * List.length removals) in
+  List.iter
+    (fun (u, v) ->
+      if not (has_edge t u v) then
+        invalid_arg (Printf.sprintf "Graph.without_edges: no edge (%d,%d)" u v);
+      Hashtbl.replace removed (edge_index t u v) ())
+    removals;
+  let kept =
+    fold_edges
+      (fun i e acc -> if Hashtbl.mem removed i then acc else (e.u, e.v, e.w) :: acc)
+      t []
+  in
+  create ~n:t.n (List.rev kept)
+
+let induced t nodes =
+  let nodes = List.sort_uniq compare nodes in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= t.n then invalid_arg "Graph.induced: node out of range")
+    nodes;
+  let mapping = Array.of_list nodes in
+  let back = Hashtbl.create (2 * Array.length mapping) in
+  Array.iteri (fun fresh original -> Hashtbl.replace back original fresh) mapping;
+  let kept =
+    fold_edges
+      (fun _ e acc ->
+        match (Hashtbl.find_opt back e.u, Hashtbl.find_opt back e.v) with
+        | Some u', Some v' -> (u', v', e.w) :: acc
+        | _ -> acc)
+      t []
+  in
+  (create ~n:(Array.length mapping) (List.rev kept), mapping)
+
+let equal_structure a b =
+  n a = n b && m a = m b
+  && fold_edges
+       (fun _ e acc -> acc && has_edge b e.u e.v && weight b e.u e.v = e.w)
+       a true
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d" t.n (m t);
+  iter_edges (fun _ e -> Format.fprintf ppf "@,  %d -- %d  w=%g" e.u e.v e.w) t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,23 @@
+let rec pairs = function
+  | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+  | [ _ ] | [] -> []
+
+let is_walk g path = List.for_all (fun (u, v) -> Graph.has_edge g u v) (pairs path)
+
+let cost g path =
+  List.fold_left (fun acc (u, v) -> acc +. Graph.weight g u v) 0.0 (pairs path)
+
+let hops path = max 0 (List.length path - 1)
+
+let edges_of_walk g path = List.map (fun (u, v) -> Graph.edge_index g u v) (pairs path)
+
+let uses_edge g path u v =
+  let target = Graph.edge_index g u v in
+  List.exists (fun i -> i = target) (edges_of_walk g path)
+
+let pp ppf path =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+       Format.pp_print_int)
+    path

@@ -1,0 +1,20 @@
+(** Helpers over node-sequence paths (as produced by forwarding traces). *)
+
+val is_walk : Graph.t -> int list -> bool
+(** Every consecutive pair is an edge.  Empty and singleton lists are
+    walks. *)
+
+val cost : Graph.t -> int list -> float
+(** Sum of edge weights along the walk.  Raises [Not_found] when two
+    consecutive nodes are not adjacent. *)
+
+val hops : int list -> int
+(** Number of edges in the walk. *)
+
+val edges_of_walk : Graph.t -> int list -> int list
+(** Dense edge indices traversed, in order. *)
+
+val uses_edge : Graph.t -> int list -> int -> int -> bool
+(** Does the walk traverse the given edge (in either direction)? *)
+
+val pp : Format.formatter -> int list -> unit

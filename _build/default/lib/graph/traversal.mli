@@ -1,0 +1,12 @@
+(** Breadth-first and depth-first primitives. *)
+
+val bfs_hops : ?blocked:(int -> bool) -> Graph.t -> source:int -> int array
+(** Hop distances from [source]; [max_int] where unreachable.  [blocked]
+    hides edges by dense index. *)
+
+val bfs_order : ?blocked:(int -> bool) -> Graph.t -> source:int -> int list
+(** Visit order, starting with [source]. *)
+
+val dfs_preorder : Graph.t -> source:int -> int list
+
+val reachable_set : ?blocked:(int -> bool) -> Graph.t -> source:int -> Pr_util.Bitset.t

@@ -1,0 +1,1 @@
+lib/interdomain/prefix.ml: Array Float Hashtbl List Pr_core Pr_embed Pr_graph Pr_topo

@@ -1,0 +1,1 @@
+lib/interdomain/prefix.mli: Pr_core Pr_topo

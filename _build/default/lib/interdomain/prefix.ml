@@ -1,0 +1,101 @@
+module Graph = Pr_graph.Graph
+module Topology = Pr_topo.Topology
+
+type t = {
+  base_topo : Topology.t;
+  extended : Topology.t;
+  prefix_node : int;
+  egress_list : int list;
+}
+
+let attach (topo : Topology.t) ~name ~egresses =
+  if egresses = [] then invalid_arg "Prefix.attach: no egresses";
+  let n = Topology.n topo in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (v, w) ->
+      if v < 0 || v >= n then invalid_arg "Prefix.attach: egress out of range";
+      if Hashtbl.mem seen v then invalid_arg "Prefix.attach: duplicate egress";
+      if w <= 0.0 then invalid_arg "Prefix.attach: non-positive weight";
+      Hashtbl.replace seen v ())
+    egresses;
+  let prefix_node = n in
+  let edges =
+    Graph.fold_edges
+      (fun _ (e : Graph.edge) acc -> (e.u, e.v, e.w) :: acc)
+      topo.graph []
+    |> List.rev
+  in
+  let edges = edges @ List.map (fun (v, w) -> (v, prefix_node, w)) egresses in
+  (* Place the virtual node well outside the map's bounding box (below the
+     centroid of its egresses): external peers live "outside" the drawing,
+     which keeps the geometric seed rotation close to planar. *)
+  let cx =
+    List.fold_left
+      (fun sx (v, _) -> sx +. fst (Topology.coord topo v))
+      0.0 egresses
+    /. float_of_int (List.length egresses)
+  in
+  let ys = Array.to_list (Array.map snd topo.coords) in
+  let min_y = List.fold_left Float.min infinity ys in
+  let max_y = List.fold_left Float.max neg_infinity ys in
+  let drop = Float.max 1.0 (max_y -. min_y) in
+  let coords = Array.append topo.coords [| (cx, min_y -. drop) |] in
+  let extended =
+    Topology.make
+      ~name:(topo.name ^ "+" ^ name)
+      ~labels:(Array.append topo.labels [| name |])
+      ~coords edges
+  in
+  {
+    base_topo = topo;
+    extended;
+    prefix_node;
+    egress_list = List.sort compare (List.map fst egresses);
+  }
+
+let base t = t.base_topo
+
+let topology t = t.extended
+
+let prefix_node t = t.prefix_node
+
+let egresses t = t.egress_list
+
+let egress_link t v =
+  if List.mem v t.egress_list then (v, t.prefix_node) else raise Not_found
+
+type protection = {
+  prefix : t;
+  routing : Pr_core.Routing.t;
+  cycles : Pr_core.Cycle_table.t;
+  genus : int;
+  curved_edges : int;
+}
+
+let protect ?seed t =
+  let quality = Pr_embed.Recommend.for_topology ?seed t.extended in
+  {
+    prefix = t;
+    routing = Pr_core.Routing.build t.extended.graph;
+    cycles = Pr_core.Cycle_table.build quality.Pr_embed.Recommend.rotation;
+    genus = quality.Pr_embed.Recommend.genus;
+    curved_edges = quality.Pr_embed.Recommend.curved_edges;
+  }
+
+let reach p ~failures ~src =
+  Pr_core.Forward.run ~routing:p.routing ~cycles:p.cycles ~failures ~src
+    ~dst:p.prefix.prefix_node ()
+
+let best_egress p ~src =
+  match
+    Pr_core.Routing.shortest_path p.routing ~src ~dst:p.prefix.prefix_node
+  with
+  | None -> None
+  | Some path ->
+      let rec penultimate = function
+        | [ e; _last ] -> Some e
+        | _ :: rest -> penultimate rest
+        | [] -> None
+      in
+      penultimate path

@@ -1,0 +1,62 @@
+(** Interdomain extension (paper §7).
+
+    "Multihomed ISPs that receive several announcements for the same prefix
+    via different outgoing links can map this onto a connectivity graph,
+    and use our technique to obtain cycle following routes."
+
+    An external prefix announced at several egress routers is modelled as a
+    virtual node attached to each egress; PR then protects reachability of
+    the prefix against both internal link failures and egress (inter-AS
+    link) failures, as long as one egress remains reachable. *)
+
+type t
+
+val attach :
+  Pr_topo.Topology.t ->
+  name:string ->
+  egresses:(int * float) list ->
+  t
+(** [attach topo ~name ~egresses] adds a virtual node for prefix [name]
+    linked to each [(egress, weight)].  Raises [Invalid_argument] for
+    out-of-range or duplicate egresses, non-positive weights, or an empty
+    egress list. *)
+
+val base : t -> Pr_topo.Topology.t
+
+val topology : t -> Pr_topo.Topology.t
+(** The extended topology (prefix node last, labelled [name]). *)
+
+val prefix_node : t -> int
+
+val egresses : t -> int list
+(** In increasing order. *)
+
+val egress_link : t -> int -> int * int
+(** The virtual inter-AS link for an egress — usable in failure lists to
+    model losing that announcement.  Raises [Not_found] for non-egress
+    nodes. *)
+
+type protection = {
+  prefix : t;
+  routing : Pr_core.Routing.t;        (** on the extended graph *)
+  cycles : Pr_core.Cycle_table.t;     (** PR-safe embedding of it *)
+  genus : int;                        (** of the embedding found *)
+  curved_edges : int;                 (** 0 means the single-failure
+                                          guarantee holds *)
+}
+
+val protect : ?seed:int -> t -> protection
+(** Builds the tables PR needs on the extended graph, using the PR-safe
+    annealed embedding seeded with the geometric rotation. *)
+
+val reach :
+  protection ->
+  failures:Pr_core.Failure.t ->
+  src:int ->
+  Pr_core.Forward.trace
+(** Trace a packet from an internal router to the prefix.  [failures] must
+    be over the extended graph ({!topology}), so it can mix internal link
+    failures with {!egress_link} failures. *)
+
+val best_egress : protection -> src:int -> int option
+(** The egress the failure-free shortest path to the prefix uses. *)

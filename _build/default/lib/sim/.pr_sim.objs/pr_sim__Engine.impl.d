@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Event Float List Metrics Netstate Pr_baselines Pr_core Pr_embed Pr_graph Pr_topo Pr_util Workload

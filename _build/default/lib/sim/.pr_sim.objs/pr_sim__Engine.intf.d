@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Metrics Pr_core Pr_embed Pr_topo Workload

@@ -1,0 +1,1 @@
+lib/sim/event.ml: Float Option Pr_util

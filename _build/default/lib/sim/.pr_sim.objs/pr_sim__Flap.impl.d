@@ -1,0 +1,1 @@
+lib/sim/flap.ml: Hashtbl List Option Workload

@@ -1,0 +1,1 @@
+lib/sim/flap.mli: Workload

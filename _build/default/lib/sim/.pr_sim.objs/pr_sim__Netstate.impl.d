@@ -1,0 +1,1 @@
+lib/sim/netstate.ml: Array List Pr_core Pr_graph

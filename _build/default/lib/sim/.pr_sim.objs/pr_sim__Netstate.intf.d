@@ -1,0 +1,1 @@
+lib/sim/netstate.mli: Pr_core Pr_graph

@@ -1,0 +1,1 @@
+lib/sim/timed.ml: Event List Metrics Netstate Pr_core Pr_embed Pr_graph Pr_topo Workload

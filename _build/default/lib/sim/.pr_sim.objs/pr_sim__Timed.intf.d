@@ -1,0 +1,1 @@
+lib/sim/timed.mli: Metrics Pr_core Pr_embed Pr_topo Workload

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Float List Pr_graph Pr_util

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Pr_graph Pr_util

@@ -1,0 +1,182 @@
+module Graph = Pr_graph.Graph
+module Dijkstra = Pr_graph.Dijkstra
+
+type scheme =
+  | Pr_scheme of { termination : Pr_core.Forward.termination }
+  | Lfa_scheme
+  | Reconvergence_scheme of { convergence_delay : float }
+  | Reconvergence_jittered of {
+      min_delay : float;
+      max_delay : float;
+      seed : int;
+    }
+
+type config = {
+  topology : Pr_topo.Topology.t;
+  rotation : Pr_embed.Rotation.t;
+  scheme : scheme;
+}
+
+type outcome = {
+  metrics : Metrics.t;
+  spf_runs : int;
+  link_transitions : int;
+  finished_at : float;
+}
+
+let scheme_name = function
+  | Pr_scheme { termination = Pr_core.Forward.Distance_discriminator } -> "pr"
+  | Pr_scheme { termination = Pr_core.Forward.Simple } -> "pr-simple"
+  | Lfa_scheme -> "lfa"
+  | Reconvergence_scheme _ -> "reconvergence"
+  | Reconvergence_jittered _ -> "reconv-jitter"
+
+type event = Link of Workload.link_event | Packet of Workload.injection | Converge
+
+let run config ~link_events ~injections =
+  let g = config.topology.Pr_topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build config.rotation in
+  let net = Netstate.create g in
+  let metrics = Metrics.create () in
+  let spf_runs = ref 0 in
+  let link_transitions = ref 0 in
+  let finished_at = ref 0.0 in
+  let queue = Event.create () in
+  List.iter (fun (e : Workload.link_event) -> Event.schedule queue ~time:e.time (Link e)) link_events;
+  List.iter (fun (i : Workload.injection) -> Event.schedule queue ~time:i.time (Packet i)) injections;
+  (* Reconvergence state: the trees packets are currently forwarded on. *)
+  let full_spf () =
+    incr spf_runs;
+    Dijkstra.all_roots ~blocked:(fun i -> Pr_core.Failure.is_failed_index (Netstate.failures net) i) g
+  in
+  let stale_trees = ref (Dijkstra.all_roots g) in
+  (* Jittered model: routers one epoch behind forward on [old_trees]. *)
+  let old_trees = ref !stale_trees in
+  let new_trees = ref !stale_trees in
+  let deadlines = Array.make (Graph.n g) 0.0 in
+  let jitter_rng =
+    match config.scheme with
+    | Reconvergence_jittered { seed; _ } -> Pr_util.Rng.create ~seed
+    | Pr_scheme _ | Lfa_scheme | Reconvergence_scheme _ ->
+        Pr_util.Rng.create ~seed:0
+  in
+  let baseline_distance ~src ~dst = Pr_core.Routing.distance routing ~node:src ~dst in
+  (* Forward one packet on stale trees over the *actual* link states: drops
+     at the first failed link, loops cannot arise within one consistent
+     tree. *)
+  let forward_stale ~src ~dst =
+    let tree = !stale_trees.(dst) in
+    let rec walk x cost =
+      if x = dst then Some cost
+      else
+        match Dijkstra.next_hop tree x with
+        | None -> None
+        | Some w ->
+            if Netstate.is_up net x w then walk w (cost +. Graph.weight g x w)
+            else None
+    in
+    walk src 0.0
+  in
+  (* Forwarding across routers with inconsistent views: each hop consults
+     the table of the router it is at, so two-node micro-loops can form;
+     the TTL converts them into losses. *)
+  let forward_jittered ~now ~src ~dst =
+    let rec walk x cost ttl =
+      if x = dst then Some cost
+      else if ttl = 0 then None
+      else
+        let trees = if now >= deadlines.(x) then !new_trees else !old_trees in
+        match Dijkstra.next_hop trees.(dst) x with
+        | None -> None
+        | Some w ->
+            if Netstate.is_up net x w then
+              walk w (cost +. Graph.weight g x w) (ttl - 1)
+            else None
+    in
+    walk src 0.0 (4 * Graph.n g)
+  in
+  let handle_packet ({ src; dst; time } : Workload.injection) =
+    let failures = Netstate.failures net in
+    if not (Pr_core.Failure.pair_connected failures src dst) then
+      (* No scheme can deliver across a partition; PR packets would wander
+         until the IP TTL kills them, others drop at the failure. *)
+      Metrics.record_unreachable metrics
+    else
+    match config.scheme with
+    | Pr_scheme { termination } ->
+        let trace =
+          Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
+        in
+        (match trace.outcome with
+        | Pr_core.Forward.Delivered ->
+            Metrics.record_delivery metrics
+              ~stretch:(Pr_core.Forward.stretch ~routing ~trace ~src ~dst)
+        | Pr_core.Forward.Ttl_exceeded -> Metrics.record_loop metrics
+        | Pr_core.Forward.Dropped_no_interface
+        | Pr_core.Forward.Dropped_unreachable ->
+            Metrics.record_drop metrics)
+    | Lfa_scheme ->
+        let trace = Pr_baselines.Lfa.run routing ~failures ~src ~dst () in
+        (match trace.outcome with
+        | Pr_baselines.Lfa.Delivered ->
+            Metrics.record_delivery metrics
+              ~stretch:(Pr_baselines.Lfa.stretch ~routing ~trace ~src ~dst)
+        | Pr_baselines.Lfa.Dropped -> Metrics.record_drop metrics
+        | Pr_baselines.Lfa.Ttl_exceeded -> Metrics.record_loop metrics)
+    | Reconvergence_scheme _ ->
+        (match forward_stale ~src ~dst with
+        | Some cost ->
+            Metrics.record_delivery metrics
+              ~stretch:(cost /. baseline_distance ~src ~dst)
+        | None -> Metrics.record_drop metrics)
+    | Reconvergence_jittered _ ->
+        (match forward_jittered ~now:time ~src ~dst with
+        | Some cost ->
+            Metrics.record_delivery metrics
+              ~stretch:(cost /. baseline_distance ~src ~dst)
+        | None -> Metrics.record_drop metrics)
+  in
+  let handle_link time (e : Workload.link_event) =
+    if Netstate.set_link net e.u e.v ~up:e.up then begin
+      incr link_transitions;
+      match config.scheme with
+      | Reconvergence_scheme { convergence_delay } ->
+          Event.schedule queue ~time:(time +. convergence_delay) Converge
+      | Reconvergence_jittered { min_delay; max_delay; _ } ->
+          (* Routers at most one epoch behind: the previous converged view
+             becomes the stale one, the post-event view is computed now and
+             adopted by each router at its own jittered deadline. *)
+          old_trees := !new_trees;
+          new_trees := full_spf ();
+          Array.iteri
+            (fun r _ ->
+              deadlines.(r) <-
+                time +. min_delay
+                +. Pr_util.Rng.float jitter_rng (Float.max 1e-9 (max_delay -. min_delay)))
+            deadlines
+      | Pr_scheme _ | Lfa_scheme -> ()
+    end
+  in
+  let rec drain () =
+    match Event.next queue with
+    | None -> ()
+    | Some (time, ev) ->
+        finished_at := time;
+        (match ev with
+        | Link e -> handle_link time e
+        | Packet i -> handle_packet i
+        | Converge -> stale_trees := full_spf ());
+        drain ()
+  in
+  (match config.scheme with
+  | Reconvergence_scheme _ | Reconvergence_jittered _ ->
+      incr spf_runs (* initial table computation *)
+  | Pr_scheme _ | Lfa_scheme -> ());
+  drain ();
+  {
+    metrics;
+    spf_runs = !spf_runs;
+    link_transitions = !link_transitions;
+    finished_at = !finished_at;
+  }

@@ -1,0 +1,16 @@
+type 'a t = 'a Pr_util.Heap.t
+
+let create () = Pr_util.Heap.create ()
+
+let schedule q ~time payload =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg "Event.schedule: bad time";
+  Pr_util.Heap.push q time payload
+
+let next q = Pr_util.Heap.pop q
+
+let peek_time q = Option.map fst (Pr_util.Heap.peek q)
+
+let is_empty q = Pr_util.Heap.is_empty q
+
+let size q = Pr_util.Heap.size q

@@ -1,0 +1,17 @@
+(** Time-ordered event queue for the discrete-event simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on negative or non-finite times. *)
+
+val next : 'a t -> (float * 'a) option
+(** Pop the earliest event; ties pop in scheduling order. *)
+
+val peek_time : 'a t -> float option
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int

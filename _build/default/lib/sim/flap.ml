@@ -1,0 +1,59 @@
+type state = Link_up | Link_down
+
+let canon u v = if u < v then (u, v) else (v, u)
+
+let apply_hold_down events ~hold_down =
+  if hold_down < 0.0 then invalid_arg "Flap.apply_hold_down: negative hold-down";
+  (* Group per link, preserving time order. *)
+  let by_link = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Workload.link_event) ->
+      let key = canon e.u e.v in
+      Hashtbl.replace by_link key
+        (e :: (Option.value ~default:[] (Hashtbl.find_opt by_link key))))
+    events;
+  let damped_for_link events_rev =
+    let rec walk state pending out = function
+      | [] ->
+          let out =
+            match (state, pending) with
+            | Link_down, Some (e, eff) ->
+                { e with Workload.time = eff; up = true } :: out
+            | _ -> out
+          in
+          List.rev out
+      | (e : Workload.link_event) :: rest ->
+          if e.up then begin
+            match state with
+            | Link_up -> walk state pending out rest (* redundant up *)
+            | Link_down ->
+                (* Tentatively schedule the damped up-transition. *)
+                walk state (Some (e, e.time +. hold_down)) out rest
+          end
+          else begin
+            match (state, pending) with
+            | Link_down, Some (_, eff) when e.time < eff ->
+                (* Failed again inside the hold-down window: cancel. *)
+                walk Link_down None out rest
+            | Link_down, Some (pe, eff) ->
+                (* The pending up matured before this failure. *)
+                let out = { pe with Workload.time = eff; up = true } :: out in
+                walk Link_down None ({ e with Workload.time = e.time } :: out) rest
+            | Link_down, None -> walk Link_down None out rest (* redundant down *)
+            | Link_up, _ -> walk Link_down None (e :: out) rest
+          end
+    in
+    walk Link_up None [] (List.rev events_rev)
+  in
+  Hashtbl.fold (fun _ evs acc -> damped_for_link evs @ acc) by_link []
+  |> List.sort (fun (a : Workload.link_event) b -> compare a.time b.time)
+
+let transitions_per_link events =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Workload.link_event) ->
+      let key = canon e.u e.v in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    events;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts [] |> List.sort compare

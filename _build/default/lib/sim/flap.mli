@@ -1,0 +1,20 @@
+(** Hold-down damping for flapping links (paper §7).
+
+    PR must ensure a packet that saw a link down does not meet the same
+    link up again while still cycle following.  The standard mitigation the
+    paper proposes is to delay the up-transition until the link has been
+    stable for a hold-down period; rapid down/up oscillations are then
+    suppressed entirely. *)
+
+val apply_hold_down :
+  Workload.link_event list -> hold_down:float -> Workload.link_event list
+(** Input events must be time-sorted (as produced by {!Workload}); each
+    link's events must alternate starting with a down.  Every up-transition
+    is delayed by [hold_down]; an up is cancelled when its link fails again
+    before the hold-down expires.  The result is time-sorted and contains
+    no redundant transitions. *)
+
+val transitions_per_link :
+  Workload.link_event list -> ((int * int) * int) list
+(** Count of state transitions per link — a measure of the churn the
+    control plane sees. *)

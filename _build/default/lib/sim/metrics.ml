@@ -1,0 +1,52 @@
+type t = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable stretch_sum : float;
+  mutable worst_stretch : float;
+}
+
+let create () =
+  {
+    injected = 0;
+    delivered = 0;
+    dropped = 0;
+    looped = 0;
+    unreachable = 0;
+    stretch_sum = 0.0;
+    worst_stretch = 0.0;
+  }
+
+let record_delivery t ~stretch =
+  t.injected <- t.injected + 1;
+  t.delivered <- t.delivered + 1;
+  t.stretch_sum <- t.stretch_sum +. stretch;
+  if stretch > t.worst_stretch then t.worst_stretch <- stretch
+
+let record_drop t =
+  t.injected <- t.injected + 1;
+  t.dropped <- t.dropped + 1
+
+let record_loop t =
+  t.injected <- t.injected + 1;
+  t.looped <- t.looped + 1
+
+let record_unreachable t =
+  t.injected <- t.injected + 1;
+  t.unreachable <- t.unreachable + 1
+
+let delivery_ratio t =
+  let deliverable = t.injected - t.unreachable in
+  if deliverable = 0 then 1.0
+  else float_of_int t.delivered /. float_of_int deliverable
+
+let mean_stretch t =
+  if t.delivered = 0 then 0.0 else t.stretch_sum /. float_of_int t.delivered
+
+let pp ppf t =
+  Format.fprintf ppf
+    "injected=%d delivered=%d dropped=%d looped=%d unreachable=%d delivery=%.4f mean_stretch=%.3f"
+    t.injected t.delivered t.dropped t.looped t.unreachable (delivery_ratio t)
+    (mean_stretch t)

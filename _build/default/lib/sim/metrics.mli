@@ -1,0 +1,30 @@
+(** Outcome accounting for simulation runs. *)
+
+type t = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;       (** dropped at a failed link / no route *)
+  mutable looped : int;        (** TTL exhausted although a path existed *)
+  mutable unreachable : int;   (** destination disconnected at injection time:
+                                   no scheme could have delivered *)
+  mutable stretch_sum : float; (** over delivered packets *)
+  mutable worst_stretch : float;
+}
+
+val create : unit -> t
+
+val record_delivery : t -> stretch:float -> unit
+
+val record_drop : t -> unit
+
+val record_loop : t -> unit
+
+val record_unreachable : t -> unit
+
+val delivery_ratio : t -> float
+(** Delivered over deliverable (injected minus unreachable). *)
+
+val mean_stretch : t -> float
+(** Over delivered packets; 0 when none. *)
+
+val pp : Format.formatter -> t -> unit

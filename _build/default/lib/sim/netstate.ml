@@ -1,0 +1,46 @@
+module Graph = Pr_graph.Graph
+
+type t = {
+  g : Graph.t;
+  down : bool array; (* by edge index *)
+  mutable cached_failures : Pr_core.Failure.t option;
+}
+
+let create g =
+  { g; down = Array.make (Graph.m g) false; cached_failures = None }
+
+let graph t = t.g
+
+let set_link t u v ~up =
+  let i = Graph.edge_index t.g u v in
+  let was_down = t.down.(i) in
+  let now_down = not up in
+  if was_down = now_down then false
+  else begin
+    t.down.(i) <- now_down;
+    t.cached_failures <- None;
+    true
+  end
+
+let is_up t u v = not t.down.(Graph.edge_index t.g u v)
+
+let down_links t =
+  let out = ref [] in
+  Array.iteri
+    (fun i down ->
+      if down then begin
+        let e = Graph.edge t.g i in
+        out := (e.u, e.v) :: !out
+      end)
+    t.down;
+  List.rev !out
+
+let failures t =
+  match t.cached_failures with
+  | Some f -> f
+  | None ->
+      let f = Pr_core.Failure.of_list t.g (down_links t) in
+      t.cached_failures <- Some f;
+      f
+
+let all_up t = Array.for_all not t.down

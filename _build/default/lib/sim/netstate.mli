@@ -1,0 +1,22 @@
+(** Mutable view of the network's link states during a simulation. *)
+
+type t
+
+val create : Pr_graph.Graph.t -> t
+(** All links up. *)
+
+val graph : t -> Pr_graph.Graph.t
+
+val set_link : t -> int -> int -> up:bool -> bool
+(** Returns [true] when the state actually changed.  Raises
+    [Invalid_argument] for non-links. *)
+
+val is_up : t -> int -> int -> bool
+
+val down_links : t -> (int * int) list
+
+val failures : t -> Pr_core.Failure.t
+(** Snapshot usable by the forwarding engines; cached until the next
+    {!set_link} that changes something. *)
+
+val all_up : t -> bool

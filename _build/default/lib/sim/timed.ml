@@ -1,0 +1,113 @@
+module Graph = Pr_graph.Graph
+module Forward = Pr_core.Forward
+
+type config = {
+  topology : Pr_topo.Topology.t;
+  rotation : Pr_embed.Rotation.t;
+  termination : Pr_core.Forward.termination;
+  latency : float;
+  ttl : int;
+}
+
+let default_config (topology : Pr_topo.Topology.t) rotation =
+  {
+    topology;
+    rotation;
+    termination = Pr_core.Forward.Distance_discriminator;
+    latency = 0.1;
+    ttl = Forward.default_ttl topology.graph;
+  }
+
+type packet = {
+  src : int;
+  dst : int;
+  at : int;
+  arrived_from : int option;
+  header : Forward.hop_header;
+  hops : int;
+  cost : float;
+  was_deliverable : bool; (** dst reachable at injection time *)
+}
+
+type event = Link of Workload.link_event | Arrive of packet
+
+type outcome = { metrics : Metrics.t; finished_at : float; max_hops : int }
+
+let run config ~link_events ~injections =
+  let g = config.topology.Pr_topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build config.rotation in
+  let net = Netstate.create g in
+  let metrics = Metrics.create () in
+  let queue = Event.create () in
+  let finished_at = ref 0.0 in
+  let max_hops = ref 0 in
+  List.iter
+    (fun (e : Workload.link_event) -> Event.schedule queue ~time:e.time (Link e))
+    link_events;
+  List.iter
+    (fun ({ time; src; dst } : Workload.injection) ->
+      Event.schedule queue ~time
+        (Arrive
+           {
+             src;
+             dst;
+             at = src;
+             arrived_from = None;
+             header = Forward.fresh_header;
+             hops = 0;
+             cost = 0.0;
+             was_deliverable = true (* fixed up at processing time *);
+           }))
+    injections;
+  let account_lost (p : packet) ~looped =
+    (* A packet that could never have been delivered is charged to
+       [unreachable]; a deliverable one that died is a protocol loss. *)
+    if not p.was_deliverable then Metrics.record_unreachable metrics
+    else if looped then Metrics.record_loop metrics
+    else Metrics.record_drop metrics
+  in
+  let handle_arrival time (p : packet) =
+    let p =
+      if p.hops = 0 then
+        { p with was_deliverable = Pr_core.Failure.pair_connected (Netstate.failures net) p.src p.dst }
+      else p
+    in
+    if p.at = p.dst then begin
+      if p.hops > !max_hops then max_hops := p.hops;
+      Metrics.record_delivery metrics
+        ~stretch:(p.cost /. Pr_core.Routing.distance routing ~node:p.src ~dst:p.dst)
+    end
+    else if p.hops >= config.ttl then account_lost p ~looped:true
+    else begin
+      match
+        Forward.step ~termination:config.termination ~routing ~cycles
+          ~failures:(Netstate.failures net) ~dst:p.dst ~node:p.at
+          ~arrived_from:p.arrived_from ~header:p.header ()
+      with
+      | Forward.Stuck _ -> account_lost p ~looped:false
+      | Forward.Transmit { next; header; _ } ->
+          Event.schedule queue ~time:(time +. config.latency)
+            (Arrive
+               {
+                 p with
+                 at = next;
+                 arrived_from = Some p.at;
+                 header;
+                 hops = p.hops + 1;
+                 cost = p.cost +. Graph.weight g p.at next;
+               })
+    end
+  in
+  let rec drain () =
+    match Event.next queue with
+    | None -> ()
+    | Some (time, ev) ->
+        finished_at := time;
+        (match ev with
+        | Link e -> ignore (Netstate.set_link net e.u e.v ~up:e.up)
+        | Arrive p -> handle_arrival time p);
+        drain ()
+  in
+  drain ();
+  { metrics; finished_at = !finished_at; max_hops = !max_hops }

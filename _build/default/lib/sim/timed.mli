@@ -1,0 +1,40 @@
+(** Packet-level simulation with per-hop latency.
+
+    Unlike {!Engine} (which traces a packet's whole path against a frozen
+    failure snapshot), packets here move one hop per event and take
+    [latency] time units per link, so link state can change {e while a
+    packet is in flight}.  This is exactly the regime of the paper's §7
+    flapping discussion: a PR packet that saw a link down can meet the
+    same link up again while still cycle following, and the DD invariant
+    that guarantees termination no longer holds.  The mitigation the paper
+    proposes — hold down the up-transition until the link has been stable —
+    is {!Flap.apply_hold_down}; this module lets you measure both sides.
+
+    Each router runs {!Pr_core.Forward.step} on the link state at the
+    moment the packet arrives. *)
+
+type config = {
+  topology : Pr_topo.Topology.t;
+  rotation : Pr_embed.Rotation.t;
+  termination : Pr_core.Forward.termination;
+  latency : float;      (** per-hop transmission time *)
+  ttl : int;            (** hop budget per packet *)
+}
+
+val default_config : Pr_topo.Topology.t -> Pr_embed.Rotation.t -> config
+(** DD termination, latency 0.1, TTL {!Pr_core.Forward.default_ttl}. *)
+
+type outcome = {
+  metrics : Metrics.t;
+  finished_at : float;
+  max_hops : int;         (** longest hop count of any delivered packet *)
+}
+
+val run :
+  config ->
+  link_events:Workload.link_event list ->
+  injections:Workload.injection list ->
+  outcome
+(** Packets injected while their destination is unreachable count as
+    [unreachable] only if they also fail to arrive; a repair mid-flight
+    can still save them. *)

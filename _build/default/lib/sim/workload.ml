@@ -1,0 +1,62 @@
+module Graph = Pr_graph.Graph
+module Rng = Pr_util.Rng
+
+type injection = { time : float; src : int; dst : int }
+
+let exponential rng ~mean =
+  if mean <= 0.0 then invalid_arg "Workload.exponential: mean must be positive";
+  let u = Float.max 1e-12 (Rng.float rng 1.0) in
+  -.mean *. log u
+
+let poisson_flows rng g ~rate ~horizon =
+  if rate <= 0.0 || horizon <= 0.0 then invalid_arg "Workload.poisson_flows";
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Workload.poisson_flows: need two nodes";
+  let rec loop t acc =
+    let t = t +. exponential rng ~mean:(1.0 /. rate) in
+    if t > horizon then List.rev acc
+    else begin
+      let src = Rng.int rng n in
+      let dst =
+        let d = Rng.int rng (n - 1) in
+        if d >= src then d + 1 else d
+      in
+      loop t ({ time = t; src; dst } :: acc)
+    end
+  in
+  loop 0.0 []
+
+type link_event = { time : float; u : int; v : int; up : bool }
+
+let failure_process rng g ~mtbf ~mttr ~horizon =
+  if horizon <= 0.0 then invalid_arg "Workload.failure_process";
+  let events = ref [] in
+  let per_link (e : Graph.edge) =
+    let rec cycle t =
+      let down_at = t +. exponential rng ~mean:mtbf in
+      if down_at <= horizon then begin
+        events := { time = down_at; u = e.u; v = e.v; up = false } :: !events;
+        let up_at = down_at +. exponential rng ~mean:mttr in
+        if up_at <= horizon then begin
+          events := { time = up_at; u = e.u; v = e.v; up = true } :: !events;
+          cycle up_at
+        end
+      end
+    in
+    cycle 0.0
+  in
+  Array.iter per_link (Graph.edges g);
+  List.sort (fun a b -> compare a.time b.time) !events
+
+let flapping_link rng ~u ~v ~period ~duty_down ~flaps =
+  if period <= 0.0 || duty_down <= 0.0 || duty_down >= 1.0 then
+    invalid_arg "Workload.flapping_link";
+  let jitter () = 1.0 +. (0.2 *. (Rng.float rng 1.0 -. 0.5)) in
+  let events = ref [] in
+  for i = 0 to flaps - 1 do
+    let start = float_of_int i *. period in
+    let down_at = start *. 1.0 in
+    let up_at = start +. (duty_down *. period *. jitter ()) in
+    events := { time = up_at; u; v; up = true } :: { time = down_at; u; v; up = false } :: !events
+  done;
+  List.sort (fun a b -> compare a.time b.time) !events

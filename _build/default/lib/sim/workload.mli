@@ -1,0 +1,41 @@
+(** Traffic and failure workload generation for the simulator. *)
+
+type injection = { time : float; src : int; dst : int }
+
+val poisson_flows :
+  Pr_util.Rng.t ->
+  Pr_graph.Graph.t ->
+  rate:float ->
+  horizon:float ->
+  injection list
+(** Packets between uniformly random distinct pairs, arriving as a Poisson
+    process of [rate] packets per time unit until [horizon].  Sorted by
+    time. *)
+
+val exponential : Pr_util.Rng.t -> mean:float -> float
+(** One exponential draw (used for failure and repair holding times). *)
+
+type link_event = { time : float; u : int; v : int; up : bool }
+
+val failure_process :
+  Pr_util.Rng.t ->
+  Pr_graph.Graph.t ->
+  mtbf:float ->
+  mttr:float ->
+  horizon:float ->
+  link_event list
+(** Independent per-link alternating renewal process: each link fails after
+    an exponential up-time of mean [mtbf] and recovers after an exponential
+    down-time of mean [mttr].  Sorted by time. *)
+
+val flapping_link :
+  Pr_util.Rng.t ->
+  u:int ->
+  v:int ->
+  period:float ->
+  duty_down:float ->
+  flaps:int ->
+  link_event list
+(** A deterministic-period flapping link (paper §7): [flaps] cycles of
+    [period], down for [duty_down * period] at the start of each cycle,
+    with ±10% jitter. *)

@@ -1,0 +1,55 @@
+type t = { sorted : float array }
+
+let of_samples samples =
+  if samples = [] then invalid_arg "Ccdf.of_samples: empty";
+  List.iter
+    (fun s -> if Float.is_nan s then invalid_arg "Ccdf.of_samples: NaN sample")
+    samples;
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+(* Index of the first element > x, by binary search. *)
+let first_greater t x =
+  let lo = ref 0 and hi = ref (Array.length t.sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.sorted.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let eval t x =
+  let above = Array.length t.sorted - first_greater t x in
+  float_of_int above /. float_of_int (Array.length t.sorted)
+
+let series t ~xs = List.map (fun x -> (x, eval t x)) xs
+
+let min_sample t = t.sorted.(0)
+
+let max_finite t =
+  let rec scan i =
+    if i < 0 then None
+    else if Float.is_finite t.sorted.(i) then Some t.sorted.(i)
+    else scan (i - 1)
+  in
+  scan (Array.length t.sorted - 1)
+
+let infinite_fraction t =
+  let infinite = Array.fold_left (fun acc s -> if Float.is_finite s then acc else acc + 1) 0 t.sorted in
+  float_of_int infinite /. float_of_int (Array.length t.sorted)
+
+let mean_finite t =
+  let sum, count =
+    Array.fold_left
+      (fun (sum, count) s -> if Float.is_finite s then (sum +. s, count + 1) else (sum, count))
+      (0.0, 0) t.sorted
+  in
+  if count = 0 then None else Some (sum /. float_of_int count)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Ccdf.quantile: q out of range";
+  let n = Array.length t.sorted in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  t.sorted.(max 0 (min (n - 1) (rank - 1)))

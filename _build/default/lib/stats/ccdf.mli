@@ -1,0 +1,31 @@
+(** Complementary cumulative distribution functions — the form of every
+    panel in the paper's Figure 2, P(Stretch > x | path). *)
+
+type t
+
+val of_samples : float list -> t
+(** Non-finite samples are kept and counted as larger than every finite
+    threshold (an undelivered packet has infinite stretch).  Raises
+    [Invalid_argument] on an empty list. *)
+
+val size : t -> int
+
+val eval : t -> float -> float
+(** [eval t x] = fraction of samples strictly greater than [x]. *)
+
+val series : t -> xs:float list -> (float * float) list
+(** CCDF evaluated on a grid — the plotted curve. *)
+
+val min_sample : t -> float
+
+val max_finite : t -> float option
+(** Largest finite sample, if any. *)
+
+val infinite_fraction : t -> float
+
+val mean_finite : t -> float option
+
+val quantile : t -> float -> float
+(** [quantile t q] with [0 <= q <= 1]: smallest sample [s] such that at
+    least a [q] fraction of samples are [<= s] (nearest-rank).  May be
+    [infinity] if the distribution has non-finite mass there. *)

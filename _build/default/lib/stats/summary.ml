@@ -1,0 +1,26 @@
+type t = { count : int; mean : float; stddev : float; min : float; max : float }
+
+let of_samples samples =
+  if samples = [] then invalid_arg "Summary.of_samples: empty";
+  List.iter
+    (fun s ->
+      if not (Float.is_finite s) then
+        invalid_arg "Summary.of_samples: non-finite sample")
+    samples;
+  let count = List.length samples in
+  let fcount = float_of_int count in
+  let mean = List.fold_left ( +. ) 0.0 samples /. fcount in
+  let var =
+    List.fold_left (fun acc s -> acc +. ((s -. mean) ** 2.0)) 0.0 samples /. fcount
+  in
+  {
+    count;
+    mean;
+    stddev = sqrt var;
+    min = List.fold_left Float.min infinity samples;
+    max = List.fold_left Float.max neg_infinity samples;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count t.mean
+    t.stddev t.min t.max

@@ -1,0 +1,14 @@
+(** Scalar summaries of sample sets. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;   (** population standard deviation *)
+  min : float;
+  max : float;
+}
+
+val of_samples : float list -> t
+(** Raises [Invalid_argument] on an empty list or non-finite samples. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topo/abilene.ml: List Topology

@@ -1,0 +1,1 @@
+lib/topo/abilene.mli: Topology

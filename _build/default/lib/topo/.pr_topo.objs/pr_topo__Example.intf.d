@@ -1,0 +1,1 @@
+lib/topo/example.mli: Topology

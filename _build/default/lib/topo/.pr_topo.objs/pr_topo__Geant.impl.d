@@ -1,0 +1,1 @@
+lib/topo/geant.ml: List Topology

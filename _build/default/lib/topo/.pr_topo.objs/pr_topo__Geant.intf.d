@@ -1,0 +1,1 @@
+lib/topo/geant.mli: Topology

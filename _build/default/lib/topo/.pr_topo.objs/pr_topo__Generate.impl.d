@@ -1,0 +1,1 @@
+lib/topo/generate.ml: Array Float Hashtbl List Pr_graph Pr_util Printf Topology

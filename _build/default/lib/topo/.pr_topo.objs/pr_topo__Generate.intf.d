@@ -1,0 +1,1 @@
+lib/topo/generate.mli: Pr_util Topology

@@ -1,0 +1,1 @@
+lib/topo/gml.ml: Array Buffer Filename Fun Hashtbl In_channel List Option Pr_graph Printf String Topology

@@ -1,0 +1,1 @@
+lib/topo/gml.mli: Topology

@@ -1,0 +1,1 @@
+lib/topo/parse.ml: Array Buffer Fun Hashtbl In_channel List Option Pr_graph Printf String Topology

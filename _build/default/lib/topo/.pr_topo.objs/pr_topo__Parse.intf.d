@@ -1,0 +1,1 @@
+lib/topo/parse.mli: Topology

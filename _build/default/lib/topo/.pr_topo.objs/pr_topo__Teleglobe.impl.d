@@ -1,0 +1,1 @@
+lib/topo/teleglobe.ml: List Topology

@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Float Format Hashtbl List Pr_graph Printf

@@ -1,0 +1,1 @@
+lib/topo/topology.mli: Format Pr_graph

@@ -1,0 +1,1 @@
+lib/topo/zoo.ml: Abilene Example Geant Generate List Pr_util Teleglobe Topology

@@ -1,0 +1,1 @@
+lib/topo/zoo.mli: Topology

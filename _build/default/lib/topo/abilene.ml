@@ -1,0 +1,65 @@
+let labels =
+  [|
+    "STTL" (* Seattle *);
+    "SNVA" (* Sunnyvale *);
+    "LOSA" (* Los Angeles *);
+    "DNVR" (* Denver *);
+    "KSCY" (* Kansas City *);
+    "HSTN" (* Houston *);
+    "IPLS" (* Indianapolis *);
+    "CHIN" (* Chicago *);
+    "ATLA" (* Atlanta *);
+    "WASH" (* Washington DC *);
+    "NYCM" (* New York *);
+  |]
+
+let coords =
+  [|
+    (-122.33, 47.61);
+    (-122.04, 37.37);
+    (-118.24, 34.05);
+    (-104.99, 39.74);
+    (-94.58, 39.10);
+    (-95.37, 29.76);
+    (-86.16, 39.77);
+    (-87.63, 41.88);
+    (-84.39, 33.75);
+    (-77.04, 38.91);
+    (-74.01, 40.71);
+  |]
+
+let sttl = 0
+let snva = 1
+let losa = 2
+let dnvr = 3
+let kscy = 4
+let hstn = 5
+let ipls = 6
+let chin = 7
+let atla = 8
+let wash = 9
+let nycm = 10
+
+let links =
+  [
+    (sttl, snva);
+    (sttl, dnvr);
+    (snva, dnvr);
+    (snva, losa);
+    (losa, hstn);
+    (dnvr, kscy);
+    (kscy, hstn);
+    (kscy, ipls);
+    (hstn, atla);
+    (ipls, chin);
+    (ipls, atla);
+    (chin, nycm);
+    (nycm, wash);
+    (atla, wash);
+  ]
+
+let topology () =
+  Topology.make ~name:"abilene" ~labels ~coords
+    (List.map (fun (u, v) -> (u, v, 1.0)) links)
+
+let weighted () = Topology.with_geographic_weights (topology ())

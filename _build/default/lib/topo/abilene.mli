@@ -1,0 +1,10 @@
+(** The Abilene research backbone (Internet2, 2004 snapshot): 11 PoPs and
+    14 links, as used in the paper's Figure 2(a)/(d).
+
+    Abilene is 2-connected, so PR covers every single link failure on it. *)
+
+val topology : unit -> Topology.t
+(** Unit link weights (hop metric), PoP longitude/latitude coordinates. *)
+
+val weighted : unit -> Topology.t
+(** Great-circle link weights in kilometres. *)

@@ -1,0 +1,49 @@
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+
+(* Weights reverse-engineered from the paper's walkthroughs:
+   - D must reach F via E even though D-F is a link, so w(D,F) = 3;
+   - A must route to F via B (tie with the A-C branch broken to B);
+   - B must route via D, so the B-C branch carries weight 2.
+   Hop counts along these shortest paths then give exactly the distance
+   discriminators used in Section 4.3 (D: 2, B: 3, C: 2, E: 1). *)
+let topology () =
+  Topology.make ~name:"fig1"
+    ~labels:[| "A"; "B"; "C"; "D"; "E"; "F" |]
+    ~coords:[| (0.0, 2.0); (-1.0, 0.0); (1.0, 0.0); (-1.0, 1.0); (1.0, 1.0); (0.0, 3.0) |]
+    [
+      (a, b, 1.0);
+      (a, c, 2.0);
+      (b, c, 2.0);
+      (b, d, 1.0);
+      (c, e, 1.0);
+      (d, e, 1.0);
+      (d, f, 3.0);
+      (e, f, 1.0);
+    ]
+
+(* Rotation system recovered from the paper's cycles:
+     c1 = F->D->E->F, c2 = E->D->B->C->E, c3 = B->A->C->B,
+     c4 = A->B->D->F->E->C->A (the outer cell of the stereographic
+     projection, which is why it appears to run "the other way" on paper). *)
+let rotation_orders =
+  [|
+    [ b; c ] (* A: next(B)=C, next(C)=B *);
+    [ d; c; a ] (* B *);
+    [ b; e; a ] (* C *);
+    [ f; e; b ] (* D: next(F)=E, next(E)=B, next(B)=F — Table 1 *);
+    [ d; f; c ] (* E *);
+    [ e; d ] (* F *);
+  |]
+
+let expected_faces =
+  [
+    [ f; d; e ] (* c1 *);
+    [ e; d; b; c ] (* c2 *);
+    [ b; a; c ] (* c3 *);
+    [ a; b; d; f; e; c ] (* c4, outer *);
+  ]

@@ -1,0 +1,25 @@
+(** The six-node network of Figure 1 in the paper.
+
+    Link weights are chosen so that the shortest-path tree towards F matches
+    the one drawn in the figure (A routes to F via B, D via E), and the
+    fixed rotation system reproduces the paper's cycles c1–c4 and the cycle
+    following table of Table 1 verbatim.  The unit tests in
+    [test/test_paper_example.ml] assert all of this. *)
+
+val a : int
+val b : int
+val c : int
+val d : int
+val e : int
+val f : int
+
+val topology : unit -> Topology.t
+
+val rotation_orders : int list array
+(** [rotation_orders.(v)] lists the neighbours of [v] in the cyclic order of
+    the paper's embedding: the successor of the neighbour at position [i] is
+    the neighbour at position [i+1 mod degree]. *)
+
+val expected_faces : int list list
+(** The four cells of the embedding (c1, c2, c3, c4) as node cycles; each
+    cycle [x0; x1; ...] stands for the directed arcs x0->x1->...->x0. *)

@@ -1,0 +1,173 @@
+let labels =
+  [|
+    "AT" (* Vienna *);
+    "BE" (* Brussels *);
+    "BG" (* Sofia *);
+    "CH" (* Geneva *);
+    "CY" (* Nicosia *);
+    "CZ" (* Prague *);
+    "DE" (* Frankfurt *);
+    "DK" (* Copenhagen *);
+    "EE" (* Tallinn *);
+    "ES" (* Madrid *);
+    "FI" (* Helsinki *);
+    "FR" (* Paris *);
+    "GR" (* Athens *);
+    "HR" (* Zagreb *);
+    "HU" (* Budapest *);
+    "IE" (* Dublin *);
+    "IL" (* Tel Aviv *);
+    "IS" (* Reykjavik *);
+    "IT" (* Milan *);
+    "LT" (* Kaunas *);
+    "LU" (* Luxembourg *);
+    "LV" (* Riga *);
+    "MT" (* Valletta *);
+    "NL" (* Amsterdam *);
+    "NO" (* Oslo *);
+    "PL" (* Poznan *);
+    "PT" (* Lisbon *);
+    "RO" (* Bucharest *);
+    "RU" (* Moscow *);
+    "SE" (* Stockholm *);
+    "SI" (* Ljubljana *);
+    "SK" (* Bratislava *);
+    "TR" (* Ankara *);
+    "UK" (* London *);
+  |]
+
+let coords =
+  [|
+    (16.37, 48.21);
+    (4.35, 50.85);
+    (23.32, 42.70);
+    (6.14, 46.20);
+    (33.38, 35.19);
+    (14.42, 50.09);
+    (8.68, 50.11);
+    (12.57, 55.68);
+    (24.75, 59.44);
+    (-3.70, 40.42);
+    (24.94, 60.17);
+    (2.35, 48.86);
+    (23.73, 37.98);
+    (15.98, 45.81);
+    (19.04, 47.50);
+    (-6.26, 53.35);
+    (34.78, 32.08);
+    (-21.94, 64.15);
+    (9.19, 45.46);
+    (23.90, 54.90);
+    (6.13, 49.61);
+    (24.11, 56.95);
+    (14.51, 35.90);
+    (4.90, 52.37);
+    (10.75, 59.91);
+    (16.93, 52.41);
+    (-9.14, 38.72);
+    (26.10, 44.43);
+    (37.62, 55.76);
+    (18.07, 59.33);
+    (14.51, 46.06);
+    (17.11, 48.15);
+    (32.85, 39.93);
+    (-0.13, 51.51);
+  |]
+
+let at = 0
+let be = 1
+let bg = 2
+let ch = 3
+let cy = 4
+let cz = 5
+let de = 6
+let dk = 7
+let ee = 8
+let es = 9
+let fi = 10
+let fr = 11
+let gr = 12
+let hr = 13
+let hu = 14
+let ie = 15
+let il = 16
+let is_ = 17
+let it = 18
+let lt = 19
+let lu = 20
+let lv = 21
+let mt = 22
+let nl = 23
+let no = 24
+let pl = 25
+let pt = 26
+let ro = 27
+let ru = 28
+let se = 29
+let si = 30
+let sk = 31
+let tr = 32
+let uk = 33
+
+let links =
+  [
+    (at, ch);
+    (at, cz);
+    (at, de);
+    (at, hu);
+    (at, si);
+    (at, sk);
+    (be, fr);
+    (be, nl);
+    (bg, gr);
+    (bg, ro);
+    (ch, de);
+    (ch, fr);
+    (ch, it);
+    (cy, gr);
+    (cy, il);
+    (cz, de);
+    (cz, sk);
+    (de, dk);
+    (de, il);
+    (de, it);
+    (de, nl);
+    (de, pl);
+    (de, ru);
+    (dk, nl);
+    (dk, no);
+    (dk, se);
+    (ee, fi);
+    (ee, lv);
+    (es, fr);
+    (es, it);
+    (es, pt);
+    (fi, se);
+    (fr, lu);
+    (fr, uk);
+    (gr, it);
+    (gr, mt);
+    (hr, hu);
+    (hr, si);
+    (hu, ro);
+    (ie, nl);
+    (ie, uk);
+    (is_, dk);
+    (is_, uk);
+    (it, mt);
+    (lt, lv);
+    (lt, pl);
+    (lu, de);
+    (nl, uk);
+    (no, se);
+    (pt, uk);
+    (ro, tr);
+    (ru, se);
+    (tr, gr);
+  ]
+
+let topology () =
+  Topology.make ~name:"geant" ~labels ~coords
+    (List.map (fun (u, v) -> (u, v, 1.0)) links)
+
+let weighted () = Topology.with_geographic_weights (topology ())

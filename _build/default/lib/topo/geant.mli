@@ -1,0 +1,13 @@
+(** The GÉANT2 pan-European research backbone, 2009-era snapshot: 34 PoPs
+    and 53 links, used in the paper's Figure 2(c)/(f).
+
+    The exact snapshot the paper used (geant.net, 2009) is no longer
+    available; this is a documented reconstruction from published GN2 maps
+    with the same scale and redundancy structure (see DESIGN.md §3).  Every
+    PoP is at least dual-homed so the map has no single point of failure. *)
+
+val topology : unit -> Topology.t
+(** Unit link weights, capital-city longitude/latitude coordinates. *)
+
+val weighted : unit -> Topology.t
+(** Great-circle link weights in kilometres. *)

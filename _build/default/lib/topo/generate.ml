@@ -1,0 +1,213 @@
+module Rng = Pr_util.Rng
+
+let named name edges n = Topology.of_graph ~name (Pr_graph.Graph.unweighted ~n edges)
+
+let ring n =
+  if n < 3 then invalid_arg "Generate.ring: need at least 3 nodes";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  named (Printf.sprintf "ring%d" n) edges n
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  named (Printf.sprintf "k%d" n) !edges n
+
+let grid_edges ~rows ~cols ~wrap =
+  if rows < 2 || cols < 2 then invalid_arg "Generate.grid: need a 2x2 grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges
+      else if wrap && cols > 2 then edges := (id r c, id r 0) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+      else if wrap && rows > 2 then edges := (id r c, id 0 c) :: !edges
+    done
+  done;
+  !edges
+
+let grid_coords ~rows ~cols =
+  Array.init (rows * cols) (fun i ->
+      (float_of_int (i mod cols), float_of_int (i / cols)))
+
+let grid ~rows ~cols =
+  let edges = grid_edges ~rows ~cols ~wrap:false in
+  let t = named (Printf.sprintf "grid%dx%d" rows cols) edges (rows * cols) in
+  { t with coords = grid_coords ~rows ~cols }
+
+let torus ~rows ~cols =
+  let edges = grid_edges ~rows ~cols ~wrap:true in
+  let t = named (Printf.sprintf "torus%dx%d" rows cols) edges (rows * cols) in
+  { t with coords = grid_coords ~rows ~cols }
+
+let wheel n =
+  if n < 4 then invalid_arg "Generate.wheel: need at least 4 nodes";
+  let rim = List.init (n - 1) (fun i -> (1 + i, 1 + ((i + 1) mod (n - 1)))) in
+  let spokes = List.init (n - 1) (fun i -> (0, 1 + i)) in
+  named (Printf.sprintf "wheel%d" n) (rim @ spokes) n
+
+let hypercube d =
+  if d < 1 || d > 10 then invalid_arg "Generate.hypercube: dimension out of range";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let w = v lxor (1 lsl bit) in
+      if v < w then edges := (v, w) :: !edges
+    done
+  done;
+  named (Printf.sprintf "q%d" d) !edges n
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  named "petersen" (outer @ spokes @ inner) 10
+
+let erdos_renyi rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Generate.erdos_renyi: p out of range";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  named (Printf.sprintf "er%d" n) !edges n
+
+let gnm rng ~n ~m =
+  let max_edges = n * (n - 1) / 2 in
+  if m < 0 || m > max_edges then invalid_arg "Generate.gnm: bad edge count";
+  let chosen = Pr_util.Rng.sample_without_replacement rng ~k:m ~n:max_edges in
+  (* Decode linear index into the (u, v) pair with u < v. *)
+  let decode idx =
+    let rec row u remaining =
+      let in_row = n - 1 - u in
+      if remaining < in_row then (u, u + 1 + remaining)
+      else row (u + 1) (remaining - in_row)
+    in
+    row 0 idx
+  in
+  named (Printf.sprintf "gnm%d_%d" n m) (List.map decode chosen) n
+
+let waxman rng ~n ~alpha ~beta =
+  if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Generate.waxman: parameters";
+  let coords = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let dist (x1, y1) (x2, y2) = Float.hypot (x1 -. x2) (y1 -. y2) in
+  let scale = beta *. Float.sqrt 2.0 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = dist coords.(u) coords.(v) in
+      if Rng.float rng 1.0 < alpha *. exp (-.d /. scale) then
+        edges := (u, v, Float.max 0.001 d) :: !edges
+    done
+  done;
+  let t =
+    Topology.make
+      ~name:(Printf.sprintf "waxman%d" n)
+      ~labels:(Array.init n string_of_int)
+      ~coords !edges
+  in
+  t
+
+let barabasi_albert rng ~n ~k =
+  if k < 1 || n <= k then invalid_arg "Generate.barabasi_albert";
+  (* Start from a star of k+1 nodes, then attach preferentially.  The
+     endpoint pool repeats each node once per incident edge, which realises
+     degree-proportional sampling. *)
+  let pool = ref [] in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    pool := u :: v :: !pool
+  in
+  for v = 1 to k do
+    add_edge 0 v
+  done;
+  for v = k + 1 to n - 1 do
+    let pool_array = Array.of_list !pool in
+    let targets = Hashtbl.create k in
+    while Hashtbl.length targets < k do
+      Hashtbl.replace targets (Rng.pick rng pool_array) ()
+    done;
+    Hashtbl.iter (fun u () -> add_edge u v) targets
+  done;
+  named (Printf.sprintf "ba%d_%d" n k) !edges n
+
+let hierarchical rng ~regions ~per_region ~extra =
+  if regions < 3 || per_region < 3 then invalid_arg "Generate.hierarchical";
+  let n = regions * per_region in
+  let node r i = (r * per_region) + i in
+  let edges = ref [] in
+  (* Metro rings. *)
+  for r = 0 to regions - 1 do
+    for i = 0 to per_region - 1 do
+      edges := (node r i, node r ((i + 1) mod per_region)) :: !edges
+    done
+  done;
+  (* Core ring over the gateways (node 0 of each region). *)
+  for r = 0 to regions - 1 do
+    edges := (node r 0, node ((r + 1) mod regions) 0) :: !edges
+  done;
+  (* Random inter-region shortcuts. *)
+  let has = Hashtbl.create (2 * n) in
+  let canon u v = if u < v then (u, v) else (v, u) in
+  List.iter (fun (u, v) -> Hashtbl.replace has (canon u v) ()) !edges;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let r1 = Rng.int rng regions and r2 = Rng.int rng regions in
+    if r1 <> r2 then begin
+      let u = node r1 (Rng.int rng per_region)
+      and v = node r2 (Rng.int rng per_region) in
+      if not (Hashtbl.mem has (canon u v)) then begin
+        Hashtbl.replace has (canon u v) ();
+        edges := canon u v :: !edges;
+        incr added
+      end
+    end
+  done;
+  named (Printf.sprintf "hier%dx%d" regions per_region) !edges n
+
+let apollonian rng ~n =
+  if n < 3 then invalid_arg "Generate.apollonian: need at least 3 nodes";
+  let edges = ref [ (0, 1); (0, 2); (1, 2) ] in
+  let faces = ref [| (0, 1, 2) |] in
+  for v = 3 to n - 1 do
+    let arr = !faces in
+    let i = Rng.int rng (Array.length arr) in
+    let a, b, c = arr.(i) in
+    edges := (a, v) :: (b, v) :: (c, v) :: !edges;
+    let fresh = Array.make (Array.length arr + 2) (a, b, v) in
+    Array.blit arr 0 fresh 0 (Array.length arr);
+    fresh.(i) <- (a, b, v);
+    fresh.(Array.length arr) <- (a, v, c);
+    fresh.(Array.length arr + 1) <- (v, b, c);
+    faces := fresh
+  done;
+  named (Printf.sprintf "apollonian%d" n) !edges n
+
+let two_connected rng ~n ~extra =
+  if n < 3 then invalid_arg "Generate.two_connected: need at least 3 nodes";
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  let cycle = List.init n (fun i -> (order.(i), order.((i + 1) mod n))) in
+  let has = Hashtbl.create (2 * n) in
+  let canon u v = if u < v then (u, v) else (v, u) in
+  List.iter (fun (u, v) -> Hashtbl.replace has (canon u v) ()) cycle;
+  let chords = ref [] in
+  let attempts = ref 0 in
+  let max_attempts = 50 * (extra + 1) in
+  while List.length !chords < extra && !attempts < max_attempts do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Hashtbl.mem has (canon u v)) then begin
+      Hashtbl.replace has (canon u v) ();
+      chords := canon u v :: !chords
+    end
+  done;
+  named (Printf.sprintf "twoconn%d_%d" n extra) (cycle @ !chords) n

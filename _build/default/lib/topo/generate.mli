@@ -1,0 +1,59 @@
+(** Synthetic topology generators.
+
+    All random generators are deterministic given the supplied
+    {!Pr_util.Rng.t}.  Weights are 1.0 unless stated otherwise. *)
+
+val ring : int -> Topology.t
+(** Cycle on [n >= 3] nodes. *)
+
+val complete : int -> Topology.t
+
+val grid : rows:int -> cols:int -> Topology.t
+(** Planar grid; nodes are row-major. *)
+
+val torus : rows:int -> cols:int -> Topology.t
+(** Grid with wrap-around links; genus-1 when [rows, cols >= 3]. *)
+
+val wheel : int -> Topology.t
+(** Hub plus an [n-1]-cycle; planar and 2-connected for [n >= 4]. *)
+
+val hypercube : int -> Topology.t
+(** The [d]-dimensional hypercube ([2^d] nodes); genus grows with [d], a
+    stress case for the embedding optimiser.  [1 <= d <= 10]. *)
+
+val petersen : unit -> Topology.t
+(** The Petersen graph (non-planar, genus 1): a stress case for
+    embeddings. *)
+
+val erdos_renyi : Pr_util.Rng.t -> n:int -> p:float -> Topology.t
+(** G(n, p); may be disconnected. *)
+
+val gnm : Pr_util.Rng.t -> n:int -> m:int -> Topology.t
+(** Uniform graph with exactly [m] distinct edges.  Raises
+    [Invalid_argument] if [m] exceeds [n (n-1) / 2]. *)
+
+val waxman :
+  Pr_util.Rng.t -> n:int -> alpha:float -> beta:float -> Topology.t
+(** Waxman's geographic model on the unit square: link probability
+    [alpha * exp (-d / (beta * sqrt 2.))].  Euclidean edge weights. *)
+
+val barabasi_albert : Pr_util.Rng.t -> n:int -> k:int -> Topology.t
+(** Preferential attachment: each new node links to [k] distinct existing
+    nodes.  Connected by construction when [k >= 1]. *)
+
+val hierarchical :
+  Pr_util.Rng.t -> regions:int -> per_region:int -> extra:int -> Topology.t
+(** A two-level ISP-like topology: [regions] rings of [per_region] nodes
+    (metro networks), their gateways joined by a core ring, plus [extra]
+    random inter-region shortcut links.  2-edge-connected by construction;
+    [regions >= 3], [per_region >= 3]. *)
+
+val apollonian : Pr_util.Rng.t -> n:int -> Topology.t
+(** Random Apollonian network: start from a triangle and repeatedly place
+    a new node inside a random triangular face, joined to its corners.
+    Maximal planar (adding any edge breaks planarity) and 3-connected —
+    the reference workload for the planarity tests.  [n >= 3]. *)
+
+val two_connected : Pr_util.Rng.t -> n:int -> extra:int -> Topology.t
+(** A random Hamiltonian cycle plus [extra] random chords: 2-connected by
+    construction.  The workhorse of the property-based tests. *)

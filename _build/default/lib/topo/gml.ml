@@ -1,0 +1,230 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* ---- tokenizer ---- *)
+
+type token = Lbracket | Rbracket | Word of string | Str of string | Num of float
+
+let tokenize text =
+  let len = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let peek () = if !i < len then Some text.[!i] else None in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '+'
+  in
+  while !i < len do
+    match text.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '#' ->
+        (* comment to end of line *)
+        while !i < len && text.[!i] <> '\n' do
+          incr i
+        done
+    | '[' ->
+        tokens := Lbracket :: !tokens;
+        incr i
+    | ']' ->
+        tokens := Rbracket :: !tokens;
+        incr i
+    | '"' ->
+        incr i;
+        let start = !i in
+        while !i < len && text.[!i] <> '"' do
+          incr i
+        done;
+        if !i >= len then fail "unterminated string";
+        tokens := Str (String.sub text start (!i - start)) :: !tokens;
+        incr i
+    | c when is_word c ->
+        let start = !i in
+        while (match peek () with Some c -> is_word c | None -> false) do
+          incr i
+        done;
+        let word = String.sub text start (!i - start) in
+        (match float_of_string_opt word with
+        | Some f -> tokens := Num f :: !tokens
+        | None -> tokens := Word word :: !tokens)
+    | c -> fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* ---- recursive-descent parse into key/value trees ---- *)
+
+type value = Scalar_num of float | Scalar_str of string | Record of (string * value) list
+
+let rec parse_record tokens =
+  (* Parses key-value pairs until Rbracket or end of input. *)
+  match tokens with
+  | [] -> ([], [])
+  | Rbracket :: rest -> ([], rest)
+  | Word key :: Lbracket :: rest ->
+      let fields, rest = parse_record rest in
+      let siblings, rest = parse_record rest in
+      ((String.lowercase_ascii key, Record fields) :: siblings, rest)
+  | Word key :: Num v :: rest ->
+      let siblings, rest = parse_record rest in
+      ((String.lowercase_ascii key, Scalar_num v) :: siblings, rest)
+  | Word key :: Str s :: rest ->
+      let siblings, rest = parse_record rest in
+      ((String.lowercase_ascii key, Scalar_str s) :: siblings, rest)
+  | Word key :: Word w :: rest ->
+      (* bare-word value, e.g. `Backbone yes` *)
+      let siblings, rest = parse_record rest in
+      ((String.lowercase_ascii key, Scalar_str w) :: siblings, rest)
+  | _ -> fail "malformed GML structure"
+
+let find_all key fields = List.filter_map (fun (k, v) -> if k = key then Some v else None) fields
+
+let find_num key fields =
+  List.find_map (fun (k, v) -> match v with Scalar_num f when k = key -> Some f | _ -> None) fields
+
+let find_str key fields =
+  List.find_map
+    (fun (k, v) ->
+      match v with
+      | Scalar_str s when k = key -> Some s
+      | Scalar_num f when k = key -> Some (Printf.sprintf "%g" f)
+      | _ -> None)
+    fields
+
+type import = { topology : Topology.t; dropped_parallel : int; dropped_self : int }
+
+let of_string ?name text =
+  let fields, _rest = parse_record (tokenize text) in
+  let graph_fields =
+    match find_all "graph" fields with
+    | [ Record g ] -> g
+    | [] -> fail "no graph [ ... ] block"
+    | _ -> fail "multiple graph blocks"
+  in
+  let node_records =
+    find_all "node" graph_fields
+    |> List.map (function Record r -> r | _ -> fail "node is not a record")
+  in
+  let edge_records =
+    find_all "edge" graph_fields
+    |> List.map (function Record r -> r | _ -> fail "edge is not a record")
+  in
+  if node_records = [] then fail "no nodes";
+  let ids = Hashtbl.create 64 in
+  let labels = ref [] and coords = ref [] in
+  List.iteri
+    (fun dense node ->
+      let id =
+        match find_num "id" node with
+        | Some f -> int_of_float f
+        | None -> fail "node without id"
+      in
+      if Hashtbl.mem ids id then fail "duplicate node id %d" id;
+      Hashtbl.replace ids id dense;
+      let label =
+        match find_str "label" node with
+        | Some l -> Printf.sprintf "%s" l
+        | None -> string_of_int id
+      in
+      labels := label :: !labels;
+      coords := (find_num "longitude" node, find_num "latitude" node) :: !coords)
+    node_records;
+  let labels = Array.of_list (List.rev !labels) in
+  (* Zoo files reuse labels across PoPs in the same city; disambiguate. *)
+  let seen = Hashtbl.create 64 in
+  let labels =
+    Array.map
+      (fun l ->
+        match Hashtbl.find_opt seen l with
+        | None ->
+            Hashtbl.replace seen l 1;
+            l
+        | Some k ->
+            Hashtbl.replace seen l (k + 1);
+            Printf.sprintf "%s#%d" l (k + 1))
+      labels
+  in
+  let coords_raw = Array.of_list (List.rev !coords) in
+  let coords =
+    if Array.for_all (fun (x, y) -> x <> None && y <> None) coords_raw then
+      Some (Array.map (fun (x, y) -> (Option.get x, Option.get y)) coords_raw)
+    else None
+  in
+  let dropped_parallel = ref 0 and dropped_self = ref 0 in
+  let edge_set = Hashtbl.create 128 in
+  let edges =
+    List.filter_map
+      (fun edge ->
+        let endpoint key =
+          match find_num key edge with
+          | Some f -> (
+              let id = int_of_float f in
+              match Hashtbl.find_opt ids id with
+              | Some dense -> dense
+              | None -> fail "edge references unknown node %d" id)
+          | None -> fail "edge without %s" key
+        in
+        let u = endpoint "source" and v = endpoint "target" in
+        let w =
+          match find_num "value" edge with
+          | Some w when w > 0.0 -> w
+          | Some _ | None -> (
+              match find_num "weight" edge with Some w when w > 0.0 -> w | _ -> 1.0)
+        in
+        if u = v then begin
+          incr dropped_self;
+          None
+        end
+        else begin
+          let canon = if u < v then (u, v) else (v, u) in
+          if Hashtbl.mem edge_set canon then begin
+            incr dropped_parallel;
+            None
+          end
+          else begin
+            Hashtbl.replace edge_set canon ();
+            Some (u, v, w)
+          end
+        end)
+      edge_records
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Option.value (find_str "label" graph_fields) ~default:"unnamed"
+  in
+  let topology =
+    try Topology.make ~name ~labels ?coords edges
+    with Invalid_argument msg -> fail "invalid topology: %s" msg
+  in
+  { topology; dropped_parallel = !dropped_parallel; dropped_self = !dropped_self }
+
+let to_string (t : Topology.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph [\n  label \"%s\"\n" t.name);
+  Array.iteri
+    (fun i label ->
+      let x, y = t.coords.(i) in
+      Buffer.add_string buf
+        (Printf.sprintf "  node [ id %d label \"%s\" Longitude %g Latitude %g ]\n"
+           i label x y))
+    t.labels;
+  Pr_graph.Graph.iter_edges
+    (fun _ (e : Pr_graph.Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  edge [ source %d target %d value %g ]\n" e.u e.v e.w))
+    t.graph;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      of_string
+        ~name:Filename.(remove_extension (basename path))
+        (In_channel.input_all ic))
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

@@ -1,0 +1,35 @@
+(** GML (Graph Modelling Language) import/export, the format of the
+    Internet Topology Zoo — the public successor to the Rocketfuel maps
+    the paper drew Teleglobe from.  Supports the subset those files use:
+
+    {v
+    graph [
+      node [ id 0 label "Seattle" Longitude -122.33 Latitude 47.61 ]
+      edge [ source 0 target 1 value 2.0 ]
+    ]
+    v}
+
+    Node ids may be sparse; they are compacted in file order.  Longitude
+    and Latitude become the topology's coordinates when present on every
+    node; [value] (or [weight]) gives the link weight, default 1.0.
+    Parallel edges and self loops — present in some Zoo files — are
+    dropped with their count reported. *)
+
+exception Parse_error of string
+
+type import = {
+  topology : Topology.t;
+  dropped_parallel : int;  (** duplicate links ignored *)
+  dropped_self : int;      (** self loops ignored *)
+}
+
+val of_string : ?name:string -> string -> import
+(** [name] overrides the file's [label]/[id] attribute (default
+    "unnamed"). *)
+
+val to_string : Topology.t -> string
+(** Round-trips through {!of_string}. *)
+
+val load : string -> import
+
+val save : string -> Topology.t -> unit

@@ -1,0 +1,92 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let float_of_token lineno token =
+  match float_of_string_opt token with
+  | Some f -> f
+  | None -> fail lineno "expected a number, got %S" token
+
+let of_string text =
+  let name = ref None in
+  let node_labels = ref [] in
+  let node_coords = ref [] in
+  let node_count = ref 0 in
+  let ids = Hashtbl.create 64 in
+  let edges = ref [] in
+  let node_id lineno label =
+    match Hashtbl.find_opt ids label with
+    | Some id -> id
+    | None -> fail lineno "unknown node %S" label
+  in
+  let handle lineno line =
+    match tokens (strip_comment line) with
+    | [] -> ()
+    | [ "topology"; n ] ->
+        if !name <> None then fail lineno "duplicate topology line";
+        name := Some n
+    | "node" :: label :: rest ->
+        if Hashtbl.mem ids label then fail lineno "duplicate node %S" label;
+        let coord =
+          match rest with
+          | [] -> None
+          | [ x; y ] -> Some (float_of_token lineno x, float_of_token lineno y)
+          | _ -> fail lineno "node takes a label and optionally x y"
+        in
+        Hashtbl.replace ids label !node_count;
+        node_labels := label :: !node_labels;
+        node_coords := coord :: !node_coords;
+        incr node_count
+    | "edge" :: a :: b :: rest ->
+        let w =
+          match rest with
+          | [] -> 1.0
+          | [ w ] -> float_of_token lineno w
+          | _ -> fail lineno "edge takes two labels and optionally a weight"
+        in
+        edges := (node_id lineno a, node_id lineno b, w) :: !edges
+    | keyword :: _ -> fail lineno "unknown directive %S" keyword
+  in
+  String.split_on_char '\n' text |> List.iteri (fun i l -> handle (i + 1) l);
+  let labels = Array.of_list (List.rev !node_labels) in
+  let raw_coords = Array.of_list (List.rev !node_coords) in
+  let coords =
+    if Array.for_all Option.is_some raw_coords && Array.length raw_coords > 0 then
+      Some (Array.map Option.get raw_coords)
+    else None
+  in
+  let name = Option.value !name ~default:"unnamed" in
+  try Topology.make ~name ~labels ?coords (List.rev !edges)
+  with Invalid_argument msg -> fail 0 "invalid topology: %s" msg
+
+let to_string (t : Topology.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "topology %s\n" t.name);
+  Array.iteri
+    (fun i label ->
+      let x, y = t.coords.(i) in
+      Buffer.add_string buf (Printf.sprintf "node %s %g %g\n" label x y))
+    t.labels;
+  Pr_graph.Graph.iter_edges
+    (fun _ (e : Pr_graph.Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s %g\n" t.labels.(e.u) t.labels.(e.v) e.w))
+    t.graph;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

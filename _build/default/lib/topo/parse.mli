@@ -1,0 +1,24 @@
+(** Plain-text topology interchange format.
+
+    Line-oriented; [#] starts a comment.  Grammar:
+
+    {v
+    topology NAME
+    node LABEL [X Y]
+    edge LABEL1 LABEL2 [WEIGHT]
+    v}
+
+    Nodes must be declared before the edges that use them.  Weight defaults
+    to 1.0.  [to_string]/[of_string] round-trip. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val of_string : string -> Topology.t
+
+val to_string : Topology.t -> string
+
+val load : string -> Topology.t
+(** Read a topology from a file path. *)
+
+val save : string -> Topology.t -> unit

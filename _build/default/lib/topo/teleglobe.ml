@@ -1,0 +1,129 @@
+let labels =
+  [|
+    "NYC" (* New York *);
+    "NWK" (* Newark *);
+    "WDC" (* Washington DC *);
+    "MIA" (* Miami *);
+    "ATL" (* Atlanta *);
+    "CHI" (* Chicago *);
+    "MTL" (* Montreal *);
+    "TOR" (* Toronto *);
+    "SEA" (* Seattle *);
+    "SJC" (* San Jose *);
+    "LAX" (* Los Angeles *);
+    "LON" (* London *);
+    "PAR" (* Paris *);
+    "FRA" (* Frankfurt *);
+    "AMS" (* Amsterdam *);
+    "BRU" (* Brussels *);
+    "MAD" (* Madrid *);
+    "LIS" (* Lisbon *);
+    "MRS" (* Marseille *);
+    "SIN" (* Singapore *);
+    "HKG" (* Hong Kong *);
+    "TYO" (* Tokyo *);
+    "BOM" (* Mumbai *);
+  |]
+
+let coords =
+  [|
+    (-74.01, 40.71);
+    (-74.17, 40.73);
+    (-77.04, 38.91);
+    (-80.19, 25.76);
+    (-84.39, 33.75);
+    (-87.63, 41.88);
+    (-73.57, 45.50);
+    (-79.38, 43.65);
+    (-122.33, 47.61);
+    (-121.89, 37.34);
+    (-118.24, 34.05);
+    (-0.13, 51.51);
+    (2.35, 48.86);
+    (8.68, 50.11);
+    (4.90, 52.37);
+    (4.35, 50.85);
+    (-3.70, 40.42);
+    (-9.14, 38.72);
+    (5.37, 43.30);
+    (103.85, 1.29);
+    (114.17, 22.32);
+    (139.69, 35.69);
+    (72.88, 19.08);
+  |]
+
+let nyc = 0
+let nwk = 1
+let wdc = 2
+let mia = 3
+let atl = 4
+let chi = 5
+let mtl = 6
+let tor = 7
+let sea = 8
+let sjc = 9
+let lax = 10
+let lon = 11
+let par = 12
+let fra = 13
+let ams = 14
+let bru = 15
+let mad = 16
+let lis = 17
+let mrs = 18
+let sin = 19
+let hkg = 20
+let tyo = 21
+let bom = 22
+
+let links =
+  [
+    (* North American core *)
+    (nyc, nwk);
+    (nyc, wdc);
+    (nyc, mtl);
+    (nyc, tor);
+    (nwk, wdc);
+    (nwk, chi);
+    (wdc, atl);
+    (atl, mia);
+    (atl, chi);
+    (mia, wdc);
+    (chi, tor);
+    (chi, sea);
+    (mtl, tor);
+    (sea, sjc);
+    (sjc, lax);
+    (lax, chi);
+    (* Transatlantic *)
+    (nyc, lon);
+    (nwk, par);
+    (mtl, lon);
+    (lis, mia);
+    (* European core *)
+    (lon, par);
+    (lon, ams);
+    (par, fra);
+    (par, mrs);
+    (fra, ams);
+    (ams, bru);
+    (bru, lon);
+    (mad, par);
+    (mad, lis);
+    (lis, lon);
+    (mrs, mad);
+    (* Asia via Indian Ocean and Pacific *)
+    (mrs, bom);
+    (bom, sin);
+    (sin, hkg);
+    (hkg, tyo);
+    (tyo, lax);
+    (tyo, sea);
+    (sin, lon);
+  ]
+
+let topology () =
+  Topology.make ~name:"teleglobe" ~labels ~coords
+    (List.map (fun (u, v) -> (u, v, 1.0)) links)
+
+let weighted () = Topology.with_geographic_weights (topology ())

@@ -1,0 +1,14 @@
+(** Teleglobe (VSNL International, AS6453), Rocketfuel-era PoP-level map:
+    23 PoPs and 38 links, used in the paper's Figure 2(b)/(e).
+
+    The original Rocketfuel traces are not redistributable and unavailable
+    offline; this is a documented reconstruction of the PoP-level backbone
+    from published Rocketfuel statistics (see DESIGN.md §3): a North
+    American / European double ring with transatlantic, transpacific and
+    Indian-Ocean legs, every PoP at least dual-homed. *)
+
+val topology : unit -> Topology.t
+(** Unit link weights, PoP longitude/latitude coordinates. *)
+
+val weighted : unit -> Topology.t
+(** Great-circle link weights in kilometres. *)

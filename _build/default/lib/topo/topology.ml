@@ -1,0 +1,92 @@
+module Graph = Pr_graph.Graph
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  labels : string array;
+  coords : (float * float) array;
+}
+
+let unit_circle n =
+  Array.init n (fun i ->
+      let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int (max 1 n) in
+      (cos angle, sin angle))
+
+let make ~name ~labels ?coords edges =
+  let n = Array.length labels in
+  let coords =
+    match coords with
+    | None -> unit_circle n
+    | Some c ->
+        if Array.length c <> n then
+          invalid_arg "Topology.make: coords length mismatch";
+        c
+  in
+  let seen = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun l ->
+      if Hashtbl.mem seen l then
+        invalid_arg (Printf.sprintf "Topology.make: duplicate label %S" l);
+      Hashtbl.replace seen l ())
+    labels;
+  { name; graph = Graph.create ~n edges; labels; coords }
+
+let of_graph ~name graph =
+  let n = Graph.n graph in
+  {
+    name;
+    graph;
+    labels = Array.init n string_of_int;
+    coords = unit_circle n;
+  }
+
+let n t = Graph.n t.graph
+
+let m t = Graph.m t.graph
+
+let node_id t label =
+  let found = ref (-1) in
+  Array.iteri (fun i l -> if l = label then found := i) t.labels;
+  if !found < 0 then raise Not_found else !found
+
+let label t v = t.labels.(v)
+
+let coord t v = t.coords.(v)
+
+let remap_weights t f =
+  let edges =
+    Graph.fold_edges
+      (fun _ (e : Graph.edge) acc -> (e.u, e.v, f e) :: acc)
+      t.graph []
+  in
+  { t with graph = Graph.create ~n:(n t) (List.rev edges) }
+
+let with_unit_weights t = remap_weights t (fun _ -> 1.0)
+
+let earth_radius_km = 6371.0
+
+let great_circle_km (lon1, lat1) (lon2, lat2) =
+  let rad d = d *. Float.pi /. 180.0 in
+  let phi1 = rad lat1 and phi2 = rad lat2 in
+  let dphi = rad (lat2 -. lat1) and dlambda = rad (lon2 -. lon1) in
+  let a =
+    (sin (dphi /. 2.0) ** 2.0)
+    +. (cos phi1 *. cos phi2 *. (sin (dlambda /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_km *. atan2 (sqrt a) (sqrt (1.0 -. a))
+
+let with_geographic_weights t =
+  remap_weights t (fun e ->
+      Float.max 1.0 (great_circle_km t.coords.(e.u) t.coords.(e.v)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %d nodes, %d links" t.name (n t) (m t);
+  Graph.iter_edges
+    (fun _ (e : Graph.edge) ->
+      Format.fprintf ppf "@,  %s -- %s (w=%g)" t.labels.(e.u) t.labels.(e.v) e.w)
+    t.graph;
+  Format.fprintf ppf "@]"
+
+let summary t =
+  Printf.sprintf "%s: n=%d m=%d diameter=%d hops" t.name (n t) (m t)
+    (Pr_graph.Dijkstra.diameter_hops t.graph)

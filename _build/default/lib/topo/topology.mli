@@ -1,0 +1,48 @@
+(** A named network topology: a graph plus node labels and coordinates.
+
+    Coordinates are (longitude, latitude) for the ISP maps and abstract
+    (x, y) positions for synthetic topologies; they seed the geometric
+    embedding heuristic. *)
+
+type t = {
+  name : string;
+  graph : Pr_graph.Graph.t;
+  labels : string array;
+  coords : (float * float) array;
+}
+
+val make :
+  name:string ->
+  labels:string array ->
+  ?coords:(float * float) array ->
+  (int * int * float) list ->
+  t
+(** Node count is the length of [labels]; coordinates default to a unit
+    circle layout.  Raises [Invalid_argument] on length mismatches or on any
+    condition {!Pr_graph.Graph.create} rejects. *)
+
+val of_graph : name:string -> Pr_graph.Graph.t -> t
+(** Numeric labels, unit-circle coordinates. *)
+
+val n : t -> int
+
+val m : t -> int
+
+val node_id : t -> string -> int
+(** Label lookup.  Raises [Not_found]. *)
+
+val label : t -> int -> string
+
+val coord : t -> int -> float * float
+
+val with_unit_weights : t -> t
+(** Same topology with all link weights replaced by 1.0 (hop metric). *)
+
+val with_geographic_weights : t -> t
+(** Link weights replaced by great-circle distance in kilometres between the
+    endpoints' (longitude, latitude) coordinates, with a floor of 1.0 km. *)
+
+val pp : Format.formatter -> t -> unit
+
+val summary : t -> string
+(** One line: name, node count, link count, diameter in hops. *)

@@ -1,0 +1,32 @@
+let builders : (string * (unit -> Topology.t)) list =
+  [
+    ("abilene", Abilene.topology);
+    ("abilene-km", Abilene.weighted);
+    ("teleglobe", Teleglobe.topology);
+    ("teleglobe-km", Teleglobe.weighted);
+    ("geant", Geant.topology);
+    ("geant-km", Geant.weighted);
+    ("fig1", Example.topology);
+    ("grid5x5", fun () -> Generate.grid ~rows:5 ~cols:5);
+    ("torus4x4", fun () -> Generate.torus ~rows:4 ~cols:4);
+    ("ring8", fun () -> Generate.ring 8);
+    ("petersen", Generate.petersen);
+    ("wheel8", fun () -> Generate.wheel 8);
+    ("q3", fun () -> Generate.hypercube 3);
+    ("q4", fun () -> Generate.hypercube 4);
+    ("k5", fun () -> Generate.complete 5);
+    ( "hier6x5",
+      fun () ->
+        Generate.hierarchical (Pr_util.Rng.create ~seed:11) ~regions:6
+          ~per_region:5 ~extra:4 );
+  ]
+
+let names () = List.map fst builders |> List.sort compare
+
+let find name =
+  match List.assoc_opt name builders with
+  | Some build -> build ()
+  | None -> raise Not_found
+
+let paper_evaluation () =
+  [ Abilene.topology (); Teleglobe.topology (); Geant.topology () ]

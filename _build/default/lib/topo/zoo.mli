@@ -1,0 +1,12 @@
+(** Registry of built-in topologies, addressable by name (used by the CLI
+    and the benchmark harness). *)
+
+val names : unit -> string list
+(** All registered names, sorted. *)
+
+val find : string -> Topology.t
+(** Raises [Not_found] for unknown names. *)
+
+val paper_evaluation : unit -> Topology.t list
+(** The three topologies of the paper's Figure 2, in paper order:
+    Abilene, Teleglobe, Géant. *)

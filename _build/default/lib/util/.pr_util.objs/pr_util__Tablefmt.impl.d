@@ -1,0 +1,1 @@
+lib/util/tablefmt.ml: Buffer List Printf String

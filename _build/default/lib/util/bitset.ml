@@ -1,0 +1,46 @@
+type t = { words : int array; capacity : int }
+
+let word_bits = 63 (* OCaml native ints: use 63 bits per word portably *)
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((capacity / word_bits) + 1) 0; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / word_bits in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  let w = i / word_bits in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod word_bits))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])

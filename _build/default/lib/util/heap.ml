@@ -1,0 +1,72 @@
+type 'a entry = { prio : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h entry =
+  let capacity = Array.length h.data in
+  if h.len = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit h.data 0 fresh 0 h.len;
+    h.data <- fresh
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && less h.data.(left) h.data.(!smallest) then smallest := left;
+  if right < h.len && less h.data.(right) h.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h prio payload =
+  let entry = { prio; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.prio, top.payload)
+  end
+
+let peek h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).payload)
+
+let clear h =
+  h.len <- 0;
+  h.next_seq <- 0

@@ -1,0 +1,24 @@
+(** Mutable binary min-heap keyed by float priorities.
+
+    Used by Dijkstra's algorithm; supports lazy deletion (duplicate inserts
+    of the same payload are allowed and the consumer skips stale entries). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority payload] inserts an entry. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority.  Ties are broken
+    by insertion order (first inserted pops first), which keeps algorithms
+    built on the heap deterministic. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,90 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the user seed into the 256-bit xoshiro
+   state, as recommended by the xoshiro authors. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    if r - v > (1 lsl 62) - bound then draw () else v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (float_of_int r /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let candidate = int t (j + 1) in
+    if Hashtbl.mem chosen candidate then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen candidate ()
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) chosen [] |> List.sort compare
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

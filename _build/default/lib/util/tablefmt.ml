@@ -1,0 +1,52 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let columns = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> columns then
+        invalid_arg "Tablefmt.render: ragged row")
+    rows;
+  let aligns =
+    match align with
+    | Some a when List.length a = columns -> a
+    | Some _ -> invalid_arg "Tablefmt.render: align length mismatch"
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) (List.nth widths i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let float_cell ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v

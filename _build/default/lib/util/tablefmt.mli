@@ -1,0 +1,14 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a table with one space of padding and a
+    rule under the header.  [align] gives per-column alignment (defaults to
+    left for the first column, right for the rest). *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering used across reports (default 3 decimals). *)

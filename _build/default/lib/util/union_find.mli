@@ -1,0 +1,18 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the sets of the two elements.  Returns [true] iff they were in
+    different sets (i.e. the union did something). *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

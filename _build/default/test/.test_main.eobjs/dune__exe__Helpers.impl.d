@@ -1,0 +1,1 @@
+test/helpers.ml: Array Float Format Fun List Pr_embed Pr_graph Pr_topo Pr_util QCheck

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest List Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Array Helpers List Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_counterexample.ml: Alcotest List Pr_exp String

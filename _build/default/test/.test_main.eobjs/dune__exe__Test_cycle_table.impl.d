@@ -1,0 +1,1 @@
+test/test_cycle_table.ml: Alcotest Array Helpers List Pr_core Pr_embed Pr_graph Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dijkstra.ml: Alcotest Array Helpers List Pr_graph QCheck QCheck_alcotest

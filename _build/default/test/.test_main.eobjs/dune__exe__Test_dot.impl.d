@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Filename Fun In_channel Pr_graph Pr_topo String Sys

@@ -1,0 +1,1 @@
+test/test_dual.ml: Alcotest Helpers List Pr_core Pr_embed Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

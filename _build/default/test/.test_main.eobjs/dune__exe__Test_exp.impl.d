@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest List Pr_exp Pr_stats Pr_topo

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Pr_core Pr_graph

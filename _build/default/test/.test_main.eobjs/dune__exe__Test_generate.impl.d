@@ -1,0 +1,1 @@
+test/test_generate.ml: Alcotest Pr_embed Pr_graph Pr_topo Pr_util

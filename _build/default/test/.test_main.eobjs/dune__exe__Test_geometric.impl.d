@@ -1,0 +1,1 @@
+test/test_geometric.ml: Alcotest Helpers Pr_embed Pr_graph Pr_topo QCheck QCheck_alcotest

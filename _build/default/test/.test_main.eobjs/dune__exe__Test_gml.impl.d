@@ -1,0 +1,1 @@
+test/test_gml.ml: Alcotest Filename Fun List Pr_graph Pr_topo Sys

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Float Helpers Pr_graph QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_header.ml: Alcotest Pr_core QCheck QCheck_alcotest

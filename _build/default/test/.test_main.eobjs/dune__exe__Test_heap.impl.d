@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float List Pr_util QCheck QCheck_alcotest

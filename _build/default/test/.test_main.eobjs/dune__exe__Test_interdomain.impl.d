@@ -1,0 +1,1 @@
+test/test_interdomain.ml: Alcotest List Pr_core Pr_interdomain Pr_topo

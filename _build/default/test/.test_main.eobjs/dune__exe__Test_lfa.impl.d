@@ -1,0 +1,1 @@
+test/test_lfa.ml: Alcotest Helpers List Pr_baselines Pr_core Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Helpers List Pr_core Pr_embed Pr_exp Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mrc.ml: Alcotest Helpers List Pr_baselines Pr_core Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest List Pr_embed Pr_graph Pr_topo Pr_util

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Array Example List Pr_core Pr_embed Pr_graph Pr_topo

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Filename Fun List Pr_graph Pr_topo String Sys

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Pr_graph

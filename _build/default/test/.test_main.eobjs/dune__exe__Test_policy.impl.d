@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Pr_core Pr_embed Pr_graph Pr_topo

@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Format Pr_core Pr_embed Pr_graph Pr_sim Pr_stats Pr_topo String

@@ -1,0 +1,1 @@
+test/test_recommend.ml: Alcotest List Pr_embed Pr_graph Pr_topo

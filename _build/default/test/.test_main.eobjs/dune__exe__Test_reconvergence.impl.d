@@ -1,0 +1,1 @@
+test/test_reconvergence.ml: Alcotest Array Helpers List Pr_baselines Pr_core Pr_graph Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Hashtbl List Pr_core Pr_embed Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

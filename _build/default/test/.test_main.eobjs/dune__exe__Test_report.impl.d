@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Filename Fun In_channel List Pr_exp Pr_topo String Sys

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun List Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rotation.ml: Alcotest Array Hashtbl Helpers Pr_embed Pr_graph Pr_util QCheck QCheck_alcotest

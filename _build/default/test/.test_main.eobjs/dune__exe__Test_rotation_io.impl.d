@@ -1,0 +1,1 @@
+test/test_rotation_io.ml: Alcotest Filename Fun Helpers Pr_embed Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Helpers List Pr_core Pr_graph Pr_topo QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest List Pr_core Pr_graph Pr_topo Pr_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Pr_core Pr_embed Pr_graph Pr_sim Pr_topo Pr_util

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float List Pr_stats QCheck QCheck_alcotest

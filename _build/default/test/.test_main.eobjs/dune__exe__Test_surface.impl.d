@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Helpers List Pr_embed Pr_graph Pr_util QCheck QCheck_alcotest String

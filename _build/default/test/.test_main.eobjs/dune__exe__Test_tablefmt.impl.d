@@ -1,0 +1,1 @@
+test/test_tablefmt.ml: Alcotest List Pr_util String

@@ -1,0 +1,1 @@
+test/test_topologies_data.ml: Alcotest List Pr_graph Pr_topo

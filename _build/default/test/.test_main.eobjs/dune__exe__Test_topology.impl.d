@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest List Pr_graph Pr_topo String

@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Helpers Pr_graph Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Array Fun List Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Fun List Pr_embed Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Format Helpers List Pr_embed Pr_graph Pr_topo Pr_util QCheck QCheck_alcotest String

@@ -1,0 +1,77 @@
+module Bitset = Pr_util.Bitset
+
+let test_basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity s);
+  Alcotest.(check int) "empty" 0 (Bitset.cardinal s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem s 0);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 63; 64; 99 ] (Bitset.to_list s)
+
+let test_remove_clear () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 7;
+  Bitset.remove s 3;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 3);
+  Alcotest.(check int) "one left" 1 (Bitset.cardinal s);
+  Bitset.clear s;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal s)
+
+let test_idempotent_add () =
+  let s = Bitset.create 10 in
+  Bitset.add s 5;
+  Bitset.add s 5;
+  Alcotest.(check int) "added once" 1 (Bitset.cardinal s)
+
+let test_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s 10))
+
+let test_fold_iter () =
+  let s = Bitset.create 20 in
+  List.iter (Bitset.add s) [ 2; 4; 8; 16 ];
+  let sum = Bitset.fold ( + ) s 0 in
+  Alcotest.(check int) "fold sum" 30 sum;
+  let count = ref 0 in
+  Bitset.iter (fun _ -> incr count) s;
+  Alcotest.(check int) "iter count" 4 !count
+
+let qcheck_vs_model =
+  QCheck.Test.make ~name:"bitset matches Set model" ~count:200
+    QCheck.(list (pair bool (int_bound 199)))
+    (fun ops ->
+      let s = Bitset.create 200 in
+      let model = ref [] in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add s i;
+            model := i :: !model
+          end
+          else begin
+            Bitset.remove s i;
+            model := List.filter (fun x -> x <> i) !model
+          end)
+        ops;
+      Bitset.to_list s = List.sort_uniq compare !model)
+
+let suite =
+  [
+    Alcotest.test_case "basic" `Quick test_basic;
+    Alcotest.test_case "remove and clear" `Quick test_remove_clear;
+    Alcotest.test_case "idempotent add" `Quick test_idempotent_add;
+    Alcotest.test_case "bounds checked" `Quick test_bounds;
+    Alcotest.test_case "fold and iter" `Quick test_fold_iter;
+    QCheck_alcotest.to_alcotest qcheck_vs_model;
+  ]

@@ -1,0 +1,49 @@
+module Counterexample = Pr_exp.Counterexample
+
+let test_finds_and_verifies () =
+  match Counterexample.search ~attempts:2000 ~seed:1 () with
+  | None -> Alcotest.fail "expected to find a witness with this seed"
+  | Some found ->
+      Alcotest.(check bool) "witness verifies" true (Counterexample.verify found);
+      Alcotest.(check bool) "description non-empty" true
+        (String.length (Counterexample.describe found) > 0)
+
+let test_witnesses_never_planar_and_safe () =
+  (* The central finding: every delivery failure lives on an embedding with
+     positive genus or curved edges.  A witness with genus 0 and no curved
+     edges would falsify EXPERIMENTS.md — fail loudly if one appears. *)
+  List.iter
+    (fun seed ->
+      match Counterexample.search ~attempts:500 ~seed () with
+      | None -> ()
+      | Some found ->
+          if found.Counterexample.genus = 0 && found.Counterexample.curved_edges = 0
+          then
+            Alcotest.failf "planar PR-safe counterexample found?! seed %d:\n%s" seed
+              (Counterexample.describe found))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_minimised_failures () =
+  (* Greedy shrinking means removing any one failure restores delivery. *)
+  match Counterexample.search ~attempts:2000 ~seed:7 () with
+  | None -> Alcotest.fail "expected a witness"
+  | Some found ->
+      List.iter
+        (fun f ->
+          let smaller =
+            List.filter (fun f' -> f' <> f) found.Counterexample.failures
+          in
+          if smaller <> [] then begin
+            let weaker = { found with Counterexample.failures = smaller } in
+            Alcotest.(check bool) "sub-witness no longer fails" false
+              (Counterexample.verify weaker)
+          end)
+        found.Counterexample.failures
+
+let suite =
+  [
+    Alcotest.test_case "finds and verifies" `Quick test_finds_and_verifies;
+    Alcotest.test_case "witnesses are never planar-and-safe" `Slow
+      test_witnesses_never_planar_and_safe;
+    Alcotest.test_case "failures are minimal" `Quick test_minimised_failures;
+  ]

@@ -1,0 +1,118 @@
+module Graph = Pr_graph.Graph
+module Dijkstra = Pr_graph.Dijkstra
+
+let diamond () =
+  (* 0-1-3 and 0-2-3, with 0-1 cheaper. *)
+  Graph.create ~n:4 [ (0, 1, 1.0); (0, 2, 2.0); (1, 3, 1.0); (2, 3, 1.0) ]
+
+let test_distances () =
+  let t = Dijkstra.tree (diamond ()) ~root:3 in
+  Alcotest.(check (float 0.0)) "root" 0.0 (Dijkstra.distance t 3);
+  Alcotest.(check (float 0.0)) "via 1" 2.0 (Dijkstra.distance t 0);
+  Alcotest.(check (float 0.0)) "node 1" 1.0 (Dijkstra.distance t 1);
+  Alcotest.(check int) "hops from 0" 2 (Dijkstra.hop_count t 0)
+
+let test_next_hop () =
+  let t = Dijkstra.tree (diamond ()) ~root:3 in
+  Alcotest.(check (option int)) "0 goes via 1" (Some 1) (Dijkstra.next_hop t 0);
+  Alcotest.(check (option int)) "1 goes direct" (Some 3) (Dijkstra.next_hop t 1);
+  Alcotest.(check (option int)) "root has none" None (Dijkstra.next_hop t 3)
+
+let test_path () =
+  let t = Dijkstra.tree (diamond ()) ~root:3 in
+  Alcotest.(check (option (list int))) "path" (Some [ 0; 1; 3 ]) (Dijkstra.path_to_root t 0)
+
+let test_unreachable () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (2, 3) ] in
+  let t = Dijkstra.tree g ~root:0 in
+  Alcotest.(check bool) "2 unreachable" false (Dijkstra.reachable t 2);
+  Alcotest.(check (option int)) "no next hop" None (Dijkstra.next_hop t 2);
+  Alcotest.(check (option (list int))) "no path" None (Dijkstra.path_to_root t 2);
+  Alcotest.(check bool) "infinite distance" true (Dijkstra.distance t 2 = infinity)
+
+let test_tie_break_smallest_parent () =
+  (* Two equal-cost routes 0-1-3 and 0-2-3: parent of 3 must be 1. *)
+  let g = Graph.unweighted ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let t = Dijkstra.tree g ~root:0 in
+  Alcotest.(check (option int)) "deterministic tie" (Some 1) (Dijkstra.next_hop t 3)
+
+let test_blocked () =
+  let g = diamond () in
+  let blocked i =
+    let e = Graph.edge g i in
+    e.Graph.u = 0 && e.Graph.v = 1
+  in
+  let t = Dijkstra.tree ~blocked g ~root:3 in
+  Alcotest.(check (float 0.0)) "detour" 3.0 (Dijkstra.distance t 0);
+  Alcotest.(check (option int)) "via 2 now" (Some 2) (Dijkstra.next_hop t 0)
+
+let test_diameter () =
+  let path = Graph.unweighted ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.(check int) "path graph hops" 4 (Dijkstra.diameter_hops path);
+  Alcotest.(check (float 0.0)) "path graph weight" 4.0 (Dijkstra.diameter_weight path);
+  let single = Graph.create ~n:1 [] in
+  Alcotest.(check int) "singleton diameter" 0 (Dijkstra.diameter_hops single)
+
+let test_root_out_of_range () =
+  Alcotest.check_raises "bad root"
+    (Invalid_argument "Dijkstra.tree: root out of range") (fun () ->
+      ignore (Dijkstra.tree (diamond ()) ~root:7))
+
+let qcheck_matches_floyd_warshall =
+  QCheck.Test.make ~name:"dijkstra matches Floyd-Warshall" ~count:80
+    (Helpers.arb_weighted_connected ())
+    (fun g ->
+      let reference = Helpers.floyd_warshall g in
+      let trees = Dijkstra.all_roots g in
+      List.for_all
+        (fun (src, dst) ->
+          Helpers.close ~eps:1e-6 (Dijkstra.distance trees.(dst) src) reference.(src).(dst))
+        (Helpers.all_pairs g))
+
+let qcheck_next_hop_walk_reaches_root =
+  QCheck.Test.make ~name:"next-hop walk reaches the root with the tree cost"
+    ~count:80
+    (Helpers.arb_weighted_connected ())
+    (fun g ->
+      let trees = Dijkstra.all_roots g in
+      List.for_all
+        (fun (src, dst) ->
+          let t = trees.(dst) in
+          let rec walk x cost steps =
+            if steps > Graph.n g then false
+            else if x = dst then Helpers.close ~eps:1e-6 cost (Dijkstra.distance t src)
+            else
+              match Dijkstra.next_hop t x with
+              | None -> false
+              | Some w -> walk w (cost +. Graph.weight g x w) (steps + 1)
+          in
+          walk src 0.0 0)
+        (Helpers.all_pairs g))
+
+let qcheck_hops_consistent =
+  QCheck.Test.make ~name:"hop counts equal next-hop chain length" ~count:60
+    (Helpers.arb_weighted_connected ())
+    (fun g ->
+      let trees = Dijkstra.all_roots g in
+      List.for_all
+        (fun (src, dst) ->
+          let t = trees.(dst) in
+          match Dijkstra.path_to_root t src with
+          | None -> false
+          | Some path -> List.length path - 1 = Dijkstra.hop_count t src)
+        (Helpers.all_pairs g))
+
+let suite =
+  [
+    Alcotest.test_case "distances" `Quick test_distances;
+    Alcotest.test_case "next hops" `Quick test_next_hop;
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "deterministic tie-break" `Quick test_tie_break_smallest_parent;
+    Alcotest.test_case "blocked edges" `Quick test_blocked;
+    Alcotest.test_case "diameter" `Quick test_diameter;
+    Alcotest.test_case "root validation" `Quick test_root_out_of_range;
+    QCheck_alcotest.to_alcotest qcheck_matches_floyd_warshall;
+    QCheck_alcotest.to_alcotest qcheck_next_hop_walk_reaches_root;
+    QCheck_alcotest.to_alcotest qcheck_hops_consistent;
+  ]

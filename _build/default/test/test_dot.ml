@@ -1,0 +1,45 @@
+module Dot = Pr_graph.Dot
+module Graph = Pr_graph.Graph
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_basic_shape () =
+  let g = Graph.create ~n:3 [ (0, 1, 1.0); (1, 2, 2.5) ] in
+  let dot = Dot.to_dot ~name:"demo" g in
+  Alcotest.(check bool) "graph header" true (contains dot "graph demo {");
+  Alcotest.(check bool) "edge present" true (contains dot "0 -- 1");
+  Alcotest.(check bool) "weight label" true (contains dot "label=\"2.5\"");
+  Alcotest.(check bool) "closes" true (contains dot "}")
+
+let test_node_labels () =
+  let topo = Pr_topo.Abilene.topology () in
+  let dot =
+    Dot.to_dot ~node_label:(Pr_topo.Topology.label topo) topo.Pr_topo.Topology.graph
+  in
+  Alcotest.(check bool) "PoP names appear" true (contains dot "STTL")
+
+let test_highlighted_failures () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let dot = Dot.to_dot ~highlight_edges:[ (1, 0) ] g in
+  Alcotest.(check bool) "failure styled" true (contains dot "style=dashed");
+  Alcotest.(check bool) "colored red" true (contains dot "color=red")
+
+let test_write_file () =
+  let path = Filename.temp_file "pr_dot" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dot.write_file ~path (Graph.unweighted ~n:2 [ (0, 1) ]);
+      let text = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check bool) "written" true (contains text "0 -- 1"))
+
+let suite =
+  [
+    Alcotest.test_case "basic shape" `Quick test_basic_shape;
+    Alcotest.test_case "node labels" `Quick test_node_labels;
+    Alcotest.test_case "highlighted failures" `Quick test_highlighted_failures;
+    Alcotest.test_case "write file" `Quick test_write_file;
+  ]

@@ -1,0 +1,76 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Faces = Pr_embed.Faces
+module Dual = Pr_embed.Dual
+
+let ring_faces n =
+  Faces.compute
+    (Rotation.adjacency (Graph.unweighted ~n (List.init n (fun i -> (i, (i + 1) mod n)))))
+
+let test_ring_dual () =
+  let faces = ring_faces 5 in
+  let adj = Dual.adjacencies faces in
+  Alcotest.(check int) "one adjacency per link" 5 (List.length adj);
+  List.iter
+    (fun (a, b, _) ->
+      Alcotest.(check bool) "two distinct sides" true (a <> b))
+    adj;
+  Alcotest.(check (list int)) "two pentagon faces" [ 5; 5 ] (Dual.face_sizes faces);
+  Alcotest.(check int) "largest face" 5 (Dual.largest_face faces);
+  Alcotest.(check bool) "dual connected" true (Dual.is_connected faces)
+
+let test_bridge_self_loop () =
+  let g = Graph.unweighted ~n:2 [ (0, 1) ] in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  match Dual.adjacencies faces with
+  | [ (a, b, _) ] -> Alcotest.(check int) "bridge is a dual self loop" a b
+  | _ -> Alcotest.fail "expected one adjacency"
+
+let test_largest_face_bounds_episode () =
+  (* A single-failure cycle-following episode walks the complementary
+     cycle: at most (largest face - 1) links. *)
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let faces = Faces.compute rotation in
+  let bound = Dual.largest_face faces - 1 in
+  let g = topo.Pr_topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  List.iter
+    (fun scenario ->
+      let failures = Pr_core.Failure.of_list g scenario in
+      List.iter
+        (fun (src, dst) ->
+          let trace = Pr_core.Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          let sp_hops = Pr_core.Routing.hops routing ~node:src ~dst in
+          let walked = Pr_graph.Paths.hops trace.Pr_core.Forward.path in
+          (* Detour <= shortest path + one full complementary cycle bounded
+             by the largest face, re-entering SP at most sp_hops later. *)
+          Alcotest.(check bool) "episode bounded by largest face" true
+            (walked <= sp_hops + bound + Pr_graph.Graph.n g))
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+    (Pr_core.Scenario.single_links g)
+
+let qcheck_dual_connected =
+  QCheck.Test.make ~name:"dual of a connected embedding is connected" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      Dual.is_connected (Faces.compute rot))
+
+let qcheck_face_sizes_sum =
+  QCheck.Test.make ~name:"face sizes sum to 2m" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      List.fold_left ( + ) 0 (Dual.face_sizes (Faces.compute rot)) = 2 * Graph.m g)
+
+let suite =
+  [
+    Alcotest.test_case "ring dual" `Quick test_ring_dual;
+    Alcotest.test_case "bridge self loop" `Quick test_bridge_self_loop;
+    Alcotest.test_case "largest face bounds episodes" `Quick
+      test_largest_face_bounds_episode;
+    QCheck_alcotest.to_alcotest qcheck_dual_connected;
+    QCheck_alcotest.to_alcotest qcheck_face_sizes_sum;
+  ]

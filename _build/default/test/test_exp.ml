@@ -1,0 +1,144 @@
+module Fig2 = Pr_exp.Fig2
+module Ccdf = Pr_stats.Ccdf
+
+let abilene_result () = Fig2.run (Fig2.default (Pr_topo.Abilene.topology ()) ~k:1)
+
+let test_fig2_abilene_single () =
+  let r = abilene_result () in
+  Alcotest.(check int) "14 single-link scenarios" 14 r.Fig2.scenarios;
+  Alcotest.(check int) "planar embedding" 0 r.Fig2.genus;
+  Alcotest.(check int) "no curved edges" 0 r.Fig2.curved_edges;
+  Alcotest.(check int) "three curves" 3 (List.length r.Fig2.curves);
+  Alcotest.(check int) "full PR delivery" 0 (List.length r.Fig2.pr_failures);
+  Alcotest.(check bool) "pairs measured" true (r.Fig2.pairs_measured > 0)
+
+let curve r scheme = List.assoc scheme r.Fig2.curves
+
+let test_fig2_dominance () =
+  (* Per-pair, reconvergence is optimal, so its CCDF is pointwise below
+     both FCP's and PR's. *)
+  let r = abilene_result () in
+  let reconv = curve r Fig2.Reconvergence in
+  let fcp = curve r Fig2.Fcp in
+  let pr = curve r Fig2.Pr in
+  List.iter
+    (fun x ->
+      let base = Ccdf.eval reconv x in
+      Alcotest.(check bool) "reconv <= fcp" true (base <= Ccdf.eval fcp x +. 1e-9);
+      Alcotest.(check bool) "reconv <= pr" true (base <= Ccdf.eval pr x +. 1e-9))
+    Fig2.xs_grid
+
+let test_fig2_ccdf_starts_high () =
+  (* Affected pairs have stretch >= 1 under every scheme, so the CCDF just
+     below 1 is exactly 1. *)
+  let r = abilene_result () in
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check (float 1e-9)) "all mass above 0.99" 1.0 (Ccdf.eval c 0.99))
+    r.Fig2.curves
+
+let test_fig2_deterministic () =
+  let a = Fig2.run { (Fig2.default (Pr_topo.Abilene.topology ()) ~k:2) with samples = 20 } in
+  let b = Fig2.run { (Fig2.default (Pr_topo.Abilene.topology ()) ~k:2) with samples = 20 } in
+  Alcotest.(check int) "same pairs" a.Fig2.pairs_measured b.Fig2.pairs_measured;
+  List.iter2
+    (fun (sa, ca) (sb, cb) ->
+      Alcotest.(check string) "same scheme" (Fig2.scheme_name sa) (Fig2.scheme_name sb);
+      List.iter
+        (fun x ->
+          Alcotest.(check (float 1e-12)) "same curve" (Ccdf.eval ca x) (Ccdf.eval cb x))
+        Fig2.xs_grid)
+    a.Fig2.curves b.Fig2.curves
+
+let test_overhead_rows () =
+  let row = Pr_exp.Overhead.measure (Pr_topo.Abilene.topology ()) in
+  Alcotest.(check int) "nodes" 11 row.Pr_exp.Overhead.nodes;
+  Alcotest.(check int) "diameter" 5 row.Pr_exp.Overhead.diameter_hops;
+  Alcotest.(check int) "PR header bits = 1 + ceil(log2(d+1))" 4
+    row.Pr_exp.Overhead.pr_header_bits;
+  Alcotest.(check bool) "fits DSCP" true row.Pr_exp.Overhead.pr_fits_dscp;
+  Alcotest.(check int) "cycle entries 2m" 28 row.Pr_exp.Overhead.pr_cycle_entries;
+  Alcotest.(check int) "routing entries n(n-1)" 110 row.Pr_exp.Overhead.pr_routing_entries;
+  Alcotest.(check int) "PR needs no SPF at failure time" 0
+    row.Pr_exp.Overhead.pr_spf_per_failure;
+  Alcotest.(check bool) "FCP worst header grows" true
+    (row.Pr_exp.Overhead.fcp_header_bits_worst >= row.Pr_exp.Overhead.fcp_bits_per_failure)
+
+let test_coverage_abilene () =
+  let row = Pr_exp.Coverage.measure (Pr_topo.Abilene.topology ()) ~k:1 in
+  Alcotest.(check int) "PR covers all" row.Pr_exp.Coverage.pairs
+    row.Pr_exp.Coverage.pr_delivered;
+  Alcotest.(check int) "simple PR covers single failures too"
+    row.Pr_exp.Coverage.pairs row.Pr_exp.Coverage.pr_simple_delivered;
+  Alcotest.(check bool) "LFA misses some" true
+    (row.Pr_exp.Coverage.lfa_delivered < row.Pr_exp.Coverage.pairs)
+
+let test_coverage_nodes_abilene () =
+  let row = Pr_exp.Coverage.measure_nodes (Pr_topo.Abilene.topology ()) ~k:1 in
+  Alcotest.(check string) "named" "abilene+nodes" row.Pr_exp.Coverage.topology;
+  Alcotest.(check int) "all non-cut routers enumerated" 11 row.Pr_exp.Coverage.scenarios;
+  Alcotest.(check int) "PR covers all" row.Pr_exp.Coverage.pairs
+    row.Pr_exp.Coverage.pr_delivered
+
+let test_ablation_abilene () =
+  let rows = Pr_exp.Ablation.embedding_sweep (Pr_topo.Abilene.topology ()) in
+  Alcotest.(check int) "five embeddings" 5 (List.length rows);
+  let geometric =
+    List.find (fun r -> r.Pr_exp.Ablation.embedding = Fig2.Geometric) rows
+  in
+  Alcotest.(check int) "geometric is planar" 0 geometric.Pr_exp.Ablation.genus;
+  Alcotest.(check int) "geometric delivers everything" 0
+    geometric.Pr_exp.Ablation.undelivered;
+  List.iter
+    (fun (r : Pr_exp.Ablation.embedding_row) ->
+      Alcotest.(check bool) "mean stretch sane" true
+        (r.Pr_exp.Ablation.mean_stretch >= 1.0))
+    rows
+
+let test_discriminator_ablation () =
+  let rows = Pr_exp.Ablation.discriminator_sweep (Pr_topo.Abilene.weighted ()) in
+  Alcotest.(check int) "hops + weighted + quantised" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "full delivery either way" 0 r.Pr_exp.Ablation.undelivered)
+    rows
+
+let test_synthetic_row () =
+  let row = Pr_exp.Synthetic.measure (Pr_topo.Generate.grid ~rows:4 ~cols:4) in
+  Alcotest.(check bool) "grid recognised planar" true row.Pr_exp.Synthetic.certified_planar;
+  Alcotest.(check int) "genus 0" 0 row.Pr_exp.Synthetic.genus;
+  Alcotest.(check int) "full delivery" 0 row.Pr_exp.Synthetic.pr_undelivered;
+  Alcotest.(check bool) "ordering reconv <= fcp <= pr" true
+    (row.Pr_exp.Synthetic.reconv_mean <= row.Pr_exp.Synthetic.fcp_mean +. 1e-9
+    && row.Pr_exp.Synthetic.fcp_mean <= row.Pr_exp.Synthetic.pr_mean +. 1e-9)
+
+let test_ttl_study () =
+  let rows =
+    Pr_exp.Ttl_study.measure (Pr_topo.Abilene.topology ()) ~k:1 ~ttls:[ 4; 255 ]
+  in
+  (match rows with
+  | [ tight; loose ] ->
+      Alcotest.(check bool) "monotone in TTL" true
+        (tight.Pr_exp.Ttl_study.delivered <= loose.Pr_exp.Ttl_study.delivered);
+      Alcotest.(check int) "unlimited delivers all (planar)"
+        loose.Pr_exp.Ttl_study.pairs loose.Pr_exp.Ttl_study.delivered;
+      Alcotest.(check int) "accounting" tight.Pr_exp.Ttl_study.pairs
+        (tight.Pr_exp.Ttl_study.delivered + tight.Pr_exp.Ttl_study.died_of_ttl
+        + tight.Pr_exp.Ttl_study.undeliverable)
+  | _ -> Alcotest.fail "expected two rows");
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "fig2 abilene single failures" `Quick test_fig2_abilene_single;
+    Alcotest.test_case "fig2 reconvergence dominance" `Quick test_fig2_dominance;
+    Alcotest.test_case "fig2 ccdf starts at 1" `Quick test_fig2_ccdf_starts_high;
+    Alcotest.test_case "fig2 deterministic" `Quick test_fig2_deterministic;
+    Alcotest.test_case "overhead rows" `Quick test_overhead_rows;
+    Alcotest.test_case "coverage abilene" `Quick test_coverage_abilene;
+    Alcotest.test_case "coverage node failures" `Quick test_coverage_nodes_abilene;
+    Alcotest.test_case "embedding ablation" `Slow test_ablation_abilene;
+    Alcotest.test_case "discriminator ablation" `Quick test_discriminator_ablation;
+    Alcotest.test_case "synthetic row" `Quick test_synthetic_row;
+    Alcotest.test_case "ttl study" `Quick test_ttl_study;
+  ]

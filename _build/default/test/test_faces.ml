@@ -1,0 +1,104 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Faces = Pr_embed.Faces
+
+let ring_graph n = Graph.unweighted ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let test_cycle_two_faces () =
+  (* Any rotation of a simple cycle embeds it on the sphere: 2 faces. *)
+  let faces = Faces.compute (Rotation.adjacency (ring_graph 5)) in
+  Alcotest.(check int) "two faces" 2 (Faces.count faces);
+  Alcotest.(check int) "each of length 5" 5 (Faces.face_length faces 0);
+  Alcotest.(check int) "arc count" 10 (Faces.arc_count faces)
+
+let test_path_one_face () =
+  (* A tree has a single face traversing every arc. *)
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  Alcotest.(check int) "one face" 1 (Faces.count faces);
+  Alcotest.(check int) "face covers all arcs" 6 (Faces.face_length faces 0)
+
+let test_grid_planar_faces () =
+  (* 3x3 grid, geometric rotation: planar, F = 2 - V + E = 2 - 9 + 12 = 5. *)
+  let _, rot = Helpers.grid_with_rotation ~rows:3 ~cols:3 in
+  let faces = Faces.compute rot in
+  Alcotest.(check int) "five faces" 5 (Faces.count faces)
+
+let test_arc_ids () =
+  let g = ring_graph 4 in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  let a01 = Faces.arc_id faces ~tail:0 ~head:1 in
+  let a10 = Faces.arc_id faces ~tail:1 ~head:0 in
+  Alcotest.(check bool) "orientations differ" true (a01 <> a10);
+  Alcotest.(check (pair int int)) "endpoints round-trip" (0, 1) (Faces.arc_endpoints faces a01);
+  Alcotest.(check (pair int int)) "reverse endpoints" (1, 0) (Faces.arc_endpoints faces a10)
+
+let test_successor_closes_faces () =
+  let g = ring_graph 6 in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  (* Following the successor around any arc's face returns to the arc. *)
+  let arc = Faces.arc_id faces ~tail:0 ~head:1 in
+  let rec follow a steps =
+    if steps > 2 * Graph.m g then Alcotest.fail "successor never closed"
+    else begin
+      let next = Faces.successor faces a in
+      if next = arc then steps else follow next (steps + 1)
+    end
+  in
+  let cycle_length = follow arc 1 in
+  Alcotest.(check int) "face length via successor" (Faces.face_length faces (Faces.face_of_arc faces arc)) cycle_length
+
+let test_complementary_face () =
+  let g = ring_graph 4 in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  let forward_face = Faces.face_of_arc faces (Faces.arc_id faces ~tail:0 ~head:1) in
+  let complementary = Faces.complementary_face faces ~tail:0 ~head:1 in
+  Alcotest.(check bool) "cycle: two distinct sides" true (forward_face <> complementary)
+
+let test_face_nodes () =
+  let g = ring_graph 3 in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  let nodes = Faces.face_nodes faces 0 |> List.sort compare in
+  Alcotest.(check (list int)) "triangle face touches all" [ 0; 1; 2 ] nodes
+
+let rotation_arb =
+  QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+
+let qcheck_faces_partition_arcs =
+  QCheck.Test.make ~name:"faces partition the arc set (any rotation)" ~count:120
+    rotation_arb
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      Pr_embed.Validate.check (Faces.compute rot) = [])
+
+let qcheck_boundary_lengths_sum =
+  QCheck.Test.make ~name:"sum of face lengths = 2m" ~count:100 rotation_arb
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      let faces = Faces.compute rot in
+      let sum = ref 0 in
+      for f = 0 to Faces.count faces - 1 do
+        sum := !sum + Faces.face_length faces f
+      done;
+      !sum = 2 * Graph.m g)
+
+let qcheck_edge_on_two_directed_cycles =
+  QCheck.Test.make ~name:"every link lies on exactly two directed face walks"
+    ~count:100 rotation_arb
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      Pr_embed.Validate.edge_cycle_property (Faces.compute rot))
+
+let suite =
+  [
+    Alcotest.test_case "cycle has two faces" `Quick test_cycle_two_faces;
+    Alcotest.test_case "tree has one face" `Quick test_path_one_face;
+    Alcotest.test_case "grid planar faces" `Quick test_grid_planar_faces;
+    Alcotest.test_case "arc ids" `Quick test_arc_ids;
+    Alcotest.test_case "successor closes faces" `Quick test_successor_closes_faces;
+    Alcotest.test_case "complementary face" `Quick test_complementary_face;
+    Alcotest.test_case "face nodes" `Quick test_face_nodes;
+    QCheck_alcotest.to_alcotest qcheck_faces_partition_arcs;
+    QCheck_alcotest.to_alcotest qcheck_boundary_lengths_sum;
+    QCheck_alcotest.to_alcotest qcheck_edge_on_two_directed_cycles;
+  ]

@@ -1,0 +1,82 @@
+module Graph = Pr_graph.Graph
+module Failure = Pr_core.Failure
+
+let square () = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let test_none () =
+  let f = Failure.none (square ()) in
+  Alcotest.(check int) "no failures" 0 (Failure.count f);
+  Alcotest.(check bool) "all up" true (Failure.link_up f 0 1);
+  Alcotest.(check bool) "connected" true (Failure.survives_connected f)
+
+let test_of_list () =
+  let g = square () in
+  let f = Failure.of_list g [ (1, 0) ] in
+  Alcotest.(check int) "one failure" 1 (Failure.count f);
+  Alcotest.(check bool) "failed both directions" true
+    (Failure.is_failed f 0 1 && Failure.is_failed f 1 0);
+  Alcotest.(check bool) "others up" true (Failure.link_up f 1 2);
+  Alcotest.(check (list (pair int int))) "canonical edges" [ (0, 1) ] (Failure.edges f)
+
+let test_duplicates_tolerated () =
+  let g = square () in
+  let f = Failure.of_list g [ (0, 1); (1, 0) ] in
+  Alcotest.(check int) "deduplicated" 1 (Failure.count f)
+
+let test_non_edge_rejected () =
+  match Failure.of_list (square ()) [ (0, 2) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-edge accepted"
+
+let test_connectivity_predicates () =
+  let g = square () in
+  let one = Failure.of_list g [ (0, 1) ] in
+  Alcotest.(check bool) "survives one" true (Failure.survives_connected one);
+  Alcotest.(check bool) "pair still connected" true (Failure.pair_connected one 0 1);
+  let two = Failure.of_list g [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "two failures split" false (Failure.survives_connected two);
+  Alcotest.(check bool) "0 and 3 together" true (Failure.pair_connected two 0 3);
+  Alcotest.(check bool) "0 and 2 apart" false (Failure.pair_connected two 0 2)
+
+let test_of_nodes () =
+  let g = square () in
+  let f = Failure.of_nodes g [ 0 ] in
+  Alcotest.(check int) "both incident links" 2 (Failure.count f);
+  Alcotest.(check bool) "0-1 down" true (Failure.is_failed f 0 1);
+  Alcotest.(check bool) "3-0 down" true (Failure.is_failed f 3 0);
+  Alcotest.(check bool) "1-2 up" true (Failure.link_up f 1 2);
+  match Failure.of_nodes g [ 9 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad node accepted"
+
+let test_combine () =
+  let g = square () in
+  let a = Failure.of_list g [ (0, 1) ] in
+  let b = Failure.of_list g [ (0, 1); (2, 3) ] in
+  let c = Failure.combine a b in
+  Alcotest.(check int) "union" 2 (Failure.count c);
+  Alcotest.(check bool) "has both" true (Failure.is_failed c 0 1 && Failure.is_failed c 2 3);
+  let other = Failure.none (Pr_graph.Graph.unweighted ~n:2 [ (0, 1) ]) in
+  match Failure.combine a other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "different graphs accepted"
+
+let test_blocked_index_view () =
+  let g = square () in
+  let f = Failure.of_list g [ (1, 2) ] in
+  let idx = Graph.edge_index g 1 2 in
+  Alcotest.(check bool) "blocked by index" true (Failure.is_failed_index f idx);
+  let other = Graph.edge_index g 0 1 in
+  Alcotest.(check bool) "others not blocked" false (Failure.is_failed_index f other)
+
+let suite =
+  [
+    Alcotest.test_case "none" `Quick test_none;
+    Alcotest.test_case "of_list" `Quick test_of_list;
+    Alcotest.test_case "duplicates tolerated" `Quick test_duplicates_tolerated;
+    Alcotest.test_case "non-edge rejected" `Quick test_non_edge_rejected;
+    Alcotest.test_case "connectivity predicates" `Quick test_connectivity_predicates;
+    Alcotest.test_case "node failures" `Quick test_of_nodes;
+    Alcotest.test_case "combine" `Quick test_combine;
+    Alcotest.test_case "blocked index view" `Quick test_blocked_index_view;
+  ]

@@ -1,0 +1,255 @@
+(* Protocol-level properties of the PR forwarding engine, beyond the paper
+   walkthroughs of test_paper_example.ml.
+
+   The central empirical findings this suite pins down:
+   - on a genus-0 (planar) embedding, PR delivers every packet whose
+     source and destination remain connected, for ANY failure set;
+   - on any embedding without curved edges, PR covers every single link
+     failure of a 2-edge-connected graph;
+   - with a curved edge (both arcs of a link on one face), even a single
+     failure can loop — the Teleglobe NWK-PAR regression. *)
+
+module Graph = Pr_graph.Graph
+module Forward = Pr_core.Forward
+module Routing = Pr_core.Routing
+module Failure = Pr_core.Failure
+module Cycle_table = Pr_core.Cycle_table
+
+let build (topo : Pr_topo.Topology.t) rotation =
+  (Routing.build topo.graph, Cycle_table.build rotation)
+
+let grid_setup rows cols =
+  let topo, rot = Helpers.grid_with_rotation ~rows ~cols in
+  let routing, cycles = build topo rot in
+  (topo.Pr_topo.Topology.graph, routing, cycles)
+
+let run ?termination ?ttl (routing, cycles) failures ~src ~dst =
+  Forward.run ?termination ?ttl ~routing ~cycles ~failures ~src ~dst ()
+
+let test_no_failure_is_shortest_path () =
+  let g, routing, cycles = grid_setup 3 3 in
+  List.iter
+    (fun (src, dst) ->
+      let trace = run (routing, cycles) (Failure.none g) ~src ~dst in
+      Alcotest.(check bool) "delivered" true (trace.Forward.outcome = Forward.Delivered);
+      Alcotest.(check (option (list int))) "exact shortest path"
+        (Routing.shortest_path routing ~src ~dst)
+        (Some trace.Forward.path);
+      Alcotest.(check int) "no episodes" 0 trace.Forward.pr_episodes)
+    (Helpers.all_pairs g)
+
+let test_invalid_args () =
+  let g, routing, cycles = grid_setup 2 2 in
+  (match run (routing, cycles) (Failure.none g) ~src:0 ~dst:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "src = dst accepted");
+  match run (routing, cycles) (Failure.none g) ~src:0 ~dst:99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range accepted"
+
+let test_ttl_respected () =
+  let g, routing, cycles = grid_setup 3 3 in
+  let trace = run ~ttl:1 (routing, cycles) (Failure.none g) ~src:0 ~dst:8 in
+  Alcotest.(check bool) "dies at ttl" true (trace.Forward.outcome = Forward.Ttl_exceeded);
+  Alcotest.(check int) "walked exactly one hop" 1
+    (Pr_graph.Paths.hops trace.Forward.path)
+
+let test_isolated_source_drops () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2); ] in
+  let topo = Pr_topo.Topology.of_graph ~name:"path" g in
+  let routing, cycles = build topo (Pr_embed.Rotation.adjacency g) in
+  let failures = Failure.of_list g [ (0, 1) ] in
+  let trace = run (routing, cycles) failures ~src:0 ~dst:2 in
+  Alcotest.(check bool) "no live interface" true
+    (trace.Forward.outcome = Forward.Dropped_no_interface)
+
+let test_disconnected_pair_does_not_deliver () =
+  (* PR has no way to learn the destination is unreachable: the packet
+     wanders until TTL — the documented behaviour. *)
+  let g, routing, cycles = grid_setup 3 3 in
+  (* Cut node 8 (corner) off: links 5-8 and 7-8. *)
+  let failures = Failure.of_list g [ (5, 8); (7, 8) ] in
+  let trace = run (routing, cycles) failures ~src:0 ~dst:8 in
+  Alcotest.(check bool) "not delivered" true
+    (trace.Forward.outcome <> Forward.Delivered)
+
+let test_single_failure_walkthrough_stats () =
+  let g, routing, cycles = grid_setup 3 3 in
+  let failures = Failure.of_list g [ (0, 1) ] in
+  let trace = run (routing, cycles) failures ~src:0 ~dst:1 in
+  Alcotest.(check bool) "delivered" true (trace.Forward.outcome = Forward.Delivered);
+  Alcotest.(check int) "one episode" 1 trace.Forward.pr_episodes;
+  Alcotest.(check bool) "header saw the discriminator" true
+    (trace.Forward.max_header.Pr_core.Header.dd >= 1);
+  Alcotest.(check bool) "stretch at least 1" true
+    (Forward.stretch ~routing ~trace ~src:0 ~dst:1 >= 1.0)
+
+let test_curved_edge_single_failure_loops () =
+  (* Regression: Teleglobe's geographic drawing makes NWK-PAR curved; a
+     single failure of that link loops under both terminations. *)
+  let topo = Pr_topo.Teleglobe.topology () in
+  let routing, cycles = build topo (Pr_embed.Geometric.of_topology topo) in
+  let nwk = Pr_topo.Topology.node_id topo "NWK"
+  and par = Pr_topo.Topology.node_id topo "PAR"
+  and nyc = Pr_topo.Topology.node_id topo "NYC" in
+  let failures = Failure.of_list topo.graph [ (nwk, par) ] in
+  let trace =
+    Forward.run ~routing ~cycles ~failures ~src:nyc ~dst:par ()
+  in
+  Alcotest.(check bool) "loops (documented limitation)" true
+    (trace.Forward.outcome = Forward.Ttl_exceeded)
+
+let all_single_failures_delivered g routing cycles ~termination =
+  List.for_all
+    (fun scenario ->
+      let failures = Failure.of_list g scenario in
+      List.for_all
+        (fun (src, dst) ->
+          let trace =
+            Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
+          in
+          trace.Forward.outcome = Forward.Delivered)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+    (Pr_core.Scenario.single_links g)
+
+let test_single_failure_full_coverage_grid () =
+  let g, routing, cycles = grid_setup 4 4 in
+  Alcotest.(check bool) "DD termination" true
+    (all_single_failures_delivered g routing cycles
+       ~termination:Forward.Distance_discriminator);
+  Alcotest.(check bool) "simple termination" true
+    (all_single_failures_delivered g routing cycles ~termination:Forward.Simple)
+
+let test_single_failure_full_coverage_abilene () =
+  let topo = Pr_topo.Abilene.topology () in
+  let routing, cycles = build topo (Pr_embed.Geometric.of_topology topo) in
+  Alcotest.(check bool) "abilene covered" true
+    (all_single_failures_delivered topo.graph routing cycles
+       ~termination:Forward.Distance_discriminator)
+
+(* The genus-0 multi-failure guarantee, as a property test over grids with
+   random failure sets that keep the pair connected. *)
+let qcheck_planar_multi_failure_delivery =
+  QCheck.Test.make
+    ~name:"planar embedding: every connected pair survives any failure set"
+    ~count:60
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 3 5) (int_range 1 6))
+    (fun (seed, side, k) ->
+      let topo, rot = Helpers.grid_with_rotation ~rows:side ~cols:side in
+      let g = topo.Pr_topo.Topology.graph in
+      let routing, cycles = build topo rot in
+      let rng = Pr_util.Rng.create ~seed in
+      let k = min k (Graph.m g - 1) in
+      let scenario =
+        List.map
+          (fun i ->
+            let e = Graph.edge g i in
+            (e.Graph.u, e.Graph.v))
+          (Pr_util.Rng.sample_without_replacement rng ~k ~n:(Graph.m g))
+      in
+      let failures = Failure.of_list g scenario in
+      List.for_all
+        (fun (src, dst) ->
+          let trace =
+            Forward.run ~routing ~cycles ~failures ~src ~dst ()
+          in
+          trace.Forward.outcome = Forward.Delivered
+          && Forward.stretch ~routing ~trace ~src ~dst >= 1.0)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+
+(* PR can never beat the post-convergence optimum. *)
+let qcheck_stretch_lower_bounded_by_reconvergence =
+  QCheck.Test.make ~name:"PR stretch >= reconvergence stretch" ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range 3 5))
+    (fun (seed, side) ->
+      let topo, rot = Helpers.grid_with_rotation ~rows:side ~cols:side in
+      let g = topo.Pr_topo.Topology.graph in
+      let routing, cycles = build topo rot in
+      let rng = Pr_util.Rng.create ~seed in
+      let e = Graph.edge g (Pr_util.Rng.int rng (Graph.m g)) in
+      let failures = Failure.of_list g [ (e.Graph.u, e.Graph.v) ] in
+      List.for_all
+        (fun (src, dst) ->
+          let trace = Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          trace.Forward.outcome <> Forward.Delivered
+          || Forward.stretch ~routing ~trace ~src ~dst +. 1e-9
+             >= Pr_baselines.Reconvergence.stretch ~routing ~failures ~src ~dst)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+
+(* §5.3's termination argument: successive PR episodes start with strictly
+   smaller discriminators, so the intercalated routing/cycle-following
+   process converges. *)
+let qcheck_episode_dds_strictly_decrease =
+  QCheck.Test.make ~name:"episode DDs strictly decrease (planar)" ~count:60
+    QCheck.(triple (int_bound 1_000_000) (int_range 3 5) (int_range 1 6))
+    (fun (seed, side, k) ->
+      let topo, rot = Helpers.grid_with_rotation ~rows:side ~cols:side in
+      let g = topo.Pr_topo.Topology.graph in
+      let routing, cycles = build topo rot in
+      let rng = Pr_util.Rng.create ~seed in
+      let k = min k (Graph.m g - 1) in
+      let scenario =
+        List.map
+          (fun i ->
+            let e = Graph.edge g i in
+            (e.Graph.u, e.Graph.v))
+          (Pr_util.Rng.sample_without_replacement rng ~k ~n:(Graph.m g))
+      in
+      let failures = Failure.of_list g scenario in
+      List.for_all
+        (fun (src, dst) ->
+          let trace = Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          let rec decreasing = function
+            | (_, a) :: ((_, b) :: _ as rest) -> b < a && decreasing rest
+            | [ _ ] | [] -> true
+          in
+          List.length trace.Forward.episodes = trace.Forward.pr_episodes
+          && decreasing trace.Forward.episodes)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+
+let qcheck_quantise_identity_for_hops =
+  (* The hop discriminator is already integral: header-faithful mode must
+     trace identical paths. *)
+  QCheck.Test.make ~name:"quantised DD is the identity for hop counts" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 3 5))
+    (fun (seed, side) ->
+      let topo, rot = Helpers.grid_with_rotation ~rows:side ~cols:side in
+      let g = topo.Pr_topo.Topology.graph in
+      let routing, cycles = build topo rot in
+      let rng = Pr_util.Rng.create ~seed in
+      let k = min 3 (Graph.m g - 1) in
+      let scenario =
+        List.map
+          (fun i ->
+            let e = Graph.edge g i in
+            (e.Graph.u, e.Graph.v))
+          (Pr_util.Rng.sample_without_replacement rng ~k ~n:(Graph.m g))
+      in
+      let failures = Failure.of_list g scenario in
+      List.for_all
+        (fun (src, dst) ->
+          let a = Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          let b = Forward.run ~quantise:true ~routing ~cycles ~failures ~src ~dst () in
+          a.Forward.path = b.Forward.path && a.Forward.outcome = b.Forward.outcome)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+
+let suite =
+  [
+    Alcotest.test_case "no failure = shortest path" `Quick test_no_failure_is_shortest_path;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    Alcotest.test_case "ttl respected" `Quick test_ttl_respected;
+    Alcotest.test_case "isolated source drops" `Quick test_isolated_source_drops;
+    Alcotest.test_case "disconnected pair" `Quick test_disconnected_pair_does_not_deliver;
+    Alcotest.test_case "single failure stats" `Quick test_single_failure_walkthrough_stats;
+    Alcotest.test_case "curved edge loops (regression)" `Quick
+      test_curved_edge_single_failure_loops;
+    Alcotest.test_case "grid single-failure coverage" `Quick
+      test_single_failure_full_coverage_grid;
+    Alcotest.test_case "abilene single-failure coverage" `Quick
+      test_single_failure_full_coverage_abilene;
+    QCheck_alcotest.to_alcotest qcheck_planar_multi_failure_delivery;
+    QCheck_alcotest.to_alcotest qcheck_stretch_lower_bounded_by_reconvergence;
+    QCheck_alcotest.to_alcotest qcheck_episode_dds_strictly_decrease;
+    QCheck_alcotest.to_alcotest qcheck_quantise_identity_for_hops;
+  ]

@@ -1,0 +1,130 @@
+module Graph = Pr_graph.Graph
+module Generate = Pr_topo.Generate
+module Conn = Pr_graph.Connectivity
+
+let rng () = Pr_util.Rng.create ~seed:99
+
+let test_ring () =
+  let t = Generate.ring 6 in
+  Alcotest.(check int) "nodes" 6 (Pr_topo.Topology.n t);
+  Alcotest.(check int) "edges" 6 (Pr_topo.Topology.m t);
+  for v = 0 to 5 do
+    Alcotest.(check int) "degree 2" 2 (Graph.degree t.Pr_topo.Topology.graph v)
+  done;
+  match Generate.ring 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ring 2 should be rejected"
+
+let test_complete () =
+  let t = Generate.complete 5 in
+  Alcotest.(check int) "K5 edges" 10 (Pr_topo.Topology.m t)
+
+let test_grid () =
+  let t = Generate.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "nodes" 12 (Pr_topo.Topology.n t);
+  Alcotest.(check int) "edges" 17 (Pr_topo.Topology.m t);
+  Alcotest.(check bool) "connected" true (Conn.is_connected t.Pr_topo.Topology.graph)
+
+let test_torus () =
+  let t = Generate.torus ~rows:4 ~cols:4 in
+  Alcotest.(check int) "nodes" 16 (Pr_topo.Topology.n t);
+  Alcotest.(check int) "edges" 32 (Pr_topo.Topology.m t);
+  for v = 0 to 15 do
+    Alcotest.(check int) "4-regular" 4 (Graph.degree t.Pr_topo.Topology.graph v)
+  done;
+  Alcotest.(check bool) "2-edge-connected" true
+    (Conn.is_two_edge_connected t.Pr_topo.Topology.graph)
+
+let test_wheel () =
+  let t = Generate.wheel 8 in
+  Alcotest.(check int) "nodes" 8 (Pr_topo.Topology.n t);
+  Alcotest.(check int) "edges" 14 (Pr_topo.Topology.m t);
+  Alcotest.(check int) "hub degree" 7 (Graph.degree t.Pr_topo.Topology.graph 0);
+  Alcotest.(check bool) "2-connected" true
+    (Conn.is_biconnected t.Pr_topo.Topology.graph)
+
+let test_hypercube () =
+  let t = Generate.hypercube 4 in
+  Alcotest.(check int) "nodes" 16 (Pr_topo.Topology.n t);
+  Alcotest.(check int) "edges" 32 (Pr_topo.Topology.m t);
+  for v = 0 to 15 do
+    Alcotest.(check int) "4-regular" 4 (Graph.degree t.Pr_topo.Topology.graph v)
+  done;
+  Alcotest.(check int) "diameter = dimension" 4
+    (Pr_graph.Dijkstra.diameter_hops t.Pr_topo.Topology.graph)
+
+let test_hierarchical () =
+  let t = Generate.hierarchical (rng ()) ~regions:4 ~per_region:5 ~extra:3 in
+  Alcotest.(check int) "nodes" 20 (Pr_topo.Topology.n t);
+  (* 4 metro rings of 5 + core ring of 4 + 3 shortcuts. *)
+  Alcotest.(check int) "edges" (20 + 4 + 3) (Pr_topo.Topology.m t);
+  Alcotest.(check bool) "2-edge-connected" true
+    (Conn.is_two_edge_connected t.Pr_topo.Topology.graph)
+
+let test_apollonian () =
+  let t = Generate.apollonian (rng ()) ~n:12 in
+  Alcotest.(check int) "nodes" 12 (Pr_topo.Topology.n t);
+  (* Maximal planar: 3n - 6 edges. *)
+  Alcotest.(check int) "edges" 30 (Pr_topo.Topology.m t);
+  Alcotest.(check bool) "planar" true
+    (Pr_embed.Planar.is_planar t.Pr_topo.Topology.graph)
+
+let test_petersen () =
+  let t = Generate.petersen () in
+  Alcotest.(check int) "nodes" 10 (Pr_topo.Topology.n t);
+  Alcotest.(check int) "edges" 15 (Pr_topo.Topology.m t);
+  for v = 0 to 9 do
+    Alcotest.(check int) "3-regular" 3 (Graph.degree t.Pr_topo.Topology.graph v)
+  done;
+  Alcotest.(check int) "diameter 2" 2
+    (Pr_graph.Dijkstra.diameter_hops t.Pr_topo.Topology.graph)
+
+let test_erdos_renyi_extremes () =
+  let empty = Generate.erdos_renyi (rng ()) ~n:8 ~p:0.0 in
+  Alcotest.(check int) "p=0 no edges" 0 (Pr_topo.Topology.m empty);
+  let full = Generate.erdos_renyi (rng ()) ~n:8 ~p:1.0 in
+  Alcotest.(check int) "p=1 complete" 28 (Pr_topo.Topology.m full)
+
+let test_gnm () =
+  let t = Generate.gnm (rng ()) ~n:10 ~m:20 in
+  Alcotest.(check int) "exact edge count" 20 (Pr_topo.Topology.m t);
+  match Generate.gnm (rng ()) ~n:4 ~m:7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too many edges should be rejected"
+
+let test_barabasi_albert () =
+  let t = Generate.barabasi_albert (rng ()) ~n:30 ~k:2 in
+  Alcotest.(check int) "nodes" 30 (Pr_topo.Topology.n t);
+  Alcotest.(check bool) "connected" true (Conn.is_connected t.Pr_topo.Topology.graph);
+  (* k star edges, then k edges per each of the n - k - 1 later nodes. *)
+  Alcotest.(check int) "edges = star + k per newcomer" (2 + (27 * 2))
+    (Pr_topo.Topology.m t)
+
+let test_waxman () =
+  let t = Generate.waxman (rng ()) ~n:25 ~alpha:0.9 ~beta:0.6 in
+  Alcotest.(check int) "nodes" 25 (Pr_topo.Topology.n t);
+  Alcotest.(check bool) "has some edges" true (Pr_topo.Topology.m t > 0)
+
+let test_determinism () =
+  let a = Generate.gnm (Pr_util.Rng.create ~seed:5) ~n:12 ~m:20 in
+  let b = Generate.gnm (Pr_util.Rng.create ~seed:5) ~n:12 ~m:20 in
+  Alcotest.(check bool) "same seed, same graph" true
+    (Graph.equal_structure a.Pr_topo.Topology.graph b.Pr_topo.Topology.graph)
+
+let suite =
+  [
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "torus" `Quick test_torus;
+    Alcotest.test_case "wheel" `Quick test_wheel;
+    Alcotest.test_case "hypercube" `Quick test_hypercube;
+    Alcotest.test_case "hierarchical" `Quick test_hierarchical;
+    Alcotest.test_case "apollonian" `Quick test_apollonian;
+    Alcotest.test_case "petersen" `Quick test_petersen;
+    Alcotest.test_case "erdos-renyi extremes" `Quick test_erdos_renyi_extremes;
+    Alcotest.test_case "gnm" `Quick test_gnm;
+    Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
+    Alcotest.test_case "waxman" `Quick test_waxman;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

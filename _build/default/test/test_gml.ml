@@ -1,0 +1,108 @@
+module Gml = Pr_topo.Gml
+module Topology = Pr_topo.Topology
+
+let sample =
+  {|# a Topology-Zoo-flavoured file
+graph [
+  label "sample"
+  node [ id 10 label "Seattle" Longitude -122.33 Latitude 47.61 ]
+  node [ id 20 label "Denver" Longitude -104.99 Latitude 39.74 ]
+  node [ id 30 label "Chicago" Longitude -87.63 Latitude 41.88 ]
+  edge [ source 10 target 20 value 2.5 ]
+  edge [ source 20 target 30 ]
+  edge [ source 30 target 10 weight 4 ]
+]
+|}
+
+let test_parse_basic () =
+  let { Gml.topology = t; dropped_parallel; dropped_self } = Gml.of_string sample in
+  Alcotest.(check string) "name from label" "sample" t.Topology.name;
+  Alcotest.(check int) "nodes" 3 (Topology.n t);
+  Alcotest.(check int) "edges" 3 (Topology.m t);
+  Alcotest.(check int) "nothing dropped" 0 (dropped_parallel + dropped_self);
+  let sea = Topology.node_id t "Seattle" and den = Topology.node_id t "Denver" in
+  Alcotest.(check (float 1e-9)) "value weight" 2.5
+    (Pr_graph.Graph.weight t.Topology.graph sea den);
+  let chi = Topology.node_id t "Chicago" in
+  Alcotest.(check (float 1e-9)) "weight keyword" 4.0
+    (Pr_graph.Graph.weight t.Topology.graph chi sea);
+  Alcotest.(check (float 1e-9)) "default weight" 1.0
+    (Pr_graph.Graph.weight t.Topology.graph den chi);
+  let lon, lat = Topology.coord t sea in
+  Alcotest.(check (float 1e-6)) "longitude" (-122.33) lon;
+  Alcotest.(check (float 1e-6)) "latitude" 47.61 lat
+
+let test_duplicates_dropped () =
+  let text =
+    {|graph [
+  node [ id 0 label "a" ]
+  node [ id 1 label "b" ]
+  edge [ source 0 target 1 ]
+  edge [ source 1 target 0 ]
+  edge [ source 0 target 0 ]
+]|}
+  in
+  let { Gml.topology = t; dropped_parallel; dropped_self } = Gml.of_string text in
+  Alcotest.(check int) "one edge kept" 1 (Topology.m t);
+  Alcotest.(check int) "parallel dropped" 1 dropped_parallel;
+  Alcotest.(check int) "self loop dropped" 1 dropped_self
+
+let test_duplicate_labels_disambiguated () =
+  let text =
+    {|graph [
+  node [ id 0 label "NYC" ]
+  node [ id 1 label "NYC" ]
+  edge [ source 0 target 1 ]
+]|}
+  in
+  let { Gml.topology = t; _ } = Gml.of_string text in
+  Alcotest.(check string) "first keeps name" "NYC" (Topology.label t 0);
+  Alcotest.(check string) "second suffixed" "NYC#2" (Topology.label t 1)
+
+let expect_error text =
+  match Gml.of_string text with
+  | exception Gml.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  expect_error "not gml at all [";
+  expect_error "graph [ node [ label \"x\" ] ]" (* node without id *);
+  expect_error "graph [ node [ id 0 ] edge [ source 0 target 9 ] ]";
+  expect_error "graph [ node [ id 0 ] node [ id 0 ] ]";
+  expect_error "graph [ node [ id 0 label \"unterminated ] ]"
+
+let test_roundtrip () =
+  List.iter
+    (fun topo ->
+      let { Gml.topology = again; _ } = Gml.of_string (Gml.to_string topo) in
+      Alcotest.(check bool)
+        (topo.Topology.name ^ " graph round-trips")
+        true
+        (Pr_graph.Graph.equal_structure topo.Topology.graph again.Topology.graph);
+      Alcotest.(check bool) "labels round-trip" true
+        (topo.Topology.labels = again.Topology.labels))
+    (Pr_topo.Zoo.paper_evaluation ())
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "pr_gml" ".gml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gml.save path (Pr_topo.Abilene.topology ());
+      let { Gml.topology = again; _ } = Gml.load path in
+      Alcotest.(check int) "nodes survive" 11 (Topology.n again);
+      Alcotest.(check bool) "graph survives" true
+        (Pr_graph.Graph.equal_structure
+           (Pr_topo.Abilene.topology ()).Topology.graph
+           again.Topology.graph))
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "duplicates dropped" `Quick test_duplicates_dropped;
+    Alcotest.test_case "duplicate labels disambiguated" `Quick
+      test_duplicate_labels_disambiguated;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+  ]

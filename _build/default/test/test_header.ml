@@ -1,0 +1,51 @@
+module Header = Pr_core.Header
+
+let test_normal () =
+  Alcotest.(check bool) "pr clear" false Header.normal.Header.pr;
+  Alcotest.(check int) "dd zero" 0 Header.normal.Header.dd
+
+let test_roundtrip_known () =
+  let h = { Header.pr = true; dd = 5 } in
+  let field = Header.encode ~dd_bits:3 h in
+  Alcotest.(check int) "pr bit in lsb" 1 (field land 1);
+  Alcotest.(check bool) "round-trip" true (Header.decode ~dd_bits:3 field = h)
+
+let test_bits_used () =
+  Alcotest.(check int) "1 + dd bits" 4 (Header.bits_used ~dd_bits:3);
+  Alcotest.(check bool) "3 dd bits fit dscp" true (Header.fits_in_dscp ~dd_bits:3);
+  Alcotest.(check bool) "4 dd bits do not" false (Header.fits_in_dscp ~dd_bits:4)
+
+let test_encode_bounds () =
+  (match Header.encode ~dd_bits:3 { Header.pr = true; dd = 8 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dd overflow accepted");
+  (match Header.encode ~dd_bits:3 { Header.pr = true; dd = -1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative dd accepted");
+  match Header.decode ~dd_bits:2 64 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized field accepted"
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"header encode/decode round-trips" ~count:500
+    QCheck.(triple bool (int_bound 15) (int_range 4 10))
+    (fun (pr, dd, dd_bits) ->
+      let h = { Header.pr; dd } in
+      Header.decode ~dd_bits (Header.encode ~dd_bits h) = h)
+
+let qcheck_field_width =
+  QCheck.Test.make ~name:"encoded field fits the declared width" ~count:500
+    QCheck.(triple bool (int_bound 7) (int_range 3 8))
+    (fun (pr, dd, dd_bits) ->
+      let field = Header.encode ~dd_bits { Header.pr; dd } in
+      field >= 0 && field < 1 lsl (dd_bits + 1))
+
+let suite =
+  [
+    Alcotest.test_case "normal header" `Quick test_normal;
+    Alcotest.test_case "round-trip" `Quick test_roundtrip_known;
+    Alcotest.test_case "bits used / DSCP" `Quick test_bits_used;
+    Alcotest.test_case "bounds" `Quick test_encode_bounds;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_field_width;
+  ]

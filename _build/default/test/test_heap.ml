@@ -1,0 +1,89 @@
+module Heap = Pr_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  Alcotest.(check (option (pair (float 0.0) string))) "peek min" (Some (1.0, "a")) (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Heap.pop h);
+  Alcotest.(check bool) "drained" true (Heap.pop h = None)
+
+let test_ties_fifo () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ "first"; "second"; "third" ];
+  Alcotest.(check (option (pair (float 0.0) string))) "fifo 1" (Some (1.0, "first")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "fifo 2" (Some (1.0, "second")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "fifo 3" (Some (1.0, "third")) (Heap.pop h)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 1;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let drain h =
+  let rec loop acc = match Heap.pop h with None -> List.rev acc | Some (p, _) -> loop (p :: acc) in
+  loop []
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h p i) priorities;
+      drain h = List.sort compare priorities)
+
+let qcheck_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop maintains min" ~count:100
+    QCheck.(list (pair bool (float_range 0.0 100.0)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_pop, p) ->
+          if is_pop then begin
+            match (Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (got, _), (_ :: _ as m) ->
+                let min_p = List.fold_left Float.min infinity m in
+                if got <> min_p then ok := false
+                else begin
+                  (* remove one instance of min *)
+                  let removed = ref false in
+                  model :=
+                    List.filter
+                      (fun x ->
+                        if x = min_p && not !removed then begin
+                          removed := true;
+                          false
+                        end
+                        else true)
+                      m
+                end
+            | None, _ :: _ | Some _, [] -> ok := false
+          end
+          else begin
+            Heap.push h p ();
+            model := p :: !model
+          end)
+        ops;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "ties are FIFO" `Quick test_ties_fifo;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+    QCheck_alcotest.to_alcotest qcheck_interleaved;
+  ]

@@ -1,0 +1,113 @@
+module Topology = Pr_topo.Topology
+module Prefix = Pr_interdomain.Prefix
+module Forward = Pr_core.Forward
+
+let abilene_prefix () =
+  let topo = Pr_topo.Abilene.topology () in
+  let e name = Topology.node_id topo name in
+  ( topo,
+    Prefix.attach topo ~name:"p0"
+      ~egresses:[ (e "NYCM", 1.0); (e "LOSA", 1.0); (e "HSTN", 2.0) ] )
+
+let test_attach_shape () =
+  let topo, prefix = abilene_prefix () in
+  let ext = Prefix.topology prefix in
+  Alcotest.(check int) "one extra node" (Topology.n topo + 1) (Topology.n ext);
+  Alcotest.(check int) "three extra links" (Topology.m topo + 3) (Topology.m ext);
+  Alcotest.(check int) "prefix node is last" (Topology.n topo) (Prefix.prefix_node prefix);
+  Alcotest.(check string) "labelled" "p0" (Topology.label ext (Prefix.prefix_node prefix));
+  Alcotest.(check int) "three egresses" 3 (List.length (Prefix.egresses prefix))
+
+let test_attach_validation () =
+  let topo = Pr_topo.Abilene.topology () in
+  (match Prefix.attach topo ~name:"x" ~egresses:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty egresses accepted");
+  (match Prefix.attach topo ~name:"x" ~egresses:[ (0, 1.0); (0, 2.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate egress accepted");
+  match Prefix.attach topo ~name:"x" ~egresses:[ (99, 1.0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad egress accepted"
+
+let test_egress_link () =
+  let topo, prefix = abilene_prefix () in
+  let losa = Topology.node_id topo "LOSA" in
+  Alcotest.(check (pair int int)) "virtual link"
+    (losa, Prefix.prefix_node prefix)
+    (Prefix.egress_link prefix losa);
+  Alcotest.check_raises "non-egress" Not_found (fun () ->
+      ignore (Prefix.egress_link prefix (Topology.node_id topo "DNVR")))
+
+let test_protection_embedding_quality () =
+  let _, prefix = abilene_prefix () in
+  let p = Prefix.protect prefix in
+  Alcotest.(check int) "extended abilene embeds planar" 0 p.Prefix.genus;
+  Alcotest.(check int) "no curved edges" 0 p.Prefix.curved_edges
+
+let test_reach_failure_free () =
+  let topo, prefix = abilene_prefix () in
+  let p = Prefix.protect prefix in
+  let ext = Prefix.topology prefix in
+  let failures = Pr_core.Failure.none ext.Topology.graph in
+  let src = Topology.node_id topo "STTL" in
+  let trace = Prefix.reach p ~failures ~src in
+  Alcotest.(check bool) "delivered" true (trace.Forward.outcome = Forward.Delivered);
+  Alcotest.(check (option int)) "primary egress is LOSA"
+    (Some (Topology.node_id topo "LOSA"))
+    (Prefix.best_egress p ~src)
+
+let test_survives_announcement_withdrawal () =
+  let topo, prefix = abilene_prefix () in
+  let p = Prefix.protect prefix in
+  let ext = Prefix.topology prefix in
+  let losa = Topology.node_id topo "LOSA" in
+  let nycm = Topology.node_id topo "NYCM" in
+  (* Withdraw two of the three announcements from every source. *)
+  let failures =
+    Pr_core.Failure.of_list ext.Topology.graph
+      [ Prefix.egress_link prefix losa; Prefix.egress_link prefix nycm ]
+  in
+  for src = 0 to Topology.n topo - 1 do
+    let trace = Prefix.reach p ~failures ~src in
+    if trace.Forward.outcome <> Forward.Delivered then
+      Alcotest.failf "src %s lost the prefix" (Topology.label topo src)
+  done
+
+let test_survives_mixed_failures () =
+  let topo, prefix = abilene_prefix () in
+  let p = Prefix.protect prefix in
+  let ext = Prefix.topology prefix in
+  let failures =
+    Pr_core.Failure.of_list ext.Topology.graph
+      [
+        Prefix.egress_link prefix (Topology.node_id topo "LOSA");
+        (Topology.node_id topo "DNVR", Topology.node_id topo "KSCY");
+      ]
+  in
+  let src = Topology.node_id topo "STTL" in
+  let trace = Prefix.reach p ~failures ~src in
+  Alcotest.(check bool) "delivered" true (trace.Forward.outcome = Forward.Delivered)
+
+let test_all_withdrawn_is_unreachable () =
+  let topo, prefix = abilene_prefix () in
+  let p = Prefix.protect prefix in
+  let ext = Prefix.topology prefix in
+  let failures =
+    Pr_core.Failure.of_list ext.Topology.graph
+      (List.map (Prefix.egress_link prefix) (Prefix.egresses prefix))
+  in
+  let trace = Prefix.reach p ~failures ~src:(Topology.node_id topo "STTL") in
+  Alcotest.(check bool) "not delivered" true (trace.Forward.outcome <> Forward.Delivered)
+
+let suite =
+  [
+    Alcotest.test_case "attach shape" `Quick test_attach_shape;
+    Alcotest.test_case "attach validation" `Quick test_attach_validation;
+    Alcotest.test_case "egress link" `Quick test_egress_link;
+    Alcotest.test_case "embedding quality" `Quick test_protection_embedding_quality;
+    Alcotest.test_case "reach without failures" `Quick test_reach_failure_free;
+    Alcotest.test_case "survives withdrawals" `Quick test_survives_announcement_withdrawal;
+    Alcotest.test_case "survives mixed failures" `Quick test_survives_mixed_failures;
+    Alcotest.test_case "all withdrawn unreachable" `Quick test_all_withdrawn_is_unreachable;
+  ]

@@ -1,0 +1,83 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Faces = Pr_embed.Faces
+module Surface = Pr_embed.Surface
+module Optimize = Pr_embed.Optimize
+
+let rng () = Pr_util.Rng.create ~seed:31
+
+let test_report_consistency () =
+  let g = (Pr_topo.Generate.petersen ()).Pr_topo.Topology.graph in
+  let best, report = Optimize.anneal ~steps:500 (rng ()) (Rotation.adjacency g) in
+  Alcotest.(check bool) "never worse than start" true
+    (report.Optimize.final_faces >= report.Optimize.initial_faces);
+  Alcotest.(check int) "report matches returned rotation"
+    (Faces.count (Faces.compute best))
+    report.Optimize.final_faces;
+  Alcotest.(check bool) "steps bounded" true (report.Optimize.steps_taken <= 500)
+
+let test_improvements_monotonic () =
+  let g = (Pr_topo.Generate.petersen ()).Pr_topo.Topology.graph in
+  let _, report = Optimize.anneal ~steps:800 (rng ()) (Rotation.random (rng ()) g) in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "improvement steps increase" true
+    (increasing report.Optimize.improved_at)
+
+let test_degree_two_graph_stops () =
+  (* A plain cycle has a unique embedding: no degree-3 node to transpose. *)
+  let g = Graph.unweighted ~n:5 (List.init 5 (fun i -> (i, (i + 1) mod 5))) in
+  let _, report = Optimize.anneal ~steps:100 (rng ()) (Rotation.adjacency g) in
+  Alcotest.(check bool) "stops early" true (report.Optimize.steps_taken <= 1)
+
+let test_petersen_reaches_genus_one () =
+  (* Petersen's orientable genus is exactly 1; the annealer should find it
+     from a few restarts (faces = 5 at genus 1). *)
+  let g = (Pr_topo.Generate.petersen ()).Pr_topo.Topology.graph in
+  let best = Optimize.best_of ~steps:3000 ~restarts:4 (rng ()) g in
+  Alcotest.(check int) "genus 1 found" 1 (Surface.genus (Faces.compute best))
+
+let test_abilene_reaches_planar () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let best = Optimize.best_of ~steps:3000 ~restarts:4 (rng ()) g in
+  Alcotest.(check int) "planar found" 0 (Surface.genus (Faces.compute best))
+
+let test_pr_safe_objective () =
+  (* The PR-safe objective eliminates curved edges on the evaluation maps. *)
+  List.iter
+    (fun (topo : Pr_topo.Topology.t) ->
+      let best =
+        Optimize.best_of ~objective:Optimize.Pr_safe ~steps:3000
+          ~seeds:[ Pr_embed.Geometric.of_topology topo ]
+          (rng ()) topo.graph
+      in
+      let faces = Faces.compute best in
+      Alcotest.(check (list (pair int int)))
+        (topo.Pr_topo.Topology.name ^ " has no curved edges")
+        []
+        (Pr_embed.Validate.curved_edges faces))
+    [ Pr_topo.Teleglobe.topology (); Pr_topo.Geant.topology () ]
+
+let test_best_of_uses_seeds () =
+  (* Seeding with a planar rotation can only help: result must be planar
+     for Abilene even with zero annealing steps beyond the seeds. *)
+  let topo = Pr_topo.Abilene.topology () in
+  let best =
+    Optimize.best_of ~steps:1 ~restarts:0
+      ~seeds:[ Pr_embed.Geometric.of_topology topo ]
+      (rng ()) topo.Pr_topo.Topology.graph
+  in
+  Alcotest.(check int) "planar preserved" 0 (Surface.genus (Faces.compute best))
+
+let suite =
+  [
+    Alcotest.test_case "report consistency" `Quick test_report_consistency;
+    Alcotest.test_case "improvements monotonic" `Quick test_improvements_monotonic;
+    Alcotest.test_case "unique embedding stops" `Quick test_degree_two_graph_stops;
+    Alcotest.test_case "petersen genus 1" `Slow test_petersen_reaches_genus_one;
+    Alcotest.test_case "abilene planar" `Slow test_abilene_reaches_planar;
+    Alcotest.test_case "PR-safe objective" `Slow test_pr_safe_objective;
+    Alcotest.test_case "seeds respected" `Quick test_best_of_uses_seeds;
+  ]

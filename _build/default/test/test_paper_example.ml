@@ -1,0 +1,150 @@
+(* Reproduction of every concrete artefact in the paper's running example:
+   the Figure 1(a) embedding, Table 1, and the forwarding walkthroughs of
+   Sections 4.2 and 4.3. *)
+
+open Pr_topo
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Faces = Pr_embed.Faces
+
+let a = Example.a
+let b = Example.b
+let c = Example.c
+let d = Example.d
+let e = Example.e
+let f = Example.f
+
+let topo = Example.topology ()
+
+let rotation () =
+  Rotation.of_orders topo.graph Example.rotation_orders
+
+let routing () = Pr_core.Routing.build topo.graph
+
+let cycles () = Pr_core.Cycle_table.build (rotation ())
+
+let run ?termination failures_list ~src ~dst =
+  let failures = Pr_core.Failure.of_list topo.graph failures_list in
+  Pr_core.Forward.run ?termination ~routing:(routing ()) ~cycles:(cycles ())
+    ~failures ~src ~dst ()
+
+(* Canonical form of a cyclic node sequence: rotate so the smallest element
+   comes first (sufficient here: no face repeats a node). *)
+let canon cycle =
+  match cycle with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list cycle in
+      let len = Array.length arr in
+      let start = ref 0 in
+      Array.iteri (fun i x -> if x < arr.(!start) then start := i) arr;
+      List.init len (fun i -> arr.((!start + i) mod len))
+
+let test_shortest_path_tree () =
+  let r = routing () in
+  Alcotest.(check (option int)) "A routes via B" (Some b)
+    (Pr_core.Routing.next_hop r ~node:a ~dst:f);
+  Alcotest.(check (option int)) "B routes via D" (Some d)
+    (Pr_core.Routing.next_hop r ~node:b ~dst:f);
+  Alcotest.(check (option int)) "D routes via E" (Some e)
+    (Pr_core.Routing.next_hop r ~node:d ~dst:f);
+  Alcotest.(check (option int)) "C routes via E" (Some e)
+    (Pr_core.Routing.next_hop r ~node:c ~dst:f)
+
+let test_distance_discriminators () =
+  let r = routing () in
+  let disc node = Pr_core.Routing.disc r ~node ~dst:f in
+  Alcotest.(check (float 0.0)) "DD at D is 2" 2.0 (disc d);
+  Alcotest.(check (float 0.0)) "DD at B is 3" 3.0 (disc b);
+  Alcotest.(check (float 0.0)) "DD at C is 2" 2.0 (disc c);
+  Alcotest.(check (float 0.0)) "DD at E is 1" 1.0 (disc e)
+
+let test_faces_match_paper () =
+  let faces = Faces.compute (rotation ()) in
+  Alcotest.(check int) "four cells" 4 (Faces.count faces);
+  let got =
+    List.init (Faces.count faces) (fun i -> canon (Faces.face_nodes faces i))
+    |> List.sort compare
+  in
+  let want = List.map canon Example.expected_faces |> List.sort compare in
+  Alcotest.(check (list (list int))) "cells c1..c4" want got
+
+let test_genus_zero () =
+  let faces = Faces.compute (rotation ()) in
+  Alcotest.(check int) "sphere embedding" 0 (Pr_embed.Surface.genus faces)
+
+let test_table_1 () =
+  (* Table 1: cycle following table at node D. *)
+  let table = Pr_core.Cycle_table.entries (cycles ()) d in
+  let row incoming =
+    List.find (fun (en : Pr_core.Cycle_table.entry) -> en.incoming = incoming) table
+  in
+  let check_row incoming cf comp =
+    let r = row incoming in
+    Alcotest.(check int) "cycle following" cf r.cycle_following;
+    Alcotest.(check int) "complementary" comp r.complementary
+  in
+  (* I_BD -> I_DF (c4) | I_DE (c1) *)
+  check_row b f e;
+  (* I_ED -> I_DB (c2) | I_DF (c4) *)
+  check_row e b f;
+  (* I_FD -> I_DE (c1) | I_DB (c2) *)
+  check_row f e b;
+  Alcotest.(check int) "three interfaces, three entries" 3 (List.length table)
+
+let check_walk msg expected (trace : Pr_core.Forward.trace) =
+  Alcotest.(check bool) (msg ^ ": delivered") true
+    (trace.outcome = Pr_core.Forward.Delivered);
+  Alcotest.(check (list int)) (msg ^ ": path") expected trace.path
+
+let test_figure_1b () =
+  (* Single failure D-E: packet follows c2 from D and resumes at E. *)
+  let trace = run [ (d, e) ] ~src:a ~dst:f in
+  check_walk "fig 1(b)" [ a; b; d; b; c; e; f ] trace;
+  Alcotest.(check int) "one PR episode" 1 trace.pr_episodes
+
+let test_figure_1b_simple_termination () =
+  let trace = run ~termination:Pr_core.Forward.Simple [ (d, e) ] ~src:a ~dst:f in
+  check_walk "fig 1(b) simple" [ a; b; d; b; c; e; f ] trace
+
+let test_section_4_2_multiple_failures () =
+  (* §4.2's remark: the simple scheme already survives A-B plus D-E. *)
+  let trace =
+    run ~termination:Pr_core.Forward.Simple [ (a, b); (d, e) ] ~src:a ~dst:f
+  in
+  check_walk "A-B and D-E, simple" [ a; c; b; d; b; c; e; f ] trace;
+  Alcotest.(check int) "two PR episodes" 2 trace.pr_episodes
+
+let test_figure_1c () =
+  (* §4.3 walkthrough: failures D-E and B-C, DD termination. *)
+  let trace = run [ (d, e); (b, c) ] ~src:a ~dst:f in
+  check_walk "fig 1(c)" [ a; b; d; b; a; c; e; f ] trace;
+  Alcotest.(check int) "single PR episode spanning both failures" 1
+    trace.pr_episodes;
+  Alcotest.(check int) "DD carried is 2" 2 trace.max_header.Pr_core.Header.dd
+
+let test_figure_1c_simple_would_loop () =
+  (* Without the DD condition the paper predicts a forwarding loop for the
+     Figure 1(c) scenario. *)
+  let trace =
+    run ~termination:Pr_core.Forward.Simple [ (d, e); (b, c) ] ~src:a ~dst:f
+  in
+  Alcotest.(check bool) "simple termination loops" true
+    (trace.outcome = Pr_core.Forward.Ttl_exceeded)
+
+let suite =
+  [
+    Alcotest.test_case "shortest path tree to F" `Quick test_shortest_path_tree;
+    Alcotest.test_case "distance discriminators" `Quick test_distance_discriminators;
+    Alcotest.test_case "cells c1..c4" `Quick test_faces_match_paper;
+    Alcotest.test_case "genus zero" `Quick test_genus_zero;
+    Alcotest.test_case "Table 1 at node D" `Quick test_table_1;
+    Alcotest.test_case "figure 1(b) walkthrough" `Quick test_figure_1b;
+    Alcotest.test_case "figure 1(b), simple termination" `Quick
+      test_figure_1b_simple_termination;
+    Alcotest.test_case "section 4.2 multi-failure demo" `Quick
+      test_section_4_2_multiple_failures;
+    Alcotest.test_case "figure 1(c) walkthrough" `Quick test_figure_1c;
+    Alcotest.test_case "figure 1(c) loops without DD" `Quick
+      test_figure_1c_simple_would_loop;
+  ]

@@ -1,0 +1,85 @@
+module Parse = Pr_topo.Parse
+module Topology = Pr_topo.Topology
+
+let sample_text =
+  "# sample\n\
+   topology demo\n\
+   node a 0 0\n\
+   node b 1 0\n\
+   node c 1 1\n\
+   edge a b 2.5\n\
+   edge b c\n\
+   edge a c 1\n"
+
+let test_parse_basic () =
+  let t = Parse.of_string sample_text in
+  Alcotest.(check string) "name" "demo" t.Topology.name;
+  Alcotest.(check int) "nodes" 3 (Topology.n t);
+  Alcotest.(check int) "edges" 3 (Topology.m t);
+  Alcotest.(check (float 0.0)) "explicit weight" 2.5
+    (Pr_graph.Graph.weight t.Topology.graph 0 1);
+  Alcotest.(check (float 0.0)) "default weight" 1.0
+    (Pr_graph.Graph.weight t.Topology.graph 1 2)
+
+let test_comments_and_blanks () =
+  let t = Parse.of_string "topology x\n\n# nothing\nnode a\nnode b\nedge a b # trailing\n" in
+  Alcotest.(check int) "parsed" 1 (Topology.m t)
+
+let expect_error fragment text =
+  match Parse.of_string text with
+  | exception Parse.Parse_error (_, msg) ->
+      let contains =
+        let nh = String.length msg and nn = String.length fragment in
+        let rec scan i = i + nn <= nh && (String.sub msg i nn = fragment || scan (i + 1)) in
+        scan 0
+      in
+      if not contains then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+  | _ -> Alcotest.failf "expected a parse error mentioning %S" fragment
+
+let test_errors () =
+  expect_error "unknown node" "topology x\nnode a\nedge a b\n";
+  expect_error "duplicate node" "topology x\nnode a\nnode a\n";
+  expect_error "duplicate topology" "topology x\ntopology y\n";
+  expect_error "unknown directive" "link a b\n";
+  expect_error "expected a number" "topology x\nnode a\nnode b\nedge a b fast\n";
+  expect_error "invalid topology" "topology x\nnode a\nnode b\nedge a b\nedge b a\n"
+
+let test_error_line_number () =
+  match Parse.of_string "topology x\nnode a\nbogus\n" with
+  | exception Parse.Parse_error (line, _) -> Alcotest.(check int) "line" 3 line
+  | _ -> Alcotest.fail "expected error"
+
+let test_roundtrip_builtin () =
+  List.iter
+    (fun topo ->
+      let again = Parse.of_string (Parse.to_string topo) in
+      Alcotest.(check string) "name survives" topo.Topology.name again.Topology.name;
+      Alcotest.(check bool)
+        (topo.Topology.name ^ " graph survives")
+        true
+        (Pr_graph.Graph.equal_structure topo.Topology.graph again.Topology.graph);
+      Alcotest.(check bool) "labels survive" true
+        (topo.Topology.labels = again.Topology.labels))
+    (Pr_topo.Zoo.paper_evaluation ())
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "pr_test" ".topo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let topo = Pr_topo.Abilene.topology () in
+      Parse.save path topo;
+      let again = Parse.load path in
+      Alcotest.(check bool) "file round-trip" true
+        (Pr_graph.Graph.equal_structure topo.Topology.graph again.Topology.graph))
+
+let suite =
+  [
+    Alcotest.test_case "basic parse" `Quick test_parse_basic;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_number;
+    Alcotest.test_case "round-trip builtin maps" `Quick test_roundtrip_builtin;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+  ]

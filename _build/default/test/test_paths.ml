@@ -1,0 +1,46 @@
+module Graph = Pr_graph.Graph
+module Paths = Pr_graph.Paths
+
+let square () = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 3.0); (3, 0, 4.0) ]
+
+let test_is_walk () =
+  let g = square () in
+  Alcotest.(check bool) "valid walk" true (Paths.is_walk g [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "walk may revisit" true (Paths.is_walk g [ 0; 1; 0; 3 ]);
+  Alcotest.(check bool) "broken walk" false (Paths.is_walk g [ 0; 2 ]);
+  Alcotest.(check bool) "empty is a walk" true (Paths.is_walk g []);
+  Alcotest.(check bool) "singleton is a walk" true (Paths.is_walk g [ 2 ])
+
+let test_cost_hops () =
+  let g = square () in
+  Alcotest.(check (float 0.0)) "cost" 6.0 (Paths.cost g [ 0; 1; 2; 3 ]);
+  Alcotest.(check (float 0.0)) "empty cost" 0.0 (Paths.cost g []);
+  Alcotest.(check int) "hops" 3 (Paths.hops [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "no hops" 0 (Paths.hops [ 0 ]);
+  Alcotest.check_raises "cost of non-walk" Not_found (fun () ->
+      ignore (Paths.cost g [ 0; 2 ]))
+
+let test_edges_of_walk () =
+  let g = square () in
+  Alcotest.(check (list int)) "edge indices"
+    [ Graph.edge_index g 0 1; Graph.edge_index g 1 2 ]
+    (Paths.edges_of_walk g [ 0; 1; 2 ])
+
+let test_uses_edge () =
+  let g = square () in
+  Alcotest.(check bool) "uses 1-2" true (Paths.uses_edge g [ 0; 1; 2 ] 2 1);
+  Alcotest.(check bool) "not 2-3" false (Paths.uses_edge g [ 0; 1; 2 ] 2 3)
+
+let test_revisiting_cost () =
+  (* Cycle-following paths revisit edges; cost must count each traversal. *)
+  let g = square () in
+  Alcotest.(check (float 0.0)) "back and forth" 2.0 (Paths.cost g [ 0; 1; 0 ])
+
+let suite =
+  [
+    Alcotest.test_case "is_walk" `Quick test_is_walk;
+    Alcotest.test_case "cost and hops" `Quick test_cost_hops;
+    Alcotest.test_case "edges of walk" `Quick test_edges_of_walk;
+    Alcotest.test_case "uses_edge" `Quick test_uses_edge;
+    Alcotest.test_case "revisiting cost" `Quick test_revisiting_cost;
+  ]

@@ -1,0 +1,76 @@
+module Graph = Pr_graph.Graph
+module Policy = Pr_core.Policy
+module Topology = Pr_topo.Topology
+
+let setup () =
+  let topo = Pr_topo.Abilene.topology () in
+  let routing = Pr_core.Routing.build topo.Topology.graph in
+  let cycles = Pr_core.Cycle_table.build (Pr_embed.Geometric.of_topology topo) in
+  (topo, routing, cycles)
+
+let test_class_sets () =
+  let p = Policy.make ~protected_classes:[ 5; 6 ] in
+  Alcotest.(check bool) "5 protected" true (Policy.protects p 5);
+  Alcotest.(check bool) "0 not protected" false (Policy.protects p 0);
+  Alcotest.(check (list int)) "listing" [ 5; 6 ] (Policy.protected_classes p);
+  Alcotest.(check (list int)) "protect_all" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Policy.protected_classes Policy.protect_all);
+  Alcotest.(check (list int)) "protect_none" [] (Policy.protected_classes Policy.protect_none)
+
+let test_class_bounds () =
+  (match Policy.make ~protected_classes:[ 8 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "class 8 accepted");
+  match Policy.protects Policy.protect_all (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "class -1 accepted"
+
+let test_protected_class_survives () =
+  let topo, routing, cycles = setup () in
+  let g = topo.Topology.graph in
+  let failures = Pr_core.Failure.of_list g [ (3, 4) ] in
+  let policy = Policy.make ~protected_classes:[ 5 ] in
+  let outcome = Policy.forward policy ~class_id:5 ~routing ~cycles ~failures ~src:0 ~dst:6 in
+  Alcotest.(check bool) "delivered" true (Policy.delivered outcome);
+  match outcome with
+  | Policy.Forwarded trace ->
+      Alcotest.(check bool) "via PR" true (trace.Pr_core.Forward.pr_episodes >= 0)
+  | Policy.Shortest_path _ | Policy.Dropped_at _ ->
+      Alcotest.fail "protected class must use PR"
+
+let test_unprotected_class_drops () =
+  let topo, routing, cycles = setup () in
+  let g = topo.Topology.graph in
+  (* STTL(0)->IPLS(6) crosses DNVR-KSCY on the shortest path. *)
+  let failures = Pr_core.Failure.of_list g [ (3, 4) ] in
+  let policy = Policy.make ~protected_classes:[ 5 ] in
+  let outcome = Policy.forward policy ~class_id:0 ~routing ~cycles ~failures ~src:0 ~dst:6 in
+  Alcotest.(check bool) "dropped" false (Policy.delivered outcome);
+  match outcome with
+  | Policy.Dropped_at { node; walked } ->
+      Alcotest.(check int) "dies at DNVR" 3 node;
+      Alcotest.(check (list int)) "walked the prefix" [ 0; 3 ] walked
+  | Policy.Forwarded _ | Policy.Shortest_path _ -> Alcotest.fail "expected a drop"
+
+let test_unprotected_class_fine_without_failures () =
+  let topo, routing, cycles = setup () in
+  let failures = Pr_core.Failure.none topo.Topology.graph in
+  let policy = Policy.protect_none in
+  let outcome = Policy.forward policy ~class_id:0 ~routing ~cycles ~failures ~src:0 ~dst:6 in
+  Alcotest.(check bool) "delivered on SP" true (Policy.delivered outcome);
+  match outcome with
+  | Policy.Shortest_path path ->
+      Alcotest.(check (option (list int))) "exactly the shortest path"
+        (Pr_core.Routing.shortest_path routing ~src:0 ~dst:6)
+        (Some path)
+  | Policy.Forwarded _ | Policy.Dropped_at _ -> Alcotest.fail "expected plain SP"
+
+let suite =
+  [
+    Alcotest.test_case "class sets" `Quick test_class_sets;
+    Alcotest.test_case "class bounds" `Quick test_class_bounds;
+    Alcotest.test_case "protected class survives" `Quick test_protected_class_survives;
+    Alcotest.test_case "unprotected class drops" `Quick test_unprotected_class_drops;
+    Alcotest.test_case "unprotected class without failures" `Quick
+      test_unprotected_class_fine_without_failures;
+  ]

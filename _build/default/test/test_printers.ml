@@ -1,0 +1,65 @@
+(* Smoke tests for the pretty-printers: they must render without raising
+   and mention the load-bearing facts. *)
+
+let render pp v = Format.asprintf "%a" pp v
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_graph_pp () =
+  let g = Pr_graph.Graph.create ~n:3 [ (0, 1, 2.0) ] in
+  let s = render Pr_graph.Graph.pp g in
+  Alcotest.(check bool) "counts" true (contains s "n=3" && contains s "m=1");
+  Alcotest.(check bool) "edge" true (contains s "0 -- 1")
+
+let test_paths_pp () =
+  let s = render Pr_graph.Paths.pp [ 0; 1; 2 ] in
+  Alcotest.(check string) "arrows" "0 -> 1 -> 2" s
+
+let test_rotation_pp () =
+  let g = Pr_graph.Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let s = render Pr_embed.Rotation.pp (Pr_embed.Rotation.adjacency g) in
+  Alcotest.(check bool) "mentions nodes" true (contains s "0:" && contains s "1:")
+
+let test_faces_pp () =
+  let g = Pr_graph.Graph.unweighted ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  let s = render Pr_embed.Faces.pp (Pr_embed.Faces.compute (Pr_embed.Rotation.adjacency g)) in
+  Alcotest.(check bool) "face count" true (contains s "2 faces")
+
+let test_failure_pp () =
+  let g = Pr_graph.Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let s = render Pr_core.Failure.pp (Pr_core.Failure.of_list g [ (1, 2) ]) in
+  Alcotest.(check bool) "lists the link" true (contains s "1-2")
+
+let test_header_pp () =
+  let s = render Pr_core.Header.pp { Pr_core.Header.pr = true; dd = 3 } in
+  Alcotest.(check bool) "fields" true (contains s "pr=true" && contains s "dd=3")
+
+let test_topology_pp () =
+  let s = render Pr_topo.Topology.pp (Pr_topo.Abilene.topology ()) in
+  Alcotest.(check bool) "links named" true (contains s "STTL -- SNVA")
+
+let test_summary_pp () =
+  let s = render Pr_stats.Summary.pp (Pr_stats.Summary.of_samples [ 1.0; 3.0 ]) in
+  Alcotest.(check bool) "mean" true (contains s "mean=2.000")
+
+let test_metrics_pp () =
+  let m = Pr_sim.Metrics.create () in
+  Pr_sim.Metrics.record_delivery m ~stretch:1.0;
+  let s = render Pr_sim.Metrics.pp m in
+  Alcotest.(check bool) "delivered" true (contains s "delivered=1")
+
+let suite =
+  [
+    Alcotest.test_case "graph pp" `Quick test_graph_pp;
+    Alcotest.test_case "paths pp" `Quick test_paths_pp;
+    Alcotest.test_case "rotation pp" `Quick test_rotation_pp;
+    Alcotest.test_case "faces pp" `Quick test_faces_pp;
+    Alcotest.test_case "failure pp" `Quick test_failure_pp;
+    Alcotest.test_case "header pp" `Quick test_header_pp;
+    Alcotest.test_case "topology pp" `Quick test_topology_pp;
+    Alcotest.test_case "summary pp" `Quick test_summary_pp;
+    Alcotest.test_case "metrics pp" `Quick test_metrics_pp;
+  ]

@@ -1,0 +1,46 @@
+module Recommend = Pr_embed.Recommend
+
+let test_planar_map_certified () =
+  let q = Recommend.for_topology (Pr_topo.Abilene.topology ()) in
+  Alcotest.(check bool) "certified" true q.Recommend.certified_planar;
+  Alcotest.(check int) "genus 0" 0 q.Recommend.genus;
+  Alcotest.(check int) "no curved edges" 0 q.Recommend.curved_edges
+
+let test_geant_reconstruction_is_planar () =
+  (* A fact about our reconstruction worth pinning: DMP certifies it, and
+     it is why the Figure 2(c)/(f) panels deliver every pair. *)
+  let q = Recommend.for_topology (Pr_topo.Geant.topology ()) in
+  Alcotest.(check bool) "certified" true q.Recommend.certified_planar;
+  Alcotest.(check int) "genus 0" 0 q.Recommend.genus
+
+let test_non_planar_map_annealed () =
+  let q = Recommend.for_topology (Pr_topo.Teleglobe.topology ()) in
+  Alcotest.(check bool) "not certified" false q.Recommend.certified_planar;
+  Alcotest.(check bool) "positive genus" true (q.Recommend.genus > 0);
+  Alcotest.(check int) "curved edges eliminated" 0 q.Recommend.curved_edges
+
+let test_for_graph_without_coords () =
+  let g = (Pr_topo.Generate.petersen ()).Pr_topo.Topology.graph in
+  let q = Recommend.for_graph g in
+  Alcotest.(check bool) "petersen not planar" false q.Recommend.certified_planar;
+  Alcotest.(check int) "petersen genus 1 reached" 1 q.Recommend.genus;
+  Alcotest.(check int) "no curved edges" 0 q.Recommend.curved_edges
+
+let test_removable_curved_on_bridges () =
+  (* Path graph: both links are bridges — curved but not removable. *)
+  let g = Pr_graph.Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let faces = Pr_embed.Faces.compute (Pr_embed.Rotation.adjacency g) in
+  Alcotest.(check int) "two curved" 2
+    (List.length (Pr_embed.Validate.curved_edges faces));
+  Alcotest.(check (list (pair int int))) "none removable" []
+    (Pr_embed.Validate.removable_curved_edges faces)
+
+let suite =
+  [
+    Alcotest.test_case "planar map certified" `Quick test_planar_map_certified;
+    Alcotest.test_case "geant reconstruction is planar" `Quick
+      test_geant_reconstruction_is_planar;
+    Alcotest.test_case "non-planar map annealed" `Slow test_non_planar_map_annealed;
+    Alcotest.test_case "graph without coords" `Slow test_for_graph_without_coords;
+    Alcotest.test_case "bridges not removable" `Quick test_removable_curved_on_bridges;
+  ]

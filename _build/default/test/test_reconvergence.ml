@@ -1,0 +1,70 @@
+module Graph = Pr_graph.Graph
+module Reconv = Pr_baselines.Reconvergence
+module Failure = Pr_core.Failure
+module Routing = Pr_core.Routing
+
+let square () = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let test_reroutes () =
+  let g = square () in
+  let failures = Failure.of_list g [ (0, 1) ] in
+  Alcotest.(check (option (list int))) "detour" (Some [ 0; 3; 2; 1 ])
+    (Reconv.path g ~failures ~src:0 ~dst:1);
+  Alcotest.(check (float 0.0)) "cost" 3.0 (Reconv.cost g ~failures ~src:0 ~dst:1)
+
+let test_disconnected () =
+  let g = square () in
+  let failures = Failure.of_list g [ (0, 1); (3, 0) ] in
+  Alcotest.(check (option (list int))) "no path" None
+    (Reconv.path g ~failures ~src:0 ~dst:2);
+  Alcotest.(check bool) "infinite cost" true
+    (Reconv.cost g ~failures ~src:0 ~dst:2 = infinity)
+
+let test_stretch () =
+  let g = square () in
+  let routing = Routing.build g in
+  let failures = Failure.of_list g [ (0, 1) ] in
+  Alcotest.(check (float 1e-9)) "3x" 3.0 (Reconv.stretch ~routing ~failures ~src:0 ~dst:1);
+  let none = Failure.none g in
+  Alcotest.(check (float 1e-9)) "1x with no failure" 1.0
+    (Reconv.stretch ~routing ~failures:none ~src:0 ~dst:1)
+
+let qcheck_stretch_at_least_one =
+  QCheck.Test.make ~name:"reconvergence stretch >= 1" ~count:60
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rng = Pr_util.Rng.create ~seed in
+      let e = Graph.edge g (Pr_util.Rng.int rng (Graph.m g)) in
+      let failures = Failure.of_list g [ (e.Graph.u, e.Graph.v) ] in
+      let routing = Routing.build g in
+      List.for_all
+        (fun (src, dst) ->
+          let s = Reconv.stretch ~routing ~failures ~src ~dst in
+          s >= 1.0 -. 1e-9)
+        (Helpers.all_pairs g))
+
+let qcheck_optimal_on_survivor =
+  QCheck.Test.make ~name:"reconvergence equals SPF on the surviving graph"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rng = Pr_util.Rng.create ~seed in
+      let e = Graph.edge g (Pr_util.Rng.int rng (Graph.m g)) in
+      let failures = Failure.of_list g [ (e.Graph.u, e.Graph.v) ] in
+      let survivor = Graph.without_edges g [ (e.Graph.u, e.Graph.v) ] in
+      let reference = Helpers.floyd_warshall survivor in
+      List.for_all
+        (fun (src, dst) ->
+          let got = Reconv.cost g ~failures ~src ~dst in
+          let want = reference.(src).(dst) in
+          (got = infinity && want = infinity) || Helpers.close ~eps:1e-6 got want)
+        (Helpers.all_pairs g))
+
+let suite =
+  [
+    Alcotest.test_case "reroutes" `Quick test_reroutes;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "stretch" `Quick test_stretch;
+    QCheck_alcotest.to_alcotest qcheck_stretch_at_least_one;
+    QCheck_alcotest.to_alcotest qcheck_optimal_on_survivor;
+  ]

@@ -1,0 +1,54 @@
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pr_report" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_paper_panels_shape () =
+  let panels = Pr_exp.Report.paper_panels () in
+  Alcotest.(check (list string)) "six panels, paper order"
+    [ "fig2a"; "fig2b"; "fig2c"; "fig2d"; "fig2e"; "fig2f" ]
+    (List.map fst panels);
+  let ks = List.map (fun (_, c) -> c.Pr_exp.Fig2.k) panels in
+  Alcotest.(check (list int)) "failure counts" [ 1; 1; 1; 4; 10; 16 ] ks
+
+let test_write_fig2 () =
+  with_temp_dir (fun dir ->
+      let result =
+        Pr_exp.Fig2.run (Pr_exp.Fig2.default (Pr_topo.Abilene.topology ()) ~k:1)
+      in
+      Pr_exp.Report.write_fig2 ~dir ~name:"panel" result;
+      let dat = read_file (Filename.concat dir "panel.dat") in
+      let gp = read_file (Filename.concat dir "panel.gp") in
+      (* 29 grid rows + 2 comment lines. *)
+      let lines = String.split_on_char '\n' dat |> List.filter (fun l -> l <> "") in
+      Alcotest.(check int) "data rows" 31 (List.length lines);
+      let data_lines =
+        List.filter (fun l -> String.length l > 0 && l.[0] <> '#') lines
+      in
+      List.iter
+        (fun line ->
+          Alcotest.(check int) "x + three schemes" 4
+            (List.length
+               (String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))))
+        data_lines;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "gp mentions data file" true (contains gp "panel.dat");
+      Alcotest.(check bool) "gp titles the schemes" true
+        (contains gp "Packet Re-cycling"))
+
+let suite =
+  [
+    Alcotest.test_case "paper panels" `Quick test_paper_panels_shape;
+    Alcotest.test_case "write fig2 files" `Quick test_write_fig2;
+  ]

@@ -1,0 +1,93 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+
+let k4 () = Graph.unweighted ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+let test_adjacency_order () =
+  let rot = Rotation.adjacency (k4 ()) in
+  Alcotest.(check (array int)) "sorted order" [| 1; 2; 3 |] (Rotation.order rot 0);
+  Alcotest.(check int) "next wraps" 1 (Rotation.next rot 0 3);
+  Alcotest.(check int) "next" 3 (Rotation.next rot 0 2);
+  Alcotest.(check int) "prev" 2 (Rotation.prev rot 0 3)
+
+let test_of_orders_validation () =
+  let g = k4 () in
+  (match Rotation.of_orders g [| [ 1; 2 ]; [ 0; 2; 3 ]; [ 0; 1; 3 ]; [ 0; 1; 2 ] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing neighbour accepted");
+  (match Rotation.of_orders g [| [ 1; 2; 2 ]; [ 0; 2; 3 ]; [ 0; 1; 3 ]; [ 0; 1; 2 ] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate accepted");
+  match Rotation.of_orders g [| [ 1; 2; 3 ] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong length accepted"
+
+let test_non_neighbour_rejected () =
+  let rot = Rotation.adjacency (k4 ()) in
+  match Rotation.next rot 0 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self as neighbour accepted"
+
+let test_equal_up_to_rotation () =
+  let g = k4 () in
+  let a = Rotation.of_orders g [| [ 1; 2; 3 ]; [ 0; 2; 3 ]; [ 0; 1; 3 ]; [ 0; 1; 2 ] |] in
+  let b = Rotation.of_orders g [| [ 2; 3; 1 ]; [ 0; 2; 3 ]; [ 0; 1; 3 ]; [ 0; 1; 2 ] |] in
+  let c = Rotation.of_orders g [| [ 1; 3; 2 ]; [ 0; 2; 3 ]; [ 0; 1; 3 ]; [ 0; 1; 2 ] |] in
+  Alcotest.(check bool) "cyclic shift equal" true (Rotation.equal a b);
+  Alcotest.(check bool) "different order unequal" false (Rotation.equal a c)
+
+let test_orders_copy () =
+  let rot = Rotation.adjacency (k4 ()) in
+  let orders = Rotation.orders rot in
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ] orders.(0)
+
+let qcheck_next_prev_inverse =
+  QCheck.Test.make ~name:"prev is the inverse of next" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        Array.iter
+          (fun u ->
+            if Rotation.prev rot v (Rotation.next rot v u) <> u then ok := false;
+            if Rotation.next rot v (Rotation.prev rot v u) <> u then ok := false)
+          (Graph.neighbours g v)
+      done;
+      !ok)
+
+let qcheck_next_is_permutation =
+  QCheck.Test.make ~name:"next at a node is a cyclic permutation" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        let deg = Graph.degree g v in
+        if deg > 0 then begin
+          (* Iterating next from any neighbour must visit all neighbours. *)
+          let start = (Graph.neighbours g v).(0) in
+          let seen = Hashtbl.create deg in
+          let rec follow u steps =
+            if steps > deg then ()
+            else begin
+              Hashtbl.replace seen u ();
+              follow (Rotation.next rot v u) (steps + 1)
+            end
+          in
+          follow start 1;
+          if Hashtbl.length seen <> deg then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "adjacency order" `Quick test_adjacency_order;
+    Alcotest.test_case "of_orders validation" `Quick test_of_orders_validation;
+    Alcotest.test_case "non-neighbour rejected" `Quick test_non_neighbour_rejected;
+    Alcotest.test_case "equality up to rotation" `Quick test_equal_up_to_rotation;
+    Alcotest.test_case "orders copy" `Quick test_orders_copy;
+    QCheck_alcotest.to_alcotest qcheck_next_prev_inverse;
+    QCheck_alcotest.to_alcotest qcheck_next_is_permutation;
+  ]

@@ -1,0 +1,68 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Rotation_io = Pr_embed.Rotation_io
+
+let k4 () = Graph.unweighted ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+let test_roundtrip () =
+  let g = k4 () in
+  let rot = Rotation.random (Pr_util.Rng.create ~seed:3) g in
+  let again = Rotation_io.of_string g (Rotation_io.to_string rot) in
+  Alcotest.(check bool) "round-trips" true (Rotation.equal rot again)
+
+let test_parse_flexible () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let rot =
+    Rotation_io.of_string g "# comment\n0: 1\n  1:  2 0  # trailing\n2: 1\n"
+  in
+  Alcotest.(check (array int)) "order kept" [| 2; 0 |] (Rotation.order rot 1)
+
+let test_isolated_nodes_optional () =
+  let g = Graph.unweighted ~n:3 [ (0, 1) ] in
+  let rot = Rotation_io.of_string g "0: 1\n1: 0\n" in
+  Alcotest.(check (array int)) "isolated node empty" [||] (Rotation.order rot 2)
+
+let expect_error g text =
+  match Rotation_io.of_string g text with
+  | exception Rotation_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  expect_error g "0: 1\n0: 1\n1: 0 2\n2: 1\n" (* duplicate *);
+  expect_error g "0: 1\n1: 0\n2: 1\n" (* 1 misses neighbour 2 *);
+  expect_error g "0: 1\n1: 0 2\n" (* node 2 missing *);
+  expect_error g "9: 1\n" (* out of range *);
+  expect_error g "0: x\n" (* not an integer *);
+  expect_error g "just nonsense\n"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "pr_rot" ".rot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let topo = Pr_topo.Abilene.topology () in
+      let rot = Pr_embed.Geometric.of_topology topo in
+      Rotation_io.save path rot;
+      let again = Rotation_io.load topo.Pr_topo.Topology.graph path in
+      Alcotest.(check bool) "file round-trip" true (Rotation.equal rot again);
+      (* The reloaded rotation yields the same embedding. *)
+      Alcotest.(check int) "same genus" 0
+        (Pr_embed.Surface.genus (Pr_embed.Faces.compute again)))
+
+let qcheck_roundtrip_random =
+  QCheck.Test.make ~name:"rotation serialisation round-trips" ~count:80
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      Rotation.equal rot (Rotation_io.of_string g (Rotation_io.to_string rot)))
+
+let suite =
+  [
+    Alcotest.test_case "round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "flexible parsing" `Quick test_parse_flexible;
+    Alcotest.test_case "isolated nodes optional" `Quick test_isolated_nodes_optional;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_random;
+  ]

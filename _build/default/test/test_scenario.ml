@@ -1,0 +1,128 @@
+module Graph = Pr_graph.Graph
+module Scenario = Pr_core.Scenario
+module Routing = Pr_core.Routing
+module Failure = Pr_core.Failure
+
+let test_single_links_skips_bridges () =
+  (* Triangle with a pendant edge 2-3: the pendant is a bridge. *)
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  let scenarios = Scenario.single_links g in
+  Alcotest.(check int) "three non-bridges" 3 (List.length scenarios);
+  Alcotest.(check bool) "bridge excluded" true
+    (not (List.mem [ (2, 3) ] scenarios));
+  let all = Scenario.single_links ~keep_connected:false g in
+  Alcotest.(check int) "all four otherwise" 4 (List.length all)
+
+let test_random_multi_properties () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let rng = Pr_util.Rng.create ~seed:77 in
+  let scenarios = Scenario.random_multi rng g ~k:3 ~samples:40 in
+  Alcotest.(check int) "sample count" 40 (List.length scenarios);
+  List.iter
+    (fun scenario ->
+      Alcotest.(check int) "k links" 3 (List.length scenario);
+      Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare scenario));
+      Alcotest.(check bool) "survivor connected" true
+        (Pr_graph.Connectivity.connected_without g scenario))
+    scenarios
+
+let test_random_multi_validation () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let rng = Pr_util.Rng.create ~seed:1 in
+  (match Scenario.random_multi rng g ~k:0 ~samples:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k = 0 accepted");
+  match Scenario.random_multi rng g ~k:100 ~samples:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k > m accepted"
+
+let test_random_multi_deterministic () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let a = Scenario.random_multi (Pr_util.Rng.create ~seed:3) g ~k:2 ~samples:10 in
+  let b = Scenario.random_multi (Pr_util.Rng.create ~seed:3) g ~k:2 ~samples:10 in
+  Alcotest.(check bool) "same seed, same scenarios" true (a = b)
+
+let test_double_links () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  (* A 4-cycle: removing any two links disconnects it. *)
+  Alcotest.(check int) "no connected pair on a cycle" 0
+    (List.length (Scenario.double_links g));
+  Alcotest.(check int) "all pairs without the filter" 6
+    (List.length (Scenario.double_links ~keep_connected:false g));
+  let abilene = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let pairs = Scenario.double_links abilene in
+  Alcotest.(check bool) "some survive on abilene" true (List.length pairs > 0);
+  List.iter
+    (fun scenario ->
+      Alcotest.(check int) "two links" 2 (List.length scenario);
+      Alcotest.(check bool) "survivor connected" true
+        (Pr_graph.Connectivity.connected_without abilene scenario))
+    pairs
+
+let test_random_nodes () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let rng = Pr_util.Rng.create ~seed:21 in
+  let scenarios = Scenario.random_nodes rng g ~k:2 ~samples:25 in
+  Alcotest.(check int) "sample count" 25 (List.length scenarios);
+  List.iter
+    (fun nodes ->
+      Alcotest.(check int) "k nodes" 2 (List.length nodes);
+      Alcotest.(check int) "distinct" 2 (List.length (List.sort_uniq compare nodes));
+      (* Survivors connected: every surviving pair stays reachable. *)
+      let failures = Pr_core.Failure.of_nodes g nodes in
+      for a = 0 to Graph.n g - 1 do
+        for b = 0 to Graph.n g - 1 do
+          if a <> b && (not (List.mem a nodes)) && not (List.mem b nodes) then
+            Alcotest.(check bool) "survivors connected" true
+              (Failure.pair_connected failures a b)
+        done
+      done)
+    scenarios
+
+let test_affected_pairs_fig1 () =
+  let g = (Pr_topo.Example.topology ()).Pr_topo.Topology.graph in
+  let routing = Routing.build g in
+  let failures = Failure.of_list g [ (Pr_topo.Example.d, Pr_topo.Example.e) ] in
+  let affected = Scenario.affected_pairs routing failures in
+  (* A->F uses D-E (A B D E F), so (A, F) must be affected. *)
+  Alcotest.(check bool) "A-F affected" true
+    (List.mem (Pr_topo.Example.a, Pr_topo.Example.f) affected);
+  (* A->B is a direct link that survives: unaffected. *)
+  Alcotest.(check bool) "A-B unaffected" true
+    (not (List.mem (Pr_topo.Example.a, Pr_topo.Example.b) affected));
+  (* Every affected pair's shortest path really crosses the failure. *)
+  List.iter
+    (fun (src, dst) ->
+      match Routing.shortest_path routing ~src ~dst with
+      | None -> Alcotest.fail "affected pair has no path"
+      | Some path ->
+          Alcotest.(check bool) "crosses failed link" true
+            (Pr_graph.Paths.uses_edge g path Pr_topo.Example.d Pr_topo.Example.e))
+    affected
+
+let test_connected_affected_subset () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let routing = Routing.build g in
+  let failures = Failure.of_list g [ (0, 1); (2, 3) ] in
+  let affected = Scenario.affected_pairs routing failures in
+  let connected = Scenario.connected_affected_pairs routing failures in
+  Alcotest.(check bool) "subset" true
+    (List.for_all (fun p -> List.mem p affected) connected);
+  List.iter
+    (fun (src, dst) ->
+      Alcotest.(check bool) "still connected" true (Failure.pair_connected failures src dst))
+    connected;
+  Alcotest.(check bool) "strictly smaller here" true
+    (List.length connected < List.length affected)
+
+let suite =
+  [
+    Alcotest.test_case "single links skip bridges" `Quick test_single_links_skips_bridges;
+    Alcotest.test_case "random multi properties" `Quick test_random_multi_properties;
+    Alcotest.test_case "random multi validation" `Quick test_random_multi_validation;
+    Alcotest.test_case "random multi deterministic" `Quick test_random_multi_deterministic;
+    Alcotest.test_case "exhaustive double links" `Quick test_double_links;
+    Alcotest.test_case "random node scenarios" `Quick test_random_nodes;
+    Alcotest.test_case "affected pairs (fig 1)" `Quick test_affected_pairs_fig1;
+    Alcotest.test_case "connected-affected subset" `Quick test_connected_affected_subset;
+  ]

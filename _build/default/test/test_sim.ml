@@ -1,0 +1,277 @@
+module Graph = Pr_graph.Graph
+module Event = Pr_sim.Event
+module Netstate = Pr_sim.Netstate
+module Workload = Pr_sim.Workload
+module Flap = Pr_sim.Flap
+module Engine = Pr_sim.Engine
+module Metrics = Pr_sim.Metrics
+
+let test_event_queue_order () =
+  let q = Event.create () in
+  Event.schedule q ~time:3.0 "c";
+  Event.schedule q ~time:1.0 "a";
+  Event.schedule q ~time:2.0 "b";
+  Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (Event.peek_time q);
+  Alcotest.(check (option (pair (float 0.0) string))) "a" (Some (1.0, "a")) (Event.next q);
+  Alcotest.(check (option (pair (float 0.0) string))) "b" (Some (2.0, "b")) (Event.next q);
+  Alcotest.(check (option (pair (float 0.0) string))) "c" (Some (3.0, "c")) (Event.next q);
+  Alcotest.(check bool) "empty" true (Event.is_empty q)
+
+let test_event_time_validation () =
+  let q = Event.create () in
+  (match Event.schedule q ~time:(-1.0) "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative time accepted");
+  match Event.schedule q ~time:Float.nan "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan time accepted"
+
+let test_netstate () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let net = Netstate.create g in
+  Alcotest.(check bool) "starts up" true (Netstate.all_up net);
+  Alcotest.(check bool) "transition" true (Netstate.set_link net 0 1 ~up:false);
+  Alcotest.(check bool) "redundant transition" false (Netstate.set_link net 0 1 ~up:false);
+  Alcotest.(check bool) "down now" false (Netstate.is_up net 0 1);
+  Alcotest.(check (list (pair int int))) "down list" [ (0, 1) ] (Netstate.down_links net);
+  Alcotest.(check int) "failures view" 1 (Pr_core.Failure.count (Netstate.failures net));
+  Alcotest.(check bool) "back up" true (Netstate.set_link net 0 1 ~up:true);
+  Alcotest.(check int) "failures refreshed" 0 (Pr_core.Failure.count (Netstate.failures net))
+
+let test_poisson_flows () =
+  let g = Graph.unweighted ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let flows =
+    Workload.poisson_flows (Pr_util.Rng.create ~seed:4) g ~rate:10.0 ~horizon:50.0
+  in
+  Alcotest.(check bool) "some flows" true (List.length flows > 100);
+  let rec sorted_by_time = function
+    | (a : Workload.injection) :: (b :: _ as rest) ->
+        a.time <= b.time && sorted_by_time rest
+    | [ _ ] | [] -> true
+  in
+  let sorted = sorted_by_time flows in
+  Alcotest.(check bool) "time sorted" true sorted;
+  List.iter
+    (fun (f : Workload.injection) ->
+      Alcotest.(check bool) "src <> dst" true (f.src <> f.dst);
+      Alcotest.(check bool) "in horizon" true (f.time > 0.0 && f.time <= 50.0))
+    flows
+
+let test_failure_process () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let events =
+    Workload.failure_process (Pr_util.Rng.create ~seed:5) g ~mtbf:10.0 ~mttr:2.0
+      ~horizon:100.0
+  in
+  Alcotest.(check bool) "events generated" true (List.length events > 0);
+  (* Per link, events alternate down/up starting with down. *)
+  List.iter
+    (fun (e : Graph.edge) ->
+      let mine =
+        List.filter (fun (ev : Workload.link_event) ->
+            (ev.u, ev.v) = (e.u, e.v) || (ev.v, ev.u) = (e.u, e.v))
+          events
+      in
+      List.iteri
+        (fun i (ev : Workload.link_event) ->
+          Alcotest.(check bool) "alternating" true (ev.up = (i mod 2 = 1)))
+        mine)
+    (Array.to_list (Graph.edges g))
+
+let test_hold_down_suppresses_flaps () =
+  let rng = Pr_util.Rng.create ~seed:6 in
+  let flaps = Workload.flapping_link rng ~u:0 ~v:1 ~period:10.0 ~duty_down:0.3 ~flaps:8 in
+  Alcotest.(check int) "16 raw transitions" 16 (List.length flaps);
+  let damped = Flap.apply_hold_down flaps ~hold_down:8.0 in
+  (* Each up matures 3+8=11+ units after the down, i.e. after the next
+     down begins: all ups but the final one are cancelled. *)
+  Alcotest.(check int) "storm suppressed" 2 (List.length damped);
+  (match damped with
+  | [ first; second ] ->
+      Alcotest.(check bool) "down first" true (not first.Workload.up);
+      Alcotest.(check bool) "final up" true second.Workload.up
+  | _ -> Alcotest.fail "expected exactly two transitions");
+  let zero = Flap.apply_hold_down flaps ~hold_down:0.0 in
+  Alcotest.(check int) "zero hold-down is transparent" 16 (List.length zero)
+
+let test_hold_down_shifts_up () =
+  let events =
+    [
+      { Workload.time = 1.0; u = 0; v = 1; up = false };
+      { Workload.time = 2.0; u = 0; v = 1; up = true };
+    ]
+  in
+  match Flap.apply_hold_down events ~hold_down:3.0 with
+  | [ down; up ] ->
+      Alcotest.(check (float 1e-9)) "down unchanged" 1.0 down.Workload.time;
+      Alcotest.(check (float 1e-9)) "up delayed" 5.0 up.Workload.time
+  | _ -> Alcotest.fail "expected two transitions"
+
+let test_transitions_per_link () =
+  let events =
+    [
+      { Workload.time = 1.0; u = 0; v = 1; up = false };
+      { Workload.time = 2.0; u = 1; v = 0; up = true };
+      { Workload.time = 3.0; u = 2; v = 3; up = false };
+    ]
+  in
+  Alcotest.(check (list (pair (pair int int) int))) "counts"
+    [ ((0, 1), 2); ((2, 3), 1) ]
+    (Flap.transitions_per_link events)
+
+let abilene_engine scheme =
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let rng = Pr_util.Rng.create ~seed:9 in
+  let link_events =
+    Workload.failure_process (Pr_util.Rng.copy rng) topo.Pr_topo.Topology.graph
+      ~mtbf:100.0 ~mttr:10.0 ~horizon:50.0
+  in
+  let injections =
+    Workload.poisson_flows (Pr_util.Rng.copy rng) topo.Pr_topo.Topology.graph
+      ~rate:20.0 ~horizon:50.0
+  in
+  Engine.run { Engine.topology = topo; rotation; scheme } ~link_events ~injections
+
+let test_engine_pr_full_delivery () =
+  let outcome =
+    abilene_engine (Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator })
+  in
+  let m = outcome.Engine.metrics in
+  Alcotest.(check int) "no drops" 0 m.Metrics.dropped;
+  Alcotest.(check int) "no loops (planar embedding)" 0 m.Metrics.looped;
+  Alcotest.(check (float 1e-9)) "full delivery of deliverable" 1.0
+    (Metrics.delivery_ratio m);
+  Alcotest.(check int) "no SPF at failure time" 0 outcome.Engine.spf_runs
+
+let test_engine_reconvergence_drops () =
+  let outcome = abilene_engine (Engine.Reconvergence_scheme { convergence_delay = 5.0 }) in
+  let m = outcome.Engine.metrics in
+  Alcotest.(check bool) "packets were injected" true (m.Metrics.injected > 0);
+  Alcotest.(check bool) "convergence ran" true (outcome.Engine.spf_runs >= 1)
+
+let test_engine_accounting_consistent () =
+  List.iter
+    (fun scheme ->
+      let m = (abilene_engine scheme).Engine.metrics in
+      Alcotest.(check int) "injected = sum of outcomes" m.Metrics.injected
+        (m.Metrics.delivered + m.Metrics.dropped + m.Metrics.looped
+        + m.Metrics.unreachable))
+    [
+      Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator };
+      Engine.Lfa_scheme;
+      Engine.Reconvergence_scheme { convergence_delay = 1.0 };
+    ]
+
+let test_engine_jittered_reconvergence () =
+  let outcome =
+    abilene_engine
+      (Engine.Reconvergence_jittered { min_delay = 0.5; max_delay = 4.0; seed = 3 })
+  in
+  let m = outcome.Engine.metrics in
+  Alcotest.(check int) "accounting holds" m.Metrics.injected
+    (m.Metrics.delivered + m.Metrics.dropped + m.Metrics.looped + m.Metrics.unreachable);
+  Alcotest.(check bool) "convergence runs happened" true (outcome.Engine.spf_runs >= 1)
+
+let test_jittered_no_worse_than_frozen_without_failures () =
+  (* With no link events the jittered model must deliver everything. *)
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let injections =
+    Workload.poisson_flows (Pr_util.Rng.create ~seed:2) topo.Pr_topo.Topology.graph
+      ~rate:20.0 ~horizon:20.0
+  in
+  let outcome =
+    Engine.run
+      {
+        Engine.topology = topo;
+        rotation;
+        scheme = Engine.Reconvergence_jittered { min_delay = 0.1; max_delay = 1.0; seed = 5 };
+      }
+      ~link_events:[] ~injections
+  in
+  Alcotest.(check (float 1e-9)) "all delivered" 1.0
+    (Metrics.delivery_ratio outcome.Engine.metrics)
+
+let timed_setup () =
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  (topo, Pr_sim.Timed.default_config topo rotation)
+
+let test_timed_no_failures () =
+  let topo, config = timed_setup () in
+  let injections =
+    Workload.poisson_flows (Pr_util.Rng.create ~seed:12) topo.Pr_topo.Topology.graph
+      ~rate:20.0 ~horizon:10.0
+  in
+  let outcome = Pr_sim.Timed.run config ~link_events:[] ~injections in
+  let m = outcome.Pr_sim.Timed.metrics in
+  Alcotest.(check int) "all delivered" m.Metrics.injected m.Metrics.delivered;
+  Alcotest.(check (float 1e-9)) "stretch 1 everywhere" 1.0 (Metrics.mean_stretch m)
+
+let test_timed_static_failure_matches_path_tracer () =
+  (* With a failure installed before any packet flies, the timed engine
+     must agree with Forward.run's delivery verdicts. *)
+  let topo, config = timed_setup () in
+  let g = topo.Pr_topo.Topology.graph in
+  let link_events = [ { Workload.time = 0.0; u = 3; v = 4; up = false } ] in
+  let injections =
+    List.init 30 (fun i ->
+        { Workload.time = 1.0 +. float_of_int i; src = i mod 11; dst = (i + 5) mod 11 })
+    |> List.filter (fun (inj : Workload.injection) -> inj.src <> inj.dst)
+  in
+  let outcome = Pr_sim.Timed.run config ~link_events ~injections in
+  let m = outcome.Pr_sim.Timed.metrics in
+  Alcotest.(check int) "everything delivered (planar, single failure)"
+    m.Metrics.injected m.Metrics.delivered;
+  ignore g
+
+let test_timed_accounting () =
+  let topo, config = timed_setup () in
+  let rng = Pr_util.Rng.create ~seed:13 in
+  let link_events =
+    Workload.failure_process (Pr_util.Rng.copy rng) topo.Pr_topo.Topology.graph
+      ~mtbf:30.0 ~mttr:5.0 ~horizon:40.0
+  in
+  let injections =
+    Workload.poisson_flows (Pr_util.Rng.copy rng) topo.Pr_topo.Topology.graph
+      ~rate:25.0 ~horizon:40.0
+  in
+  let m = (Pr_sim.Timed.run config ~link_events ~injections).Pr_sim.Timed.metrics in
+  Alcotest.(check int) "accounting" m.Metrics.injected
+    (m.Metrics.delivered + m.Metrics.dropped + m.Metrics.looped + m.Metrics.unreachable)
+
+let test_metrics_helpers () =
+  let m = Metrics.create () in
+  Metrics.record_delivery m ~stretch:2.0;
+  Metrics.record_delivery m ~stretch:1.0;
+  Metrics.record_drop m;
+  Metrics.record_unreachable m;
+  Alcotest.(check int) "injected" 4 m.Metrics.injected;
+  Alcotest.(check (float 1e-9)) "mean stretch" 1.5 (Metrics.mean_stretch m);
+  Alcotest.(check (float 1e-9)) "worst stretch" 2.0 m.Metrics.worst_stretch;
+  Alcotest.(check (float 1e-9)) "delivery over deliverable" (2.0 /. 3.0)
+    (Metrics.delivery_ratio m)
+
+let suite =
+  [
+    Alcotest.test_case "event queue order" `Quick test_event_queue_order;
+    Alcotest.test_case "event time validation" `Quick test_event_time_validation;
+    Alcotest.test_case "netstate" `Quick test_netstate;
+    Alcotest.test_case "poisson flows" `Quick test_poisson_flows;
+    Alcotest.test_case "failure process" `Quick test_failure_process;
+    Alcotest.test_case "hold-down suppresses flaps" `Quick test_hold_down_suppresses_flaps;
+    Alcotest.test_case "hold-down shifts up" `Quick test_hold_down_shifts_up;
+    Alcotest.test_case "transitions per link" `Quick test_transitions_per_link;
+    Alcotest.test_case "engine: PR delivers all" `Quick test_engine_pr_full_delivery;
+    Alcotest.test_case "engine: reconvergence" `Quick test_engine_reconvergence_drops;
+    Alcotest.test_case "engine: accounting" `Quick test_engine_accounting_consistent;
+    Alcotest.test_case "engine: jittered reconvergence" `Quick
+      test_engine_jittered_reconvergence;
+    Alcotest.test_case "engine: jittered, no failures" `Quick
+      test_jittered_no_worse_than_frozen_without_failures;
+    Alcotest.test_case "timed: no failures" `Quick test_timed_no_failures;
+    Alcotest.test_case "timed: static failure" `Quick test_timed_static_failure_matches_path_tracer;
+    Alcotest.test_case "timed: accounting" `Quick test_timed_accounting;
+    Alcotest.test_case "metrics helpers" `Quick test_metrics_helpers;
+  ]

@@ -1,0 +1,93 @@
+module Ccdf = Pr_stats.Ccdf
+module Summary = Pr_stats.Summary
+
+let test_ccdf_eval () =
+  let c = Ccdf.of_samples [ 1.0; 2.0; 2.0; 4.0 ] in
+  Alcotest.(check int) "size" 4 (Ccdf.size c);
+  Alcotest.(check (float 1e-9)) "P(>0.5)" 1.0 (Ccdf.eval c 0.5);
+  Alcotest.(check (float 1e-9)) "P(>1)" 0.75 (Ccdf.eval c 1.0);
+  Alcotest.(check (float 1e-9)) "P(>2)" 0.25 (Ccdf.eval c 2.0);
+  Alcotest.(check (float 1e-9)) "P(>4)" 0.0 (Ccdf.eval c 4.0);
+  Alcotest.(check (float 1e-9)) "P(>3)" 0.25 (Ccdf.eval c 3.0)
+
+let test_ccdf_infinite () =
+  let c = Ccdf.of_samples [ 1.0; infinity ] in
+  Alcotest.(check (float 1e-9)) "infinite mass" 0.5 (Ccdf.infinite_fraction c);
+  Alcotest.(check (float 1e-9)) "P(>1000)" 0.5 (Ccdf.eval c 1000.0);
+  Alcotest.(check (option (float 1e-9))) "max finite" (Some 1.0) (Ccdf.max_finite c);
+  Alcotest.(check (option (float 1e-9))) "mean finite" (Some 1.0) (Ccdf.mean_finite c)
+
+let test_ccdf_quantile () =
+  let c = Ccdf.of_samples [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Ccdf.quantile c 0.5);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Ccdf.quantile c 1.0);
+  Alcotest.(check (float 1e-9)) "min-ish" 1.0 (Ccdf.quantile c 0.0)
+
+let test_ccdf_series () =
+  let c = Ccdf.of_samples [ 1.0; 3.0 ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "series"
+    [ (0.0, 1.0); (2.0, 0.5); (4.0, 0.0) ]
+    (Ccdf.series c ~xs:[ 0.0; 2.0; 4.0 ])
+
+let test_ccdf_rejects () =
+  (match Ccdf.of_samples [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  match Ccdf.of_samples [ Float.nan ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan accepted"
+
+let test_summary () =
+  let s = Summary.of_samples [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Summary.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Summary.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Summary.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Summary.max;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 1.25) s.Summary.stddev
+
+let test_summary_rejects () =
+  (match Summary.of_samples [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  match Summary.of_samples [ infinity ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "infinity accepted"
+
+let qcheck_ccdf_matches_counting =
+  QCheck.Test.make ~name:"ccdf eval equals direct counting" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 40) (float_range 0.0 10.0)) (float_range 0.0 10.0))
+    (fun (samples, x) ->
+      samples = []
+      ||
+      let c = Ccdf.of_samples samples in
+      let direct =
+        float_of_int (List.length (List.filter (fun s -> s > x) samples))
+        /. float_of_int (List.length samples)
+      in
+      Float.abs (Ccdf.eval c x -. direct) < 1e-9)
+
+let qcheck_ccdf_monotone =
+  QCheck.Test.make ~name:"ccdf is non-increasing" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (float_range 0.0 10.0))
+    (fun samples ->
+      let c = Ccdf.of_samples samples in
+      let xs = List.init 20 (fun i -> float_of_int i *. 0.5) in
+      let values = List.map (Ccdf.eval c) xs in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      non_increasing values)
+
+let suite =
+  [
+    Alcotest.test_case "ccdf eval" `Quick test_ccdf_eval;
+    Alcotest.test_case "ccdf infinite mass" `Quick test_ccdf_infinite;
+    Alcotest.test_case "ccdf quantile" `Quick test_ccdf_quantile;
+    Alcotest.test_case "ccdf series" `Quick test_ccdf_series;
+    Alcotest.test_case "ccdf rejects bad input" `Quick test_ccdf_rejects;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "summary rejects bad input" `Quick test_summary_rejects;
+    QCheck_alcotest.to_alcotest qcheck_ccdf_matches_counting;
+    QCheck_alcotest.to_alcotest qcheck_ccdf_monotone;
+  ]

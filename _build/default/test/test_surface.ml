@@ -1,0 +1,72 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Faces = Pr_embed.Faces
+module Surface = Pr_embed.Surface
+
+let test_cycle_genus_zero () =
+  let g = Graph.unweighted ~n:5 (List.init 5 (fun i -> (i, (i + 1) mod 5))) in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  Alcotest.(check int) "chi = 2" 2 (Surface.euler_characteristic faces);
+  Alcotest.(check int) "genus 0" 0 (Surface.genus faces);
+  Alcotest.(check bool) "planar" true (Surface.is_planar_embedding faces)
+
+let test_grid_geometric_genus_zero () =
+  let _, rot = Helpers.grid_with_rotation ~rows:4 ~cols:4 in
+  Alcotest.(check int) "grid planar" 0 (Surface.genus (Faces.compute rot))
+
+let test_k4_adjacency () =
+  (* K4's adjacency rotation: genus depends on the rotation but must be
+     0 or 1 (max genus bound is (6-4+1)/2 = 1). *)
+  let g = Graph.unweighted ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  let genus = Surface.genus (Faces.compute (Rotation.adjacency g)) in
+  Alcotest.(check bool) "within bound" true (genus >= 0 && genus <= Surface.max_genus_bound g);
+  Alcotest.(check int) "bound value" 1 (Surface.max_genus_bound g)
+
+let test_k4_planar_rotation () =
+  (* An explicitly planar rotation of K4 (outer triangle 1,2,3 around 0). *)
+  let g = Graph.unweighted ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  let rot =
+    Rotation.of_orders g
+      [| [ 1; 2; 3 ]; [ 0; 3; 2 ]; [ 0; 1; 3 ]; [ 0; 2; 1 ] |]
+  in
+  Alcotest.(check int) "K4 on the sphere" 0 (Surface.genus (Faces.compute rot))
+
+let test_disconnected_rejected () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (2, 3) ] in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  match Surface.genus faces with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disconnected genus should be rejected"
+
+let test_describe () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  let s = Surface.describe (Faces.compute (Rotation.adjacency g)) in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0)
+
+let qcheck_genus_in_range =
+  QCheck.Test.make ~name:"genus of any rotation lies in [0, cycle-rank/2]"
+    ~count:120
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      let genus = Surface.genus (Faces.compute rot) in
+      genus >= 0 && genus <= Surface.max_genus_bound g)
+
+let qcheck_euler_parity =
+  QCheck.Test.make ~name:"Euler characteristic is even" ~count:120
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      (Surface.euler_characteristic (Faces.compute rot)) mod 2 = 0)
+
+let suite =
+  [
+    Alcotest.test_case "cycle genus 0" `Quick test_cycle_genus_zero;
+    Alcotest.test_case "grid geometric genus 0" `Quick test_grid_geometric_genus_zero;
+    Alcotest.test_case "K4 adjacency in bound" `Quick test_k4_adjacency;
+    Alcotest.test_case "K4 planar rotation" `Quick test_k4_planar_rotation;
+    Alcotest.test_case "disconnected rejected" `Quick test_disconnected_rejected;
+    Alcotest.test_case "describe" `Quick test_describe;
+    QCheck_alcotest.to_alcotest qcheck_genus_in_range;
+    QCheck_alcotest.to_alcotest qcheck_euler_parity;
+  ]

@@ -1,0 +1,49 @@
+module T = Pr_util.Tablefmt
+
+let test_render_shape () =
+  let out = T.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ] in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  Alcotest.(check bool) "rule is dashes" true
+    (String.for_all (fun c -> c = '-' || c = ' ') (List.nth lines 1))
+
+let test_alignment () =
+  let out = T.render ~header:[ "h"; "n" ] [ [ "x"; "5" ] ] in
+  (* Second column is right-aligned under default alignment. *)
+  Alcotest.(check bool) "right aligned" true
+    (String.length out > 0
+    &&
+    let lines = String.split_on_char '\n' out in
+    let row = List.nth lines 2 in
+    String.length row >= 4)
+
+let test_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Tablefmt.render: ragged row")
+    (fun () -> ignore (T.render ~header:[ "a"; "b" ] [ [ "only-one" ] ]))
+
+let test_align_mismatch () =
+  Alcotest.check_raises "align mismatch"
+    (Invalid_argument "Tablefmt.render: align length mismatch") (fun () ->
+      ignore (T.render ~align:[ T.Left ] ~header:[ "a"; "b" ] [ [ "1"; "2" ] ]))
+
+let test_float_cell () =
+  Alcotest.(check string) "default decimals" "1.500" (T.float_cell 1.5);
+  Alcotest.(check string) "custom decimals" "1.50" (T.float_cell ~decimals:2 1.5)
+
+let test_wide_cells_fit () =
+  let out =
+    T.render ~header:[ "h" ] [ [ "a-very-long-cell-content" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "rule spans widest cell" true
+    (String.length (List.nth lines 1) >= String.length "a-very-long-cell-content")
+
+let suite =
+  [
+    Alcotest.test_case "render shape" `Quick test_render_shape;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+    Alcotest.test_case "align mismatch rejected" `Quick test_align_mismatch;
+    Alcotest.test_case "float cell" `Quick test_float_cell;
+    Alcotest.test_case "wide cells" `Quick test_wide_cells_fit;
+  ]

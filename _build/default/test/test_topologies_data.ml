@@ -1,0 +1,71 @@
+(* Sanity of the three ISP maps the paper evaluates on (DESIGN.md §3). *)
+
+module Topology = Pr_topo.Topology
+module Graph = Pr_graph.Graph
+module Conn = Pr_graph.Connectivity
+
+let check_map ~name ~nodes ~links ~diameter topo () =
+  Alcotest.(check int) (name ^ " nodes") nodes (Topology.n topo);
+  Alcotest.(check int) (name ^ " links") links (Topology.m topo);
+  Alcotest.(check bool) (name ^ " connected") true (Conn.is_connected topo.Topology.graph);
+  Alcotest.(check bool)
+    (name ^ " 2-edge-connected (single-failure coverage)")
+    true
+    (Conn.is_two_edge_connected topo.Topology.graph);
+  Alcotest.(check int) (name ^ " diameter") diameter
+    (Pr_graph.Dijkstra.diameter_hops topo.Topology.graph);
+  (* Minimum degree 2: no single-homed PoP. *)
+  for v = 0 to Topology.n topo - 1 do
+    if Graph.degree topo.Topology.graph v < 2 then
+      Alcotest.failf "%s: PoP %s is single-homed" name (Topology.label topo v)
+  done;
+  (* Distinct coordinates, needed by the geometric embedding. *)
+  let coords = List.init (Topology.n topo) (Topology.coord topo) in
+  Alcotest.(check int)
+    (name ^ " coords distinct")
+    (Topology.n topo)
+    (List.length (List.sort_uniq compare coords))
+
+let test_weighted_variants () =
+  List.iter
+    (fun topo ->
+      Graph.iter_edges
+        (fun _ (e : Graph.edge) ->
+          if e.w < 5.0 then (* NYC-Newark is a real ~14 km link *)
+            Alcotest.failf "%s: implausibly short link (%g km)" topo.Topology.name e.w;
+          if e.w > 15000.0 then
+            Alcotest.failf "%s: implausibly long link (%g km)" topo.Topology.name e.w)
+        topo.Topology.graph)
+    [ Pr_topo.Abilene.weighted (); Pr_topo.Teleglobe.weighted (); Pr_topo.Geant.weighted () ]
+
+let test_zoo_registry () =
+  let names = Pr_topo.Zoo.names () in
+  Alcotest.(check bool) "has abilene" true (List.mem "abilene" names);
+  Alcotest.(check bool) "has fig1" true (List.mem "fig1" names);
+  List.iter (fun n -> ignore (Pr_topo.Zoo.find n)) names;
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Pr_topo.Zoo.find "atlantis"))
+
+let test_paper_evaluation_order () =
+  match Pr_topo.Zoo.paper_evaluation () with
+  | [ a; t; g ] ->
+      Alcotest.(check string) "abilene first" "abilene" a.Topology.name;
+      Alcotest.(check string) "teleglobe second" "teleglobe" t.Topology.name;
+      Alcotest.(check string) "geant third" "geant" g.Topology.name
+  | _ -> Alcotest.fail "expected exactly three topologies"
+
+let suite =
+  [
+    Alcotest.test_case "abilene invariants" `Quick
+      (check_map ~name:"abilene" ~nodes:11 ~links:14 ~diameter:5
+         (Pr_topo.Abilene.topology ()));
+    Alcotest.test_case "teleglobe invariants" `Quick
+      (check_map ~name:"teleglobe" ~nodes:23 ~links:38 ~diameter:6
+         (Pr_topo.Teleglobe.topology ()));
+    Alcotest.test_case "geant invariants" `Quick
+      (check_map ~name:"geant" ~nodes:34 ~links:53 ~diameter:7
+         (Pr_topo.Geant.topology ()));
+    Alcotest.test_case "geographic weights plausible" `Quick test_weighted_variants;
+    Alcotest.test_case "zoo registry" `Quick test_zoo_registry;
+    Alcotest.test_case "paper evaluation order" `Quick test_paper_evaluation_order;
+  ]

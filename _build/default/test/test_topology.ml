@@ -1,0 +1,86 @@
+module Topology = Pr_topo.Topology
+module Graph = Pr_graph.Graph
+
+let sample () =
+  Topology.make ~name:"t"
+    ~labels:[| "x"; "y"; "z" |]
+    ~coords:[| (0.0, 0.0); (1.0, 0.0); (0.0, 1.0) |]
+    [ (0, 1, 2.0); (1, 2, 3.0) ]
+
+let test_basic () =
+  let t = sample () in
+  Alcotest.(check int) "nodes" 3 (Topology.n t);
+  Alcotest.(check int) "links" 2 (Topology.m t);
+  Alcotest.(check string) "label" "y" (Topology.label t 1);
+  Alcotest.(check int) "node_id" 2 (Topology.node_id t "z");
+  Alcotest.check_raises "unknown label" Not_found (fun () ->
+      ignore (Topology.node_id t "nope"))
+
+let test_duplicate_labels_rejected () =
+  match
+    Topology.make ~name:"bad" ~labels:[| "a"; "a" |] [ (0, 1, 1.0) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_coords_length_checked () =
+  match
+    Topology.make ~name:"bad" ~labels:[| "a"; "b" |] ~coords:[| (0.0, 0.0) |]
+      [ (0, 1, 1.0) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_unit_weights () =
+  let t = Topology.with_unit_weights (sample ()) in
+  Graph.iter_edges
+    (fun _ (e : Graph.edge) -> Alcotest.(check (float 0.0)) "unit" 1.0 e.w)
+    t.Topology.graph
+
+let test_geographic_weights () =
+  (* New York to London is about 5570 km. *)
+  let t =
+    Topology.make ~name:"atlantic"
+      ~labels:[| "NYC"; "LON" |]
+      ~coords:[| (-74.01, 40.71); (-0.13, 51.51) |]
+      [ (0, 1, 1.0) ]
+  in
+  let w = Graph.weight (Topology.with_geographic_weights t).Topology.graph 0 1 in
+  Alcotest.(check bool) "great circle plausible" true (w > 5400.0 && w < 5750.0)
+
+let test_default_coords () =
+  let t = Topology.make ~name:"circle" ~labels:[| "a"; "b"; "c" |] [ (0, 1, 1.0) ] in
+  let distinct =
+    [ 0; 1; 2 ]
+    |> List.map (Topology.coord t)
+    |> List.sort_uniq compare
+    |> List.length
+  in
+  Alcotest.(check int) "unit-circle coords distinct" 3 distinct
+
+let test_of_graph () =
+  let g = Graph.unweighted ~n:3 [ (0, 1) ] in
+  let t = Topology.of_graph ~name:"g" g in
+  Alcotest.(check string) "numeric labels" "2" (Topology.label t 2)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_summary () =
+  let s = Topology.summary (sample ()) in
+  Alcotest.(check bool) "mentions node count" true (contains s "n=3");
+  Alcotest.(check bool) "mentions link count" true (contains s "m=2")
+
+let suite =
+  [
+    Alcotest.test_case "basic accessors" `Quick test_basic;
+    Alcotest.test_case "duplicate labels rejected" `Quick test_duplicate_labels_rejected;
+    Alcotest.test_case "coords length checked" `Quick test_coords_length_checked;
+    Alcotest.test_case "unit weights" `Quick test_unit_weights;
+    Alcotest.test_case "geographic weights" `Quick test_geographic_weights;
+    Alcotest.test_case "default coords" `Quick test_default_coords;
+    Alcotest.test_case "of_graph" `Quick test_of_graph;
+    Alcotest.test_case "summary" `Quick test_summary;
+  ]

@@ -1,0 +1,54 @@
+module Graph = Pr_graph.Graph
+module Traversal = Pr_graph.Traversal
+
+let test_bfs_hops () =
+  let g = Graph.unweighted ~n:5 [ (0, 1); (1, 2); (2, 3); (0, 4) ] in
+  let hops = Traversal.bfs_hops g ~source:0 in
+  Alcotest.(check (array int)) "hop counts" [| 0; 1; 2; 3; 1 |] hops
+
+let test_bfs_unreachable () =
+  let g = Graph.unweighted ~n:3 [ (0, 1) ] in
+  let hops = Traversal.bfs_hops g ~source:0 in
+  Alcotest.(check int) "isolated is max_int" max_int hops.(2)
+
+let test_bfs_order () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (0, 2); (1, 3) ] in
+  Alcotest.(check (list int)) "level order" [ 0; 1; 2; 3 ] (Traversal.bfs_order g ~source:0)
+
+let test_bfs_blocked () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  let blocked i = i = Graph.edge_index g 0 1 in
+  let hops = Traversal.bfs_hops ~blocked g ~source:0 in
+  Alcotest.(check int) "reaches 1 the long way" 2 hops.(1)
+
+let test_dfs_preorder () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (0, 3) ] in
+  Alcotest.(check (list int)) "preorder" [ 0; 1; 2; 3 ] (Traversal.dfs_preorder g ~source:0)
+
+let test_reachable_set () =
+  let g = Graph.unweighted ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  let set = Traversal.reachable_set g ~source:0 in
+  Alcotest.(check (list int)) "component of 0" [ 0; 1; 2 ] (Pr_util.Bitset.to_list set)
+
+let qcheck_bfs_equals_unit_dijkstra =
+  QCheck.Test.make ~name:"BFS hops equal unit-weight Dijkstra" ~count:80
+    (Helpers.arb_two_connected ())
+    (fun g ->
+      let hops = Traversal.bfs_hops g ~source:0 in
+      let tree = Pr_graph.Dijkstra.tree g ~root:0 in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        if hops.(v) <> int_of_float (Pr_graph.Dijkstra.distance tree v) then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "bfs hops" `Quick test_bfs_hops;
+    Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "bfs order" `Quick test_bfs_order;
+    Alcotest.test_case "bfs with blocked edge" `Quick test_bfs_blocked;
+    Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+    Alcotest.test_case "reachable set" `Quick test_reachable_set;
+    QCheck_alcotest.to_alcotest qcheck_bfs_equals_unit_dijkstra;
+  ]

@@ -1,0 +1,56 @@
+module Uf = Pr_util.Union_find
+
+let test_singletons () =
+  let uf = Uf.create 5 in
+  Alcotest.(check int) "5 sets" 5 (Uf.count uf);
+  for i = 0 to 4 do
+    Alcotest.(check int) "own root" i (Uf.find uf i)
+  done
+
+let test_union () =
+  let uf = Uf.create 4 in
+  Alcotest.(check bool) "union works" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "redundant union" false (Uf.union uf 1 0);
+  Alcotest.(check bool) "same" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Uf.same uf 0 2);
+  Alcotest.(check int) "3 sets" 3 (Uf.count uf)
+
+let test_transitivity () =
+  let uf = Uf.create 6 in
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 2 3);
+  ignore (Uf.union uf 1 2);
+  Alcotest.(check bool) "0~3" true (Uf.same uf 0 3);
+  Alcotest.(check int) "3 sets remain" 3 (Uf.count uf)
+
+let qcheck_matches_model =
+  (* Compare against a naive model that relabels on every union. *)
+  QCheck.Test.make ~name:"union-find matches naive model" ~count:100
+    QCheck.(list (pair (int_bound 14) (int_bound 14)))
+    (fun unions ->
+      let n = 15 in
+      let uf = Uf.create n in
+      let model = Array.init n Fun.id in
+      List.iter
+        (fun (a, b) ->
+          ignore (Uf.union uf a b);
+          let la = model.(a) and lb = model.(b) in
+          if la <> lb then
+            Array.iteri (fun i l -> if l = lb then model.(i) <- la) model)
+        unions;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Uf.same uf i j <> (model.(i) = model.(j)) then ok := false
+        done
+      done;
+      let classes = Array.to_list model |> List.sort_uniq compare |> List.length in
+      !ok && classes = Uf.count uf)
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "transitivity" `Quick test_transitivity;
+    QCheck_alcotest.to_alcotest qcheck_matches_model;
+  ]

@@ -1,0 +1,58 @@
+module Graph = Pr_graph.Graph
+module Rotation = Pr_embed.Rotation
+module Faces = Pr_embed.Faces
+module Validate = Pr_embed.Validate
+
+let test_valid_embedding () =
+  let g = Graph.unweighted ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  Alcotest.(check bool) "valid" true (Validate.is_valid faces);
+  Alcotest.(check (list (pair int int))) "no curved edges" [] (Validate.curved_edges faces);
+  Alcotest.(check bool) "pr safe" true (Validate.is_pr_safe faces)
+
+let test_bridge_is_curved () =
+  (* A bridge always has both arcs on the same face. *)
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let faces = Faces.compute (Rotation.adjacency g) in
+  Alcotest.(check (list (pair int int))) "bridges are curved"
+    [ (0, 1); (1, 2) ]
+    (Validate.curved_edges faces);
+  Alcotest.(check bool) "not pr safe" false (Validate.is_pr_safe faces);
+  Alcotest.(check bool) "but still a valid embedding" true (Validate.is_valid faces)
+
+let test_teleglobe_geometric_has_curved_edges () =
+  (* Regression for the NWK-PAR forwarding loop: the geographic drawing of
+     Teleglobe has links whose two sides fall on one face. *)
+  let topo = Pr_topo.Teleglobe.topology () in
+  let faces = Faces.compute (Pr_embed.Geometric.of_topology topo) in
+  Alcotest.(check bool) "curved edges present" true
+    (Validate.curved_edges faces <> []);
+  let nwk = Pr_topo.Topology.node_id topo "NWK"
+  and par = Pr_topo.Topology.node_id topo "PAR" in
+  let canon = if nwk < par then (nwk, par) else (par, nwk) in
+  Alcotest.(check bool) "NWK-PAR is one of them" true
+    (List.mem canon (Validate.curved_edges faces))
+
+let test_pp_problem () =
+  let render p = Format.asprintf "%a" Validate.pp_problem p in
+  Alcotest.(check bool) "arc not covered" true
+    (String.length (render (Validate.Arc_not_covered 3)) > 0);
+  Alcotest.(check bool) "mismatch" true
+    (String.length (render (Validate.Boundary_sum_mismatch (3, 4))) > 0)
+
+let qcheck_random_rotations_always_valid =
+  QCheck.Test.make ~name:"every rotation system is a valid embedding" ~count:150
+    QCheck.(pair (int_bound 1_000_000) (Helpers.arb_two_connected ()))
+    (fun (seed, g) ->
+      let rot = Rotation.random (Pr_util.Rng.create ~seed) g in
+      Validate.is_valid (Faces.compute rot))
+
+let suite =
+  [
+    Alcotest.test_case "valid embedding" `Quick test_valid_embedding;
+    Alcotest.test_case "bridges are curved" `Quick test_bridge_is_curved;
+    Alcotest.test_case "teleglobe geometric curved edges" `Quick
+      test_teleglobe_geometric_has_curved_edges;
+    Alcotest.test_case "problem printing" `Quick test_pp_problem;
+    QCheck_alcotest.to_alcotest qcheck_random_rotations_always_valid;
+  ]
