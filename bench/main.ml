@@ -91,7 +91,7 @@ let run_sim () =
   List.iter
     (fun scheme ->
       let outcome =
-        Pr_sim.Engine.run { Pr_sim.Engine.topology = topo; rotation; scheme }
+        Pr_sim.Engine.run_exn { Pr_sim.Engine.topology = topo; rotation; scheme }
           ~link_events ~injections
       in
       Format.printf "%-14s %a, SPF runs: %d@."

@@ -359,6 +359,135 @@ let hunt_cmd =
        ~doc:"Search for a minimal counterexample to PR's delivery guarantee              (random rotations; planar embeddings yield none).")
     Term.(const hunt $ seed_arg $ attempts)
 
+(* ---- chaos ---- *)
+
+let parse_comma_list parse what spec =
+  List.map
+    (fun w ->
+      match parse (String.trim w) with
+      | Ok v -> v
+      | Error msg ->
+          Printf.eprintf "bad %s %S: %s\n" what w msg;
+          exit 2)
+    (String.split_on_char ',' spec)
+
+let parse_scheme = function
+  | "pr" | "pr-dd" ->
+      Ok (Pr_sim.Engine.Pr_scheme
+            { termination = Pr_core.Forward.Distance_discriminator })
+  | "pr-simple" ->
+      Ok (Pr_sim.Engine.Pr_scheme { termination = Pr_core.Forward.Simple })
+  | "lfa" -> Ok Pr_sim.Engine.Lfa_scheme
+  | "reconv" | "reconvergence" ->
+      Ok (Pr_sim.Engine.Reconvergence_scheme { convergence_delay = 5.0 })
+  | "reconv-jitter" ->
+      Ok (Pr_sim.Engine.Reconvergence_jittered
+            { min_delay = 0.5; max_delay = 5.0; seed = 1 })
+  | s -> Error (Printf.sprintf "unknown scheme %S (pr, pr-simple, lfa, reconv, reconv-jitter)" s)
+
+let chaos name embedding seed horizon rate mix_spec hold_down schemes_spec
+    no_shrink out replay =
+  match replay with
+  | Some path -> (
+      match Pr_chaos.Scenario.load path with
+      | Error msg ->
+          Printf.eprintf "cannot replay %s: %s\n" path msg;
+          exit 2
+      | Ok scenario -> (
+          Printf.printf "replaying %s: %d link events, %d injection(s), scheme %s\n"
+            scenario.Pr_chaos.Scenario.name
+            (List.length scenario.Pr_chaos.Scenario.link_events)
+            (List.length scenario.Pr_chaos.Scenario.injections)
+            (Pr_sim.Engine.scheme_name scenario.Pr_chaos.Scenario.scheme);
+          match Pr_chaos.Scenario.check scenario with
+          | Error msg ->
+              Printf.eprintf "replay failed: %s\n" msg;
+              exit 1
+          | Ok (monitor, outcome) ->
+              Format.printf "%a@." Pr_sim.Metrics.pp
+                outcome.Pr_sim.Engine.metrics;
+              print_string (Pr_chaos.Monitor.report monitor)))
+  | None ->
+      let topo = load_topology name in
+      let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+      let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+      let mix = parse_comma_list Pr_chaos.Gen.of_name "generator" mix_spec in
+      let schemes = parse_comma_list parse_scheme "scheme" schemes_spec in
+      let campaign =
+        {
+          (Pr_chaos.Campaign.default_config topo rotation ~seed) with
+          horizon;
+          rate;
+          mix;
+          hold_down;
+          schemes;
+          shrink = not no_shrink;
+        }
+      in
+      (match Pr_chaos.Campaign.run campaign with
+      | Error msg ->
+          Printf.eprintf "chaos campaign failed: %s\n" msg;
+          exit 2
+      | Ok result ->
+          print_string (Pr_chaos.Campaign.report campaign result);
+          List.iter
+            (fun (r : Pr_chaos.Campaign.scheme_result) ->
+              match (r.shrunk, out) with
+              | Some s, Some dir ->
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  let path =
+                    Filename.concat dir (s.Pr_chaos.Scenario.name ^ ".chaos")
+                  in
+                  Pr_chaos.Scenario.save path s;
+                  Printf.printf "wrote %s (replay with: prcli chaos --replay %s)\n"
+                    path path
+              | Some s, None ->
+                  print_newline ();
+                  print_endline "# shrunk scenario (save and replay with prcli chaos --replay):";
+                  print_string (Pr_chaos.Scenario.to_string s)
+              | None, _ -> ())
+            result.Pr_chaos.Campaign.results)
+
+let chaos_cmd =
+  let horizon =
+    Arg.(value & opt float 60.0 & info [ "horizon" ] ~docv:"TIME"
+           ~doc:"Campaign duration in simulated time units.")
+  in
+  let rate =
+    Arg.(value & opt float 20.0 & info [ "rate" ] ~docv:"PKTS"
+           ~doc:"Packet injections per time unit.")
+  in
+  let mix =
+    Arg.(value & opt string "srlg,regional,crash,cascade,flap"
+         & info [ "mix" ] ~docv:"KINDS"
+             ~doc:"Comma-separated fault generators: $(b,srlg), $(b,regional), $(b,crash), $(b,cascade), $(b,flap).")
+  in
+  let hold_down =
+    Arg.(value & opt float 0.0 & info [ "hold-down" ] ~docv:"TIME"
+           ~doc:"Hold-down damping applied to up-transitions (0 disables).")
+  in
+  let schemes =
+    Arg.(value & opt string "pr,lfa,reconv" & info [ "schemes" ] ~docv:"LIST"
+           ~doc:"Comma-separated schemes: $(b,pr), $(b,pr-simple), $(b,lfa), $(b,reconv), $(b,reconv-jitter).")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ]
+           ~doc:"Skip minimising violating scenarios.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write shrunk scenarios as replayable .chaos files.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay a saved scenario instead of running a campaign.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Chaos campaign: correlated fault injection with online invariant              monitors; violations are shrunk to replayable scenarios.")
+    Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
+          $ mix $ hold_down $ schemes $ no_shrink $ out $ replay)
+
 (* ---- overhead / ablation / coverage ---- *)
 
 let overhead () =
@@ -405,7 +534,7 @@ let main_cmd =
        ~doc:"Packet Re-cycling (HotNets 2010) reproduction toolkit.")
     [
       topo_cmd; embed_cmd; table_cmd; trace_cmd; fig2_cmd; figures_cmd; hunt_cmd;
-      overhead_cmd; ablation_cmd; coverage_cmd;
+      overhead_cmd; ablation_cmd; coverage_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -35,7 +35,7 @@ let () =
 
   let run scheme =
     let outcome =
-      Pr_sim.Engine.run
+      Pr_sim.Engine.run_exn
         { Pr_sim.Engine.topology = topo; rotation; scheme }
         ~link_events:flaps ~injections
     in

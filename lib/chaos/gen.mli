@@ -1,0 +1,113 @@
+(** Correlated fault generators for chaos campaigns.
+
+    {!Pr_sim.Workload.failure_process} fails links independently; real
+    outages are correlated — links share conduits (SRLGs), regions lose
+    power, routers crash taking every interface with them, overload
+    cascades along the topology, and misbehaving interfaces flap in
+    storms.  Fast-failover schemes that survive independent failures break
+    under exactly this structure (Foerster et al., "On the Price of
+    Locality in Static Fast Rerouting"; Bankhamer et al., "Local Fast
+    Rerouting with Low Congestion"), so these are the workloads a
+    robustness claim has to face.
+
+    Every generator is deterministic in the supplied {!Pr_util.Rng.t} and
+    emits a raw, possibly overlapping event stream; {!normalise} merges
+    streams into the sorted, per-link-alternating form the simulators and
+    {!Pr_sim.Flap} require. *)
+
+type kind =
+  | Srlg        (** shared-risk link groups fail and repair together *)
+  | Regional    (** geographic outages from the topology's coordinates *)
+  | Node_crash  (** router crash-and-recover: every incident link at once
+                    ({!Pr_core.Failure.of_nodes} lifted to timed events) *)
+  | Cascade     (** a seed failure spreads along adjacent links *)
+  | Flap_storm  (** a handful of links oscillating rapidly (paper §7) *)
+
+val all : kind list
+(** In declaration order. *)
+
+val name : kind -> string
+
+val of_name : string -> (kind, string) result
+
+val normalise :
+  Pr_sim.Workload.link_event list -> Pr_sim.Workload.link_event list
+(** Stable-sorts by time and drops events that do not change their link's
+    state (initially up).  The result satisfies
+    [Flap.validate_events ~require_alternation:true]. *)
+
+val srlg :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?groups:int ->
+  ?mtbf:float ->
+  ?mttr:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** Partitions the links uniformly into [groups] (default 3) shared-risk
+    groups; each group follows an alternating renewal process (means
+    [mtbf], [mttr]) and fails as a unit, with per-link staggered repair. *)
+
+val regional :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?outages:int ->
+  ?radius:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** [outages] (default 2) events, each centred on a random node: every
+    link with an endpoint within [radius] (default 0.35, as a fraction of
+    the coordinate bounding-box diagonal) of the centre goes down
+    together and repairs staggered. *)
+
+val node_crash :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?crashes:int ->
+  ?mttr:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** [crashes] (default 3) router crashes: all incident links fail at the
+    same instant and return together when the router reboots. *)
+
+val cascade :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?seeds:int ->
+  ?spread:float ->
+  ?hop_delay:float ->
+  ?mttr:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** [seeds] (default 1) initial failures, each spreading to links sharing
+    an endpoint with probability [spread] (default 0.5) after roughly
+    [hop_delay] (default 0.5) time units per hop; the whole cascade then
+    repairs staggered. *)
+
+val flap_storm :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?links:int ->
+  ?period:float ->
+  ?duty_down:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** [links] (default 2) distinct links flapping with the given [period]
+    (default 1.0) and duty cycle, at random start offsets.  Choose
+    [period] below a deployment's hold-down to test that damping respects
+    the storm (suppresses it), or above it to defeat the hold-down and
+    expose the §7 in-flight hazard. *)
+
+val generate :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  mix:kind list ->
+  Pr_sim.Workload.link_event list
+(** Runs every generator in [mix] (in order, sharing the generator state)
+    with its defaults and returns the merged, normalised stream. *)

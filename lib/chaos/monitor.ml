@@ -1,0 +1,193 @@
+module Graph = Pr_graph.Graph
+module Engine = Pr_sim.Engine
+module Timed = Pr_sim.Timed
+module Forward = Pr_core.Forward
+
+type violation = {
+  monitor : string;
+  time : float;
+  src : int;
+  dst : int;
+  detail : string;
+}
+
+let monitor_names = [ "delivery"; "loop"; "dd-width"; "hold-down" ]
+
+(* Per-packet cycle-following state for the timed hold-down monitor. *)
+type flight = { mutable seen_down : (int * int) list }
+
+type t = {
+  routing : Pr_core.Routing.t;
+  cycles : Pr_core.Cycle_table.t;
+  termination : Pr_core.Forward.termination;
+  max_recorded : int;
+  counts : (string, int) Hashtbl.t;
+  mutable recorded_rev : violation list;
+  mutable recorded_n : int;
+  flights : (int, flight) Hashtbl.t;
+}
+
+let create ?(max_recorded = 32) ~routing ~cycles ~termination () =
+  {
+    routing;
+    cycles;
+    termination;
+    max_recorded;
+    counts = Hashtbl.create 8;
+    recorded_rev = [];
+    recorded_n = 0;
+    flights = Hashtbl.create 64;
+  }
+
+let record t monitor ~time ~src ~dst detail =
+  Hashtbl.replace t.counts monitor
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts monitor));
+  if t.recorded_n < t.max_recorded then begin
+    t.recorded_rev <- { monitor; time; src; dst; detail } :: t.recorded_rev;
+    t.recorded_n <- t.recorded_n + 1
+  end
+
+let count t monitor = Option.value ~default:0 (Hashtbl.find_opt t.counts monitor)
+
+let total t = List.fold_left (fun acc m -> acc + count t m) 0 monitor_names
+
+let recorded t = List.rev t.recorded_rev
+
+let dd_bits t = Pr_core.Routing.dd_bits t.routing
+
+let check_dd_header t ~time ~src ~dst (header : Pr_core.Header.t) =
+  match Pr_core.Header.encode ~dd_bits:(dd_bits t) header with
+  | (_ : int) -> ()
+  | exception Invalid_argument _ ->
+      record t "dd-width" ~time ~src ~dst
+        (Printf.sprintf "header DD %d does not fit the %d DD bits this topology needs"
+           header.Pr_core.Header.dd (dd_bits t))
+
+let verdict_name = function
+  | Engine.Delivered _ -> "delivered"
+  | Engine.Dropped -> "dropped"
+  | Engine.Looped -> "looped"
+  | Engine.Unreachable -> "unreachable"
+
+let engine_observer t =
+  let on_link ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ = () in
+  let on_packet ~time ~src ~dst ~failures ~verdict ~trace =
+    let g = Pr_core.Routing.graph t.routing in
+    (* Independent connectivity check, frozen at injection time. *)
+    let connected =
+      Pr_graph.Connectivity.same_component
+        ~blocked:(Pr_core.Failure.is_failed_index failures)
+        g src dst
+    in
+    (match (connected, verdict) with
+    | true, (Engine.Dropped | Engine.Looped) ->
+        record t "delivery" ~time ~src ~dst
+          (Printf.sprintf "%s although still connected under %s"
+             (verdict_name verdict)
+             (Format.asprintf "%a" Pr_core.Failure.pp failures))
+    | true, Engine.Unreachable ->
+        record t "delivery" ~time ~src ~dst
+          "engine classified a connected pair as unreachable"
+    | false, Engine.Delivered _ ->
+        record t "delivery" ~time ~src ~dst
+          "delivered across a partition (connectivity check disagrees)"
+    | true, Engine.Delivered _ | false, (Engine.Dropped | Engine.Looped | Engine.Unreachable)
+      -> ());
+    match trace with
+    | None -> ()
+    | Some (tr : Forward.trace) ->
+        (* Exact loop freedom by state recurrence, not TTL. *)
+        (match
+           Pr_exp.Modelcheck.verdict ~termination:t.termination
+             ~routing:t.routing ~cycles:t.cycles ~failures ~src ~dst ()
+         with
+        | Pr_exp.Modelcheck.Loops hops ->
+            record t "loop" ~time ~src ~dst
+              (Printf.sprintf "state recurrence after %d hops" hops)
+        | Pr_exp.Modelcheck.Delivers _ ->
+            if tr.Forward.outcome <> Forward.Delivered then
+              record t "loop" ~time ~src ~dst
+                "model checker delivers but the engine did not"
+        | Pr_exp.Modelcheck.Drops ->
+            (match tr.Forward.outcome with
+            | Forward.Dropped_no_interface | Forward.Dropped_unreachable -> ()
+            | Forward.Delivered | Forward.Ttl_exceeded ->
+                record t "loop" ~time ~src ~dst
+                  "model checker drops but the engine did not"));
+        check_dd_header t ~time ~src ~dst tr.Forward.max_header
+  in
+  { Engine.on_link; on_packet }
+
+let canon u v = if u < v then (u, v) else (v, u)
+
+let timed_observer t =
+  let on_link ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ = () in
+  let on_hop ~net (hop : Timed.hop) =
+    (* DD width of every header actually written to the wire. *)
+    (match hop.Timed.sent with
+    | Some (_, (h : Forward.hop_header)) when h.Forward.pr_bit ->
+        check_dd_header t ~time:hop.Timed.time ~src:hop.Timed.src
+          ~dst:hop.Timed.dst
+          {
+            Pr_core.Header.pr = true;
+            dd = Pr_core.Routing.quantise_dd t.routing h.Forward.dd_value;
+          }
+    | Some _ | None -> ());
+    (* §7 hazard: while one cycle-following episode lasts, remember the
+       links this packet saw down and flag the moment it crosses one. *)
+    let cycle_following_in = hop.Timed.header.Forward.pr_bit in
+    let cycle_following_out =
+      match hop.Timed.sent with
+      | Some (_, h) -> h.Forward.pr_bit
+      | None -> false
+    in
+    let flight =
+      match Hashtbl.find_opt t.flights hop.Timed.id with
+      | Some f -> f
+      | None ->
+          let f = { seen_down = [] } in
+          Hashtbl.replace t.flights hop.Timed.id f;
+          f
+    in
+    if not cycle_following_in then flight.seen_down <- [];
+    (match hop.Timed.sent with
+    | Some (next, _) when cycle_following_in ->
+        let link = canon hop.Timed.node next in
+        if List.mem link flight.seen_down then
+          record t "hold-down" ~time:hop.Timed.time ~src:hop.Timed.src
+            ~dst:hop.Timed.dst
+            (Printf.sprintf
+               "packet crossed link %d-%d it saw down earlier in the same cycle-following episode"
+               (fst link) (snd link))
+    | Some _ | None -> ());
+    if cycle_following_in || cycle_following_out then begin
+      let g = Pr_sim.Netstate.graph net in
+      Array.iter
+        (fun w ->
+          if not (Pr_sim.Netstate.is_up net hop.Timed.node w) then begin
+            let link = canon hop.Timed.node w in
+            if not (List.mem link flight.seen_down) then
+              flight.seen_down <- link :: flight.seen_down
+          end)
+        (Graph.neighbours g hop.Timed.node)
+    end;
+    if hop.Timed.sent = None then Hashtbl.remove t.flights hop.Timed.id
+  in
+  { Timed.on_link; on_hop }
+
+let report t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "invariant violations: %d\n" (total t);
+  List.iter
+    (fun m -> Printf.bprintf buf "  %-10s %d\n" m (count t m))
+    monitor_names;
+  let shown = recorded t in
+  if shown <> [] then begin
+    Printf.bprintf buf "first %d in detail:\n" (List.length shown);
+    List.iter
+      (fun v ->
+        Printf.bprintf buf "  t=%-10g %-10s %d -> %d: %s\n" v.time v.monitor
+          v.src v.dst v.detail)
+      shown
+  end;
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Online invariant monitors for the simulation engines.
+
+    The paper's claims are stated as invariants — PR delivers whenever
+    source and destination stay connected, forwarding never loops, the DD
+    header fits its bit budget, and a hold-down keeps in-flight packets
+    from meeting a recovered link (§7).  A monitor attaches to
+    {!Pr_sim.Engine.run} or {!Pr_sim.Timed.run} through their observer
+    hooks and checks the invariants on the live run, independently of the
+    engine's own accounting:
+
+    - {b delivery}: a packet whose endpoints are connected at injection
+      time (re-checked through {!Pr_graph.Connectivity}) must not be
+      dropped or looped — and one whose endpoints are separated must not
+      be classified reachable.
+    - {b loop}: exact loop freedom, re-deciding each PR trace by
+      {!Pr_exp.Modelcheck}'s state-recurrence criterion (no TTL
+      approximation) and flagging any disagreement with the engine.
+    - {b dd-width}: every header the run produces must encode into the
+      topology's DD bit budget ({!Pr_core.Routing.dd_bits}).
+    - {b hold-down}: no packet crosses a link it saw down earlier in the
+      same cycle-following episode — the §7 hazard; only observable in
+      the timed engine, where link state changes mid-flight. *)
+
+type violation = {
+  monitor : string;  (** one of {!monitor_names} *)
+  time : float;
+  src : int;
+  dst : int;
+  detail : string;
+}
+
+val monitor_names : string list
+(** ["delivery"; "loop"; "dd-width"; "hold-down"]. *)
+
+type t
+
+val create :
+  ?max_recorded:int ->
+  routing:Pr_core.Routing.t ->
+  cycles:Pr_core.Cycle_table.t ->
+  termination:Pr_core.Forward.termination ->
+  unit ->
+  t
+(** Fresh monitor state.  [routing]/[cycles]/[termination] must match the
+    scheme under test (the loop monitor replays traces against them).
+    At most [max_recorded] (default 32) violations keep their details;
+    all are counted. *)
+
+val engine_observer : t -> Pr_sim.Engine.observer
+(** Checks delivery, loop and dd-width on every packet. *)
+
+val timed_observer : t -> Pr_sim.Timed.observer
+(** Checks dd-width on every hop and the §7 hold-down hazard. *)
+
+val count : t -> string -> int
+
+val total : t -> int
+
+val recorded : t -> violation list
+(** In detection order, capped at [max_recorded]. *)
+
+val report : t -> string
+(** Deterministic multi-line summary: per-monitor counts and the recorded
+    violations. *)

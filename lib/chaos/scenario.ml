@@ -1,0 +1,286 @@
+module Graph = Pr_graph.Graph
+module Engine = Pr_sim.Engine
+module Workload = Pr_sim.Workload
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  orders : int list array;
+  scheme : Engine.scheme;
+  hold_down : float;
+  link_events : Workload.link_event list;
+  injections : Workload.injection list;
+}
+
+let make ~name ~topology ~rotation ~scheme ~hold_down ~link_events ~injections =
+  {
+    name;
+    graph = topology.Pr_topo.Topology.graph;
+    orders = Pr_embed.Rotation.orders rotation;
+    scheme;
+    hold_down;
+    link_events;
+    injections;
+  }
+
+let rotation t = Pr_embed.Rotation.of_orders t.graph t.orders
+
+let termination t =
+  match t.scheme with
+  | Engine.Pr_scheme { termination } -> termination
+  | Engine.Lfa_scheme | Engine.Reconvergence_scheme _
+  | Engine.Reconvergence_jittered _ ->
+      Pr_core.Forward.Distance_discriminator
+
+(* %.17g round-trips every finite double exactly, keeping the text form
+   byte-stable across save/load/save. *)
+let fstr f = Printf.sprintf "%.17g" f
+
+let scheme_to_string = function
+  | Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator } ->
+      "pr-dd"
+  | Engine.Pr_scheme { termination = Pr_core.Forward.Simple } -> "pr-simple"
+  | Engine.Lfa_scheme -> "lfa"
+  | Engine.Reconvergence_scheme { convergence_delay } ->
+      Printf.sprintf "reconv %s" (fstr convergence_delay)
+  | Engine.Reconvergence_jittered { min_delay; max_delay; seed } ->
+      Printf.sprintf "reconv-jitter %s %s %d" (fstr min_delay) (fstr max_delay)
+        seed
+
+let scheme_of_words = function
+  | [ "pr-dd" ] ->
+      Ok (Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator })
+  | [ "pr-simple" ] -> Ok (Engine.Pr_scheme { termination = Pr_core.Forward.Simple })
+  | [ "lfa" ] -> Ok Engine.Lfa_scheme
+  | [ "reconv"; d ] -> (
+      match float_of_string_opt d with
+      | Some convergence_delay -> Ok (Engine.Reconvergence_scheme { convergence_delay })
+      | None -> Error "bad reconv delay")
+  | [ "reconv-jitter"; a; b; s ] -> (
+      match (float_of_string_opt a, float_of_string_opt b, int_of_string_opt s) with
+      | Some min_delay, Some max_delay, Some seed ->
+          Ok (Engine.Reconvergence_jittered { min_delay; max_delay; seed })
+      | _ -> Error "bad reconv-jitter parameters")
+  | words -> Error (Printf.sprintf "unknown scheme %S" (String.concat " " words))
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# pr-chaos scenario v1\n";
+  Printf.bprintf buf "name %s\n" t.name;
+  Printf.bprintf buf "scheme %s\n" (scheme_to_string t.scheme);
+  Printf.bprintf buf "hold-down %s\n" (fstr t.hold_down);
+  Printf.bprintf buf "nodes %d\n" (Graph.n t.graph);
+  Graph.iter_edges
+    (fun _ (e : Graph.edge) ->
+      Printf.bprintf buf "edge %d %d %s\n" e.u e.v (fstr e.w))
+    t.graph;
+  Array.iteri
+    (fun v order ->
+      Printf.bprintf buf "rotation %d: %s\n" v
+        (String.concat " " (List.map string_of_int order)))
+    t.orders;
+  List.iter
+    (fun (e : Workload.link_event) ->
+      Printf.bprintf buf "link %s %d %d %s\n" (fstr e.time) e.u e.v
+        (if e.up then "up" else "down"))
+    t.link_events;
+  List.iter
+    (fun (i : Workload.injection) ->
+      Printf.bprintf buf "inject %s %d %d\n" (fstr i.time) i.src i.dst)
+    t.injections;
+  Buffer.contents buf
+
+type partial = {
+  mutable p_name : string option;
+  mutable p_scheme : Engine.scheme option;
+  mutable p_hold : float option;
+  mutable p_nodes : int option;
+  mutable p_edges : (int * int * float) list;  (* reversed *)
+  mutable p_orders : (int * int list) list;    (* reversed *)
+  mutable p_links : Workload.link_event list;  (* reversed *)
+  mutable p_injects : Workload.injection list; (* reversed *)
+}
+
+let of_string text =
+  let p =
+    {
+      p_name = None;
+      p_scheme = None;
+      p_hold = None;
+      p_nodes = None;
+      p_edges = [];
+      p_orders = [];
+      p_links = [];
+      p_injects = [];
+    }
+  in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let words line =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok ()
+    else
+      match words line with
+      | "name" :: rest when rest <> [] ->
+          p.p_name <- Some (String.concat " " rest);
+          Ok ()
+      | "scheme" :: rest -> (
+          match scheme_of_words rest with
+          | Ok s ->
+              p.p_scheme <- Some s;
+              Ok ()
+          | Error e -> err lineno e)
+      | [ "hold-down"; h ] -> (
+          match float_of_string_opt h with
+          | Some h when Float.is_finite h && h >= 0.0 ->
+              p.p_hold <- Some h;
+              Ok ()
+          | _ -> err lineno "bad hold-down")
+      | [ "nodes"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 ->
+              p.p_nodes <- Some n;
+              Ok ()
+          | _ -> err lineno "bad node count")
+      | [ "edge"; u; v; w ] -> (
+          match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w) with
+          | Some u, Some v, Some w ->
+              p.p_edges <- (u, v, w) :: p.p_edges;
+              Ok ()
+          | _ -> err lineno "bad edge")
+      | "rotation" :: node :: rest -> (
+          let node = Filename.chop_suffix_opt ~suffix:":" node in
+          match Option.bind node int_of_string_opt with
+          | Some v -> (
+              match
+                List.fold_right
+                  (fun w acc ->
+                    Option.bind acc (fun ws ->
+                        Option.map (fun w -> w :: ws) (int_of_string_opt w)))
+                  rest (Some [])
+              with
+              | Some order ->
+                  p.p_orders <- (v, order) :: p.p_orders;
+                  Ok ()
+              | None -> err lineno "bad rotation order")
+          | None -> err lineno "bad rotation node")
+      | [ "link"; time; u; v; state ] -> (
+          match
+            ( float_of_string_opt time,
+              int_of_string_opt u,
+              int_of_string_opt v,
+              match state with
+              | "up" -> Some true
+              | "down" -> Some false
+              | _ -> None )
+          with
+          | Some time, Some u, Some v, Some up ->
+              p.p_links <- { Workload.time; u; v; up } :: p.p_links;
+              Ok ()
+          | _ -> err lineno "bad link event")
+      | [ "inject"; time; src; dst ] -> (
+          match
+            (float_of_string_opt time, int_of_string_opt src, int_of_string_opt dst)
+          with
+          | Some time, Some src, Some dst ->
+              p.p_injects <- { Workload.time; src; dst } :: p.p_injects;
+              Ok ()
+          | _ -> err lineno "bad injection")
+      | _ -> err lineno (Printf.sprintf "unrecognised line %S" line)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec parse_all lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok () -> parse_all (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  match parse_all 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+      match (p.p_name, p.p_scheme, p.p_hold, p.p_nodes) with
+      | Some name, Some scheme, Some hold_down, Some n -> (
+          match Graph.create ~n (List.rev p.p_edges) with
+          | exception Invalid_argument msg -> Error ("bad graph: " ^ msg)
+          | graph ->
+              let orders = Array.make n [] in
+              let seen = Array.make n false in
+              let rec fill = function
+                | [] -> Ok ()
+                | (v, order) :: rest ->
+                    if v < 0 || v >= n then
+                      Error (Printf.sprintf "rotation node %d out of range" v)
+                    else if seen.(v) then
+                      Error (Printf.sprintf "duplicate rotation for node %d" v)
+                    else begin
+                      seen.(v) <- true;
+                      orders.(v) <- order;
+                      fill rest
+                    end
+              in
+              (match fill (List.rev p.p_orders) with
+              | Error _ as e -> e
+              | Ok () ->
+                  if not (Array.for_all Fun.id seen) then
+                    Error "missing rotation line for some node"
+                  else
+                    (* Validate the orders against the graph right away. *)
+                    (match Pr_embed.Rotation.of_orders graph orders with
+                    | exception Invalid_argument msg ->
+                        Error ("bad rotation system: " ^ msg)
+                    | (_ : Pr_embed.Rotation.t) ->
+                        Ok
+                          {
+                            name;
+                            graph;
+                            orders;
+                            scheme;
+                            hold_down;
+                            link_events = List.rev p.p_links;
+                            injections = List.rev p.p_injects;
+                          })))
+      | None, _, _, _ -> Error "missing `name' line"
+      | _, None, _, _ -> Error "missing `scheme' line"
+      | _, _, None, _ -> Error "missing `hold-down' line"
+      | _, _, _, None -> Error "missing `nodes' line")
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> of_string text
+
+let run ?observer t =
+  let topology = Pr_topo.Topology.of_graph ~name:t.name t.graph in
+  let rotation = rotation t in
+  let link_events =
+    if t.hold_down > 0.0 then
+      Pr_sim.Flap.apply_hold_down t.link_events ~hold_down:t.hold_down
+    else t.link_events
+  in
+  match
+    Engine.run ?observer
+      { Engine.topology; rotation; scheme = t.scheme }
+      ~link_events ~injections:t.injections
+  with
+  | Ok outcome -> Ok outcome
+  | Error e -> Error (Engine.describe_workload_error e)
+  | exception Invalid_argument msg -> Error msg
+
+let check t =
+  let routing = Pr_core.Routing.build t.graph in
+  let cycles = Pr_core.Cycle_table.build (rotation t) in
+  let monitor =
+    Monitor.create ~routing ~cycles ~termination:(termination t) ()
+  in
+  match run ~observer:(Monitor.engine_observer monitor) t with
+  | Ok outcome -> Ok (monitor, outcome)
+  | Error msg -> Error msg

@@ -1,0 +1,55 @@
+(** Self-contained, replayable chaos scenarios.
+
+    A scenario freezes everything a run depends on — graph, rotation
+    system, scheme, hold-down, and the timed workload — into one value
+    with a stable text form, so a shrunk counterexample can be saved,
+    attached to a bug report, and replayed byte-for-byte later
+    ([prcli chaos --replay]).  {!to_string} is injective up to float
+    round-trip ([%.17g]), so [to_string (of_string (to_string s))] equals
+    [to_string s] exactly. *)
+
+type t = {
+  name : string;
+  graph : Pr_graph.Graph.t;
+  orders : int list array;  (** the rotation system, per node *)
+  scheme : Pr_sim.Engine.scheme;
+  hold_down : float;        (** 0 disables damping *)
+  link_events : Pr_sim.Workload.link_event list;
+  injections : Pr_sim.Workload.injection list;
+}
+
+val make :
+  name:string ->
+  topology:Pr_topo.Topology.t ->
+  rotation:Pr_embed.Rotation.t ->
+  scheme:Pr_sim.Engine.scheme ->
+  hold_down:float ->
+  link_events:Pr_sim.Workload.link_event list ->
+  injections:Pr_sim.Workload.injection list ->
+  t
+
+val rotation : t -> Pr_embed.Rotation.t
+
+val termination : t -> Pr_core.Forward.termination
+(** The PR termination the scheme uses ({!Pr_core.Forward.Distance_discriminator}
+    for non-PR schemes — what the monitors replay traces against). *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Errors carry the 1-based line number. *)
+
+val save : string -> t -> unit
+
+val load : string -> (t, string) result
+
+val run :
+  ?observer:Pr_sim.Engine.observer ->
+  t ->
+  (Pr_sim.Engine.outcome, string) result
+(** Applies the hold-down to the link events, then replays through
+    {!Pr_sim.Engine.run}.  Deterministic: same scenario, same outcome. *)
+
+val check : t -> (Monitor.t * Pr_sim.Engine.outcome, string) result
+(** {!run} with a fresh {!Monitor} attached — the predicate the shrinker
+    minimises against. *)

@@ -1,0 +1,88 @@
+let violates (s : Scenario.t) =
+  match Scenario.check s with
+  | Ok (monitor, _) -> Monitor.total monitor > 0
+  | Error _ -> false
+
+let first_violation (s : Scenario.t) =
+  match Scenario.check s with
+  | Ok (monitor, _) -> (
+      match Monitor.recorded monitor with v :: _ -> Some v | [] -> None)
+  | Error _ -> None
+
+(* Keep candidate event lists well-formed: removing a down can leave its
+   up redundant (and vice versa); normalising repairs the alternation the
+   validators require. *)
+let with_events (s : Scenario.t) events =
+  { s with Scenario.link_events = Gen.normalise events }
+
+let drop_chunk list ~start ~len =
+  List.filteri (fun i _ -> i < start || i >= start + len) list
+
+(* ddmin-style: remove progressively smaller chunks while the violation
+   persists. *)
+let minimise_events (s : Scenario.t) =
+  let rec at_granularity s chunk =
+    if chunk < 1 then s
+    else begin
+      let events = s.Scenario.link_events in
+      let len = List.length events in
+      let rec try_from start =
+        if start >= len then None
+        else
+          let candidate = with_events s (drop_chunk events ~start ~len:chunk) in
+          if List.length candidate.Scenario.link_events < len
+             && violates candidate
+          then Some candidate
+          else try_from (start + chunk)
+      in
+      match try_from 0 with
+      | Some smaller -> at_granularity smaller chunk
+      | None -> at_granularity s (chunk / 2)
+    end
+  in
+  let len = List.length s.Scenario.link_events in
+  if len = 0 then s else at_granularity s (max 1 (len / 2))
+
+let minimise_injections (s : Scenario.t) =
+  match s.Scenario.injections with
+  | [] | [ _ ] -> s
+  | injections -> (
+      (* The monitors are per-packet and packets never interact, so the
+         injection behind the first violation almost always suffices. *)
+      let single =
+        match first_violation s with
+        | None -> None
+        | Some v ->
+            List.find_opt
+              (fun (i : Pr_sim.Workload.injection) ->
+                i.time = v.Monitor.time && i.src = v.Monitor.src
+                && i.dst = v.Monitor.dst)
+              injections
+      in
+      match single with
+      | Some inj when violates { s with Scenario.injections = [ inj ] } ->
+          { s with Scenario.injections = [ inj ] }
+      | Some _ | None ->
+          (* Fall back to greedy one-at-a-time removal. *)
+          let rec pass s =
+            let injections = s.Scenario.injections in
+            let shrunk =
+              List.find_map
+                (fun i ->
+                  let smaller = List.filter (fun i' -> i' != i) injections in
+                  let candidate = { s with Scenario.injections = smaller } in
+                  if smaller <> [] && violates candidate then Some candidate
+                  else None)
+                injections
+            in
+            match shrunk with Some smaller -> pass smaller | None -> s
+          in
+          pass s)
+
+let minimise (s : Scenario.t) =
+  if not (violates s) then s
+  else begin
+    let s = minimise_injections s in
+    let s = minimise_events s in
+    minimise_injections s
+  end

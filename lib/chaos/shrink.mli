@@ -1,0 +1,25 @@
+(** Greedy minimisation of violating chaos scenarios.
+
+    {!Pr_exp.Counterexample} shrinks a static failure set; this is the
+    timed analogue: given a scenario on which some invariant monitor
+    fires, produce a smaller scenario that still fires.  The procedure
+    is deterministic:
+
+    + reduce the packet workload to the single injection behind the
+      first recorded violation (falling back to greedy removal when the
+      violation needs several packets);
+    + delta-debug the link-event schedule — remove exponentially
+      shrinking chunks, then single events — renormalising each
+      candidate so per-link alternation is preserved;
+    + repeat the injection pass, then stop at a fixpoint.
+
+    The result is the artifact worth keeping: a handful of events and one
+    packet that reproduce the violation under [prcli chaos --replay]. *)
+
+val violates : Scenario.t -> bool
+(** Does any monitor fire on this scenario?  (Scenarios that fail to run
+    at all — malformed after editing by hand — count as non-violating.) *)
+
+val minimise : Scenario.t -> Scenario.t
+(** The shrunk scenario; the input itself when it does not violate.
+    Guaranteed to still satisfy {!violates} when the input did. *)

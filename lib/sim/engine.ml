@@ -24,6 +24,79 @@ type outcome = {
   finished_at : float;
 }
 
+type workload_error =
+  | Bad_link_events of Flap.violation
+  | Not_a_link of { index : int; u : int; v : int }
+  | Bad_injection_time of { index : int; time : float }
+  | Unsorted_injections of { index : int; prev : float; time : float }
+  | Bad_endpoints of { index : int; src : int; dst : int }
+
+let describe_workload_error = function
+  | Bad_link_events v -> "link events: " ^ Flap.describe_violation v
+  | Not_a_link { index; u; v } ->
+      Printf.sprintf "link event %d: %d-%d is not a link of the topology"
+        index u v
+  | Bad_injection_time { index; time } ->
+      Printf.sprintf "injection %d: bad timestamp %g (must be finite and >= 0)"
+        index time
+  | Unsorted_injections { index; prev; time } ->
+      Printf.sprintf
+        "injection %d: time %g precedes previous injection at %g (stream must be time-sorted)"
+        index time prev
+  | Bad_endpoints { index; src; dst } ->
+      Printf.sprintf
+        "injection %d: bad endpoints %d -> %d (nodes must be distinct and in range)"
+        index src dst
+
+let validate_workload g ~link_events ~injections =
+  let ( let* ) = Result.bind in
+  let* () =
+    Result.map_error
+      (fun v -> Bad_link_events v)
+      (Flap.validate_events link_events)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (e : Workload.link_event) ->
+        let* index = acc in
+        if Graph.has_edge g e.u e.v then Ok (index + 1)
+        else Error (Not_a_link { index; u = e.u; v = e.v }))
+      (Ok 0) link_events
+    |> Result.map ignore
+  in
+  let n = Graph.n g in
+  List.fold_left
+    (fun acc (i : Workload.injection) ->
+      let* index, prev = acc in
+      if not (Float.is_finite i.time) || i.time < 0.0 then
+        Error (Bad_injection_time { index; time = i.time })
+      else if i.time < prev then
+        Error (Unsorted_injections { index; prev; time = i.time })
+      else if i.src < 0 || i.src >= n || i.dst < 0 || i.dst >= n || i.src = i.dst
+      then Error (Bad_endpoints { index; src = i.src; dst = i.dst })
+      else Ok (index + 1, i.time))
+    (Ok (0, 0.0))
+    injections
+  |> Result.map ignore
+
+type packet_verdict =
+  | Delivered of { stretch : float }
+  | Dropped
+  | Looped
+  | Unreachable
+
+type observer = {
+  on_link : time:float -> u:int -> v:int -> up:bool -> changed:bool -> unit;
+  on_packet :
+    time:float ->
+    src:int ->
+    dst:int ->
+    failures:Pr_core.Failure.t ->
+    verdict:packet_verdict ->
+    trace:Pr_core.Forward.trace option ->
+    unit;
+}
+
 let scheme_name = function
   | Pr_scheme { termination = Pr_core.Forward.Distance_discriminator } -> "pr"
   | Pr_scheme { termination = Pr_core.Forward.Simple } -> "pr-simple"
@@ -33,8 +106,11 @@ let scheme_name = function
 
 type event = Link of Workload.link_event | Packet of Workload.injection | Converge
 
-let run config ~link_events ~injections =
+let run ?observer config ~link_events ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
+  match validate_workload g ~link_events ~injections with
+  | Error e -> Error e
+  | Ok () ->
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build config.rotation in
   let net = Netstate.create g in
@@ -96,49 +172,84 @@ let run config ~link_events ~injections =
     in
     walk src 0.0 (4 * Graph.n g)
   in
+  let notify ~time ~src ~dst ~failures ~verdict ~trace =
+    match observer with
+    | None -> ()
+    | Some o -> o.on_packet ~time ~src ~dst ~failures ~verdict ~trace
+  in
   let handle_packet ({ src; dst; time } : Workload.injection) =
     let failures = Netstate.failures net in
-    if not (Pr_core.Failure.pair_connected failures src dst) then
+    if not (Pr_core.Failure.pair_connected failures src dst) then begin
       (* No scheme can deliver across a partition; PR packets would wander
          until the IP TTL kills them, others drop at the failure. *)
-      Metrics.record_unreachable metrics
+      Metrics.record_unreachable metrics;
+      notify ~time ~src ~dst ~failures ~verdict:Unreachable ~trace:None
+    end
     else
     match config.scheme with
     | Pr_scheme { termination } ->
         let trace =
           Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
         in
-        (match trace.outcome with
-        | Pr_core.Forward.Delivered ->
-            Metrics.record_delivery metrics
-              ~stretch:(Pr_core.Forward.stretch ~routing ~trace ~src ~dst)
-        | Pr_core.Forward.Ttl_exceeded -> Metrics.record_loop metrics
-        | Pr_core.Forward.Dropped_no_interface
-        | Pr_core.Forward.Dropped_unreachable ->
-            Metrics.record_drop metrics)
+        let verdict =
+          match trace.outcome with
+          | Pr_core.Forward.Delivered ->
+              let stretch = Pr_core.Forward.stretch ~routing ~trace ~src ~dst in
+              Metrics.record_delivery metrics ~stretch;
+              Delivered { stretch }
+          | Pr_core.Forward.Ttl_exceeded ->
+              Metrics.record_loop metrics;
+              Looped
+          | Pr_core.Forward.Dropped_no_interface
+          | Pr_core.Forward.Dropped_unreachable ->
+              Metrics.record_drop metrics;
+              Dropped
+        in
+        notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace)
     | Lfa_scheme ->
         let trace = Pr_baselines.Lfa.run routing ~failures ~src ~dst () in
-        (match trace.outcome with
-        | Pr_baselines.Lfa.Delivered ->
-            Metrics.record_delivery metrics
-              ~stretch:(Pr_baselines.Lfa.stretch ~routing ~trace ~src ~dst)
-        | Pr_baselines.Lfa.Dropped -> Metrics.record_drop metrics
-        | Pr_baselines.Lfa.Ttl_exceeded -> Metrics.record_loop metrics)
+        let verdict =
+          match trace.outcome with
+          | Pr_baselines.Lfa.Delivered ->
+              let stretch = Pr_baselines.Lfa.stretch ~routing ~trace ~src ~dst in
+              Metrics.record_delivery metrics ~stretch;
+              Delivered { stretch }
+          | Pr_baselines.Lfa.Dropped ->
+              Metrics.record_drop metrics;
+              Dropped
+          | Pr_baselines.Lfa.Ttl_exceeded ->
+              Metrics.record_loop metrics;
+              Looped
+        in
+        notify ~time ~src ~dst ~failures ~verdict ~trace:None
     | Reconvergence_scheme _ ->
-        (match forward_stale ~src ~dst with
-        | Some cost ->
-            Metrics.record_delivery metrics
-              ~stretch:(cost /. baseline_distance ~src ~dst)
-        | None -> Metrics.record_drop metrics)
+        let verdict =
+          match forward_stale ~src ~dst with
+          | Some cost ->
+              let stretch = cost /. baseline_distance ~src ~dst in
+              Metrics.record_delivery metrics ~stretch;
+              Delivered { stretch }
+          | None ->
+              Metrics.record_drop metrics;
+              Dropped
+        in
+        notify ~time ~src ~dst ~failures ~verdict ~trace:None
     | Reconvergence_jittered _ ->
-        (match forward_jittered ~now:time ~src ~dst with
-        | Some cost ->
-            Metrics.record_delivery metrics
-              ~stretch:(cost /. baseline_distance ~src ~dst)
-        | None -> Metrics.record_drop metrics)
+        let verdict =
+          match forward_jittered ~now:time ~src ~dst with
+          | Some cost ->
+              let stretch = cost /. baseline_distance ~src ~dst in
+              Metrics.record_delivery metrics ~stretch;
+              Delivered { stretch }
+          | None ->
+              Metrics.record_drop metrics;
+              Dropped
+        in
+        notify ~time ~src ~dst ~failures ~verdict ~trace:None
   in
   let handle_link time (e : Workload.link_event) =
-    if Netstate.set_link net e.u e.v ~up:e.up then begin
+    let changed = Netstate.set_link net e.u e.v ~up:e.up in
+    if changed then begin
       incr link_transitions;
       match config.scheme with
       | Reconvergence_scheme { convergence_delay } ->
@@ -156,7 +267,10 @@ let run config ~link_events ~injections =
                 +. Pr_util.Rng.float jitter_rng (Float.max 1e-9 (max_delay -. min_delay)))
             deadlines
       | Pr_scheme _ | Lfa_scheme -> ()
-    end
+    end;
+    match observer with
+    | None -> ()
+    | Some o -> o.on_link ~time ~u:e.u ~v:e.v ~up:e.up ~changed
   in
   let rec drain () =
     match Event.next queue with
@@ -174,9 +288,15 @@ let run config ~link_events ~injections =
       incr spf_runs (* initial table computation *)
   | Pr_scheme _ | Lfa_scheme -> ());
   drain ();
-  {
-    metrics;
-    spf_runs = !spf_runs;
-    link_transitions = !link_transitions;
-    finished_at = !finished_at;
-  }
+  Ok
+    {
+      metrics;
+      spf_runs = !spf_runs;
+      link_transitions = !link_transitions;
+      finished_at = !finished_at;
+    }
+
+let run_exn ?observer config ~link_events ~injections =
+  match run ?observer config ~link_events ~injections with
+  | Ok outcome -> outcome
+  | Error e -> invalid_arg ("Engine.run: " ^ describe_workload_error e)

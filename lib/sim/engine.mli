@@ -43,12 +43,82 @@ type outcome = {
   finished_at : float;   (** time of the last processed event *)
 }
 
+(** {2 Workload validation}
+
+    A workload can be malformed in ways that would previously crash the
+    engine mid-replay ([Not_found] on a non-edge, [Invalid_argument] deep
+    inside {!Pr_core.Forward.run}) or silently misbehave (unsorted
+    streams).  {!run} validates up front and returns a structured error
+    instead. *)
+
+type workload_error =
+  | Bad_link_events of Flap.violation
+      (** unsorted, bad timestamps (see {!Flap.validate_events}) *)
+  | Not_a_link of { index : int; u : int; v : int }
+      (** link event on a pair that is not an edge of the topology *)
+  | Bad_injection_time of { index : int; time : float }
+  | Unsorted_injections of { index : int; prev : float; time : float }
+  | Bad_endpoints of { index : int; src : int; dst : int }
+      (** out-of-range node or [src = dst] *)
+
+val describe_workload_error : workload_error -> string
+
+val validate_workload :
+  Pr_graph.Graph.t ->
+  link_events:Workload.link_event list ->
+  injections:Workload.injection list ->
+  (unit, workload_error) result
+(** The check {!run} performs; exposed so callers (the chaos layer, the
+    timed simulator) can share it. *)
+
+(** {2 Observation}
+
+    An observer sees every processed event with full context — the failure
+    set frozen at injection time and, for PR schemes, the whole forwarding
+    trace.  This is the hook the chaos layer's online invariant monitors
+    attach to; it has no effect on the simulation itself. *)
+
+type packet_verdict =
+  | Delivered of { stretch : float }
+  | Dropped       (** died at a failed link / no live interface *)
+  | Looped        (** TTL exhausted *)
+  | Unreachable   (** destination disconnected at injection time *)
+
+type observer = {
+  on_link : time:float -> u:int -> v:int -> up:bool -> changed:bool -> unit;
+      (** every link event, after it is applied; [changed] is false for
+          redundant transitions *)
+  on_packet :
+    time:float ->
+    src:int ->
+    dst:int ->
+    failures:Pr_core.Failure.t ->
+    verdict:packet_verdict ->
+    trace:Pr_core.Forward.trace option ->
+    unit;
+      (** every injection; [failures] is the link state frozen at injection
+          time, [trace] is the full PR trace under {!Pr_scheme} (and [None]
+          for the other schemes) *)
+}
+
 val run :
+  ?observer:observer ->
+  config ->
+  link_events:Workload.link_event list ->
+  injections:Workload.injection list ->
+  (outcome, workload_error) result
+(** Replays both streams merged in time order.  Each stream must be
+    time-sorted with finite non-negative timestamps, link events must name
+    edges of the topology and injections distinct in-range nodes;
+    violations are reported as [Error] without running anything. *)
+
+val run_exn :
+  ?observer:observer ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
   outcome
-(** Replays both streams merged in time order (the streams themselves must
-    each be time-sorted). *)
+(** {!run}, raising [Invalid_argument] with the described error instead —
+    for callers whose workloads are correct by construction. *)
 
 val scheme_name : scheme -> string

@@ -2,8 +2,53 @@ type state = Link_up | Link_down
 
 let canon u v = if u < v then (u, v) else (v, u)
 
+type violation =
+  | Bad_time of { index : int; time : float }
+  | Unsorted of { index : int; prev : float; time : float }
+  | Non_alternating of { index : int; u : int; v : int; up : bool }
+
+let describe_violation = function
+  | Bad_time { index; time } ->
+      Printf.sprintf "event %d: bad timestamp %g (must be finite and >= 0)"
+        index time
+  | Unsorted { index; prev; time } ->
+      Printf.sprintf "event %d: time %g precedes previous event at %g (stream must be time-sorted)"
+        index time prev
+  | Non_alternating { index; u; v; up } ->
+      Printf.sprintf
+        "event %d: link %d-%d goes %s twice in a row (per-link events must alternate starting with a down)"
+        index u v (if up then "up" else "down")
+
+let validate_events ?(require_alternation = false) events =
+  let link_state = Hashtbl.create 16 in
+  let rec walk index prev = function
+    | [] -> Ok ()
+    | (e : Workload.link_event) :: rest ->
+        if not (Float.is_finite e.time) || e.time < 0.0 then
+          Error (Bad_time { index; time = e.time })
+        else if e.time < prev then
+          Error (Unsorted { index; prev; time = e.time })
+        else begin
+          let key = canon e.u e.v in
+          let previous_up =
+            Option.value ~default:true (Hashtbl.find_opt link_state key)
+          in
+          if require_alternation && e.up = previous_up then
+            Error (Non_alternating { index; u = e.u; v = e.v; up = e.up })
+          else begin
+            Hashtbl.replace link_state key e.up;
+            walk (index + 1) e.time rest
+          end
+        end
+  in
+  walk 0 0.0 events
+
 let apply_hold_down events ~hold_down =
   if hold_down < 0.0 then invalid_arg "Flap.apply_hold_down: negative hold-down";
+  (match validate_events ~require_alternation:true events with
+  | Ok () -> ()
+  | Error v ->
+      invalid_arg ("Flap.apply_hold_down: " ^ describe_violation v));
   (* Group per link, preserving time order. *)
   let by_link = Hashtbl.create 16 in
   List.iter

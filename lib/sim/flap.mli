@@ -6,13 +6,38 @@
     stable for a hold-down period; rapid down/up oscillations are then
     suppressed entirely. *)
 
+type violation =
+  | Bad_time of { index : int; time : float }
+      (** negative or non-finite timestamp *)
+  | Unsorted of { index : int; prev : float; time : float }
+      (** event [index] is earlier than its predecessor *)
+  | Non_alternating of { index : int; u : int; v : int; up : bool }
+      (** a link's events do not alternate down/up starting with a down *)
+
+val describe_violation : violation -> string
+(** One line, suitable for error messages ("event 3: ..."). *)
+
+val validate_events :
+  ?require_alternation:bool ->
+  Workload.link_event list ->
+  (unit, violation) result
+(** Checks the precondition shared by {!apply_hold_down}, {!Engine.run} and
+    the chaos layer: timestamps finite and non-negative, the stream sorted
+    by time.  With [require_alternation] (default false) additionally
+    checks that each link's events strictly alternate state starting with a
+    down — {!apply_hold_down}'s documented precondition. *)
+
 val apply_hold_down :
   Workload.link_event list -> hold_down:float -> Workload.link_event list
 (** Input events must be time-sorted (as produced by {!Workload}); each
     link's events must alternate starting with a down.  Every up-transition
     is delayed by [hold_down]; an up is cancelled when its link fails again
     before the hold-down expires.  The result is time-sorted and contains
-    no redundant transitions. *)
+    no redundant transitions.
+
+    Raises [Invalid_argument] with a descriptive message (see
+    {!describe_violation}) when the precondition is violated, or when
+    [hold_down] is negative — never a silent wrong answer. *)
 
 val transitions_per_link :
   Workload.link_event list -> ((int * int) * int) list

@@ -19,6 +19,7 @@ let default_config (topology : Pr_topo.Topology.t) rotation =
   }
 
 type packet = {
+  id : int;
   src : int;
   dst : int;
   at : int;
@@ -33,8 +34,28 @@ type event = Link of Workload.link_event | Arrive of packet
 
 type outcome = { metrics : Metrics.t; finished_at : float; max_hops : int }
 
-let run config ~link_events ~injections =
+type hop = {
+  id : int;
+  time : float;
+  node : int;
+  src : int;
+  dst : int;
+  arrived_from : int option;
+  header : Pr_core.Forward.hop_header;
+  sent : (int * Pr_core.Forward.hop_header) option;
+  ttl_exceeded : bool;
+}
+
+type observer = {
+  on_link : time:float -> u:int -> v:int -> up:bool -> changed:bool -> unit;
+  on_hop : net:Netstate.t -> hop -> unit;
+}
+
+let run ?observer config ~link_events ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
+  (match Engine.validate_workload g ~link_events ~injections with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Timed.run: " ^ Engine.describe_workload_error e));
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build config.rotation in
   let net = Netstate.create g in
@@ -45,11 +66,12 @@ let run config ~link_events ~injections =
   List.iter
     (fun (e : Workload.link_event) -> Event.schedule queue ~time:e.time (Link e))
     link_events;
-  List.iter
-    (fun ({ time; src; dst } : Workload.injection) ->
+  List.iteri
+    (fun id ({ time; src; dst } : Workload.injection) ->
       Event.schedule queue ~time
         (Arrive
            {
+             id;
              src;
              dst;
              at = src;
@@ -60,6 +82,23 @@ let run config ~link_events ~injections =
              was_deliverable = true (* fixed up at processing time *);
            }))
     injections;
+  let observe_hop time (p : packet) ~sent ~ttl_exceeded =
+    match observer with
+    | None -> ()
+    | Some o ->
+        o.on_hop ~net
+          {
+            id = p.id;
+            time;
+            node = p.at;
+            src = p.src;
+            dst = p.dst;
+            arrived_from = p.arrived_from;
+            header = p.header;
+            sent;
+            ttl_exceeded;
+          }
+  in
   let account_lost (p : packet) ~looped =
     (* A packet that could never have been delivered is charged to
        [unreachable]; a deliverable one that died is a protocol loss. *)
@@ -76,17 +115,24 @@ let run config ~link_events ~injections =
     if p.at = p.dst then begin
       if p.hops > !max_hops then max_hops := p.hops;
       Metrics.record_delivery metrics
-        ~stretch:(p.cost /. Pr_core.Routing.distance routing ~node:p.src ~dst:p.dst)
+        ~stretch:(p.cost /. Pr_core.Routing.distance routing ~node:p.src ~dst:p.dst);
+      observe_hop time p ~sent:None ~ttl_exceeded:false
     end
-    else if p.hops >= config.ttl then account_lost p ~looped:true
+    else if p.hops >= config.ttl then begin
+      account_lost p ~looped:true;
+      observe_hop time p ~sent:None ~ttl_exceeded:true
+    end
     else begin
       match
         Forward.step ~termination:config.termination ~routing ~cycles
           ~failures:(Netstate.failures net) ~dst:p.dst ~node:p.at
           ~arrived_from:p.arrived_from ~header:p.header ()
       with
-      | Forward.Stuck _ -> account_lost p ~looped:false
+      | Forward.Stuck _ ->
+          account_lost p ~looped:false;
+          observe_hop time p ~sent:None ~ttl_exceeded:false
       | Forward.Transmit { next; header; _ } ->
+          observe_hop time p ~sent:(Some (next, header)) ~ttl_exceeded:false;
           Event.schedule queue ~time:(time +. config.latency)
             (Arrive
                {
@@ -105,7 +151,11 @@ let run config ~link_events ~injections =
     | Some (time, ev) ->
         finished_at := time;
         (match ev with
-        | Link e -> ignore (Netstate.set_link net e.u e.v ~up:e.up)
+        | Link e ->
+            let changed = Netstate.set_link net e.u e.v ~up:e.up in
+            (match observer with
+            | None -> ()
+            | Some o -> o.on_link ~time ~u:e.u ~v:e.v ~up:e.up ~changed)
         | Arrive p -> handle_arrival time p);
         drain ()
   in

@@ -30,11 +30,43 @@ type outcome = {
   max_hops : int;         (** longest hop count of any delivered packet *)
 }
 
+(** {2 Observation}
+
+    The per-hop hook is what makes the §7 hazard observable: a monitor can
+    record which links a cycle-following packet saw down and flag the
+    moment it meets one of them up again.  Observation has no effect on
+    the simulation. *)
+
+type hop = {
+  id : int;                   (** injection index, stable per packet *)
+  time : float;
+  node : int;                 (** router making the decision *)
+  src : int;
+  dst : int;
+  arrived_from : int option;
+  header : Pr_core.Forward.hop_header;  (** header on arrival at [node] *)
+  sent : (int * Pr_core.Forward.hop_header) option;
+      (** next hop and the header written on the wire; [None] when the
+          packet was delivered at [node], dropped, or hit the TTL *)
+  ttl_exceeded : bool;
+}
+
+type observer = {
+  on_link : time:float -> u:int -> v:int -> up:bool -> changed:bool -> unit;
+  on_hop : net:Netstate.t -> hop -> unit;
+      (** [net] is the live link state at decision time; read-only use *)
+}
+
 val run :
+  ?observer:observer ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
   outcome
 (** Packets injected while their destination is unreachable count as
     [unreachable] only if they also fail to arrive; a repair mid-flight
-    can still save them. *)
+    can still save them.
+
+    Raises [Invalid_argument] (via {!Engine.validate_workload}) on
+    malformed workloads: unsorted streams, bad timestamps, events on
+    non-edges, out-of-range or self-addressed injections. *)

@@ -1,0 +1,454 @@
+module Graph = Pr_graph.Graph
+module Topology = Pr_topo.Topology
+module Workload = Pr_sim.Workload
+module Flap = Pr_sim.Flap
+module Engine = Pr_sim.Engine
+module Gen = Pr_chaos.Gen
+module Monitor = Pr_chaos.Monitor
+module Scenario = Pr_chaos.Scenario
+module Shrink = Pr_chaos.Shrink
+module Campaign = Pr_chaos.Campaign
+
+let abilene () =
+  let topo = Pr_topo.Abilene.topology () in
+  (topo, Pr_embed.Geometric.of_topology topo)
+
+let ev time u v up = { Workload.time; u; v; up }
+let inj time src dst = { Workload.time; src; dst }
+
+let link_event =
+  Alcotest.testable
+    (fun fmt (e : Workload.link_event) ->
+      Format.fprintf fmt "%g %d-%d %s" e.time e.u e.v
+        (if e.up then "up" else "down"))
+    (fun (a : Workload.link_event) b -> a = b)
+
+(* ---- generators ---- *)
+
+let test_names_round_trip () =
+  List.iter
+    (fun kind ->
+      match Gen.of_name (Gen.name kind) with
+      | Ok kind' ->
+          Alcotest.(check string) "round trip" (Gen.name kind) (Gen.name kind')
+      | Error e -> Alcotest.fail e)
+    Gen.all;
+  match Gen.of_name "meteor" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown generator accepted"
+
+let test_generate_deterministic () =
+  let topo, _ = abilene () in
+  let run () =
+    Gen.generate (Pr_util.Rng.create ~seed:9) topo ~horizon:40.0 ~mix:Gen.all
+  in
+  Alcotest.(check (list link_event)) "same seed, same stream" (run ()) (run ())
+
+(* Every generator's output must satisfy the preconditions of everything
+   downstream: sorted, in-horizon, on real edges, strictly alternating. *)
+let test_generators_well_formed () =
+  let topo, _ = abilene () in
+  List.iter
+    (fun kind ->
+      let events =
+        Gen.generate (Pr_util.Rng.create ~seed:3) topo ~horizon:40.0
+          ~mix:[ kind ]
+      in
+      (match Flap.validate_events ~require_alternation:true events with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "%s: %s" (Gen.name kind) (Flap.describe_violation v));
+      (match
+         Engine.validate_workload topo.Topology.graph ~link_events:events
+           ~injections:[]
+       with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s: %s" (Gen.name kind)
+            (Engine.describe_workload_error e));
+      List.iter
+        (fun (e : Workload.link_event) ->
+          Alcotest.(check bool) "within horizon" true
+            (e.time >= 0.0 && e.time <= 40.0))
+        events)
+    Gen.all
+
+let test_srlg_fails_as_a_group () =
+  let topo, _ = abilene () in
+  let events =
+    Gen.srlg (Pr_util.Rng.create ~seed:5) topo ~horizon:50.0 ~groups:1 ()
+  in
+  match List.filter (fun (e : Workload.link_event) -> not e.up) events with
+  | [] -> Alcotest.fail "no failures generated"
+  | first :: _ as downs ->
+      let batch =
+        List.filter (fun (e : Workload.link_event) -> e.time = first.time) downs
+      in
+      Alcotest.(check int) "whole group at one instant"
+        (Graph.m topo.Topology.graph)
+        (List.length batch)
+
+let test_node_crash_is_correlated () =
+  let topo, _ = abilene () in
+  let events =
+    Gen.node_crash (Pr_util.Rng.create ~seed:2) topo ~horizon:50.0 ~crashes:1 ()
+  in
+  match List.filter (fun (e : Workload.link_event) -> not e.up) events with
+  | [] -> Alcotest.fail "no crash generated"
+  | first :: _ as downs ->
+      List.iter
+        (fun (e : Workload.link_event) ->
+          Alcotest.(check (float 0.0)) "same instant" first.time e.time;
+          Alcotest.(check bool) "incident to the crashed router" true
+            (e.u = first.u || e.v = first.u || e.u = first.v || e.v = first.v))
+        downs
+
+let test_normalise_drops_redundant () =
+  let raw = [ ev 1.0 0 1 false; ev 2.0 0 1 false; ev 3.0 0 1 true ] in
+  let n = Gen.normalise raw in
+  Alcotest.(check (list link_event)) "redundant down removed"
+    [ ev 1.0 0 1 false; ev 3.0 0 1 true ]
+    n;
+  Alcotest.(check (list link_event)) "initial up is redundant"
+    []
+    (Gen.normalise [ ev 1.0 0 1 true ])
+
+(* ---- campaign: the paper's claim under adversarial faults ---- *)
+
+let test_campaign_pr_holds_reconvergence_loses () =
+  let topo, rotation = abilene () in
+  let config =
+    { (Campaign.default_config topo rotation ~seed:42) with
+      rate = 10.0;
+      shrink = false;
+    }
+  in
+  match Campaign.run config with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      List.iter
+        (fun (r : Campaign.scheme_result) ->
+          match r.scheme with
+          | Engine.Pr_scheme _ ->
+              Alcotest.(check int) "PR/DD: no delivery violations" 0
+                (Monitor.count r.monitor "delivery");
+              Alcotest.(check int) "PR/DD: no loops" 0
+                (Monitor.count r.monitor "loop");
+              Alcotest.(check int) "PR/DD: headers fit the budget" 0
+                (Monitor.count r.monitor "dd-width")
+          | Engine.Reconvergence_scheme _ ->
+              Alcotest.(check bool) "reconvergence loses packets" true
+                (Monitor.count r.monitor "delivery" > 0)
+          | _ -> ())
+        t.results
+
+let test_campaign_deterministic () =
+  let topo, rotation = abilene () in
+  let config =
+    { (Campaign.default_config topo rotation ~seed:7) with
+      horizon = 30.0;
+      rate = 5.0;
+      schemes = [ Engine.Lfa_scheme ];
+    }
+  in
+  let report () =
+    match Campaign.run config with
+    | Error e -> Alcotest.fail e
+    | Ok t -> Campaign.report config t
+  in
+  Alcotest.(check string) "same seed, same report" (report ()) (report ())
+
+let test_campaign_rejects_bad_params () =
+  let topo, rotation = abilene () in
+  let config = Campaign.default_config topo rotation ~seed:1 in
+  (match Campaign.run { config with horizon = 0.0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero horizon accepted");
+  match Campaign.run { config with hold_down = -1.0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative hold-down accepted"
+
+(* ---- structured workload errors ---- *)
+
+let test_engine_rejects_malformed_workloads () =
+  let topo, rotation = Helpers.grid_with_rotation ~rows:2 ~cols:2 in
+  let config = { Engine.topology = topo; rotation; scheme = Engine.Lfa_scheme } in
+  let expect what ~link_events ~injections =
+    match Engine.run config ~link_events ~injections with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  expect "non-edge link event"
+    ~link_events:[ ev 1.0 0 3 false ]
+    ~injections:[];
+  expect "unsorted link events"
+    ~link_events:[ ev 2.0 0 1 false; ev 1.0 2 3 false ]
+    ~injections:[];
+  expect "unsorted injections" ~link_events:[]
+    ~injections:[ inj 2.0 0 1; inj 1.0 0 1 ];
+  expect "self-addressed packet" ~link_events:[] ~injections:[ inj 1.0 2 2 ];
+  expect "out-of-range node" ~link_events:[] ~injections:[ inj 1.0 5 0 ];
+  expect "negative timestamp"
+    ~link_events:[ ev (-1.0) 0 1 false ]
+    ~injections:[];
+  match Engine.run_exn config ~link_events:[] ~injections:[ inj 1.0 5 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run_exn did not raise"
+
+let test_flap_validation () =
+  (match Flap.apply_hold_down [ ev 2.0 0 1 false; ev 1.0 0 1 true ] ~hold_down:1.0 with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the function" true
+        (String.length msg > 0
+        && String.sub msg 0 (min 4 (String.length msg)) = "Flap")
+  | _ -> Alcotest.fail "unsorted events accepted");
+  (match Flap.apply_hold_down [ ev 1.0 0 1 true ] ~hold_down:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "up-before-down accepted");
+  (match
+     Flap.validate_events ~require_alternation:true
+       [ ev 1.0 0 1 false; ev 2.0 0 1 false ]
+   with
+  | Error (Flap.Non_alternating { index = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected Non_alternating at index 1");
+  (match Flap.validate_events [ ev Float.nan 0 1 false ] with
+  | Error (Flap.Bad_time _) -> ()
+  | _ -> Alcotest.fail "expected Bad_time");
+  match Flap.validate_events [ ev 2.0 0 1 false; ev 1.0 2 3 false ] with
+  | Error (Flap.Unsorted { index = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected Unsorted at index 1"
+
+(* ---- scenarios: byte-stable round trip, deterministic replay ---- *)
+
+let test_scenario_round_trip () =
+  let topo, rotation = abilene () in
+  let s =
+    Scenario.make ~name:"round-trip" ~topology:topo ~rotation
+      ~scheme:
+        (Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator })
+      ~hold_down:0.25
+      ~link_events:[ ev (0.1 +. 0.2) 0 1 false; ev 1.7 0 1 true ]
+      ~injections:[ inj 0.5 0 10 ]
+  in
+  let text = Scenario.to_string s in
+  match Scenario.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+      Alcotest.(check string) "byte-stable" text (Scenario.to_string s');
+      let summarise s =
+        match Scenario.check s with
+        | Error e -> Alcotest.fail e
+        | Ok (monitor, outcome) ->
+            ( Monitor.report monitor,
+              outcome.Engine.metrics.Pr_sim.Metrics.delivered )
+      in
+      Alcotest.(check (pair string int))
+        "replay matches the original" (summarise s) (summarise s')
+
+let test_scenario_round_trips_every_scheme () =
+  let topo, rotation = abilene () in
+  List.iter
+    (fun scheme ->
+      let s =
+        Scenario.make ~name:"schemes" ~topology:topo ~rotation ~scheme
+          ~hold_down:0.0 ~link_events:[] ~injections:[ inj 1.0 0 5 ]
+      in
+      let text = Scenario.to_string s in
+      match Scenario.of_string text with
+      | Error e -> Alcotest.failf "%s: %s" (Engine.scheme_name scheme) e
+      | Ok s' ->
+          Alcotest.(check string)
+            (Engine.scheme_name scheme)
+            text (Scenario.to_string s'))
+    [
+      Engine.Pr_scheme { termination = Pr_core.Forward.Simple };
+      Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator };
+      Engine.Lfa_scheme;
+      Engine.Reconvergence_scheme { convergence_delay = 2.5 };
+      Engine.Reconvergence_jittered { min_delay = 0.5; max_delay = 3.0; seed = 9 };
+    ]
+
+let test_scenario_parse_errors () =
+  (match Scenario.of_string "not a scenario" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Scenario.of_string "# pr-chaos scenario v1\nname x\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incomplete scenario accepted"
+
+(* ---- shrinking ---- *)
+
+(* 3x3 grid, reconvergence(5): the 0-1 link fails at t=1 and the packet
+   0 -> 1 injected at t=2 dies on the stale tree although 0-3-4-1 is alive
+   — a delivery violation.  Everything else is removable noise. *)
+let shrinkable_scenario () =
+  let topo, rotation = Helpers.grid_with_rotation ~rows:3 ~cols:3 in
+  Scenario.make ~name:"shrink-me" ~topology:topo ~rotation
+    ~scheme:(Engine.Reconvergence_scheme { convergence_delay = 5.0 })
+    ~hold_down:0.0
+    ~link_events:[ ev 1.0 0 1 false; ev 1.2 3 4 false; ev 20.0 3 4 true ]
+    ~injections:[ inj 0.5 2 8; inj 2.0 0 1; inj 3.0 6 7 ]
+
+let test_shrink_minimises () =
+  let s = shrinkable_scenario () in
+  Alcotest.(check bool) "violates before" true (Shrink.violates s);
+  let small = Shrink.minimise s in
+  Alcotest.(check bool) "still violates" true (Shrink.violates small);
+  Alcotest.(check int) "one injection" 1
+    (List.length small.Scenario.injections);
+  Alcotest.(check int) "one link event" 1
+    (List.length small.Scenario.link_events);
+  (match small.Scenario.injections with
+  | [ i ] ->
+      Alcotest.(check (pair int int)) "the violating packet" (0, 1)
+        (i.Workload.src, i.Workload.dst)
+  | _ -> assert false);
+  (* Shrinking a healthy scenario is the identity. *)
+  let healthy =
+    { s with Scenario.link_events = []; Scenario.name = "healthy" }
+  in
+  let unchanged = Shrink.minimise healthy in
+  Alcotest.(check int) "healthy scenario untouched"
+    (List.length healthy.Scenario.injections)
+    (List.length unchanged.Scenario.injections)
+
+(* ---- timed engine observation ---- *)
+
+(* On a quiet planar grid the timed monitors must stay silent: every header
+   fits the DD budget and no packet meets a link it saw down. *)
+let test_timed_monitors_quiet_on_stable_network () =
+  let topo, rotation = Helpers.grid_with_rotation ~rows:3 ~cols:3 in
+  let g = topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let monitor =
+    Monitor.create ~routing ~cycles
+      ~termination:Pr_core.Forward.Distance_discriminator ()
+  in
+  let injections =
+    Workload.poisson_flows (Pr_util.Rng.create ~seed:11) g ~rate:5.0
+      ~horizon:20.0
+  in
+  let _ =
+    Pr_sim.Timed.run
+      ~observer:(Monitor.timed_observer monitor)
+      (Pr_sim.Timed.default_config topo rotation)
+      ~link_events:[ ev 4.0 0 1 false; ev 12.0 0 1 true ]
+      ~injections
+  in
+  Alcotest.(check int) "dd headers in budget" 0 (Monitor.count monitor "dd-width");
+  Alcotest.(check int) "no hold-down hazard" 0
+    (Monitor.count monitor "hold-down")
+
+(* ---- differential: engine verdicts vs the exact model checker ---- *)
+
+let arb_small_topology =
+  QCheck.make
+    ~print:(fun t -> Topology.summary t)
+    QCheck.Gen.(
+      map
+        (fun (seed, n, extra) ->
+          Pr_topo.Generate.two_connected (Pr_util.Rng.create ~seed) ~n ~extra)
+        (triple (int_bound 1_000_000) (int_range 4 10) (int_bound 8)))
+
+(* The engine freezes the failure set at injection time and hands it to the
+   observer; {!Pr_exp.Modelcheck.verdict} re-decides the same packet by
+   exact state recurrence.  The two implementations must agree packet by
+   packet on every random timed scenario. *)
+let qcheck_engine_matches_modelcheck =
+  QCheck.Test.make ~count:40
+    ~name:"engine per-packet verdicts match Modelcheck on frozen failures"
+    (QCheck.pair arb_small_topology (QCheck.int_bound 1_000_000))
+    (fun (topo, seed) ->
+      let g = topo.Topology.graph in
+      let rotation = Pr_embed.Rotation.adjacency g in
+      let routing = Pr_core.Routing.build g in
+      let cycles = Pr_core.Cycle_table.build rotation in
+      let rng = Pr_util.Rng.create ~seed in
+      let link_events =
+        Workload.failure_process (Pr_util.Rng.copy rng) g ~mtbf:8.0 ~mttr:4.0
+          ~horizon:25.0
+      in
+      let injections =
+        Workload.poisson_flows (Pr_util.Rng.copy rng) g ~rate:4.0 ~horizon:25.0
+      in
+      let mismatch = ref None in
+      let observer =
+        {
+          Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
+          on_packet =
+            (fun ~time:_ ~src ~dst ~failures ~verdict ~trace:_ ->
+              let expected =
+                if not (Pr_core.Failure.pair_connected failures src dst) then
+                  `Unreachable
+                else
+                  match
+                    Pr_exp.Modelcheck.verdict
+                      ~termination:Pr_core.Forward.Distance_discriminator
+                      ~routing ~cycles ~failures ~src ~dst ()
+                  with
+                  | Pr_exp.Modelcheck.Delivers _ -> `Delivered
+                  | Pr_exp.Modelcheck.Drops -> `Dropped
+                  | Pr_exp.Modelcheck.Loops _ -> `Looped
+              in
+              let actual =
+                match verdict with
+                | Engine.Delivered _ -> `Delivered
+                | Engine.Dropped -> `Dropped
+                | Engine.Looped -> `Looped
+                | Engine.Unreachable -> `Unreachable
+              in
+              if expected <> actual && !mismatch = None then
+                mismatch := Some (src, dst));
+        }
+      in
+      match
+        Engine.run ~observer
+          {
+            Engine.topology = topo;
+            rotation;
+            scheme =
+              Engine.Pr_scheme
+                { termination = Pr_core.Forward.Distance_discriminator };
+          }
+          ~link_events ~injections
+      with
+      | Error e ->
+          QCheck.Test.fail_report (Engine.describe_workload_error e)
+      | Ok _ -> (
+          match !mismatch with
+          | None -> true
+          | Some (src, dst) ->
+              QCheck.Test.fail_reportf "engine and modelcheck disagree on %d -> %d"
+                src dst))
+
+let suite =
+  [
+    Alcotest.test_case "generator names round trip" `Quick test_names_round_trip;
+    Alcotest.test_case "generate is deterministic" `Quick
+      test_generate_deterministic;
+    Alcotest.test_case "generators well formed" `Quick
+      test_generators_well_formed;
+    Alcotest.test_case "srlg fails as a group" `Quick test_srlg_fails_as_a_group;
+    Alcotest.test_case "node crash is correlated" `Quick
+      test_node_crash_is_correlated;
+    Alcotest.test_case "normalise drops redundant" `Quick
+      test_normalise_drops_redundant;
+    Alcotest.test_case "campaign: PR holds, reconvergence loses" `Quick
+      test_campaign_pr_holds_reconvergence_loses;
+    Alcotest.test_case "campaign deterministic" `Quick
+      test_campaign_deterministic;
+    Alcotest.test_case "campaign rejects bad params" `Quick
+      test_campaign_rejects_bad_params;
+    Alcotest.test_case "engine rejects malformed workloads" `Quick
+      test_engine_rejects_malformed_workloads;
+    Alcotest.test_case "flap validation" `Quick test_flap_validation;
+    Alcotest.test_case "scenario round trip" `Quick test_scenario_round_trip;
+    Alcotest.test_case "scenario round trips every scheme" `Quick
+      test_scenario_round_trips_every_scheme;
+    Alcotest.test_case "scenario parse errors" `Quick test_scenario_parse_errors;
+    Alcotest.test_case "shrink minimises" `Quick test_shrink_minimises;
+    Alcotest.test_case "timed monitors quiet on stable network" `Quick
+      test_timed_monitors_quiet_on_stable_network;
+    QCheck_alcotest.to_alcotest qcheck_engine_matches_modelcheck;
+  ]

@@ -49,6 +49,23 @@ let test_of_nodes () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "bad node accepted"
 
+let test_of_nodes_fully_failed_neighbourhood () =
+  (* Fail every node: each edge is reported by both endpoints; the set must
+     deduplicate and disconnect everything. *)
+  let g = square () in
+  let f = Failure.of_nodes g [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "every edge once" (Graph.m g) (Failure.count f);
+  Alcotest.(check bool) "nothing survives" false (Failure.survives_connected f);
+  Alcotest.(check bool) "no pair connected" false (Failure.pair_connected f 0 2)
+
+let test_combine_identical () =
+  let g = square () in
+  let a = Failure.of_list g [ (0, 1); (2, 3) ] in
+  let c = Failure.combine a a in
+  Alcotest.(check int) "idempotent" (Failure.count a) (Failure.count c);
+  Alcotest.(check (list (pair int int))) "same edges" (Failure.edges a)
+    (Failure.edges c)
+
 let test_combine () =
   let g = square () in
   let a = Failure.of_list g [ (0, 1) ] in
@@ -77,6 +94,9 @@ let suite =
     Alcotest.test_case "non-edge rejected" `Quick test_non_edge_rejected;
     Alcotest.test_case "connectivity predicates" `Quick test_connectivity_predicates;
     Alcotest.test_case "node failures" `Quick test_of_nodes;
+    Alcotest.test_case "fully failed neighbourhood" `Quick
+      test_of_nodes_fully_failed_neighbourhood;
+    Alcotest.test_case "combine identical sets" `Quick test_combine_identical;
     Alcotest.test_case "combine" `Quick test_combine;
     Alcotest.test_case "blocked index view" `Quick test_blocked_index_view;
   ]

@@ -131,7 +131,7 @@ let abilene_engine scheme =
     Workload.poisson_flows (Pr_util.Rng.copy rng) topo.Pr_topo.Topology.graph
       ~rate:20.0 ~horizon:50.0
   in
-  Engine.run { Engine.topology = topo; rotation; scheme } ~link_events ~injections
+  Engine.run_exn { Engine.topology = topo; rotation; scheme } ~link_events ~injections
 
 let test_engine_pr_full_delivery () =
   let outcome =
@@ -182,7 +182,7 @@ let test_jittered_no_worse_than_frozen_without_failures () =
       ~rate:20.0 ~horizon:20.0
   in
   let outcome =
-    Engine.run
+    Engine.run_exn
       {
         Engine.topology = topo;
         rotation;
