@@ -5,7 +5,8 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig2    # just the Figure 2 panels
-     sections: fig2 overhead ablation coverage sim synthetic ttl micro *)
+     sections: fig2 overhead ablation coverage sim detector synthetic ttl
+     micro *)
 
 module Topology = Pr_topo.Topology
 
@@ -116,6 +117,39 @@ let run_sim () =
   Format.printf "%-14s %a, max hops %d (packet-level, in-flight failures)@."
     "pr-timed" Pr_sim.Metrics.pp timed.Pr_sim.Timed.metrics
     timed.Pr_sim.Timed.max_hops
+
+(* ---- Beyond the paper: imperfect failure detection ---- *)
+
+let run_detector () =
+  banner "DETECTION: loss vs per-router detection delay (Abilene)";
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let rng = Pr_util.Rng.create ~seed:2026 in
+  let link_events =
+    Pr_sim.Workload.failure_process (Pr_util.Rng.copy rng) g ~mtbf:200.0
+      ~mttr:15.0 ~horizon:400.0
+  in
+  let injections =
+    Pr_sim.Workload.poisson_flows (Pr_util.Rng.copy rng) g ~rate:100.0 ~horizon:400.0
+  in
+  let scheme =
+    Pr_sim.Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator }
+  in
+  List.iter
+    (fun delay ->
+      let detection =
+        { Pr_sim.Detector.ideal with
+          Pr_sim.Detector.down_delay = delay; up_delay = delay; seed = 7 }
+      in
+      let outcome =
+        Pr_sim.Engine.run_exn ~detection
+          { Pr_sim.Engine.topology = topo; rotation; scheme }
+          ~link_events ~injections
+      in
+      Format.printf "delay %-6g %a@." delay Pr_sim.Metrics.pp
+        outcome.Pr_sim.Engine.metrics)
+    [ 0.0; 0.05; 0.2; 1.0 ]
 
 (* ---- Beyond the paper: the IP TTL budget ---- *)
 
@@ -232,6 +266,7 @@ let sections =
     ("ablation", run_ablation);
     ("coverage", run_coverage);
     ("sim", run_sim);
+    ("detector", run_detector);
     ("synthetic", run_synthetic);
     ("ttl", run_ttl);
     ("micro", run_micro);

@@ -31,6 +31,14 @@ let load_topology name =
     else Pr_topo.Parse.load name
   else find_topology name
 
+let node_id_or_die topo label =
+  match Topology.node_id topo label with
+  | id -> id
+  | exception Not_found ->
+      Printf.eprintf "unknown node label %S in %s\n" label
+        topo.Topology.name;
+      exit 1
+
 let seed_arg =
   let doc = "Random seed (all experiments are deterministic given the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
@@ -149,7 +157,7 @@ let embed_cmd =
 
 let table name router_label embedding seed =
   let topo = load_topology name in
-  let x = Topology.node_id topo router_label in
+  let x = node_id_or_die topo router_label in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
   let cycles = Pr_core.Cycle_table.build rotation in
@@ -204,22 +212,27 @@ let parse_failures topo spec =
     String.split_on_char ',' spec
     |> List.map (fun pair ->
            match String.split_on_char '-' (String.trim pair) with
-           | [ a; b ] -> (Topology.node_id topo a, Topology.node_id topo b)
+           | [ a; b ] -> (node_id_or_die topo a, node_id_or_die topo b)
            | _ ->
                Printf.eprintf "bad failure spec %S (want LABEL-LABEL,...)\n" pair;
-               exit 2)
+               exit 1)
+
+let failures_or_die topo spec =
+  match Pr_core.Failure.of_list topo.Topology.graph (parse_failures topo spec) with
+  | failures -> failures
+  | exception Invalid_argument msg ->
+      Printf.eprintf "bad failure spec %S: %s\n" spec msg;
+      exit 1
 
 let trace name src_label dst_label failures_spec embedding seed simple =
   let topo = load_topology name in
-  let src = Topology.node_id topo src_label
-  and dst = Topology.node_id topo dst_label in
+  let src = node_id_or_die topo src_label
+  and dst = node_id_or_die topo dst_label in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
   let routing = Pr_core.Routing.build topo.Topology.graph in
   let cycles = Pr_core.Cycle_table.build rotation in
-  let failures =
-    Pr_core.Failure.of_list topo.Topology.graph (parse_failures topo failures_spec)
-  in
+  let failures = failures_or_die topo failures_spec in
   let termination =
     if simple then Pr_core.Forward.Simple
     else Pr_core.Forward.Distance_discriminator
@@ -385,14 +398,14 @@ let parse_scheme = function
             { min_delay = 0.5; max_delay = 5.0; seed = 1 })
   | s -> Error (Printf.sprintf "unknown scheme %S (pr, pr-simple, lfa, reconv, reconv-jitter)" s)
 
-let chaos name embedding seed horizon rate mix_spec hold_down schemes_spec
-    no_shrink out replay =
+let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
+    schemes_spec no_shrink out replay =
   match replay with
   | Some path -> (
       match Pr_chaos.Scenario.load path with
       | Error msg ->
           Printf.eprintf "cannot replay %s: %s\n" path msg;
-          exit 2
+          exit 1
       | Ok scenario -> (
           Printf.printf "replaying %s: %d link events, %d injection(s), scheme %s\n"
             scenario.Pr_chaos.Scenario.name
@@ -413,6 +426,13 @@ let chaos name embedding seed horizon rate mix_spec hold_down schemes_spec
       let rotation = Pr_exp.Fig2.resolve_rotation config topo in
       let mix = parse_comma_list Pr_chaos.Gen.of_name "generator" mix_spec in
       let schemes = parse_comma_list parse_scheme "scheme" schemes_spec in
+      let detection =
+        Option.map
+          (fun d ->
+            { Pr_sim.Detector.default with
+              Pr_sim.Detector.down_delay = d; up_delay = d; seed })
+          detect_delay
+      in
       let campaign =
         {
           (Pr_chaos.Campaign.default_config topo rotation ~seed) with
@@ -420,6 +440,7 @@ let chaos name embedding seed horizon rate mix_spec hold_down schemes_spec
           rate;
           mix;
           hold_down;
+          detection;
           schemes;
           shrink = not no_shrink;
         }
@@ -458,9 +479,9 @@ let chaos_cmd =
            ~doc:"Packet injections per time unit.")
   in
   let mix =
-    Arg.(value & opt string "srlg,regional,crash,cascade,flap"
+    Arg.(value & opt string "srlg,regional,crash,cascade,flap,blip"
          & info [ "mix" ] ~docv:"KINDS"
-             ~doc:"Comma-separated fault generators: $(b,srlg), $(b,regional), $(b,crash), $(b,cascade), $(b,flap).")
+             ~doc:"Comma-separated fault generators: $(b,srlg), $(b,regional), $(b,crash), $(b,cascade), $(b,flap), $(b,blip).")
   in
   let hold_down =
     Arg.(value & opt float 0.0 & info [ "hold-down" ] ~docv:"TIME"
@@ -469,6 +490,12 @@ let chaos_cmd =
   let schemes =
     Arg.(value & opt string "pr,lfa,reconv" & info [ "schemes" ] ~docv:"LIST"
            ~doc:"Comma-separated schemes: $(b,pr), $(b,pr-simple), $(b,lfa), $(b,reconv), $(b,reconv-jitter).")
+  in
+  let detect_delay =
+    Arg.(value & opt (some float) None & info [ "detect" ] ~docv:"DELAY"
+           ~doc:"Run routers on per-endpoint failure detection with this
+                 delay (seconds) instead of the global truth; monitors
+                 switch to the detection-quiescence invariants.")
   in
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ]
@@ -486,7 +513,186 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Chaos campaign: correlated fault injection with online invariant              monitors; violations are shrunk to replayable scenarios.")
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
-          $ mix $ hold_down $ schemes $ no_shrink $ out $ replay)
+          $ mix $ hold_down $ detect_delay $ schemes $ no_shrink $ out $ replay)
+
+(* ---- detect: detection-delay sweep ---- *)
+
+let parse_delay s =
+  match float_of_string_opt s with
+  | Some d when d >= 0.0 && Float.is_finite d -> Ok d
+  | _ -> Error "want a non-negative number"
+
+let detect name embedding seed delays_spec horizon rate mtbf mttr fp hold_down
+    jitter guard schemes_spec =
+  let topo = load_topology name in
+  let g = topo.Topology.graph in
+  let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  let delays = parse_comma_list parse_delay "detection delay" delays_spec in
+  let schemes = parse_comma_list parse_scheme "scheme" schemes_spec in
+  let rng = Pr_util.Rng.create ~seed in
+  let link_events =
+    Pr_sim.Workload.failure_process (Pr_util.Rng.copy rng) g ~mtbf ~mttr ~horizon
+  in
+  let injections =
+    Pr_sim.Workload.poisson_flows (Pr_util.Rng.copy rng) g ~rate ~horizon
+  in
+  Printf.printf
+    "detection-delay sweep: %s (%s embedding), seed %d, horizon %g\n"
+    topo.Topology.name
+    (Pr_exp.Ablation.embedding_name embedding)
+    seed horizon;
+  Printf.printf
+    "  %d link events (mtbf %g, mttr %g), %d packets (rate %g)\n"
+    (List.length link_events) mtbf mttr (List.length injections) rate;
+  Printf.printf "  detector: jitter %g, false-positive rate %g, hold-down %g%s\n\n"
+    jitter fp hold_down
+    (if guard > 0 then Printf.sprintf ", budget guard %d" guard else "");
+  let detection_for delay =
+    {
+      Pr_sim.Detector.down_delay = delay;
+      up_delay = delay;
+      jitter;
+      false_positive_rate = fp;
+      false_positive_hold = 0.5;
+      hold_down;
+      backoff = 2.0;
+      max_backoff = 8.0;
+      budget_guard = guard;
+      seed;
+    }
+  in
+  let results =
+    try
+      List.map
+        (fun delay ->
+          let detection = detection_for delay in
+          let row =
+            List.map
+              (fun scheme ->
+                match
+                  Pr_sim.Engine.run ~detection
+                    { Pr_sim.Engine.topology = topo; rotation; scheme }
+                    ~link_events ~injections
+                with
+                | Ok outcome -> outcome.Pr_sim.Engine.metrics
+                | Error e ->
+                    Printf.eprintf "bad workload: %s\n"
+                      (Pr_sim.Engine.describe_workload_error e);
+                    exit 1)
+              schemes
+          in
+          (delay, row))
+        delays
+    with Invalid_argument msg ->
+      Printf.eprintf "detect: %s\n" msg;
+      exit 1
+  in
+  let loss_cell (m : Pr_sim.Metrics.t) =
+    let deliverable = m.Pr_sim.Metrics.injected - m.Pr_sim.Metrics.unreachable in
+    let lost = m.Pr_sim.Metrics.dropped + m.Pr_sim.Metrics.looped in
+    if deliverable = 0 then "-"
+    else
+      Printf.sprintf "%d/%d (%.2f%%)" lost deliverable
+        (100.0 *. float_of_int lost /. float_of_int deliverable)
+  in
+  Pr_util.Tablefmt.print
+    ~header:("delay"
+             :: List.map
+                  (fun s -> Pr_sim.Engine.scheme_name s ^ " lost")
+                  schemes)
+    (List.map
+       (fun (delay, row) ->
+         Printf.sprintf "%g" delay :: List.map loss_cell row)
+       results);
+  (* Per-reason breakdown for the first PR scheme in the list. *)
+  let rec pr_index i = function
+    | [] -> None
+    | Pr_sim.Engine.Pr_scheme _ :: _ -> Some i
+    | _ :: rest -> pr_index (i + 1) rest
+  in
+  match pr_index 0 schemes with
+  | None -> ()
+  | Some i ->
+      let metrics_at row = List.nth row i in
+      let reasons =
+        List.filter
+          (fun r ->
+            List.exists
+              (fun (_, row) -> Pr_sim.Metrics.drop_count (metrics_at row) r > 0)
+              results)
+          Pr_sim.Metrics.all_reasons
+      in
+      Printf.printf "\n%s drop and degradation breakdown:\n"
+        (Pr_sim.Engine.scheme_name (List.nth schemes i));
+      Pr_util.Tablefmt.print
+        ~header:(("delay" :: List.map Pr_sim.Metrics.reason_name reasons)
+                 @ [ "retries"; "lfa-rescue"; "dd-sat" ])
+        (List.map
+           (fun (delay, row) ->
+             let m = metrics_at row in
+             (Printf.sprintf "%g" delay
+              :: List.map
+                   (fun r -> string_of_int (Pr_sim.Metrics.drop_count m r))
+                   reasons)
+             @ [
+                 string_of_int m.Pr_sim.Metrics.complementary_retries;
+                 string_of_int m.Pr_sim.Metrics.lfa_rescues;
+                 string_of_int m.Pr_sim.Metrics.dd_saturations;
+               ])
+           results)
+
+let detect_cmd =
+  let delays =
+    Arg.(value & opt string "0,0.01,0.05,0.1,0.2,0.5"
+         & info [ "delays" ] ~docv:"LIST"
+             ~doc:"Comma-separated detection delays to sweep (applied to both
+                   failure and repair detection).")
+  in
+  let horizon =
+    Arg.(value & opt float 60.0 & info [ "horizon" ] ~docv:"TIME"
+           ~doc:"Simulated duration.")
+  in
+  let rate =
+    Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"PKTS"
+           ~doc:"Packet injections per time unit.")
+  in
+  let mtbf =
+    Arg.(value & opt float 20.0 & info [ "mtbf" ] ~docv:"TIME"
+           ~doc:"Mean time between failures per link.")
+  in
+  let mttr =
+    Arg.(value & opt float 2.0 & info [ "mttr" ] ~docv:"TIME"
+           ~doc:"Mean time to repair per link.")
+  in
+  let fp =
+    Arg.(value & opt float 0.0 & info [ "fp" ] ~docv:"RATE"
+           ~doc:"False-positive rate per observed transition per endpoint.")
+  in
+  let hold_down =
+    Arg.(value & opt float 0.0 & info [ "hold-down" ] ~docv:"TIME"
+           ~doc:"Per-router hold-down on repair detection (0 disables).")
+  in
+  let jitter =
+    Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"TIME"
+           ~doc:"Per-endpoint uniform extra detection delay in [0, jitter);
+                 nonzero values open unidirectional-failure windows.")
+  in
+  let guard =
+    Arg.(value & opt int 0 & info [ "budget-guard" ] ~docv:"HOPS"
+           ~doc:"Arm the degradation ladder's hop-budget rung this many hops
+                 before TTL exhaustion (0 disables).")
+  in
+  let schemes =
+    Arg.(value & opt string "pr,lfa,reconv" & info [ "schemes" ] ~docv:"LIST"
+           ~doc:"Comma-separated schemes: $(b,pr), $(b,pr-simple), $(b,lfa),
+                 $(b,reconv), $(b,reconv-jitter).")
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Detection-delay sweep: per-scheme loss under imperfect              per-router failure detection, with the PR drop-reason breakdown.")
+    Term.(const detect $ topo_arg $ embedding_arg $ seed_arg $ delays $ horizon
+          $ rate $ mtbf $ mttr $ fp $ hold_down $ jitter $ guard $ schemes)
 
 (* ---- overhead / ablation / coverage ---- *)
 
@@ -534,7 +740,7 @@ let main_cmd =
        ~doc:"Packet Re-cycling (HotNets 2010) reproduction toolkit.")
     [
       topo_cmd; embed_cmd; table_cmd; trace_cmd; fig2_cmd; figures_cmd; hunt_cmd;
-      overhead_cmd; ablation_cmd; coverage_cmd; chaos_cmd;
+      overhead_cmd; ablation_cmd; coverage_cmd; chaos_cmd; detect_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -10,6 +10,7 @@ type config = {
   rate : float;
   mix : Gen.kind list;
   hold_down : float;
+  detection : Pr_sim.Detector.config option;
   schemes : Engine.scheme list;
   shrink : bool;
 }
@@ -23,6 +24,7 @@ let default_config topology rotation ~seed =
     rate = 20.0;
     mix = Gen.all;
     hold_down = 0.0;
+    detection = None;
     schemes =
       [
         Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator };
@@ -76,18 +78,25 @@ let run config =
     let cycles = Pr_core.Cycle_table.build config.rotation in
     let run_scheme scheme =
       let monitor =
-        Monitor.create ~routing ~cycles ~termination:(termination_of scheme) ()
+        Monitor.create ?detection:config.detection ~routing ~cycles
+          ~termination:(termination_of scheme) ()
       in
       match
         Engine.run
           ~observer:(Monitor.engine_observer monitor)
+          ?detection:config.detection
           { Engine.topology = config.topology; rotation = config.rotation; scheme }
           ~link_events ~injections
       with
       | Error e -> Error (Engine.describe_workload_error e)
       | Ok outcome ->
           let shrunk =
-            if config.shrink && Monitor.total monitor > 0 then
+            (* Scenario files (format v1) do not record a detection
+               config, so a shrunk artifact would not replay the
+               violation; shrinking stays truth-knowledge-only. *)
+            if config.shrink && config.detection = None
+               && Monitor.total monitor > 0
+            then
               Some
                 (Shrink.minimise
                    (Scenario.make
@@ -117,10 +126,16 @@ let run config =
 let report config t =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf
-    "chaos campaign: %s, seed %d, horizon %g, mix [%s], hold-down %g\n"
+    "chaos campaign: %s, seed %d, horizon %g, mix [%s], hold-down %g%s\n"
     config.topology.Pr_topo.Topology.name config.seed config.horizon
     (String.concat "," (List.map Gen.name config.mix))
-    config.hold_down;
+    config.hold_down
+    (match config.detection with
+    | None -> ""
+    | Some c ->
+        Printf.sprintf ", detection (down %g, up %g, jitter %g)"
+          c.Pr_sim.Detector.down_delay c.Pr_sim.Detector.up_delay
+          c.Pr_sim.Detector.jitter);
   Printf.bprintf buf
     "  %d link events (%d before hold-down), %d packet injections\n\n"
     (List.length t.link_events)
@@ -134,6 +149,9 @@ let report config t =
         (Engine.scheme_name r.scheme) m.Metrics.delivered m.Metrics.injected
         m.Metrics.dropped m.Metrics.looped m.Metrics.unreachable
         (Monitor.total r.monitor);
+      if Monitor.excused r.monitor > 0 then
+        Printf.bprintf buf "    excused    %d (detection not quiesced)\n"
+          (Monitor.excused r.monitor);
       List.iter
         (fun name ->
           let c = Monitor.count r.monitor name in

@@ -16,13 +16,19 @@ type config = {
   rate : float;              (** packet injections per time unit *)
   mix : Gen.kind list;       (** generators to run, in order *)
   hold_down : float;         (** 0 disables §7 damping *)
+  detection : Pr_sim.Detector.config option;
+      (** per-router failure detection; [None] keeps the seed
+          global-truth behaviour.  With a config, the monitors switch to
+          the weakened detection-quiescence invariants and shrinking is
+          disabled (scenario format v1 cannot record the detector, so a
+          shrunk artifact would not replay). *)
   schemes : Pr_sim.Engine.scheme list;
   shrink : bool;             (** minimise violating scenarios *)
 }
 
 val default_config : Pr_topo.Topology.t -> Pr_embed.Rotation.t -> seed:int -> config
-(** Horizon 60, rate 20, the full generator mix, no hold-down, schemes
-    pr / lfa / reconvergence(5), shrinking on. *)
+(** Horizon 60, rate 20, the full generator mix, no hold-down, no
+    detection, schemes pr / lfa / reconvergence(5), shrinking on. *)
 
 type scheme_result = {
   scheme : Pr_sim.Engine.scheme;

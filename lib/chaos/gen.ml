@@ -2,9 +2,12 @@ module Graph = Pr_graph.Graph
 module Workload = Pr_sim.Workload
 module Rng = Pr_util.Rng
 
-type kind = Srlg | Regional | Node_crash | Cascade | Flap_storm
+type kind = Srlg | Regional | Node_crash | Cascade | Flap_storm | Blip
 
-let all = [ Srlg; Regional; Node_crash; Cascade; Flap_storm ]
+(* [Blip] is appended last so the shared-rng draw order of the earlier
+   generators — and with it every existing seeded campaign — is
+   unchanged. *)
+let all = [ Srlg; Regional; Node_crash; Cascade; Flap_storm; Blip ]
 
 let name = function
   | Srlg -> "srlg"
@@ -12,6 +15,7 @@ let name = function
   | Node_crash -> "crash"
   | Cascade -> "cascade"
   | Flap_storm -> "flap"
+  | Blip -> "blip"
 
 let of_name s =
   match List.find_opt (fun k -> name k = s) all with
@@ -216,6 +220,24 @@ let flap_storm rng (topo : Pr_topo.Topology.t) ~horizon ?(links = 2)
     chosen;
   normalise !events
 
+let blip rng (topo : Pr_topo.Topology.t) ~horizon ?(blips = 4) ?(width = 0.02)
+    () =
+  if horizon <= 0.0 then invalid_arg "Gen.blip: horizon must be positive";
+  if width <= 0.0 then invalid_arg "Gen.blip: width must be positive";
+  let g = topo.Pr_topo.Topology.graph in
+  let events = ref [] in
+  (* Down/up pairs far shorter than any realistic detection delay: a
+     perfect-knowledge router reacts to every one, an imperfect detector
+     should miss most of them entirely. *)
+  for _ = 1 to blips do
+    let e = Graph.edge g (Rng.int rng (Graph.m g)) in
+    let at = Rng.float rng (0.95 *. horizon) in
+    let back = at +. (width *. (0.5 +. Rng.float rng 1.0)) in
+    events := down_event at e :: !events;
+    if back <= horizon then events := up_event back e :: !events
+  done;
+  normalise !events
+
 let generate rng topo ~horizon ~mix =
   let events =
     List.concat_map
@@ -225,7 +247,8 @@ let generate rng topo ~horizon ~mix =
         | Regional -> regional rng topo ~horizon ()
         | Node_crash -> node_crash rng topo ~horizon ()
         | Cascade -> cascade rng topo ~horizon ()
-        | Flap_storm -> flap_storm rng topo ~horizon ())
+        | Flap_storm -> flap_storm rng topo ~horizon ()
+        | Blip -> blip rng topo ~horizon ())
       mix
   in
   normalise events

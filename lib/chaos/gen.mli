@@ -22,9 +22,12 @@ type kind =
                     ({!Pr_core.Failure.of_nodes} lifted to timed events) *)
   | Cascade     (** a seed failure spreads along adjacent links *)
   | Flap_storm  (** a handful of links oscillating rapidly (paper §7) *)
+  | Blip        (** sub-detection-delay down/up blips a perfect-knowledge
+                    router reacts to and a {!Pr_sim.Detector} should miss *)
 
 val all : kind list
-(** In declaration order. *)
+(** In declaration order.  [Blip] comes last so seeded streams produced by
+    the earlier generators are unchanged from before it existed. *)
 
 val name : kind -> string
 
@@ -102,6 +105,19 @@ val flap_storm :
     [period] below a deployment's hold-down to test that damping respects
     the storm (suppresses it), or above it to defeat the hold-down and
     expose the §7 in-flight hazard. *)
+
+val blip :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?blips:int ->
+  ?width:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** [blips] (default 4) isolated down/up pairs on random links, each
+    lasting on the order of [width] (default 0.02) time units — well under
+    any realistic detection delay, so an imperfect detector misses them
+    while the seed engines (instant knowledge) react to every one. *)
 
 val generate :
   Pr_util.Rng.t ->

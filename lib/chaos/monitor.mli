@@ -19,7 +19,14 @@
       topology's DD bit budget ({!Pr_core.Routing.dd_bits}).
     - {b hold-down}: no packet crosses a link it saw down earlier in the
       same cycle-following episode — the §7 hazard; only observable in
-      the timed engine, where link state changes mid-flight. *)
+      the timed engine, where link state changes mid-flight.
+    - {b detection}: the weakened-but-honest delivery invariant under
+      imperfect failure detection ({!Pr_sim.Detector}): a loss is a
+      violation only when every detector belief matched the truth at
+      injection time ([quiesced]); non-quiesced losses are excused and
+      counted separately ({!excused}).  With a detection config, the seed
+      delivery check moves here and the loop re-decision (whose model
+      checker sees the global truth) applies only to quiesced packets. *)
 
 type violation = {
   monitor : string;  (** one of {!monitor_names} *)
@@ -30,21 +37,24 @@ type violation = {
 }
 
 val monitor_names : string list
-(** ["delivery"; "loop"; "dd-width"; "hold-down"]. *)
+(** ["delivery"; "loop"; "dd-width"; "hold-down"; "detection"]. *)
 
 type t
 
 val create :
   ?max_recorded:int ->
+  ?detection:Pr_sim.Detector.config ->
   routing:Pr_core.Routing.t ->
   cycles:Pr_core.Cycle_table.t ->
   termination:Pr_core.Forward.termination ->
   unit ->
   t
 (** Fresh monitor state.  [routing]/[cycles]/[termination] must match the
-    scheme under test (the loop monitor replays traces against them).
-    At most [max_recorded] (default 32) violations keep their details;
-    all are counted. *)
+    scheme under test (the loop monitor replays traces against them), and
+    [detection] the engine's detection config when one is used — it
+    selects the weakened invariants described above.  At most
+    [max_recorded] (default 32) violations keep their details; all are
+    counted. *)
 
 val engine_observer : t -> Pr_sim.Engine.observer
 (** Checks delivery, loop and dd-width on every packet. *)
@@ -58,6 +68,10 @@ val total : t -> int
 
 val recorded : t -> violation list
 (** In detection order, capped at [max_recorded]. *)
+
+val excused : t -> int
+(** Losses excused because detection had not quiesced at injection time.
+    Always 0 without a detection config. *)
 
 val report : t -> string
 (** Deterministic multi-line summary: per-monitor counts and the recorded

@@ -12,6 +12,11 @@ let graph t = Rotation.graph t.rot
 
 let cycle_next t ~node ~from_ = Rotation.next t.rot node from_
 
+let cycle_next_opt t ~node ~from_ =
+  if Pr_graph.Graph.has_edge (graph t) node from_ then
+    Some (Rotation.next t.rot node from_)
+  else None
+
 let complement_for_failed t ~node ~failed = Rotation.next t.rot node failed
 
 let entries t node =

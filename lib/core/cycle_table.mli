@@ -32,7 +32,13 @@ val entries : t -> int -> entry list
 
 val cycle_next : t -> node:int -> from_:int -> int
 (** Column 2: continuation of cycle following for a packet that arrived
-    from [from_]. *)
+    from [from_].  Raises [Invalid_argument] if [from_] is not a
+    neighbour of [node]. *)
+
+val cycle_next_opt : t -> node:int -> from_:int -> int option
+(** {!cycle_next}, but [None] when the table has no entry for the arc —
+    the "continuation lost" case the forwarding ladder
+    ({!Forward.ladder_step}) degrades from instead of crashing. *)
 
 val complement_for_failed : t -> node:int -> failed:int -> int
 (** First hop of the complementary cycle of the failed outgoing interface

@@ -21,16 +21,73 @@ type step_result =
     }
   | Stuck of { outcome : outcome; failure_hits : int }
 
-let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
-    ~cycles ~failures ~dst ~node ~arrived_from ~header () =
+type degradation = Retry_complementary | Lfa_rescue | Dd_saturated
+
+type drop_reason =
+  | No_route
+  | Interfaces_down
+  | Continuation_lost
+  | Budget_exhausted
+
+type ladder_result =
+  | Forwarded of {
+      next : int;
+      header : hop_header;
+      episode_started : bool;
+      failure_hits : int;
+      degradations : degradation list;
+    }
+  | Degraded_drop of {
+      reason : drop_reason;
+      failure_hits : int;
+      degradations : degradation list;
+    }
+
+(* The shared per-router decision core.  [link_up] is the deciding router's
+   view of its interfaces — the global truth under {!step}, a local belief
+   under {!ladder_step}.  [max_dd_q] is the largest quantised DD the header
+   can carry ([None]: unbounded, never saturates).  [budget] is
+   [(hops_left, guard)] when the hop-budget rung is armed.  [strict] keeps
+   the seed behaviour of raising on a missing rotation entry. *)
+let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
+    ~link_up ~dst ~node:x ~arrived_from ~header () =
   let g = Routing.graph routing in
-  let x = node in
-  let up w = Failure.link_up failures x w in
-  (* Header-faithful mode: discriminators live in the integer DD bits. *)
-  let as_carried v =
-    if quantise then float_of_int (Routing.quantise_dd routing v) else v
-  in
+  let up = link_up in
   let failure_hits = ref 0 in
+  let degradations = ref [] in
+  let note d = degradations := d :: !degradations in
+  (* A discriminator value as the DD bits would carry it: quantised when
+     header-faithful, clamped to the header maximum when it does not fit
+     (the saturating-encode behaviour of {!Header.encode_saturating}). *)
+  let carried v =
+    let q = Routing.quantise_dd routing v in
+    match max_dd_q with
+    | Some m when q > m -> (float_of_int m, true)
+    | _ -> ((if quantise then float_of_int q else v), false)
+  in
+  let write_dd v =
+    let value, sat = carried v in
+    if sat then note Dd_saturated;
+    value
+  in
+  let forwarded next header episode_started =
+    Forwarded
+      {
+        next;
+        header;
+        episode_started;
+        failure_hits = !failure_hits;
+        degradations = List.rev !degradations;
+      }
+  in
+  let drop reason =
+    Degraded_drop
+      {
+        reason;
+        failure_hits = !failure_hits;
+        degradations = List.rev !degradations;
+      }
+  in
   (* Start the complementary cycle of the failed interface (x, failed):
      rotate from [failed] to the first live interface.  Each dead interface
      passed is a further failure encounter; under the DD condition the
@@ -41,16 +98,9 @@ let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
   let start_complementary failed ~dd ~episode_started =
     let deg = Graph.degree g x in
     let rec rotate candidate remaining =
-      if remaining = 0 then
-        Stuck { outcome = Dropped_no_interface; failure_hits = !failure_hits }
+      if remaining = 0 then drop Interfaces_down
       else if up candidate then
-        Transmit
-          {
-            next = candidate;
-            header = { pr_bit = true; dd_value = dd };
-            episode_started;
-            failure_hits = !failure_hits;
-          }
+        forwarded candidate { pr_bit = true; dd_value = dd } episode_started
       else begin
         incr failure_hits;
         rotate
@@ -64,49 +114,162 @@ let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
      episode with the local discriminator in the DD bits (§4.2/§4.3). *)
   let routed () =
     match Routing.next_hop routing ~node:x ~dst with
-    | None -> Stuck { outcome = Dropped_unreachable; failure_hits = !failure_hits }
+    | None -> drop No_route
     | Some w ->
-        if up w then
-          Transmit
-            {
-              next = w;
-              header = fresh_header;
-              episode_started = false;
-              failure_hits = !failure_hits;
-            }
+        if up w then forwarded w fresh_header false
         else begin
           incr failure_hits;
-          let dd = as_carried (Routing.disc routing ~node:x ~dst) in
+          let dd = write_dd (Routing.disc routing ~node:x ~dst) in
           start_complementary w ~dd ~episode_started:true
         end
   in
-  if not header.pr_bit then routed ()
+  (* Last ladder rung before the drop: a loop-free alternate (RFC 5286
+     basic inequality, as {!Pr_baselines.Lfa} computes it) that this
+     router believes up.  PR state is discarded — the rescued packet
+     continues as a plain routed packet. *)
+  let lfa_rescue ~reason =
+    match Routing.next_hop routing ~node:x ~dst with
+    | None -> drop No_route
+    | Some primary ->
+        let dist v = Routing.distance routing ~node:v ~dst in
+        let cost w = Graph.weight g x w in
+        let loop_free w = w <> primary && dist w < cost w +. dist x in
+        let best =
+          Array.fold_left
+            (fun acc w ->
+              if loop_free w && up w then
+                match acc with
+                | Some b when cost b +. dist b <= cost w +. dist w -> acc
+                | _ -> Some w
+              else acc)
+            None (Graph.neighbours g x)
+        in
+        (match best with
+        | Some w ->
+            note Lfa_rescue;
+            forwarded w fresh_header false
+        | None -> drop reason)
+  in
+  (* The degradation ladder, entered when the PR continuation is unusable
+     ([reason]): resume plain routing if the primary is up, else
+     (optionally) restart a complementary episode with a fresh local DD,
+     else LFA rescue, else an accounted drop. *)
+  let ladder ~reason ~try_complementary =
+    match Routing.next_hop routing ~node:x ~dst with
+    | None -> drop No_route
+    | Some w ->
+        if up w then forwarded w fresh_header false
+        else begin
+          incr failure_hits;
+          if try_complementary then begin
+            note Retry_complementary;
+            let dd = write_dd (Routing.disc routing ~node:x ~dst) in
+            match start_complementary w ~dd ~episode_started:true with
+            | Forwarded _ as r -> r
+            | Degraded_drop _ -> lfa_rescue ~reason
+          end
+          else lfa_rescue ~reason
+        end
+  in
+  let budget_exhausted =
+    match budget with
+    | Some (hops_left, guard) -> header.pr_bit && hops_left <= guard
+    | None -> false
+  in
+  if budget_exhausted then
+    (* Nearly out of hop budget mid-episode: stop cycle following (it is
+       what burned the budget) and take the ladder without the
+       complementary rung. *)
+    ladder ~reason:Budget_exhausted ~try_complementary:false
+  else if not header.pr_bit then routed ()
   else
     match arrived_from with
     | None ->
         (* A PR-marked packet always has a previous hop; treat a source
            with a stale PR bit as freshly injected. *)
         routed ()
-    | Some y ->
+    | Some y -> (
         (* Cycle following. *)
-        let w = Cycle_table.cycle_next cycles ~node:x ~from_:y in
-        if up w then
-          Transmit
-            {
-              next = w;
-              header;
-              episode_started = false;
-              failure_hits = !failure_hits;
-            }
-        else begin
-          incr failure_hits;
-          match termination with
-          | Simple -> routed ()
-          | Distance_discriminator ->
-              if as_carried (Routing.disc routing ~node:x ~dst) < header.dd_value
-              then routed ()
-              else start_complementary w ~dd:header.dd_value ~episode_started:false
-        end
+        let continuation =
+          if strict then Some (Cycle_table.cycle_next cycles ~node:x ~from_:y)
+          else Cycle_table.cycle_next_opt cycles ~node:x ~from_:y
+        in
+        match continuation with
+        | None -> ladder ~reason:Continuation_lost ~try_complementary:true
+        | Some w ->
+            if up w then forwarded w header false
+            else begin
+              incr failure_hits;
+              match termination with
+              | Simple -> routed ()
+              | Distance_discriminator ->
+                  let local, local_sat =
+                    carried (Routing.disc routing ~node:x ~dst)
+                  in
+                  let header_sat =
+                    match max_dd_q with
+                    | Some m -> header.dd_value >= float_of_int m
+                    | None -> false
+                  in
+                  if local_sat && header_sat then begin
+                    (* Both discriminators clamped to the header maximum:
+                       the §4.3 comparison is no longer sound.  Degrade
+                       instead of trusting it. *)
+                    note Dd_saturated;
+                    ladder ~reason:Continuation_lost ~try_complementary:true
+                  end
+                  else if local < header.dd_value then routed ()
+                  else
+                    start_complementary w ~dd:header.dd_value
+                      ~episode_started:false
+            end)
+
+let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
+    ~cycles ~failures ~dst ~node ~arrived_from ~header () =
+  match
+    decide ~termination ~quantise ~max_dd_q:None ~budget:None ~strict:true
+      ~routing ~cycles
+      ~link_up:(fun w -> Failure.link_up failures node w)
+      ~dst ~node ~arrived_from ~header ()
+  with
+  | Forwarded { next; header; episode_started; failure_hits; degradations = _ }
+    ->
+      Transmit { next; header; episode_started; failure_hits }
+  | Degraded_drop { reason = No_route; failure_hits; _ } ->
+      Stuck { outcome = Dropped_unreachable; failure_hits }
+  | Degraded_drop { reason = Interfaces_down; failure_hits; _ } ->
+      Stuck { outcome = Dropped_no_interface; failure_hits }
+  | Degraded_drop { reason = Continuation_lost | Budget_exhausted; _ } ->
+      (* Unreachable: strict mode raises on missing entries, the budget
+         rung is unarmed and DD values never saturate without a bound. *)
+      assert false
+
+let ladder_step ?(termination = Distance_discriminator) ?(quantise = false)
+    ?dd_bits ?hops_left ?(budget_guard = 0) ~routing ~cycles ~link_up ~dst
+    ~node ~arrived_from ~header () =
+  let max_dd_q =
+    match dd_bits with
+    | None -> None
+    | Some b -> Some (Header.max_dd ~dd_bits:b)
+  in
+  let budget =
+    match hops_left with
+    | Some h when budget_guard > 0 -> Some (h, budget_guard)
+    | _ -> None
+  in
+  decide ~termination ~quantise ~max_dd_q ~budget ~strict:false ~routing
+    ~cycles ~link_up ~dst ~node ~arrived_from ~header ()
+
+let degradation_name = function
+  | Retry_complementary -> "retry-complementary"
+  | Lfa_rescue -> "lfa-rescue"
+  | Dd_saturated -> "dd-saturated"
+
+let drop_reason_name = function
+  | No_route -> "no-route"
+  | Interfaces_down -> "interfaces-down"
+  | Continuation_lost -> "continuation-lost"
+  | Budget_exhausted -> "budget-exhausted"
 
 type trace = {
   outcome : outcome;

@@ -72,6 +72,92 @@ val step :
     [node <> dst]) that arrived from [arrived_from] ([None] at the
     source). *)
 
+(** {2 The graceful-degradation ladder}
+
+    {!step} assumes the PR machinery itself never fails: rotation entries
+    always resolve, DD values always fit the header, the hop budget is
+    plentiful.  {!ladder_step} is the same forwarding decision made against
+    an arbitrary local link-state view with those assumptions withdrawn.
+    When the PR continuation is unusable it degrades {e deterministically}:
+    resume plain routing if the primary is believed up, else restart a
+    complementary episode with a fresh local DD, else hand the packet to a
+    believed-up loop-free alternate (RFC 5286 basic inequality), else an
+    accounted drop carrying its reason.  With no DD bound, no budget guard
+    and the true link state as the view, {!ladder_step} reproduces {!step}
+    verdict-for-verdict — the differential the simulator tests pin. *)
+
+type degradation =
+  | Retry_complementary
+      (** a fresh complementary episode was started from the ladder *)
+  | Lfa_rescue
+      (** the packet was handed to a loop-free alternate, PR state
+          discarded *)
+  | Dd_saturated
+      (** a DD value was clamped to the header maximum, or a saturated
+          comparison was refused *)
+
+type drop_reason =
+  | No_route       (** no routing entry — destination unreachable even
+                       without failures *)
+  | Interfaces_down  (** every interface of the router believed down *)
+  | Continuation_lost
+      (** the PR continuation was unusable (missing rotation entry or
+          saturated DD comparison) and no ladder rung could take the
+          packet *)
+  | Budget_exhausted
+      (** the hop-budget guard fired mid-episode and no ladder rung could
+          take the packet *)
+
+type ladder_result =
+  | Forwarded of {
+      next : int;
+      header : hop_header;
+      episode_started : bool;
+      failure_hits : int;
+      degradations : degradation list;  (** in the order they occurred *)
+    }
+  | Degraded_drop of {
+      reason : drop_reason;
+      failure_hits : int;
+      degradations : degradation list;
+    }
+
+val ladder_step :
+  ?termination:termination ->
+  ?quantise:bool ->
+  ?dd_bits:int ->
+  ?hops_left:int ->
+  ?budget_guard:int ->
+  routing:Routing.t ->
+  cycles:Cycle_table.t ->
+  link_up:(int -> bool) ->
+  dst:int ->
+  node:int ->
+  arrived_from:int option ->
+  header:hop_header ->
+  unit ->
+  ladder_result
+(** One router's decision under its own link-state view [link_up] (one
+    call per neighbour of [node]).
+
+    [dd_bits] bounds what the DD field can carry: values quantising above
+    [Header.max_dd ~dd_bits] are clamped (noting {!Dd_saturated}), and a
+    §4.3 comparison in which both discriminators sit at the clamp is
+    refused as unsound — the packet takes the ladder instead.  Omitted:
+    unbounded, byte-compatible with {!step}.
+
+    [budget_guard] (default 0 = off) arms the hop-budget rung: a PR-marked
+    packet with [hops_left <= budget_guard] stops cycle following and takes
+    the ladder (without the complementary rung) rather than burning its
+    last hops looping.
+
+    A missing rotation entry ([arrived_from] not a neighbour of [node])
+    takes the ladder as {!Continuation_lost} instead of raising. *)
+
+val degradation_name : degradation -> string
+
+val drop_reason_name : drop_reason -> string
+
 type trace = {
   outcome : outcome;
   path : int list;        (** nodes visited, starting at the source *)

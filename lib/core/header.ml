@@ -12,6 +12,14 @@ let encode ~dd_bits { pr; dd } =
     invalid_arg (Printf.sprintf "Header.encode: DD %d does not fit %d bits" dd dd_bits);
   (dd lsl 1) lor (if pr then 1 else 0)
 
+let max_dd ~dd_bits =
+  if dd_bits < 0 || dd_bits > 61 then invalid_arg "Header.max_dd: bad dd_bits";
+  (1 lsl dd_bits) - 1
+
+let encode_saturating ~dd_bits { pr; dd } =
+  if dd < 0 then invalid_arg "Header.encode_saturating: negative DD";
+  encode ~dd_bits { pr; dd = min dd (max_dd ~dd_bits) }
+
 let decode ~dd_bits field =
   if dd_bits < 0 || dd_bits > 61 then invalid_arg "Header.decode: bad dd_bits";
   if field < 0 || field >= 1 lsl (dd_bits + 1) then

@@ -21,6 +21,17 @@ val encode : dd_bits:int -> t -> int
 (** Pack into [1 + dd_bits] bits: PR bit in the LSB, DD above it.  Raises
     [Invalid_argument] if the DD value does not fit or is negative. *)
 
+val max_dd : dd_bits:int -> int
+(** Largest DD value representable in [dd_bits] bits: [2^dd_bits - 1]. *)
+
+val encode_saturating : dd_bits:int -> t -> int
+(** {!encode}, but a DD value exceeding the bit budget is clamped to
+    {!max_dd} instead of raising — the data-plane behaviour a real header
+    field has.  A saturated DD is the degradation the forwarding ladder
+    ({!Forward.ladder_step}) detects: two saturated discriminators compare
+    equal, so the §4.3 termination condition is no longer trustworthy.
+    Still raises [Invalid_argument] on negative DD or bad [dd_bits]. *)
+
 val decode : dd_bits:int -> int -> t
 (** Inverse of {!encode}.  Raises [Invalid_argument] on out-of-range
     fields. *)

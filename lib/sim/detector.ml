@@ -1,0 +1,203 @@
+module Graph = Pr_graph.Graph
+module Rng = Pr_util.Rng
+
+type config = {
+  down_delay : float;
+  up_delay : float;
+  jitter : float;
+  false_positive_rate : float;
+  false_positive_hold : float;
+  hold_down : float;
+  backoff : float;
+  max_backoff : float;
+  budget_guard : int;
+  seed : int;
+}
+
+let ideal =
+  {
+    down_delay = 0.0;
+    up_delay = 0.0;
+    jitter = 0.0;
+    false_positive_rate = 0.0;
+    false_positive_hold = 0.0;
+    hold_down = 0.0;
+    backoff = 1.0;
+    max_backoff = 1.0;
+    budget_guard = 0;
+    seed = 0;
+  }
+
+let default =
+  {
+    down_delay = 0.05;
+    up_delay = 0.1;
+    jitter = 0.05;
+    false_positive_rate = 0.0;
+    false_positive_hold = 0.5;
+    hold_down = 0.5;
+    backoff = 2.0;
+    max_backoff = 8.0;
+    budget_guard = 0;
+    seed = 1;
+  }
+
+let validate_config c =
+  let nonneg name v =
+    if not (Float.is_finite v) || v < 0.0 then
+      invalid_arg (Printf.sprintf "Detector: %s must be finite and >= 0" name)
+  in
+  nonneg "down_delay" c.down_delay;
+  nonneg "up_delay" c.up_delay;
+  nonneg "jitter" c.jitter;
+  nonneg "false_positive_hold" c.false_positive_hold;
+  nonneg "hold_down" c.hold_down;
+  if
+    (not (Float.is_finite c.false_positive_rate))
+    || c.false_positive_rate < 0.0
+    || c.false_positive_rate > 1.0
+  then invalid_arg "Detector: false_positive_rate must be in [0, 1]";
+  if not (Float.is_finite c.backoff) || c.backoff < 1.0 then
+    invalid_arg "Detector: backoff must be >= 1";
+  if not (Float.is_finite c.max_backoff) || c.max_backoff < 1.0 then
+    invalid_arg "Detector: max_backoff must be >= 1";
+  if c.budget_guard < 0 then invalid_arg "Detector: budget_guard must be >= 0"
+
+(* One endpoint's belief about its adjacent link.  [pending] is a scheduled
+   belief change that commits when the simulation clock reaches it;
+   [cancels] counts restores cancelled inside their hold-down window and
+   drives the exponential backoff; [false_down_until] holds the link
+   falsely down after a false-positive draw. *)
+type side = {
+  rng : Rng.t;
+  mutable believed_up : bool;
+  mutable pending : (float * bool) option;
+  mutable cancels : int;
+  mutable false_down_until : float;
+}
+
+type t = { cfg : config; g : Graph.t; sides : side array }
+
+let create cfg g =
+  validate_config cfg;
+  let master = Rng.create ~seed:cfg.seed in
+  let sides =
+    Array.init
+      (2 * Graph.m g)
+      (fun _ ->
+        {
+          rng = Rng.split master;
+          believed_up = true;
+          pending = None;
+          cancels = 0;
+          false_down_until = 0.0;
+        })
+  in
+  { cfg; g; sides }
+
+let config t = t.cfg
+
+let link_index t u v =
+  try Graph.edge_index t.g u v
+  with Not_found ->
+    invalid_arg (Printf.sprintf "Detector: %d-%d is not a link" u v)
+
+(* Side 0 of edge i belongs to the endpoint [e.u], side 1 to [e.v]. *)
+let side_of t ~node ~other =
+  let i = link_index t node other in
+  let e = Graph.edge t.g i in
+  t.sides.((2 * i) + if node = e.u then 0 else 1)
+
+let commit s ~now =
+  match s.pending with
+  | Some (at, st) when at <= now ->
+      s.believed_up <- st;
+      s.pending <- None;
+      if st then s.cancels <- 0
+  | Some _ | None -> ()
+
+let jitter_draw t s = if t.cfg.jitter > 0.0 then Rng.float s.rng t.cfg.jitter else 0.0
+
+let observe_side t s ~time ~up =
+  commit s ~now:time;
+  if up then begin
+    (match s.pending with
+    | Some (_, false) ->
+        (* The link came back before the failure was detected: the blip is
+           missed entirely. *)
+        s.pending <- None
+    | Some (_, true) -> ()
+    | None ->
+        if not s.believed_up then begin
+          let hold =
+            Flap.backoff_hold ~hold_down:t.cfg.hold_down ~factor:t.cfg.backoff
+              ~cap:t.cfg.max_backoff ~cancels:s.cancels
+          in
+          s.pending <-
+            Some (time +. t.cfg.up_delay +. hold +. jitter_draw t s, true)
+        end)
+  end
+  else begin
+    (match s.pending with
+    | Some (_, true) ->
+        (* Failed again while the restore was pending: cancel it and
+           escalate the backoff. *)
+        s.pending <- None;
+        s.cancels <- s.cancels + 1
+    | Some (_, false) -> ()
+    | None ->
+        if s.believed_up then
+          s.pending <- Some (time +. t.cfg.down_delay +. jitter_draw t s, false))
+  end;
+  (* Churn makes an imperfect detector jumpy: each observed transition may
+     falsely hold the link down for a while even at an endpoint whose
+     belief tracked the truth. *)
+  if t.cfg.false_positive_rate > 0.0 then
+    if Rng.float s.rng 1.0 < t.cfg.false_positive_rate then
+      s.false_down_until <-
+        Float.max s.false_down_until (time +. t.cfg.false_positive_hold)
+
+let observe t ~time ~u ~v ~up =
+  let i = link_index t u v in
+  observe_side t t.sides.(2 * i) ~time ~up;
+  observe_side t t.sides.((2 * i) + 1) ~time ~up
+
+let side_believes_up s ~now =
+  commit s ~now;
+  s.believed_up && now >= s.false_down_until
+
+let believes_up t ~now ~node ~other = side_believes_up (side_of t ~node ~other) ~now
+
+let local_view t ~now ~node = fun other -> believes_up t ~now ~node ~other
+
+let force_belief t ~node ~other ~up =
+  let s = side_of t ~node ~other in
+  s.pending <- None;
+  s.false_down_until <- 0.0;
+  s.believed_up <- up
+
+let quiescent t ~now ~net =
+  let m = Graph.m t.g in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    let truth = Netstate.is_up_index net i in
+    if
+      side_believes_up t.sides.(2 * i) ~now <> truth
+      || side_believes_up t.sides.((2 * i) + 1) ~now <> truth
+    then ok := false
+  done;
+  !ok
+
+let asymmetric_links t ~now =
+  let m = Graph.m t.g in
+  let out = ref [] in
+  for i = m - 1 downto 0 do
+    if
+      side_believes_up t.sides.(2 * i) ~now
+      <> side_believes_up t.sides.((2 * i) + 1) ~now
+    then begin
+      let e = Graph.edge t.g i in
+      out := (e.u, e.v) :: !out
+    end
+  done;
+  !out

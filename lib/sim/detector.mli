@@ -1,0 +1,90 @@
+(** Per-router failure detection with configurable imperfection.
+
+    The seed engines hand every router the global truth ({!Netstate}): a
+    link fails and both endpoints react on the very next packet.  Real
+    IPFRR routers learn about their adjacent links through a detector
+    (loss-of-light, BFD) that is {e late}, {e asymmetric} and occasionally
+    {e wrong}.  This module keeps one belief per link {e endpoint}, driven
+    from the true link events through a configurable model:
+
+    - {b detection delay}: a failure is believed [down_delay] after it
+      happens, a repair [up_delay] after — plus per-endpoint [jitter], so
+      the two ends of a link can disagree and open unidirectional-failure
+      windows;
+    - {b blips}: a failure repaired within the detection delay is never
+      noticed at all;
+    - {b hold-down with backoff}: a repair is additionally held down for
+      [hold_down] (the paper's §7 mitigation, generalised from
+      {!Flap.apply_hold_down} into per-router state); each repair cancelled
+      by a re-failure inside its window multiplies the next hold by
+      [backoff], capped at [max_backoff];
+    - {b false positives}: with probability [false_positive_rate] per
+      observed transition, an endpoint falsely believes its link down for
+      [false_positive_hold] — the jumpy-detector regime of flap storms.
+
+    All randomness is deterministic from [seed] (one {!Pr_util.Rng} stream
+    per endpoint), so runs replay exactly.  {!ideal} makes beliefs track
+    the truth perfectly; the engines' differential tests pin that
+    configuration to the seed behaviour. *)
+
+type config = {
+  down_delay : float;          (** failure detection latency *)
+  up_delay : float;            (** repair detection latency *)
+  jitter : float;              (** per-endpoint uniform extra delay in
+                                   [0, jitter) *)
+  false_positive_rate : float; (** per observed transition, per endpoint *)
+  false_positive_hold : float; (** how long a false down lasts *)
+  hold_down : float;           (** base hold-down on repairs *)
+  backoff : float;             (** hold multiplier per cancelled repair,
+                                   >= 1 *)
+  max_backoff : float;         (** cap on the accumulated multiplier *)
+  budget_guard : int;
+      (** armed into {!Pr_core.Forward.ladder_step}'s hop-budget rung by
+          the engines; 0 disables it *)
+  seed : int;
+}
+
+val ideal : config
+(** Zero delays, no jitter, no false positives, no hold-down, guard off —
+    beliefs equal truth at every instant and the engines behave exactly
+    like their seed (global-truth) paths. *)
+
+val default : config
+(** A mildly imperfect detector: 50 ms failure detection, 100 ms repair
+    detection, 50 ms jitter, 0.5 s hold-down doubling up to 8x, no false
+    positives. *)
+
+type t
+
+val create : config -> Pr_graph.Graph.t -> t
+(** All links believed up.  Raises [Invalid_argument] on a malformed
+    config (negative delays, rate outside [0, 1], backoff below 1). *)
+
+val config : t -> config
+
+val observe : t -> time:float -> u:int -> v:int -> up:bool -> unit
+(** Feed one true link transition to both endpoints.  Must be called in
+    time order; the engines call it for every link event, including
+    redundant ones (churn still feeds the false-positive model).  Raises
+    [Invalid_argument] for non-links. *)
+
+val believes_up : t -> now:float -> node:int -> other:int -> bool
+(** [node]'s current belief about its link to [other], committing any
+    matured pending transitions first. *)
+
+val local_view : t -> now:float -> node:int -> int -> bool
+(** [local_view t ~now ~node] is [node]'s view of its interfaces — the
+    [link_up] argument {!Pr_core.Forward.ladder_step} expects. *)
+
+val quiescent : t -> now:float -> net:Netstate.t -> bool
+(** Every endpoint's belief matches the true state of its link.  Once
+    quiescent, the engines behave as the seed does — this is the premise
+    of the weakened delivery invariant the chaos monitors check. *)
+
+val asymmetric_links : t -> now:float -> (int * int) list
+(** Links whose two endpoints currently disagree — the unidirectional
+    failure windows. *)
+
+val force_belief : t -> node:int -> other:int -> up:bool -> unit
+(** Test hook: pin one endpoint's belief, clearing any pending transition
+    and false-positive hold. *)

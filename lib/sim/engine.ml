@@ -1,5 +1,6 @@
 module Graph = Pr_graph.Graph
 module Dijkstra = Pr_graph.Dijkstra
+module Forward = Pr_core.Forward
 
 type scheme =
   | Pr_scheme of { termination : Pr_core.Forward.termination }
@@ -92,6 +93,7 @@ type observer = {
     src:int ->
     dst:int ->
     failures:Pr_core.Failure.t ->
+    quiesced:bool ->
     verdict:packet_verdict ->
     trace:Pr_core.Forward.trace option ->
     unit;
@@ -106,7 +108,7 @@ let scheme_name = function
 
 type event = Link of Workload.link_event | Packet of Workload.injection | Converge
 
-let run ?observer config ~link_events ~injections =
+let run ?observer ?detection config ~link_events ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
   match validate_workload g ~link_events ~injections with
   | Error e -> Error e
@@ -114,6 +116,13 @@ let run ?observer config ~link_events ~injections =
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build config.rotation in
   let net = Netstate.create g in
+  let det = Option.map (fun cfg -> Detector.create cfg g) detection in
+  (* Reconvergence only starts once the failure (or repair) is detected. *)
+  let detect_lag ~up =
+    match detection with
+    | None -> 0.0
+    | Some c -> if up then c.Detector.up_delay else c.Detector.down_delay
+  in
   let metrics = Metrics.create () in
   let spf_runs = ref 0 in
   let link_transitions = ref 0 in
@@ -172,13 +181,118 @@ let run ?observer config ~link_events ~injections =
     in
     walk src 0.0 (4 * Graph.n g)
   in
-  let notify ~time ~src ~dst ~failures ~verdict ~trace =
+  (* PR forwarding under per-router beliefs: each hop decides on its own
+     local view through the degradation ladder; a packet sent into a link
+     the sender wrongly believed up dies on the wire (stale view).  Returns
+     a seed-shaped trace, the classified drop reason (when dropped) and the
+     ladder events, oldest first. *)
+  let forward_detected_pr d ~termination ~now ~src ~dst =
+    let dd_bits = Pr_core.Routing.dd_bits routing in
+    let budget_guard = (Detector.config d).Detector.budget_guard in
+    let pr_episodes = ref 0 in
+    let failure_hits = ref 0 in
+    let max_dd = ref 0.0 in
+    let episodes = ref [] in
+    let degr_rev = ref [] in
+    let finish outcome ~reason acc =
+      let trace =
+        {
+          Forward.outcome;
+          path = List.rev acc;
+          pr_episodes = !pr_episodes;
+          failure_hits = !failure_hits;
+          max_header =
+            {
+              Pr_core.Header.pr = !pr_episodes > 0;
+              dd = Pr_core.Routing.quantise_dd routing !max_dd;
+            };
+          episodes = List.rev !episodes;
+        }
+      in
+      (trace, reason, List.rev !degr_rev)
+    in
+    let rec walk x arrived_from (header : Forward.hop_header) ~ttl acc =
+      if x = dst then finish Forward.Delivered ~reason:None acc
+      else if ttl = 0 then finish Forward.Ttl_exceeded ~reason:None acc
+      else
+        match
+          Forward.ladder_step ~termination ~dd_bits ~hops_left:ttl
+            ~budget_guard ~routing ~cycles
+            ~link_up:(Detector.local_view d ~now ~node:x)
+            ~dst ~node:x ~arrived_from ~header ()
+        with
+        | Forward.Degraded_drop { reason; failure_hits = hits; degradations }
+          ->
+            failure_hits := !failure_hits + hits;
+            degr_rev := List.rev_append degradations !degr_rev;
+            let outcome =
+              match reason with
+              | Forward.No_route -> Forward.Dropped_unreachable
+              | Forward.Interfaces_down | Forward.Continuation_lost
+              | Forward.Budget_exhausted ->
+                  Forward.Dropped_no_interface
+            in
+            finish outcome ~reason:(Some (Metrics.reason_of_forward reason)) acc
+        | Forward.Forwarded
+            { next; header; episode_started; failure_hits = hits; degradations }
+          ->
+            failure_hits := !failure_hits + hits;
+            degr_rev := List.rev_append degradations !degr_rev;
+            if episode_started then begin
+              incr pr_episodes;
+              episodes := (x, header.Forward.dd_value) :: !episodes;
+              if header.Forward.dd_value > !max_dd then
+                max_dd := header.Forward.dd_value
+            end;
+            if Netstate.is_up net x next then
+              walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
+            else
+              finish Forward.Dropped_no_interface
+                ~reason:(Some Metrics.Stale_view) (next :: acc)
+    in
+    walk src None Forward.fresh_header ~ttl:(Forward.default_ttl g) [ src ]
+  in
+  (* LFA under per-router beliefs: the seed {!Pr_baselines.Lfa.run} walk,
+     with the up-checks asked of the deciding router's detector and a
+     truth check on the wire. *)
+  let forward_detected_lfa d ~now ~src ~dst =
+    let rec walk x cost ttl =
+      if x = dst then `Delivered cost
+      else if ttl = 0 then `Looped
+      else
+        match Pr_baselines.Lfa.alternates_for routing ~node:x ~dst with
+        | None -> `Dropped Metrics.No_route
+        | Some { Pr_baselines.Lfa.primary; alternate } ->
+            let believes w = Detector.believes_up d ~now ~node:x ~other:w in
+            let chosen =
+              if believes primary then Some primary
+              else
+                match alternate with
+                | Some w when believes w -> Some w
+                | Some _ | None -> None
+            in
+            (match chosen with
+            | None -> `Dropped Metrics.No_alternate
+            | Some w ->
+                if Netstate.is_up net x w then
+                  walk w (cost +. Graph.weight g x w) (ttl - 1)
+                else `Dropped Metrics.Stale_view)
+    in
+    walk src 0.0 ((4 * Graph.n g) + 16)
+  in
+  let notify ~time ~src ~dst ~failures ~quiesced ~verdict ~trace =
     match observer with
     | None -> ()
-    | Some o -> o.on_packet ~time ~src ~dst ~failures ~verdict ~trace
+    | Some o -> o.on_packet ~time ~src ~dst ~failures ~quiesced ~verdict ~trace
   in
   let handle_packet ({ src; dst; time } : Workload.injection) =
     let failures = Netstate.failures net in
+    let quiesced =
+      match det with
+      | None -> true
+      | Some d -> Detector.quiescent d ~now:time ~net
+    in
+    let notify = notify ~quiesced in
     if not (Pr_core.Failure.pair_connected failures src dst) then begin
       (* No scheme can deliver across a partition; PR packets would wander
          until the IP TTL kills them, others drop at the failure. *)
@@ -187,41 +301,80 @@ let run ?observer config ~link_events ~injections =
     end
     else
     match config.scheme with
-    | Pr_scheme { termination } ->
-        let trace =
-          Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
-        in
-        let verdict =
-          match trace.outcome with
-          | Pr_core.Forward.Delivered ->
-              let stretch = Pr_core.Forward.stretch ~routing ~trace ~src ~dst in
-              Metrics.record_delivery metrics ~stretch;
-              Delivered { stretch }
-          | Pr_core.Forward.Ttl_exceeded ->
-              Metrics.record_loop metrics;
-              Looped
-          | Pr_core.Forward.Dropped_no_interface
-          | Pr_core.Forward.Dropped_unreachable ->
-              Metrics.record_drop metrics;
-              Dropped
-        in
-        notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace)
-    | Lfa_scheme ->
-        let trace = Pr_baselines.Lfa.run routing ~failures ~src ~dst () in
-        let verdict =
-          match trace.outcome with
-          | Pr_baselines.Lfa.Delivered ->
-              let stretch = Pr_baselines.Lfa.stretch ~routing ~trace ~src ~dst in
-              Metrics.record_delivery metrics ~stretch;
-              Delivered { stretch }
-          | Pr_baselines.Lfa.Dropped ->
-              Metrics.record_drop metrics;
-              Dropped
-          | Pr_baselines.Lfa.Ttl_exceeded ->
-              Metrics.record_loop metrics;
-              Looped
-        in
-        notify ~time ~src ~dst ~failures ~verdict ~trace:None
+    | Pr_scheme { termination } -> (
+        match det with
+        | None ->
+            let trace =
+              Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
+            in
+            let verdict =
+              match trace.outcome with
+              | Pr_core.Forward.Delivered ->
+                  let stretch = Pr_core.Forward.stretch ~routing ~trace ~src ~dst in
+                  Metrics.record_delivery metrics ~stretch;
+                  Delivered { stretch }
+              | Pr_core.Forward.Ttl_exceeded ->
+                  Metrics.record_loop metrics;
+                  Looped
+              | Pr_core.Forward.Dropped_no_interface
+              | Pr_core.Forward.Dropped_unreachable ->
+                  Metrics.record_drop metrics;
+                  Dropped
+            in
+            notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace)
+        | Some d ->
+            let trace, reason, degradations =
+              forward_detected_pr d ~termination ~now:time ~src ~dst
+            in
+            Metrics.record_degradations metrics degradations;
+            let verdict =
+              match trace.outcome with
+              | Pr_core.Forward.Delivered ->
+                  let stretch = Pr_core.Forward.stretch ~routing ~trace ~src ~dst in
+                  Metrics.record_delivery metrics ~stretch;
+                  Delivered { stretch }
+              | Pr_core.Forward.Ttl_exceeded ->
+                  Metrics.record_loop metrics;
+                  Looped
+              | Pr_core.Forward.Dropped_no_interface
+              | Pr_core.Forward.Dropped_unreachable ->
+                  Metrics.record_drop ?reason metrics;
+                  Dropped
+            in
+            notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace))
+    | Lfa_scheme -> (
+        match det with
+        | None ->
+            let trace = Pr_baselines.Lfa.run routing ~failures ~src ~dst () in
+            let verdict =
+              match trace.outcome with
+              | Pr_baselines.Lfa.Delivered ->
+                  let stretch = Pr_baselines.Lfa.stretch ~routing ~trace ~src ~dst in
+                  Metrics.record_delivery metrics ~stretch;
+                  Delivered { stretch }
+              | Pr_baselines.Lfa.Dropped ->
+                  Metrics.record_drop metrics;
+                  Dropped
+              | Pr_baselines.Lfa.Ttl_exceeded ->
+                  Metrics.record_loop metrics;
+                  Looped
+            in
+            notify ~time ~src ~dst ~failures ~verdict ~trace:None
+        | Some d ->
+            let verdict =
+              match forward_detected_lfa d ~now:time ~src ~dst with
+              | `Delivered cost ->
+                  let stretch = cost /. baseline_distance ~src ~dst in
+                  Metrics.record_delivery metrics ~stretch;
+                  Delivered { stretch }
+              | `Looped ->
+                  Metrics.record_loop metrics;
+                  Looped
+              | `Dropped reason ->
+                  Metrics.record_drop ~reason metrics;
+                  Dropped
+            in
+            notify ~time ~src ~dst ~failures ~verdict ~trace:None)
     | Reconvergence_scheme _ ->
         let verdict =
           match forward_stale ~src ~dst with
@@ -249,11 +402,16 @@ let run ?observer config ~link_events ~injections =
   in
   let handle_link time (e : Workload.link_event) =
     let changed = Netstate.set_link net e.u e.v ~up:e.up in
+    (* Every event is churn the detectors see, redundant or not. *)
+    (match det with
+    | Some d -> Detector.observe d ~time ~u:e.u ~v:e.v ~up:e.up
+    | None -> ());
     if changed then begin
       incr link_transitions;
+      let lag = detect_lag ~up:e.up in
       match config.scheme with
       | Reconvergence_scheme { convergence_delay } ->
-          Event.schedule queue ~time:(time +. convergence_delay) Converge
+          Event.schedule queue ~time:(time +. lag +. convergence_delay) Converge
       | Reconvergence_jittered { min_delay; max_delay; _ } ->
           (* Routers at most one epoch behind: the previous converged view
              becomes the stale one, the post-event view is computed now and
@@ -263,7 +421,7 @@ let run ?observer config ~link_events ~injections =
           Array.iteri
             (fun r _ ->
               deadlines.(r) <-
-                time +. min_delay
+                time +. lag +. min_delay
                 +. Pr_util.Rng.float jitter_rng (Float.max 1e-9 (max_delay -. min_delay)))
             deadlines
       | Pr_scheme _ | Lfa_scheme -> ()
@@ -296,7 +454,7 @@ let run ?observer config ~link_events ~injections =
       finished_at = !finished_at;
     }
 
-let run_exn ?observer config ~link_events ~injections =
-  match run ?observer config ~link_events ~injections with
+let run_exn ?observer ?detection config ~link_events ~injections =
+  match run ?observer ?detection config ~link_events ~injections with
   | Ok outcome -> outcome
   | Error e -> invalid_arg ("Engine.run: " ^ describe_workload_error e)

@@ -93,16 +93,21 @@ type observer = {
     src:int ->
     dst:int ->
     failures:Pr_core.Failure.t ->
+    quiesced:bool ->
     verdict:packet_verdict ->
     trace:Pr_core.Forward.trace option ->
     unit;
       (** every injection; [failures] is the link state frozen at injection
           time, [trace] is the full PR trace under {!Pr_scheme} (and [None]
-          for the other schemes) *)
+          for the other schemes).  [quiesced] is whether every detector
+          belief matched the truth at injection time ({!Detector.quiescent});
+          always [true] without a detection config.  The chaos monitors
+          weaken the delivery invariant to quiesced injections. *)
 }
 
 val run :
   ?observer:observer ->
+  ?detection:Detector.config ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
@@ -110,10 +115,23 @@ val run :
 (** Replays both streams merged in time order.  Each stream must be
     time-sorted with finite non-negative timestamps, link events must name
     edges of the topology and injections distinct in-range nodes;
-    violations are reported as [Error] without running anything. *)
+    violations are reported as [Error] without running anything.
+
+    With [detection], routers no longer see the global truth: each
+    forwarding decision consults the deciding router's {!Detector} belief.
+    Under {!Pr_scheme} packets walk {!Pr_core.Forward.ladder_step} (DD
+    bounded by the topology's bit budget, the detector's [budget_guard]
+    armed) and a packet sent into a link its sender wrongly believed up is
+    lost on the wire — a [Stale_view] drop in the {!Metrics} breakdown.
+    Under {!Lfa_scheme} the seed walk runs on beliefs with the same
+    on-wire truth check.  The reconvergence schemes start their
+    convergence timers only after the detection delay.  With
+    [Detector.ideal] every scheme reproduces its seed verdicts exactly —
+    pinned by the differential tests. *)
 
 val run_exn :
   ?observer:observer ->
+  ?detection:Detector.config ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->

@@ -93,6 +93,13 @@ let apply_hold_down events ~hold_down =
   Hashtbl.fold (fun _ evs acc -> damped_for_link evs @ acc) by_link []
   |> List.sort (fun (a : Workload.link_event) b -> compare a.time b.time)
 
+let backoff_hold ~hold_down ~factor ~cap ~cancels =
+  if hold_down < 0.0 then invalid_arg "Flap.backoff_hold: negative hold-down";
+  if factor < 1.0 then invalid_arg "Flap.backoff_hold: factor must be >= 1";
+  if cap < 1.0 then invalid_arg "Flap.backoff_hold: cap must be >= 1";
+  if cancels < 0 then invalid_arg "Flap.backoff_hold: negative cancels";
+  hold_down *. Float.min cap (factor ** float_of_int cancels)
+
 let transitions_per_link events =
   let counts = Hashtbl.create 16 in
   List.iter

@@ -39,6 +39,15 @@ val apply_hold_down :
     {!describe_violation}) when the precondition is violated, or when
     [hold_down] is negative — never a silent wrong answer. *)
 
+val backoff_hold :
+  hold_down:float -> factor:float -> cap:float -> cancels:int -> float
+(** Effective hold-down after [cancels] repairs were cancelled inside
+    their window: [hold_down * min cap (factor ^ cancels)].  This is the
+    escalation rule {!Detector} applies per endpoint, exposed so offline
+    trace damping and the per-router model stay in agreement.  Raises
+    [Invalid_argument] on a negative [hold_down] or [cancels], or a
+    [factor]/[cap] below 1. *)
+
 val transitions_per_link :
   Workload.link_event list -> ((int * int) * int) list
 (** Count of state transitions per link — a measure of the churn the

@@ -1,3 +1,47 @@
+type drop_reason =
+  | No_route
+  | Interfaces_down
+  | No_alternate
+  | Continuation_lost
+  | Budget_exhausted
+  | Stale_view
+  | Unclassified
+
+let all_reasons =
+  [
+    No_route;
+    Interfaces_down;
+    No_alternate;
+    Continuation_lost;
+    Budget_exhausted;
+    Stale_view;
+    Unclassified;
+  ]
+
+let reason_index = function
+  | No_route -> 0
+  | Interfaces_down -> 1
+  | No_alternate -> 2
+  | Continuation_lost -> 3
+  | Budget_exhausted -> 4
+  | Stale_view -> 5
+  | Unclassified -> 6
+
+let reason_name = function
+  | No_route -> "no-route"
+  | Interfaces_down -> "interfaces-down"
+  | No_alternate -> "no-alternate"
+  | Continuation_lost -> "continuation-lost"
+  | Budget_exhausted -> "budget-exhausted"
+  | Stale_view -> "stale-view"
+  | Unclassified -> "unclassified"
+
+let reason_of_forward = function
+  | Pr_core.Forward.No_route -> No_route
+  | Pr_core.Forward.Interfaces_down -> Interfaces_down
+  | Pr_core.Forward.Continuation_lost -> Continuation_lost
+  | Pr_core.Forward.Budget_exhausted -> Budget_exhausted
+
 type t = {
   mutable injected : int;
   mutable delivered : int;
@@ -6,6 +50,10 @@ type t = {
   mutable unreachable : int;
   mutable stretch_sum : float;
   mutable worst_stretch : float;
+  drops_by_reason : int array;
+  mutable complementary_retries : int;
+  mutable lfa_rescues : int;
+  mutable dd_saturations : int;
 }
 
 let create () =
@@ -17,6 +65,10 @@ let create () =
     unreachable = 0;
     stretch_sum = 0.0;
     worst_stretch = 0.0;
+    drops_by_reason = Array.make (List.length all_reasons) 0;
+    complementary_retries = 0;
+    lfa_rescues = 0;
+    dd_saturations = 0;
   }
 
 let record_delivery t ~stretch =
@@ -25,9 +77,11 @@ let record_delivery t ~stretch =
   t.stretch_sum <- t.stretch_sum +. stretch;
   if stretch > t.worst_stretch then t.worst_stretch <- stretch
 
-let record_drop t =
+let record_drop ?(reason = Unclassified) t =
   t.injected <- t.injected + 1;
-  t.dropped <- t.dropped + 1
+  t.dropped <- t.dropped + 1;
+  let i = reason_index reason in
+  t.drops_by_reason.(i) <- t.drops_by_reason.(i) + 1
 
 let record_loop t =
   t.injected <- t.injected + 1;
@@ -36,6 +90,24 @@ let record_loop t =
 let record_unreachable t =
   t.injected <- t.injected + 1;
   t.unreachable <- t.unreachable + 1
+
+let record_degradation t (d : Pr_core.Forward.degradation) =
+  match d with
+  | Pr_core.Forward.Retry_complementary ->
+      t.complementary_retries <- t.complementary_retries + 1
+  | Pr_core.Forward.Lfa_rescue -> t.lfa_rescues <- t.lfa_rescues + 1
+  | Pr_core.Forward.Dd_saturated -> t.dd_saturations <- t.dd_saturations + 1
+
+let record_degradations t ds = List.iter (record_degradation t) ds
+
+let drop_count t reason = t.drops_by_reason.(reason_index reason)
+
+let drop_breakdown t =
+  List.filter_map
+    (fun r ->
+      let c = drop_count t r in
+      if c > 0 then Some (r, c) else None)
+    all_reasons
 
 let delivery_ratio t =
   let deliverable = t.injected - t.unreachable in
@@ -49,4 +121,18 @@ let pp ppf t =
   Format.fprintf ppf
     "injected=%d delivered=%d dropped=%d looped=%d unreachable=%d delivery=%.4f mean_stretch=%.3f"
     t.injected t.delivered t.dropped t.looped t.unreachable (delivery_ratio t)
-    (mean_stretch t)
+    (mean_stretch t);
+  (* Unclassified drops are the seed behaviour; only a classified
+     breakdown earns the extra suffix. *)
+  (match List.filter (fun (r, _) -> r <> Unclassified) (drop_breakdown t) with
+  | [] -> ()
+  | breakdown ->
+      Format.fprintf ppf " drops[%s]"
+        (String.concat ","
+           (List.map
+              (fun (r, c) -> Printf.sprintf "%s=%d" (reason_name r) c)
+              breakdown)));
+  if t.complementary_retries > 0 || t.lfa_rescues > 0 || t.dd_saturations > 0
+  then
+    Format.fprintf ppf " degraded[retries=%d lfa=%d dd-sat=%d]"
+      t.complementary_retries t.lfa_rescues t.dd_saturations

@@ -1,4 +1,26 @@
-(** Outcome accounting for simulation runs. *)
+(** Outcome accounting for simulation runs.
+
+    Beyond the seed counters, drops carry a {e reason} and the
+    degradation-ladder events of {!Pr_core.Forward.ladder_step} are
+    counted, so a run's losses can be read as a breakdown rather than one
+    opaque number ([prcli detect] surfaces it). *)
+
+type drop_reason =
+  | No_route           (** no routing entry at some router *)
+  | Interfaces_down    (** every interface of some router believed down *)
+  | No_alternate       (** LFA: primary down and no usable alternate *)
+  | Continuation_lost  (** PR continuation unusable, ladder exhausted *)
+  | Budget_exhausted   (** hop-budget guard fired, ladder exhausted *)
+  | Stale_view
+      (** sent into a link the sender wrongly believed up — the packet
+          died on the wire *)
+  | Unclassified       (** legacy call sites that do not say *)
+
+val all_reasons : drop_reason list
+
+val reason_name : drop_reason -> string
+
+val reason_of_forward : Pr_core.Forward.drop_reason -> drop_reason
 
 type t = {
   mutable injected : int;
@@ -9,17 +31,32 @@ type t = {
                                    no scheme could have delivered *)
   mutable stretch_sum : float; (** over delivered packets *)
   mutable worst_stretch : float;
+  drops_by_reason : int array; (** indexed as {!all_reasons}; use
+                                   {!drop_count} / {!drop_breakdown} *)
+  mutable complementary_retries : int;
+  mutable lfa_rescues : int;
+  mutable dd_saturations : int;
 }
 
 val create : unit -> t
 
 val record_delivery : t -> stretch:float -> unit
 
-val record_drop : t -> unit
+val record_drop : ?reason:drop_reason -> t -> unit
+(** Default reason: {!Unclassified} (the seed behaviour). *)
 
 val record_loop : t -> unit
 
 val record_unreachable : t -> unit
+
+val record_degradation : t -> Pr_core.Forward.degradation -> unit
+
+val record_degradations : t -> Pr_core.Forward.degradation list -> unit
+
+val drop_count : t -> drop_reason -> int
+
+val drop_breakdown : t -> (drop_reason * int) list
+(** Reasons with a nonzero count, in {!all_reasons} order. *)
 
 val delivery_ratio : t -> float
 (** Delivered over deliverable (injected minus unreachable). *)
@@ -28,3 +65,5 @@ val mean_stretch : t -> float
 (** Over delivered packets; 0 when none. *)
 
 val pp : Format.formatter -> t -> unit
+(** The seed one-liner, plus a [drops[...]] / [degraded[...]] suffix only
+    when classified drops or ladder events occurred. *)

@@ -24,6 +24,8 @@ let set_link t u v ~up =
 
 let is_up t u v = not t.down.(Graph.edge_index t.g u v)
 
+let is_up_index t i = not t.down.(i)
+
 let down_links t =
   let out = ref [] in
   Array.iteri

@@ -13,6 +13,9 @@ val set_link : t -> int -> int -> up:bool -> bool
 
 val is_up : t -> int -> int -> bool
 
+val is_up_index : t -> int -> bool
+(** By edge index — the iteration order {!Detector.quiescent} uses. *)
+
 val down_links : t -> (int * int) list
 
 val failures : t -> Pr_core.Failure.t

@@ -7,6 +7,7 @@ type config = {
   termination : Pr_core.Forward.termination;
   latency : float;
   ttl : int;
+  detection : Detector.config option;
 }
 
 let default_config (topology : Pr_topo.Topology.t) rotation =
@@ -16,6 +17,7 @@ let default_config (topology : Pr_topo.Topology.t) rotation =
     termination = Pr_core.Forward.Distance_discriminator;
     latency = 0.1;
     ttl = Forward.default_ttl topology.graph;
+    detection = None;
   }
 
 type packet = {
@@ -59,6 +61,8 @@ let run ?observer config ~link_events ~injections =
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build config.rotation in
   let net = Netstate.create g in
+  let det = Option.map (fun c -> Detector.create c g) config.detection in
+  let dd_bits = Pr_core.Routing.dd_bits routing in
   let metrics = Metrics.create () in
   let queue = Event.create () in
   let finished_at = ref 0.0 in
@@ -99,12 +103,12 @@ let run ?observer config ~link_events ~injections =
             ttl_exceeded;
           }
   in
-  let account_lost (p : packet) ~looped =
+  let account_lost ?reason (p : packet) ~looped =
     (* A packet that could never have been delivered is charged to
        [unreachable]; a deliverable one that died is a protocol loss. *)
     if not p.was_deliverable then Metrics.record_unreachable metrics
     else if looped then Metrics.record_loop metrics
-    else Metrics.record_drop metrics
+    else Metrics.record_drop ?reason metrics
   in
   let handle_arrival time (p : packet) =
     let p =
@@ -123,26 +127,55 @@ let run ?observer config ~link_events ~injections =
       observe_hop time p ~sent:None ~ttl_exceeded:true
     end
     else begin
-      match
-        Forward.step ~termination:config.termination ~routing ~cycles
-          ~failures:(Netstate.failures net) ~dst:p.dst ~node:p.at
-          ~arrived_from:p.arrived_from ~header:p.header ()
-      with
-      | Forward.Stuck _ ->
-          account_lost p ~looped:false;
-          observe_hop time p ~sent:None ~ttl_exceeded:false
-      | Forward.Transmit { next; header; _ } ->
-          observe_hop time p ~sent:(Some (next, header)) ~ttl_exceeded:false;
-          Event.schedule queue ~time:(time +. config.latency)
-            (Arrive
-               {
-                 p with
-                 at = next;
-                 arrived_from = Some p.at;
-                 header;
-                 hops = p.hops + 1;
-                 cost = p.cost +. Graph.weight g p.at next;
-               })
+      let send next header =
+        observe_hop time p ~sent:(Some (next, header)) ~ttl_exceeded:false;
+        Event.schedule queue ~time:(time +. config.latency)
+          (Arrive
+             {
+               p with
+               at = next;
+               arrived_from = Some p.at;
+               header;
+               hops = p.hops + 1;
+               cost = p.cost +. Graph.weight g p.at next;
+             })
+      in
+      match det with
+      | None -> (
+          match
+            Forward.step ~termination:config.termination ~routing ~cycles
+              ~failures:(Netstate.failures net) ~dst:p.dst ~node:p.at
+              ~arrived_from:p.arrived_from ~header:p.header ()
+          with
+          | Forward.Stuck _ ->
+              account_lost p ~looped:false;
+              observe_hop time p ~sent:None ~ttl_exceeded:false
+          | Forward.Transmit { next; header; _ } -> send next header)
+      | Some d -> (
+          (* The router decides on its own beliefs at arrival time; a
+             packet sent into a link wrongly believed up dies on the
+             wire. *)
+          match
+            Forward.ladder_step ~termination:config.termination ~dd_bits
+              ~hops_left:(config.ttl - p.hops)
+              ~budget_guard:(Detector.config d).Detector.budget_guard
+              ~routing ~cycles
+              ~link_up:(Detector.local_view d ~now:time ~node:p.at)
+              ~dst:p.dst ~node:p.at ~arrived_from:p.arrived_from
+              ~header:p.header ()
+          with
+          | Forward.Degraded_drop { reason; degradations; _ } ->
+              Metrics.record_degradations metrics degradations;
+              account_lost p ~looped:false
+                ~reason:(Metrics.reason_of_forward reason);
+              observe_hop time p ~sent:None ~ttl_exceeded:false
+          | Forward.Forwarded { next; header; degradations; _ } ->
+              Metrics.record_degradations metrics degradations;
+              if Netstate.is_up net p.at next then send next header
+              else begin
+                account_lost p ~looped:false ~reason:Metrics.Stale_view;
+                observe_hop time p ~sent:None ~ttl_exceeded:false
+              end)
     end
   in
   let rec drain () =
@@ -153,6 +186,9 @@ let run ?observer config ~link_events ~injections =
         (match ev with
         | Link e ->
             let changed = Netstate.set_link net e.u e.v ~up:e.up in
+            (match det with
+            | Some d -> Detector.observe d ~time ~u:e.u ~v:e.v ~up:e.up
+            | None -> ());
             (match observer with
             | None -> ()
             | Some o -> o.on_link ~time ~u:e.u ~v:e.v ~up:e.up ~changed)

@@ -19,10 +19,20 @@ type config = {
   termination : Pr_core.Forward.termination;
   latency : float;      (** per-hop transmission time *)
   ttl : int;            (** hop budget per packet *)
+  detection : Detector.config option;
+      (** [None]: every router sees the true link state at arrival time
+          (the seed behaviour).  [Some]: each hop decides on the arrival
+          router's {!Detector} beliefs through
+          {!Pr_core.Forward.ladder_step} — DD bounded by the topology's
+          bit budget, the detector's [budget_guard] armed against the
+          remaining TTL — and a packet sent into a link wrongly believed
+          up is lost on the wire ([Stale_view] in the {!Metrics}
+          breakdown). *)
 }
 
 val default_config : Pr_topo.Topology.t -> Pr_embed.Rotation.t -> config
-(** DD termination, latency 0.1, TTL {!Pr_core.Forward.default_ttl}. *)
+(** DD termination, latency 0.1, TTL {!Pr_core.Forward.default_ttl}, no
+    detection. *)
 
 type outcome = {
   metrics : Metrics.t;

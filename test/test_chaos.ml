@@ -168,6 +168,75 @@ let test_campaign_rejects_bad_params () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "negative hold-down accepted"
 
+let test_blip_repairs_quickly () =
+  let topo, _ = abilene () in
+  let events =
+    Gen.blip (Pr_util.Rng.create ~seed:4) topo ~horizon:40.0 ~blips:6
+      ~width:0.02 ()
+  in
+  (match List.filter (fun (e : Workload.link_event) -> not e.up) events with
+  | [] -> Alcotest.fail "no blips generated"
+  | downs ->
+      List.iter
+        (fun (d : Workload.link_event) ->
+          match
+            List.find_opt
+              (fun (e : Workload.link_event) ->
+                e.up && e.u = d.u && e.v = d.v && e.time > d.time)
+              events
+          with
+          | None ->
+              (* Repair only missing when it would land past the horizon. *)
+              Alcotest.(check bool) "unrepaired blip at the horizon edge" true
+                (d.time +. 0.03 > 40.0)
+          | Some r ->
+              Alcotest.(check bool) "repaired within the width window" true
+                (r.time -. d.time <= 0.03))
+        downs)
+
+let test_campaign_with_detection_quiescence_honest () =
+  (* The acceptance gate for imperfect detection: campaigns report zero
+     violations of the weakened detection-quiescence monitors, with
+     non-quiesced losses excused rather than hidden, and shrinking is
+     disabled (scenario format v1 cannot record a detector). *)
+  let topo, rotation = abilene () in
+  let config =
+    { (Campaign.default_config topo rotation ~seed:42) with
+      rate = 10.0;
+      horizon = 40.0;
+      detection =
+        Some
+          { Pr_sim.Detector.default with
+            Pr_sim.Detector.jitter = 0.1; seed = 9 };
+    }
+  in
+  match Campaign.run config with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      List.iter
+        (fun (r : Campaign.scheme_result) ->
+          let name = Engine.scheme_name r.scheme in
+          (* The paper's claim holds for PR: once detection quiesces, no
+             connected packet is lost.  LFA keeps its seed coverage gaps,
+             so its detection count is informative, not a failure. *)
+          (match r.scheme with
+          | Engine.Pr_scheme _ ->
+              Alcotest.(check int) (name ^ ": no detection violations") 0
+                (Monitor.count r.monitor "detection")
+          | _ -> ());
+          Alcotest.(check int) (name ^ ": no truth-level misclassification") 0
+            (Monitor.count r.monitor "delivery");
+          Alcotest.(check bool) (name ^ ": no shrunk artifact") true
+            (r.shrunk = None))
+        t.results;
+      let report = Campaign.report config t in
+      Alcotest.(check bool) "report names the detection config" true
+        (let rec contains i =
+           i + 9 <= String.length report
+           && (String.sub report i 9 = "detection" || contains (i + 1))
+         in
+         contains 0)
+
 (* ---- structured workload errors ---- *)
 
 let test_engine_rejects_malformed_workloads () =
@@ -377,7 +446,7 @@ let qcheck_engine_matches_modelcheck =
         {
           Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
           on_packet =
-            (fun ~time:_ ~src ~dst ~failures ~verdict ~trace:_ ->
+            (fun ~time:_ ~src ~dst ~failures ~quiesced:_ ~verdict ~trace:_ ->
               let expected =
                 if not (Pr_core.Failure.pair_connected failures src dst) then
                   `Unreachable
@@ -440,6 +509,9 @@ let suite =
       test_campaign_deterministic;
     Alcotest.test_case "campaign rejects bad params" `Quick
       test_campaign_rejects_bad_params;
+    Alcotest.test_case "blip repairs quickly" `Quick test_blip_repairs_quickly;
+    Alcotest.test_case "campaign with detection: quiescence honest" `Quick
+      test_campaign_with_detection_quiescence_honest;
     Alcotest.test_case "engine rejects malformed workloads" `Quick
       test_engine_rejects_malformed_workloads;
     Alcotest.test_case "flap validation" `Quick test_flap_validation;

@@ -1,0 +1,405 @@
+(* Per-router failure detection: unit semantics of the Detector model
+   (delays, blips, hold-down with backoff, false positives), the
+   differential pinning ideal detection to the seed engines, and the
+   asymmetric-view scenarios the degradation ladder must survive. *)
+
+module Graph = Pr_graph.Graph
+module Forward = Pr_core.Forward
+module Detector = Pr_sim.Detector
+module Engine = Pr_sim.Engine
+module Timed = Pr_sim.Timed
+module Metrics = Pr_sim.Metrics
+module Netstate = Pr_sim.Netstate
+module Workload = Pr_sim.Workload
+
+let triangle () = Graph.unweighted ~n:3 [ (0, 1); (1, 2); (0, 2) ]
+
+(* ---- unit semantics ---- *)
+
+let test_detection_delay () =
+  let cfg = { Detector.ideal with Detector.down_delay = 0.1; up_delay = 0.2 } in
+  let d = Detector.create cfg (triangle ()) in
+  Detector.observe d ~time:1.0 ~u:0 ~v:1 ~up:false;
+  Alcotest.(check bool) "not yet detected" true
+    (Detector.believes_up d ~now:1.05 ~node:0 ~other:1);
+  Alcotest.(check bool) "detected after down_delay" false
+    (Detector.believes_up d ~now:1.11 ~node:0 ~other:1);
+  Alcotest.(check bool) "other links untouched" true
+    (Detector.believes_up d ~now:1.11 ~node:0 ~other:2);
+  Detector.observe d ~time:2.0 ~u:0 ~v:1 ~up:true;
+  Alcotest.(check bool) "repair not yet detected" false
+    (Detector.believes_up d ~now:2.1 ~node:0 ~other:1);
+  Alcotest.(check bool) "repair detected after up_delay" true
+    (Detector.believes_up d ~now:2.21 ~node:0 ~other:1)
+
+let test_blip_is_missed () =
+  let cfg = { Detector.ideal with Detector.down_delay = 0.1 } in
+  let d = Detector.create cfg (triangle ()) in
+  Detector.observe d ~time:1.0 ~u:0 ~v:1 ~up:false;
+  Detector.observe d ~time:1.05 ~u:0 ~v:1 ~up:true;
+  (* The link came back inside the detection window: never noticed. *)
+  Alcotest.(check bool) "belief stays up through the blip" true
+    (Detector.believes_up d ~now:1.11 ~node:0 ~other:1);
+  Alcotest.(check bool) "and afterwards" true
+    (Detector.believes_up d ~now:5.0 ~node:1 ~other:0)
+
+let test_hold_down_backoff () =
+  let cfg =
+    { Detector.ideal with
+      Detector.hold_down = 1.0; backoff = 2.0; max_backoff = 4.0 }
+  in
+  let d = Detector.create cfg (triangle ()) in
+  Detector.observe d ~time:1.0 ~u:0 ~v:1 ~up:false;
+  Alcotest.(check bool) "zero-delay failure detected at once" false
+    (Detector.believes_up d ~now:1.0 ~node:0 ~other:1);
+  Detector.observe d ~time:2.0 ~u:0 ~v:1 ~up:true;
+  Alcotest.(check bool) "repair held down" false
+    (Detector.believes_up d ~now:2.5 ~node:0 ~other:1);
+  (* Re-failure inside the hold-down window cancels the restore and
+     escalates the backoff. *)
+  Detector.observe d ~time:2.6 ~u:0 ~v:1 ~up:false;
+  Alcotest.(check bool) "restore cancelled" false
+    (Detector.believes_up d ~now:2.9 ~node:0 ~other:1);
+  Detector.observe d ~time:3.0 ~u:0 ~v:1 ~up:true;
+  (* hold is now 1.0 * 2^1 = 2.0: restore commits at 5.0. *)
+  Alcotest.(check bool) "backed-off hold still active" false
+    (Detector.believes_up d ~now:4.9 ~node:0 ~other:1);
+  Alcotest.(check bool) "restore commits after the backed-off hold" true
+    (Detector.believes_up d ~now:5.0 ~node:0 ~other:1);
+  (* A clean up-commit resets the backoff. *)
+  Detector.observe d ~time:5.5 ~u:0 ~v:1 ~up:false;
+  Detector.observe d ~time:6.0 ~u:0 ~v:1 ~up:true;
+  Alcotest.(check bool) "backoff reset after clean restore" true
+    (Detector.believes_up d ~now:7.0 ~node:0 ~other:1)
+
+let test_false_positive_hold () =
+  let cfg =
+    { Detector.ideal with
+      Detector.false_positive_rate = 1.0; false_positive_hold = 0.5 }
+  in
+  let d = Detector.create cfg (triangle ()) in
+  (* A redundant up event: the truth never changes, but the jumpy
+     detector falsely holds the link down for a while. *)
+  Detector.observe d ~time:1.0 ~u:0 ~v:1 ~up:true;
+  Alcotest.(check bool) "falsely down during the hold" false
+    (Detector.believes_up d ~now:1.2 ~node:0 ~other:1);
+  Alcotest.(check bool) "recovers after the hold" true
+    (Detector.believes_up d ~now:1.5 ~node:0 ~other:1)
+
+let test_force_belief_and_asymmetry () =
+  let g = triangle () in
+  let d = Detector.create Detector.ideal g in
+  let net = Netstate.create g in
+  Alcotest.(check bool) "quiescent at creation" true
+    (Detector.quiescent d ~now:0.0 ~net);
+  Detector.force_belief d ~node:0 ~other:1 ~up:false;
+  Alcotest.(check bool) "pinned side down" false
+    (Detector.believes_up d ~now:0.0 ~node:0 ~other:1);
+  Alcotest.(check bool) "far side unaffected" true
+    (Detector.believes_up d ~now:0.0 ~node:1 ~other:0);
+  Alcotest.(check (list (pair int int))) "asymmetric window open"
+    [ (0, 1) ]
+    (Detector.asymmetric_links d ~now:0.0);
+  Alcotest.(check bool) "no longer quiescent" false
+    (Detector.quiescent d ~now:0.0 ~net);
+  Detector.force_belief d ~node:0 ~other:1 ~up:true;
+  Alcotest.(check (list (pair int int))) "window closed" []
+    (Detector.asymmetric_links d ~now:0.0);
+  Alcotest.(check bool) "quiescent again" true
+    (Detector.quiescent d ~now:0.0 ~net)
+
+let test_quiescence_tracks_detection () =
+  let g = triangle () in
+  let cfg = { Detector.ideal with Detector.down_delay = 0.1 } in
+  let d = Detector.create cfg g in
+  let net = Netstate.create g in
+  ignore (Netstate.set_link net 0 1 ~up:false);
+  Detector.observe d ~time:1.0 ~u:0 ~v:1 ~up:false;
+  Alcotest.(check bool) "not quiescent inside the window" false
+    (Detector.quiescent d ~now:1.05 ~net);
+  Alcotest.(check bool) "quiescent once detected" true
+    (Detector.quiescent d ~now:1.2 ~net)
+
+let test_bad_configs_rejected () =
+  let g = triangle () in
+  let reject name cfg =
+    match Detector.create cfg g with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ " accepted")
+  in
+  reject "negative delay" { Detector.ideal with Detector.down_delay = -1.0 };
+  reject "fp rate above 1"
+    { Detector.ideal with Detector.false_positive_rate = 1.5 };
+  reject "backoff below 1" { Detector.ideal with Detector.backoff = 0.5 };
+  reject "negative guard" { Detector.ideal with Detector.budget_guard = -1 };
+  let d = Detector.create Detector.ideal g in
+  match Detector.observe d ~time:0.0 ~u:0 ~v:0 ~up:false with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-link observation accepted"
+
+(* ---- the differential: ideal detection = seed behaviour ---- *)
+
+let collect_verdicts () =
+  let acc = ref [] in
+  let observer =
+    {
+      Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
+      on_packet =
+        (fun ~time:_ ~src:_ ~dst:_ ~failures:_ ~quiesced:_ ~verdict ~trace:_ ->
+          acc := verdict :: !acc);
+    }
+  in
+  (observer, acc)
+
+let verdict_eq a b =
+  match (a, b) with
+  | Engine.Delivered { stretch = s1 }, Engine.Delivered { stretch = s2 } ->
+      Helpers.close s1 s2
+  | Engine.Dropped, Engine.Dropped
+  | Engine.Looped, Engine.Looped
+  | Engine.Unreachable, Engine.Unreachable ->
+      true
+  | _ -> false
+
+let all_schemes =
+  [
+    Engine.Pr_scheme { termination = Forward.Distance_discriminator };
+    Engine.Pr_scheme { termination = Forward.Simple };
+    Engine.Lfa_scheme;
+    Engine.Reconvergence_scheme { convergence_delay = 5.0 };
+    Engine.Reconvergence_jittered { min_delay = 0.5; max_delay = 5.0; seed = 1 };
+  ]
+
+let differential_workload g =
+  let rng = Pr_util.Rng.create ~seed:11 in
+  let link_events =
+    Workload.failure_process (Pr_util.Rng.copy rng) g ~mtbf:40.0 ~mttr:4.0
+      ~horizon:80.0
+  in
+  let injections =
+    Workload.poisson_flows (Pr_util.Rng.copy rng) g ~rate:25.0 ~horizon:80.0
+  in
+  (link_events, injections)
+
+let differential_on topo =
+  let g = topo.Pr_topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let link_events, injections = differential_workload g in
+  List.iter
+    (fun scheme ->
+      let name =
+        topo.Pr_topo.Topology.name ^ "/" ^ Engine.scheme_name scheme
+      in
+      let run detection =
+        let observer, acc = collect_verdicts () in
+        let outcome =
+          Engine.run_exn ~observer ?detection
+            { Engine.topology = topo; rotation; scheme }
+            ~link_events ~injections
+        in
+        (outcome.Engine.metrics, List.rev !acc)
+      in
+      let seed_m, seed_v = run None in
+      let det_m, det_v = run (Some Detector.ideal) in
+      Alcotest.(check int) (name ^ ": verdict count") (List.length seed_v)
+        (List.length det_v);
+      List.iteri
+        (fun i (a, b) ->
+          if not (verdict_eq a b) then
+            Alcotest.fail
+              (Printf.sprintf "%s: packet %d verdict differs under ideal detection"
+                 name i))
+        (List.combine seed_v det_v);
+      Alcotest.(check int) (name ^ ": delivered") seed_m.Metrics.delivered
+        det_m.Metrics.delivered;
+      Alcotest.(check int) (name ^ ": dropped") seed_m.Metrics.dropped
+        det_m.Metrics.dropped;
+      Alcotest.(check int) (name ^ ": looped") seed_m.Metrics.looped
+        det_m.Metrics.looped;
+      Alcotest.(check int) (name ^ ": unreachable") seed_m.Metrics.unreachable
+        det_m.Metrics.unreachable;
+      Alcotest.(check bool) (name ^ ": stretch sum") true
+        (Helpers.close ~eps:1e-6 seed_m.Metrics.stretch_sum
+           det_m.Metrics.stretch_sum))
+    all_schemes
+
+let test_engine_differential_abilene () =
+  differential_on (Pr_topo.Abilene.topology ())
+
+let test_engine_differential_geant () =
+  differential_on (Pr_topo.Geant.topology ())
+
+let test_timed_differential () =
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Pr_topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let link_events, injections = differential_workload g in
+  let config = Timed.default_config topo rotation in
+  let seed_out = Timed.run config ~link_events ~injections in
+  let det_out =
+    Timed.run
+      { config with Timed.detection = Some Detector.ideal }
+      ~link_events ~injections
+  in
+  let sm = seed_out.Timed.metrics and dm = det_out.Timed.metrics in
+  Alcotest.(check int) "delivered" sm.Metrics.delivered dm.Metrics.delivered;
+  Alcotest.(check int) "dropped" sm.Metrics.dropped dm.Metrics.dropped;
+  Alcotest.(check int) "looped" sm.Metrics.looped dm.Metrics.looped;
+  Alcotest.(check int) "unreachable" sm.Metrics.unreachable
+    dm.Metrics.unreachable;
+  Alcotest.(check int) "max hops" seed_out.Timed.max_hops det_out.Timed.max_hops;
+  Alcotest.(check bool) "stretch sum" true
+    (Helpers.close ~eps:1e-6 sm.Metrics.stretch_sum dm.Metrics.stretch_sum)
+
+(* ---- asymmetric views ---- *)
+
+(* A router whose beliefs are entirely wrong (arrival link and primary
+   both falsely believed down, truth all up) must hand the packet into
+   cycle following and still deliver it — exactly once, with the episode
+   started at the deluded router. *)
+let test_unidirectional_view_recovers () =
+  let topo, rotation = Helpers.grid_with_rotation ~rows:3 ~cols:3 in
+  let g = topo.Pr_topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let d = Detector.create Detector.ideal g in
+  (* Node 4 falsely believes its links to 1 (the packet's arrival link)
+     and to 7 (its primary towards the destination) are down. *)
+  Detector.force_belief d ~node:4 ~other:1 ~up:false;
+  Detector.force_belief d ~node:4 ~other:7 ~up:false;
+  Alcotest.(check bool) "senders' sides still believe up" true
+    (Detector.believes_up d ~now:0.0 ~node:1 ~other:4
+    && Detector.believes_up d ~now:0.0 ~node:7 ~other:4);
+  let src = 1 and dst = 7 in
+  let ttl = Forward.default_ttl g in
+  let episodes = ref [] in
+  (* Walk the packet on each router's own beliefs; every transmission
+     truly crosses the wire (the truth is all-up). *)
+  let rec go x arrived_from header hops deliveries =
+    if x = dst then deliveries + 1
+    else if hops > ttl then Alcotest.fail "walk exceeded the TTL budget"
+    else
+      match
+        Forward.ladder_step ~routing ~cycles
+          ~link_up:(Detector.local_view d ~now:0.0 ~node:x)
+          ~dst ~node:x ~arrived_from ~header ()
+      with
+      | Forward.Degraded_drop { reason; _ } ->
+          Alcotest.fail
+            ("packet dropped: " ^ Forward.drop_reason_name reason)
+      | Forward.Forwarded { next; header; episode_started; _ } ->
+          if episode_started then episodes := x :: !episodes;
+          if x = 4 then
+            Alcotest.(check bool) "deluded router avoids believed-down links"
+              true
+              (next <> 1 && next <> 7);
+          go next (Some x) header (hops + 1) deliveries
+  in
+  let deliveries = go src None Forward.fresh_header 0 0 in
+  Alcotest.(check int) "delivered exactly once" 1 deliveries;
+  Alcotest.(check (list int)) "episode started at the deluded router" [ 4 ]
+    !episodes
+
+(* A packet sent into a link its sender wrongly believes up dies on the
+   wire as a Stale_view drop; once detection catches up the same packet
+   re-cycles around the failure. *)
+let test_stale_view_wire_death () =
+  let g = Graph.create ~n:3 [ (0, 1, 10.0); (1, 2, 10.0); (0, 2, 1.0) ] in
+  let topo = Pr_topo.Topology.of_graph ~name:"triangle" g in
+  let rotation = Pr_embed.Rotation.adjacency g in
+  let detection =
+    { Detector.ideal with Detector.down_delay = 0.1; up_delay = 0.1; seed = 3 }
+  in
+  let scheme =
+    Engine.Pr_scheme { termination = Forward.Distance_discriminator }
+  in
+  let link_events = [ { Workload.time = 1.0; u = 0; v = 2; up = false } ] in
+  let run injections =
+    let quiesced_seen = ref [] in
+    let observer =
+      {
+        Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
+        on_packet =
+          (fun ~time:_ ~src:_ ~dst:_ ~failures:_ ~quiesced ~verdict:_ ~trace:_ ->
+            quiesced_seen := quiesced :: !quiesced_seen);
+      }
+    in
+    let outcome =
+      Engine.run_exn ~observer ~detection
+        { Engine.topology = topo; rotation; scheme }
+        ~link_events ~injections
+    in
+    (outcome.Engine.metrics, List.rev !quiesced_seen)
+  in
+  (* Inside the detection window: node 0 still believes 0-2 up. *)
+  let m, quiesced = run [ { Workload.time = 1.05; src = 0; dst = 2 } ] in
+  Alcotest.(check int) "died on the wire" 1 m.Metrics.dropped;
+  Alcotest.(check int) "classified as a stale view" 1
+    (Metrics.drop_count m Metrics.Stale_view);
+  Alcotest.(check (list bool)) "injected before quiescence" [ false ] quiesced;
+  (* After the window: the failure is believed and PR routes around it. *)
+  let m, quiesced = run [ { Workload.time = 2.0; src = 0; dst = 2 } ] in
+  Alcotest.(check int) "re-cycled and delivered" 1 m.Metrics.delivered;
+  Alcotest.(check int) "no stale-view drop" 0
+    (Metrics.drop_count m Metrics.Stale_view);
+  Alcotest.(check (list bool)) "injected after quiescence" [ true ] quiesced
+
+(* Accounting conservation under a harsh jittered detector: every
+   injection is counted exactly once, and the classified breakdown sums
+   to the drop counter. *)
+let test_accounting_conserved_under_jitter () =
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Pr_topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let link_events, injections = differential_workload g in
+  let detection =
+    { Detector.default with
+      Detector.jitter = 0.3;
+      false_positive_rate = 0.05;
+      budget_guard = 8;
+      seed = 5;
+    }
+  in
+  List.iter
+    (fun scheme ->
+      let outcome =
+        Engine.run_exn ~detection
+          { Engine.topology = topo; rotation; scheme }
+          ~link_events ~injections
+      in
+      let m = outcome.Engine.metrics in
+      Alcotest.(check int)
+        (Engine.scheme_name scheme ^ ": injections conserved")
+        (List.length injections)
+        (m.Metrics.delivered + m.Metrics.dropped + m.Metrics.looped
+        + m.Metrics.unreachable);
+      Alcotest.(check int)
+        (Engine.scheme_name scheme ^ ": breakdown sums to drops")
+        m.Metrics.dropped
+        (List.fold_left (fun acc (_, c) -> acc + c) 0
+           (Metrics.drop_breakdown m)))
+    all_schemes
+
+let suite =
+  [
+    Alcotest.test_case "detection delay" `Quick test_detection_delay;
+    Alcotest.test_case "blip missed" `Quick test_blip_is_missed;
+    Alcotest.test_case "hold-down with backoff" `Quick test_hold_down_backoff;
+    Alcotest.test_case "false-positive hold" `Quick test_false_positive_hold;
+    Alcotest.test_case "force belief / asymmetry" `Quick
+      test_force_belief_and_asymmetry;
+    Alcotest.test_case "quiescence tracks detection" `Quick
+      test_quiescence_tracks_detection;
+    Alcotest.test_case "bad configs rejected" `Quick test_bad_configs_rejected;
+    Alcotest.test_case "engine differential (abilene)" `Quick
+      test_engine_differential_abilene;
+    Alcotest.test_case "engine differential (geant)" `Quick
+      test_engine_differential_geant;
+    Alcotest.test_case "timed differential" `Quick test_timed_differential;
+    Alcotest.test_case "unidirectional view recovers" `Quick
+      test_unidirectional_view_recovers;
+    Alcotest.test_case "stale view dies on the wire" `Quick
+      test_stale_view_wire_death;
+    Alcotest.test_case "accounting conserved under jitter" `Quick
+      test_accounting_conserved_under_jitter;
+  ]

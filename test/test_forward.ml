@@ -234,6 +234,178 @@ let qcheck_quantise_identity_for_hops =
           a.Forward.path = b.Forward.path && a.Forward.outcome = b.Forward.outcome)
         (Pr_core.Scenario.connected_affected_pairs routing failures))
 
+(* --- the graceful-degradation ladder --- *)
+
+let test_ladder_step_matches_step () =
+  (* With the true link state as the view, no DD bound and no guard,
+     ladder_step reproduces step decision-for-decision. *)
+  let g, routing, cycles = grid_setup 3 3 in
+  let failures = Failure.of_list g [ (0, 1); (4, 5) ] in
+  List.iter
+    (fun (src, dst) ->
+      let a =
+        Forward.step ~routing ~cycles ~failures ~dst ~node:src
+          ~arrived_from:None ~header:Forward.fresh_header ()
+      in
+      let b =
+        Forward.ladder_step ~routing ~cycles
+          ~link_up:(fun w -> Failure.link_up failures src w)
+          ~dst ~node:src ~arrived_from:None ~header:Forward.fresh_header ()
+      in
+      match (a, b) with
+      | ( Forward.Transmit { next; header; episode_started; failure_hits },
+          Forward.Forwarded
+            {
+              next = next';
+              header = header';
+              episode_started = started';
+              failure_hits = hits';
+              degradations;
+            } ) ->
+          Alcotest.(check int) "same next hop" next next';
+          Alcotest.(check bool) "same header" true (header = header');
+          Alcotest.(check bool) "same episode flag" episode_started started';
+          Alcotest.(check int) "same failure hits" failure_hits hits';
+          Alcotest.(check (list string)) "no degradations" []
+            (List.map Forward.degradation_name degradations)
+      | _ -> Alcotest.fail "step and ladder_step disagreed")
+    (Helpers.all_pairs g)
+
+let test_ladder_stuck_maps_to_reasoned_drop () =
+  let g = Graph.unweighted ~n:3 [ (0, 1); (1, 2) ] in
+  let topo = Pr_topo.Topology.of_graph ~name:"path" g in
+  let routing, cycles = build topo (Pr_embed.Rotation.adjacency g) in
+  let failures = Failure.of_list g [ (0, 1) ] in
+  (match
+     Forward.step ~routing ~cycles ~failures ~dst:2 ~node:0 ~arrived_from:None
+       ~header:Forward.fresh_header ()
+   with
+  | Forward.Stuck { outcome = Forward.Dropped_no_interface; _ } -> ()
+  | _ -> Alcotest.fail "step should be stuck");
+  match
+    Forward.ladder_step ~routing ~cycles
+      ~link_up:(fun w -> Failure.link_up failures 0 w)
+      ~dst:2 ~node:0 ~arrived_from:None ~header:Forward.fresh_header ()
+  with
+  | Forward.Degraded_drop { reason = Forward.Interfaces_down; _ } -> ()
+  | _ -> Alcotest.fail "ladder should drop with Interfaces_down"
+
+let test_ladder_missing_continuation () =
+  let g, routing, cycles = grid_setup 3 3 in
+  let header = { Forward.pr_bit = true; dd_value = 3.0 } in
+  (* Node 8 is not a neighbour of node 0: the seed step raises, the
+     ladder degrades deterministically. *)
+  (match
+     Forward.step ~routing ~cycles ~failures:(Failure.none g) ~dst:8 ~node:0
+       ~arrived_from:(Some 8) ~header ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "strict step accepted a missing rotation entry");
+  (* Rung 1: primary believed up — resume plain routing, PR state gone. *)
+  (match
+     Forward.ladder_step ~routing ~cycles ~link_up:(fun _ -> true) ~dst:8
+       ~node:0 ~arrived_from:(Some 8) ~header ()
+   with
+  | Forward.Forwarded { header = h; degradations; _ } ->
+      Alcotest.(check bool) "pr bit cleared" false h.Forward.pr_bit;
+      Alcotest.(check (list string)) "plain resume" []
+        (List.map Forward.degradation_name degradations)
+  | _ -> Alcotest.fail "expected a routed resume");
+  (* Rung 2: primary believed down — fresh complementary episode. *)
+  let primary =
+    match Pr_core.Routing.next_hop routing ~node:0 ~dst:8 with
+    | Some w -> w
+    | None -> Alcotest.fail "grid is connected"
+  in
+  (match
+     Forward.ladder_step ~routing ~cycles
+       ~link_up:(fun w -> w <> primary)
+       ~dst:8 ~node:0 ~arrived_from:(Some 8) ~header ()
+   with
+  | Forward.Forwarded { header = h; episode_started; degradations; _ } ->
+      Alcotest.(check bool) "fresh episode" true
+        (h.Forward.pr_bit && episode_started);
+      Alcotest.(check bool) "retry noted" true
+        (List.mem Forward.Retry_complementary degradations)
+  | _ -> Alcotest.fail "expected a complementary retry");
+  (* Rung 4: everything believed down — an accounted drop. *)
+  match
+    Forward.ladder_step ~routing ~cycles ~link_up:(fun _ -> false) ~dst:8
+      ~node:0 ~arrived_from:(Some 8) ~header ()
+  with
+  | Forward.Degraded_drop { reason = Forward.Continuation_lost; _ } -> ()
+  | _ -> Alcotest.fail "expected a Continuation_lost drop"
+
+let test_ladder_budget_guard () =
+  let _g, routing, cycles = grid_setup 3 3 in
+  let header = { Forward.pr_bit = true; dd_value = 3.0 } in
+  (* Plenty of budget: normal cycle following, header untouched. *)
+  (match
+     Forward.ladder_step ~hops_left:100 ~budget_guard:4 ~routing ~cycles
+       ~link_up:(fun _ -> true) ~dst:8 ~node:4 ~arrived_from:(Some 1) ~header ()
+   with
+  | Forward.Forwarded { next; header = h; _ } ->
+      Alcotest.(check int) "cycle continuation" (Cycle_table.cycle_next cycles ~node:4 ~from_:1) next;
+      Alcotest.(check bool) "header carried unchanged" true (h = header)
+  | _ -> Alcotest.fail "expected cycle following");
+  (* Guard fires: stop cycle following, resume routing. *)
+  (match
+     Forward.ladder_step ~hops_left:2 ~budget_guard:4 ~routing ~cycles
+       ~link_up:(fun _ -> true) ~dst:8 ~node:4 ~arrived_from:(Some 1) ~header ()
+   with
+  | Forward.Forwarded { header = h; _ } ->
+      Alcotest.(check bool) "pr bit cleared by the guard" false h.Forward.pr_bit
+  | _ -> Alcotest.fail "expected a routed resume");
+  (* Guard fires with every interface believed down: accounted drop. *)
+  match
+    Forward.ladder_step ~hops_left:2 ~budget_guard:4 ~routing ~cycles
+      ~link_up:(fun _ -> false) ~dst:8 ~node:4 ~arrived_from:(Some 1) ~header ()
+  with
+  | Forward.Degraded_drop { reason = Forward.Budget_exhausted; _ } -> ()
+  | _ -> Alcotest.fail "expected a Budget_exhausted drop"
+
+let test_ladder_lfa_rescue () =
+  (* A square with a viable loop-free alternate at node 0 towards 2:
+     primary 0-1-2 (cost 2), alternate 3 with dist(3,2) = 1.5 < 3. *)
+  let g = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (0, 3, 1.0); (2, 3, 1.5) ] in
+  let topo = Pr_topo.Topology.of_graph ~name:"square" g in
+  let routing, cycles = build topo (Pr_embed.Rotation.adjacency g) in
+  let header = { Forward.pr_bit = true; dd_value = 2.0 } in
+  match
+    Forward.ladder_step ~hops_left:1 ~budget_guard:2 ~routing ~cycles
+      ~link_up:(fun w -> w <> 1)
+      ~dst:2 ~node:0 ~arrived_from:(Some 3) ~header ()
+  with
+  | Forward.Forwarded { next; header = h; degradations; _ } ->
+      Alcotest.(check int) "handed to the alternate" 3 next;
+      Alcotest.(check bool) "pr state discarded" false h.Forward.pr_bit;
+      Alcotest.(check bool) "rescue noted" true
+        (List.mem Forward.Lfa_rescue degradations)
+  | _ -> Alcotest.fail "expected an LFA rescue"
+
+let test_ladder_dd_saturation () =
+  let _g, routing, cycles = grid_setup 3 3 in
+  let primary =
+    match Pr_core.Routing.next_hop routing ~node:0 ~dst:8 with
+    | Some w -> w
+    | None -> Alcotest.fail "grid is connected"
+  in
+  (* One DD bit can carry at most 1; the local discriminator at a corner
+     towards the opposite corner is 4 hops — the write must clamp. *)
+  match
+    Forward.ladder_step ~dd_bits:1 ~routing ~cycles
+      ~link_up:(fun w -> w <> primary)
+      ~dst:8 ~node:0 ~arrived_from:None ~header:Forward.fresh_header ()
+  with
+  | Forward.Forwarded { header = h; episode_started; degradations; _ } ->
+      Alcotest.(check bool) "episode started" true
+        (episode_started && h.Forward.pr_bit);
+      Alcotest.(check bool) "dd clamped to the header max" true
+        (h.Forward.dd_value <= 1.0);
+      Alcotest.(check bool) "saturation noted" true
+        (List.mem Forward.Dd_saturated degradations)
+  | _ -> Alcotest.fail "expected a saturated episode start"
+
 let suite =
   [
     Alcotest.test_case "no failure = shortest path" `Quick test_no_failure_is_shortest_path;
@@ -248,6 +420,15 @@ let suite =
       test_single_failure_full_coverage_grid;
     Alcotest.test_case "abilene single-failure coverage" `Quick
       test_single_failure_full_coverage_abilene;
+    Alcotest.test_case "ladder matches step on the truth" `Quick
+      test_ladder_step_matches_step;
+    Alcotest.test_case "ladder drop carries a reason" `Quick
+      test_ladder_stuck_maps_to_reasoned_drop;
+    Alcotest.test_case "ladder: missing continuation" `Quick
+      test_ladder_missing_continuation;
+    Alcotest.test_case "ladder: budget guard" `Quick test_ladder_budget_guard;
+    Alcotest.test_case "ladder: LFA rescue" `Quick test_ladder_lfa_rescue;
+    Alcotest.test_case "ladder: DD saturation" `Quick test_ladder_dd_saturation;
     QCheck_alcotest.to_alcotest qcheck_planar_multi_failure_delivery;
     QCheck_alcotest.to_alcotest qcheck_stretch_lower_bounded_by_reconvergence;
     QCheck_alcotest.to_alcotest qcheck_episode_dds_strictly_decrease;

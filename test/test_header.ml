@@ -26,6 +26,18 @@ let test_encode_bounds () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "oversized field accepted"
 
+let test_max_dd () =
+  Alcotest.(check int) "3 bits" 7 (Header.max_dd ~dd_bits:3);
+  Alcotest.(check int) "0 bits" 0 (Header.max_dd ~dd_bits:0);
+  match Header.max_dd ~dd_bits:62 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized dd_bits accepted"
+
+let test_saturating_rejects_negative () =
+  match Header.encode_saturating ~dd_bits:3 { Header.pr = true; dd = -1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative dd accepted"
+
 let qcheck_roundtrip =
   QCheck.Test.make ~name:"header encode/decode round-trips" ~count:500
     QCheck.(triple bool (int_bound 15) (int_range 4 10))
@@ -40,12 +52,38 @@ let qcheck_field_width =
       let field = Header.encode ~dd_bits { Header.pr; dd } in
       field >= 0 && field < 1 lsl (dd_bits + 1))
 
+let qcheck_saturating_agrees_when_fits =
+  QCheck.Test.make ~name:"saturating encode = encode when the DD fits"
+    ~count:500
+    QCheck.(triple bool (int_bound 15) (int_range 4 10))
+    (fun (pr, dd, dd_bits) ->
+      Header.encode_saturating ~dd_bits { Header.pr; dd }
+      = Header.encode ~dd_bits { Header.pr; dd })
+
+let qcheck_saturating_clamps =
+  QCheck.Test.make
+    ~name:"saturating encode clamps to the header max and round-trips"
+    ~count:500
+    QCheck.(triple bool (int_range 0 1_000_000) (int_range 1 10))
+    (fun (pr, dd, dd_bits) ->
+      let decoded =
+        Header.decode ~dd_bits
+          (Header.encode_saturating ~dd_bits { Header.pr; dd })
+      in
+      decoded.Header.pr = pr
+      && decoded.Header.dd = min dd (Header.max_dd ~dd_bits))
+
 let suite =
   [
     Alcotest.test_case "normal header" `Quick test_normal;
     Alcotest.test_case "round-trip" `Quick test_roundtrip_known;
     Alcotest.test_case "bits used / DSCP" `Quick test_bits_used;
     Alcotest.test_case "bounds" `Quick test_encode_bounds;
+    Alcotest.test_case "max dd" `Quick test_max_dd;
+    Alcotest.test_case "saturating rejects negative" `Quick
+      test_saturating_rejects_negative;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_field_width;
+    QCheck_alcotest.to_alcotest qcheck_saturating_agrees_when_fits;
+    QCheck_alcotest.to_alcotest qcheck_saturating_clamps;
   ]
