@@ -225,10 +225,8 @@ let micro_tests () =
            Sys.opaque_identity (Pr_core.Header.decode ~dd_bits:3 field)));
   ]
 
-let run_micro () =
-  banner "MICRO-BENCHMARKS (bechamel, monotonic clock)";
+let measure_ns cfg tests =
   let open Bechamel in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let results = Hashtbl.create 16 in
   List.iter
@@ -238,24 +236,167 @@ let run_micro () =
           let raw = Benchmark.run cfg instances elt in
           Hashtbl.replace results (Test.Elt.name elt) raw)
         (Test.elements test))
-    (micro_tests ());
+    tests;
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let analysed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> Printf.sprintf "%12.1f" t
-          | Some [] | None -> "n/a"
-        in
-        [ name; ns ] :: acc)
-      analysed []
-    |> List.sort compare
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Some t
+        | Some [] | None -> None
+      in
+      (name, ns) :: acc)
+    analysed []
+  |> List.sort compare
+
+(* ---- Fast path: the compiled FIB kernel vs the reference walks, on the
+   Abilene all-pairs single-failure sweep.  One run = the whole sweep;
+   results land in BENCH_fastpath.json as the perf baseline future PRs
+   regress against. ---- *)
+
+let fastpath_tests () =
+  let open Bechamel in
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+  let items = Pr_fastpath.Parallel.all_pairs_single_failures fib in
+  let packets =
+    Array.fold_left
+      (fun a (it : Pr_fastpath.Parallel.item) -> a + Array.length it.pairs)
+      0 items
   in
-  Pr_util.Tablefmt.print ~header:[ "benchmark"; "ns/run" ] rows
+  let reference () =
+    let delivered = ref 0 in
+    Array.iter
+      (fun (it : Pr_fastpath.Parallel.item) ->
+        Array.iter
+          (fun (src, dst) ->
+            let trace =
+              Pr_core.Forward.run ~routing ~cycles ~failures:it.failures ~src
+                ~dst ()
+            in
+            if trace.Pr_core.Forward.outcome = Pr_core.Forward.Delivered then
+              incr delivered)
+          it.pairs)
+      items;
+    !delivered
+  in
+  let kernel = Pr_fastpath.Kernel.create fib in
+  let compiled () =
+    let c = Pr_fastpath.Kernel.fresh_counters () in
+    Array.iter
+      (fun (it : Pr_fastpath.Parallel.item) ->
+        Pr_fastpath.Kernel.set_failures kernel it.failures;
+        Array.iter
+          (fun (src, dst) ->
+            Pr_fastpath.Kernel.forward_into kernel c ~src ~dst)
+          it.pairs)
+      items;
+    c
+  in
+  ( packets,
+    [
+      Test.make ~name:"fastpath/reference-sweep-abilene"
+        (Staged.stage (fun () -> Sys.opaque_identity (reference ())));
+      Test.make ~name:"fastpath/compiled-sweep-abilene"
+        (Staged.stage (fun () -> Sys.opaque_identity (compiled ())));
+      (* Domain spawn/join overhead included: honest cost of going wide
+         on a sweep this small. *)
+      Test.make ~name:"fastpath/compiled-domains2-abilene"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Pr_fastpath.Parallel.run ~domains:2 ~seed:42 fib items)));
+      Test.make ~name:"fastpath/compiled-domains4-abilene"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Pr_fastpath.Parallel.run ~domains:4 ~seed:42 fib items)));
+    ] )
+
+let write_fastpath_json ~path ~packets ~quota rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"fastpath\",\n\
+    \  \"topology\": \"abilene\",\n\
+    \  \"workload\": \"all-pairs-single-failure\",\n\
+    \  \"packets_per_run\": %d,\n\
+    \  \"quota_s\": %g,\n\
+    \  \"results\": [\n"
+    packets quota;
+  let known = List.filter_map (fun (n, ns) -> Option.map (fun v -> (n, v)) ns) rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run\": %.1f, \"ns_per_packet\": %.2f}%s\n"
+        name ns
+        (ns /. float_of_int packets)
+        (if i = List.length known - 1 then "" else ","))
+    known;
+  let find name = List.assoc_opt name known in
+  let speedup =
+    match
+      ( find "fastpath/reference-sweep-abilene",
+        find "fastpath/compiled-sweep-abilene" )
+    with
+    | Some r, Some c when c > 0.0 -> r /. c
+    | _ -> 0.0
+  in
+  Printf.fprintf oc
+    "  ],\n  \"speedup_compiled_vs_reference\": %.2f\n}\n" speedup;
+  close_out oc;
+  speedup
+
+let run_micro_with ~quota () =
+  banner "MICRO-BENCHMARKS (bechamel, monotonic clock)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        [
+          name;
+          (match ns with
+          | Some t -> Printf.sprintf "%12.1f" t
+          | None -> "n/a");
+        ])
+      (measure_ns cfg (micro_tests ()))
+  in
+  Pr_util.Tablefmt.print ~header:[ "benchmark"; "ns/run" ] rows;
+  banner "FASTPATH: compiled kernel vs reference sweep";
+  let packets, tests = fastpath_tests () in
+  let fp = measure_ns cfg tests in
+  let fp_rows =
+    List.map
+      (fun (name, ns) ->
+        [
+          name;
+          (match ns with
+          | Some t -> Printf.sprintf "%12.1f" t
+          | None -> "n/a");
+          (match ns with
+          | Some t -> Printf.sprintf "%10.2f" (t /. float_of_int packets)
+          | None -> "n/a");
+        ])
+      fp
+  in
+  Pr_util.Tablefmt.print ~header:[ "benchmark"; "ns/run"; "ns/packet" ] fp_rows;
+  let speedup =
+    write_fastpath_json ~path:"BENCH_fastpath.json" ~packets ~quota fp
+  in
+  Printf.printf
+    "wrote BENCH_fastpath.json (%d packets/run, compiled %.2fx faster than reference)\n"
+    packets speedup
+
+let run_micro () = run_micro_with ~quota:0.5 ()
+
+(* Tiny quota for CI: same suite, noisier numbers, same artifact. *)
+let run_micro_smoke () = run_micro_with ~quota:0.05 ()
 
 (* ---- driver ---- *)
 
@@ -270,6 +411,7 @@ let sections =
     ("synthetic", run_synthetic);
     ("ttl", run_ttl);
     ("micro", run_micro);
+    ("micro-smoke", run_micro_smoke);
   ]
 
 let () =

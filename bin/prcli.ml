@@ -398,8 +398,22 @@ let parse_scheme = function
             { min_delay = 0.5; max_delay = 5.0; seed = 1 })
   | s -> Error (Printf.sprintf "unknown scheme %S (pr, pr-simple, lfa, reconv, reconv-jitter)" s)
 
+(* Parsed by hand rather than through [Arg.enum] so an unknown label is a
+   one-line error with exit 1, the malformed-input convention. *)
+let parse_backend = function
+  | "reference" -> `Reference
+  | "compiled" -> `Compiled
+  | s ->
+      Printf.eprintf "unknown backend %S (expected reference or compiled)\n" s;
+      exit 1
+
+let backend_arg =
+  Arg.(value & opt string "reference" & info [ "backend" ] ~docv:"KIND"
+         ~doc:"Data plane for PR forwarding: the $(b,reference) walks or the
+               $(b,compiled) FIB-image kernel (identical verdicts).")
+
 let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
-    schemes_spec no_shrink out replay =
+    schemes_spec no_shrink out replay backend_spec =
   match replay with
   | Some path -> (
       match Pr_chaos.Scenario.load path with
@@ -443,6 +457,7 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
           detection;
           schemes;
           shrink = not no_shrink;
+          backend = parse_backend backend_spec;
         }
       in
       (match Pr_chaos.Campaign.run campaign with
@@ -513,7 +528,8 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Chaos campaign: correlated fault injection with online invariant              monitors; violations are shrunk to replayable scenarios.")
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
-          $ mix $ hold_down $ detect_delay $ schemes $ no_shrink $ out $ replay)
+          $ mix $ hold_down $ detect_delay $ schemes $ no_shrink $ out $ replay
+          $ backend_arg)
 
 (* ---- detect: detection-delay sweep ---- *)
 
@@ -734,13 +750,109 @@ let coverage_cmd =
   Cmd.v (Cmd.info "coverage" ~doc:"Delivery-ratio sweep (PR vs simple PR vs LFA).")
     Term.(const coverage $ topo_arg $ kmax $ samples $ seed_arg)
 
+(* ---- bench: the all-pairs single-failure sweep, timed ---- *)
+
+let bench name embedding seed backend_spec domains json =
+  let backend = parse_backend backend_spec in
+  if domains < 1 then begin
+    Printf.eprintf "domains must be >= 1\n";
+    exit 1
+  end;
+  let topo = load_topology name in
+  let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  let g = topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+  let items = Pr_fastpath.Parallel.all_pairs_single_failures fib in
+  let packets =
+    Array.fold_left
+      (fun acc (it : Pr_fastpath.Parallel.item) -> acc + Array.length it.pairs)
+      0 items
+  in
+  let t0 = Unix.gettimeofday () in
+  let metrics =
+    match backend with
+    | `Compiled ->
+        Pr_sim.Metrics.of_fastpath
+          (Pr_fastpath.Parallel.run ~domains ~seed fib items)
+    | `Reference ->
+        let metrics = Pr_sim.Metrics.create () in
+        Array.iter
+          (fun (it : Pr_fastpath.Parallel.item) ->
+            let failures = it.failures in
+            Array.iter
+              (fun (src, dst) ->
+                if not (Pr_core.Failure.pair_connected failures src dst) then
+                  Pr_sim.Metrics.record_unreachable metrics
+                else
+                  let trace =
+                    Pr_core.Forward.run
+                      ~termination:Pr_core.Forward.Distance_discriminator
+                      ~routing ~cycles ~failures ~src ~dst ()
+                  in
+                  match trace.Pr_core.Forward.outcome with
+                  | Pr_core.Forward.Delivered ->
+                      Pr_sim.Metrics.record_delivery metrics
+                        ~stretch:
+                          (Pr_core.Forward.stretch ~routing ~trace ~src ~dst)
+                  | Pr_core.Forward.Ttl_exceeded ->
+                      Pr_sim.Metrics.record_loop metrics
+                  | Pr_core.Forward.Dropped_no_interface
+                  | Pr_core.Forward.Dropped_unreachable ->
+                      Pr_sim.Metrics.record_drop metrics)
+              it.pairs)
+          items;
+        metrics
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ns_per_packet = elapsed *. 1e9 /. float_of_int (max 1 packets) in
+  if json then
+    Printf.printf
+      "{\"topology\":%S,\"backend\":%S,\"domains\":%d,\"scenarios\":%d,\"packets\":%d,\"elapsed_s\":%.6f,\"ns_per_packet\":%.1f,\"injected\":%d,\"delivered\":%d,\"dropped\":%d,\"looped\":%d,\"unreachable\":%d,\"delivery_ratio\":%.6f,\"mean_stretch\":%.6f}\n"
+      topo.Topology.name
+      (Pr_sim.Engine.backend_name backend)
+      domains (Array.length items) packets elapsed ns_per_packet
+      metrics.Pr_sim.Metrics.injected metrics.Pr_sim.Metrics.delivered
+      metrics.Pr_sim.Metrics.dropped metrics.Pr_sim.Metrics.looped
+      metrics.Pr_sim.Metrics.unreachable
+      (Pr_sim.Metrics.delivery_ratio metrics)
+      (Pr_sim.Metrics.mean_stretch metrics)
+  else begin
+    Printf.printf
+      "bench: %s all-pairs single-failure sweep, %s backend, %d domain(s)\n"
+      topo.Topology.name
+      (Pr_sim.Engine.backend_name backend)
+      domains;
+    Printf.printf "  %d scenario(s), %d packet(s), %.3f ms, %.0f ns/packet\n"
+      (Array.length items) packets (elapsed *. 1e3) ns_per_packet;
+    Format.printf "  %a@." Pr_sim.Metrics.pp metrics
+  end
+
+let bench_cmd =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"INT"
+           ~doc:"Worker domains (compiled backend only).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one JSON object on stdout instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Time the all-pairs single-failure PR sweep on the reference or
+             compiled data plane.")
+    Term.(const bench $ topo_arg $ embedding_arg $ seed_arg $ backend_arg
+          $ domains $ json)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "prcli" ~version:"1.0.0"
        ~doc:"Packet Re-cycling (HotNets 2010) reproduction toolkit.")
     [
       topo_cmd; embed_cmd; table_cmd; trace_cmd; fig2_cmd; figures_cmd; hunt_cmd;
-      overhead_cmd; ablation_cmd; coverage_cmd; chaos_cmd; detect_cmd;
+      overhead_cmd; ablation_cmd; coverage_cmd; chaos_cmd; detect_cmd; bench_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

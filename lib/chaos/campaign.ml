@@ -13,6 +13,7 @@ type config = {
   detection : Pr_sim.Detector.config option;
   schemes : Engine.scheme list;
   shrink : bool;
+  backend : Engine.backend;
 }
 
 let default_config topology rotation ~seed =
@@ -32,6 +33,7 @@ let default_config topology rotation ~seed =
         Engine.Reconvergence_scheme { convergence_delay = 5.0 };
       ];
     shrink = true;
+    backend = `Reference;
   }
 
 type scheme_result = {
@@ -84,7 +86,7 @@ let run config =
       match
         Engine.run
           ~observer:(Monitor.engine_observer monitor)
-          ?detection:config.detection
+          ?detection:config.detection ~backend:config.backend
           { Engine.topology = config.topology; rotation = config.rotation; scheme }
           ~link_events ~injections
       with

@@ -24,6 +24,9 @@ type config = {
           shrunk artifact would not replay). *)
   schemes : Pr_sim.Engine.scheme list;
   shrink : bool;             (** minimise violating scenarios *)
+  backend : Pr_sim.Engine.backend;
+      (** data plane for PR schemes (default [`Reference]); the monitors
+          see identical verdicts either way *)
 }
 
 val default_config : Pr_topo.Topology.t -> Pr_embed.Rotation.t -> seed:int -> config

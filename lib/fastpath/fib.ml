@@ -1,0 +1,252 @@
+module Graph = Pr_graph.Graph
+module Routing = Pr_core.Routing
+module Cycle_table = Pr_core.Cycle_table
+
+type t = {
+  g : Graph.t;
+  kind : Pr_core.Discriminator.kind;
+  n : int;
+  ports : int;
+  degree : int array;        (* [n] *)
+  port_node : int array;     (* [n*ports] *)
+  port_weight : float array; (* [n*ports] *)
+  node_port : int array;     (* [n*n] *)
+  next_hop_port : int array; (* [n*n] *)
+  disc : float array;        (* [n*n] *)
+  disc_q : int array;        (* [n*n] *)
+  distance : float array;    (* [n*n] *)
+  cycle_col : int array;     (* [n*ports] *)
+  comp_col : int array;      (* [n*ports] *)
+  lfa_off : int array;       (* [n*n + 1] *)
+  lfa_ports : int array;
+  dd_bits : int;
+}
+
+type error =
+  | Port_overflow of { node : int; degree : int; ports : int }
+  | Graph_mismatch
+
+let describe_error = function
+  | Port_overflow { node; degree; ports } ->
+      Printf.sprintf
+        "Fib: node %d has degree %d, exceeding the image's port width %d" node
+        degree ports
+  | Graph_mismatch ->
+      "Fib: routing and cycle tables are built over different graphs"
+
+let of_tables ?ports routing cycles =
+  let g = Routing.graph routing in
+  if not (Graph.equal_structure g (Cycle_table.graph cycles)) then
+    Error Graph_mismatch
+  else begin
+    let n = Graph.n g in
+    let width = match ports with Some p -> p | None -> Graph.max_degree g in
+    let overflow = ref None in
+    for x = n - 1 downto 0 do
+      let d = Graph.degree g x in
+      if d > width then overflow := Some (Port_overflow { node = x; degree = d; ports = width })
+    done;
+    match !overflow with
+    | Some e -> Error e
+    | None ->
+        let degree = Array.init n (Graph.degree g) in
+        let port_node = Array.make (n * width) (-1) in
+        let port_weight = Array.make (n * width) 0.0 in
+        let node_port = Array.make (n * n) (-1) in
+        for x = 0 to n - 1 do
+          Array.iteri
+            (fun p w ->
+              port_node.((x * width) + p) <- w;
+              port_weight.((x * width) + p) <- Graph.weight g x w;
+              node_port.((x * n) + w) <- p)
+            (Graph.neighbours g x)
+        done;
+        let next_hop_port = Array.make (n * n) (-1) in
+        let disc = Array.make (n * n) infinity in
+        let disc_q = Array.make (n * n) 0 in
+        let distance = Array.make (n * n) infinity in
+        for dst = 0 to n - 1 do
+          for x = 0 to n - 1 do
+            let i = (x * n) + dst in
+            (match Routing.next_hop routing ~node:x ~dst with
+            | Some w -> next_hop_port.(i) <- node_port.((x * n) + w)
+            | None -> ());
+            let v = Routing.disc routing ~node:x ~dst in
+            disc.(i) <- v;
+            disc_q.(i) <- Routing.quantise_dd routing v;
+            distance.(i) <- Routing.distance routing ~node:x ~dst
+          done
+        done;
+        let cycle_col = Array.make (n * width) (-1) in
+        let comp_col = Array.make (n * width) (-1) in
+        for x = 0 to n - 1 do
+          Array.iteri
+            (fun p w ->
+              let next = Cycle_table.cycle_next cycles ~node:x ~from_:w in
+              let next_port = node_port.((x * n) + next) in
+              cycle_col.((x * width) + p) <- next_port;
+              (* The complementary cycle of a failed interface starts at the
+                 rotation successor of the failed port — same successor
+                 function, indexed by the failed port rather than the
+                 incoming one. *)
+              comp_col.((x * width) + p) <- next_port)
+            (Graph.neighbours g x)
+        done;
+        (* LFA candidates per (node, dst): RFC 5286 basic inequality,
+           primary excluded, ordered by cost + remaining distance with ties
+           to the smaller neighbour id — so "first believed-up candidate"
+           in the kernel reproduces the fold in Forward.decide exactly. *)
+        let lfa_off = Array.make ((n * n) + 1) 0 in
+        let cand = ref [] (* reversed (slot, port) list *) in
+        let total = ref 0 in
+        for x = 0 to n - 1 do
+          for dst = 0 to n - 1 do
+            let i = (x * n) + dst in
+            lfa_off.(i) <- !total;
+            match Routing.next_hop routing ~node:x ~dst with
+            | None -> ()
+            | Some primary ->
+                let dist_x = distance.(i) in
+                let here =
+                  Array.to_list (Graph.neighbours g x)
+                  |> List.filter_map (fun w ->
+                         let cost = Graph.weight g x w in
+                         let dist_w = distance.((w * n) + dst) in
+                         if w <> primary && dist_w < cost +. dist_x then
+                           Some (cost +. dist_w, w)
+                         else None)
+                  |> List.sort compare
+                in
+                List.iter
+                  (fun (_, w) ->
+                    cand := node_port.((x * n) + w) :: !cand;
+                    incr total)
+                  here
+          done
+        done;
+        lfa_off.(n * n) <- !total;
+        let lfa_ports = Array.of_list (List.rev !cand) in
+        Ok
+          {
+            g;
+            kind = Routing.kind routing;
+            n;
+            ports = width;
+            degree;
+            port_node;
+            port_weight;
+            node_port;
+            next_hop_port;
+            disc;
+            disc_q;
+            distance;
+            cycle_col;
+            comp_col;
+            lfa_off;
+            lfa_ports;
+            dd_bits = Routing.dd_bits routing;
+          }
+  end
+
+let of_tables_exn ?ports routing cycles =
+  match of_tables ?ports routing cycles with
+  | Ok t -> t
+  | Error e -> invalid_arg (describe_error e)
+
+let graph t = t.g
+
+let n t = t.n
+
+let ports t = t.ports
+
+let degree t x = t.degree.(x)
+
+let dd_bits t = t.dd_bits
+
+let quantise_dd t v =
+  match t.kind with
+  | Pr_core.Discriminator.Hops -> int_of_float v
+  | Pr_core.Discriminator.Weighted -> int_of_float (Float.ceil v)
+
+let memory_words t =
+  Array.length t.degree + Array.length t.port_node
+  + Array.length t.port_weight + Array.length t.node_port
+  + Array.length t.next_hop_port + Array.length t.disc
+  + Array.length t.disc_q + Array.length t.distance
+  + Array.length t.cycle_col + Array.length t.comp_col
+  + Array.length t.lfa_off + Array.length t.lfa_ports
+
+let check_node t x name =
+  if x < 0 || x >= t.n then invalid_arg ("Fib: " ^ name ^ " out of range")
+
+let port_of t ~node ~neighbour =
+  check_node t node "node";
+  check_node t neighbour "neighbour";
+  t.node_port.((node * t.n) + neighbour)
+
+let neighbour_of t ~node ~port =
+  check_node t node "node";
+  if port < 0 || port >= t.ports then invalid_arg "Fib: port out of range";
+  t.port_node.((node * t.ports) + port)
+
+let next_hop t ~node ~dst =
+  check_node t node "node";
+  check_node t dst "dst";
+  let p = t.next_hop_port.((node * t.n) + dst) in
+  if p < 0 then None else Some t.port_node.((node * t.ports) + p)
+
+let disc t ~node ~dst =
+  check_node t node "node";
+  check_node t dst "dst";
+  t.disc.((node * t.n) + dst)
+
+let disc_q t ~node ~dst =
+  check_node t node "node";
+  check_node t dst "dst";
+  t.disc_q.((node * t.n) + dst)
+
+let distance t ~node ~dst =
+  check_node t node "node";
+  check_node t dst "dst";
+  t.distance.((node * t.n) + dst)
+
+let out_port_via t col ~node ~other what =
+  let p = port_of t ~node ~neighbour:other in
+  if p < 0 then
+    invalid_arg (Printf.sprintf "Fib: %d is not a neighbour of %d (%s)" other node what);
+  t.port_node.((node * t.ports) + col.((node * t.ports) + p))
+
+let cycle_next t ~node ~from_ = out_port_via t t.cycle_col ~node ~other:from_ "cycle_next"
+
+let complement_for_failed t ~node ~failed =
+  out_port_via t t.comp_col ~node ~other:failed "complement_for_failed"
+
+let entries t node =
+  check_node t node "node";
+  List.init t.degree.(node) (fun p ->
+      let incoming = t.port_node.((node * t.ports) + p) in
+      let cycle_following = cycle_next t ~node ~from_:incoming in
+      {
+        Cycle_table.incoming;
+        cycle_following;
+        complementary = cycle_next t ~node ~from_:cycle_following;
+      })
+
+let lfa_candidates t ~node ~dst =
+  check_node t node "node";
+  check_node t dst "dst";
+  let i = (node * t.n) + dst in
+  List.init (t.lfa_off.(i + 1) - t.lfa_off.(i)) (fun j ->
+      t.port_node.((node * t.ports) + t.lfa_ports.(t.lfa_off.(i) + j)))
+
+let raw_port_node t = t.port_node
+let raw_port_weight t = t.port_weight
+let raw_node_port t = t.node_port
+let raw_next_hop_port t = t.next_hop_port
+let raw_disc t = t.disc
+let raw_disc_q t = t.disc_q
+let raw_distance t = t.distance
+let raw_cycle_col t = t.cycle_col
+let raw_comp_col t = t.comp_col
+let raw_lfa_off t = t.lfa_off
+let raw_lfa_ports t = t.lfa_ports

@@ -1,0 +1,143 @@
+(** Compiled FIB images: the data plane's tables as flat arrays.
+
+    {!Pr_core.Routing} and {!Pr_core.Cycle_table} are built for clarity —
+    destination-rooted SPF trees behind hashtable-backed rotation lookups.
+    A {e FIB image} flattens everything one forwarding decision reads into
+    contiguous [int]/[float] arrays indexed by [node * width + port] (or
+    [node * n + dst]), so the batch kernel ({!Kernel}) runs the full
+    {!Pr_core.Forward.decide} ladder with array reads only — no hashing,
+    no allocation, no pointer chasing.
+
+    {b Port numbering.}  The ports of node [x] are the indices into
+    [Graph.neighbours g x] — neighbour ids in increasing order, so port
+    assignment is deterministic and identical to the iteration order of
+    the reference implementation.  Every per-port array row is padded to
+    the image's {!ports} width with [-1] sentinels; [-1] likewise encodes
+    "no entry" ([no next hop], [unreachable]).
+
+    An image is immutable once built and safe to share across domains. *)
+
+type t
+
+type error =
+  | Port_overflow of { node : int; degree : int; ports : int }
+      (** a node's degree exceeds the image's port width *)
+  | Graph_mismatch
+      (** routing and cycle tables were built over different graphs *)
+
+val describe_error : error -> string
+
+val of_tables :
+  ?ports:int -> Pr_core.Routing.t -> Pr_core.Cycle_table.t -> (t, error) result
+(** Compile an image from the reference tables.  [ports] is the port
+    width (default: the graph's maximum degree); a node with more
+    neighbours than [ports] is a typed {!Port_overflow} error, never an
+    assertion.  The tables must be built over the same graph. *)
+
+val of_tables_exn :
+  ?ports:int -> Pr_core.Routing.t -> Pr_core.Cycle_table.t -> t
+(** [Invalid_argument] with {!describe_error} on error. *)
+
+(** {2 Image geometry} *)
+
+val graph : t -> Pr_graph.Graph.t
+
+val n : t -> int
+
+val ports : t -> int
+(** Port width: every node's per-port rows span this many slots. *)
+
+val degree : t -> int -> int
+
+val dd_bits : t -> int
+(** The topology's DD bit budget, copied from {!Pr_core.Routing.dd_bits}. *)
+
+val quantise_dd : t -> float -> int
+(** Same rounding as {!Pr_core.Routing.quantise_dd} (by discriminator
+    kind). *)
+
+val memory_words : t -> int
+(** Total words across all arrays — the §6-style footprint of the image. *)
+
+(** {2 Decompilation}
+
+    The image can be read back entry-by-entry; the property tests
+    round-trip every {!Pr_core.Routing} / {!Pr_core.Cycle_table} /
+    {!Pr_core.Discriminator} entry through these. *)
+
+val port_of : t -> node:int -> neighbour:int -> int
+(** Port index of a neighbour at [node]; [-1] if not adjacent. *)
+
+val neighbour_of : t -> node:int -> port:int -> int
+(** Node id behind a port; [-1] for a padded slot. *)
+
+val next_hop : t -> node:int -> dst:int -> int option
+(** Next-hop node id, as {!Pr_core.Routing.next_hop}. *)
+
+val disc : t -> node:int -> dst:int -> float
+(** Raw discriminator value, as {!Pr_core.Routing.disc}. *)
+
+val disc_q : t -> node:int -> dst:int -> int
+(** Quantised discriminator, as [Routing.quantise_dd (Routing.disc ...)]. *)
+
+val distance : t -> node:int -> dst:int -> float
+(** Shortest-path cost, as {!Pr_core.Routing.distance}. *)
+
+val cycle_next : t -> node:int -> from_:int -> int
+(** Cycle-following column by node ids, as
+    {!Pr_core.Cycle_table.cycle_next}.  Raises [Invalid_argument] if
+    [from_] is not a neighbour. *)
+
+val complement_for_failed : t -> node:int -> failed:int -> int
+(** Complementary-cycle column by node ids, as
+    {!Pr_core.Cycle_table.complement_for_failed}. *)
+
+val entries : t -> int -> Pr_core.Cycle_table.entry list
+(** Decompiled cycle-table rows of a node, shaped like
+    {!Pr_core.Cycle_table.entries} but ordered by incoming neighbour id
+    (port order) rather than rotation order. *)
+
+val lfa_candidates : t -> node:int -> dst:int -> int list
+(** The precomputed loop-free-alternate ports for [(node, dst)], decoded
+    to neighbour ids, best first: RFC 5286 basic-inequality neighbours
+    (primary excluded) ordered by [cost + distance] with ties to the
+    smaller id — the order in which the kernel's LFA rung probes them. *)
+
+(** {2 Raw layout (read-only)}
+
+    Exposed for the kernel and for tests that pin the array shapes; see
+    DESIGN.md "Compiled FIB images" for the layout contract.  Callers
+    must not mutate. *)
+
+val raw_port_node : t -> int array
+(** [n*ports]: port -> node id, [-1] pad *)
+
+val raw_port_weight : t -> float array
+(** [n*ports]: port -> link weight *)
+
+val raw_node_port : t -> int array
+(** [n*n]: neighbour id -> port, [-1] *)
+
+val raw_next_hop_port : t -> int array
+(** [n*n]: (node,dst) -> port, [-1] *)
+
+val raw_disc : t -> float array
+(** [n*n]: raw discriminator *)
+
+val raw_disc_q : t -> int array
+(** [n*n]: quantised discriminator *)
+
+val raw_distance : t -> float array
+(** [n*n]: SPF distance *)
+
+val raw_cycle_col : t -> int array
+(** [n*ports]: in-port -> cycle-following out-port *)
+
+val raw_comp_col : t -> int array
+(** [n*ports]: in-port -> complementary out-port *)
+
+val raw_lfa_off : t -> int array
+(** [n*n+1]: candidate-range offsets *)
+
+val raw_lfa_ports : t -> int array
+(** concatenated LFA candidate ports *)

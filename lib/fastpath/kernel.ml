@@ -1,0 +1,584 @@
+module Graph = Pr_graph.Graph
+module Forward = Pr_core.Forward
+
+(* Degradation codes written into the per-hop scratch buffer. *)
+let d_retry = 0
+
+let d_lfa = 1
+
+let d_ddsat = 2
+
+type t = {
+  fib : Fib.t;
+  n : int;
+  ports : int;
+  degree : int array;
+  port_node : int array;
+  port_weight : float array;
+  node_port : int array;
+  next_hop_port : int array;
+  disc : float array;
+  disc_q : int array;
+  distance : float array;
+  cycle_col : int array;
+  comp_col : int array;
+  lfa_off : int array;
+  lfa_ports : int array;
+  view : Bytes.t;
+  truth : Bytes.t;
+  default_ttl : int;
+  (* Per-hop registers written by [decide].  Hot floats (the carried and
+     outgoing DD, the cost accumulator) live in [fbuf] — a float array is
+     unboxed storage, so the walk never boxes a float. *)
+  degr : int array;
+  fbuf : float array;
+  mutable degr_len : int;
+  mutable out_port : int;
+  mutable out_pr : bool;
+  mutable out_started : bool;
+  mutable hits : int;
+}
+
+(* [fbuf] slots. *)
+let f_in_dd = 0   (* DD carried by the header arriving at this hop *)
+
+let f_out_dd = 1  (* DD stamped on the forwarded header by [decide] *)
+
+let f_cost = 2    (* weighted cost of the walk so far *)
+
+let create fib =
+  let n = Fib.n fib and ports = Fib.ports fib in
+  {
+    fib;
+    n;
+    ports;
+    degree = Array.init n (Fib.degree fib);
+    port_node = Fib.raw_port_node fib;
+    port_weight = Fib.raw_port_weight fib;
+    node_port = Fib.raw_node_port fib;
+    next_hop_port = Fib.raw_next_hop_port fib;
+    disc = Fib.raw_disc fib;
+    disc_q = Fib.raw_disc_q fib;
+    distance = Fib.raw_distance fib;
+    cycle_col = Fib.raw_cycle_col fib;
+    comp_col = Fib.raw_comp_col fib;
+    lfa_off = Fib.raw_lfa_off fib;
+    lfa_ports = Fib.raw_lfa_ports fib;
+    view = Bytes.make (n * ports) '\001';
+    truth = Bytes.make (n * ports) '\001';
+    default_ttl = Forward.default_ttl (Fib.graph fib);
+    degr = Array.make 8 0;
+    fbuf = Array.make 3 0.0;
+    degr_len = 0;
+    out_port = -1;
+    out_pr = false;
+    out_started = false;
+    hits = 0;
+  }
+
+let fib t = t.fib
+
+(* ---- port state ---- *)
+
+let set_failures t failures =
+  let g = Fib.graph t.fib in
+  if not (Graph.equal_structure g (Pr_core.Failure.graph failures)) then
+    invalid_arg "Kernel.set_failures: failure set over a different graph";
+  Bytes.fill t.view 0 (Bytes.length t.view) '\001';
+  Graph.iter_edges
+    (fun i (e : Graph.edge) ->
+      if Pr_core.Failure.is_failed_index failures i then begin
+        Bytes.set t.view ((e.u * t.ports) + t.node_port.((e.u * t.n) + e.v)) '\000';
+        Bytes.set t.view ((e.v * t.ports) + t.node_port.((e.v * t.n) + e.u)) '\000'
+      end)
+    g;
+  Bytes.blit t.view 0 t.truth 0 (Bytes.length t.view)
+
+let fill_plane t plane f =
+  for x = 0 to t.n - 1 do
+    for p = 0 to t.degree.(x) - 1 do
+      let other = t.port_node.((x * t.ports) + p) in
+      Bytes.set plane ((x * t.ports) + p)
+        (if f ~node:x ~other then '\001' else '\000')
+    done
+  done
+
+let fill_view t f = fill_plane t t.view f
+
+let fill_truth t f = fill_plane t t.truth f
+
+let port_or_die t ~node ~other what =
+  if node < 0 || node >= t.n || other < 0 || other >= t.n then
+    invalid_arg ("Kernel." ^ what ^ ": node out of range");
+  let p = t.node_port.((node * t.n) + other) in
+  if p < 0 then
+    invalid_arg
+      (Printf.sprintf "Kernel.%s: %d is not a neighbour of %d" what other node);
+  p
+
+let set_believed t ~node ~other ~up =
+  let p = port_or_die t ~node ~other "set_believed" in
+  Bytes.set t.view ((node * t.ports) + p) (if up then '\001' else '\000')
+
+let believed_up t ~node ~other =
+  let p = port_or_die t ~node ~other "believed_up" in
+  Bytes.get t.view ((node * t.ports) + p) <> '\000'
+
+(* ---- the per-router decision, ported line-for-line from
+   Pr_core.Forward.decide ---- *)
+
+let note t c =
+  t.degr.(t.degr_len) <- c;
+  t.degr_len <- t.degr_len + 1
+
+(* Drop codes; 0 = forwarded (out_* registers valid). *)
+let c_no_route = 1
+
+let c_interfaces_down = 2
+
+let c_continuation_lost = 3
+
+let c_budget_exhausted = 4
+
+(* The rungs are top-level functions with explicit immediate arguments —
+   no local closures, and no float parameters or returns (those would box
+   on every call without flambda).  Float flow goes through [t.fbuf]:
+   the walk stores the carried DD in [f_in_dd] before calling [decide],
+   and [decide] leaves the DD of the forwarded header in [f_out_dd]. *)
+
+let[@inline] up t base p = Bytes.unsafe_get t.view (base + p) <> '\000'
+
+(* The forwarded header's DD must already be in [f_out_dd]. *)
+let[@inline] forwarded t port ~pr ~started =
+  t.out_port <- port;
+  t.out_pr <- pr;
+  t.out_started <- started;
+  0
+
+let[@inline] carried_sat ~max_dd_q q = max_dd_q >= 0 && q > max_dd_q
+
+(* Forward.decide's [write_dd]: stamp the local discriminator (saturated
+   at the bound) into [f_out_dd]. *)
+let write_dd t ii ~quantise ~max_dd_q =
+  let q = Array.unsafe_get t.disc_q ii in
+  Array.unsafe_set t.fbuf f_out_dd
+    (if carried_sat ~max_dd_q q then begin
+       note t d_ddsat;
+       float_of_int max_dd_q
+     end
+     else if quantise then float_of_int q
+     else Array.unsafe_get t.disc ii)
+
+(* Walk the rotation from the failed port; forwards with whatever DD is
+   in [f_out_dd] (callers stamp it first). *)
+let start_complementary t base ~deg failed_port ~started =
+  let rec rotate candidate remaining =
+    if remaining = 0 then c_interfaces_down
+    else if up t base candidate then forwarded t candidate ~pr:true ~started
+    else begin
+      t.hits <- t.hits + 1;
+      rotate (Array.unsafe_get t.comp_col (base + candidate)) (remaining - 1)
+    end
+  in
+  rotate (Array.unsafe_get t.comp_col (base + failed_port)) deg
+
+let routed t base ii ~deg ~quantise ~max_dd_q =
+  let p = Array.unsafe_get t.next_hop_port ii in
+  if p < 0 then c_no_route
+  else if up t base p then begin
+    Array.unsafe_set t.fbuf f_out_dd 0.0;
+    forwarded t p ~pr:false ~started:false
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    write_dd t ii ~quantise ~max_dd_q;
+    start_complementary t base ~deg p ~started:true
+  end
+
+let lfa_rescue t base ii ~reason =
+  if Array.unsafe_get t.next_hop_port ii < 0 then c_no_route
+  else begin
+    let hi = t.lfa_off.(ii + 1) in
+    let rec scan j =
+      if j >= hi then reason
+      else
+        let w = Array.unsafe_get t.lfa_ports j in
+        if up t base w then begin
+          note t d_lfa;
+          Array.unsafe_set t.fbuf f_out_dd 0.0;
+          forwarded t w ~pr:false ~started:false
+        end
+        else scan (j + 1)
+    in
+    scan t.lfa_off.(ii)
+  end
+
+let ladder t base ii ~deg ~quantise ~max_dd_q ~reason ~try_complementary =
+  let p = Array.unsafe_get t.next_hop_port ii in
+  if p < 0 then c_no_route
+  else if up t base p then begin
+    Array.unsafe_set t.fbuf f_out_dd 0.0;
+    forwarded t p ~pr:false ~started:false
+  end
+  else begin
+    t.hits <- t.hits + 1;
+    if try_complementary then begin
+      note t d_retry;
+      write_dd t ii ~quantise ~max_dd_q;
+      let r = start_complementary t base ~deg p ~started:true in
+      if r = 0 then r else lfa_rescue t base ii ~reason
+    end
+    else lfa_rescue t base ii ~reason
+  end
+
+(* The carried DD is read from [f_in_dd]; the out header's DD is left in
+   [f_out_dd]. *)
+let decide t ~dd_term ~quantise ~max_dd_q ~hops_left ~guard ~dst ~x
+    ~arrived_port ~pr =
+  let base = x * t.ports in
+  let ii = (x * t.n) + dst in
+  let deg = Array.unsafe_get t.degree x in
+  if pr && guard > 0 && hops_left <= guard then
+    ladder t base ii ~deg ~quantise ~max_dd_q ~reason:c_budget_exhausted
+      ~try_complementary:false
+  else if not pr then routed t base ii ~deg ~quantise ~max_dd_q
+  else if arrived_port < 0 then routed t base ii ~deg ~quantise ~max_dd_q
+  else begin
+    (* Cycle following. *)
+    let w = Array.unsafe_get t.cycle_col (base + arrived_port) in
+    if up t base w then begin
+      Array.unsafe_set t.fbuf f_out_dd (Array.unsafe_get t.fbuf f_in_dd);
+      forwarded t w ~pr:true ~started:false
+    end
+    else begin
+      t.hits <- t.hits + 1;
+      if not dd_term then routed t base ii ~deg ~quantise ~max_dd_q
+      else begin
+        let dd = Array.unsafe_get t.fbuf f_in_dd in
+        let q = Array.unsafe_get t.disc_q ii in
+        let local_sat = carried_sat ~max_dd_q q in
+        let header_sat = max_dd_q >= 0 && dd >= float_of_int max_dd_q in
+        if local_sat && header_sat then begin
+          note t d_ddsat;
+          ladder t base ii ~deg ~quantise ~max_dd_q
+            ~reason:c_continuation_lost ~try_complementary:true
+        end
+        else begin
+          let local =
+            if local_sat then float_of_int max_dd_q
+            else if quantise then float_of_int q
+            else Array.unsafe_get t.disc ii
+          in
+          if local < dd then routed t base ii ~deg ~quantise ~max_dd_q
+          else begin
+            Array.unsafe_set t.fbuf f_out_dd dd;
+            start_complementary t base ~deg w ~started:false
+          end
+        end
+      end
+    end
+  end
+
+(* ---- verdicts ---- *)
+
+type reason =
+  | No_route
+  | Interfaces_down
+  | Continuation_lost
+  | Budget_exhausted
+  | Stale_view
+
+let reason_name = function
+  | No_route -> "no-route"
+  | Interfaces_down -> "interfaces-down"
+  | Continuation_lost -> "continuation-lost"
+  | Budget_exhausted -> "budget-exhausted"
+  | Stale_view -> "stale-view"
+
+let reason_of_code = function
+  | 1 -> No_route
+  | 2 -> Interfaces_down
+  | 3 -> Continuation_lost
+  | _ -> Budget_exhausted
+
+let outcome_of_code = function
+  | 1 -> Forward.Dropped_unreachable
+  | _ -> Forward.Dropped_no_interface
+
+let degradation_of_code c =
+  if c = d_retry then Forward.Retry_complementary
+  else if c = d_lfa then Forward.Lfa_rescue
+  else Forward.Dd_saturated
+
+type result = {
+  outcome : Forward.outcome;
+  reason : reason option;
+  path : int list;
+  pr_episodes : int;
+  failure_hits : int;
+  max_dd : float;
+  episodes : (int * float) list;
+  degradations : Forward.degradation list;
+  cost : float;
+}
+
+let prepare_walk ?ttl t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Kernel: node out of range";
+  if src = dst then invalid_arg "Kernel: src = dst";
+  t.hits <- 0;
+  match ttl with Some v -> v | None -> t.default_ttl
+
+let max_dd_q_of = function
+  | None -> -1
+  | Some b -> Pr_core.Header.max_dd ~dd_bits:b
+
+let dd_term_of = function
+  | Forward.Distance_discriminator -> true
+  | Forward.Simple -> false
+
+let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
+    ?dd_bits ?(budget_guard = 0) ?ttl t ~src ~dst =
+  let ttl0 = prepare_walk ?ttl t ~src ~dst in
+  let dd_term = dd_term_of termination in
+  let max_dd_q = max_dd_q_of dd_bits in
+  let pr_episodes = ref 0 in
+  let max_dd = ref 0.0 in
+  let episodes = ref [] in
+  let degr_rev = ref [] in
+  let finish ~outcome ~reason ~cost path_rev =
+    {
+      outcome;
+      reason;
+      path = List.rev path_rev;
+      pr_episodes = !pr_episodes;
+      failure_hits = t.hits;
+      max_dd = !max_dd;
+      episodes = List.rev !episodes;
+      degradations = List.rev !degr_rev;
+      cost;
+    }
+  in
+  let rec walk x arrived_port pr dd ttl cost path_rev =
+    if x = dst then finish ~outcome:Forward.Delivered ~reason:None ~cost path_rev
+    else if ttl = 0 then
+      finish ~outcome:Forward.Ttl_exceeded ~reason:None ~cost path_rev
+    else begin
+      t.degr_len <- 0;
+      t.fbuf.(f_in_dd) <- dd;
+      let code =
+        decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard:budget_guard
+          ~dst ~x ~arrived_port ~pr
+      in
+      for j = t.degr_len - 1 downto 0 do
+        degr_rev := degradation_of_code t.degr.(j) :: !degr_rev
+      done;
+      if code <> 0 then
+        finish ~outcome:(outcome_of_code code)
+          ~reason:(Some (reason_of_code code)) ~cost path_rev
+      else begin
+        let port = t.out_port in
+        let out_dd = t.fbuf.(f_out_dd) in
+        let next = t.port_node.((x * t.ports) + port) in
+        if t.out_started then begin
+          incr pr_episodes;
+          episodes := (x, out_dd) :: !episodes;
+          if out_dd > !max_dd then max_dd := out_dd
+        end;
+        if Bytes.get t.truth ((x * t.ports) + port) = '\000' then
+          (* Sent into a link the sender wrongly believed up: lost on the
+             wire, the failed hop recorded on the path (engine
+             convention). *)
+          finish ~outcome:Forward.Dropped_no_interface ~reason:(Some Stale_view)
+            ~cost (next :: path_rev)
+        else
+          walk next
+            (t.node_port.((next * t.n) + x))
+            t.out_pr out_dd (ttl - 1)
+            (cost +. t.port_weight.((x * t.ports) + port))
+            (next :: path_rev)
+      end
+    end
+  in
+  walk src (-1) false 0.0 ttl0 0.0 [ src ]
+
+let to_trace t r =
+  {
+    Forward.outcome = r.outcome;
+    path = r.path;
+    pr_episodes = r.pr_episodes;
+    failure_hits = r.failure_hits;
+    max_header =
+      { Pr_core.Header.pr = r.pr_episodes > 0; dd = Fib.quantise_dd t.fib r.max_dd };
+    episodes = r.episodes;
+  }
+
+(* ---- batches ---- *)
+
+type counters = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable stretch_sum : float;
+  mutable worst_stretch : float;
+  drops_by_reason : int array;
+  mutable complementary_retries : int;
+  mutable lfa_rescues : int;
+  mutable dd_saturations : int;
+  mutable pr_episodes : int;
+  mutable failure_hits : int;
+}
+
+let all_reasons =
+  [ No_route; Interfaces_down; Continuation_lost; Budget_exhausted; Stale_view ]
+
+let reason_index = function
+  | No_route -> 0
+  | Interfaces_down -> 1
+  | Continuation_lost -> 2
+  | Budget_exhausted -> 3
+  | Stale_view -> 4
+
+let fresh_counters () =
+  {
+    injected = 0;
+    delivered = 0;
+    dropped = 0;
+    looped = 0;
+    unreachable = 0;
+    stretch_sum = 0.0;
+    worst_stretch = 0.0;
+    drops_by_reason = Array.make (List.length all_reasons) 0;
+    complementary_retries = 0;
+    lfa_rescues = 0;
+    dd_saturations = 0;
+    pr_episodes = 0;
+    failure_hits = 0;
+  }
+
+let add_counters ~into c =
+  into.injected <- into.injected + c.injected;
+  into.delivered <- into.delivered + c.delivered;
+  into.dropped <- into.dropped + c.dropped;
+  into.looped <- into.looped + c.looped;
+  into.unreachable <- into.unreachable + c.unreachable;
+  into.stretch_sum <- into.stretch_sum +. c.stretch_sum;
+  if c.worst_stretch > into.worst_stretch then
+    into.worst_stretch <- c.worst_stretch;
+  Array.iteri
+    (fun i v -> into.drops_by_reason.(i) <- into.drops_by_reason.(i) + v)
+    c.drops_by_reason;
+  into.complementary_retries <- into.complementary_retries + c.complementary_retries;
+  into.lfa_rescues <- into.lfa_rescues + c.lfa_rescues;
+  into.dd_saturations <- into.dd_saturations + c.dd_saturations;
+  into.pr_episodes <- into.pr_episodes + c.pr_episodes;
+  into.failure_hits <- into.failure_hits + c.failure_hits
+
+let equal_counters a b =
+  a.injected = b.injected && a.delivered = b.delivered && a.dropped = b.dropped
+  && a.looped = b.looped && a.unreachable = b.unreachable
+  && Int64.bits_of_float a.stretch_sum = Int64.bits_of_float b.stretch_sum
+  && Int64.bits_of_float a.worst_stretch = Int64.bits_of_float b.worst_stretch
+  && a.drops_by_reason = b.drops_by_reason
+  && a.complementary_retries = b.complementary_retries
+  && a.lfa_rescues = b.lfa_rescues
+  && a.dd_saturations = b.dd_saturations
+  && a.pr_episodes = b.pr_episodes
+  && a.failure_hits = b.failure_hits
+
+let record_unreachable c =
+  c.injected <- c.injected + 1;
+  c.unreachable <- c.unreachable + 1
+
+(* Same walk as {!run_one}, counters instead of trace capture — a
+   top-level function so the whole source-to-verdict walk allocates
+   nothing.  All arguments are immediates; the carried DD and the cost
+   accumulator live in [t.fbuf] ([f_in_dd] / [f_cost]) so no boxed float
+   crosses a call boundary in the hot loop. *)
+let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
+    arrived_port pr ttl =
+  if x = dst then begin
+    c.delivered <- c.delivered + 1;
+    let stretch =
+      Array.unsafe_get t.fbuf f_cost
+      /. Array.unsafe_get t.distance ((src * t.n) + dst)
+    in
+    c.stretch_sum <- c.stretch_sum +. stretch;
+    if stretch > c.worst_stretch then c.worst_stretch <- stretch
+  end
+  else if ttl = 0 then c.looped <- c.looped + 1
+  else begin
+    let base = x * t.ports in
+    let p =
+      if pr then -1 else Array.unsafe_get t.next_hop_port ((x * t.n) + dst)
+    in
+    if p >= 0 && Bytes.unsafe_get t.view (base + p) <> '\000' then
+      (* Fault-free routed hop — [decide] reduces to a fresh forward with
+         no degradations, no episode, and a zero DD that the next
+         (non-PR) hop never reads, so skip the full dispatch. *)
+      if Bytes.unsafe_get t.truth (base + p) = '\000' then begin
+        c.dropped <- c.dropped + 1;
+        let r = reason_index Stale_view in
+        c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1
+      end
+      else begin
+        let next = Array.unsafe_get t.port_node (base + p) in
+        Array.unsafe_set t.fbuf f_cost
+          (Array.unsafe_get t.fbuf f_cost
+          +. Array.unsafe_get t.port_weight (base + p));
+        batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
+          (Array.unsafe_get t.node_port ((next * t.n) + x))
+          false (ttl - 1)
+      end
+    else begin
+    t.degr_len <- 0;
+    let code =
+      decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard ~dst ~x
+        ~arrived_port ~pr
+    in
+    for j = 0 to t.degr_len - 1 do
+      let d = t.degr.(j) in
+      if d = d_retry then c.complementary_retries <- c.complementary_retries + 1
+      else if d = d_lfa then c.lfa_rescues <- c.lfa_rescues + 1
+      else c.dd_saturations <- c.dd_saturations + 1
+    done;
+    if code <> 0 then begin
+      c.dropped <- c.dropped + 1;
+      let r = reason_index (reason_of_code code) in
+      c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1
+    end
+    else begin
+      let port = t.out_port in
+      if t.out_started then c.pr_episodes <- c.pr_episodes + 1;
+      if Bytes.unsafe_get t.truth ((x * t.ports) + port) = '\000' then begin
+        c.dropped <- c.dropped + 1;
+        let r = reason_index Stale_view in
+        c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1
+      end
+      else begin
+        let next = Array.unsafe_get t.port_node ((x * t.ports) + port) in
+        Array.unsafe_set t.fbuf f_in_dd (Array.unsafe_get t.fbuf f_out_dd);
+        Array.unsafe_set t.fbuf f_cost
+          (Array.unsafe_get t.fbuf f_cost
+          +. Array.unsafe_get t.port_weight ((x * t.ports) + port));
+        batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
+          (Array.unsafe_get t.node_port ((next * t.n) + x))
+          t.out_pr (ttl - 1)
+      end
+    end
+    end
+  end
+
+let forward_into ?(termination = Forward.Distance_discriminator)
+    ?(quantise = false) ?dd_bits ?(budget_guard = 0) ?ttl t c ~src ~dst =
+  let ttl0 = prepare_walk ?ttl t ~src ~dst in
+  let dd_term = dd_term_of termination in
+  let max_dd_q = max_dd_q_of dd_bits in
+  c.injected <- c.injected + 1;
+  t.fbuf.(f_in_dd) <- 0.0;
+  t.fbuf.(f_cost) <- 0.0;
+  batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard:budget_guard ~src ~dst src
+    (-1) false ttl0;
+  c.failure_hits <- c.failure_hits + t.hits

@@ -1,0 +1,146 @@
+(** The batch forwarding kernel: {!Pr_core.Forward.decide}-equivalent
+    logic over a compiled {!Fib} image.
+
+    One kernel = one image plus mutable scratch (port-state bytes, per-hop
+    registers).  The hot loop — {!forward_into} — walks a packet from
+    source to verdict with array reads and integer arithmetic only: no
+    allocation, no hashing, no closures.  {!run_one} is the same walk
+    with full trace capture (it allocates lists) for the differential
+    tests and the simulation engine's compiled backend.
+
+    Two port-state planes are kept:
+
+    - the {b view}: what the deciding router believes, fed to the ladder
+      exactly like [link_up] in {!Pr_core.Forward.ladder_step};
+    - the {b truth}: the wire.  A packet sent into a link its sender
+      wrongly believed up dies there (the engine's stale-view drop).
+
+    With [view = truth], no DD bound and no budget guard, the kernel
+    reproduces {!Pr_core.Forward.run} verdict-for-verdict; with a view,
+    bound and guard it reproduces the {!Pr_core.Forward.ladder_step} walk
+    of {!Pr_sim.Engine}'s detection path — both equalities are pinned by
+    the differential suite (test/test_fastpath.ml).
+
+    A kernel is single-domain state: share the {!Fib} image, give each
+    domain its own kernel. *)
+
+type t
+
+val create : Fib.t -> t
+
+val fib : t -> Fib.t
+
+(** {2 Port state} *)
+
+val set_failures : t -> Pr_core.Failure.t -> unit
+(** Load a frozen failure set into {e both} truth and view (the
+    global-truth regime).  The failure set must be over the image's
+    graph. *)
+
+val fill_view : t -> (node:int -> other:int -> bool) -> unit
+(** Overwrite the view plane from a per-router belief function (e.g.
+    {!Pr_sim.Detector.believes_up}).  Truth is untouched. *)
+
+val fill_truth : t -> (node:int -> other:int -> bool) -> unit
+
+val set_believed : t -> node:int -> other:int -> up:bool -> unit
+(** Flip one endpoint's belief about one adjacent link.  Raises
+    [Invalid_argument] if [other] is not a neighbour of [node]. *)
+
+val believed_up : t -> node:int -> other:int -> bool
+
+(** {2 One packet, traced} *)
+
+type reason =
+  | No_route
+  | Interfaces_down
+  | Continuation_lost
+  | Budget_exhausted
+  | Stale_view
+      (** died on the wire: the sender's view said up, the truth said
+          down — only possible when view and truth differ *)
+
+val reason_name : reason -> string
+
+type result = {
+  outcome : Pr_core.Forward.outcome;
+  reason : reason option;  (** [Some] iff the packet was dropped *)
+  path : int list;         (** nodes visited, starting at the source *)
+  pr_episodes : int;
+  failure_hits : int;
+  max_dd : float;
+  episodes : (int * float) list;
+  degradations : Pr_core.Forward.degradation list;  (** oldest first *)
+  cost : float;            (** weighted cost of the traversed walk *)
+}
+
+val run_one :
+  ?termination:Pr_core.Forward.termination ->
+  ?quantise:bool ->
+  ?dd_bits:int ->
+  ?budget_guard:int ->
+  ?ttl:int ->
+  t ->
+  src:int ->
+  dst:int ->
+  result
+(** Walk one packet under the current port state.  Defaults mirror the
+    reference engines: {!Pr_core.Forward.Distance_discriminator}, no
+    quantisation, unbounded DD, guard off, TTL
+    {!Pr_core.Forward.default_ttl}.  Raises [Invalid_argument] if
+    [src = dst] or either is out of range. *)
+
+val to_trace : t -> result -> Pr_core.Forward.trace
+(** Shape a result as the seed trace record ({!Pr_core.Forward.run}'s
+    output), quantising [max_dd] exactly as the reference does. *)
+
+(** {2 Batches} *)
+
+type counters = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable stretch_sum : float;
+  mutable worst_stretch : float;
+  drops_by_reason : int array;  (** indexed by {!reason_index} *)
+  mutable complementary_retries : int;
+  mutable lfa_rescues : int;
+  mutable dd_saturations : int;
+  mutable pr_episodes : int;
+  mutable failure_hits : int;
+}
+
+val reason_index : reason -> int
+
+val all_reasons : reason list
+
+val fresh_counters : unit -> counters
+
+val add_counters : into:counters -> counters -> unit
+(** Accumulate [c] into [into] (field-wise sums, max for worst stretch).
+    Addition order matters for the float sums — merge in a deterministic
+    order to keep summaries bit-identical. *)
+
+val equal_counters : counters -> counters -> bool
+(** Exact equality, floats compared by bit pattern. *)
+
+val forward_into :
+  ?termination:Pr_core.Forward.termination ->
+  ?quantise:bool ->
+  ?dd_bits:int ->
+  ?budget_guard:int ->
+  ?ttl:int ->
+  t ->
+  counters ->
+  src:int ->
+  dst:int ->
+  unit
+(** {!run_one} without trace capture: walk the packet and account the
+    verdict straight into [counters].  Allocation-free.  Delivered
+    stretch is [walk cost / SPF distance], the engine's definition. *)
+
+val record_unreachable : counters -> unit
+(** Account a packet whose endpoints the caller found disconnected (the
+    kernel itself never tests connectivity). *)

@@ -1,0 +1,108 @@
+module Graph = Pr_graph.Graph
+module Failure = Pr_core.Failure
+module Rng = Pr_util.Rng
+
+type item = { failures : Failure.t; pairs : (int * int) array }
+
+type config = {
+  termination : Pr_core.Forward.termination;
+  quantise : bool;
+  dd_bits : int option;
+  budget_guard : int;
+  ttl : int option;
+}
+
+let default_config =
+  {
+    termination = Pr_core.Forward.Distance_discriminator;
+    quantise = false;
+    dd_bits = None;
+    budget_guard = 0;
+    ttl = None;
+  }
+
+let ladder_config ~dd_bits ~budget_guard =
+  { default_config with dd_bits = Some dd_bits; budget_guard }
+
+let all_pairs_single_failures fib =
+  let g = Fib.graph fib in
+  let n = Graph.n g in
+  let pairs = Array.make (n * (n - 1)) (0, 0) in
+  let k = ref 0 in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        pairs.(!k) <- (src, dst);
+        incr k
+      end
+    done
+  done;
+  Array.init (Graph.m g) (fun i ->
+      let e = Graph.edge g i in
+      { failures = Failure.of_list g [ (e.u, e.v) ]; pairs })
+
+(* Surviving-graph component labels, one BFS per scenario, so
+   disconnected pairs are accounted without walking (and without a
+   per-pair connectivity probe). *)
+let component_labels failures =
+  let g = Failure.graph failures in
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let stack = Stack.create () in
+  for root = 0 to n - 1 do
+    if label.(root) < 0 then begin
+      label.(root) <- root;
+      Stack.push root stack;
+      while not (Stack.is_empty stack) do
+        let x = Stack.pop stack in
+        Array.iter
+          (fun w ->
+            if label.(w) < 0 && Failure.link_up failures x w then begin
+              label.(w) <- root;
+              Stack.push w stack
+            end)
+          (Graph.neighbours g x)
+      done
+    end
+  done;
+  label
+
+let run_item kernel config prepare rng slot item =
+  Kernel.set_failures kernel item.failures;
+  (match prepare with None -> () | Some f -> f kernel ~rng item);
+  let label = component_labels item.failures in
+  Array.iter
+    (fun (src, dst) ->
+      if label.(src) <> label.(dst) then Kernel.record_unreachable slot
+      else
+        Kernel.forward_into ~termination:config.termination
+          ~quantise:config.quantise ?dd_bits:config.dd_bits
+          ~budget_guard:config.budget_guard ?ttl:config.ttl kernel slot ~src
+          ~dst)
+    item.pairs
+
+let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
+  if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+  let n_items = Array.length items in
+  let master = Rng.create ~seed in
+  let streams = Array.init n_items (fun _ -> Rng.split master) in
+  let slots = Array.init n_items (fun _ -> Kernel.fresh_counters ()) in
+  let work d =
+    let kernel = Kernel.create fib in
+    let i = ref d in
+    while !i < n_items do
+      run_item kernel config prepare streams.(!i) slots.(!i) items.(!i);
+      i := !i + domains
+    done
+  in
+  if domains = 1 then work 0
+  else begin
+    let spawned =
+      Array.init (domains - 1) (fun d -> Domain.spawn (fun () -> work (d + 1)))
+    in
+    work 0;
+    Array.iter Domain.join spawned
+  end;
+  let total = Kernel.fresh_counters () in
+  Array.iter (fun c -> Kernel.add_counters ~into:total c) slots;
+  total

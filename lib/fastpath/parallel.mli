@@ -1,0 +1,59 @@
+(** Domain-parallel batch simulation over a shared FIB image.
+
+    Work is an array of {!item}s — one frozen failure scenario plus the
+    (src, dst) pairs to push through it.  Items are dealt round-robin to
+    [domains] workers ({!Stdlib.Domain.spawn}); each worker owns a private
+    {!Kernel} over the shared immutable image, so no locking is needed.
+
+    {b Determinism.}  Results are bit-identical regardless of [domains]:
+
+    - per-item {!Pr_util.Rng} streams are split from the master seed
+      {e sequentially before} any domain starts, so item [i] sees the
+      same stream whether one domain runs everything or eight share it;
+    - each item accumulates into its own counter slot, and slots are
+      merged in item-index order after the join barrier, fixing the
+      float-summation order.
+
+    The determinism suite pins [domains = 1, 2, 4] to byte-identical
+    summaries. *)
+
+type item = {
+  failures : Pr_core.Failure.t;
+  pairs : (int * int) array;  (** ordered (src, dst), src <> dst *)
+}
+
+type config = {
+  termination : Pr_core.Forward.termination;
+  quantise : bool;
+  dd_bits : int option;
+  budget_guard : int;
+  ttl : int option;
+}
+
+val default_config : config
+(** Reference-engine defaults: DD termination, no quantisation, unbounded
+    DD, guard off, default TTL. *)
+
+val ladder_config : dd_bits:int -> budget_guard:int -> config
+(** The PR2 ladder regime of {!Pr_core.Forward.ladder_step}. *)
+
+val all_pairs_single_failures : Fib.t -> item array
+(** One item per edge of the image's graph — that edge failed, all
+    ordered (src, dst) pairs injected.  The paper's §5-style single-link
+    sweep, and the bench workload. *)
+
+val run :
+  ?domains:int ->
+  ?config:config ->
+  ?prepare:(Kernel.t -> rng:Pr_util.Rng.t -> item -> unit) ->
+  seed:int ->
+  Fib.t ->
+  item array ->
+  Kernel.counters
+(** Run every item and return the merged counters.  [domains] defaults
+    to 1 (inline, no spawn).  [prepare] runs once per item after
+    {!Kernel.set_failures}, with the item's private stream — use it to
+    perturb the kernel's view plane (imperfect detection) deterministically.
+    Pairs whose endpoints the scenario disconnects are accounted
+    unreachable without walking.  Raises [Invalid_argument] if
+    [domains < 1]. *)

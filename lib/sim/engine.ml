@@ -18,6 +18,17 @@ type config = {
   scheme : scheme;
 }
 
+type backend = [ `Reference | `Compiled ]
+
+let backend_name = function `Reference -> "reference" | `Compiled -> "compiled"
+
+let metrics_reason = function
+  | Pr_fastpath.Kernel.No_route -> Metrics.No_route
+  | Pr_fastpath.Kernel.Interfaces_down -> Metrics.Interfaces_down
+  | Pr_fastpath.Kernel.Continuation_lost -> Metrics.Continuation_lost
+  | Pr_fastpath.Kernel.Budget_exhausted -> Metrics.Budget_exhausted
+  | Pr_fastpath.Kernel.Stale_view -> Metrics.Stale_view
+
 type outcome = {
   metrics : Metrics.t;
   spf_runs : int;
@@ -108,13 +119,20 @@ let scheme_name = function
 
 type event = Link of Workload.link_event | Packet of Workload.injection | Converge
 
-let run ?observer ?detection config ~link_events ~injections =
+let run ?observer ?detection ?(backend = `Reference) config ~link_events
+    ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
   match validate_workload g ~link_events ~injections with
   | Error e -> Error e
   | Ok () ->
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build config.rotation in
+  (* The compiled fast path covers PR forwarding only; the other schemes
+     have no table image to compile and always run the reference walks. *)
+  let kernel =
+    lazy (Pr_fastpath.Kernel.create (Pr_fastpath.Fib.of_tables_exn routing cycles))
+  in
+  let use_compiled = backend = `Compiled in
   let net = Netstate.create g in
   let det = Option.map (fun cfg -> Detector.create cfg g) detection in
   (* Reconvergence only starts once the failure (or repair) is detected. *)
@@ -305,7 +323,14 @@ let run ?observer ?detection config ~link_events ~injections =
         match det with
         | None ->
             let trace =
-              Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
+              if use_compiled then begin
+                let k = Lazy.force kernel in
+                Pr_fastpath.Kernel.set_failures k failures;
+                Pr_fastpath.Kernel.to_trace k
+                  (Pr_fastpath.Kernel.run_one ~termination k ~src ~dst)
+              end
+              else
+                Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
             in
             let verdict =
               match trace.outcome with
@@ -324,7 +349,22 @@ let run ?observer ?detection config ~link_events ~injections =
             notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace)
         | Some d ->
             let trace, reason, degradations =
-              forward_detected_pr d ~termination ~now:time ~src ~dst
+              if use_compiled then begin
+                let k = Lazy.force kernel in
+                Pr_fastpath.Kernel.set_failures k failures;
+                Pr_fastpath.Kernel.fill_view k (fun ~node ~other ->
+                    Detector.believes_up d ~now:time ~node ~other);
+                let r =
+                  Pr_fastpath.Kernel.run_one ~termination
+                    ~dd_bits:(Pr_core.Routing.dd_bits routing)
+                    ~budget_guard:(Detector.config d).Detector.budget_guard k
+                    ~src ~dst
+                in
+                ( Pr_fastpath.Kernel.to_trace k r,
+                  Option.map metrics_reason r.Pr_fastpath.Kernel.reason,
+                  r.Pr_fastpath.Kernel.degradations )
+              end
+              else forward_detected_pr d ~termination ~now:time ~src ~dst
             in
             Metrics.record_degradations metrics degradations;
             let verdict =
@@ -454,7 +494,7 @@ let run ?observer ?detection config ~link_events ~injections =
       finished_at = !finished_at;
     }
 
-let run_exn ?observer ?detection config ~link_events ~injections =
-  match run ?observer ?detection config ~link_events ~injections with
+let run_exn ?observer ?detection ?backend config ~link_events ~injections =
+  match run ?observer ?detection ?backend config ~link_events ~injections with
   | Ok outcome -> outcome
   | Error e -> invalid_arg ("Engine.run: " ^ describe_workload_error e)

@@ -36,6 +36,16 @@ type config = {
   scheme : scheme;
 }
 
+type backend = [ `Reference | `Compiled ]
+(** Which data plane executes {!Pr_scheme} forwarding: the reference
+    walks ({!Pr_core.Forward.run} / {!Pr_core.Forward.ladder_step}), or
+    the compiled FIB image and batch kernel of {!Pr_fastpath}.  Both
+    produce identical verdicts, traces and metrics — pinned by the
+    differential suite.  Schemes other than {!Pr_scheme} have no compiled
+    form and ignore the choice. *)
+
+val backend_name : backend -> string
+
 type outcome = {
   metrics : Metrics.t;
   spf_runs : int;        (** full-table SPF recomputations performed *)
@@ -108,11 +118,13 @@ type observer = {
 val run :
   ?observer:observer ->
   ?detection:Detector.config ->
+  ?backend:backend ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
   (outcome, workload_error) result
-(** Replays both streams merged in time order.  Each stream must be
+(** Replays both streams merged in time order.  [backend] (default
+    [`Reference]) selects the {!Pr_scheme} data plane.  Each stream must be
     time-sorted with finite non-negative timestamps, link events must name
     edges of the topology and injections distinct in-range nodes;
     violations are reported as [Error] without running anything.
@@ -132,6 +144,7 @@ val run :
 val run_exn :
   ?observer:observer ->
   ?detection:Detector.config ->
+  ?backend:backend ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->

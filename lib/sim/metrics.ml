@@ -100,6 +100,33 @@ let record_degradation t (d : Pr_core.Forward.degradation) =
 
 let record_degradations t ds = List.iter (record_degradation t) ds
 
+let of_fastpath (c : Pr_fastpath.Kernel.counters) =
+  let t = create () in
+  t.injected <- c.injected;
+  t.delivered <- c.delivered;
+  t.dropped <- c.dropped;
+  t.looped <- c.looped;
+  t.unreachable <- c.unreachable;
+  t.stretch_sum <- c.stretch_sum;
+  t.worst_stretch <- c.worst_stretch;
+  List.iter
+    (fun r ->
+      let here =
+        match r with
+        | Pr_fastpath.Kernel.No_route -> No_route
+        | Pr_fastpath.Kernel.Interfaces_down -> Interfaces_down
+        | Pr_fastpath.Kernel.Continuation_lost -> Continuation_lost
+        | Pr_fastpath.Kernel.Budget_exhausted -> Budget_exhausted
+        | Pr_fastpath.Kernel.Stale_view -> Stale_view
+      in
+      t.drops_by_reason.(reason_index here) <-
+        c.drops_by_reason.(Pr_fastpath.Kernel.reason_index r))
+    Pr_fastpath.Kernel.all_reasons;
+  t.complementary_retries <- c.complementary_retries;
+  t.lfa_rescues <- c.lfa_rescues;
+  t.dd_saturations <- c.dd_saturations;
+  t
+
 let drop_count t reason = t.drops_by_reason.(reason_index reason)
 
 let drop_breakdown t =

@@ -53,6 +53,12 @@ val record_degradation : t -> Pr_core.Forward.degradation -> unit
 
 val record_degradations : t -> Pr_core.Forward.degradation list -> unit
 
+val of_fastpath : Pr_fastpath.Kernel.counters -> t
+(** Shape a batch kernel's counters as a metrics record (reason slots
+    mapped by name; the kernel's extra PR counters are dropped).  Used by
+    [prcli bench] and the determinism suite to print {!Pr_fastpath.Parallel}
+    results with {!pp}. *)
+
 val drop_count : t -> drop_reason -> int
 
 val drop_breakdown : t -> (drop_reason * int) list

@@ -1,0 +1,133 @@
+(* CLI smoke checks for prcli, driven from the dune rule in this
+   directory:
+
+     check_json json FILE      the file is one valid JSON value
+     check_json oneline FILE   the file is exactly one non-empty line
+
+   The JSON validator is a tiny recursive-descent parser over the full
+   grammar — no dependency, strict enough to catch a malformed emitter
+   (trailing commas, bare NaN, unquoted keys). *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+exception Bad of int * string
+
+let validate_json s =
+  let n = String.length s in
+  let bad i msg = raise (Bad (i, msg)) in
+  let rec skip_ws i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' || s.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let expect i c =
+    if i < n && s.[i] = c then i + 1
+    else bad i (Printf.sprintf "expected %c" c)
+  in
+  let literal i word =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then i + l
+    else bad i ("expected " ^ word)
+  in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then bad i "unexpected end"
+    else
+      match s.[i] with
+      | '{' -> obj (skip_ws (i + 1))
+      | '[' -> arr (skip_ws (i + 1))
+      | '"' -> string_ (i + 1)
+      | 't' -> literal i "true"
+      | 'f' -> literal i "false"
+      | 'n' -> literal i "null"
+      | '-' | '0' .. '9' -> number i
+      | c -> bad i (Printf.sprintf "unexpected %c" c)
+  and string_ i =
+    if i >= n then bad i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+          if i + 1 >= n then bad i "bad escape"
+          else (
+            match s.[i + 1] with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> string_ (i + 2)
+            | 'u' ->
+                if i + 6 > n then bad i "bad \\u escape"
+                else (
+                  String.iter
+                    (function
+                      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                      | _ -> bad i "bad \\u escape")
+                    (String.sub s (i + 2) 4);
+                  string_ (i + 6))
+            | _ -> bad i "bad escape")
+      | c when Char.code c < 0x20 -> bad i "control char in string"
+      | _ -> string_ (i + 1)
+  and number i =
+    let i = if i < n && s.[i] = '-' then i + 1 else i in
+    let digits j =
+      let rec go j = if j < n && s.[j] >= '0' && s.[j] <= '9' then go (j + 1) else j in
+      let k = go j in
+      if k = j then bad j "expected digit" else k
+    in
+    let i =
+      if i < n && s.[i] = '0' then i + 1
+      else digits i
+    in
+    let i = if i < n && s.[i] = '.' then digits (i + 1) else i in
+    if i < n && (s.[i] = 'e' || s.[i] = 'E') then
+      let j = i + 1 in
+      let j = if j < n && (s.[j] = '+' || s.[j] = '-') then j + 1 else j in
+      digits j
+    else i
+  and obj i =
+    if i < n && s.[i] = '}' then i + 1
+    else
+      let rec member i =
+        let i = expect (skip_ws i) '"' in
+        let i = string_ i in
+        let i = expect (skip_ws i) ':' in
+        let i = skip_ws (value i) in
+        if i < n && s.[i] = ',' then member (i + 1)
+        else expect i '}'
+      in
+      member i
+  and arr i =
+    if i < n && s.[i] = ']' then i + 1
+    else
+      let rec element i =
+        let i = skip_ws (value i) in
+        if i < n && s.[i] = ',' then element (i + 1)
+        else expect i ']'
+      in
+      element i
+  in
+  let i = skip_ws (value 0) in
+  if i <> n then bad i "trailing garbage"
+
+let check_json path =
+  let s = read_file path in
+  if String.trim s = "" then fail "%s: empty output, expected JSON" path;
+  try validate_json s
+  with Bad (i, msg) -> fail "%s: invalid JSON at byte %d: %s" path i msg
+
+let check_oneline path =
+  let s = read_file path in
+  match String.split_on_char '\n' (String.trim s) with
+  | [ line ] when String.length line > 0 -> ()
+  | [] | [ _ ] -> fail "%s: expected one non-empty line" path
+  | lines -> fail "%s: expected one line, got %d" path (List.length lines)
+
+let () =
+  match Sys.argv with
+  | [| _; "json"; path |] -> check_json path
+  | [| _; "oneline"; path |] -> check_oneline path
+  | _ -> fail "usage: check_json (json|oneline) FILE"

@@ -1,0 +1,639 @@
+(* The compiled fast path pinned to the reference data plane.
+
+   Three layers of differential coverage:
+   - the FIB compiler round-trips every Routing / Cycle_table /
+     Discriminator entry (decompilation = the reference tables);
+   - the batch kernel's verdicts are identical to Forward.run (global
+     truth) and to the ladder_step walk of the simulation engine's
+     detection path (arbitrary per-router views), over random topologies,
+     failure sets and views;
+   - the Domain-parallel driver is bit-deterministic in the domain count,
+     with golden-pinned summaries for Abilene and Géant. *)
+
+module Graph = Pr_graph.Graph
+module Routing = Pr_core.Routing
+module Cycle_table = Pr_core.Cycle_table
+module Failure = Pr_core.Failure
+module Forward = Pr_core.Forward
+module Rng = Pr_util.Rng
+module Fib = Pr_fastpath.Fib
+module Kernel = Pr_fastpath.Kernel
+module Parallel = Pr_fastpath.Parallel
+module Engine = Pr_sim.Engine
+module Metrics = Pr_sim.Metrics
+module Detector = Pr_sim.Detector
+module Workload = Pr_sim.Workload
+
+let build_tables g rotation = (Routing.build g, Cycle_table.build rotation)
+
+let compile g rotation =
+  let routing, cycles = build_tables g rotation in
+  (routing, cycles, Fib.of_tables_exn routing cycles)
+
+let named_topologies () =
+  List.map
+    (fun topo -> (topo, Pr_embed.Geometric.of_topology topo))
+    [
+      Pr_topo.Abilene.topology ();
+      Pr_topo.Teleglobe.topology ();
+      Pr_topo.Geant.topology ();
+    ]
+
+(* A (graph, rotation) fully determined by a seed triple, as in
+   Helpers.gen_two_connected. *)
+let random_instance (seed, n, extra) =
+  let g =
+    (Pr_topo.Generate.two_connected (Rng.create ~seed) ~n ~extra)
+      .Pr_topo.Topology.graph
+  in
+  (g, Pr_embed.Rotation.adjacency g)
+
+let random_failures rng g ~k =
+  let k = min k (Graph.m g - 1) in
+  Failure.of_list g
+    (List.map
+       (fun i ->
+         let e = Graph.edge g i in
+         (e.Graph.u, e.Graph.v))
+       (Rng.sample_without_replacement rng ~k ~n:(Graph.m g)))
+
+(* ---- FIB compiler: decompilation round-trip ---- *)
+
+let check_roundtrip g rotation =
+  let routing, cycles, fib = compile g rotation in
+  let n = Graph.n g in
+  Alcotest.(check int) "n" n (Fib.n fib);
+  Alcotest.(check int) "dd bits" (Routing.dd_bits routing) (Fib.dd_bits fib);
+  for node = 0 to n - 1 do
+    Alcotest.(check int) "degree" (Graph.degree g node) (Fib.degree fib node);
+    (* Ports are the neighbour indices; port_of/neighbour_of invert. *)
+    Array.iteri
+      (fun port w ->
+        Alcotest.(check int) "neighbour_of" w
+          (Fib.neighbour_of fib ~node ~port);
+        Alcotest.(check int) "port_of" port
+          (Fib.port_of fib ~node ~neighbour:w))
+      (Graph.neighbours g node);
+    for port = Graph.degree g node to Fib.ports fib - 1 do
+      Alcotest.(check int) "padded port" (-1) (Fib.neighbour_of fib ~node ~port)
+    done;
+    (* Cycle table rows: Fib.entries is port-ordered, the reference is
+       rotation-ordered — sort both by the incoming neighbour. *)
+    let by_incoming =
+      List.sort (fun (a : Cycle_table.entry) b -> compare a.incoming b.incoming)
+    in
+    let expect = by_incoming (Cycle_table.entries cycles node) in
+    let got = by_incoming (Fib.entries fib node) in
+    Alcotest.(check int) "entry count" (List.length expect) (List.length got);
+    List.iter2
+      (fun (a : Cycle_table.entry) (b : Cycle_table.entry) ->
+        Alcotest.(check int) "incoming" a.incoming b.incoming;
+        Alcotest.(check int) "cycle following" a.cycle_following
+          b.cycle_following;
+        Alcotest.(check int) "complementary" a.complementary b.complementary)
+      expect got;
+    Array.iter
+      (fun w ->
+        Alcotest.(check int) "cycle_next"
+          (Cycle_table.cycle_next cycles ~node ~from_:w)
+          (Fib.cycle_next fib ~node ~from_:w);
+        Alcotest.(check int) "complement_for_failed"
+          (Cycle_table.complement_for_failed cycles ~node ~failed:w)
+          (Fib.complement_for_failed fib ~node ~failed:w))
+      (Graph.neighbours g node);
+    for dst = 0 to n - 1 do
+      Alcotest.(check (option int)) "next_hop"
+        (Routing.next_hop routing ~node ~dst)
+        (Fib.next_hop fib ~node ~dst);
+      Alcotest.(check (float 0.0)) "disc"
+        (Routing.disc routing ~node ~dst)
+        (Fib.disc fib ~node ~dst);
+      Alcotest.(check int) "disc_q"
+        (Routing.quantise_dd routing (Routing.disc routing ~node ~dst))
+        (Fib.disc_q fib ~node ~dst);
+      Alcotest.(check (float 0.0)) "distance"
+        (Routing.distance routing ~node ~dst)
+        (Fib.distance fib ~node ~dst);
+      (* The LFA candidate list: RFC 5286 basic inequality, primary
+         excluded, ordered by cost + distance with ties to the smaller
+         id — recomputed here straight from the reference tables. *)
+      let expect_lfa =
+        match Routing.next_hop routing ~node ~dst with
+        | None -> []
+        | Some primary ->
+            Array.to_list (Graph.neighbours g node)
+            |> List.filter_map (fun w ->
+                   let cost = Graph.weight g node w in
+                   let dist_w = Routing.distance routing ~node:w ~dst in
+                   if
+                     w <> primary
+                     && dist_w < cost +. Routing.distance routing ~node ~dst
+                   then Some (cost +. dist_w, w)
+                   else None)
+            |> List.sort compare |> List.map snd
+      in
+      Alcotest.(check (list int)) "lfa candidates" expect_lfa
+        (Fib.lfa_candidates fib ~node ~dst)
+    done
+  done;
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "quantise_dd"
+        (Routing.quantise_dd routing v)
+        (Fib.quantise_dd fib v))
+    [ 0.0; 0.4; 1.0; 2.3; 7.5; 15.9 ]
+
+let test_roundtrip_named () =
+  List.iter
+    (fun (topo, rotation) ->
+      check_roundtrip topo.Pr_topo.Topology.graph rotation)
+    (named_topologies ())
+
+let qcheck_roundtrip_random =
+  QCheck.Test.make ~name:"FIB image round-trips the reference tables"
+    ~count:30
+    QCheck.(triple (int_bound 1_000_000) (int_range 4 12) (int_bound 12))
+    (fun params ->
+      let g, rotation = random_instance params in
+      check_roundtrip g rotation;
+      true)
+
+let test_compile_errors () =
+  let topo, rotation = Helpers.grid_with_rotation ~rows:3 ~cols:3 in
+  let routing, cycles = build_tables topo.Pr_topo.Topology.graph rotation in
+  (* The grid's interior node has degree 4: a 3-port image is a typed
+     error, never an assert. *)
+  (match Fib.of_tables ~ports:3 routing cycles with
+  | Error (Fib.Port_overflow { degree; ports; _ }) ->
+      Alcotest.(check int) "overflowing degree" 4 degree;
+      Alcotest.(check int) "image width" 3 ports
+  | Error Fib.Graph_mismatch -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "port overflow accepted");
+  (match Fib.of_tables_exn ~ports:3 routing cycles with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_tables_exn did not raise");
+  let other, other_rot = Helpers.grid_with_rotation ~rows:2 ~cols:2 in
+  let _, other_cycles = build_tables other.Pr_topo.Topology.graph other_rot in
+  match Fib.of_tables routing other_cycles with
+  | Error Fib.Graph_mismatch -> ()
+  | Error (Fib.Port_overflow _) -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "mismatched tables accepted"
+
+(* ---- differential: kernel vs Forward.run (global truth) ---- *)
+
+let traces_equal (a : Forward.trace) (b : Forward.trace) = a = b
+
+let check_truth_differential g rotation failures =
+  let _, _, fib = compile g rotation in
+  let kernel = Kernel.create fib in
+  Kernel.set_failures kernel failures;
+  List.iter
+    (fun termination ->
+      List.iter
+        (fun quantise ->
+          let routing, cycles = build_tables g rotation in
+          List.iter
+            (fun (src, dst) ->
+              let expect =
+                Forward.run ~termination ~quantise ~routing ~cycles ~failures
+                  ~src ~dst ()
+              in
+              let r = Kernel.run_one ~termination ~quantise kernel ~src ~dst in
+              if not (traces_equal expect (Kernel.to_trace kernel r)) then
+                Alcotest.failf "trace mismatch %d->%d" src dst;
+              if r.Kernel.degradations <> [] then
+                Alcotest.failf "unexpected degradation %d->%d" src dst;
+              (match (r.Kernel.outcome, r.Kernel.reason) with
+              | Forward.Delivered, Some _ | Forward.Ttl_exceeded, Some _ ->
+                  Alcotest.failf "reason on a non-drop %d->%d" src dst
+              | (Forward.Dropped_no_interface | Forward.Dropped_unreachable), None
+                ->
+                  Alcotest.failf "drop without reason %d->%d" src dst
+              | _ -> ());
+              if
+                expect.Forward.outcome = Forward.Delivered
+                && not
+                     (Helpers.close r.Kernel.cost
+                        (Forward.path_cost g expect))
+              then Alcotest.failf "cost mismatch %d->%d" src dst)
+            (Helpers.all_pairs g))
+        [ false; true ])
+    [ Forward.Distance_discriminator; Forward.Simple ]
+
+let test_truth_differential_named () =
+  List.iter
+    (fun (topo, rotation) ->
+      let g = topo.Pr_topo.Topology.graph in
+      (* Every single-link failure of the real topologies. *)
+      List.iter
+        (fun scenario ->
+          check_truth_differential g rotation (Failure.of_list g scenario))
+        (Pr_core.Scenario.single_links g))
+    [
+      (Pr_topo.Abilene.topology (),
+       Pr_embed.Geometric.of_topology (Pr_topo.Abilene.topology ()));
+    ]
+
+let qcheck_truth_differential =
+  QCheck.Test.make
+    ~name:"kernel = Forward.run on random graphs and failure sets" ~count:60
+    QCheck.(
+      pair
+        (triple (int_bound 1_000_000) (int_range 4 10) (int_bound 12))
+        (int_range 0 5))
+    (fun (params, k) ->
+      let g, rotation = random_instance params in
+      let seed, _, _ = params in
+      let failures = random_failures (Rng.create ~seed:(seed + 1)) g ~k in
+      check_truth_differential g rotation failures;
+      true)
+
+(* ---- differential: kernel vs the engine's ladder walk (views) ---- *)
+
+(* The reference walk of Engine's detection path (forward_detected_pr),
+   parameterised by an arbitrary belief plane and the wire truth. *)
+let reference_ladder_walk ~routing ~cycles ~g ~termination ?dd_bits
+    ~budget_guard ~view ~truth_up ~src ~dst () =
+  let pr_episodes = ref 0 in
+  let failure_hits = ref 0 in
+  let max_dd = ref 0.0 in
+  let episodes = ref [] in
+  let degr_rev = ref [] in
+  let finish outcome ~reason acc =
+    ( {
+        Forward.outcome;
+        path = List.rev acc;
+        pr_episodes = !pr_episodes;
+        failure_hits = !failure_hits;
+        max_header =
+          {
+            Pr_core.Header.pr = !pr_episodes > 0;
+            dd = Routing.quantise_dd routing !max_dd;
+          };
+        episodes = List.rev !episodes;
+      },
+      reason,
+      List.rev !degr_rev )
+  in
+  let rec walk x arrived_from (header : Forward.hop_header) ~ttl acc =
+    if x = dst then finish Forward.Delivered ~reason:None acc
+    else if ttl = 0 then finish Forward.Ttl_exceeded ~reason:None acc
+    else
+      match
+        Forward.ladder_step ~termination ?dd_bits ~hops_left:ttl ~budget_guard
+          ~routing ~cycles ~link_up:(view x) ~dst ~node:x ~arrived_from ~header
+          ()
+      with
+      | Forward.Degraded_drop { reason; failure_hits = hits; degradations } ->
+          failure_hits := !failure_hits + hits;
+          degr_rev := List.rev_append degradations !degr_rev;
+          let outcome =
+            match reason with
+            | Forward.No_route -> Forward.Dropped_unreachable
+            | Forward.Interfaces_down | Forward.Continuation_lost
+            | Forward.Budget_exhausted ->
+                Forward.Dropped_no_interface
+          in
+          finish outcome ~reason:(Some (Forward.drop_reason_name reason)) acc
+      | Forward.Forwarded
+          { next; header; episode_started; failure_hits = hits; degradations }
+        ->
+          failure_hits := !failure_hits + hits;
+          degr_rev := List.rev_append degradations !degr_rev;
+          if episode_started then begin
+            incr pr_episodes;
+            episodes := (x, header.Forward.dd_value) :: !episodes;
+            if header.Forward.dd_value > !max_dd then
+              max_dd := header.Forward.dd_value
+          end;
+          if truth_up x next then
+            walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
+          else
+            finish Forward.Dropped_no_interface ~reason:(Some "stale-view")
+              (next :: acc)
+  in
+  walk src None Forward.fresh_header ~ttl:(Forward.default_ttl g) [ src ]
+
+let check_view_differential g rotation ~seed ~k ~budget_guard =
+  let routing, cycles, fib = compile g rotation in
+  let n = Graph.n g in
+  let rng = Rng.create ~seed in
+  let failures = random_failures rng g ~k in
+  (* A belief plane: the truth with independent per-endpoint flips, so
+     views can be stale in both directions and asymmetric. *)
+  let belief = Array.make (n * n) true in
+  Graph.iter_edges
+    (fun _ (e : Graph.edge) ->
+      let truth = Failure.link_up failures e.u e.v in
+      belief.((e.u * n) + e.v) <-
+        (if Rng.float rng 1.0 < 0.2 then not truth else truth);
+      belief.((e.v * n) + e.u) <-
+        (if Rng.float rng 1.0 < 0.2 then not truth else truth))
+    g;
+  let view x other = belief.((x * n) + other) in
+  let truth_up x other = Failure.link_up failures x other in
+  let dd_bits = Routing.dd_bits routing in
+  let kernel = Kernel.create fib in
+  Kernel.set_failures kernel failures;
+  Kernel.fill_view kernel (fun ~node ~other -> view node other);
+  List.iter
+    (fun termination ->
+      List.iter
+        (fun (src, dst) ->
+          let expect_trace, expect_reason, expect_degr =
+            reference_ladder_walk ~routing ~cycles ~g ~termination ~dd_bits
+              ~budget_guard ~view ~truth_up ~src ~dst ()
+          in
+          let r =
+            Kernel.run_one ~termination ~dd_bits ~budget_guard kernel ~src ~dst
+          in
+          if not (traces_equal expect_trace (Kernel.to_trace kernel r)) then
+            Alcotest.failf "ladder trace mismatch %d->%d" src dst;
+          Alcotest.(check (option string))
+            (Printf.sprintf "reason %d->%d" src dst)
+            expect_reason
+            (Option.map Kernel.reason_name r.Kernel.reason);
+          Alcotest.(check (list string))
+            (Printf.sprintf "degradations %d->%d" src dst)
+            (List.map Forward.degradation_name expect_degr)
+            (List.map Forward.degradation_name r.Kernel.degradations))
+        (Helpers.all_pairs g))
+    [ Forward.Distance_discriminator; Forward.Simple ]
+
+let qcheck_view_differential =
+  QCheck.Test.make
+    ~name:"kernel = engine ladder walk under random stale views" ~count:60
+    QCheck.(
+      triple
+        (triple (int_bound 1_000_000) (int_range 4 10) (int_bound 12))
+        (int_range 0 5) (int_range 0 6))
+    (fun (params, k, budget_guard) ->
+      let g, rotation = random_instance params in
+      let seed, _, _ = params in
+      check_view_differential g rotation ~seed:(seed + 7) ~k ~budget_guard;
+      true)
+
+let test_view_differential_abilene () =
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  List.iter
+    (fun seed ->
+      check_view_differential topo.Pr_topo.Topology.graph rotation ~seed ~k:2
+        ~budget_guard:6)
+    [ 1; 2; 3 ]
+
+let test_kernel_invalid_args () =
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Pr_topo.Topology.graph in
+  let _, _, fib = compile g (Pr_embed.Geometric.of_topology topo) in
+  let kernel = Kernel.create fib in
+  Kernel.set_failures kernel (Failure.none g);
+  (match Kernel.run_one kernel ~src:0 ~dst:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "src = dst accepted");
+  match Kernel.run_one kernel ~src:0 ~dst:99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range accepted"
+
+(* ---- forward_into is run_one without the trace ---- *)
+
+let test_forward_into_matches_run_one () =
+  let topo = Pr_topo.Abilene.topology () in
+  let g = topo.Pr_topo.Topology.graph in
+  let _, _, fib = compile g (Pr_embed.Geometric.of_topology topo) in
+  let kernel = Kernel.create fib in
+  let e = Graph.edge g 0 in
+  Kernel.set_failures kernel (Failure.of_list g [ (e.Graph.u, e.Graph.v) ]);
+  (* A couple of stale beliefs so every drop class is reachable. *)
+  Kernel.set_believed kernel ~node:e.Graph.u ~other:e.Graph.v ~up:true;
+  let dd_bits = Fib.dd_bits fib in
+  let budget_guard = 6 in
+  let got = Kernel.fresh_counters () in
+  let expect = Kernel.fresh_counters () in
+  List.iter
+    (fun (src, dst) ->
+      Kernel.forward_into ~dd_bits ~budget_guard kernel got ~src ~dst;
+      let r = Kernel.run_one ~dd_bits ~budget_guard kernel ~src ~dst in
+      expect.Kernel.injected <- expect.Kernel.injected + 1;
+      (match r.Kernel.outcome with
+      | Forward.Delivered ->
+          expect.Kernel.delivered <- expect.Kernel.delivered + 1;
+          let stretch = r.Kernel.cost /. Fib.distance fib ~node:src ~dst in
+          expect.Kernel.stretch_sum <- expect.Kernel.stretch_sum +. stretch;
+          if stretch > expect.Kernel.worst_stretch then
+            expect.Kernel.worst_stretch <- stretch
+      | Forward.Ttl_exceeded -> expect.Kernel.looped <- expect.Kernel.looped + 1
+      | Forward.Dropped_no_interface | Forward.Dropped_unreachable ->
+          expect.Kernel.dropped <- expect.Kernel.dropped + 1);
+      (match r.Kernel.reason with
+      | None -> ()
+      | Some reason ->
+          let i = Kernel.reason_index reason in
+          expect.Kernel.drops_by_reason.(i) <-
+            expect.Kernel.drops_by_reason.(i) + 1);
+      List.iter
+        (fun d ->
+          match d with
+          | Forward.Retry_complementary ->
+              expect.Kernel.complementary_retries <-
+                expect.Kernel.complementary_retries + 1
+          | Forward.Lfa_rescue ->
+              expect.Kernel.lfa_rescues <- expect.Kernel.lfa_rescues + 1
+          | Forward.Dd_saturated ->
+              expect.Kernel.dd_saturations <- expect.Kernel.dd_saturations + 1)
+        r.Kernel.degradations;
+      expect.Kernel.pr_episodes <-
+        expect.Kernel.pr_episodes + r.Kernel.pr_episodes;
+      expect.Kernel.failure_hits <-
+        expect.Kernel.failure_hits + r.Kernel.failure_hits)
+    (Helpers.all_pairs g);
+  Alcotest.(check bool) "counters identical" true
+    (Kernel.equal_counters got expect)
+
+(* ---- engine backends ---- *)
+
+let backend_outcome topo rotation scheme ~detection ~backend =
+  let g = topo.Pr_topo.Topology.graph in
+  let rng = Rng.create ~seed:9 in
+  let link_events =
+    Workload.failure_process (Rng.copy rng) g ~mtbf:60.0 ~mttr:8.0
+      ~horizon:40.0
+  in
+  let injections =
+    Workload.poisson_flows (Rng.copy rng) g ~rate:25.0 ~horizon:40.0
+  in
+  Engine.run_exn ?detection ~backend
+    { Engine.topology = topo; rotation; scheme }
+    ~link_events ~injections
+
+let test_engine_backend_equality () =
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let detections =
+    [
+      None;
+      Some Detector.ideal;
+      Some { Detector.default with budget_guard = 6; false_positive_rate = 0.05 };
+    ]
+  in
+  let schemes =
+    [
+      Engine.Pr_scheme { termination = Forward.Distance_discriminator };
+      Engine.Pr_scheme { termination = Forward.Simple };
+      Engine.Lfa_scheme;
+      Engine.Reconvergence_scheme { convergence_delay = 2.0 };
+    ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun detection ->
+          let a = backend_outcome topo rotation scheme ~detection ~backend:`Reference in
+          let b = backend_outcome topo rotation scheme ~detection ~backend:`Compiled in
+          Alcotest.(check string)
+            (Printf.sprintf "metrics identical (%s)" (Engine.scheme_name scheme))
+            (Format.asprintf "%a" Metrics.pp a.Engine.metrics)
+            (Format.asprintf "%a" Metrics.pp b.Engine.metrics);
+          Alcotest.(check bool) "full outcome identical" true (a = b))
+        detections)
+    schemes
+
+let test_chaos_backend_equality () =
+  let topo = Pr_topo.Abilene.topology () in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let module Campaign = Pr_chaos.Campaign in
+  let config backend =
+    { (Campaign.default_config topo rotation ~seed:42) with
+      Campaign.rate = 10.0;
+      shrink = false;
+      backend;
+    }
+  in
+  match (Campaign.run (config `Reference), Campaign.run (config `Compiled)) with
+  | Ok a, Ok b ->
+      Alcotest.(check string) "identical chaos verdicts"
+        (Campaign.report (config `Reference) a)
+        (Campaign.report (config `Compiled) b)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+(* ---- domain-parallel determinism ---- *)
+
+let sweep_counters ?prepare ~config ~seed ~domains fib =
+  let items = Parallel.all_pairs_single_failures fib in
+  Parallel.run ~domains ~config ?prepare ~seed fib items
+
+let flip_prepare fib kernel ~rng _item =
+  Graph.iter_edges
+    (fun _ (e : Graph.edge) ->
+      if Rng.float rng 1.0 < 0.15 then
+        Kernel.set_believed kernel ~node:e.Graph.u ~other:e.Graph.v ~up:false;
+      if Rng.float rng 1.0 < 0.15 then
+        Kernel.set_believed kernel ~node:e.Graph.v ~other:e.Graph.u ~up:false)
+    (Fib.graph fib)
+
+let test_parallel_determinism () =
+  List.iter
+    (fun (topo, rotation) ->
+      let g = topo.Pr_topo.Topology.graph in
+      let _, _, fib = compile g rotation in
+      let configs =
+        [
+          (Parallel.default_config, None);
+          ( Parallel.ladder_config ~dd_bits:(Fib.dd_bits fib) ~budget_guard:6,
+            Some (flip_prepare fib) );
+        ]
+      in
+      List.iter
+        (fun (config, prepare) ->
+          let base = sweep_counters ?prepare ~config ~seed:11 ~domains:1 fib in
+          List.iter
+            (fun domains ->
+              let c = sweep_counters ?prepare ~config ~seed:11 ~domains fib in
+              Alcotest.(check bool)
+                (Printf.sprintf "bit-identical at %d domains" domains)
+                true
+                (Kernel.equal_counters base c))
+            [ 2; 4 ])
+        configs)
+    [
+      (Pr_topo.Abilene.topology (),
+       Pr_embed.Geometric.of_topology (Pr_topo.Abilene.topology ()));
+      (Pr_topo.Geant.topology (),
+       Pr_embed.Geometric.of_topology (Pr_topo.Geant.topology ()));
+    ]
+
+let test_parallel_seed_sensitivity () =
+  (* The prepare hook consumes its per-item stream: different seeds must
+     actually change the perturbed summaries. *)
+  let topo = Pr_topo.Abilene.topology () in
+  let _, _, fib =
+    compile topo.Pr_topo.Topology.graph (Pr_embed.Geometric.of_topology topo)
+  in
+  let config =
+    Parallel.ladder_config ~dd_bits:(Fib.dd_bits fib) ~budget_guard:6
+  in
+  let a =
+    sweep_counters ~prepare:(flip_prepare fib) ~config ~seed:11 ~domains:2 fib
+  in
+  let b =
+    sweep_counters ~prepare:(flip_prepare fib) ~config ~seed:12 ~domains:2 fib
+  in
+  Alcotest.(check bool) "seeds differentiate" false (Kernel.equal_counters a b)
+
+let golden_summary (c : Kernel.counters) =
+  Printf.sprintf "inj=%d del=%d drop=%d loop=%d unreach=%d stretch=%.9f worst=%.9f"
+    c.Kernel.injected c.Kernel.delivered c.Kernel.dropped c.Kernel.looped
+    c.Kernel.unreachable c.Kernel.stretch_sum c.Kernel.worst_stretch
+
+let test_parallel_golden_pins () =
+  (* Golden summaries for fixed seeds: any change to the kernel, the FIB
+     compiler or the parallel merge that shifts a verdict or a float
+     summation order shows up here. *)
+  List.iter
+    (fun (topo, expect) ->
+      let rotation = Pr_embed.Geometric.of_topology topo in
+      let _, _, fib = compile topo.Pr_topo.Topology.graph rotation in
+      let config =
+        Parallel.ladder_config ~dd_bits:(Fib.dd_bits fib) ~budget_guard:6
+      in
+      let c =
+        sweep_counters ~prepare:(flip_prepare fib) ~config ~seed:42 ~domains:4
+          fib
+      in
+      Alcotest.(check string)
+        (topo.Pr_topo.Topology.name ^ " golden")
+        expect (golden_summary c))
+    [
+      ( Pr_topo.Abilene.topology (),
+        "inj=1540 del=1158 drop=190 loop=192 unreach=0 stretch=8340.116666667 \
+         worst=387.000000000" );
+      ( Pr_topo.Geant.topology (),
+        "inj=59466 del=46636 drop=5266 loop=7564 unreach=0 \
+         stretch=7768785.316666666 worst=3866.000000000" );
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "round-trip: named topologies" `Quick
+      test_roundtrip_named;
+    Alcotest.test_case "typed compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "truth differential: abilene single failures" `Quick
+      test_truth_differential_named;
+    Alcotest.test_case "view differential: abilene" `Quick
+      test_view_differential_abilene;
+    Alcotest.test_case "kernel argument validation" `Quick
+      test_kernel_invalid_args;
+    Alcotest.test_case "forward_into = run_one" `Quick
+      test_forward_into_matches_run_one;
+    Alcotest.test_case "engine backends agree" `Slow
+      test_engine_backend_equality;
+    Alcotest.test_case "chaos backends agree" `Slow test_chaos_backend_equality;
+    Alcotest.test_case "parallel determinism in domain count" `Quick
+      test_parallel_determinism;
+    Alcotest.test_case "parallel seed sensitivity" `Quick
+      test_parallel_seed_sensitivity;
+    Alcotest.test_case "parallel golden pins" `Quick test_parallel_golden_pins;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_random;
+    QCheck_alcotest.to_alcotest qcheck_truth_differential;
+    QCheck_alcotest.to_alcotest qcheck_view_differential;
+  ]
