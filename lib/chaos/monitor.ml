@@ -2,6 +2,7 @@ module Graph = Pr_graph.Graph
 module Engine = Pr_sim.Engine
 module Timed = Pr_sim.Timed
 module Forward = Pr_core.Forward
+module Trace = Pr_telemetry.Trace
 
 type violation = {
   monitor : string;
@@ -9,6 +10,7 @@ type violation = {
   src : int;
   dst : int;
   detail : string;
+  trace : string option;
 }
 
 let monitor_names = [ "delivery"; "loop"; "dd-width"; "hold-down"; "detection" ]
@@ -43,13 +45,32 @@ let create ?(max_recorded = 32) ?detection ~routing ~cycles ~termination () =
     flights = Hashtbl.create 64;
   }
 
-let record t monitor ~time ~src ~dst detail =
+let record ?trace t monitor ~time ~src ~dst detail =
   Hashtbl.replace t.counts monitor
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts monitor));
   if t.recorded_n < t.max_recorded then begin
-    t.recorded_rev <- { monitor; time; src; dst; detail } :: t.recorded_rev;
+    t.recorded_rev <-
+      { monitor; time; src; dst; detail; trace } :: t.recorded_rev;
     t.recorded_n <- t.recorded_n + 1
   end
+
+(* Re-run the offending packet through the reference walk with a ring
+   sink attached and render the hop trace — the flight recording filed
+   with delivery/loop violations.  Truth-based, so only sound without a
+   detection config (where the engine's own walk is [Forward.run] over
+   the frozen failure set); capped with the recorded-details cap. *)
+let capture_trace t ~failures ~src ~dst () =
+  if t.detection <> None || t.recorded_n >= t.max_recorded then None
+  else
+    let ring = Trace.Ring.create () in
+    match
+      Forward.run ~termination:t.termination ~routing:t.routing
+        ~cycles:t.cycles ~failures
+        ~trace:(Trace.Ring.sink ring)
+        ~src ~dst ()
+    with
+    | (_ : Forward.trace) -> Some (Trace.render (Trace.Ring.events ring))
+    | exception Invalid_argument _ -> None
 
 let count t monitor = Option.value ~default:0 (Hashtbl.find_opt t.counts monitor)
 
@@ -100,7 +121,9 @@ let engine_observer t =
         match t.detection with
         | None ->
             (* The seed invariant: connected implies delivered. *)
-            record t "delivery" ~time ~src ~dst
+            record
+              ?trace:(capture_trace t ~failures ~src ~dst ())
+              t "delivery" ~time ~src ~dst
               (Printf.sprintf "%s although still connected under %s"
                  (verdict_name verdict)
                  (Format.asprintf "%a" Pr_core.Failure.pp failures))
@@ -132,17 +155,23 @@ let engine_observer t =
                ~routing:t.routing ~cycles:t.cycles ~failures ~src ~dst ()
            with
           | Pr_exp.Modelcheck.Loops hops ->
-              record t "loop" ~time ~src ~dst
+              record
+                ?trace:(capture_trace t ~failures ~src ~dst ())
+                t "loop" ~time ~src ~dst
                 (Printf.sprintf "state recurrence after %d hops" hops)
           | Pr_exp.Modelcheck.Delivers _ ->
               if tr.Forward.outcome <> Forward.Delivered then
-                record t "loop" ~time ~src ~dst
+                record
+                  ?trace:(capture_trace t ~failures ~src ~dst ())
+                  t "loop" ~time ~src ~dst
                   "model checker delivers but the engine did not"
           | Pr_exp.Modelcheck.Drops ->
               (match tr.Forward.outcome with
               | Forward.Dropped_no_interface | Forward.Dropped_unreachable -> ()
               | Forward.Delivered | Forward.Ttl_exceeded ->
-                  record t "loop" ~time ~src ~dst
+                  record
+                    ?trace:(capture_trace t ~failures ~src ~dst ())
+                    t "loop" ~time ~src ~dst
                     "model checker drops but the engine did not"));
         check_dd_header t ~time ~src ~dst tr.Forward.max_header
   in
@@ -220,7 +249,14 @@ let report t =
     List.iter
       (fun v ->
         Printf.bprintf buf "  t=%-10g %-10s %d -> %d: %s\n" v.time v.monitor
-          v.src v.dst v.detail)
+          v.src v.dst v.detail;
+        match v.trace with
+        | None -> ()
+        | Some tr ->
+            List.iter
+              (fun line ->
+                if line <> "" then Printf.bprintf buf "    | %s\n" line)
+              (String.split_on_char '\n' tr))
       shown
   end;
   Buffer.contents buf

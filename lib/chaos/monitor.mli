@@ -34,6 +34,11 @@ type violation = {
   src : int;
   dst : int;
   detail : string;
+  trace : string option;
+      (** delivery/loop violations without a detection config carry the
+          offending packet's rendered hop trace ({!Pr_telemetry.Trace.render}
+          of a truth-based {!Pr_core.Forward.run} replay); capped with
+          [max_recorded] *)
 }
 
 val monitor_names : string list

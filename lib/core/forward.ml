@@ -1,4 +1,6 @@
 module Graph = Pr_graph.Graph
+module Trace = Pr_telemetry.Trace
+module Probe = Pr_telemetry.Probe
 
 type termination = Simple | Distance_discriminator
 
@@ -29,6 +31,17 @@ type drop_reason =
   | Continuation_lost
   | Budget_exhausted
 
+let degradation_name = function
+  | Retry_complementary -> "retry-complementary"
+  | Lfa_rescue -> "lfa-rescue"
+  | Dd_saturated -> "dd-saturated"
+
+let drop_reason_name = function
+  | No_route -> "no-route"
+  | Interfaces_down -> "interfaces-down"
+  | Continuation_lost -> "continuation-lost"
+  | Budget_exhausted -> "budget-exhausted"
+
 type ladder_result =
   | Forwarded of {
       next : int;
@@ -49,10 +62,15 @@ type ladder_result =
    can carry ([None]: unbounded, never saturates).  [budget] is
    [(hops_left, guard)] when the hop-budget rung is armed.  [strict] keeps
    the seed behaviour of raising on a missing rotation entry. *)
-let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
-    ~link_up ~dst ~node:x ~arrived_from ~header () =
+let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~routing
+    ~cycles ~link_up ~dst ~node:x ~arrived_from ~header () =
   let g = Routing.graph routing in
   let up = link_up in
+  (* Event emission is guarded by [traced] at every site so the null sink
+     never even constructs the event — the zero-work guarantee the
+     telemetry differential and overhead tests rely on.  Emission points
+     mirror Pr_fastpath.Kernel.decide line for line. *)
+  let traced = Trace.enabled trace in
   let failure_hits = ref 0 in
   let degradations = ref [] in
   let note d = degradations := d :: !degradations in
@@ -67,7 +85,10 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
   in
   let write_dd v =
     let value, sat = carried v in
-    if sat then note Dd_saturated;
+    if sat then begin
+      note Dd_saturated;
+      if traced then Trace.emit trace (Trace.Dd_saturated { node = x; dd = value })
+    end;
     value
   in
   let forwarded next header episode_started =
@@ -96,6 +117,7 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
      mid-rotation and skipping straight to the first live interface is
      faithful to the protocol. *)
   let start_complementary failed ~dd ~episode_started =
+    if traced then Trace.emit trace (Trace.Complementary { node = x; failed });
     let deg = Graph.degree g x in
     let rec rotate candidate remaining =
       if remaining = 0 then drop Interfaces_down
@@ -120,6 +142,7 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
         else begin
           incr failure_hits;
           let dd = write_dd (Routing.disc routing ~node:x ~dst) in
+          if traced then Trace.emit trace (Trace.Pr_set { node = x; dd });
           start_complementary w ~dd ~episode_started:true
         end
   in
@@ -147,6 +170,14 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
         (match best with
         | Some w ->
             note Lfa_rescue;
+            if traced then
+              Trace.emit trace
+                (Trace.Rung
+                   {
+                     node = x;
+                     rung = Trace.Lfa_rescue;
+                     reason = drop_reason_name reason;
+                   });
             forwarded w fresh_header false
         | None -> drop reason)
   in
@@ -158,12 +189,31 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
     match Routing.next_hop routing ~node:x ~dst with
     | None -> drop No_route
     | Some w ->
-        if up w then forwarded w fresh_header false
+        if up w then begin
+          if traced then
+            Trace.emit trace
+              (Trace.Rung
+                 {
+                   node = x;
+                   rung = Trace.Routed_resume;
+                   reason = drop_reason_name reason;
+                 });
+          forwarded w fresh_header false
+        end
         else begin
           incr failure_hits;
           if try_complementary then begin
             note Retry_complementary;
+            if traced then
+              Trace.emit trace
+                (Trace.Rung
+                   {
+                     node = x;
+                     rung = Trace.Retry_complementary;
+                     reason = drop_reason_name reason;
+                   });
             let dd = write_dd (Routing.disc routing ~node:x ~dst) in
+            if traced then Trace.emit trace (Trace.Pr_set { node = x; dd });
             match start_complementary w ~dd ~episode_started:true with
             | Forwarded _ as r -> r
             | Degraded_drop _ -> lfa_rescue ~reason
@@ -216,19 +266,34 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~routing ~cycles
                        the §4.3 comparison is no longer sound.  Degrade
                        instead of trusting it. *)
                     note Dd_saturated;
+                    if traced then
+                      Trace.emit trace (Trace.Dd_refused { node = x });
                     ladder ~reason:Continuation_lost ~try_complementary:true
                   end
-                  else if local < header.dd_value then routed ()
-                  else
-                    start_complementary w ~dd:header.dd_value
-                      ~episode_started:false
+                  else begin
+                    let cleared = local < header.dd_value in
+                    if traced then
+                      Trace.emit trace
+                        (Trace.Dd_compare
+                           {
+                             node = x;
+                             local_dd = local;
+                             header_dd = header.dd_value;
+                             cleared;
+                           });
+                    if cleared then routed ()
+                    else
+                      start_complementary w ~dd:header.dd_value
+                        ~episode_started:false
+                  end
             end)
 
-let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
-    ~cycles ~failures ~dst ~node ~arrived_from ~header () =
+let step ?(termination = Distance_discriminator) ?(quantise = false)
+    ?(trace = Trace.null) ~routing ~cycles ~failures ~dst ~node ~arrived_from
+    ~header () =
   match
     decide ~termination ~quantise ~max_dd_q:None ~budget:None ~strict:true
-      ~routing ~cycles
+      ~trace ~routing ~cycles
       ~link_up:(fun w -> Failure.link_up failures node w)
       ~dst ~node ~arrived_from ~header ()
   with
@@ -245,8 +310,8 @@ let step ?(termination = Distance_discriminator) ?(quantise = false) ~routing
       assert false
 
 let ladder_step ?(termination = Distance_discriminator) ?(quantise = false)
-    ?dd_bits ?hops_left ?(budget_guard = 0) ~routing ~cycles ~link_up ~dst
-    ~node ~arrived_from ~header () =
+    ?dd_bits ?hops_left ?(budget_guard = 0) ?(trace = Trace.null) ~routing
+    ~cycles ~link_up ~dst ~node ~arrived_from ~header () =
   let max_dd_q =
     match dd_bits with
     | None -> None
@@ -257,19 +322,8 @@ let ladder_step ?(termination = Distance_discriminator) ?(quantise = false)
     | Some h when budget_guard > 0 -> Some (h, budget_guard)
     | _ -> None
   in
-  decide ~termination ~quantise ~max_dd_q ~budget ~strict:false ~routing
+  decide ~termination ~quantise ~max_dd_q ~budget ~strict:false ~trace ~routing
     ~cycles ~link_up ~dst ~node ~arrived_from ~header ()
-
-let degradation_name = function
-  | Retry_complementary -> "retry-complementary"
-  | Lfa_rescue -> "lfa-rescue"
-  | Dd_saturated -> "dd-saturated"
-
-let drop_reason_name = function
-  | No_route -> "no-route"
-  | Interfaces_down -> "interfaces-down"
-  | Continuation_lost -> "continuation-lost"
-  | Budget_exhausted -> "budget-exhausted"
 
 type trace = {
   outcome : outcome;
@@ -282,28 +336,67 @@ type trace = {
 
 let default_ttl g = (2 * Graph.m g * (Graph.n g + 2)) + Graph.n g + 16
 
-let run ?termination ?ttl ?quantise ~routing ~cycles ~failures ~src ~dst () =
+let step_class result =
+  match result with
+  | Stuck _ -> Probe.cls_drop
+  | Transmit { episode_started = true; _ } -> Probe.cls_episode
+  | Transmit { header = { pr_bit = true; _ }; _ } -> Probe.cls_cycle
+  | Transmit _ -> Probe.cls_routed
+
+let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ~routing
+    ~cycles ~failures ~src ~dst () =
   let g = Routing.graph routing in
   let n = Graph.n g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
     invalid_arg "Forward.run: node out of range";
   if src = dst then invalid_arg "Forward.run: src = dst";
-  let ttl = match ttl with Some t -> t | None -> default_ttl g in
+  let ttl0 = match ttl with Some t -> t | None -> default_ttl g in
+  let traced = Trace.enabled trace in
   let pr_episodes = ref 0 in
   let failure_hits = ref 0 in
   let max_dd = ref 0.0 in
   let episodes = ref [] in
+  let timed_step x arrived_from header =
+    match probe with
+    | None ->
+        step ?termination ?quantise ~trace ~routing ~cycles ~failures ~dst
+          ~node:x ~arrived_from ~header ()
+    | Some p ->
+        let t0 = Probe.now_ns () in
+        let r =
+          step ?termination ?quantise ~trace ~routing ~cycles ~failures ~dst
+            ~node:x ~arrived_from ~header ()
+        in
+        Probe.record_latency p ~cls:(step_class r)
+          ~ns:(Int64.sub (Probe.now_ns ()) t0);
+        r
+  in
   let rec walk x arrived_from header ~ttl acc =
-    if x = dst then finish Delivered acc
-    else if ttl = 0 then finish Ttl_exceeded acc
+    if x = dst then begin
+      if traced then
+        Trace.emit trace (Trace.Deliver { node = x; hops = ttl0 - ttl });
+      finish Delivered ~ttl acc
+    end
+    else if ttl = 0 then begin
+      if traced then Trace.emit trace (Trace.Expire { node = x; hops = ttl0 });
+      finish Ttl_exceeded ~ttl acc
+    end
     else begin
-      match
-        step ?termination ?quantise ~routing ~cycles ~failures ~dst ~node:x
-          ~arrived_from ~header ()
-      with
+      match timed_step x arrived_from header with
       | Stuck { outcome; failure_hits = hits } ->
           failure_hits := !failure_hits + hits;
-          finish outcome acc
+          if traced then
+            Trace.emit trace
+              (Trace.Drop
+                 {
+                   node = x;
+                   reason =
+                     (match outcome with
+                     | Dropped_unreachable -> "no-route"
+                     | Delivered | Dropped_no_interface | Ttl_exceeded ->
+                         "interfaces-down");
+                 });
+          finish outcome ~ttl acc
       | Transmit { next; header; episode_started; failure_hits = hits } ->
           failure_hits := !failure_hits + hits;
           if episode_started then begin
@@ -311,23 +404,51 @@ let run ?termination ?ttl ?quantise ~routing ~cycles ~failures ~src ~dst () =
             episodes := (x, header.dd_value) :: !episodes;
             if header.dd_value > !max_dd then max_dd := header.dd_value
           end;
+          if traced then
+            Trace.emit trace
+              (Trace.Hop
+                 { node = x; next; pr = header.pr_bit; dd = header.dd_value });
           walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
     end
-  and finish outcome acc =
-    {
-      outcome;
-      path = List.rev acc;
-      pr_episodes = !pr_episodes;
-      failure_hits = !failure_hits;
-      max_header =
-        {
-          Header.pr = !pr_episodes > 0;
-          dd = Routing.quantise_dd routing !max_dd;
-        };
-      episodes = List.rev !episodes;
-    }
+  and finish outcome ~ttl acc =
+    let t =
+      {
+        outcome;
+        path = List.rev acc;
+        pr_episodes = !pr_episodes;
+        failure_hits = !failure_hits;
+        max_header =
+          {
+            Header.pr = !pr_episodes > 0;
+            dd = Routing.quantise_dd routing !max_dd;
+          };
+        episodes = List.rev !episodes;
+      }
+    in
+    (match probe with
+    | None -> ()
+    | Some p ->
+        let hops = ttl0 - ttl and depth = !pr_episodes in
+        (match outcome with
+        | Delivered ->
+            let stretch =
+              Pr_graph.Paths.cost g t.path
+              /. Routing.distance routing ~node:src ~dst
+            in
+            Probe.record_delivery p ~stretch ~hops ~depth
+        | Ttl_exceeded -> Probe.record_loop p ~hops:ttl0 ~depth
+        | Dropped_unreachable ->
+            Probe.record_drop p ~reason:Probe.reason_no_route ~hops ~depth
+        | Dropped_no_interface ->
+            Probe.record_drop p ~reason:Probe.reason_interfaces_down ~hops
+              ~depth);
+        for _ = 1 to !pr_episodes do
+          Probe.record_episode p
+        done;
+        Probe.add_failure_hits p !failure_hits);
+    t
   in
-  walk src None fresh_header ~ttl [ src ]
+  walk src None fresh_header ~ttl:ttl0 [ src ]
 
 let path_cost g trace = Pr_graph.Paths.cost g trace.path
 

@@ -59,6 +59,7 @@ type step_result =
 val step :
   ?termination:termination ->
   ?quantise:bool ->
+  ?trace:Pr_telemetry.Trace.sink ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   failures:Failure.t ->
@@ -70,7 +71,14 @@ val step :
   step_result
 (** One router's decision for a packet addressed to [dst] (with
     [node <> dst]) that arrived from [arrived_from] ([None] at the
-    source). *)
+    source).
+
+    [trace] (default {!Pr_telemetry.Trace.null}) receives the
+    decision-level events (PR set, DD compare, complementary-cycle
+    entry…).  The null sink compiles to zero work: no event is even
+    constructed.  Emission points mirror [Pr_fastpath.Kernel.decide]
+    line for line, so the two backends produce structurally equal event
+    sequences. *)
 
 (** {2 The graceful-degradation ladder}
 
@@ -128,6 +136,7 @@ val ladder_step :
   ?dd_bits:int ->
   ?hops_left:int ->
   ?budget_guard:int ->
+  ?trace:Pr_telemetry.Trace.sink ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   link_up:(int -> bool) ->
@@ -179,6 +188,8 @@ val run :
   ?termination:termination ->
   ?ttl:int ->
   ?quantise:bool ->
+  ?trace:Pr_telemetry.Trace.sink ->
+  ?probe:Pr_telemetry.Probe.t ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   failures:Failure.t ->
@@ -191,7 +202,14 @@ val run :
     header-faithful: DD values are rounded through {!Routing.quantise_dd}
     before being written and compared, exactly as the integer DD bits
     would carry them.  A no-op for the hop discriminator.  Raises
-    [Invalid_argument] if [src = dst] or either is out of range. *)
+    [Invalid_argument] if [src = dst] or either is out of range.
+
+    [trace] additionally receives the walk-level events (one [Hop] per
+    transmission, then the [Deliver]/[Expire]/[Drop] verdict); hop
+    counts are TTL-derived so they agree with the compiled kernel.
+    [probe] records the packet's verdict, stretch, hop count and
+    re-cycle depth, and wraps each {!step} call with the monotonic clock
+    to feed the per-class latency histograms. *)
 
 val path_cost : Pr_graph.Graph.t -> trace -> float
 (** Weighted cost of the traversed walk. *)

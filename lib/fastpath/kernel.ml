@@ -1,5 +1,7 @@
 module Graph = Pr_graph.Graph
 module Forward = Pr_core.Forward
+module Trace = Pr_telemetry.Trace
+module Probe = Pr_telemetry.Probe
 
 (* Degradation codes written into the per-hop scratch buffer. *)
 let d_retry = 0
@@ -37,6 +39,18 @@ type t = {
   mutable out_pr : bool;
   mutable out_started : bool;
   mutable hits : int;
+  (* Telemetry.  [trace] receives the decision-level events (emission
+     points mirror Pr_core.Forward.decide line for line); [probe] is fed
+     by the batch walk.  Both default to off and cost nothing then: the
+     fault-free fast path in [batch_walk] reads neither. *)
+  mutable trace : Trace.sink;
+  mutable probe : Probe.t option;
+  mutable walk_ttl0 : int;
+  mutable walk_ep0 : int;
+  mutable lat_tick : int;
+      (* countdown to the next clocked slow-path decision; lives here
+         rather than on the probe record so the per-decide test touches
+         the kernel's hot scratch, not the probe's cold cache line *)
 }
 
 (* [fbuf] slots. *)
@@ -74,9 +88,20 @@ let create fib =
     out_pr = false;
     out_started = false;
     hits = 0;
+    trace = Trace.null;
+    probe = None;
+    walk_ttl0 = 0;
+    walk_ep0 = 0;
+    lat_tick = 0;
   }
 
 let fib t = t.fib
+
+let set_trace t sink = t.trace <- sink
+
+let set_probe t probe = t.probe <- probe
+
+let[@inline] traced t = Trace.enabled t.trace
 
 (* ---- port state ---- *)
 
@@ -157,6 +182,12 @@ let[@inline] forwarded t port ~pr ~started =
 
 let[@inline] carried_sat ~max_dd_q q = max_dd_q >= 0 && q > max_dd_q
 
+let drop_name_of_code = function
+  | 1 -> "no-route"
+  | 2 -> "interfaces-down"
+  | 3 -> "continuation-lost"
+  | _ -> "budget-exhausted"
+
 (* Forward.decide's [write_dd]: stamp the local discriminator (saturated
    at the bound) into [f_out_dd]. *)
 let write_dd t ii ~quantise ~max_dd_q =
@@ -164,6 +195,9 @@ let write_dd t ii ~quantise ~max_dd_q =
   Array.unsafe_set t.fbuf f_out_dd
     (if carried_sat ~max_dd_q q then begin
        note t d_ddsat;
+       if traced t then
+         Trace.emit t.trace
+           (Trace.Dd_saturated { node = ii / t.n; dd = float_of_int max_dd_q });
        float_of_int max_dd_q
      end
      else if quantise then float_of_int q
@@ -172,6 +206,13 @@ let write_dd t ii ~quantise ~max_dd_q =
 (* Walk the rotation from the failed port; forwards with whatever DD is
    in [f_out_dd] (callers stamp it first). *)
 let start_complementary t base ~deg failed_port ~started =
+  if traced t then
+    Trace.emit t.trace
+      (Trace.Complementary
+         {
+           node = base / t.ports;
+           failed = Array.unsafe_get t.port_node (base + failed_port);
+         });
   let rec rotate candidate remaining =
     if remaining = 0 then c_interfaces_down
     else if up t base candidate then forwarded t candidate ~pr:true ~started
@@ -192,6 +233,10 @@ let routed t base ii ~deg ~quantise ~max_dd_q =
   else begin
     t.hits <- t.hits + 1;
     write_dd t ii ~quantise ~max_dd_q;
+    if traced t then
+      Trace.emit t.trace
+        (Trace.Pr_set
+           { node = base / t.ports; dd = Array.unsafe_get t.fbuf f_out_dd });
     start_complementary t base ~deg p ~started:true
   end
 
@@ -205,6 +250,14 @@ let lfa_rescue t base ii ~reason =
         let w = Array.unsafe_get t.lfa_ports j in
         if up t base w then begin
           note t d_lfa;
+          if traced t then
+            Trace.emit t.trace
+              (Trace.Rung
+                 {
+                   node = base / t.ports;
+                   rung = Trace.Lfa_rescue;
+                   reason = drop_name_of_code reason;
+                 });
           Array.unsafe_set t.fbuf f_out_dd 0.0;
           forwarded t w ~pr:false ~started:false
         end
@@ -217,6 +270,14 @@ let ladder t base ii ~deg ~quantise ~max_dd_q ~reason ~try_complementary =
   let p = Array.unsafe_get t.next_hop_port ii in
   if p < 0 then c_no_route
   else if up t base p then begin
+    if traced t then
+      Trace.emit t.trace
+        (Trace.Rung
+           {
+             node = base / t.ports;
+             rung = Trace.Routed_resume;
+             reason = drop_name_of_code reason;
+           });
     Array.unsafe_set t.fbuf f_out_dd 0.0;
     forwarded t p ~pr:false ~started:false
   end
@@ -224,7 +285,19 @@ let ladder t base ii ~deg ~quantise ~max_dd_q ~reason ~try_complementary =
     t.hits <- t.hits + 1;
     if try_complementary then begin
       note t d_retry;
+      if traced t then
+        Trace.emit t.trace
+          (Trace.Rung
+             {
+               node = base / t.ports;
+               rung = Trace.Retry_complementary;
+               reason = drop_name_of_code reason;
+             });
       write_dd t ii ~quantise ~max_dd_q;
+      if traced t then
+        Trace.emit t.trace
+          (Trace.Pr_set
+             { node = base / t.ports; dd = Array.unsafe_get t.fbuf f_out_dd });
       let r = start_complementary t base ~deg p ~started:true in
       if r = 0 then r else lfa_rescue t base ii ~reason
     end
@@ -260,6 +333,7 @@ let decide t ~dd_term ~quantise ~max_dd_q ~hops_left ~guard ~dst ~x
         let header_sat = max_dd_q >= 0 && dd >= float_of_int max_dd_q in
         if local_sat && header_sat then begin
           note t d_ddsat;
+          if traced t then Trace.emit t.trace (Trace.Dd_refused { node = x });
           ladder t base ii ~deg ~quantise ~max_dd_q
             ~reason:c_continuation_lost ~try_complementary:true
         end
@@ -269,7 +343,12 @@ let decide t ~dd_term ~quantise ~max_dd_q ~hops_left ~guard ~dst ~x
             else if quantise then float_of_int q
             else Array.unsafe_get t.disc ii
           in
-          if local < dd then routed t base ii ~deg ~quantise ~max_dd_q
+          let cleared = local < dd in
+          if traced t then
+            Trace.emit t.trace
+              (Trace.Dd_compare
+                 { node = x; local_dd = local; header_dd = dd; cleared });
+          if cleared then routed t base ii ~deg ~quantise ~max_dd_q
           else begin
             Array.unsafe_set t.fbuf f_out_dd dd;
             start_complementary t base ~deg w ~started:false
@@ -359,10 +438,17 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
       cost;
     }
   in
+  let tr = traced t in
   let rec walk x arrived_port pr dd ttl cost path_rev =
-    if x = dst then finish ~outcome:Forward.Delivered ~reason:None ~cost path_rev
-    else if ttl = 0 then
+    if x = dst then begin
+      if tr then
+        Trace.emit t.trace (Trace.Deliver { node = x; hops = ttl0 - ttl });
+      finish ~outcome:Forward.Delivered ~reason:None ~cost path_rev
+    end
+    else if ttl = 0 then begin
+      if tr then Trace.emit t.trace (Trace.Expire { node = x; hops = ttl0 });
       finish ~outcome:Forward.Ttl_exceeded ~reason:None ~cost path_rev
+    end
     else begin
       t.degr_len <- 0;
       t.fbuf.(f_in_dd) <- dd;
@@ -373,9 +459,13 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
       for j = t.degr_len - 1 downto 0 do
         degr_rev := degradation_of_code t.degr.(j) :: !degr_rev
       done;
-      if code <> 0 then
+      if code <> 0 then begin
+        if tr then
+          Trace.emit t.trace
+            (Trace.Drop { node = x; reason = drop_name_of_code code });
         finish ~outcome:(outcome_of_code code)
           ~reason:(Some (reason_of_code code)) ~cost path_rev
+      end
       else begin
         let port = t.out_port in
         let out_dd = t.fbuf.(f_out_dd) in
@@ -385,12 +475,22 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
           episodes := (x, out_dd) :: !episodes;
           if out_dd > !max_dd then max_dd := out_dd
         end;
-        if Bytes.get t.truth ((x * t.ports) + port) = '\000' then
+        if tr then
+          Trace.emit t.trace
+            (Trace.Hop { node = x; next; pr = t.out_pr; dd = out_dd });
+        if Bytes.get t.truth ((x * t.ports) + port) = '\000' then begin
           (* Sent into a link the sender wrongly believed up: lost on the
              wire, the failed hop recorded on the path (engine
              convention). *)
+          if tr then begin
+            Trace.emit t.trace
+              (Trace.Divergence { node = x; other = next; believed_up = true });
+            Trace.emit t.trace
+              (Trace.Drop { node = next; reason = reason_name Stale_view })
+          end;
           finish ~outcome:Forward.Dropped_no_interface ~reason:(Some Stale_view)
             ~cost (next :: path_rev)
+        end
         else
           walk next
             (t.node_port.((next * t.n) + x))
@@ -492,11 +592,46 @@ let record_unreachable c =
   c.injected <- c.injected + 1;
   c.unreachable <- c.unreachable + 1
 
+let probe_reason = function
+  | No_route -> Probe.reason_no_route
+  | Interfaces_down -> Probe.reason_interfaces_down
+  | Continuation_lost -> Probe.reason_continuation_lost
+  | Budget_exhausted -> Probe.reason_budget_exhausted
+  | Stale_view -> Probe.reason_stale_view
+
+(* Latency class of the slow-path decision just made (registers still
+   hot): a ladder rung outranks the episode/cycle state it left behind. *)
+let slow_class t code =
+  if code <> 0 then Probe.cls_drop
+  else begin
+    let cls =
+      ref
+        (if t.out_started then Probe.cls_episode
+         else if t.out_pr then Probe.cls_cycle
+         else Probe.cls_routed)
+    in
+    for j = 0 to t.degr_len - 1 do
+      let d = t.degr.(j) in
+      if d = d_lfa then cls := Probe.cls_lfa
+      else if d = d_retry && !cls <> Probe.cls_lfa then cls := Probe.cls_retry
+    done;
+    !cls
+  end
+
+let[@inline] probe_depth t c = c.pr_episodes - t.walk_ep0
+
 (* Same walk as {!run_one}, counters instead of trace capture — a
    top-level function so the whole source-to-verdict walk allocates
    nothing.  All arguments are immediates; the carried DD and the cost
    accumulator live in [t.fbuf] ([f_in_dd] / [f_cost]) so no boxed float
-   crosses a call boundary in the hot loop. *)
+   crosses a call boundary in the hot loop.
+
+   When a probe is attached, only the walk's terminal verdict and the
+   slow-path decisions touch it — the fault-free fast path below is
+   byte-for-byte the unprobed one, and in particular never reads the
+   clock (slow-path latencies are clocked one decision in
+   [Probe.lat_sample]).  That is the whole overhead story: probe-on cost
+   is proportional to trouble encountered, not to traffic carried. *)
 let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
     arrived_port pr ttl =
   if x = dst then begin
@@ -506,9 +641,19 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
       /. Array.unsafe_get t.distance ((src * t.n) + dst)
     in
     c.stretch_sum <- c.stretch_sum +. stretch;
-    if stretch > c.worst_stretch then c.worst_stretch <- stretch
+    if stretch > c.worst_stretch then c.worst_stretch <- stretch;
+    match t.probe with
+    | None -> ()
+    | Some p ->
+        Probe.record_delivery p ~stretch ~hops:(t.walk_ttl0 - ttl)
+          ~depth:(probe_depth t c)
   end
-  else if ttl = 0 then c.looped <- c.looped + 1
+  else if ttl = 0 then begin
+    c.looped <- c.looped + 1;
+    match t.probe with
+    | None -> ()
+    | Some p -> Probe.record_loop p ~hops:t.walk_ttl0 ~depth:(probe_depth t c)
+  end
   else begin
     let base = x * t.ports in
     let p =
@@ -521,7 +666,12 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
       if Bytes.unsafe_get t.truth (base + p) = '\000' then begin
         c.dropped <- c.dropped + 1;
         let r = reason_index Stale_view in
-        c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1
+        c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1;
+        match t.probe with
+        | None -> ()
+        | Some prb ->
+            Probe.record_drop prb ~reason:Probe.reason_stale_view
+              ~hops:(t.walk_ttl0 - ttl + 1) ~depth:(probe_depth t c)
       end
       else begin
         let next = Array.unsafe_get t.port_node (base + p) in
@@ -535,8 +685,32 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
     else begin
     t.degr_len <- 0;
     let code =
-      decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard ~dst ~x
-        ~arrived_port ~pr
+      match t.probe with
+      | None ->
+          decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard ~dst ~x
+            ~arrived_port ~pr
+      | Some prb ->
+          (* On loop-heavy sweeps one walk can make thousands of
+             slow-path decides (TTL-bounded cycle following), so the
+             per-decide work here is itself on the overhead budget: an
+             inlined countdown on the kernel's own hot scratch, and the
+             clock only one decision in [Probe.lat_sample]. *)
+          if t.lat_tick <> 0 then begin
+            t.lat_tick <- t.lat_tick - 1;
+            decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard ~dst
+              ~x ~arrived_port ~pr
+          end
+          else begin
+            t.lat_tick <- Probe.lat_sample - 1;
+            let t0 = Probe.now_ns () in
+            let code =
+              decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard ~dst
+                ~x ~arrived_port ~pr
+            in
+            Probe.record_latency prb ~cls:(slow_class t code)
+              ~ns:(Int64.sub (Probe.now_ns ()) t0);
+            code
+          end
     in
     for j = 0 to t.degr_len - 1 do
       let d = t.degr.(j) in
@@ -544,18 +718,43 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
       else if d = d_lfa then c.lfa_rescues <- c.lfa_rescues + 1
       else c.dd_saturations <- c.dd_saturations + 1
     done;
+    (match t.probe with
+    | None -> ()
+    | Some prb ->
+        for j = 0 to t.degr_len - 1 do
+          let d = t.degr.(j) in
+          if d = d_retry then Probe.record_retry prb
+          else if d = d_lfa then Probe.record_lfa prb
+          else Probe.record_dd_saturation prb
+        done);
     if code <> 0 then begin
       c.dropped <- c.dropped + 1;
       let r = reason_index (reason_of_code code) in
-      c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1
+      c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1;
+      match t.probe with
+      | None -> ()
+      | Some prb ->
+          Probe.record_drop prb
+            ~reason:(probe_reason (reason_of_code code))
+            ~hops:(t.walk_ttl0 - ttl) ~depth:(probe_depth t c)
     end
     else begin
       let port = t.out_port in
-      if t.out_started then c.pr_episodes <- c.pr_episodes + 1;
+      if t.out_started then begin
+        c.pr_episodes <- c.pr_episodes + 1;
+        match t.probe with
+        | None -> ()
+        | Some prb -> Probe.record_episode prb
+      end;
       if Bytes.unsafe_get t.truth ((x * t.ports) + port) = '\000' then begin
         c.dropped <- c.dropped + 1;
         let r = reason_index Stale_view in
-        c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1
+        c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1;
+        match t.probe with
+        | None -> ()
+        | Some prb ->
+            Probe.record_drop prb ~reason:Probe.reason_stale_view
+              ~hops:(t.walk_ttl0 - ttl + 1) ~depth:(probe_depth t c)
       end
       else begin
         let next = Array.unsafe_get t.port_node ((x * t.ports) + port) in
@@ -577,8 +776,13 @@ let forward_into ?(termination = Forward.Distance_discriminator)
   let dd_term = dd_term_of termination in
   let max_dd_q = max_dd_q_of dd_bits in
   c.injected <- c.injected + 1;
+  t.walk_ttl0 <- ttl0;
+  t.walk_ep0 <- c.pr_episodes;
   t.fbuf.(f_in_dd) <- 0.0;
   t.fbuf.(f_cost) <- 0.0;
   batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard:budget_guard ~src ~dst src
     (-1) false ttl0;
-  c.failure_hits <- c.failure_hits + t.hits
+  c.failure_hits <- c.failure_hits + t.hits;
+  match t.probe with
+  | None -> ()
+  | Some p -> Probe.add_failure_hits p t.hits

@@ -49,6 +49,28 @@ val set_believed : t -> node:int -> other:int -> up:bool -> unit
 
 val believed_up : t -> node:int -> other:int -> bool
 
+(** {2 Telemetry} *)
+
+val set_trace : t -> Pr_telemetry.Trace.sink -> unit
+(** Attach an event sink.  Decision-level events are emitted from the
+    kernel's [decide] at points mirroring {!Pr_core.Forward.decide} line
+    for line, and {!run_one} adds the walk-level events (one [Hop] per
+    transmission, the [Deliver]/[Expire]/[Drop] verdict, and a
+    [Divergence] before a stale-view wire death) — so a traced
+    {!run_one} and a traced {!Pr_core.Forward.run} produce structurally
+    equal event sequences.  The default {!Pr_telemetry.Trace.null} sink
+    costs nothing: no event is ever constructed.  Leave it null during
+    batch runs — {!forward_into} skips [decide] entirely on fault-free
+    hops, so batch traces would be partial. *)
+
+val set_probe : t -> Pr_telemetry.Probe.t option -> unit
+(** Attach a probe fed by {!forward_into}: per-packet verdict, stretch,
+    hops and re-cycle depth, plus a monotonic-clock latency sample
+    around one slow-path [decide] in {!Pr_telemetry.Probe.lat_sample}.
+    The fault-free fast path is untouched — probe-on cost is
+    proportional to slow-path decisions encountered, not traffic
+    carried. *)
+
 (** {2 One packet, traced} *)
 
 type reason =

@@ -1,6 +1,7 @@
 module Graph = Pr_graph.Graph
 module Failure = Pr_core.Failure
 module Rng = Pr_util.Rng
+module Probe = Pr_telemetry.Probe
 
 type item = { failures : Failure.t; pairs : (int * int) array }
 
@@ -67,13 +68,17 @@ let component_labels failures =
   done;
   label
 
-let run_item kernel config prepare rng slot item =
+let run_item kernel config prepare rng slot probe item =
   Kernel.set_failures kernel item.failures;
+  Kernel.set_probe kernel probe;
   (match prepare with None -> () | Some f -> f kernel ~rng item);
   let label = component_labels item.failures in
   Array.iter
     (fun (src, dst) ->
-      if label.(src) <> label.(dst) then Kernel.record_unreachable slot
+      if label.(src) <> label.(dst) then begin
+        Kernel.record_unreachable slot;
+        match probe with None -> () | Some p -> Probe.record_unreachable p
+      end
       else
         Kernel.forward_into ~termination:config.termination
           ~quantise:config.quantise ?dd_bits:config.dd_bits
@@ -81,7 +86,7 @@ let run_item kernel config prepare rng slot item =
           ~dst)
     item.pairs
 
-let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
+let run_items ~domains ~config ~prepare ~seed ~probes fib items =
   if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
   let n_items = Array.length items in
   let master = Rng.create ~seed in
@@ -91,7 +96,10 @@ let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
     let kernel = Kernel.create fib in
     let i = ref d in
     while !i < n_items do
-      run_item kernel config prepare streams.(!i) slots.(!i) items.(!i);
+      let probe =
+        match probes with None -> None | Some ps -> Some ps.(!i)
+      in
+      run_item kernel config prepare streams.(!i) slots.(!i) probe items.(!i);
       i := !i + domains
     done
   in
@@ -106,3 +114,19 @@ let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
   let total = Kernel.fresh_counters () in
   Array.iter (fun c -> Kernel.add_counters ~into:total c) slots;
   total
+
+let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
+  run_items ~domains ~config ~prepare ~seed ~probes:None fib items
+
+let run_probed ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
+    items =
+  (* One probe slot per item, merged in item-index order after the join
+     barrier — the same discipline that keeps the counter sums
+     bit-identical across domain counts. *)
+  let probes = Array.init (Array.length items) (fun _ -> Probe.create ()) in
+  let total =
+    run_items ~domains ~config ~prepare ~seed ~probes:(Some probes) fib items
+  in
+  let merged = Probe.create () in
+  Array.iter (fun p -> Probe.merge ~into:merged p) probes;
+  (total, merged)

@@ -57,3 +57,17 @@ val run :
     Pairs whose endpoints the scenario disconnects are accounted
     unreachable without walking.  Raises [Invalid_argument] if
     [domains < 1]. *)
+
+val run_probed :
+  ?domains:int ->
+  ?config:config ->
+  ?prepare:(Kernel.t -> rng:Pr_util.Rng.t -> item -> unit) ->
+  seed:int ->
+  Fib.t ->
+  item array ->
+  Kernel.counters * Pr_telemetry.Probe.t
+(** {!run} with a {!Pr_telemetry.Probe.t} attached to every walk.  One
+    probe slot per item, merged in item-index order after the join
+    barrier, so every probe count (and float sum) is bit-identical
+    regardless of [domains] — latency histograms excepted, they measure
+    wall time. *)

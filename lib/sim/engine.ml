@@ -1,6 +1,7 @@
 module Graph = Pr_graph.Graph
 module Dijkstra = Pr_graph.Dijkstra
 module Forward = Pr_core.Forward
+module Probe = Pr_telemetry.Probe
 
 type scheme =
   | Pr_scheme of { termination : Pr_core.Forward.termination }
@@ -28,6 +29,27 @@ let metrics_reason = function
   | Pr_fastpath.Kernel.Continuation_lost -> Metrics.Continuation_lost
   | Pr_fastpath.Kernel.Budget_exhausted -> Metrics.Budget_exhausted
   | Pr_fastpath.Kernel.Stale_view -> Metrics.Stale_view
+
+let probe_reason = function
+  | Metrics.No_route -> Probe.reason_no_route
+  | Metrics.Interfaces_down -> Probe.reason_interfaces_down
+  | Metrics.No_alternate -> Probe.reason_no_alternate
+  | Metrics.Continuation_lost -> Probe.reason_continuation_lost
+  | Metrics.Budget_exhausted -> Probe.reason_budget_exhausted
+  | Metrics.Stale_view -> Probe.reason_stale_view
+  | Metrics.Unclassified -> Probe.reason_unclassified
+
+(* Latency class of one ladder_step decision: a ladder rung outranks the
+   episode/cycle state it left behind (mirrors the kernel's slow_class). *)
+let ladder_class = function
+  | Forward.Degraded_drop _ -> Probe.cls_drop
+  | Forward.Forwarded { episode_started; header; degradations; _ } ->
+      if List.mem Forward.Lfa_rescue degradations then Probe.cls_lfa
+      else if List.mem Forward.Retry_complementary degradations then
+        Probe.cls_retry
+      else if episode_started then Probe.cls_episode
+      else if header.Forward.pr_bit then Probe.cls_cycle
+      else Probe.cls_routed
 
 type outcome = {
   metrics : Metrics.t;
@@ -119,7 +141,7 @@ let scheme_name = function
 
 type event = Link of Workload.link_event | Packet of Workload.injection | Converge
 
-let run ?observer ?detection ?(backend = `Reference) config ~link_events
+let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
     ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
   match validate_workload g ~link_events ~injections with
@@ -233,12 +255,26 @@ let run ?observer ?detection ?(backend = `Reference) config ~link_events
       if x = dst then finish Forward.Delivered ~reason:None acc
       else if ttl = 0 then finish Forward.Ttl_exceeded ~reason:None acc
       else
-        match
-          Forward.ladder_step ~termination ~dd_bits ~hops_left:ttl
-            ~budget_guard ~routing ~cycles
-            ~link_up:(Detector.local_view d ~now ~node:x)
-            ~dst ~node:x ~arrived_from ~header ()
-        with
+        let decision =
+          match probe with
+          | None ->
+              Forward.ladder_step ~termination ~dd_bits ~hops_left:ttl
+                ~budget_guard ~routing ~cycles
+                ~link_up:(Detector.local_view d ~now ~node:x)
+                ~dst ~node:x ~arrived_from ~header ()
+          | Some p ->
+              let t0 = Probe.now_ns () in
+              let r =
+                Forward.ladder_step ~termination ~dd_bits ~hops_left:ttl
+                  ~budget_guard ~routing ~cycles
+                  ~link_up:(Detector.local_view d ~now ~node:x)
+                  ~dst ~node:x ~arrived_from ~header ()
+              in
+              Probe.record_latency p ~cls:(ladder_class r)
+                ~ns:(Int64.sub (Probe.now_ns ()) t0);
+              r
+        in
+        match decision with
         | Forward.Degraded_drop { reason; failure_hits = hits; degradations }
           ->
             failure_hits := !failure_hits + hits;
@@ -303,6 +339,37 @@ let run ?observer ?detection ?(backend = `Reference) config ~link_events
     | None -> ()
     | Some o -> o.on_packet ~time ~src ~dst ~failures ~quiesced ~verdict ~trace
   in
+  (* Feed one PR-scheme packet to the probe.  Hops are path length − 1 —
+     the TTL-derived count of both reference and compiled walks (a
+     stale-view wire death keeps its failed hop on the path in both). *)
+  let probe_record ~(trace : Forward.trace) ~verdict ~reason ~degradations =
+    match probe with
+    | None -> ()
+    | Some p ->
+        let hops = List.length trace.Forward.path - 1 in
+        let depth = trace.Forward.pr_episodes in
+        (match verdict with
+        | Delivered { stretch } -> Probe.record_delivery p ~stretch ~hops ~depth
+        | Looped -> Probe.record_loop p ~hops ~depth
+        | Dropped ->
+            let r =
+              match reason with
+              | Some r -> probe_reason r
+              | None -> Probe.reason_unclassified
+            in
+            Probe.record_drop p ~reason:r ~hops ~depth
+        | Unreachable -> Probe.record_unreachable p);
+        List.iter
+          (function
+            | Forward.Retry_complementary -> Probe.record_retry p
+            | Forward.Lfa_rescue -> Probe.record_lfa p
+            | Forward.Dd_saturated -> Probe.record_dd_saturation p)
+          degradations;
+        for _ = 1 to trace.Forward.pr_episodes do
+          Probe.record_episode p
+        done;
+        Probe.add_failure_hits p trace.Forward.failure_hits
+  in
   let handle_packet ({ src; dst; time } : Workload.injection) =
     let failures = Netstate.failures net in
     let quiesced =
@@ -315,6 +382,9 @@ let run ?observer ?detection ?(backend = `Reference) config ~link_events
       (* No scheme can deliver across a partition; PR packets would wander
          until the IP TTL kills them, others drop at the failure. *)
       Metrics.record_unreachable metrics;
+      (match probe with
+      | None -> ()
+      | Some p -> Probe.record_unreachable p);
       notify ~time ~src ~dst ~failures ~verdict:Unreachable ~trace:None
     end
     else
@@ -346,6 +416,7 @@ let run ?observer ?detection ?(backend = `Reference) config ~link_events
                   Metrics.record_drop metrics;
                   Dropped
             in
+            probe_record ~trace ~verdict ~reason:None ~degradations:[];
             notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace)
         | Some d ->
             let trace, reason, degradations =
@@ -381,6 +452,7 @@ let run ?observer ?detection ?(backend = `Reference) config ~link_events
                   Metrics.record_drop ?reason metrics;
                   Dropped
             in
+            probe_record ~trace ~verdict ~reason ~degradations;
             notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace))
     | Lfa_scheme -> (
         match det with
@@ -494,7 +566,10 @@ let run ?observer ?detection ?(backend = `Reference) config ~link_events
       finished_at = !finished_at;
     }
 
-let run_exn ?observer ?detection ?backend config ~link_events ~injections =
-  match run ?observer ?detection ?backend config ~link_events ~injections with
+let run_exn ?observer ?detection ?backend ?probe config ~link_events
+    ~injections =
+  match
+    run ?observer ?detection ?backend ?probe config ~link_events ~injections
+  with
   | Ok outcome -> outcome
   | Error e -> invalid_arg ("Engine.run: " ^ describe_workload_error e)

@@ -119,6 +119,7 @@ val run :
   ?observer:observer ->
   ?detection:Detector.config ->
   ?backend:backend ->
+  ?probe:Pr_telemetry.Probe.t ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
@@ -139,12 +140,21 @@ val run :
     on-wire truth check.  The reconvergence schemes start their
     convergence timers only after the detection delay.  With
     [Detector.ideal] every scheme reproduces its seed verdicts exactly —
-    pinned by the differential tests. *)
+    pinned by the differential tests.
+
+    [probe] (PR schemes only; the other schemes leave it untouched)
+    records every injection's verdict, stretch, hop count and re-cycle
+    depth into the given {!Pr_telemetry.Probe.t}, and under [detection]
+    wraps each {!Pr_core.Forward.ladder_step} call with the monotonic
+    clock for the per-class latency histograms.
+    {!Metrics.of_probes} on the probe reproduces the outcome's metrics
+    for PR-only workloads — pinned by the telemetry suite. *)
 
 val run_exn :
   ?observer:observer ->
   ?detection:Detector.config ->
   ?backend:backend ->
+  ?probe:Pr_telemetry.Probe.t ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->

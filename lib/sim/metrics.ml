@@ -127,14 +127,31 @@ let of_fastpath (c : Pr_fastpath.Kernel.counters) =
   t.dd_saturations <- c.dd_saturations;
   t
 
+(* The probe's reason slots are laid out in [all_reasons] order by
+   construction (pinned by a test), so the arrays line up index for
+   index. *)
+let of_probes (p : Pr_telemetry.Probe.t) =
+  let t = create () in
+  t.injected <- p.injected;
+  t.delivered <- p.delivered;
+  t.dropped <- p.dropped;
+  t.looped <- p.looped;
+  t.unreachable <- p.unreachable;
+  t.stretch_sum <- p.stretch_sum;
+  t.worst_stretch <- p.worst_stretch;
+  Array.blit p.drops_by_reason 0 t.drops_by_reason 0
+    (Array.length t.drops_by_reason);
+  t.complementary_retries <- p.complementary_retries;
+  t.lfa_rescues <- p.lfa_rescues;
+  t.dd_saturations <- p.dd_saturations;
+  t
+
 let drop_count t reason = t.drops_by_reason.(reason_index reason)
 
-let drop_breakdown t =
-  List.filter_map
-    (fun r ->
-      let c = drop_count t r in
-      if c > 0 then Some (r, c) else None)
-    all_reasons
+(* Every reason, zero counts included, in [all_reasons] order — so two
+   breakdowns (and their printed forms) are line-comparable without
+   aligning sparse lists first. *)
+let drop_breakdown t = List.map (fun r -> (r, drop_count t r)) all_reasons
 
 let delivery_ratio t =
   let deliverable = t.injected - t.unreachable in
@@ -150,15 +167,18 @@ let pp ppf t =
     t.injected t.delivered t.dropped t.looped t.unreachable (delivery_ratio t)
     (mean_stretch t);
   (* Unclassified drops are the seed behaviour; only a classified
-     breakdown earns the extra suffix. *)
-  (match List.filter (fun (r, _) -> r <> Unclassified) (drop_breakdown t) with
-  | [] -> ()
-  | breakdown ->
-      Format.fprintf ppf " drops[%s]"
-        (String.concat ","
-           (List.map
-              (fun (r, c) -> Printf.sprintf "%s=%d" (reason_name r) c)
-              breakdown)));
+     breakdown earns the extra suffix.  When it appears it lists every
+     reason in [all_reasons] order, zero counts included, so summaries
+     from different runs diff line for line. *)
+  let classified =
+    List.exists (fun (r, c) -> r <> Unclassified && c > 0) (drop_breakdown t)
+  in
+  if classified then
+    Format.fprintf ppf " drops[%s]"
+      (String.concat ","
+         (List.map
+            (fun (r, c) -> Printf.sprintf "%s=%d" (reason_name r) c)
+            (drop_breakdown t)));
   if t.complementary_retries > 0 || t.lfa_rescues > 0 || t.dd_saturations > 0
   then
     Format.fprintf ppf " degraded[retries=%d lfa=%d dd-sat=%d]"

@@ -59,10 +59,18 @@ val of_fastpath : Pr_fastpath.Kernel.counters -> t
     [prcli bench] and the determinism suite to print {!Pr_fastpath.Parallel}
     results with {!pp}. *)
 
+val of_probes : Pr_telemetry.Probe.t -> t
+(** Shape a probe's verdict counters as a metrics record.  The probe's
+    reason slots are already in {!all_reasons} order, so the mapping is a
+    straight copy; the probe's histograms and PR counters beyond the
+    ladder trio are dropped. *)
+
 val drop_count : t -> drop_reason -> int
 
 val drop_breakdown : t -> (drop_reason * int) list
-(** Reasons with a nonzero count, in {!all_reasons} order. *)
+(** Every reason with its count — zero counts included — in
+    {!all_reasons} order, so breakdowns are line-comparable across
+    runs. *)
 
 val delivery_ratio : t -> float
 (** Delivered over deliverable (injected minus unreachable). *)

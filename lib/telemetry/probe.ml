@@ -1,0 +1,255 @@
+type t = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable stretch_sum : float;
+  mutable worst_stretch : float;
+  drops_by_reason : int array;
+  mutable complementary_retries : int;
+  mutable lfa_rescues : int;
+  mutable dd_saturations : int;
+  mutable pr_episodes : int;
+  mutable failure_hits : int;
+  stretch_hist : int array;
+  hops_hist : int array;
+  depth_hist : int array;
+  rung_latency : int array array;
+}
+
+let reason_names =
+  [|
+    "no-route";
+    "interfaces-down";
+    "no-alternate";
+    "continuation-lost";
+    "budget-exhausted";
+    "stale-view";
+    "unclassified";
+  |]
+
+let reason_no_route = 0
+
+let reason_interfaces_down = 1
+
+let reason_no_alternate = 2
+
+let reason_continuation_lost = 3
+
+let reason_budget_exhausted = 4
+
+let reason_stale_view = 5
+
+let reason_unclassified = 6
+
+let class_names = [| "routed"; "cycle"; "episode"; "retry"; "lfa"; "drop" |]
+
+let cls_routed = 0
+
+let cls_cycle = 1
+
+let cls_episode = 2
+
+let cls_retry = 3
+
+let cls_lfa = 4
+
+let cls_drop = 5
+
+let stretch_edges = [| 1.0; 1.2; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0; 16.0 |]
+
+let hops_edges = [| 1; 2; 4; 8; 16; 32; 64; 128; 256 |]
+
+let max_depth = 8
+
+(* Latency buckets: log2(ns), exponents 6 (<= 64 ns) through 24
+   (>= ~16.8 ms), clamped at both ends. *)
+let lat_lo = 6
+
+let lat_buckets = 20
+
+let create () =
+  {
+    injected = 0;
+    delivered = 0;
+    dropped = 0;
+    looped = 0;
+    unreachable = 0;
+    stretch_sum = 0.0;
+    worst_stretch = 0.0;
+    drops_by_reason = Array.make (Array.length reason_names) 0;
+    complementary_retries = 0;
+    lfa_rescues = 0;
+    dd_saturations = 0;
+    pr_episodes = 0;
+    failure_hits = 0;
+    stretch_hist = Array.make (Array.length stretch_edges + 1) 0;
+    hops_hist = Array.make (Array.length hops_edges + 1) 0;
+    depth_hist = Array.make (max_depth + 2) 0;
+    rung_latency =
+      Array.init (Array.length class_names) (fun _ -> Array.make lat_buckets 0);
+  }
+
+let lat_sample = 16
+
+(* Linear scans: the edge arrays are tiny and this allocates nothing.
+   Unsafe accesses — [go] never leaves the array and the bucket index is
+   in range by construction; these run once per packet on the compiled
+   kernel's probe path, which is on the CI overhead budget. *)
+let stretch_bucket v =
+  let n = Array.length stretch_edges in
+  let rec go i =
+    if i >= n || v <= Array.unsafe_get stretch_edges i then i else go (i + 1)
+  in
+  go 0
+
+let hops_bucket h =
+  let n = Array.length hops_edges in
+  let rec go i =
+    if i >= n || h <= Array.unsafe_get hops_edges i then i else go (i + 1)
+  in
+  go 0
+
+let depth_bucket d = if d < 0 then 0 else if d > max_depth then max_depth + 1 else d
+
+let[@inline] bump a i = Array.unsafe_set a i (Array.unsafe_get a i + 1)
+
+let record_walk t ~hops ~depth =
+  bump t.hops_hist (hops_bucket hops);
+  bump t.depth_hist (depth_bucket depth)
+
+let record_delivery t ~stretch ~hops ~depth =
+  t.injected <- t.injected + 1;
+  t.delivered <- t.delivered + 1;
+  t.stretch_sum <- t.stretch_sum +. stretch;
+  if stretch > t.worst_stretch then t.worst_stretch <- stretch;
+  bump t.stretch_hist (stretch_bucket stretch);
+  record_walk t ~hops ~depth
+
+let record_loop t ~hops ~depth =
+  t.injected <- t.injected + 1;
+  t.looped <- t.looped + 1;
+  record_walk t ~hops ~depth
+
+let record_drop t ~reason ~hops ~depth =
+  t.injected <- t.injected + 1;
+  t.dropped <- t.dropped + 1;
+  bump t.drops_by_reason reason;
+  record_walk t ~hops ~depth
+
+let record_unreachable t =
+  t.injected <- t.injected + 1;
+  t.unreachable <- t.unreachable + 1
+
+let record_retry t = t.complementary_retries <- t.complementary_retries + 1
+
+let record_lfa t = t.lfa_rescues <- t.lfa_rescues + 1
+
+let record_dd_saturation t = t.dd_saturations <- t.dd_saturations + 1
+
+let record_episode t = t.pr_episodes <- t.pr_episodes + 1
+
+let add_failure_hits t n = t.failure_hits <- t.failure_hits + n
+
+let now_ns = Monotonic_clock.now
+
+let record_latency t ~cls ~ns =
+  let ns = Int64.to_int ns in
+  let rec go b v = if v <= 1 || b >= lat_buckets - 1 then b else go (b + 1) (v asr 1) in
+  let b = if ns <= 0 then 0 else go 0 (ns asr lat_lo) in
+  bump t.rung_latency.(cls) b
+
+let add_array ~into a = Array.iteri (fun i v -> into.(i) <- into.(i) + v) a
+
+let merge ~into c =
+  into.injected <- into.injected + c.injected;
+  into.delivered <- into.delivered + c.delivered;
+  into.dropped <- into.dropped + c.dropped;
+  into.looped <- into.looped + c.looped;
+  into.unreachable <- into.unreachable + c.unreachable;
+  into.stretch_sum <- into.stretch_sum +. c.stretch_sum;
+  if c.worst_stretch > into.worst_stretch then
+    into.worst_stretch <- c.worst_stretch;
+  add_array ~into:into.drops_by_reason c.drops_by_reason;
+  into.complementary_retries <-
+    into.complementary_retries + c.complementary_retries;
+  into.lfa_rescues <- into.lfa_rescues + c.lfa_rescues;
+  into.dd_saturations <- into.dd_saturations + c.dd_saturations;
+  into.pr_episodes <- into.pr_episodes + c.pr_episodes;
+  into.failure_hits <- into.failure_hits + c.failure_hits;
+  add_array ~into:into.stretch_hist c.stretch_hist;
+  add_array ~into:into.hops_hist c.hops_hist;
+  add_array ~into:into.depth_hist c.depth_hist;
+  Array.iteri (fun i a -> add_array ~into:into.rung_latency.(i) a) c.rung_latency
+
+let equal_counts a b =
+  a.injected = b.injected && a.delivered = b.delivered && a.dropped = b.dropped
+  && a.looped = b.looped && a.unreachable = b.unreachable
+  && Int64.bits_of_float a.stretch_sum = Int64.bits_of_float b.stretch_sum
+  && Int64.bits_of_float a.worst_stretch = Int64.bits_of_float b.worst_stretch
+  && a.drops_by_reason = b.drops_by_reason
+  && a.complementary_retries = b.complementary_retries
+  && a.lfa_rescues = b.lfa_rescues
+  && a.dd_saturations = b.dd_saturations
+  && a.pr_episodes = b.pr_episodes
+  && a.failure_hits = b.failure_hits
+  && a.stretch_hist = b.stretch_hist
+  && a.hops_hist = b.hops_hist
+  && a.depth_hist = b.depth_hist
+
+let json_int_array a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let json_float_array a =
+  "["
+  ^ String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list a))
+  ^ "]"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"injected\": %d,\n" t.injected;
+  Printf.bprintf buf "  \"delivered\": %d,\n" t.delivered;
+  Printf.bprintf buf "  \"dropped\": %d,\n" t.dropped;
+  Printf.bprintf buf "  \"looped\": %d,\n" t.looped;
+  Printf.bprintf buf "  \"unreachable\": %d,\n" t.unreachable;
+  Printf.bprintf buf "  \"stretch_sum\": %.17g,\n" t.stretch_sum;
+  Printf.bprintf buf "  \"worst_stretch\": %.17g,\n" t.worst_stretch;
+  Printf.bprintf buf "  \"drop_reasons\": %s,\n"
+    ("["
+    ^ String.concat ","
+        (Array.to_list
+           (Array.mapi
+              (fun i name ->
+                Printf.sprintf "{\"reason\":%S,\"count\":%d}" name
+                  t.drops_by_reason.(i))
+              reason_names))
+    ^ "]");
+  Printf.bprintf buf "  \"complementary_retries\": %d,\n"
+    t.complementary_retries;
+  Printf.bprintf buf "  \"lfa_rescues\": %d,\n" t.lfa_rescues;
+  Printf.bprintf buf "  \"dd_saturations\": %d,\n" t.dd_saturations;
+  Printf.bprintf buf "  \"pr_episodes\": %d,\n" t.pr_episodes;
+  Printf.bprintf buf "  \"failure_hits\": %d,\n" t.failure_hits;
+  Printf.bprintf buf "  \"stretch_hist\": {\"edges\": %s, \"counts\": %s},\n"
+    (json_float_array stretch_edges)
+    (json_int_array t.stretch_hist);
+  Printf.bprintf buf "  \"hops_hist\": {\"edges\": %s, \"counts\": %s},\n"
+    (json_int_array hops_edges)
+    (json_int_array t.hops_hist);
+  Printf.bprintf buf "  \"depth_hist\": {\"max_depth\": %d, \"counts\": %s},\n"
+    max_depth
+    (json_int_array t.depth_hist);
+  Printf.bprintf buf
+    "  \"rung_latency_ns\": {\"log2_lo\": %d, \"classes\": %s}\n" lat_lo
+    ("{"
+    ^ String.concat ","
+        (Array.to_list
+           (Array.mapi
+              (fun i name ->
+                Printf.sprintf "%S: %s" name (json_int_array t.rung_latency.(i)))
+              class_names))
+    ^ "}");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,133 @@
+(** Allocation-free counters and fixed-bucket histograms for the
+    forwarding engines.
+
+    A probe is a flat record of mutable ints/floats plus preallocated
+    int arrays — feeding it never allocates, so it can ride the compiled
+    kernel's hot loop ({!Pr_fastpath.Kernel.forward_into}) as well as the
+    reference walks ({!Pr_core.Forward.run}, the {!Pr_sim.Engine} ladder
+    walk).  Both backends feed the same record through the same calls, so
+    probe counts are comparable verdict-for-verdict across backends
+    (latency histograms excepted — they measure wall time).
+
+    Per-rung latencies are measured with the monotonic clock
+    ({!now_ns}).  The compiled kernel reads it {e only} around slow-path
+    decisions (a failure encountered, a ladder rung, a drop), and only
+    for one decision in {!lat_sample} — its fault-free hops never touch
+    the clock, which is what keeps probe-on overhead inside the CI
+    budget.  The reference walk times every {!Pr_core.Forward.step}
+    call; it is not on any overhead budget. *)
+
+type t = {
+  (* verdict counters — the {!Pr_sim.Metrics} fields, derivable back via
+     [Pr_sim.Metrics.of_probes] *)
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable stretch_sum : float;
+  mutable worst_stretch : float;
+  drops_by_reason : int array;  (** indexed as {!reason_names} *)
+  mutable complementary_retries : int;
+  mutable lfa_rescues : int;
+  mutable dd_saturations : int;
+  mutable pr_episodes : int;
+  mutable failure_hits : int;
+  (* fixed-bucket histograms *)
+  stretch_hist : int array;  (** delivered stretch, {!stretch_edges} *)
+  hops_hist : int array;     (** hops walked per packet, {!hops_edges} *)
+  depth_hist : int array;
+      (** re-cycle depth: PR episodes per packet (last bucket: deeper) *)
+  rung_latency : int array array;
+      (** [rung_latency.(cls).(b)]: slow-path decision latencies in
+          log2-ns buckets, per {!class_names} class *)
+}
+
+val create : unit -> t
+
+(** {2 Layout} *)
+
+val reason_names : string array
+(** Drop-reason slot names, in {!Pr_sim.Metrics.all_reasons} order:
+    no-route, interfaces-down, no-alternate, continuation-lost,
+    budget-exhausted, stale-view, unclassified. *)
+
+val reason_no_route : int
+val reason_interfaces_down : int
+val reason_no_alternate : int
+val reason_continuation_lost : int
+val reason_budget_exhausted : int
+val reason_stale_view : int
+val reason_unclassified : int
+
+val class_names : string array
+(** Latency classes, by what the decision did: [routed] (plain forward
+    off the slow path), [cycle] (cycle following continued), [episode]
+    (PR episode started), [retry] (ladder restarted an episode), [lfa]
+    (handed to a loop-free alternate), [drop]. *)
+
+val cls_routed : int
+val cls_cycle : int
+val cls_episode : int
+val cls_retry : int
+val cls_lfa : int
+val cls_drop : int
+
+val stretch_edges : float array
+(** Bucket upper bounds; the last bucket of [stretch_hist] is overflow. *)
+
+val hops_edges : int array
+(** Bucket upper bounds; the last bucket of [hops_hist] is overflow. *)
+
+val max_depth : int
+(** [depth_hist] has [max_depth + 2] buckets: 0, 1, …, [max_depth],
+    deeper. *)
+
+(** {2 Feeding} *)
+
+val record_delivery : t -> stretch:float -> hops:int -> depth:int -> unit
+
+val record_loop : t -> hops:int -> depth:int -> unit
+
+val record_drop : t -> reason:int -> hops:int -> depth:int -> unit
+
+val record_unreachable : t -> unit
+
+val record_retry : t -> unit
+
+val record_lfa : t -> unit
+
+val record_dd_saturation : t -> unit
+
+val record_episode : t -> unit
+
+val add_failure_hits : t -> int -> unit
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+val lat_sample : int
+(** The compiled kernel samples one slow-path decision latency in
+    [lat_sample] (16): two clock reads per decision would otherwise
+    dominate probe-on cost on failure-heavy sweeps.  The histograms keep
+    their shape; only their mass is scaled.  The countdown itself is
+    consumer state (the kernel keeps it on its own hot scratch), not
+    part of this record. *)
+
+val record_latency : t -> cls:int -> ns:int64 -> unit
+(** File one slow-path decision of class [cls] that took [ns]. *)
+
+(** {2 Aggregation} *)
+
+val merge : into:t -> t -> unit
+(** Field-wise sums (max for worst stretch).  Float addition order
+    matters — merge in a deterministic order for bit-identical sums. *)
+
+val equal_counts : t -> t -> bool
+(** Structural equality of everything except the latency histograms
+    (which measure wall time and are never comparable across runs);
+    floats compared by bit pattern. *)
+
+val to_json : t -> string
+(** One multi-line JSON object: counters, histograms with their bucket
+    edges, latency histograms in log2-ns buckets. *)

@@ -1,0 +1,167 @@
+type rung = Routed_resume | Retry_complementary | Lfa_rescue
+
+let rung_name = function
+  | Routed_resume -> "routed-resume"
+  | Retry_complementary -> "retry-complementary"
+  | Lfa_rescue -> "lfa-rescue"
+
+type event =
+  | Hop of { node : int; next : int; pr : bool; dd : float }
+  | Pr_set of { node : int; dd : float }
+  | Dd_compare of {
+      node : int;
+      local_dd : float;
+      header_dd : float;
+      cleared : bool;
+    }
+  | Dd_refused of { node : int }
+  | Dd_saturated of { node : int; dd : float }
+  | Complementary of { node : int; failed : int }
+  | Rung of { node : int; rung : rung; reason : string }
+  | Divergence of { node : int; other : int; believed_up : bool }
+  | Drop of { node : int; reason : string }
+  | Deliver of { node : int; hops : int }
+  | Expire of { node : int; hops : int }
+
+type sink = Null | Emit of (event -> unit)
+
+let null = Null
+
+let enabled = function Null -> false | Emit _ -> true
+
+let emit sink ev = match sink with Null -> () | Emit f -> f ev
+
+module Ring = struct
+  type t = {
+    capacity : int;
+    mutable events_rev : event list;
+    mutable length : int;
+    mutable dropped : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity < 1 then invalid_arg "Trace.Ring.create: capacity must be >= 1";
+    { capacity; events_rev = []; length = 0; dropped = 0 }
+
+  let sink t =
+    Emit
+      (fun ev ->
+        if t.length < t.capacity then begin
+          t.events_rev <- ev :: t.events_rev;
+          t.length <- t.length + 1
+        end
+        else t.dropped <- t.dropped + 1)
+
+  let events t = List.rev t.events_rev
+
+  let length t = t.length
+
+  let dropped t = t.dropped
+
+  let clear t =
+    t.events_rev <- [];
+    t.length <- 0;
+    t.dropped <- 0
+end
+
+(* %.17g round-trips every finite double exactly (the Scenario file
+   convention), so traces diff cleanly across runs. *)
+let fstr f = Printf.sprintf "%.17g" f
+
+let event_to_json = function
+  | Hop { node; next; pr; dd } ->
+      Printf.sprintf "{\"ev\":\"hop\",\"node\":%d,\"next\":%d,\"pr\":%b,\"dd\":%s}"
+        node next pr (fstr dd)
+  | Pr_set { node; dd } ->
+      Printf.sprintf "{\"ev\":\"pr-set\",\"node\":%d,\"dd\":%s}" node (fstr dd)
+  | Dd_compare { node; local_dd; header_dd; cleared } ->
+      Printf.sprintf
+        "{\"ev\":\"dd-compare\",\"node\":%d,\"local\":%s,\"header\":%s,\"cleared\":%b}"
+        node (fstr local_dd) (fstr header_dd) cleared
+  | Dd_refused { node } ->
+      Printf.sprintf "{\"ev\":\"dd-refused\",\"node\":%d}" node
+  | Dd_saturated { node; dd } ->
+      Printf.sprintf "{\"ev\":\"dd-saturated\",\"node\":%d,\"dd\":%s}" node
+        (fstr dd)
+  | Complementary { node; failed } ->
+      Printf.sprintf "{\"ev\":\"complementary\",\"node\":%d,\"failed\":%d}" node
+        failed
+  | Rung { node; rung; reason } ->
+      Printf.sprintf "{\"ev\":\"rung\",\"node\":%d,\"rung\":%S,\"reason\":%S}"
+        node (rung_name rung) reason
+  | Divergence { node; other; believed_up } ->
+      Printf.sprintf
+        "{\"ev\":\"divergence\",\"node\":%d,\"other\":%d,\"believed_up\":%b}"
+        node other believed_up
+  | Drop { node; reason } ->
+      Printf.sprintf "{\"ev\":\"drop\",\"node\":%d,\"reason\":%S}" node reason
+  | Deliver { node; hops } ->
+      Printf.sprintf "{\"ev\":\"deliver\",\"node\":%d,\"hops\":%d}" node hops
+  | Expire { node; hops } ->
+      Printf.sprintf "{\"ev\":\"expire\",\"node\":%d,\"hops\":%d}" node hops
+
+module Jsonl = struct
+  let sink oc =
+    Emit
+      (fun ev ->
+        output_string oc (event_to_json ev);
+        output_char oc '\n')
+end
+
+let pp_event ?(label = string_of_int) ppf ev =
+  match ev with
+  | Hop { node; next; pr; dd } ->
+      Format.fprintf ppf "%s -> %s  [pr=%d dd=%g]" (label node) (label next)
+        (if pr then 1 else 0)
+        dd
+  | Pr_set { node; dd } ->
+      Format.fprintf ppf "at %s: PR bit set, DD := %g (new episode)"
+        (label node) dd
+  | Dd_compare { node; local_dd; header_dd; cleared } ->
+      Format.fprintf ppf
+        "at %s: DD compare local=%g vs header=%g -> %s" (label node) local_dd
+        header_dd
+        (if cleared then "PR cleared, resume routing"
+         else "keep cycle following")
+  | Dd_refused { node } ->
+      Format.fprintf ppf
+        "at %s: DD compare refused (both saturated), take the ladder"
+        (label node)
+  | Dd_saturated { node; dd } ->
+      Format.fprintf ppf "at %s: DD write clamped to header maximum %g"
+        (label node) dd
+  | Complementary { node; failed } ->
+      Format.fprintf ppf "at %s: enter complementary cycle of failed link to %s"
+        (label node) (label failed)
+  | Rung { node; rung; reason } ->
+      Format.fprintf ppf "at %s: ladder rung %s (reason %s)" (label node)
+        (rung_name rung) reason
+  | Divergence { node; other; believed_up } ->
+      Format.fprintf ppf
+        "at %s: belief about link to %s (%s) diverged from truth" (label node)
+        (label other)
+        (if believed_up then "up" else "down")
+  | Drop { node; reason } ->
+      Format.fprintf ppf "DROP at %s (%s)" (label node) reason
+  | Deliver { node; hops } ->
+      Format.fprintf ppf "DELIVERED at %s after %d hop(s)" (label node) hops
+  | Expire { node; hops } ->
+      Format.fprintf ppf "TTL EXCEEDED at %s after %d hop(s)" (label node) hops
+
+let render ?label events =
+  let buf = Buffer.create 512 in
+  let hop = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Hop _ ->
+          incr hop;
+          Buffer.add_string buf (Printf.sprintf "%4d. " !hop)
+      | Deliver _ | Drop _ | Expire _ -> Buffer.add_string buf "      => "
+      | Pr_set _ | Dd_compare _ | Dd_refused _ | Dd_saturated _
+      | Complementary _ | Rung _ | Divergence _ ->
+          Buffer.add_string buf "        ");
+      Buffer.add_string buf (Format.asprintf "%a" (pp_event ?label) ev);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf

@@ -1,0 +1,290 @@
+(* The telemetry layer pinned to both data planes.
+
+   - Flight recorder: the reference walk and the compiled kernel emit
+     structurally equal hop-event sequences on the Abilene all-pairs
+     single-failure sweep (events carry no timestamps, so this is
+     plain [=]).
+   - Probes: the reference sweep and the batch kernel feed bit-identical
+     counts through the shared probe record, and the Domain-parallel
+     driver preserves them at any domain count.
+   - Zero-cost off switch: attaching the null sink or detaching the
+     probe never changes a verdict, a trace, or a counter bit.
+   - Layout pins: probe drop-reason slots are the Metrics.all_reasons
+     order; Metrics.of_probes round-trips the engine's own metrics. *)
+
+module Graph = Pr_graph.Graph
+module Routing = Pr_core.Routing
+module Cycle_table = Pr_core.Cycle_table
+module Failure = Pr_core.Failure
+module Forward = Pr_core.Forward
+module Rng = Pr_util.Rng
+module Fib = Pr_fastpath.Fib
+module Kernel = Pr_fastpath.Kernel
+module Parallel = Pr_fastpath.Parallel
+module Engine = Pr_sim.Engine
+module Metrics = Pr_sim.Metrics
+module Detector = Pr_sim.Detector
+module Workload = Pr_sim.Workload
+module Trace = Pr_telemetry.Trace
+module Probe = Pr_telemetry.Probe
+
+let abilene () =
+  let topo = Pr_topo.Abilene.topology () in
+  (topo, Pr_embed.Geometric.of_topology topo)
+
+let compile g rotation =
+  let routing = Routing.build g in
+  let cycles = Cycle_table.build rotation in
+  (routing, cycles, Fib.of_tables_exn routing cycles)
+
+(* As in the fastpath suite: a (graph, rotation) fully determined by a
+   seed triple. *)
+let random_instance (seed, n, extra) =
+  let g =
+    (Pr_topo.Generate.two_connected (Rng.create ~seed) ~n ~extra)
+      .Pr_topo.Topology.graph
+  in
+  (g, Pr_embed.Rotation.adjacency g)
+
+let random_failures rng g ~k =
+  let k = min k (Graph.m g - 1) in
+  Failure.of_list g
+    (List.map
+       (fun i ->
+         let e = Graph.edge g i in
+         (e.Graph.u, e.Graph.v))
+       (Rng.sample_without_replacement rng ~k ~n:(Graph.m g)))
+
+(* ---- flight recorder: identical event sequences across backends ---- *)
+
+let test_event_differential_abilene () =
+  let topo, rotation = abilene () in
+  let g = topo.Pr_topo.Topology.graph in
+  let routing, cycles, fib = compile g rotation in
+  let kernel = Kernel.create fib in
+  let ref_ring = Trace.Ring.create () in
+  let krn_ring = Trace.Ring.create () in
+  let compared = ref 0 in
+  List.iter
+    (fun termination ->
+      List.iter
+        (fun scenario ->
+          let failures = Failure.of_list g scenario in
+          Kernel.set_failures kernel failures;
+          for src = 0 to Graph.n g - 1 do
+            for dst = 0 to Graph.n g - 1 do
+              if src <> dst && Failure.pair_connected failures src dst then begin
+                Trace.Ring.clear ref_ring;
+                Trace.Ring.clear krn_ring;
+                ignore
+                  (Forward.run ~termination ~trace:(Trace.Ring.sink ref_ring)
+                     ~routing ~cycles ~failures ~src ~dst ());
+                Kernel.set_trace kernel (Trace.Ring.sink krn_ring);
+                ignore (Kernel.run_one ~termination kernel ~src ~dst);
+                Kernel.set_trace kernel Trace.null;
+                let expect = Trace.Ring.events ref_ring in
+                let got = Trace.Ring.events krn_ring in
+                if expect <> got then
+                  Alcotest.failf "event sequence mismatch %d->%d:\n-- reference\n%s\n-- compiled\n%s"
+                    src dst (Trace.render expect) (Trace.render got);
+                if expect = [] then
+                  Alcotest.failf "empty trace %d->%d" src dst;
+                incr compared
+              end
+            done
+          done)
+        (Pr_core.Scenario.single_links g))
+    [ Forward.Distance_discriminator; Forward.Simple ];
+  (* Abilene is 2-edge-connected: no pair is ever skipped. *)
+  Alcotest.(check int) "pairs compared" (2 * Graph.m g * (Graph.n g * (Graph.n g - 1)))
+    !compared
+
+(* ---- probes: reference sweep = kernel sweep, at any domain count ---- *)
+
+(* The reference side of the bench sweep, grouped exactly as
+   Parallel.run_probed groups it (one probe per item, merged in item
+   order) so the float sums are bit-comparable. *)
+let reference_sweep_probe routing cycles items =
+  let merged = Probe.create () in
+  Array.iter
+    (fun (item : Parallel.item) ->
+      let p = Probe.create () in
+      Array.iter
+        (fun (src, dst) ->
+          if Failure.pair_connected item.Parallel.failures src dst then
+            ignore
+              (Forward.run ~probe:p ~routing ~cycles
+                 ~failures:item.Parallel.failures ~src ~dst ())
+          else Probe.record_unreachable p)
+        item.Parallel.pairs;
+      Probe.merge ~into:merged p)
+    items;
+  merged
+
+let test_probe_parity_sweep () =
+  let topo, rotation = abilene () in
+  let g = topo.Pr_topo.Topology.graph in
+  let routing, cycles, fib = compile g rotation in
+  let items = Parallel.all_pairs_single_failures fib in
+  let expect = reference_sweep_probe routing cycles items in
+  let counters1, probe1 = Parallel.run_probed ~domains:1 ~seed:3 fib items in
+  let counters3, probe3 = Parallel.run_probed ~domains:3 ~seed:3 fib items in
+  Alcotest.(check bool) "kernel probe = reference probe" true
+    (Probe.equal_counts expect probe1);
+  Alcotest.(check bool) "probe bit-identical at 3 domains" true
+    (Probe.equal_counts probe1 probe3);
+  Alcotest.(check bool) "counters unchanged by the probe" true
+    (Kernel.equal_counters counters1 counters3);
+  (* The probe carries the whole metrics surface: folding it back down
+     reproduces the counters' summary line for line. *)
+  Alcotest.(check string) "of_probes = of_fastpath"
+    (Format.asprintf "%a" Metrics.pp (Metrics.of_fastpath counters1))
+    (Format.asprintf "%a" Metrics.pp (Metrics.of_probes probe1));
+  if probe1.Probe.pr_episodes <= 0 then
+    Alcotest.fail "single-failure sweep recorded no PR episodes"
+
+(* ---- the off switch costs nothing and changes nothing ---- *)
+
+let qcheck_noop_sink_invariance =
+  QCheck.Test.make
+    ~name:"null sink and detached probe leave verdicts and counters bit-identical"
+    ~count:40
+    QCheck.(
+      pair
+        (triple (int_bound 1_000_000) (int_range 4 10) (int_bound 12))
+        (int_range 0 5))
+    (fun (params, k) ->
+      let g, rotation = random_instance params in
+      let seed, _, _ = params in
+      let routing, cycles, fib = compile g rotation in
+      let failures = random_failures (Rng.create ~seed:(seed + 13)) g ~k in
+      let kernel = Kernel.create fib in
+      Kernel.set_failures kernel failures;
+      let ring = Trace.Ring.create () in
+      let probe = Probe.create () in
+      let plain = Kernel.fresh_counters () in
+      let probed = Kernel.fresh_counters () in
+      for src = 0 to Graph.n g - 1 do
+        for dst = 0 to Graph.n g - 1 do
+          if src <> dst && Failure.pair_connected failures src dst then begin
+            (* run_one: attaching a sink must not move the result. *)
+            let quiet = Kernel.run_one kernel ~src ~dst in
+            Trace.Ring.clear ring;
+            Kernel.set_trace kernel (Trace.Ring.sink ring);
+            let traced = Kernel.run_one kernel ~src ~dst in
+            Kernel.set_trace kernel Trace.null;
+            if quiet <> traced then
+              QCheck.Test.fail_reportf "run_one moved under a sink %d->%d" src
+                dst;
+            (* Forward.run: same, for the reference walk. *)
+            let quiet_ref =
+              Forward.run ~routing ~cycles ~failures ~src ~dst ()
+            in
+            let traced_ref =
+              Forward.run ~trace:(Trace.Ring.sink ring) ~probe
+                ~routing ~cycles ~failures ~src ~dst ()
+            in
+            if quiet_ref <> traced_ref then
+              QCheck.Test.fail_reportf "Forward.run moved under telemetry %d->%d"
+                src dst;
+            (* forward_into: the probe must not move a counter bit. *)
+            Kernel.set_probe kernel None;
+            Kernel.forward_into kernel plain ~src ~dst;
+            Kernel.set_probe kernel (Some probe);
+            Kernel.forward_into kernel probed ~src ~dst;
+            Kernel.set_probe kernel None
+          end
+        done
+      done;
+      if not (Kernel.equal_counters plain probed) then
+        QCheck.Test.fail_report "probe-on counters diverged";
+      true)
+
+(* ---- Metrics.of_probes round-trips the engine ---- *)
+
+let engine_probe topo rotation ~detection ~backend =
+  let g = topo.Pr_topo.Topology.graph in
+  let rng = Rng.create ~seed:9 in
+  let link_events =
+    Workload.failure_process (Rng.copy rng) g ~mtbf:60.0 ~mttr:8.0
+      ~horizon:40.0
+  in
+  let injections =
+    Workload.poisson_flows (Rng.copy rng) g ~rate:25.0 ~horizon:40.0
+  in
+  let probe = Probe.create () in
+  let outcome =
+    Engine.run_exn ?detection ~backend ~probe
+      {
+        Engine.topology = topo;
+        rotation;
+        scheme = Engine.Pr_scheme { termination = Forward.Distance_discriminator };
+      }
+      ~link_events ~injections
+  in
+  (outcome, probe)
+
+let test_of_probes_engine () =
+  let topo, rotation = abilene () in
+  List.iter
+    (fun detection ->
+      let a, pa = engine_probe topo rotation ~detection ~backend:`Reference in
+      let b, pb = engine_probe topo rotation ~detection ~backend:`Compiled in
+      Alcotest.(check string) "of_probes reproduces the engine metrics"
+        (Format.asprintf "%a" Metrics.pp a.Engine.metrics)
+        (Format.asprintf "%a" Metrics.pp (Metrics.of_probes pa));
+      Alcotest.(check string) "compiled side too"
+        (Format.asprintf "%a" Metrics.pp b.Engine.metrics)
+        (Format.asprintf "%a" Metrics.pp (Metrics.of_probes pb));
+      Alcotest.(check bool) "probes agree across backends" true
+        (Probe.equal_counts pa pb))
+    [
+      None;
+      Some Detector.ideal;
+      Some { Detector.default with budget_guard = 6; false_positive_rate = 0.05 };
+    ]
+
+(* ---- layout pins ---- *)
+
+let test_reason_slots_pinned () =
+  let expect = List.map Metrics.reason_name Metrics.all_reasons in
+  Alcotest.(check (list string))
+    "probe reason slots are the Metrics.all_reasons order" expect
+    (Array.to_list Probe.reason_names);
+  List.iteri
+    (fun i name ->
+      Alcotest.(check string)
+        (Printf.sprintf "slot %d" i)
+        name Probe.reason_names.(i))
+    expect
+
+let test_ring_overflow () =
+  let ring = Trace.Ring.create ~capacity:4 () in
+  let sink = Trace.Ring.sink ring in
+  let ev i = Trace.Hop { node = i; next = i + 1; pr = false; dd = 0.0 } in
+  for i = 0 to 5 do
+    if Trace.enabled sink then Trace.emit sink (ev i)
+  done;
+  Alcotest.(check int) "length" 4 (Trace.Ring.length ring);
+  Alcotest.(check int) "dropped" 2 (Trace.Ring.dropped ring);
+  Alcotest.(check bool) "keeps the head of the walk" true
+    (Trace.Ring.events ring = [ ev 0; ev 1; ev 2; ev 3 ]);
+  Trace.Ring.clear ring;
+  Alcotest.(check int) "cleared" 0 (Trace.Ring.length ring);
+  Alcotest.(check int) "cleared dropped" 0 (Trace.Ring.dropped ring);
+  Alcotest.(check bool) "null sink disabled" false (Trace.enabled Trace.null)
+
+let suite =
+  [
+    Alcotest.test_case "event differential: abilene single failures" `Quick
+      test_event_differential_abilene;
+    Alcotest.test_case "probe parity: reference = kernel = parallel" `Quick
+      test_probe_parity_sweep;
+    Alcotest.test_case "of_probes round-trips the engine" `Slow
+      test_of_probes_engine;
+    Alcotest.test_case "reason slots pinned to Metrics order" `Quick
+      test_reason_slots_pinned;
+    Alcotest.test_case "ring capture overflow accounting" `Quick
+      test_ring_overflow;
+    QCheck_alcotest.to_alcotest qcheck_noop_sink_invariance;
+  ]
