@@ -306,6 +306,12 @@ let fastpath_tests () =
         (Staged.stage (fun () -> Sys.opaque_identity (reference ())));
       Test.make ~name:"fastpath/compiled-sweep-abilene"
         (Staged.stage (fun () -> Sys.opaque_identity (compiled ())));
+      (* The same sweep with per-link load accounting attached — the gap
+         to compiled-sweep is the observability tax the CI gate bounds. *)
+      Test.make ~name:"fastpath/loaded-sweep-abilene"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Pr_fastpath.Parallel.run_loaded ~seed:42 fib items)));
       (* Domain spawn/join overhead included: honest cost of going wide
          on a sweep this small. *)
       Test.make ~name:"fastpath/compiled-domains2-abilene"

@@ -663,7 +663,7 @@ let shrunk_trace_comment (s : Pr_chaos.Scenario.t) =
           Some (Buffer.contents buf))
 
 let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
-    schemes_spec no_shrink out replay backend_spec =
+    schemes_spec no_shrink out replay backend_spec timeline =
   match replay with
   | Some path -> (
       match Pr_chaos.Scenario.load path with
@@ -708,6 +708,7 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
           schemes;
           shrink = not no_shrink;
           backend = parse_backend backend_spec;
+          timeline;
         }
       in
       (match Pr_chaos.Campaign.run campaign with
@@ -783,12 +784,18 @@ let chaos_cmd =
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
            ~doc:"Replay a saved scenario instead of running a campaign.")
   in
+  let timeline =
+    Arg.(value & opt (some float) None & info [ "timeline" ] ~docv:"WIDTH"
+           ~doc:"Record a per-scheme observability timeline with this
+                 window width (simulated time units) and render it in
+                 the campaign report.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Chaos campaign: correlated fault injection with online invariant              monitors; violations are shrunk to replayable scenarios.")
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
           $ mix $ hold_down $ detect_delay $ schemes $ no_shrink $ out $ replay
-          $ backend_arg)
+          $ backend_arg $ timeline)
 
 (* ---- detect: detection-delay sweep ---- *)
 
@@ -1011,7 +1018,17 @@ let coverage_cmd =
 
 (* ---- bench: the all-pairs single-failure sweep, timed ---- *)
 
-let bench name embedding seed backend_spec domains json probe repeat probe_out =
+(* Committed artifacts are history ([bench --history] reads them back);
+   clobbering one silently would erase a baseline, so overwriting is an
+   explicit choice. *)
+let refuse_overwrite ~force path =
+  if (not force) && Sys.file_exists path then begin
+    Printf.eprintf "%s exists; pass --force to overwrite it\n" path;
+    exit 1
+  end
+
+let bench name embedding seed backend_spec domains json probe repeat probe_out
+    force linkload_flag linkload_out history history_dir =
   let backend = parse_backend backend_spec in
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
@@ -1021,9 +1038,24 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out =
     Printf.eprintf "repeat must be >= 1\n";
     exit 1
   end;
+  (* Refuse clobbering before any timing work is spent. *)
+  if probe then refuse_overwrite ~force probe_out;
+  if linkload_flag then refuse_overwrite ~force linkload_out;
   let topo = load_topology name in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  if history then begin
+    match
+      Pr_report.Report.check_history ~repeat:(max repeat 3) ~dir:history_dir
+        topo rotation
+    with
+    | Error msg ->
+        Printf.eprintf "bench --history: %s\n" msg;
+        exit 2
+    | Ok h ->
+        print_string (Pr_report.Report.render_history h);
+        exit (if h.Pr_report.Report.regressed then 1 else 0)
+  end;
   let g = topo.Topology.graph in
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build rotation in
@@ -1047,7 +1079,7 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out =
     done;
     (Option.get !result, !best)
   in
-  let reference_sweep ?probe () =
+  let reference_sweep ?probe ?linkload () =
     let metrics = Pr_sim.Metrics.create () in
     Array.iter
       (fun (it : Pr_fastpath.Parallel.item) ->
@@ -1062,7 +1094,7 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out =
               let trace =
                 Pr_core.Forward.run
                   ~termination:Pr_core.Forward.Distance_discriminator
-                  ~routing ~cycles ~failures ?probe ~src ~dst ()
+                  ~routing ~cycles ~failures ?probe ?linkload ~src ~dst ()
               in
               match trace.Pr_core.Forward.outcome with
               | Pr_core.Forward.Delivered ->
@@ -1153,6 +1185,52 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out =
     Printf.printf
       "  probe: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
       ns_per_packet ns_on ratio probe_out
+  end;
+  if linkload_flag then begin
+    let run_on () =
+      match backend with
+      | `Compiled ->
+          let total, ll =
+            Pr_fastpath.Parallel.run_loaded ~domains ~seed fib items
+          in
+          (Pr_sim.Metrics.of_fastpath total, ll)
+      | `Reference ->
+          let ll = Pr_obs.Linkload.create g in
+          let m = reference_sweep ~linkload:ll () in
+          (m, ll)
+    in
+    let (metrics_on, ll), elapsed_on = best_of run_on in
+    let render m = Format.asprintf "%a" Pr_sim.Metrics.pp m in
+    if render metrics_on <> render metrics then begin
+      Printf.eprintf "linkload-on run changed the metrics — accounting bug\n";
+      exit 1
+    end;
+    let ns_on = elapsed_on *. 1e9 /. float_of_int (max 1 packets) in
+    let ratio = if elapsed > 0.0 then elapsed_on /. elapsed else 1.0 in
+    let oc = open_out linkload_out in
+    Printf.fprintf oc
+      "{\n\
+      \  \"suite\": \"linkload\",\n\
+      \  \"topology\": %S,\n\
+      \  \"backend\": %S,\n\
+      \  \"domains\": %d,\n\
+      \  \"repeat\": %d,\n\
+      \  \"scenarios\": %d,\n\
+      \  \"packets\": %d,\n\
+      \  \"linkload_off\": {\"elapsed_s\": %.6f, \"ns_per_packet\": %.2f},\n\
+      \  \"linkload_on\": {\"elapsed_s\": %.6f, \"ns_per_packet\": %.2f},\n\
+      \  \"overhead_ratio\": %.4f,\n\
+      \  \"linkload\": %s\n\
+       }\n"
+      topo.Topology.name
+      (Pr_sim.Engine.backend_name backend)
+      domains repeat (Array.length items) packets elapsed ns_per_packet
+      elapsed_on ns_on ratio
+      (Pr_obs.Linkload.to_json ll);
+    close_out oc;
+    Printf.printf
+      "  linkload: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
+      ns_per_packet ns_on ratio linkload_out
   end
 
 let bench_cmd =
@@ -1179,12 +1257,96 @@ let bench_cmd =
     Arg.(value & opt string "BENCH_probe.json" & info [ "probe-out" ]
            ~docv:"FILE" ~doc:"Where --probe writes its JSON.")
   in
+  let force =
+    Arg.(value & flag & info [ "force" ]
+           ~doc:"Overwrite existing --probe-out / --linkload-out files
+                 instead of refusing.")
+  in
+  let linkload =
+    Arg.(value & flag & info [ "linkload" ]
+           ~doc:"Also run the sweep with per-link load accounting attached
+                 and write the merged table, plus the on vs off timing
+                 delta, as JSON.")
+  in
+  let linkload_out =
+    Arg.(value & opt string "BENCH_linkload.json" & info [ "linkload-out" ]
+           ~docv:"FILE" ~doc:"Where --linkload writes its JSON.")
+  in
+  let history =
+    Arg.(value & flag & info [ "history" ]
+           ~doc:"Regression check: parse the committed BENCH_*.json
+                 artifacts, re-measure the normalised compiled/reference
+                 per-packet time, and exit non-zero if it regressed more
+                 than 15% against the best committed baseline.")
+  in
+  let history_dir =
+    Arg.(value & opt string "." & info [ "history-dir" ] ~docv:"DIR"
+           ~doc:"Where --history looks for BENCH_*.json artifacts.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Time the all-pairs single-failure PR sweep on the reference or
              compiled data plane.")
     Term.(const bench $ topo_arg $ embedding_arg $ seed_arg $ backend_arg
-          $ domains $ json $ probe $ repeat $ probe_out)
+          $ domains $ json $ probe $ repeat $ probe_out $ force $ linkload
+          $ linkload_out $ history $ history_dir)
+
+(* ---- report: the network observatory rollup ---- *)
+
+let report name embedding seed domains top json out =
+  if domains < 1 then begin
+    Printf.eprintf "domains must be >= 1\n";
+    exit 1
+  end;
+  let topo = load_topology name in
+  let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  let s = Pr_report.Report.sweep ~domains topo rotation in
+  let text =
+    if json then Pr_report.Report.to_json ~top s
+    else Pr_report.Report.render ~top s
+  in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "report written to %s\n" path);
+  if not (Pr_report.Report.agree s) then begin
+    Printf.eprintf
+      "cross-backend observability mismatch: linkload %s, counters %s\n"
+      (if s.Pr_report.Report.loads_agree then "ok" else "diverged")
+      (if s.Pr_report.Report.counters_agree then "ok" else "diverged");
+    exit 1
+  end
+
+let report_cmd =
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"INT"
+           ~doc:"Worker domains for the parallel backend leg.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
+           ~doc:"How many hottest directed links to list.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as JSON instead of text.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the report to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run the all-pairs single-failure sweep on all three data planes
+             with link-load accounting attached, check the tables agree, and
+             render the campaign rollup: hottest links with their
+             shortest/recycled/rescue split, the max-link-load CCDF and the
+             stretch CCDF.  Exits non-zero on any cross-backend mismatch.")
+    Term.(const report $ topo_arg $ embedding_arg $ seed_arg $ domains $ top
+          $ json $ out)
 
 let main_cmd =
   Cmd.group
@@ -1193,7 +1355,7 @@ let main_cmd =
     [
       topo_cmd; embed_cmd; table_cmd; trace_cmd; explain_cmd; fig2_cmd;
       figures_cmd; hunt_cmd; overhead_cmd; ablation_cmd; coverage_cmd;
-      chaos_cmd; detect_cmd; bench_cmd;
+      chaos_cmd; detect_cmd; bench_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

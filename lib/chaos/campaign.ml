@@ -14,6 +14,7 @@ type config = {
   schemes : Engine.scheme list;
   shrink : bool;
   backend : Engine.backend;
+  timeline : float option;
 }
 
 let default_config topology rotation ~seed =
@@ -34,6 +35,7 @@ let default_config topology rotation ~seed =
       ];
     shrink = true;
     backend = `Reference;
+    timeline = None;
   }
 
 type scheme_result = {
@@ -41,6 +43,7 @@ type scheme_result = {
   outcome : Engine.outcome;
   monitor : Monitor.t;
   shrunk : Scenario.t option;
+  series : Pr_obs.Series.t option;
 }
 
 type t = {
@@ -83,10 +86,13 @@ let run config =
         Monitor.create ?detection:config.detection ~routing ~cycles
           ~termination:(termination_of scheme) ()
       in
+      let series =
+        Option.map (fun width -> Pr_obs.Series.create ~width g) config.timeline
+      in
       match
         Engine.run
           ~observer:(Monitor.engine_observer monitor)
-          ?detection:config.detection ~backend:config.backend
+          ?detection:config.detection ~backend:config.backend ?series
           { Engine.topology = config.topology; rotation = config.rotation; scheme }
           ~link_events ~injections
       with
@@ -111,7 +117,7 @@ let run config =
                       ~link_events:raw_events ~injections))
             else None
           in
-          Ok { scheme; outcome; monitor; shrunk }
+          Ok { scheme; outcome; monitor; shrunk; series }
     in
     let rec run_all acc = function
       | [] -> Ok (List.rev acc)
@@ -165,6 +171,9 @@ let report config t =
             "    shrunk to %d link events, %d injection(s)\n"
             (List.length s.Scenario.link_events)
             (List.length s.Scenario.injections)
-      | None -> ()))
+      | None -> ());
+      match r.series with
+      | Some se -> Buffer.add_string buf (Pr_obs.Series.render se)
+      | None -> ())
     t.results;
   Buffer.contents buf

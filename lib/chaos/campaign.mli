@@ -27,6 +27,12 @@ type config = {
   backend : Pr_sim.Engine.backend;
       (** data plane for PR schemes (default [`Reference]); the monitors
           see identical verdicts either way *)
+  timeline : float option;
+      (** [Some width]: record a {!Pr_obs.Series} per scheme, bucketing
+          verdicts, link transitions, detector-belief churn and (for PR
+          schemes) per-class link loads into [width]-wide windows; the
+          report renders each scheme's timeline.  [None] (default)
+          records nothing. *)
 }
 
 val default_config : Pr_topo.Topology.t -> Pr_embed.Rotation.t -> seed:int -> config
@@ -38,6 +44,7 @@ type scheme_result = {
   outcome : Pr_sim.Engine.outcome;
   monitor : Monitor.t;
   shrunk : Scenario.t option;  (** present iff the monitors fired *)
+  series : Pr_obs.Series.t option;  (** present iff [timeline] was set *)
 }
 
 type t = {

@@ -343,8 +343,8 @@ let step_class result =
   | Transmit { header = { pr_bit = true; _ }; _ } -> Probe.cls_cycle
   | Transmit _ -> Probe.cls_routed
 
-let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ~routing
-    ~cycles ~failures ~src ~dst () =
+let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
+    ~routing ~cycles ~failures ~src ~dst () =
   let g = Routing.graph routing in
   let n = Graph.n g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -408,6 +408,15 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ~routing
             Trace.emit trace
               (Trace.Hop
                  { node = x; next; pr = header.pr_bit; dd = header.dd_value });
+          (match linkload with
+          | None -> ()
+          | Some ll ->
+              (* Strict [step] never takes a ladder rung, so hops are
+                 shortest-path or PR-mode by the header on the wire. *)
+              Pr_obs.Linkload.record_next ll ~node:x ~next
+                ~cls:
+                  (if header.pr_bit then Pr_obs.Linkload.cls_recycled
+                   else Pr_obs.Linkload.cls_shortest));
           walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
     end
   and finish outcome ~ttl acc =

@@ -190,6 +190,7 @@ val run :
   ?quantise:bool ->
   ?trace:Pr_telemetry.Trace.sink ->
   ?probe:Pr_telemetry.Probe.t ->
+  ?linkload:Pr_obs.Linkload.t ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   failures:Failure.t ->
@@ -209,7 +210,10 @@ val run :
     counts are TTL-derived so they agree with the compiled kernel.
     [probe] records the packet's verdict, stretch, hop count and
     re-cycle depth, and wraps each {!step} call with the monotonic clock
-    to feed the per-class latency histograms. *)
+    to feed the per-class latency histograms.  [linkload] counts every
+    transmission against its directed link, classed by the header on the
+    wire (PR bit set: recycled, else shortest-path — the strict walk
+    never takes a ladder rung). *)
 
 val path_cost : Pr_graph.Graph.t -> trace -> float
 (** Weighted cost of the traversed walk. *)

@@ -45,6 +45,13 @@ type t = {
      fault-free fast path in [batch_walk] reads neither. *)
   mutable trace : Trace.sink;
   mutable probe : Probe.t option;
+  mutable linkload : Pr_obs.Linkload.t option;
+  mutable ll : int array;
+      (* [linkload]'s raw counters ([||] when off): the batch walk bumps
+         a slot with local array arithmetic — a cross-module [record]
+         call per hop is measurable on cycle-heavy sweeps.  The table's
+         port width is required to equal the image's, so the walk reuses
+         the port index it already holds. *)
   mutable walk_ttl0 : int;
   mutable walk_ep0 : int;
   mutable lat_tick : int;
@@ -90,6 +97,8 @@ let create fib =
     hits = 0;
     trace = Trace.null;
     probe = None;
+    linkload = None;
+    ll = [||];
     walk_ttl0 = 0;
     walk_ep0 = 0;
     lat_tick = 0;
@@ -100,6 +109,19 @@ let fib t = t.fib
 let set_trace t sink = t.trace <- sink
 
 let set_probe t probe = t.probe <- probe
+
+let set_linkload t linkload =
+  (match linkload with
+  | Some ll
+    when Pr_obs.Linkload.n ll <> Fib.n t.fib
+         || Pr_obs.Linkload.ports ll <> max 1 t.ports ->
+      invalid_arg
+        "Kernel.set_linkload: table dimensions differ from the image's"
+  | _ -> ());
+  t.linkload <- linkload;
+  match linkload with
+  | None -> t.ll <- [||]
+  | Some l -> t.ll <- Pr_obs.Linkload.raw_counts l
 
 let[@inline] traced t = Trace.enabled t.trace
 
@@ -389,6 +411,23 @@ let degradation_of_code c =
   else if c = d_lfa then Forward.Lfa_rescue
   else Forward.Dd_saturated
 
+(* Link-load class of the hop just forwarded (registers still hot): a
+   rescue rung outranks the PR-bit state it left behind; otherwise the
+   header on the wire decides.  Matches the reference classification —
+   {!Pr_core.Forward.run} by [header.pr_bit] (strict [step] never rungs),
+   the engine's ladder walk by the decision's degradation list. *)
+let[@inline] hop_cls t =
+  let cls =
+    ref
+      (if t.out_pr then Pr_obs.Linkload.cls_recycled
+       else Pr_obs.Linkload.cls_shortest)
+  in
+  for j = 0 to t.degr_len - 1 do
+    let d = t.degr.(j) in
+    if d = d_retry || d = d_lfa then cls := Pr_obs.Linkload.cls_rescue
+  done;
+  !cls
+
 type result = {
   outcome : Forward.outcome;
   reason : reason option;
@@ -478,6 +517,11 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
         if tr then
           Trace.emit t.trace
             (Trace.Hop { node = x; next; pr = t.out_pr; dd = out_dd });
+        (match t.linkload with
+        | None -> ()
+        | Some ll ->
+            (* Counted on the wire, before any stale-view death. *)
+            Pr_obs.Linkload.record ll ~node:x ~port ~cls:(hop_cls t));
         if Bytes.get t.truth ((x * t.ports) + port) = '\000' then begin
           (* Sent into a link the sender wrongly believed up: lost on the
              wire, the failed hop recorded on the path (engine
@@ -659,10 +703,19 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
     let p =
       if pr then -1 else Array.unsafe_get t.next_hop_port ((x * t.n) + dst)
     in
-    if p >= 0 && Bytes.unsafe_get t.view (base + p) <> '\000' then
+    if p >= 0 && Bytes.unsafe_get t.view (base + p) <> '\000' then begin
       (* Fault-free routed hop — [decide] reduces to a fresh forward with
          no degradations, no episode, and a zero DD that the next
          (non-PR) hop never reads, so skip the full dispatch. *)
+      let ll = t.ll in
+      if Array.length ll <> 0 then begin
+        (* A fast-path hop is shortest-path (class slot 0) by
+           construction; counted on the wire, before any stale-view
+           death.  This length test is the whole accounting-off cost on
+           the fast path; the slot reuses the walk's own port index. *)
+        let i = (base + p) * 3 in
+        Array.unsafe_set ll i (Array.unsafe_get ll i + 1)
+      end;
       if Bytes.unsafe_get t.truth (base + p) = '\000' then begin
         c.dropped <- c.dropped + 1;
         let r = reason_index Stale_view in
@@ -682,6 +735,7 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
           (Array.unsafe_get t.node_port ((next * t.n) + x))
           false (ttl - 1)
       end
+    end
     else begin
     t.degr_len <- 0;
     let code =
@@ -746,7 +800,19 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
         | None -> ()
         | Some prb -> Probe.record_episode prb
       end;
-      if Bytes.unsafe_get t.truth ((x * t.ports) + port) = '\000' then begin
+      let slot = (x * t.ports) + port in
+      let ll = t.ll in
+      if Array.length ll <> 0 then begin
+        (* Counted on the wire, before any stale-view death.  The
+           degradation-free case stays call-free: [hop_cls] has a loop,
+           which the non-flambda compiler will not inline. *)
+        let cls =
+          if t.degr_len = 0 then if t.out_pr then 1 else 0 else hop_cls t
+        in
+        let i = (slot * 3) + cls in
+        Array.unsafe_set ll i (Array.unsafe_get ll i + 1)
+      end;
+      if Bytes.unsafe_get t.truth slot = '\000' then begin
         c.dropped <- c.dropped + 1;
         let r = reason_index Stale_view in
         c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1;
@@ -757,11 +823,11 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
               ~hops:(t.walk_ttl0 - ttl + 1) ~depth:(probe_depth t c)
       end
       else begin
-        let next = Array.unsafe_get t.port_node ((x * t.ports) + port) in
+        let next = Array.unsafe_get t.port_node slot in
         Array.unsafe_set t.fbuf f_in_dd (Array.unsafe_get t.fbuf f_out_dd);
         Array.unsafe_set t.fbuf f_cost
           (Array.unsafe_get t.fbuf f_cost
-          +. Array.unsafe_get t.port_weight ((x * t.ports) + port));
+          +. Array.unsafe_get t.port_weight slot);
         batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
           (Array.unsafe_get t.node_port ((next * t.n) + x))
           t.out_pr (ttl - 1)

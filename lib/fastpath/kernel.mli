@@ -71,6 +71,18 @@ val set_probe : t -> Pr_telemetry.Probe.t option -> unit
     proportional to slow-path decisions encountered, not traffic
     carried. *)
 
+val set_linkload : t -> Pr_obs.Linkload.t option -> unit
+(** Attach a link-load table fed by {!run_one} and {!forward_into}: one
+    count per transmission against the directed link it used, classed
+    shortest-path / recycled / rescue exactly as the reference walks
+    class theirs (see {!Pr_obs.Linkload}).  Unlike the probe, the
+    fault-free fast path must feed it too — every hop is load — so this
+    is the one table whose accounting rides the hot loop; its cost is
+    one option test plus one unsafe array bump per hop, kept inside the
+    CI overhead budget.  Transmissions are counted before any
+    stale-view wire death.  Raises [Invalid_argument] if the table's
+    dimensions do not match the image's graph. *)
+
 (** {2 One packet, traced} *)
 
 type reason =

@@ -68,9 +68,10 @@ let component_labels failures =
   done;
   label
 
-let run_item kernel config prepare rng slot probe item =
+let run_item kernel config prepare rng slot probe linkload item =
   Kernel.set_failures kernel item.failures;
   Kernel.set_probe kernel probe;
+  Kernel.set_linkload kernel linkload;
   (match prepare with None -> () | Some f -> f kernel ~rng item);
   let label = component_labels item.failures in
   Array.iter
@@ -86,7 +87,7 @@ let run_item kernel config prepare rng slot probe item =
           ~dst)
     item.pairs
 
-let run_items ~domains ~config ~prepare ~seed ~probes fib items =
+let run_items ~domains ~config ~prepare ~seed ~probes ~linkloads fib items =
   if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
   let n_items = Array.length items in
   let master = Rng.create ~seed in
@@ -99,7 +100,13 @@ let run_items ~domains ~config ~prepare ~seed ~probes fib items =
       let probe =
         match probes with None -> None | Some ps -> Some ps.(!i)
       in
-      run_item kernel config prepare streams.(!i) slots.(!i) probe items.(!i);
+      let linkload =
+        (* Per-domain, not per-item: integer link counters sum the same
+           under any partition, so one table per worker is enough. *)
+        match linkloads with None -> None | Some ls -> Some ls.(d)
+      in
+      run_item kernel config prepare streams.(!i) slots.(!i) probe linkload
+        items.(!i);
       i := !i + domains
     done
   in
@@ -116,7 +123,8 @@ let run_items ~domains ~config ~prepare ~seed ~probes fib items =
   total
 
 let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
-  run_items ~domains ~config ~prepare ~seed ~probes:None fib items
+  run_items ~domains ~config ~prepare ~seed ~probes:None ~linkloads:None fib
+    items
 
 let run_probed ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
     items =
@@ -125,8 +133,27 @@ let run_probed ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
      bit-identical across domain counts. *)
   let probes = Array.init (Array.length items) (fun _ -> Probe.create ()) in
   let total =
-    run_items ~domains ~config ~prepare ~seed ~probes:(Some probes) fib items
+    run_items ~domains ~config ~prepare ~seed ~probes:(Some probes)
+      ~linkloads:None fib items
   in
   let merged = Probe.create () in
   Array.iter (fun p -> Probe.merge ~into:merged p) probes;
   (total, merged)
+
+let run_loaded ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
+    items =
+  (* Unlike [run_probed], link-load slots are per-domain, not per-item:
+     the counters are plain ints, so the sum is identical under any
+     partition of the items, and a short sweep should not spend its
+     overhead budget allocating and merging a table per scenario. *)
+  if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+  let g = Fib.graph fib in
+  let linkloads = Array.init domains (fun _ -> Pr_obs.Linkload.create g) in
+  let total =
+    run_items ~domains ~config ~prepare ~seed ~probes:None
+      ~linkloads:(Some linkloads) fib items
+  in
+  for d = 1 to domains - 1 do
+    Pr_obs.Linkload.merge ~into:linkloads.(0) linkloads.(d)
+  done;
+  (total, linkloads.(0))

@@ -71,3 +71,18 @@ val run_probed :
     barrier, so every probe count (and float sum) is bit-identical
     regardless of [domains] — latency histograms excepted, they measure
     wall time. *)
+
+val run_loaded :
+  ?domains:int ->
+  ?config:config ->
+  ?prepare:(Kernel.t -> rng:Pr_util.Rng.t -> item -> unit) ->
+  seed:int ->
+  Fib.t ->
+  item array ->
+  Kernel.counters * Pr_obs.Linkload.t
+(** {!run} with a {!Pr_obs.Linkload.t} attached to every walk: the
+    merged per-directed-link load table of the whole batch.  One table
+    per {e domain} (not per item — integer sums are partition-invariant,
+    unlike the float-bearing counters), merged in domain order after the
+    join barrier, so the table is bit-identical regardless of [domains]
+    and the single-domain case pays no merge at all. *)

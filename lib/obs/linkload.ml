@@ -1,0 +1,133 @@
+module Graph = Pr_graph.Graph
+
+type t = {
+  n : int;
+  ports : int;
+  port_node : int array;  (* n * ports -> neighbour id, -1 pad *)
+  node_port : int array;  (* n * n -> port, -1 for non-neighbours *)
+  counts : int array;     (* (node * ports + port) * 3 + cls *)
+}
+
+let cls_shortest = 0
+
+let cls_recycled = 1
+
+let cls_rescue = 2
+
+let class_names = [| "shortest-path"; "recycled"; "rescue" |]
+
+let classes = 3
+
+let create g =
+  let n = Graph.n g in
+  let ports = max 1 (Graph.max_degree g) in
+  let port_node = Array.make (n * ports) (-1) in
+  let node_port = Array.make (n * n) (-1) in
+  for x = 0 to n - 1 do
+    Array.iteri
+      (fun p y ->
+        port_node.(x * ports + p) <- y;
+        node_port.(x * n + y) <- p)
+      (Graph.neighbours g x)
+  done;
+  { n; ports; port_node; node_port; counts = Array.make (n * ports * classes) 0 }
+
+let n t = t.n
+
+let ports t = t.ports
+
+let[@inline] record t ~node ~port ~cls =
+  let i = (node * t.ports + port) * classes + cls in
+  Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1)
+
+let[@inline] port_of t ~node ~next = Array.unsafe_get t.node_port (node * t.n + next)
+
+let[@inline] record_next t ~node ~next ~cls =
+  let port = port_of t ~node ~next in
+  if port >= 0 then record t ~node ~port ~cls
+
+let raw_counts t = t.counts
+
+let reset t = Array.fill t.counts 0 (Array.length t.counts) 0
+
+let merge ~into c =
+  if into.n <> c.n || into.ports <> c.ports then
+    invalid_arg "Linkload.merge: dimension mismatch";
+  Array.iteri (fun i v -> into.counts.(i) <- into.counts.(i) + v) c.counts
+
+let equal a b = a.n = b.n && a.ports = b.ports && a.counts = b.counts
+
+let get t ~node ~port ~cls = t.counts.((node * t.ports + port) * classes + cls)
+
+let load t ~node ~port =
+  let base = (node * t.ports + port) * classes in
+  t.counts.(base) + t.counts.(base + 1) + t.counts.(base + 2)
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let class_total t ~cls =
+  let acc = ref 0 in
+  let i = ref cls in
+  while !i < Array.length t.counts do
+    acc := !acc + t.counts.(!i);
+    i := !i + classes
+  done;
+  !acc
+
+let iter t f =
+  let counts = Array.make classes 0 in
+  for x = 0 to t.n - 1 do
+    for p = 0 to t.ports - 1 do
+      let next = t.port_node.((x * t.ports) + p) in
+      if next >= 0 then begin
+        let base = (x * t.ports + p) * classes in
+        for c = 0 to classes - 1 do
+          counts.(c) <- t.counts.(base + c)
+        done;
+        f ~node:x ~next ~counts
+      end
+    done
+  done
+
+let max_load t =
+  let best = ref 0 in
+  iter t (fun ~node:_ ~next:_ ~counts ->
+      let l = counts.(0) + counts.(1) + counts.(2) in
+      if l > !best then best := l);
+  !best
+
+let top t ~k =
+  let rows = ref [] in
+  iter t (fun ~node ~next ~counts ->
+      rows := (node, next, counts.(0), counts.(1), counts.(2)) :: !rows);
+  (* total descending, then (node, port) ascending = reverse list order,
+     which [List.stable_sort] preserves after the [List.rev] *)
+  let weight (_, _, sp, pr, re) = sp + pr + re in
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare (weight b) (weight a))
+      (List.rev !rows)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take k sorted
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"n\": %d,\n  \"ports\": %d,\n  \"total\": %d,\n"
+    t.n t.ports (total t);
+  Buffer.add_string buf "  \"links\": [";
+  let first = ref true in
+  iter t (fun ~node ~next ~counts ->
+      if counts.(0) + counts.(1) + counts.(2) > 0 then begin
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Printf.bprintf buf
+          "\n    {\"from\": %d, \"to\": %d, \"shortest\": %d, \"recycled\": %d, \"rescue\": %d}"
+          node next counts.(0) counts.(1) counts.(2)
+      end);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

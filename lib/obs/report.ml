@@ -1,0 +1,396 @@
+module Topology = Pr_topo.Topology
+module Linkload = Pr_obs.Linkload
+module Forward = Pr_core.Forward
+module Kernel = Pr_fastpath.Kernel
+module Parallel = Pr_fastpath.Parallel
+module Probe = Pr_telemetry.Probe
+module Json = Pr_util.Json
+module Ccdf = Pr_stats.Ccdf
+
+(* ---- the observed sweep ---- *)
+
+type sweep = {
+  topology : Topology.t;
+  scenarios : int;
+  packets : int;
+  domains : int;
+  reference : Linkload.t;
+  compiled : Linkload.t;
+  parallel : Linkload.t;
+  loads_agree : bool;
+  counters_agree : bool;
+  counters : Kernel.counters;
+  probe : Probe.t;
+  scenario_max : float list;
+  stretches : float list;
+}
+
+let sweep ?(domains = 2) (topo : Topology.t) rotation =
+  let g = topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+  let items = Parallel.all_pairs_single_failures fib in
+  let packets =
+    Array.fold_left
+      (fun acc (it : Parallel.item) -> acc + Array.length it.pairs)
+      0 items
+  in
+  (* Reference walk.  A disconnected pair is accounted unreachable
+     without walking — the compiled batch's rule, which the reference
+     must share for the tables to be comparable at all. *)
+  let reference = Linkload.create g in
+  let scratch = Linkload.create g in
+  let probe = Probe.create () in
+  let scenario_max = ref [] in
+  let stretches = ref [] in
+  Array.iter
+    (fun (it : Parallel.item) ->
+      Array.iter
+        (fun (src, dst) ->
+          if not (Pr_core.Failure.pair_connected it.failures src dst) then
+            Probe.record_unreachable probe
+          else
+            let trace =
+              Forward.run ~termination:Forward.Distance_discriminator ~probe
+                ~linkload:scratch ~routing ~cycles ~failures:it.failures ~src
+                ~dst ()
+            in
+            match trace.Forward.outcome with
+            | Forward.Delivered ->
+                stretches :=
+                  Forward.stretch ~routing ~trace ~src ~dst :: !stretches
+            | _ -> ())
+        it.pairs;
+      scenario_max := float_of_int (Linkload.max_load scratch) :: !scenario_max;
+      Linkload.merge ~into:reference scratch;
+      Linkload.reset scratch)
+    items;
+  (* Compiled kernel, driven scenario by scenario on one domain. *)
+  let compiled = Linkload.create g in
+  let kernel = Kernel.create fib in
+  Kernel.set_linkload kernel (Some compiled);
+  let compiled_counters = Kernel.fresh_counters () in
+  Array.iter
+    (fun (it : Parallel.item) ->
+      (* One counter slot per item, merged in item order — the parallel
+         runner's float-summation order, so the comparison below is
+         bit-exact. *)
+      let slot = Kernel.fresh_counters () in
+      Kernel.set_failures kernel it.failures;
+      Array.iter
+        (fun (src, dst) ->
+          if not (Pr_core.Failure.pair_connected it.failures src dst) then
+            Kernel.record_unreachable slot
+          else Kernel.forward_into kernel slot ~src ~dst)
+        it.pairs;
+      Kernel.add_counters ~into:compiled_counters slot)
+    items;
+  (* Domain-parallel batch over the same items. *)
+  let counters, parallel = Parallel.run_loaded ~domains ~seed:0 fib items in
+  {
+    topology = topo;
+    scenarios = Array.length items;
+    packets;
+    domains;
+    reference;
+    compiled;
+    parallel;
+    loads_agree =
+      Linkload.equal reference compiled && Linkload.equal compiled parallel;
+    counters_agree = Kernel.equal_counters compiled_counters counters;
+    counters;
+    probe;
+    scenario_max = List.rev !scenario_max;
+    stretches = List.rev !stretches;
+  }
+
+let agree s = s.loads_agree && s.counters_agree
+
+(* ---- rendering ---- *)
+
+let stretch_grid = [ 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0 ]
+
+(* A small integer grid spanning the samples: CCDF tables stay readable
+   whatever the topology's load scale is. *)
+let int_grid c =
+  let lo = int_of_float (Ccdf.min_sample c) in
+  let hi =
+    match Ccdf.max_finite c with Some h -> int_of_float h | None -> lo
+  in
+  if hi <= lo then [ float_of_int lo ]
+  else
+    let step = max 1 ((hi - lo + 5) / 6) in
+    let rec go x acc =
+      if x > hi then List.rev acc else go (x + step) (float_of_int x :: acc)
+    in
+    go lo []
+
+let ccdf_lines ~name ~grid samples =
+  match samples with
+  | [] -> [ Printf.sprintf "  %s CCDF: no samples" name ]
+  | _ ->
+      let c = Ccdf.of_samples samples in
+      let xs = match grid with Some g -> g | None -> int_grid c in
+      Printf.sprintf "  %s CCDF (%d samples):" name (Ccdf.size c)
+      :: List.map
+           (fun (x, p) -> Printf.sprintf "    P(> %g) = %.4f" x p)
+           (Ccdf.series c ~xs)
+
+let top_lines (topo : Topology.t) ll k =
+  let line (u, v, sp, pr, re) =
+    Printf.sprintf
+      "    %-12s -> %-12s %7d = %d shortest + %d recycled + %d rescue"
+      (Topology.label topo u) (Topology.label topo v) (sp + pr + re) sp pr re
+  in
+  match Linkload.top ll ~k with
+  | [] -> [ "    (no load recorded)" ]
+  | tops -> List.map line tops
+
+let render ?(top = 5) s =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "observatory report: %s" (Topology.summary s.topology);
+  line "  sweep: %d single-failure scenario(s), %d packet(s) per backend"
+    s.scenarios s.packets;
+  line "  backend parity: linkload %s, counters %s"
+    (if s.loads_agree then
+       "reference = compiled = parallel(x" ^ string_of_int s.domains ^ ") OK"
+     else "MISMATCH")
+    (if s.counters_agree then "OK" else "MISMATCH");
+  line "  hop classes: %d shortest-path, %d recycled, %d rescue"
+    (Linkload.class_total s.reference ~cls:Linkload.cls_shortest)
+    (Linkload.class_total s.reference ~cls:Linkload.cls_recycled)
+    (Linkload.class_total s.reference ~cls:Linkload.cls_rescue);
+  line "  top %d hottest directed links:" top;
+  List.iter (line "%s") (top_lines s.topology s.reference top);
+  List.iter (line "%s")
+    (ccdf_lines ~name:"max-link-load" ~grid:None s.scenario_max);
+  List.iter (line "%s")
+    (ccdf_lines ~name:"stretch" ~grid:(Some stretch_grid) s.stretches);
+  Buffer.contents b
+
+let json_ccdf samples ~grid =
+  match samples with
+  | [] -> "{\"xs\": [], \"ps\": []}"
+  | _ ->
+      let c = Ccdf.of_samples samples in
+      let xs = match grid with Some g -> g | None -> int_grid c in
+      let series = Ccdf.series c ~xs in
+      Printf.sprintf "{\"xs\": [%s], \"ps\": [%s]}"
+        (String.concat ","
+           (List.map (fun (x, _) -> Printf.sprintf "%g" x) series))
+        (String.concat ","
+           (List.map (fun (_, p) -> Printf.sprintf "%.6f" p) series))
+
+let to_json ?(top = 5) s =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "{\n  \"topology\": %S,\n" s.topology.Topology.name;
+  Printf.bprintf b
+    "  \"scenarios\": %d,\n  \"packets\": %d,\n  \"domains\": %d,\n"
+    s.scenarios s.packets s.domains;
+  Printf.bprintf b "  \"loads_agree\": %b,\n  \"counters_agree\": %b,\n"
+    s.loads_agree s.counters_agree;
+  Printf.bprintf b
+    "  \"class_totals\": {\"shortest-path\": %d, \"recycled\": %d, \
+     \"rescue\": %d},\n"
+    (Linkload.class_total s.reference ~cls:Linkload.cls_shortest)
+    (Linkload.class_total s.reference ~cls:Linkload.cls_recycled)
+    (Linkload.class_total s.reference ~cls:Linkload.cls_rescue);
+  let tops =
+    List.map
+      (fun (u, v, sp, pr, re) ->
+        Printf.sprintf
+          "{\"from\": %S, \"to\": %S, \"shortest\": %d, \"recycled\": %d, \
+           \"rescue\": %d}"
+          (Topology.label s.topology u)
+          (Topology.label s.topology v)
+          sp pr re)
+      (Linkload.top s.reference ~k:top)
+  in
+  Printf.bprintf b "  \"top\": [%s],\n" (String.concat ", " tops);
+  Printf.bprintf b "  \"max_link_load_ccdf\": %s,\n"
+    (json_ccdf s.scenario_max ~grid:None);
+  Printf.bprintf b "  \"stretch_ccdf\": %s,\n"
+    (json_ccdf s.stretches ~grid:(Some stretch_grid));
+  Printf.bprintf b "  \"linkload\": %s\n}" (Linkload.to_json s.reference);
+  Buffer.contents b
+
+(* ---- bench history ---- *)
+
+type bench_entry = {
+  file : string;
+  suite : string;
+  norm : float;
+  detail : string;
+}
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let finite_pos x = Float.is_finite x && x > 0.0
+
+let load_bench file =
+  match Json.parse_file file with
+  | Error e -> Error (Printf.sprintf "%s: %s" file e)
+  | Ok j -> (
+      match Option.bind (Json.member "suite" j) Json.str with
+      | None -> Error (file ^ ": no \"suite\" member")
+      | Some "fastpath" -> (
+          let results =
+            Option.value ~default:[]
+              (Option.bind (Json.member "results" j) Json.list)
+          in
+          let find tag =
+            List.find_map
+              (fun r ->
+                match Option.bind (Json.member "name" r) Json.str with
+                | Some name when contains name tag ->
+                    Option.bind (Json.member "ns_per_packet" r) Json.num
+                | _ -> None)
+              results
+          in
+          match (find "compiled-sweep", find "reference-sweep") with
+          | Some c, Some r when finite_pos c && finite_pos r ->
+              Ok
+                {
+                  file;
+                  suite = "fastpath";
+                  norm = c /. r;
+                  detail =
+                    Printf.sprintf "compiled %.1f / reference %.1f ns/packet" c
+                      r;
+                }
+          | _ ->
+              Error
+                (file
+                ^ ": fastpath artifact lacks finite compiled/reference sweep \
+                   rows"))
+      | Some (("probe" | "linkload") as suite) -> (
+          match Option.bind (Json.member "overhead_ratio" j) Json.num with
+          | Some r when finite_pos r ->
+              Ok
+                {
+                  file;
+                  suite;
+                  norm = r;
+                  detail = Printf.sprintf "on/off overhead x%.4f" r;
+                }
+          | _ -> Error (file ^ ": no finite \"overhead_ratio\""))
+      | Some s -> Error (Printf.sprintf "%s: unknown suite %S" file s))
+
+let scan_bench ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> ([], [ msg ])
+  | names ->
+  let files =
+    Array.to_list names
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort String.compare
+  in
+  let entries, errs =
+    List.fold_left
+      (fun (entries, errs) f ->
+        match load_bench (Filename.concat dir f) with
+        | Ok e -> (e :: entries, errs)
+        | Error e -> (entries, e :: errs))
+      ([], []) files
+  in
+  (List.rev entries, List.rev errs)
+
+type history = {
+  entries : bench_entry list;
+  baseline : float;
+  current : float;
+  ratio : float;
+  threshold : float;
+  regressed : bool;
+}
+
+let time_best_ns repeat f =
+  let best = ref infinity in
+  for _ = 1 to repeat do
+    let t0 = Probe.now_ns () in
+    f ();
+    let dt = Int64.to_float (Int64.sub (Probe.now_ns ()) t0) in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let measure_norm ?(repeat = 5) (topo : Topology.t) rotation =
+  let g = topo.Topology.graph in
+  let routing = Pr_core.Routing.build g in
+  let cycles = Pr_core.Cycle_table.build rotation in
+  let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+  let items = Parallel.all_pairs_single_failures fib in
+  let compiled_ns =
+    time_best_ns repeat (fun () ->
+        ignore (Parallel.run ~domains:1 ~seed:0 fib items))
+  in
+  let reference_ns =
+    time_best_ns repeat (fun () ->
+        Array.iter
+          (fun (it : Parallel.item) ->
+            Array.iter
+              (fun (src, dst) ->
+                if Pr_core.Failure.pair_connected it.failures src dst then
+                  ignore
+                    (Forward.run ~termination:Forward.Distance_discriminator
+                       ~routing ~cycles ~failures:it.failures ~src ~dst ()))
+              it.pairs)
+          items)
+  in
+  (* Packets cancel in the ratio; this is the machine-portable quantity
+     the committed artifacts also determine. *)
+  compiled_ns /. reference_ns
+
+let check_history ?(threshold = 1.15) ?repeat ~dir topo rotation =
+  let entries, errs = scan_bench ~dir in
+  let baselines =
+    List.filter_map
+      (fun e -> if e.suite = "fastpath" then Some e.norm else None)
+      entries
+  in
+  match baselines with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "no committed fastpath bench artifact under %s to compare against%s"
+           dir
+           (match errs with
+           | [] -> ""
+           | _ -> ": " ^ String.concat "; " errs))
+  | _ ->
+      let baseline = List.fold_left Float.min infinity baselines in
+      let current = measure_norm ?repeat topo rotation in
+      let ratio = current /. baseline in
+      Ok
+        {
+          entries;
+          baseline;
+          current;
+          ratio;
+          threshold;
+          regressed = ratio > threshold;
+        }
+
+let render_history h =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "bench history: %d committed artifact(s)" (List.length h.entries);
+  List.iter
+    (fun e ->
+      line "  %-28s %-9s norm %.4f  (%s)" (Filename.basename e.file) e.suite
+        e.norm e.detail)
+    h.entries;
+  line "  baseline (best committed fastpath norm): %.4f" h.baseline;
+  line "  current measured norm:                   %.4f" h.current;
+  line "  ratio current/baseline: x%.3f (threshold x%.2f) — %s" h.ratio
+    h.threshold
+    (if h.regressed then "REGRESSION" else "OK");
+  Buffer.contents b

@@ -1,0 +1,105 @@
+(** Campaign rollups over the observability layer.
+
+    Two independent halves share this module because both are what
+    [prcli] renders from committed artifacts and fresh runs:
+
+    - {b sweeps}: the all-pairs single-failure workload pushed through
+      all three data planes — reference walk, compiled kernel,
+      domain-parallel batch — each feeding its own {!Pr_obs.Linkload} table.
+      The tables must come out {e identical}; the report renders the
+      hottest links with their shortest-path / recycled / rescue split
+      and the per-scenario max-link-load CCDF next to the delivered
+      stretch CCDF (the paper's Figure-2 axis, now with its spatial
+      complement).
+    - {b bench history}: the committed [BENCH_*.json] artifacts parsed
+      back ({!Pr_util.Json}) and compared against a fresh measurement.
+      The compared quantity is the {e normalised per-packet time} —
+      compiled-sweep ns/packet over reference-sweep ns/packet — which
+      divides machine speed out, so a historical artifact from another
+      machine is still a usable baseline.  A current ratio more than
+      [threshold] above the best committed one fails the check ([prcli
+      bench --history] exits non-zero; CI gates on it). *)
+
+(** {2 The observed sweep} *)
+
+type sweep = {
+  topology : Pr_topo.Topology.t;
+  scenarios : int;             (** one per failed link *)
+  packets : int;               (** walked or accounted per backend *)
+  domains : int;               (** of the parallel run *)
+  reference : Pr_obs.Linkload.t;
+  compiled : Pr_obs.Linkload.t;
+  parallel : Pr_obs.Linkload.t;
+  loads_agree : bool;          (** all three tables structurally equal *)
+  counters_agree : bool;       (** compiled vs parallel verdict counters *)
+  counters : Pr_fastpath.Kernel.counters;  (** the parallel run's *)
+  probe : Pr_telemetry.Probe.t;            (** fed by the reference walk *)
+  scenario_max : float list;
+      (** per-scenario maximum directed-link load, sweep order *)
+  stretches : float list;      (** delivered stretches, sweep order *)
+}
+
+val sweep : ?domains:int -> Pr_topo.Topology.t -> Pr_embed.Rotation.t -> sweep
+(** Run the sweep on all three backends (parallel with [domains],
+    default 2) and collect the tables.  A disconnected pair is accounted
+    unreachable without walking on {e every} backend — the compiled
+    batch already does this, and parity demands the reference walk agree
+    on what counts as load. *)
+
+val agree : sweep -> bool
+(** [loads_agree && counters_agree]. *)
+
+val render : ?top:int -> sweep -> string
+(** Human-readable rollup: backend-equality verdict, the [top] (default
+    5) hottest directed links with class split, the max-link-load CCDF
+    and the stretch CCDF. *)
+
+val to_json : ?top:int -> sweep -> string
+
+(** {2 Bench history} *)
+
+type bench_entry = {
+  file : string;
+  suite : string;   (** "fastpath", "probe", "linkload", … *)
+  norm : float;
+      (** the suite's normalised cost: compiled/reference per-packet
+          ratio for fastpath, the on/off overhead ratio for probe and
+          linkload *)
+  detail : string;  (** one line of context for rendering *)
+}
+
+val load_bench : string -> (bench_entry, string) result
+(** Parse one [BENCH_*.json] artifact. *)
+
+val scan_bench : dir:string -> bench_entry list * string list
+(** Every [BENCH_*.json] under [dir] (sorted by name), parsed; second
+    component is the parse failures, one message each. *)
+
+type history = {
+  entries : bench_entry list;  (** everything parsed, for rendering *)
+  baseline : float;            (** best committed fastpath [norm] *)
+  current : float;             (** freshly measured fastpath [norm] *)
+  ratio : float;               (** [current /. baseline] *)
+  threshold : float;
+  regressed : bool;            (** [ratio > threshold] *)
+}
+
+val measure_norm :
+  ?repeat:int -> Pr_topo.Topology.t -> Pr_embed.Rotation.t -> float
+(** Time the compiled and reference all-pairs single-failure sweeps
+    (best of [repeat], default 5) and return compiled/reference
+    per-packet time — the fastpath [norm], measured now. *)
+
+val check_history :
+  ?threshold:float ->
+  ?repeat:int ->
+  dir:string ->
+  Pr_topo.Topology.t ->
+  Pr_embed.Rotation.t ->
+  (history, string) result
+(** Compare {!measure_norm} against the committed artifacts in [dir].
+    [threshold] defaults to 1.15 — the >15%% regression rule.  [Error]
+    when no committed fastpath artifact parses (nothing to compare
+    against). *)
+
+val render_history : history -> string

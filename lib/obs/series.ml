@@ -1,0 +1,125 @@
+module Graph = Pr_graph.Graph
+
+type window = {
+  index : int;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable link_transitions : int;
+  mutable belief_churn : int;
+  load : Linkload.t;
+}
+
+type t = {
+  width : float;
+  g : Graph.t;
+  tbl : (int, window) Hashtbl.t;
+  mutable last : int;  (* highest window index touched, -1 if none *)
+}
+
+let create ~width g =
+  if not (Float.is_finite width && width > 0.0) then
+    invalid_arg "Series.create: width must be finite and positive";
+  { width; g; tbl = Hashtbl.create 64; last = -1 }
+
+let width t = t.width
+
+let index_of t time =
+  if time <= 0.0 then 0 else int_of_float (time /. t.width)
+
+let window_at t ~time =
+  let index = index_of t time in
+  match Hashtbl.find_opt t.tbl index with
+  | Some w -> w
+  | None ->
+      let w =
+        {
+          index;
+          injected = 0;
+          delivered = 0;
+          dropped = 0;
+          looped = 0;
+          unreachable = 0;
+          link_transitions = 0;
+          belief_churn = 0;
+          load = Linkload.create t.g;
+        }
+      in
+      Hashtbl.add t.tbl index w;
+      if index > t.last then t.last <- index;
+      w
+
+let load_at t ~time = (window_at t ~time).load
+
+type verdict = [ `Delivered | `Dropped | `Looped | `Unreachable ]
+
+let record_verdict t ~time verdict =
+  let w = window_at t ~time in
+  w.injected <- w.injected + 1;
+  match verdict with
+  | `Delivered -> w.delivered <- w.delivered + 1
+  | `Dropped -> w.dropped <- w.dropped + 1
+  | `Looped -> w.looped <- w.looped + 1
+  | `Unreachable -> w.unreachable <- w.unreachable + 1
+
+let record_link_transition t ~time =
+  let w = window_at t ~time in
+  w.link_transitions <- w.link_transitions + 1
+
+let record_belief_churn t ~time n =
+  let w = window_at t ~time in
+  w.belief_churn <- w.belief_churn + n
+
+let windows t =
+  if t.last < 0 then []
+  else
+    List.init (t.last + 1) (fun i ->
+        window_at t ~time:(float_of_int i *. t.width))
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "%6s %8s %5s %5s %5s %5s %7s %6s %6s %8s %8s %8s  %s\n" "window" "t0"
+    "inj" "del" "drop" "loop" "unreach" "links" "churn" "shortest" "recycled"
+    "rescue" "hottest";
+  List.iter
+    (fun w ->
+      let hottest =
+        match Linkload.top w.load ~k:1 with
+        | [] -> "-"
+        | (u, v, sp, pr, re) :: _ -> Printf.sprintf "%d->%d (%d)" u v (sp + pr + re)
+      in
+      Printf.bprintf buf
+        "%6d %8.2f %5d %5d %5d %5d %7d %6d %6d %8d %8d %8d  %s\n" w.index
+        (float_of_int w.index *. t.width)
+        w.injected w.delivered w.dropped w.looped w.unreachable
+        w.link_transitions w.belief_churn
+        (Linkload.class_total w.load ~cls:Linkload.cls_shortest)
+        (Linkload.class_total w.load ~cls:Linkload.cls_recycled)
+        (Linkload.class_total w.load ~cls:Linkload.cls_rescue)
+        hottest)
+    (windows t);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"width\": %.17g,\n  \"windows\": [" t.width;
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n    {\"index\": %d, \"injected\": %d, \"delivered\": %d, \
+         \"dropped\": %d, \"looped\": %d, \"unreachable\": %d, \
+         \"link_transitions\": %d, \"belief_churn\": %d, \"shortest\": %d, \
+         \"recycled\": %d, \"rescue\": %d, \"max_link_load\": %d}"
+        w.index w.injected w.delivered w.dropped w.looped w.unreachable
+        w.link_transitions w.belief_churn
+        (Linkload.class_total w.load ~cls:Linkload.cls_shortest)
+        (Linkload.class_total w.load ~cls:Linkload.cls_recycled)
+        (Linkload.class_total w.load ~cls:Linkload.cls_rescue)
+        (Linkload.max_load w.load))
+    (windows t);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

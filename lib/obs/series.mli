@@ -1,0 +1,60 @@
+(** Fixed-window time series over a simulation run.
+
+    The engines see events at points in simulated time (packet
+    injections, link transitions, per-hop arrivals in {!Pr_sim.Timed});
+    a series buckets them into windows of a fixed [width] so a chaos
+    scenario becomes a replayable timeline: each window holds its own
+    {!Linkload} table plus verdict counts, link transitions and
+    detector-belief churn.  Hotspot formation and decay read directly
+    off consecutive windows' link loads.
+
+    Windows are created on demand ([time / width], negative times clamp
+    to window 0) and reported densely from 0 to the last touched index,
+    so quiet stretches show as zero rows rather than gaps.
+
+    "Belief churn" counts scheduled per-endpoint belief updates: the
+    engines feed 2 per link transition observed by a detector (each
+    endpoint's belief is driven independently).  Runs without a detector
+    report 0. *)
+
+type window = {
+  index : int;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable looped : int;
+  mutable unreachable : int;
+  mutable link_transitions : int;
+  mutable belief_churn : int;
+  load : Linkload.t;
+}
+
+type t
+
+val create : width:float -> Pr_graph.Graph.t -> t
+(** Raises [Invalid_argument] unless [width] is finite and positive. *)
+
+val width : t -> float
+
+val load_at : t -> time:float -> Linkload.t
+(** The link-load table of [time]'s window, creating it if needed — the
+    engines pass this to the forwarding walk so every hop of a packet
+    lands in its window. *)
+
+type verdict = [ `Delivered | `Dropped | `Looped | `Unreachable ]
+
+val record_verdict : t -> time:float -> verdict -> unit
+
+val record_link_transition : t -> time:float -> unit
+
+val record_belief_churn : t -> time:float -> int -> unit
+
+val windows : t -> window list
+(** Dense, in index order, from 0 to the last touched window; empty list
+    if nothing was recorded. *)
+
+val render : t -> string
+(** Text timeline: one row per window with verdict counts, transitions,
+    churn, per-class hop totals and the window's hottest link. *)
+
+val to_json : t -> string

@@ -30,14 +30,7 @@ let metrics_reason = function
   | Pr_fastpath.Kernel.Budget_exhausted -> Metrics.Budget_exhausted
   | Pr_fastpath.Kernel.Stale_view -> Metrics.Stale_view
 
-let probe_reason = function
-  | Metrics.No_route -> Probe.reason_no_route
-  | Metrics.Interfaces_down -> Probe.reason_interfaces_down
-  | Metrics.No_alternate -> Probe.reason_no_alternate
-  | Metrics.Continuation_lost -> Probe.reason_continuation_lost
-  | Metrics.Budget_exhausted -> Probe.reason_budget_exhausted
-  | Metrics.Stale_view -> Probe.reason_stale_view
-  | Metrics.Unclassified -> Probe.reason_unclassified
+let probe_reason = Metrics.probe_reason
 
 (* Latency class of one ladder_step decision: a ladder rung outranks the
    episode/cycle state it left behind (mirrors the kernel's slow_class). *)
@@ -141,8 +134,8 @@ let scheme_name = function
 
 type event = Link of Workload.link_event | Packet of Workload.injection | Converge
 
-let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
-    ~injections =
+let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
+    config ~link_events ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
   match validate_workload g ~link_events ~injections with
   | Error e -> Error e
@@ -164,6 +157,30 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
     | Some c -> if up then c.Detector.up_delay else c.Detector.down_delay
   in
   let metrics = Metrics.create () in
+  (* Link-load accounting.  Each PR-scheme walk feeds one scratch table
+     (the same hooks both backends use — Forward.run's [?linkload] and
+     the kernel's [set_linkload]); the scratch is then merged into the
+     run-level table and/or the injection-time window of the series and
+     reset.  The walks of the other schemes compute costs, not wire
+     occupancy, so only the PR scheme feeds load. *)
+  let obs_scratch =
+    match (linkload, series) with
+    | None, None -> None
+    | _ -> Some (Pr_obs.Linkload.create g)
+  in
+  let flush_load ~time =
+    match obs_scratch with
+    | None -> ()
+    | Some s ->
+        (match linkload with
+        | None -> ()
+        | Some ll -> Pr_obs.Linkload.merge ~into:ll s);
+        (match series with
+        | None -> ()
+        | Some se ->
+            Pr_obs.Linkload.merge ~into:(Pr_obs.Series.load_at se ~time) s);
+        Pr_obs.Linkload.reset s
+  in
   let spf_runs = ref 0 in
   let link_transitions = ref 0 in
   let finished_at = ref 0.0 in
@@ -298,6 +315,26 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
               if header.Forward.dd_value > !max_dd then
                 max_dd := header.Forward.dd_value
             end;
+            (match obs_scratch with
+            | None -> ()
+            | Some s ->
+                (* Counted on the wire, before any stale-view death; a
+                   rescue rung outranks the PR bit it left behind —
+                   the kernel's classification, decision for decision. *)
+                let cls =
+                  if
+                    List.exists
+                      (function
+                        | Forward.Retry_complementary | Forward.Lfa_rescue ->
+                            true
+                        | Forward.Dd_saturated -> false)
+                      degradations
+                  then Pr_obs.Linkload.cls_rescue
+                  else if header.Forward.pr_bit then
+                    Pr_obs.Linkload.cls_recycled
+                  else Pr_obs.Linkload.cls_shortest
+                in
+                Pr_obs.Linkload.record_next s ~node:x ~next ~cls);
             if Netstate.is_up net x next then
               walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
             else
@@ -335,6 +372,18 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
     walk src 0.0 ((4 * Graph.n g) + 16)
   in
   let notify ~time ~src ~dst ~failures ~quiesced ~verdict ~trace =
+    (* Every packet ends here exactly once, whatever the scheme — the
+       one place the series can count verdicts without per-scheme
+       plumbing. *)
+    (match series with
+    | None -> ()
+    | Some se ->
+        Pr_obs.Series.record_verdict se ~time
+          (match verdict with
+          | Delivered _ -> `Delivered
+          | Looped -> `Looped
+          | Dropped -> `Dropped
+          | Unreachable -> `Unreachable));
     match observer with
     | None -> ()
     | Some o -> o.on_packet ~time ~src ~dst ~failures ~quiesced ~verdict ~trace
@@ -396,11 +445,13 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
               if use_compiled then begin
                 let k = Lazy.force kernel in
                 Pr_fastpath.Kernel.set_failures k failures;
+                Pr_fastpath.Kernel.set_linkload k obs_scratch;
                 Pr_fastpath.Kernel.to_trace k
                   (Pr_fastpath.Kernel.run_one ~termination k ~src ~dst)
               end
               else
-                Pr_core.Forward.run ~termination ~routing ~cycles ~failures ~src ~dst ()
+                Pr_core.Forward.run ~termination ?linkload:obs_scratch
+                  ~routing ~cycles ~failures ~src ~dst ()
             in
             let verdict =
               match trace.outcome with
@@ -417,12 +468,14 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
                   Dropped
             in
             probe_record ~trace ~verdict ~reason:None ~degradations:[];
+            flush_load ~time;
             notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace)
         | Some d ->
             let trace, reason, degradations =
               if use_compiled then begin
                 let k = Lazy.force kernel in
                 Pr_fastpath.Kernel.set_failures k failures;
+                Pr_fastpath.Kernel.set_linkload k obs_scratch;
                 Pr_fastpath.Kernel.fill_view k (fun ~node ~other ->
                     Detector.believes_up d ~now:time ~node ~other);
                 let r =
@@ -453,6 +506,7 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
                   Dropped
             in
             probe_record ~trace ~verdict ~reason ~degradations;
+            flush_load ~time;
             notify ~time ~src ~dst ~failures ~verdict ~trace:(Some trace))
     | Lfa_scheme -> (
         match det with
@@ -518,6 +572,13 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
     (match det with
     | Some d -> Detector.observe d ~time ~u:e.u ~v:e.v ~up:e.up
     | None -> ());
+    (match series with
+    | None -> ()
+    | Some se ->
+        if changed then Pr_obs.Series.record_link_transition se ~time;
+        (* Two per-endpoint beliefs are driven by every observed event,
+           redundant or not — the series' churn measure. *)
+        if Option.is_some det then Pr_obs.Series.record_belief_churn se ~time 2);
     if changed then begin
       incr link_transitions;
       let lag = detect_lag ~up:e.up in
@@ -566,10 +627,11 @@ let run ?observer ?detection ?(backend = `Reference) ?probe config ~link_events
       finished_at = !finished_at;
     }
 
-let run_exn ?observer ?detection ?backend ?probe config ~link_events
-    ~injections =
+let run_exn ?observer ?detection ?backend ?probe ?linkload ?series config
+    ~link_events ~injections =
   match
-    run ?observer ?detection ?backend ?probe config ~link_events ~injections
+    run ?observer ?detection ?backend ?probe ?linkload ?series config
+      ~link_events ~injections
   with
   | Ok outcome -> outcome
   | Error e -> invalid_arg ("Engine.run: " ^ describe_workload_error e)

@@ -120,6 +120,8 @@ val run :
   ?detection:Detector.config ->
   ?backend:backend ->
   ?probe:Pr_telemetry.Probe.t ->
+  ?linkload:Pr_obs.Linkload.t ->
+  ?series:Pr_obs.Series.t ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
@@ -148,13 +150,25 @@ val run :
     wraps each {!Pr_core.Forward.ladder_step} call with the monotonic
     clock for the per-class latency histograms.
     {!Metrics.of_probes} on the probe reproduces the outcome's metrics
-    for PR-only workloads — pinned by the telemetry suite. *)
+    for PR-only workloads — pinned by the telemetry suite.
+
+    [linkload] (PR schemes only — the other schemes' walks compute
+    costs, not wire occupancy) accumulates one count per transmission
+    against its directed link, fed through the same backend hooks as
+    everywhere else (`Forward.run`'s [?linkload], the kernel's
+    [set_linkload]) so reference and compiled runs produce equal tables.
+    [series] buckets each packet's verdict (every scheme) and its hops
+    (PR schemes) into the injection-time window, plus link transitions
+    and detector-belief churn at their event times — the replayable
+    hotspot timeline. *)
 
 val run_exn :
   ?observer:observer ->
   ?detection:Detector.config ->
   ?backend:backend ->
   ?probe:Pr_telemetry.Probe.t ->
+  ?linkload:Pr_obs.Linkload.t ->
+  ?series:Pr_obs.Series.t ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->

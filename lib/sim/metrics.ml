@@ -130,6 +130,15 @@ let of_fastpath (c : Pr_fastpath.Kernel.counters) =
 (* The probe's reason slots are laid out in [all_reasons] order by
    construction (pinned by a test), so the arrays line up index for
    index. *)
+let probe_reason = function
+  | No_route -> Pr_telemetry.Probe.reason_no_route
+  | Interfaces_down -> Pr_telemetry.Probe.reason_interfaces_down
+  | No_alternate -> Pr_telemetry.Probe.reason_no_alternate
+  | Continuation_lost -> Pr_telemetry.Probe.reason_continuation_lost
+  | Budget_exhausted -> Pr_telemetry.Probe.reason_budget_exhausted
+  | Stale_view -> Pr_telemetry.Probe.reason_stale_view
+  | Unclassified -> Pr_telemetry.Probe.reason_unclassified
+
 let of_probes (p : Pr_telemetry.Probe.t) =
   let t = create () in
   t.injected <- p.injected;

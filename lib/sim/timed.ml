@@ -29,6 +29,8 @@ type packet = {
   header : Forward.hop_header;
   hops : int;
   cost : float;
+  episodes : int;         (** PR episodes started so far — probe depth *)
+  failure_hits : int;
   was_deliverable : bool; (** dst reachable at injection time *)
 }
 
@@ -53,7 +55,7 @@ type observer = {
   on_hop : net:Netstate.t -> hop -> unit;
 }
 
-let run ?observer config ~link_events ~injections =
+let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
   (match Engine.validate_workload g ~link_events ~injections with
   | Ok () -> ()
@@ -83,9 +85,66 @@ let run ?observer config ~link_events ~injections =
              header = Forward.fresh_header;
              hops = 0;
              cost = 0.0;
+             episodes = 0;
+             failure_hits = 0;
              was_deliverable = true (* fixed up at processing time *);
            }))
     injections;
+  (* Hops happen at their own times here, so load is recorded straight
+     into the run table and the hop-time window — no per-packet scratch
+     (the engine's frozen-snapshot shortcut does not apply). *)
+  let record_hop_load time ~node ~next ~cls =
+    (match linkload with
+    | None -> ()
+    | Some ll -> Pr_obs.Linkload.record_next ll ~node ~next ~cls);
+    match series with
+    | None -> ()
+    | Some se ->
+        Pr_obs.Linkload.record_next (Pr_obs.Series.load_at se ~time) ~node
+          ~next ~cls
+  in
+  let series_verdict time v =
+    match series with
+    | None -> ()
+    | Some se -> Pr_obs.Series.record_verdict se ~time v
+  in
+  (* Probe feeding mirrors [metrics] call for call, so
+     [Metrics.of_probes] reproduces the outcome's counters — the same
+     pin the untimed engine carries.  Per-step latencies are not
+     clocked: arrival processing interleaves packets, so wall time per
+     decision is not meaningful here. *)
+  let probe_finish (p : packet) ~verdict =
+    (match probe with
+    | None -> ()
+    | Some pr ->
+        (match verdict with
+        | `Delivered stretch ->
+            Pr_telemetry.Probe.record_delivery pr ~stretch ~hops:p.hops
+              ~depth:p.episodes
+        | `Unreachable -> Pr_telemetry.Probe.record_unreachable pr
+        | `Looped ->
+            Pr_telemetry.Probe.record_loop pr ~hops:p.hops ~depth:p.episodes
+        | `Dropped reason ->
+            Pr_telemetry.Probe.record_drop pr
+              ~reason:(Metrics.probe_reason reason)
+              ~hops:p.hops ~depth:p.episodes);
+        for _ = 1 to p.episodes do
+          Pr_telemetry.Probe.record_episode pr
+        done;
+        Pr_telemetry.Probe.add_failure_hits pr p.failure_hits)
+  in
+  let probe_degradations degradations =
+    match probe with
+    | None -> ()
+    | Some pr ->
+        List.iter
+          (function
+            | Forward.Retry_complementary -> Pr_telemetry.Probe.record_retry pr
+            | Forward.Lfa_rescue -> Pr_telemetry.Probe.record_lfa pr
+            | Forward.Dd_saturated ->
+                Pr_telemetry.Probe.record_dd_saturation pr)
+          degradations
+  in
   let observe_hop time (p : packet) ~sent ~ttl_exceeded =
     match observer with
     | None -> ()
@@ -103,12 +162,27 @@ let run ?observer config ~link_events ~injections =
             ttl_exceeded;
           }
   in
-  let account_lost ?reason (p : packet) ~looped =
+  let account_lost ?reason (p : packet) ~looped ~time =
     (* A packet that could never have been delivered is charged to
-       [unreachable]; a deliverable one that died is a protocol loss. *)
-    if not p.was_deliverable then Metrics.record_unreachable metrics
-    else if looped then Metrics.record_loop metrics
-    else Metrics.record_drop ?reason metrics
+       [unreachable]; a deliverable one that died is a protocol loss.
+       The probe and series mirror the same ordering. *)
+    if not p.was_deliverable then begin
+      Metrics.record_unreachable metrics;
+      probe_finish p ~verdict:`Unreachable;
+      series_verdict time `Unreachable
+    end
+    else if looped then begin
+      Metrics.record_loop metrics;
+      probe_finish p ~verdict:`Looped;
+      series_verdict time `Looped
+    end
+    else begin
+      Metrics.record_drop ?reason metrics;
+      probe_finish p
+        ~verdict:
+          (`Dropped (Option.value reason ~default:Metrics.Unclassified));
+      series_verdict time `Dropped
+    end
   in
   let handle_arrival time (p : packet) =
     let p =
@@ -118,16 +192,20 @@ let run ?observer config ~link_events ~injections =
     in
     if p.at = p.dst then begin
       if p.hops > !max_hops then max_hops := p.hops;
-      Metrics.record_delivery metrics
-        ~stretch:(p.cost /. Pr_core.Routing.distance routing ~node:p.src ~dst:p.dst);
+      let stretch =
+        p.cost /. Pr_core.Routing.distance routing ~node:p.src ~dst:p.dst
+      in
+      Metrics.record_delivery metrics ~stretch;
+      probe_finish p ~verdict:(`Delivered stretch);
+      series_verdict time `Delivered;
       observe_hop time p ~sent:None ~ttl_exceeded:false
     end
     else if p.hops >= config.ttl then begin
-      account_lost p ~looped:true;
+      account_lost p ~looped:true ~time;
       observe_hop time p ~sent:None ~ttl_exceeded:true
     end
     else begin
-      let send next header =
+      let send next header ~started ~hits =
         observe_hop time p ~sent:(Some (next, header)) ~ttl_exceeded:false;
         Event.schedule queue ~time:(time +. config.latency)
           (Arrive
@@ -138,6 +216,8 @@ let run ?observer config ~link_events ~injections =
                header;
                hops = p.hops + 1;
                cost = p.cost +. Graph.weight g p.at next;
+               episodes = (p.episodes + if started then 1 else 0);
+               failure_hits = p.failure_hits + hits;
              })
       in
       match det with
@@ -147,10 +227,20 @@ let run ?observer config ~link_events ~injections =
               ~failures:(Netstate.failures net) ~dst:p.dst ~node:p.at
               ~arrived_from:p.arrived_from ~header:p.header ()
           with
-          | Forward.Stuck _ ->
-              account_lost p ~looped:false;
+          | Forward.Stuck { failure_hits = hits; _ } ->
+              account_lost
+                { p with failure_hits = p.failure_hits + hits }
+                ~looped:false ~time;
               observe_hop time p ~sent:None ~ttl_exceeded:false
-          | Forward.Transmit { next; header; _ } -> send next header)
+          | Forward.Transmit
+              { next; header; episode_started; failure_hits = hits } ->
+              (* Strict [step] never takes a ladder rung: the header on
+                 the wire classes the hop. *)
+              record_hop_load time ~node:p.at ~next
+                ~cls:
+                  (if header.Forward.pr_bit then Pr_obs.Linkload.cls_recycled
+                   else Pr_obs.Linkload.cls_shortest);
+              send next header ~started:episode_started ~hits)
       | Some d -> (
           (* The router decides on its own beliefs at arrival time; a
              packet sent into a link wrongly believed up dies on the
@@ -164,16 +254,48 @@ let run ?observer config ~link_events ~injections =
               ~dst:p.dst ~node:p.at ~arrived_from:p.arrived_from
               ~header:p.header ()
           with
-          | Forward.Degraded_drop { reason; degradations; _ } ->
+          | Forward.Degraded_drop { reason; degradations; failure_hits = hits }
+            ->
               Metrics.record_degradations metrics degradations;
-              account_lost p ~looped:false
+              probe_degradations degradations;
+              account_lost
+                { p with failure_hits = p.failure_hits + hits }
+                ~looped:false ~time
                 ~reason:(Metrics.reason_of_forward reason);
               observe_hop time p ~sent:None ~ttl_exceeded:false
-          | Forward.Forwarded { next; header; degradations; _ } ->
+          | Forward.Forwarded
+              { next; header; episode_started; degradations; failure_hits = hits }
+            ->
               Metrics.record_degradations metrics degradations;
-              if Netstate.is_up net p.at next then send next header
+              probe_degradations degradations;
+              (* Counted on the wire, before any stale-view death; a
+                 rescue rung outranks the PR bit it left behind. *)
+              record_hop_load time ~node:p.at ~next
+                ~cls:
+                  (if
+                     List.exists
+                       (function
+                         | Forward.Retry_complementary | Forward.Lfa_rescue ->
+                             true
+                         | Forward.Dd_saturated -> false)
+                       degradations
+                   then Pr_obs.Linkload.cls_rescue
+                   else if header.Forward.pr_bit then
+                     Pr_obs.Linkload.cls_recycled
+                   else Pr_obs.Linkload.cls_shortest);
+              if Netstate.is_up net p.at next then
+                send next header ~started:episode_started ~hits
               else begin
-                account_lost p ~looped:false ~reason:Metrics.Stale_view;
+                (* The fatal hop counts — hops, episode and hits follow
+                   the engine's ladder-walk convention. *)
+                account_lost
+                  {
+                    p with
+                    hops = p.hops + 1;
+                    episodes = (p.episodes + if episode_started then 1 else 0);
+                    failure_hits = p.failure_hits + hits;
+                  }
+                  ~looped:false ~time ~reason:Metrics.Stale_view;
                 observe_hop time p ~sent:None ~ttl_exceeded:false
               end)
     end
@@ -189,6 +311,12 @@ let run ?observer config ~link_events ~injections =
             (match det with
             | Some d -> Detector.observe d ~time ~u:e.u ~v:e.v ~up:e.up
             | None -> ());
+            (match series with
+            | None -> ()
+            | Some se ->
+                if changed then Pr_obs.Series.record_link_transition se ~time;
+                if Option.is_some det then
+                  Pr_obs.Series.record_belief_churn se ~time 2);
             (match observer with
             | None -> ()
             | Some o -> o.on_link ~time ~u:e.u ~v:e.v ~up:e.up ~changed)

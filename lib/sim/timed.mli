@@ -69,6 +69,9 @@ type observer = {
 
 val run :
   ?observer:observer ->
+  ?probe:Pr_telemetry.Probe.t ->
+  ?linkload:Pr_obs.Linkload.t ->
+  ?series:Pr_obs.Series.t ->
   config ->
   link_events:Workload.link_event list ->
   injections:Workload.injection list ->
@@ -76,6 +79,20 @@ val run :
 (** Packets injected while their destination is unreachable count as
     [unreachable] only if they also fail to arrive; a repair mid-flight
     can still save them.
+
+    [probe] mirrors the [metrics] accounting call for call — verdicts,
+    stretch, hops, re-cycle depth, ladder degradations and failure hits —
+    so {!Metrics.of_probes} reproduces the outcome's counters exactly
+    (pinned by the observability suite).  Unlike {!Engine.run}, per-step
+    latencies are not clocked: arrival processing interleaves packets,
+    so per-decision wall time is not meaningful here.
+
+    [linkload] counts every transmission (classed exactly as the
+    engines class theirs) against its directed link; [series]
+    additionally buckets hops, verdicts, link transitions and
+    detector-belief churn into the window of the simulated time they
+    happen at — per-hop times here, not injection times, so a long
+    detour smears across the windows it actually occupies.
 
     Raises [Invalid_argument] (via {!Engine.validate_workload}) on
     malformed workloads: unsorted streams, bad timestamps, events on

@@ -1,0 +1,35 @@
+(** A minimal JSON reader for the repo's own artifacts.
+
+    The benchmark and telemetry emitters write JSON by hand
+    ({!Pr_telemetry.Probe.to_json}, bench/main.ml); this is the matching
+    reader, used by [prcli bench --history] to parse committed
+    [BENCH_*.json] files and by the test suite to schema-check them.  It
+    is a strict recursive-descent parser over the JSON subset those
+    emitters produce — no streaming, no extensions — and is in no hot
+    path. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members in source order *)
+
+val parse : string -> (t, string) result
+(** Whole-input parse; the error is a one-line human message with a
+    character offset. *)
+
+val parse_file : string -> (t, string) result
+(** [parse] over a file's contents; I/O errors become [Error]. *)
+
+(** {2 Accessors} — total, returning [None] on shape mismatch *)
+
+val member : string -> t -> t option
+(** First member with that key of an [Obj]. *)
+
+val num : t -> float option
+
+val str : t -> string option
+
+val list : t -> t list option

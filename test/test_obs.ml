@@ -1,0 +1,385 @@
+(* The network observatory: per-link load accounting and timed series.
+
+   - Cross-backend parity: the reference walks, the compiled kernel and
+     the Domain-parallel driver produce structurally equal link-load
+     tables (and bit-identical counters) on the all-pairs single-failure
+     sweep — on Abilene and on Géant, at any domain count.
+   - Table algebra: merge is slot-wise integer addition, reset zeroes,
+     and both respect [equal].
+   - Series windowing: events land in [time / width] windows, negative
+     times clamp to window 0, and the report is dense.
+   - Optional-argument plumbing (the audit pin): a probe, a link-load
+     table and a series handed to [Engine.run] / [Timed.run] are
+     actually fed — [Metrics.of_probes] reproduces the outcome metrics,
+     the series' verdict totals match, and reference/compiled engine
+     runs fill equal tables.
+   - Committed benchmark artifacts: BENCH_*.json files parse and carry
+     the members the history tracker reads, with finite positive
+     numbers. *)
+
+module Graph = Pr_graph.Graph
+module Json = Pr_util.Json
+module Rng = Pr_util.Rng
+module Linkload = Pr_obs.Linkload
+module Series = Pr_obs.Series
+module Report = Pr_report.Report
+module Engine = Pr_sim.Engine
+module Metrics = Pr_sim.Metrics
+module Workload = Pr_sim.Workload
+module Probe = Pr_telemetry.Probe
+
+let abilene () =
+  let topo = Pr_topo.Abilene.topology () in
+  (topo, Pr_embed.Geometric.of_topology topo)
+
+let geant () =
+  let topo = Pr_topo.Geant.topology () in
+  (topo, Pr_embed.Geometric.of_topology topo)
+
+(* ---- cross-backend link-load parity ---- *)
+
+let check_sweep name (s : Report.sweep) =
+  Alcotest.(check bool)
+    (name ^ ": reference = compiled = parallel link loads")
+    true s.Report.loads_agree;
+  Alcotest.(check bool)
+    (name ^ ": parallel counters bit-identical")
+    true s.Report.counters_agree;
+  Alcotest.(check bool)
+    (name ^ ": sweep recorded transmissions")
+    true
+    (Linkload.total s.Report.reference > 0);
+  (* Every delivered packet walks at least one hop, so the table must
+     carry at least one count per delivered packet. *)
+  Alcotest.(check bool)
+    (name ^ ": hop counts dominate packet count")
+    true
+    (Linkload.total s.Report.reference
+    >= s.Report.counters.Pr_fastpath.Kernel.delivered)
+
+let test_parity_abilene () =
+  let topo, rotation = abilene () in
+  List.iter
+    (fun domains ->
+      let s = Report.sweep ~domains topo rotation in
+      check_sweep (Printf.sprintf "abilene x%d" domains) s)
+    [ 1; 2; 4 ]
+
+let test_parity_geant () =
+  let topo, rotation = geant () in
+  check_sweep "geant x3" (Report.sweep ~domains:3 topo rotation)
+
+(* ---- table algebra ---- *)
+
+let test_merge_reset () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let a = Linkload.create g in
+  let b = Linkload.create g in
+  let rng = Rng.create ~seed:7 in
+  let feed t rounds =
+    for _ = 1 to rounds do
+      let node = Rng.int rng (Graph.n g) in
+      let deg = Array.length (Graph.neighbours g node) in
+      let port = Rng.int rng (max 1 deg) in
+      if deg > 0 then
+        Linkload.record t ~node ~port ~cls:(Rng.int rng 3)
+    done
+  in
+  feed a 500;
+  feed b 300;
+  let total_a = Linkload.total a and total_b = Linkload.total b in
+  Linkload.merge ~into:a b;
+  Alcotest.(check int) "merge adds slot-wise" (total_a + total_b)
+    (Linkload.total a);
+  Alcotest.(check bool) "merged differs from the addend" false
+    (Linkload.equal a b);
+  Linkload.reset a;
+  Alcotest.(check int) "reset zeroes" 0 (Linkload.total a);
+  Alcotest.(check bool) "reset table equals a fresh one" true
+    (Linkload.equal a (Linkload.create g));
+  let tiny = Linkload.create (Graph.create ~n:2 [ (0, 1, 1.0) ]) in
+  Alcotest.check_raises "merge rejects dimension mismatch"
+    (Invalid_argument "Linkload.merge: dimension mismatch") (fun () ->
+      Linkload.merge ~into:a tiny)
+
+let test_record_next_classes () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let t = Linkload.create g in
+  let x = 0 in
+  let y = (Graph.neighbours g x).(0) in
+  Linkload.record_next t ~node:x ~next:y ~cls:Linkload.cls_shortest;
+  Linkload.record_next t ~node:x ~next:y ~cls:Linkload.cls_recycled;
+  Linkload.record_next t ~node:x ~next:y ~cls:Linkload.cls_rescue;
+  (* Non-adjacent pairs are ignored, not counted elsewhere. *)
+  let z =
+    let far = ref (-1) in
+    for v = Graph.n g - 1 downto 0 do
+      if v <> x && Linkload.port_of t ~node:x ~next:v < 0 then far := v
+    done;
+    !far
+  in
+  Alcotest.(check bool) "abilene has a non-adjacent pair" true (z >= 0);
+  Linkload.record_next t ~node:x ~next:z ~cls:Linkload.cls_shortest;
+  Alcotest.(check int) "one count per class" 3 (Linkload.total t);
+  let port = Linkload.port_of t ~node:x ~next:y in
+  Alcotest.(check int) "load sums the classes" 3
+    (Linkload.load t ~node:x ~port);
+  List.iter
+    (fun cls ->
+      Alcotest.(check int)
+        (Linkload.class_names.(cls) ^ " slot")
+        1
+        (Linkload.get t ~node:x ~port ~cls))
+    [ Linkload.cls_shortest; Linkload.cls_recycled; Linkload.cls_rescue ]
+
+(* ---- series windowing ---- *)
+
+let test_series_windows () =
+  let g = (Pr_topo.Abilene.topology ()).Pr_topo.Topology.graph in
+  let s = Series.create ~width:2.0 g in
+  Series.record_verdict s ~time:0.3 `Delivered;
+  Series.record_verdict s ~time:1.9 `Dropped;
+  (* Negative times clamp into window 0 rather than crashing. *)
+  Series.record_verdict s ~time:(-4.0) `Looped;
+  Series.record_verdict s ~time:6.1 `Unreachable;
+  Series.record_link_transition s ~time:6.5;
+  Series.record_belief_churn s ~time:7.9 2;
+  let port0 = 0 in
+  Linkload.record (Series.load_at s ~time:6.0) ~node:0 ~port:port0
+    ~cls:Linkload.cls_shortest;
+  let windows = Series.windows s in
+  Alcotest.(check int) "dense from 0 to last touched window" 4
+    (List.length windows);
+  List.iteri
+    (fun i w -> Alcotest.(check int) "window indices are dense" i w.Series.index)
+    windows;
+  let w0 = List.nth windows 0 in
+  Alcotest.(check int) "window 0 delivered" 1 w0.Series.delivered;
+  Alcotest.(check int) "window 0 dropped" 1 w0.Series.dropped;
+  Alcotest.(check int) "negative time clamps to window 0" 1 w0.Series.looped;
+  let w3 = List.nth windows 3 in
+  Alcotest.(check int) "6.1 lands in window 3" 1 w3.Series.unreachable;
+  Alcotest.(check int) "transition in window 3" 1 w3.Series.link_transitions;
+  Alcotest.(check int) "churn in window 3" 2 w3.Series.belief_churn;
+  Alcotest.(check int) "load_at feeds the window's own table" 1
+    (Linkload.total w3.Series.load);
+  Alcotest.check_raises "zero width rejected"
+    (Invalid_argument "Series.create: width must be finite and positive")
+    (fun () -> ignore (Series.create ~width:0.0 g))
+
+(* ---- the engines actually feed what they are handed (S6 pin) ---- *)
+
+let chaos_workload (topo : Pr_topo.Topology.t) =
+  let g = topo.Pr_topo.Topology.graph in
+  let rng = Rng.create ~seed:2026 in
+  let link_events =
+    Workload.failure_process (Rng.copy rng) g ~mtbf:60.0 ~mttr:8.0
+      ~horizon:40.0
+  in
+  let injections =
+    Workload.poisson_flows (Rng.copy rng) g ~rate:25.0 ~horizon:40.0
+  in
+  (link_events, injections)
+
+let render_metrics m = Format.asprintf "%a" Metrics.pp m
+
+let test_engine_feeds_observers () =
+  let topo, rotation = abilene () in
+  let link_events, injections = chaos_workload topo in
+  let scheme =
+    Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator }
+  in
+  let config = { Engine.topology = topo; rotation; scheme } in
+  let run backend =
+    let probe = Probe.create () in
+    let linkload = Linkload.create topo.Pr_topo.Topology.graph in
+    let series = Series.create ~width:5.0 topo.Pr_topo.Topology.graph in
+    let outcome =
+      Engine.run_exn ~backend ~probe ~linkload ~series config ~link_events
+        ~injections
+    in
+    (outcome, probe, linkload, series)
+  in
+  let outcome, probe, reference_ll, series = run `Reference in
+  let outcome_c, _, compiled_ll, _ = run `Compiled in
+  (* A dropped probe or linkload argument would leave these empty /
+     unequal — the regression this test pins. *)
+  Alcotest.(check string) "of_probes reproduces the engine metrics"
+    (render_metrics outcome.Engine.metrics)
+    (render_metrics (Metrics.of_probes probe));
+  Alcotest.(check string) "backends agree on the metrics"
+    (render_metrics outcome.Engine.metrics)
+    (render_metrics outcome_c.Engine.metrics);
+  Alcotest.(check bool) "engine linkload parity across backends" true
+    (Linkload.equal reference_ll compiled_ll);
+  Alcotest.(check bool) "engine fed the linkload" true
+    (Linkload.total reference_ll > 0);
+  let m = outcome.Engine.metrics in
+  let sum f = List.fold_left (fun a w -> a + f w) 0 (Series.windows series) in
+  Alcotest.(check int) "series injected total" m.Metrics.injected
+    (sum (fun w -> w.Series.injected));
+  Alcotest.(check int) "series delivered total" m.Metrics.delivered
+    (sum (fun w -> w.Series.delivered));
+  Alcotest.(check int) "series dropped total" m.Metrics.dropped
+    (sum (fun w -> w.Series.dropped));
+  Alcotest.(check int) "series transitions total" outcome.Engine.link_transitions
+    (sum (fun w -> w.Series.link_transitions))
+
+let test_timed_feeds_observers () =
+  let topo, rotation = abilene () in
+  let link_events, injections = chaos_workload topo in
+  let config = Pr_sim.Timed.default_config topo rotation in
+  let probe = Probe.create () in
+  let linkload = Linkload.create topo.Pr_topo.Topology.graph in
+  let series = Series.create ~width:5.0 topo.Pr_topo.Topology.graph in
+  let outcome =
+    Pr_sim.Timed.run ~probe ~linkload ~series config ~link_events ~injections
+  in
+  Alcotest.(check string) "of_probes reproduces the timed metrics"
+    (render_metrics outcome.Pr_sim.Timed.metrics)
+    (render_metrics (Metrics.of_probes probe));
+  Alcotest.(check bool) "timed fed the linkload" true
+    (Linkload.total linkload > 0);
+  (* The timed engine buckets hops at their own simulated times, so the
+     series' per-class totals and the flat table must agree exactly. *)
+  let windows = Series.windows series in
+  let series_hops =
+    List.fold_left (fun a w -> a + Linkload.total w.Series.load) 0 windows
+  in
+  Alcotest.(check int) "series hop totals match the flat table"
+    (Linkload.total linkload) series_hops
+
+(* ---- committed benchmark artifacts (schema pin) ---- *)
+
+let finite_pos v =
+  match Json.num v with
+  | Some x -> Float.is_finite x && x > 0.0
+  | None -> false
+
+let require name = function
+  | Some v -> v
+  | None -> Alcotest.failf "missing member %S" name
+
+let get name j = require name (Json.member name j)
+
+let check_suite_member file j expected =
+  match Json.str (get "suite" j) with
+  | Some s -> Alcotest.(check string) (file ^ ": suite") expected s
+  | None -> Alcotest.failf "%s: suite is not a string" file
+
+(* The artifacts are dune deps, materialised next to the build root —
+   one level above this executable — under `dune runtest`; a bare
+   `dune exec` from the project root finds the source copies instead. *)
+let artifact_dir () =
+  let beside = Filename.concat (Filename.dirname Sys.executable_name) ".." in
+  if Sys.file_exists (Filename.concat beside "BENCH_fastpath.json") then beside
+  else "."
+
+let artifact name = Filename.concat (artifact_dir ()) name
+
+let load file =
+  match Json.parse_file (artifact file) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: %s" file e
+
+let test_bench_fastpath_schema () =
+  let file = "BENCH_fastpath.json" in
+  let j = load file in
+  check_suite_member file j "fastpath";
+  Alcotest.(check bool) "packets_per_run positive" true
+    (finite_pos (get "packets_per_run" j));
+  Alcotest.(check bool) "speedup positive" true
+    (finite_pos (get "speedup_compiled_vs_reference" j));
+  let results =
+    match Json.list (get "results" j) with
+    | Some (_ :: _ as rows) -> rows
+    | Some [] -> Alcotest.failf "%s: empty results" file
+    | None -> Alcotest.failf "%s: results is not a list" file
+  in
+  let names =
+    List.map
+      (fun row ->
+        Alcotest.(check bool) "ns_per_run positive" true
+          (finite_pos (get "ns_per_run" row));
+        Alcotest.(check bool) "ns_per_packet positive" true
+          (finite_pos (get "ns_per_packet" row));
+        match Json.str (get "name" row) with
+        | Some n -> n
+        | None -> Alcotest.failf "%s: result name is not a string" file)
+      results
+  in
+  (* The history tracker needs both sweep rows to compute the norm. *)
+  List.iter
+    (fun needed ->
+      if not (List.mem needed names) then
+        Alcotest.failf "%s: missing row %S" file needed)
+    [ "fastpath/reference-sweep-abilene"; "fastpath/compiled-sweep-abilene" ]
+
+let check_overhead_schema file suite =
+  let j = load file in
+  check_suite_member file j suite;
+  Alcotest.(check bool) "overhead_ratio positive" true
+    (finite_pos (get "overhead_ratio" j));
+  List.iter
+    (fun leg ->
+      let sub = get (suite ^ "_" ^ leg) j in
+      Alcotest.(check bool)
+        (leg ^ " elapsed positive")
+        true
+        (finite_pos (get "elapsed_s" sub));
+      Alcotest.(check bool)
+        (leg ^ " ns/packet positive")
+        true
+        (finite_pos (get "ns_per_packet" sub)))
+    [ "off"; "on" ];
+  (* The payload object the report readers consume. *)
+  match Json.member suite j with
+  | Some (Json.Obj _) -> ()
+  | Some _ -> Alcotest.failf "%s: %S member is not an object" file suite
+  | None -> Alcotest.failf "%s: missing %S payload" file suite
+
+let test_bench_probe_schema () = check_overhead_schema "BENCH_probe.json" "probe"
+
+let test_bench_linkload_schema () =
+  check_overhead_schema "BENCH_linkload.json" "linkload"
+
+(* ---- history entries parse the committed artifacts ---- *)
+
+let test_history_entries () =
+  let entries, errs = Report.scan_bench ~dir:(artifact_dir ()) in
+  List.iter (fun e -> Alcotest.failf "scan_bench: %s" e) errs;
+  Alcotest.(check bool) "all three artifacts found" true
+    (List.length entries >= 3);
+  List.iter
+    (fun (e : Report.bench_entry) ->
+      Alcotest.(check bool)
+        (e.Report.file ^ ": norm finite and positive")
+        true
+        (Float.is_finite e.Report.norm && e.Report.norm > 0.0))
+    entries;
+  Alcotest.(check bool) "a fastpath baseline exists" true
+    (List.exists (fun (e : Report.bench_entry) -> e.Report.suite = "fastpath") entries)
+
+let suite =
+  [
+    Alcotest.test_case "linkload parity abilene (domains 1/2/4)" `Slow
+      test_parity_abilene;
+    Alcotest.test_case "linkload parity geant (domains 3)" `Slow
+      test_parity_geant;
+    Alcotest.test_case "merge and reset" `Quick test_merge_reset;
+    Alcotest.test_case "record_next and classes" `Quick
+      test_record_next_classes;
+    Alcotest.test_case "series windowing" `Quick test_series_windows;
+    Alcotest.test_case "engine feeds probe/linkload/series" `Quick
+      test_engine_feeds_observers;
+    Alcotest.test_case "timed feeds probe/linkload/series" `Quick
+      test_timed_feeds_observers;
+    Alcotest.test_case "BENCH_fastpath.json schema" `Quick
+      test_bench_fastpath_schema;
+    Alcotest.test_case "BENCH_probe.json schema" `Quick
+      test_bench_probe_schema;
+    Alcotest.test_case "BENCH_linkload.json schema" `Quick
+      test_bench_linkload_schema;
+    Alcotest.test_case "history scan of committed artifacts" `Quick
+      test_history_entries;
+  ]
