@@ -663,7 +663,7 @@ let shrunk_trace_comment (s : Pr_chaos.Scenario.t) =
           Some (Buffer.contents buf))
 
 let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
-    schemes_spec no_shrink out replay backend_spec timeline =
+    control_delay schemes_spec no_shrink out replay backend_spec timeline =
   match replay with
   | Some path -> (
       match Pr_chaos.Scenario.load path with
@@ -697,6 +697,16 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
               Pr_sim.Detector.down_delay = d; up_delay = d; seed })
           detect_delay
       in
+      let control =
+        Option.map
+          (fun d ->
+            if d < 0.0 then begin
+              Printf.eprintf "control delay must be non-negative\n";
+              exit 1
+            end;
+            { Pr_sim.Engine.default_control with Pr_sim.Engine.delay = d })
+          control_delay
+      in
       let campaign =
         {
           (Pr_chaos.Campaign.default_config topo rotation ~seed) with
@@ -705,6 +715,7 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
           mix;
           hold_down;
           detection;
+          control;
           schemes;
           shrink = not no_shrink;
           backend = parse_backend backend_spec;
@@ -756,7 +767,7 @@ let chaos_cmd =
   let mix =
     Arg.(value & opt string "srlg,regional,crash,cascade,flap,blip"
          & info [ "mix" ] ~docv:"KINDS"
-             ~doc:"Comma-separated fault generators: $(b,srlg), $(b,regional), $(b,crash), $(b,cascade), $(b,flap), $(b,blip).")
+             ~doc:"Comma-separated fault generators: $(b,srlg), $(b,regional), $(b,crash), $(b,cascade), $(b,flap), $(b,blip), $(b,swap).")
   in
   let hold_down =
     Arg.(value & opt float 0.0 & info [ "hold-down" ] ~docv:"TIME"
@@ -771,6 +782,14 @@ let chaos_cmd =
            ~doc:"Run routers on per-endpoint failure detection with this
                  delay (seconds) instead of the global truth; monitors
                  switch to the detection-quiescence invariants.")
+  in
+  let control_delay =
+    Arg.(value & opt (some float) None & info [ "control" ] ~docv:"DELAY"
+           ~doc:"Run a live control plane: this many time units after each
+                 link transition the tables are incrementally recompiled
+                 and hot-swapped; the monitors arm the
+                 zero-loss-across-updates swap invariant (PR schemes
+                 only).")
   in
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ]
@@ -794,8 +813,259 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:"Chaos campaign: correlated fault injection with online invariant              monitors; violations are shrunk to replayable scenarios.")
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
-          $ mix $ hold_down $ detect_delay $ schemes $ no_shrink $ out $ replay
-          $ backend_arg $ timeline)
+          $ mix $ hold_down $ detect_delay $ control_delay $ schemes
+          $ no_shrink $ out $ replay $ backend_arg $ timeline)
+
+(* ---- swap: scripted control-plane sessions over the compiled image ---- *)
+
+module Fib = Pr_fastpath.Fib
+module Delta = Pr_fastpath.Fib.Delta
+
+(* One non-blank line of the edit script = one epoch batch; `,'
+   separates edits within a batch and `#' starts a comment.  Edits name
+   nodes by label: `down A B', `up A B', `weight A B 2.5'.  Syntax
+   errors die with a one-line message and exit 1, the malformed-input
+   convention; semantic errors (unknown links, duplicate or redundant
+   edits, bad weights) surface through {!Delta}'s typed loci the same
+   way, at apply time. *)
+let parse_edit_script topo path =
+  let die lineno msg =
+    Printf.eprintf "%s:%d: %s\n" path lineno msg;
+    exit 1
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  let batches = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let raw = input_line ic in
+       incr lineno;
+       let body =
+         match String.index_opt raw '#' with
+         | Some i -> String.sub raw 0 i
+         | None -> raw
+       in
+       if String.trim body <> "" then begin
+         let node label =
+           match Topology.node_id topo label with
+           | id -> id
+           | exception Not_found ->
+               die !lineno (Printf.sprintf "unknown node label %S" label)
+         in
+         let parse_one spec =
+           match
+             List.filter
+               (fun s -> s <> "")
+               (String.split_on_char ' ' (String.trim spec))
+           with
+           | [ "down"; a; b ] ->
+               { Delta.u = node a; v = node b; change = Delta.Down }
+           | [ "up"; a; b ] ->
+               { Delta.u = node a; v = node b; change = Delta.Up }
+           | [ "weight"; a; b; w ] -> (
+               match float_of_string_opt w with
+               | Some w ->
+                   { Delta.u = node a; v = node b; change = Delta.Weight w }
+               | None -> die !lineno (Printf.sprintf "bad weight %S" w))
+           | _ ->
+               die !lineno
+                 (Printf.sprintf
+                    "cannot parse edit %S (expected `down A B', `up A B' or \
+                     `weight A B W')"
+                    (String.trim spec))
+         in
+         batches :=
+           (!lineno, List.map parse_one (String.split_on_char ',' body))
+           :: !batches
+       end
+     done
+   with End_of_file -> close_in ic);
+  if !batches = [] then begin
+    Printf.eprintf "%s: no edits (every line blank or a comment)\n" path;
+    exit 1
+  end;
+  List.rev !batches
+
+let swap_session name embedding seed edits_file threshold json_flag =
+  if threshold < 0.0 then begin
+    Printf.eprintf "threshold must be non-negative\n";
+    exit 1
+  end;
+  let topo = load_topology name in
+  let fig2 = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation fig2 topo in
+  let g = topo.Topology.graph in
+  let base =
+    Fib.of_tables_exn (Pr_core.Routing.build g)
+      (Pr_core.Cycle_table.build rotation)
+  in
+  let store = Pr_fastpath.Swap.create base in
+  let kernel = Pr_fastpath.Kernel.create base in
+  let n = Pr_graph.Graph.n g in
+  (* Failure-free all-pairs sweep on the current image: administrative
+     removals are the only failures, so per-epoch verdicts and loads
+     show what each swap did to the traffic. *)
+  let sweep fib =
+    let ll = Pr_obs.Linkload.create g in
+    Pr_fastpath.Kernel.set_linkload kernel (Some ll);
+    let failures = Pr_core.Failure.of_list g (Fib.admin_down fib) in
+    Pr_fastpath.Kernel.set_failures kernel failures;
+    let c = Pr_fastpath.Kernel.fresh_counters () in
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        if src <> dst then
+          if Pr_core.Failure.pair_connected failures src dst then
+            Pr_fastpath.Kernel.forward_into kernel c ~src ~dst
+          else Pr_fastpath.Kernel.record_unreachable c
+      done
+    done;
+    Pr_fastpath.Kernel.set_linkload kernel None;
+    (c, ll)
+  in
+  let loads ll =
+    let tbl = Hashtbl.create 64 in
+    Pr_obs.Linkload.iter ll (fun ~node ~next ~counts ->
+        let l = Array.fold_left ( + ) 0 counts in
+        if l <> 0 then Hashtbl.replace tbl (node, next) l);
+    tbl
+  in
+  let label = Topology.label topo in
+  let describe_edit (e : Delta.edit) =
+    match e.Delta.change with
+    | Delta.Down -> Printf.sprintf "down %s-%s" (label e.Delta.u) (label e.Delta.v)
+    | Delta.Up -> Printf.sprintf "up %s-%s" (label e.Delta.u) (label e.Delta.v)
+    | Delta.Weight w ->
+        Printf.sprintf "weight %s-%s %g" (label e.Delta.u) (label e.Delta.v) w
+  in
+  let batches = parse_edit_script topo edits_file in
+  let c0, ll0 = sweep base in
+  let prev_loads = ref (loads ll0) in
+  let mismatches = ref 0 in
+  let records = ref [] in
+  let counters_line (c : Pr_fastpath.Kernel.counters) ll =
+    Printf.sprintf
+      "delivered %d/%d  dropped %d  looped %d  unreachable %d  load total %d  max %d"
+      c.Pr_fastpath.Kernel.delivered c.Pr_fastpath.Kernel.injected
+      c.Pr_fastpath.Kernel.dropped c.Pr_fastpath.Kernel.looped
+      c.Pr_fastpath.Kernel.unreachable (Pr_obs.Linkload.total ll)
+      (Pr_obs.Linkload.max_load ll)
+  in
+  if not json_flag then begin
+    Printf.printf "swap session: %s, %d scripted epoch(s), threshold %g\n"
+      topo.Topology.name (List.length batches) threshold;
+    Printf.printf "epoch 0 (base): %s\n" (counters_line c0 ll0)
+  end;
+  List.iter
+    (fun (lineno, batch) ->
+      match Delta.apply ~threshold (Pr_fastpath.Swap.current store) batch with
+      | Error err ->
+          Printf.eprintf "%s:%d: %s\n" edits_file lineno
+            (Delta.describe_error err);
+          exit 1
+      | Ok (next, stats) ->
+          let epoch = Pr_fastpath.Swap.publish store next in
+          let pinned, image = Pr_fastpath.Swap.pin store in
+          Pr_fastpath.Kernel.rebind kernel image;
+          let c, ll = sweep image in
+          Pr_fastpath.Swap.unpin store ~epoch:pinned;
+          (* Referee every epoch against a full recompile of the same
+             administrative state — the differential pin, live. *)
+          let ok = Fib.equal image (Delta.recompile image) in
+          if not ok then incr mismatches;
+          let cur_loads = loads ll in
+          let delta_tbl = Hashtbl.create 64 in
+          Hashtbl.iter (fun k l -> Hashtbl.replace delta_tbl k l) cur_loads;
+          Hashtbl.iter
+            (fun k l ->
+              Hashtbl.replace delta_tbl k
+                (Option.value ~default:0 (Hashtbl.find_opt delta_tbl k) - l))
+            !prev_loads;
+          let movers =
+            Hashtbl.fold
+              (fun (u, v) d acc -> if d = 0 then acc else (u, v, d) :: acc)
+              delta_tbl []
+            |> List.sort (fun (u1, v1, d1) (u2, v2, d2) ->
+                   match compare (abs d2) (abs d1) with
+                   | 0 -> compare (u1, v1) (u2, v2)
+                   | c -> c)
+          in
+          prev_loads := cur_loads;
+          if json_flag then
+            records :=
+              Printf.sprintf
+                "{\"epoch\":%d,\"line\":%d,\"edits\":%d,\"dirty\":%d,\"full\":%b,\"differential\":%S,\"delivered\":%d,\"injected\":%d,\"dropped\":%d,\"looped\":%d,\"unreachable\":%d,\"load_total\":%d,\"load_max\":%d}"
+                epoch lineno stats.Delta.edits stats.Delta.dirty
+                stats.Delta.full
+                (if ok then "ok" else "mismatch")
+                c.Pr_fastpath.Kernel.delivered c.Pr_fastpath.Kernel.injected
+                c.Pr_fastpath.Kernel.dropped c.Pr_fastpath.Kernel.looped
+                c.Pr_fastpath.Kernel.unreachable (Pr_obs.Linkload.total ll)
+                (Pr_obs.Linkload.max_load ll)
+              :: !records
+          else begin
+            Printf.printf "epoch %d: %s  (%d dirty row(s)%s)  differential %s\n"
+              epoch
+              (String.concat ", " (List.map describe_edit batch))
+              stats.Delta.dirty
+              (if stats.Delta.full then ", full recompile fall-back" else "")
+              (if ok then "OK" else "MISMATCH");
+            Printf.printf "  %s\n" (counters_line c ll);
+            match movers with
+            | [] -> Printf.printf "  link load unchanged\n"
+            | _ ->
+                Printf.printf "  load movers:%s\n"
+                  (String.concat ""
+                     (List.map
+                        (fun (u, v, d) ->
+                          Printf.sprintf " %s->%s %+d" (label u) (label v) d)
+                        (List.filteri (fun i _ -> i < 3) movers)))
+          end)
+    batches;
+  if json_flag then Printf.printf "[%s]\n" (String.concat ",\n " (List.rev !records))
+  else begin
+    let s = Pr_fastpath.Swap.stats store in
+    Printf.printf "store: %d epoch(s) published, %d retired, %s\n"
+      s.Pr_fastpath.Swap.published s.Pr_fastpath.Swap.retired
+      (if Pr_fastpath.Swap.quiescent store then "quiescent"
+       else "pins still live")
+  end;
+  if !mismatches > 0 then begin
+    Printf.eprintf "%d epoch(s) diverged from the full-recompile referee\n"
+      !mismatches;
+    exit 2
+  end
+
+let swap_cmd =
+  let edits =
+    Arg.(required & opt (some string) None & info [ "edits" ] ~docv:"FILE"
+           ~doc:"Edit script: one line per epoch, comma-separated edits
+                 ($(b,down A B), $(b,up A B), $(b,weight A B W) over node
+                 labels), $(b,#) comments.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"FRACTION"
+           ~doc:"Dirty-destination fraction past which an epoch falls back
+                 to a full recompile.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one JSON array of per-epoch records instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "swap"
+       ~doc:"Replay a scripted control-plane session: apply each edit batch
+             as an incremental FIB recompile, hot-swap the compiled image
+             through the epoch store, referee every epoch byte-for-byte
+             against a full recompile, and report per-epoch verdicts and
+             link-load movers.  Exits 1 on malformed scripts, 2 on any
+             differential mismatch.")
+    Term.(const swap_session $ topo_arg $ embedding_arg $ seed_arg $ edits
+          $ threshold $ json)
 
 (* ---- detect: detection-delay sweep ---- *)
 
@@ -1028,7 +1298,7 @@ let refuse_overwrite ~force path =
   end
 
 let bench name embedding seed backend_spec domains json probe repeat probe_out
-    force linkload_flag linkload_out history history_dir =
+    force linkload_flag linkload_out swap_flag swap_out history history_dir =
   let backend = parse_backend backend_spec in
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
@@ -1041,6 +1311,7 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
   (* Refuse clobbering before any timing work is spent. *)
   if probe then refuse_overwrite ~force probe_out;
   if linkload_flag then refuse_overwrite ~force linkload_out;
+  if swap_flag then refuse_overwrite ~force swap_out;
   let topo = load_topology name in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
@@ -1231,6 +1502,74 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     Printf.printf
       "  linkload: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
       ns_per_packet ns_on ratio linkload_out
+  end;
+  if swap_flag then begin
+    (* Control-plane costs: per-edge single-edit incremental recompile
+       vs a full recompile of the same image, and the hot-swap pause
+       (publish + pin + kernel rebind + unpin).  Threshold 1.1 keeps
+       every single-link edit on the incremental path so the two legs
+       measure different code, not the fall-back measuring itself. *)
+    let edges =
+      Pr_graph.Graph.fold_edges
+        (fun _ (e : Pr_graph.Graph.edge) acc -> (e.u, e.v) :: acc)
+        g []
+    in
+    let n_edges = List.length edges in
+    let down u v =
+      [ { Pr_fastpath.Fib.Delta.u; v; change = Pr_fastpath.Fib.Delta.Down } ]
+    in
+    let incremental () =
+      List.iter
+        (fun (u, v) ->
+          ignore
+            (Pr_fastpath.Fib.Delta.apply_exn ~threshold:1.1 fib (down u v)))
+        edges
+    in
+    let images =
+      List.map
+        (fun (u, v) ->
+          fst (Pr_fastpath.Fib.Delta.apply_exn ~threshold:1.1 fib (down u v)))
+        edges
+    in
+    let full () =
+      List.iter
+        (fun image -> ignore (Pr_fastpath.Fib.Delta.recompile image))
+        images
+    in
+    let swap_pause () =
+      let store = Pr_fastpath.Swap.create fib in
+      let kernel = Pr_fastpath.Kernel.create fib in
+      List.iter
+        (fun image ->
+          ignore (Pr_fastpath.Swap.publish store image);
+          let epoch, pinned = Pr_fastpath.Swap.pin store in
+          Pr_fastpath.Kernel.rebind kernel pinned;
+          Pr_fastpath.Swap.unpin store ~epoch)
+        images
+    in
+    let per run = snd (best_of run) *. 1e9 /. float_of_int (max 1 n_edges) in
+    let incremental_ns = per incremental in
+    let full_ns = per full in
+    let pause_ns = per swap_pause in
+    let norm = if full_ns > 0.0 then incremental_ns /. full_ns else 1.0 in
+    let oc = open_out swap_out in
+    Printf.fprintf oc
+      "{\n\
+      \  \"suite\": \"swap\",\n\
+      \  \"topology\": %S,\n\
+      \  \"repeat\": %d,\n\
+      \  \"edges\": %d,\n\
+      \  \"incremental_ns\": %.1f,\n\
+      \  \"full_ns\": %.1f,\n\
+      \  \"swap_pause_ns\": %.1f,\n\
+      \  \"norm\": %.4f\n\
+       }\n"
+      topo.Topology.name repeat n_edges incremental_ns full_ns pause_ns norm;
+    close_out oc;
+    Printf.printf
+      "  swap: incremental %.0f ns, full %.0f ns per recompile (x%.3f), \
+       pause %.0f ns; wrote %s\n"
+      incremental_ns full_ns norm pause_ns swap_out
   end
 
 let bench_cmd =
@@ -1272,6 +1611,16 @@ let bench_cmd =
     Arg.(value & opt string "BENCH_linkload.json" & info [ "linkload-out" ]
            ~docv:"FILE" ~doc:"Where --linkload writes its JSON.")
   in
+  let swap =
+    Arg.(value & flag & info [ "swap" ]
+           ~doc:"Also time the control plane: per-edge incremental FIB
+                 recompile vs full recompile, and the epoch-store hot-swap
+                 pause, written as JSON.")
+  in
+  let swap_out =
+    Arg.(value & opt string "BENCH_swap.json" & info [ "swap-out" ]
+           ~docv:"FILE" ~doc:"Where --swap writes its JSON.")
+  in
   let history =
     Arg.(value & flag & info [ "history" ]
            ~doc:"Regression check: parse the committed BENCH_*.json
@@ -1289,7 +1638,7 @@ let bench_cmd =
              compiled data plane.")
     Term.(const bench $ topo_arg $ embedding_arg $ seed_arg $ backend_arg
           $ domains $ json $ probe $ repeat $ probe_out $ force $ linkload
-          $ linkload_out $ history $ history_dir)
+          $ linkload_out $ swap $ swap_out $ history $ history_dir)
 
 (* ---- report: the network observatory rollup ---- *)
 
@@ -1355,7 +1704,7 @@ let main_cmd =
     [
       topo_cmd; embed_cmd; table_cmd; trace_cmd; explain_cmd; fig2_cmd;
       figures_cmd; hunt_cmd; overhead_cmd; ablation_cmd; coverage_cmd;
-      chaos_cmd; detect_cmd; bench_cmd; report_cmd;
+      chaos_cmd; swap_cmd; detect_cmd; bench_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -11,6 +11,7 @@ type config = {
   mix : Gen.kind list;
   hold_down : float;
   detection : Pr_sim.Detector.config option;
+  control : Engine.control option;
   schemes : Engine.scheme list;
   shrink : bool;
   backend : Engine.backend;
@@ -27,6 +28,7 @@ let default_config topology rotation ~seed =
     mix = Gen.all;
     hold_down = 0.0;
     detection = None;
+    control = None;
     schemes =
       [
         Engine.Pr_scheme { termination = Pr_core.Forward.Distance_discriminator };
@@ -83,7 +85,9 @@ let run config =
     let cycles = Pr_core.Cycle_table.build config.rotation in
     let run_scheme scheme =
       let monitor =
-        Monitor.create ?detection:config.detection ~routing ~cycles
+        Monitor.create ?detection:config.detection
+          ~control:(config.control <> None)
+          ~routing ~cycles
           ~termination:(termination_of scheme) ()
       in
       let series =
@@ -92,17 +96,19 @@ let run config =
       match
         Engine.run
           ~observer:(Monitor.engine_observer monitor)
-          ?detection:config.detection ~backend:config.backend ?series
+          ?detection:config.detection ?control:config.control
+          ~backend:config.backend ?series
           { Engine.topology = config.topology; rotation = config.rotation; scheme }
           ~link_events ~injections
       with
       | Error e -> Error (Engine.describe_workload_error e)
       | Ok outcome ->
           let shrunk =
-            (* Scenario files (format v1) do not record a detection
-               config, so a shrunk artifact would not replay the
+            (* Scenario files (format v1) do not record a detection or a
+               control config, so a shrunk artifact would not replay the
                violation; shrinking stays truth-knowledge-only. *)
             if config.shrink && config.detection = None
+               && config.control = None
                && Monitor.total monitor > 0
             then
               Some
@@ -138,12 +144,18 @@ let report config t =
     config.topology.Pr_topo.Topology.name config.seed config.horizon
     (String.concat "," (List.map Gen.name config.mix))
     config.hold_down
-    (match config.detection with
+    ((match config.detection with
+     | None -> ""
+     | Some c ->
+         Printf.sprintf ", detection (down %g, up %g, jitter %g)"
+           c.Pr_sim.Detector.down_delay c.Pr_sim.Detector.up_delay
+           c.Pr_sim.Detector.jitter)
+    ^
+    match config.control with
     | None -> ""
     | Some c ->
-        Printf.sprintf ", detection (down %g, up %g, jitter %g)"
-          c.Pr_sim.Detector.down_delay c.Pr_sim.Detector.up_delay
-          c.Pr_sim.Detector.jitter);
+        Printf.sprintf ", control (delay %g, threshold %g)" c.Engine.delay
+          c.Engine.threshold);
   Printf.bprintf buf
     "  %d link events (%d before hold-down), %d packet injections\n\n"
     (List.length t.link_events)
@@ -160,6 +172,9 @@ let report config t =
       if Monitor.excused r.monitor > 0 then
         Printf.bprintf buf "    excused    %d (detection not quiesced)\n"
           (Monitor.excused r.monitor);
+      if r.outcome.Engine.epochs > 0 then
+        Printf.bprintf buf "    epochs     %d (control-plane swaps)\n"
+          r.outcome.Engine.epochs;
       List.iter
         (fun name ->
           let c = Monitor.count r.monitor name in

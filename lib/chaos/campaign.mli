@@ -22,6 +22,12 @@ type config = {
           the weakened detection-quiescence invariants and shrinking is
           disabled (scenario format v1 cannot record the detector, so a
           shrunk artifact would not replay). *)
+  control : Pr_sim.Engine.control option;
+      (** live control plane for PR schemes ({!Pr_sim.Engine.run}'s
+          [control]).  With a config, the monitors arm the
+          zero-loss-across-updates swap invariant and shrinking is
+          disabled (scenario format v1 cannot record the control plane
+          either). *)
   schemes : Pr_sim.Engine.scheme list;
   shrink : bool;             (** minimise violating scenarios *)
   backend : Pr_sim.Engine.backend;

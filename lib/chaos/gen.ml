@@ -2,12 +2,19 @@ module Graph = Pr_graph.Graph
 module Workload = Pr_sim.Workload
 module Rng = Pr_util.Rng
 
-type kind = Srlg | Regional | Node_crash | Cascade | Flap_storm | Blip
+type kind =
+  | Srlg
+  | Regional
+  | Node_crash
+  | Cascade
+  | Flap_storm
+  | Blip
+  | Swap_storm
 
-(* [Blip] is appended last so the shared-rng draw order of the earlier
-   generators — and with it every existing seeded campaign — is
+(* Later generators are appended last so the shared-rng draw order of the
+   earlier ones — and with it every existing seeded campaign — is
    unchanged. *)
-let all = [ Srlg; Regional; Node_crash; Cascade; Flap_storm; Blip ]
+let all = [ Srlg; Regional; Node_crash; Cascade; Flap_storm; Blip; Swap_storm ]
 
 let name = function
   | Srlg -> "srlg"
@@ -16,6 +23,7 @@ let name = function
   | Cascade -> "cascade"
   | Flap_storm -> "flap"
   | Blip -> "blip"
+  | Swap_storm -> "swap"
 
 let of_name s =
   match List.find_opt (fun k -> name k = s) all with
@@ -238,6 +246,32 @@ let blip rng (topo : Pr_topo.Topology.t) ~horizon ?(blips = 4) ?(width = 0.02)
   done;
   normalise !events
 
+let swap_storm rng (topo : Pr_topo.Topology.t) ~horizon ?(links = 3)
+    ?(cycles = 2) ?(dwell = 2.0) () =
+  if horizon <= 0.0 then invalid_arg "Gen.swap_storm: horizon must be positive";
+  if dwell <= 0.0 then invalid_arg "Gen.swap_storm: dwell must be positive";
+  let g = topo.Pr_topo.Topology.graph in
+  let links = max 1 (min links (Graph.m g)) in
+  let chosen = Rng.sample_without_replacement rng ~k:links ~n:(Graph.m g) in
+  let events = ref [] in
+  (* Every transition dwells well past a control plane's reconciliation
+     delay, so each one matures into a published epoch instead of the
+     vacuous (flapped-back) swaps that blips and flap storms produce —
+     the maximum-churn workload for the hot-swap path. *)
+  List.iter
+    (fun i ->
+      let e = Graph.edge g i in
+      let t = ref (Rng.float rng (0.2 *. horizon)) in
+      for _ = 1 to cycles do
+        let down_at = !t in
+        let up_at = down_at +. dwell +. Rng.float rng dwell in
+        if down_at <= horizon then events := down_event down_at e :: !events;
+        if up_at <= horizon then events := up_event up_at e :: !events;
+        t := up_at +. dwell +. Rng.float rng dwell
+      done)
+    chosen;
+  normalise !events
+
 let generate rng topo ~horizon ~mix =
   let events =
     List.concat_map
@@ -248,7 +282,8 @@ let generate rng topo ~horizon ~mix =
         | Node_crash -> node_crash rng topo ~horizon ()
         | Cascade -> cascade rng topo ~horizon ()
         | Flap_storm -> flap_storm rng topo ~horizon ()
-        | Blip -> blip rng topo ~horizon ())
+        | Blip -> blip rng topo ~horizon ()
+        | Swap_storm -> swap_storm rng topo ~horizon ())
       mix
   in
   normalise events

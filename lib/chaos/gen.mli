@@ -24,10 +24,14 @@ type kind =
   | Flap_storm  (** a handful of links oscillating rapidly (paper §7) *)
   | Blip        (** sub-detection-delay down/up blips a perfect-knowledge
                     router reacts to and a {!Pr_sim.Detector} should miss *)
+  | Swap_storm  (** long-dwell down/up cycles that each outlive a control
+                    plane's reconciliation delay — maximum epoch churn for
+                    the {!Pr_sim.Engine} hot-swap path *)
 
 val all : kind list
-(** In declaration order.  [Blip] comes last so seeded streams produced by
-    the earlier generators are unchanged from before it existed. *)
+(** In declaration order.  Later generators are appended last so seeded
+    streams produced by the earlier ones are unchanged from before they
+    existed. *)
 
 val name : kind -> string
 
@@ -118,6 +122,22 @@ val blip :
     lasting on the order of [width] (default 0.02) time units — well under
     any realistic detection delay, so an imperfect detector misses them
     while the seed engines (instant knowledge) react to every one. *)
+
+val swap_storm :
+  Pr_util.Rng.t ->
+  Pr_topo.Topology.t ->
+  horizon:float ->
+  ?links:int ->
+  ?cycles:int ->
+  ?dwell:float ->
+  unit ->
+  Pr_sim.Workload.link_event list
+(** [links] (default 3) distinct links each making [cycles] (default 2)
+    down/up round trips, every state held for at least [dwell] (default
+    2.0) time units.  With [dwell] above the control plane's
+    reconciliation delay every transition matures into a published epoch
+    (no vacuous swaps) — the swap-storm workload behind the
+    zero-loss-across-updates campaign. *)
 
 val generate :
   Pr_util.Rng.t ->

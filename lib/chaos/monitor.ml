@@ -13,7 +13,10 @@ type violation = {
   trace : string option;
 }
 
-let monitor_names = [ "delivery"; "loop"; "dd-width"; "hold-down"; "detection" ]
+(* ["swap"] is appended last so per-monitor count orderings (and the
+   report layout) of pre-control campaigns are unchanged. *)
+let monitor_names =
+  [ "delivery"; "loop"; "dd-width"; "hold-down"; "detection"; "swap" ]
 
 (* Per-packet cycle-following state for the timed hold-down monitor. *)
 type flight = { mutable seen_down : (int * int) list }
@@ -23,25 +26,32 @@ type t = {
   cycles : Pr_core.Cycle_table.t;
   termination : Pr_core.Forward.termination;
   detection : Pr_sim.Detector.config option;
+  control : bool;
   max_recorded : int;
   counts : (string, int) Hashtbl.t;
   mutable recorded_rev : violation list;
   mutable recorded_n : int;
   mutable excused_n : int;
+  mutable swap_epoch : int;
+  mutable swap_admin : (int * int) list;
   flights : (int, flight) Hashtbl.t;
 }
 
-let create ?(max_recorded = 32) ?detection ~routing ~cycles ~termination () =
+let create ?(max_recorded = 32) ?detection ?(control = false) ~routing ~cycles
+    ~termination () =
   {
     routing;
     cycles;
     termination;
     detection;
+    control;
     max_recorded;
     counts = Hashtbl.create 8;
     recorded_rev = [];
     recorded_n = 0;
     excused_n = 0;
+    swap_epoch = 0;
+    swap_admin = [];
     flights = Hashtbl.create 64;
   }
 
@@ -58,9 +68,12 @@ let record ?trace t monitor ~time ~src ~dst detail =
    sink attached and render the hop trace — the flight recording filed
    with delivery/loop violations.  Truth-based, so only sound without a
    detection config (where the engine's own walk is [Forward.run] over
-   the frozen failure set); capped with the recorded-details cap. *)
+   the frozen failure set) and without a live control plane (where the
+   engine no longer forwards on the base tables after the first swap);
+   capped with the recorded-details cap. *)
 let capture_trace t ~failures ~src ~dst () =
-  if t.detection <> None || t.recorded_n >= t.max_recorded then None
+  if t.detection <> None || t.control || t.recorded_n >= t.max_recorded then
+    None
   else
     let ring = Trace.Ring.create () in
     match
@@ -96,8 +109,37 @@ let verdict_name = function
   | Engine.Looped -> "looped"
   | Engine.Unreachable -> "unreachable"
 
+let canon u v = if u < v then (u, v) else (v, u)
+
 let engine_observer t =
   let on_link ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ = () in
+  (* Control-plane bookkeeping: epochs must arrive gapless and in order,
+     and each published admin-down set must be the previous one edited at
+     exactly the swapped link. *)
+  let on_swap ~time (info : Engine.swap_info) =
+    let u, v = info.Engine.link in
+    if info.Engine.epoch <> t.swap_epoch + 1 then
+      record t "swap" ~time ~src:u ~dst:v
+        (Printf.sprintf "epoch %d published after epoch %d (expected %d)"
+           info.Engine.epoch t.swap_epoch (t.swap_epoch + 1));
+    let link = canon u v in
+    let down = List.map (fun (a, b) -> canon a b) info.Engine.admin_down in
+    if info.Engine.admin_up = List.mem link down then
+      record t "swap" ~time ~src:u ~dst:v
+        (Printf.sprintf
+           "admin state of link %d-%d disagrees with the published admin-down set"
+           u v);
+    let expected =
+      if info.Engine.admin_up then List.filter (fun l -> l <> link) t.swap_admin
+      else if List.mem link t.swap_admin then t.swap_admin
+      else link :: t.swap_admin
+    in
+    if List.sort compare down <> List.sort compare expected then
+      record t "swap" ~time ~src:u ~dst:v
+        "published admin-down set is not the previous set edited at the swapped link";
+    t.swap_epoch <- info.Engine.epoch;
+    t.swap_admin <- down
+  in
   let on_packet ~time ~src ~dst ~failures ~quiesced ~verdict ~trace =
     let g = Pr_core.Routing.graph t.routing in
     (* Independent connectivity check, frozen at injection time. *)
@@ -118,12 +160,19 @@ let engine_observer t =
     | _ -> ());
     (match (connected, verdict) with
     | true, (Engine.Dropped | Engine.Looped) -> (
+        (* With a live control plane and at least one published swap, a
+           loss on a still-connected pair is charged to the swap — the
+           zero-loss-across-updates invariant.  [failures] (and hence
+           [connected]) already folds the administrative removals in. *)
+        let swap_attributed = t.control && t.swap_epoch > 0 in
         match t.detection with
         | None ->
             (* The seed invariant: connected implies delivered. *)
             record
               ?trace:(capture_trace t ~failures ~src ~dst ())
-              t "delivery" ~time ~src ~dst
+              t
+              (if swap_attributed then "swap" else "delivery")
+              ~time ~src ~dst
               (Printf.sprintf "%s although still connected under %s"
                  (verdict_name verdict)
                  (Format.asprintf "%a" Pr_core.Failure.pp failures))
@@ -131,7 +180,9 @@ let engine_observer t =
             (* Weakened-but-honest: losses are excused only while some
                detector belief still disagrees with the truth. *)
             if quiesced then
-              record t "detection" ~time ~src ~dst
+              record t
+                (if swap_attributed then "swap" else "detection")
+                ~time ~src ~dst
                 (Printf.sprintf
                    "%s although detection had quiesced and the pair was connected"
                    (verdict_name verdict))
@@ -139,8 +190,12 @@ let engine_observer t =
     | _ -> ());
     (* The loop monitor re-decides the trace against the global truth; with
        detection it is meaningful only when beliefs match that truth and
-       the budget guard cannot divert the walk. *)
+       the budget guard cannot divert the walk, and with a live control
+       plane not at all — the model checker replays the base tables the
+       engine may have swapped away from. *)
     let loop_check_applies =
+      (not t.control)
+      &&
       match t.detection with
       | None -> true
       | Some cfg -> quiesced && cfg.Pr_sim.Detector.budget_guard = 0
@@ -175,9 +230,7 @@ let engine_observer t =
                     "model checker drops but the engine did not"));
         check_dd_header t ~time ~src ~dst tr.Forward.max_header
   in
-  { Engine.on_link; on_packet }
-
-let canon u v = if u < v then (u, v) else (v, u)
+  { Engine.on_link; on_swap; on_packet }
 
 let timed_observer t =
   let on_link ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ = () in

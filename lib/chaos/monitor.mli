@@ -26,7 +26,16 @@
       injection time ([quiesced]); non-quiesced losses are excused and
       counted separately ({!excused}).  With a detection config, the seed
       delivery check moves here and the loop re-decision (whose model
-      checker sees the global truth) applies only to quiesced packets. *)
+      checker sees the global truth) applies only to quiesced packets.
+    - {b swap}: the zero-loss-across-updates invariant under a live
+      control plane ({!Pr_sim.Engine.run}'s [control]): once at least one
+      epoch has been published, any loss on a pair still connected under
+      the effective (operational + administrative) failure set is charged
+      to the control plane, and every {!Pr_sim.Engine.swap_info} must
+      arrive with gapless monotone epochs and an admin-down set equal to
+      the previous one edited at exactly the swapped link.  With [control]
+      the loop re-decision and trace capture are disabled — both replay
+      the base tables the engine may have swapped away from. *)
 
 type violation = {
   monitor : string;  (** one of {!monitor_names} *)
@@ -42,13 +51,15 @@ type violation = {
 }
 
 val monitor_names : string list
-(** ["delivery"; "loop"; "dd-width"; "hold-down"; "detection"]. *)
+(** ["delivery"; "loop"; "dd-width"; "hold-down"; "detection"; "swap"].
+    ["swap"] comes last so pre-control report layouts are unchanged. *)
 
 type t
 
 val create :
   ?max_recorded:int ->
   ?detection:Pr_sim.Detector.config ->
+  ?control:bool ->
   routing:Pr_core.Routing.t ->
   cycles:Pr_core.Cycle_table.t ->
   termination:Pr_core.Forward.termination ->
@@ -57,12 +68,15 @@ val create :
 (** Fresh monitor state.  [routing]/[cycles]/[termination] must match the
     scheme under test (the loop monitor replays traces against them), and
     [detection] the engine's detection config when one is used — it
-    selects the weakened invariants described above.  At most
-    [max_recorded] (default 32) violations keep their details; all are
-    counted. *)
+    selects the weakened invariants described above.  [control] (default
+    false) must be set when the engine runs with a live control plane: it
+    arms the swap invariant and disables the base-table replays that are
+    unsound across epochs.  At most [max_recorded] (default 32)
+    violations keep their details; all are counted. *)
 
 val engine_observer : t -> Pr_sim.Engine.observer
-(** Checks delivery, loop and dd-width on every packet. *)
+(** Checks delivery, loop and dd-width on every packet, plus the swap
+    invariant on every published epoch when [control] is set. *)
 
 val timed_observer : t -> Pr_sim.Timed.observer
 (** Checks dd-width on every hop and the §7 hold-down hazard. *)

@@ -10,6 +10,9 @@ type t = {
 let build ?(kind = Discriminator.Hops) g =
   { g; kind; trees = Dijkstra.all_roots g }
 
+let build_blocked ?(kind = Discriminator.Hops) g ~blocked =
+  { g; kind; trees = Dijkstra.all_roots ~blocked g }
+
 let graph t = t.g
 
 let kind t = t.kind

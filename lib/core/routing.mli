@@ -10,6 +10,13 @@ type t
 val build : ?kind:Discriminator.kind -> Pr_graph.Graph.t -> t
 (** Default discriminator: {!Discriminator.Hops}. *)
 
+val build_blocked :
+  ?kind:Discriminator.kind -> Pr_graph.Graph.t -> blocked:(int -> bool) -> t
+(** {!build} with the links whose edge index satisfies [blocked] excluded
+    from every SPF run — the control plane's view after administrative
+    link removals.  The discriminator bit budget ({!dd_bits}) is a
+    function of the full graph and does not shrink. *)
+
 val graph : t -> Pr_graph.Graph.t
 
 val kind : t -> Discriminator.kind

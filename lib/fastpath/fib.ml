@@ -1,4 +1,5 @@
 module Graph = Pr_graph.Graph
+module Dijkstra = Pr_graph.Dijkstra
 module Routing = Pr_core.Routing
 module Cycle_table = Pr_core.Cycle_table
 
@@ -20,24 +21,79 @@ type t = {
   lfa_off : int array;       (* [n*n + 1] *)
   lfa_ports : int array;
   dd_bits : int;
+  live : bool array;         (* [m], by base edge index: administratively up *)
+  eff_weight : float array;  (* [m], by base edge index: effective weight *)
 }
+
+type mismatch =
+  | Node_count of { routing : int; cycles : int }
+  | Edge of { u : int; v : int }
 
 type error =
   | Port_overflow of { node : int; degree : int; ports : int }
-  | Graph_mismatch
+  | Graph_mismatch of mismatch
 
 let describe_error = function
   | Port_overflow { node; degree; ports } ->
       Printf.sprintf
         "Fib: node %d has degree %d, exceeding the image's port width %d" node
         degree ports
-  | Graph_mismatch ->
-      "Fib: routing and cycle tables are built over different graphs"
+  | Graph_mismatch (Node_count { routing; cycles }) ->
+      Printf.sprintf
+        "Fib: routing and cycle tables are built over different graphs \
+         (%d vs %d nodes)"
+        routing cycles
+  | Graph_mismatch (Edge { u; v }) ->
+      Printf.sprintf
+        "Fib: routing and cycle tables are built over different graphs \
+         (they disagree on link %d-%d)"
+        u v
+
+(* First concrete disagreement between two graphs known not to be
+   structurally equal: an edge present in only one of them, or present in
+   both with different weights. *)
+let find_mismatch g1 g2 =
+  if Graph.n g1 <> Graph.n g2 then
+    Node_count { routing = Graph.n g1; cycles = Graph.n g2 }
+  else
+    let witness = ref None in
+    let check a b =
+      Graph.iter_edges
+        (fun _ (e : Graph.edge) ->
+          if
+            !witness = None
+            && (not (Graph.has_edge b e.u e.v)
+               || Graph.weight b e.u e.v <> e.w)
+          then witness := Some (Edge { u = e.u; v = e.v }))
+        a
+    in
+    check g1 g2;
+    check g2 g1;
+    match !witness with Some m -> m | None -> Edge { u = -1; v = -1 }
+
+(* LFA candidate ports for one (x, dst) row, best first — shared by the
+   base compiler and {!Delta} so both paths emit identical bytes: RFC
+   5286 basic inequality over the administratively live neighbours,
+   primary excluded, ordered by cost + remaining distance with ties to
+   the smaller neighbour id. *)
+let lfa_row ~neighbours ~node_port ~n ~x ~dst ~primary ~dist ~cost_of ~live_of =
+  let dist_x = dist.((x * n) + dst) in
+  Array.to_list neighbours
+  |> List.filter_map (fun w ->
+         if not (live_of w) then None
+         else
+           let cost = cost_of w in
+           let dist_w = dist.((w * n) + dst) in
+           if w <> primary && dist_w < cost +. dist_x then
+             Some (cost +. dist_w, w)
+           else None)
+  |> List.sort compare
+  |> List.map (fun (_, w) -> node_port.((x * n) + w))
 
 let of_tables ?ports routing cycles =
   let g = Routing.graph routing in
   if not (Graph.equal_structure g (Cycle_table.graph cycles)) then
-    Error Graph_mismatch
+    Error (Graph_mismatch (find_mismatch g (Cycle_table.graph cycles)))
   else begin
     let n = Graph.n g in
     let width = match ports with Some p -> p | None -> Graph.max_degree g in
@@ -92,12 +148,9 @@ let of_tables ?ports routing cycles =
               comp_col.((x * width) + p) <- next_port)
             (Graph.neighbours g x)
         done;
-        (* LFA candidates per (node, dst): RFC 5286 basic inequality,
-           primary excluded, ordered by cost + remaining distance with ties
-           to the smaller neighbour id — so "first believed-up candidate"
-           in the kernel reproduces the fold in Forward.decide exactly. *)
+        (* LFA candidates per (node, dst): see [lfa_row]. *)
         let lfa_off = Array.make ((n * n) + 1) 0 in
-        let cand = ref [] (* reversed (slot, port) list *) in
+        let cand = ref [] (* reversed port list *) in
         let total = ref 0 in
         for x = 0 to n - 1 do
           for dst = 0 to n - 1 do
@@ -106,22 +159,14 @@ let of_tables ?ports routing cycles =
             match Routing.next_hop routing ~node:x ~dst with
             | None -> ()
             | Some primary ->
-                let dist_x = distance.(i) in
-                let here =
-                  Array.to_list (Graph.neighbours g x)
-                  |> List.filter_map (fun w ->
-                         let cost = Graph.weight g x w in
-                         let dist_w = distance.((w * n) + dst) in
-                         if w <> primary && dist_w < cost +. dist_x then
-                           Some (cost +. dist_w, w)
-                         else None)
-                  |> List.sort compare
-                in
                 List.iter
-                  (fun (_, w) ->
-                    cand := node_port.((x * n) + w) :: !cand;
+                  (fun p ->
+                    cand := p :: !cand;
                     incr total)
-                  here
+                  (lfa_row ~neighbours:(Graph.neighbours g x) ~node_port ~n ~x
+                     ~dst ~primary ~dist:distance
+                     ~cost_of:(fun w -> Graph.weight g x w)
+                     ~live_of:(fun _ -> true))
           done
         done;
         lfa_off.(n * n) <- !total;
@@ -145,6 +190,9 @@ let of_tables ?ports routing cycles =
             lfa_off;
             lfa_ports;
             dd_bits = Routing.dd_bits routing;
+            live = Array.make (Graph.m g) true;
+            eff_weight =
+              Array.init (Graph.m g) (fun i -> (Graph.edge g i).Graph.w);
           }
   end
 
@@ -175,6 +223,7 @@ let memory_words t =
   + Array.length t.disc_q + Array.length t.distance
   + Array.length t.cycle_col + Array.length t.comp_col
   + Array.length t.lfa_off + Array.length t.lfa_ports
+  + Array.length t.live + Array.length t.eff_weight
 
 let check_node t x name =
   if x < 0 || x >= t.n then invalid_arg ("Fib: " ^ name ^ " out of range")
@@ -239,6 +288,44 @@ let lfa_candidates t ~node ~dst =
   List.init (t.lfa_off.(i + 1) - t.lfa_off.(i)) (fun j ->
       t.port_node.((node * t.ports) + t.lfa_ports.(t.lfa_off.(i) + j)))
 
+(* ---- administrative state ---- *)
+
+let link_live t ~u ~v = t.live.(Graph.edge_index t.g u v)
+
+let eff_weight t ~u ~v = t.eff_weight.(Graph.edge_index t.g u v)
+
+let admin_down t =
+  List.rev
+    (Graph.fold_edges
+       (fun i (e : Graph.edge) acc ->
+         if t.live.(i) then acc else (e.u, e.v) :: acc)
+       t.g [])
+
+(* ---- bitwise image equality (the differential harness's referee) ---- *)
+
+let float_arrays_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if
+      not (Int64.equal (Int64.bits_of_float a.(i)) (Int64.bits_of_float b.(i)))
+    then ok := false
+  done;
+  !ok
+
+let equal a b =
+  a.n = b.n && a.ports = b.ports && a.kind = b.kind && a.dd_bits = b.dd_bits
+  && a.degree = b.degree && a.port_node = b.port_node
+  && a.node_port = b.node_port && a.next_hop_port = b.next_hop_port
+  && a.disc_q = b.disc_q && a.cycle_col = b.cycle_col
+  && a.comp_col = b.comp_col && a.lfa_off = b.lfa_off
+  && a.lfa_ports = b.lfa_ports && a.live = b.live
+  && float_arrays_equal a.port_weight b.port_weight
+  && float_arrays_equal a.disc b.disc
+  && float_arrays_equal a.distance b.distance
+  && float_arrays_equal a.eff_weight b.eff_weight
+
 let raw_port_node t = t.port_node
 let raw_port_weight t = t.port_weight
 let raw_node_port t = t.node_port
@@ -250,3 +337,265 @@ let raw_cycle_col t = t.cycle_col
 let raw_comp_col t = t.comp_col
 let raw_lfa_off t = t.lfa_off
 let raw_lfa_ports t = t.lfa_ports
+let raw_live t = t.live
+
+(* ---- the delta overlay: incremental recompile ---- *)
+
+module Delta = struct
+  type change = Down | Up | Weight of float
+
+  type edit = { u : int; v : int; change : change }
+
+  type error =
+    | Not_a_node of { node : int; n : int }
+    | Unknown_link of { u : int; v : int }
+    | Duplicate_edit of { u : int; v : int }
+    | Bad_weight of { u : int; v : int; weight : float }
+    | Redundant_edit of { u : int; v : int; what : string }
+
+  let describe_error = function
+    | Not_a_node { node; n } ->
+        Printf.sprintf "Delta: node %d out of range (topology has 0..%d)" node
+          (n - 1)
+    | Unknown_link { u; v } ->
+        Printf.sprintf "Delta: %d-%d is not a link of the base topology" u v
+    | Duplicate_edit { u; v } ->
+        Printf.sprintf "Delta: link %d-%d is edited twice in one batch" u v
+    | Bad_weight { u; v; weight } ->
+        Printf.sprintf
+          "Delta: bad weight %g for link %d-%d (must be finite and > 0)"
+          weight u v
+    | Redundant_edit { u; v; what } ->
+        Printf.sprintf "Delta: redundant edit on link %d-%d (%s)" u v what
+
+  type stats = { edits : int; dirty : int; full : bool }
+
+  let describe_stats s =
+    Printf.sprintf "%d edit(s): %d dirty destination(s), %s recompile" s.edits
+      s.dirty
+      (if s.full then "full" else "incremental")
+
+  (* Validate a batch against the base graph and the image's current
+     administrative state; returns the canonicalised edits with their
+     base edge indices, plus the next admin state. *)
+  let validate t edits =
+    let g = t.g and n = t.n in
+    let live = Array.copy t.live and eff = Array.copy t.eff_weight in
+    let seen = Hashtbl.create 16 in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc, live, eff)
+      | { u; v; change } :: rest ->
+          if u < 0 || u >= n then Error (Not_a_node { node = u; n })
+          else if v < 0 || v >= n then Error (Not_a_node { node = v; n })
+          else begin
+            let cu = min u v and cv = max u v in
+            match Graph.edge_index g u v with
+            | exception Not_found -> Error (Unknown_link { u = cu; v = cv })
+            | idx ->
+                if Hashtbl.mem seen idx then
+                  Error (Duplicate_edit { u = cu; v = cv })
+                else begin
+                  Hashtbl.add seen idx ();
+                  match change with
+                  | Down ->
+                      if not live.(idx) then
+                        Error
+                          (Redundant_edit
+                             { u = cu; v = cv; what = "already down" })
+                      else begin
+                        live.(idx) <- false;
+                        go ((idx, cu, cv, change) :: acc) rest
+                      end
+                  | Up ->
+                      if live.(idx) then
+                        Error
+                          (Redundant_edit { u = cu; v = cv; what = "already up" })
+                      else begin
+                        live.(idx) <- true;
+                        go ((idx, cu, cv, change) :: acc) rest
+                      end
+                  | Weight w ->
+                      if not (Float.is_finite w) || w <= 0.0 then
+                        Error (Bad_weight { u = cu; v = cv; weight = w })
+                      else if w = eff.(idx) then
+                        Error
+                          (Redundant_edit
+                             {
+                               u = cu;
+                               v = cv;
+                               what =
+                                 Printf.sprintf "weight is already %g" w;
+                             })
+                      else begin
+                        eff.(idx) <- w;
+                        go ((idx, cu, cv, change) :: acc) rest
+                      end
+                end
+          end
+    in
+    go [] edits
+
+  (* Conservative dirty-destination predicate, evaluated against the
+     {e current} image's distance table.  A destination is clean only
+     when the edit provably leaves both its distance column and its
+     tight-edge set unchanged, in which case the canonical SPF tree —
+     and every compiled row derived from it — is bit-reusable:
+
+     - removal / weight increase: the edge can only matter if it was
+       tight for [dst] ([d(u) = w_old + d(v)] or symmetrically);
+     - addition / weight decrease: the edge can only matter if it now
+       offers a path at least as good ([w_new + d(v) <= d(u)] or
+       symmetrically; ties included, because a new tight predecessor can
+       change the canonical parent choice). *)
+  let mark_dirty t edits dirty =
+    let n = t.n and d = t.distance in
+    List.iter
+      (fun (idx, u, v, change) ->
+        let w_old = t.eff_weight.(idx) in
+        let tight dst =
+          let du = d.((u * n) + dst) and dv = d.((v * n) + dst) in
+          du = w_old +. dv || dv = w_old +. du
+        in
+        let improves w dst =
+          let du = d.((u * n) + dst) and dv = d.((v * n) + dst) in
+          w +. dv <= du || w +. du <= dv
+        in
+        for dst = 0 to n - 1 do
+          if not dirty.(dst) then
+            let is_dirty =
+              match change with
+              | Down -> tight dst
+              | Up -> improves w_old dst
+              | Weight w_new ->
+                  t.live.(idx)
+                  && (if w_new > w_old then tight dst else improves w_new dst)
+            in
+            if is_dirty then dirty.(dst) <- true
+        done)
+      edits
+
+  (* The effective topology: administratively live links at their
+     effective weights, over the base node set.  Structure (ports,
+     cycle/complementary columns) always stays the base one — an
+     admin-down link keeps its port and is masked at forwarding time. *)
+  let effective_graph t ~live ~eff =
+    Graph.create ~n:t.n
+      (List.rev
+         (Graph.fold_edges
+            (fun i (e : Graph.edge) acc ->
+              if live.(i) then (e.u, e.v, eff.(i)) :: acc else acc)
+            t.g []))
+
+  (* Recompile exactly the dirty rows against the effective topology,
+     byte-copying every clean row from the current image. *)
+  let rebuild t ~live ~eff ~dirty ~touched =
+    let n = t.n and ports = t.ports and g = t.g in
+    let geff = effective_graph t ~live ~eff in
+    let port_weight = Array.copy t.port_weight in
+    Graph.iter_edges
+      (fun i (e : Graph.edge) ->
+        let w = eff.(i) in
+        port_weight.((e.u * ports) + t.node_port.((e.u * n) + e.v)) <- w;
+        port_weight.((e.v * ports) + t.node_port.((e.v * n) + e.u)) <- w)
+      g;
+    let next_hop_port = Array.copy t.next_hop_port in
+    let disc = Array.copy t.disc in
+    let disc_q = Array.copy t.disc_q in
+    let distance = Array.copy t.distance in
+    let quantise v =
+      match t.kind with
+      | Pr_core.Discriminator.Hops -> int_of_float v
+      | Pr_core.Discriminator.Weighted -> int_of_float (Float.ceil v)
+    in
+    for dst = 0 to n - 1 do
+      if dirty.(dst) then begin
+        let tree = Dijkstra.tree geff ~root:dst in
+        for x = 0 to n - 1 do
+          let i = (x * n) + dst in
+          (match Dijkstra.next_hop tree x with
+          | Some w -> next_hop_port.(i) <- t.node_port.((x * n) + w)
+          | None -> next_hop_port.(i) <- -1);
+          let v = Pr_core.Discriminator.value t.kind tree x in
+          disc.(i) <- v;
+          disc_q.(i) <- quantise v;
+          distance.(i) <- Dijkstra.distance tree x
+        done
+      end
+    done;
+    (* The LFA CSR is re-laid-out whole (offsets shift), but clean rows
+       — destinations with unchanged columns at nodes whose incident
+       links were not edited — are copied byte-for-byte. *)
+    let lfa_off = Array.make ((n * n) + 1) 0 in
+    let cand = ref [] (* reversed port list *) in
+    let total = ref 0 in
+    let push p =
+      cand := p :: !cand;
+      incr total
+    in
+    for x = 0 to n - 1 do
+      let row_dirty = touched.(x) in
+      for dst = 0 to n - 1 do
+        let i = (x * n) + dst in
+        lfa_off.(i) <- !total;
+        if row_dirty || dirty.(dst) then begin
+          let p = next_hop_port.(i) in
+          if p >= 0 then
+            let primary = t.port_node.((x * ports) + p) in
+            List.iter push
+              (lfa_row ~neighbours:(Graph.neighbours g x)
+                 ~node_port:t.node_port ~n ~x ~dst ~primary ~dist:distance
+                 ~cost_of:(fun w -> eff.(Graph.edge_index g x w))
+                 ~live_of:(fun w -> live.(Graph.edge_index g x w)))
+        end
+        else
+          for j = t.lfa_off.(i) to t.lfa_off.(i + 1) - 1 do
+            push t.lfa_ports.(j)
+          done
+      done
+    done;
+    lfa_off.(n * n) <- !total;
+    {
+      t with
+      port_weight;
+      next_hop_port;
+      disc;
+      disc_q;
+      distance;
+      lfa_off;
+      lfa_ports = Array.of_list (List.rev !cand);
+      live;
+      eff_weight = eff;
+    }
+
+  let apply ?(threshold = 0.5) t edits =
+    match validate t edits with
+    | Error e -> Error e
+    | Ok (edits, live, eff) ->
+        let n = t.n in
+        let dirty = Array.make n false in
+        mark_dirty t edits dirty;
+        let count = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dirty in
+        let full = float_of_int count > threshold *. float_of_int n in
+        if full then Array.fill dirty 0 n true;
+        let touched = Array.make n false in
+        if full then Array.fill touched 0 n true
+        else
+          List.iter
+            (fun (_, u, v, _) ->
+              touched.(u) <- true;
+              touched.(v) <- true)
+            edits;
+        Ok
+          ( rebuild t ~live ~eff ~dirty ~touched,
+            { edits = List.length edits; dirty = count; full } )
+
+  let apply_exn ?threshold t edits =
+    match apply ?threshold t edits with
+    | Ok r -> r
+    | Error e -> invalid_arg (describe_error e)
+
+  let recompile t =
+    let n = t.n in
+    rebuild t ~live:(Array.copy t.live) ~eff:(Array.copy t.eff_weight)
+      ~dirty:(Array.make n true) ~touched:(Array.make n true)
+end

@@ -15,15 +15,34 @@
     the image's {!ports} width with [-1] sentinels; [-1] likewise encodes
     "no entry" ([no next hop], [unreachable]).
 
-    An image is immutable once built and safe to share across domains. *)
+    An image is immutable once built and safe to share across domains.
+
+    {b The image lifecycle.}  [of_tables] compiles the {e base image}
+    from the failure-free tables.  Control-plane edits (administrative
+    link up/down, weight changes) go through {!Delta}, which recompiles
+    only the affected rows and returns a {e new} image sharing every
+    untouched array row byte-for-byte with its parent — the base
+    structure (port numbering, cycle/complementary columns, DD bit
+    budget) never changes, so any two images in one lineage are
+    interchangeable under a running {!Kernel} via [Kernel.rebind].
+    Epoch-ordered publication of successive images is {!Swap}'s job. *)
 
 type t
+
+type mismatch =
+  | Node_count of { routing : int; cycles : int }
+      (** the two graphs have different node counts *)
+  | Edge of { u : int; v : int }
+      (** first link (canonical orientation) the two graphs disagree on:
+          present in only one of them, or present with different
+          weights *)
 
 type error =
   | Port_overflow of { node : int; degree : int; ports : int }
       (** a node's degree exceeds the image's port width *)
-  | Graph_mismatch
-      (** routing and cycle tables were built over different graphs *)
+  | Graph_mismatch of mismatch
+      (** routing and cycle tables were built over different graphs; the
+          payload names the first offending node count or link *)
 
 val describe_error : error -> string
 
@@ -58,6 +77,33 @@ val quantise_dd : t -> float -> int
 
 val memory_words : t -> int
 (** Total words across all arrays — the §6-style footprint of the image. *)
+
+(** {2 Administrative state}
+
+    Each image carries the administrative link state its rows were
+    compiled against: per base edge, whether the link is
+    administratively live and its effective weight.  The base image is
+    all-live at base weights; {!Delta} edits produce images with other
+    states.  An administratively down link keeps its port (structure is
+    a deployment constant) and is masked by the kernel's admin plane at
+    forwarding time. *)
+
+val link_live : t -> u:int -> v:int -> bool
+(** Raises [Not_found] if [u]-[v] is not a base link. *)
+
+val eff_weight : t -> u:int -> v:int -> float
+(** Effective weight the image was compiled with.  Raises [Not_found] if
+    [u]-[v] is not a base link. *)
+
+val admin_down : t -> (int * int) list
+(** Administratively down links, canonical orientation, in base edge
+    order. *)
+
+val equal : t -> t -> bool
+(** Bitwise equality of every compiled array (floats compared by their
+    IEEE bit patterns), the geometry and the administrative state — the
+    referee the differential harness uses to pin incremental recompiles
+    byte-equal to full ones. *)
 
 (** {2 Decompilation}
 
@@ -141,3 +187,71 @@ val raw_lfa_off : t -> int array
 
 val raw_lfa_ports : t -> int array
 (** concatenated LFA candidate ports *)
+
+val raw_live : t -> bool array
+(** [m]: administrative liveness by base edge index *)
+
+(** {2 The delta overlay: incremental recompile}
+
+    A batch of administrative edits against an image's current state
+    yields the next image of the lineage.  Only the rows an edit can
+    affect are recompiled; every other row is byte-copied from the
+    parent.  Cleanliness is decided by a conservative predicate on the
+    parent's distance table: an edit leaves a destination's column (and
+    its canonical SPF tree, and hence all derived rows) untouched when
+    the edited link was not tight for that destination (removal /
+    increase) or offers no path at least as good (addition / decrease,
+    ties included — a new tight predecessor can change the canonical
+    parent).  When the dirty set exceeds [threshold] (a fraction of the
+    node count, default 0.5) the apply falls back to a full recompile of
+    the same effective topology — same bytes, different cost.
+
+    The DD bit budget ([dd_bits]) is a header-format deployment
+    constant: it stays the base image's whatever the edits do, exactly
+    as deployed PR routers cannot renegotiate header width on a link
+    flap. *)
+
+module Delta : sig
+  type change =
+    | Down       (** administratively remove the link from SPF and LFA *)
+    | Up         (** restore it at its current effective weight *)
+    | Weight of float  (** set the effective weight *)
+
+  type edit = { u : int; v : int; change : change }
+
+  type error =
+    | Not_a_node of { node : int; n : int }
+    | Unknown_link of { u : int; v : int }
+        (** not a link of the base topology (canonical orientation) *)
+    | Duplicate_edit of { u : int; v : int }
+        (** one batch edits the same link twice *)
+    | Bad_weight of { u : int; v : int; weight : float }
+        (** non-finite or non-positive weight *)
+    | Redundant_edit of { u : int; v : int; what : string }
+        (** the edit would not change the administrative state (down on a
+            down link, up on a live one, a weight it already has) *)
+
+  val describe_error : error -> string
+
+  type stats = {
+    edits : int;   (** batch size *)
+    dirty : int;   (** destinations the predicate marked dirty *)
+    full : bool;   (** whether the threshold forced a full recompile *)
+  }
+
+  val describe_stats : stats -> string
+
+  val apply : ?threshold:float -> t -> edit list -> (t * stats, error) result
+  (** Apply one batch atomically: validation errors leave no trace, and
+      the returned image is the batch's effective topology fully
+      compiled.  The parent image is never mutated. *)
+
+  val apply_exn : ?threshold:float -> t -> edit list -> t * stats
+  (** [Invalid_argument] with {!describe_error} on error. *)
+
+  val recompile : t -> t
+  (** Full recompile of the image's current effective topology — every
+      row recomputed, none copied.  [recompile t] is byte-equal to [t]
+      whenever the incremental path is sound; the differential suite
+      pins exactly this. *)
+end

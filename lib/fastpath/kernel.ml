@@ -11,24 +11,34 @@ let d_lfa = 1
 let d_ddsat = 2
 
 type t = {
-  fib : Fib.t;
+  (* The bound image and every array read off it.  Mutable as a block:
+     {!rebind} points the kernel at the next image of a lineage (a
+     control-plane swap) by reassigning them together — a field read
+     costs the same either way, so the hot loop is untouched. *)
+  mutable fib : Fib.t;
   n : int;
   ports : int;
-  degree : int array;
-  port_node : int array;
-  port_weight : float array;
-  node_port : int array;
-  next_hop_port : int array;
-  disc : float array;
-  disc_q : int array;
-  distance : float array;
-  cycle_col : int array;
-  comp_col : int array;
-  lfa_off : int array;
-  lfa_ports : int array;
+  mutable degree : int array;
+  mutable port_node : int array;
+  mutable port_weight : float array;
+  mutable node_port : int array;
+  mutable next_hop_port : int array;
+  mutable disc : float array;
+  mutable disc_q : int array;
+  mutable distance : float array;
+  mutable cycle_col : int array;
+  mutable comp_col : int array;
+  mutable lfa_off : int array;
+  mutable lfa_ports : int array;
   view : Bytes.t;
   truth : Bytes.t;
-  default_ttl : int;
+  admin : Bytes.t;
+      (* the image's administrative plane: '\000' on both ports of an
+         administratively down link.  Masked into every view/truth load
+         so the ladder can never forward into a link the control plane
+         removed — cycle/complementary columns are compiled against the
+         base structure and still name its port. *)
+  mutable default_ttl : int;
   (* Per-hop registers written by [decide].  Hot floats (the carried and
      outgoing DD, the cost accumulator) live in [fbuf] — a float array is
      unboxed storage, so the walk never boxes a float. *)
@@ -67,8 +77,21 @@ let f_out_dd = 1  (* DD stamped on the forwarded header by [decide] *)
 
 let f_cost = 2    (* weighted cost of the walk so far *)
 
+(* Repaint [t.admin] from the image's administrative link state. *)
+let load_admin t =
+  Bytes.fill t.admin 0 (Bytes.length t.admin) '\001';
+  let live = Fib.raw_live t.fib in
+  Graph.iter_edges
+    (fun i (e : Graph.edge) ->
+      if not live.(i) then begin
+        Bytes.set t.admin ((e.u * t.ports) + t.node_port.((e.u * t.n) + e.v)) '\000';
+        Bytes.set t.admin ((e.v * t.ports) + t.node_port.((e.v * t.n) + e.u)) '\000'
+      end)
+    (Fib.graph t.fib)
+
 let create fib =
   let n = Fib.n fib and ports = Fib.ports fib in
+  let t =
   {
     fib;
     n;
@@ -87,6 +110,7 @@ let create fib =
     lfa_ports = Fib.raw_lfa_ports fib;
     view = Bytes.make (n * ports) '\001';
     truth = Bytes.make (n * ports) '\001';
+    admin = Bytes.make (n * ports) '\001';
     default_ttl = Forward.default_ttl (Fib.graph fib);
     degr = Array.make 8 0;
     fbuf = Array.make 3 0.0;
@@ -103,8 +127,41 @@ let create fib =
     walk_ep0 = 0;
     lat_tick = 0;
   }
+  in
+  load_admin t;
+  t
 
 let fib t = t.fib
+
+let rebind t fib =
+  if not (Graph.equal_structure (Fib.graph t.fib) (Fib.graph fib)) then
+    invalid_arg "Kernel.rebind: image over a different base topology";
+  t.fib <- fib;
+  t.degree <- Array.init t.n (Fib.degree fib);
+  t.port_node <- Fib.raw_port_node fib;
+  t.port_weight <- Fib.raw_port_weight fib;
+  t.node_port <- Fib.raw_node_port fib;
+  t.next_hop_port <- Fib.raw_next_hop_port fib;
+  t.disc <- Fib.raw_disc fib;
+  t.disc_q <- Fib.raw_disc_q fib;
+  t.distance <- Fib.raw_distance fib;
+  t.cycle_col <- Fib.raw_cycle_col fib;
+  t.comp_col <- Fib.raw_comp_col fib;
+  t.lfa_off <- Fib.raw_lfa_off fib;
+  t.lfa_ports <- Fib.raw_lfa_ports fib;
+  t.default_ttl <- Forward.default_ttl (Fib.graph fib);
+  load_admin t;
+  (* Keep the port-state planes sound until the caller reloads them: the
+     new admin plane is masked in (a link the new image removed goes
+     down at once); a link it restored stays down in the planes until
+     the next [set_failures]/[fill_view]/[fill_truth] — conservative,
+     never torn. *)
+  for i = 0 to Bytes.length t.view - 1 do
+    if Bytes.get t.admin i = '\000' then begin
+      Bytes.set t.view i '\000';
+      Bytes.set t.truth i '\000'
+    end
+  done
 
 let set_trace t sink = t.trace <- sink
 
@@ -131,7 +188,7 @@ let set_failures t failures =
   let g = Fib.graph t.fib in
   if not (Graph.equal_structure g (Pr_core.Failure.graph failures)) then
     invalid_arg "Kernel.set_failures: failure set over a different graph";
-  Bytes.fill t.view 0 (Bytes.length t.view) '\001';
+  Bytes.blit t.admin 0 t.view 0 (Bytes.length t.view);
   Graph.iter_edges
     (fun i (e : Graph.edge) ->
       if Pr_core.Failure.is_failed_index failures i then begin
@@ -144,9 +201,11 @@ let set_failures t failures =
 let fill_plane t plane f =
   for x = 0 to t.n - 1 do
     for p = 0 to t.degree.(x) - 1 do
-      let other = t.port_node.((x * t.ports) + p) in
-      Bytes.set plane ((x * t.ports) + p)
-        (if f ~node:x ~other then '\001' else '\000')
+      let i = (x * t.ports) + p in
+      let other = t.port_node.(i) in
+      Bytes.set plane i
+        (if f ~node:x ~other && Bytes.get t.admin i <> '\000' then '\001'
+         else '\000')
     done
   done
 
@@ -165,7 +224,9 @@ let port_or_die t ~node ~other what =
 
 let set_believed t ~node ~other ~up =
   let p = port_or_die t ~node ~other "set_believed" in
-  Bytes.set t.view ((node * t.ports) + p) (if up then '\001' else '\000')
+  let i = (node * t.ports) + p in
+  Bytes.set t.view i
+    (if up && Bytes.get t.admin i <> '\000' then '\001' else '\000')
 
 let believed_up t ~node ~other =
   let p = port_or_die t ~node ~other "believed_up" in

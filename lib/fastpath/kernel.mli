@@ -22,13 +22,31 @@
     the differential suite (test/test_fastpath.ml).
 
     A kernel is single-domain state: share the {!Fib} image, give each
-    domain its own kernel. *)
+    domain its own kernel.
+
+    {b The administrative plane.}  Every image carries administrative
+    link state ({!Fib.link_live}); the kernel masks it into both port
+    planes, so the ladder can never forward into an administratively
+    down link even though the compiled cycle/complementary columns (base
+    structure, a deployment constant) still name its port.  Base images
+    are all-live and the mask is the identity — seed behaviour is
+    unchanged. *)
 
 type t
 
 val create : Fib.t -> t
 
 val fib : t -> Fib.t
+
+val rebind : t -> Fib.t -> unit
+(** Point the kernel at another image of the same base topology — the
+    control-plane swap.  All image arrays and the administrative plane
+    are reloaded; the port-state planes stay conservative until the next
+    {!set_failures}/{!fill_view}/{!fill_truth} (links the new image
+    administratively removed go down immediately, links it restored stay
+    down until reloaded), so a packet walk never observes a torn state.
+    Raises [Invalid_argument] if the image is over a different base
+    topology. *)
 
 (** {2 Port state} *)
 

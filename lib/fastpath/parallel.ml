@@ -140,6 +140,67 @@ let run_probed ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
   Array.iter (fun p -> Probe.merge ~into:merged p) probes;
   (total, merged)
 
+let run_swapped ?(domains = 1) ?(config = default_config) ?prepare ~seed
+    ~schedule fib items =
+  if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+  let n_items = Array.length items in
+  (let last = ref (-1) in
+   List.iter
+     (fun (idx, _) ->
+       if idx <= !last then
+         invalid_arg
+           "Parallel.run_swapped: schedule indices must be strictly increasing";
+       if idx < 0 || idx >= n_items then
+         invalid_arg "Parallel.run_swapped: schedule index out of range";
+       last := idx)
+     schedule);
+  let swap = Swap.create fib in
+  (* Admission, in item-index order: when the schedule says an image goes
+     live at item [i], publish it just before admitting [i]; every item
+     pins the epoch current at its own admission.  The epoch an item
+     forwards on is thereby a pure function of the item index — wall
+     clock and domain interleaving never enter — while the pins keep
+     each superseded image alive exactly until its in-flight items
+     drain. *)
+  let epochs = Array.make n_items 0 in
+  let images = Array.make n_items fib in
+  let sched = ref schedule in
+  for i = 0 to n_items - 1 do
+    (match !sched with
+    | (idx, image) :: rest when idx = i ->
+        ignore (Swap.publish swap image : int);
+        sched := rest
+    | _ -> ());
+    let e, image = Swap.pin swap in
+    epochs.(i) <- e;
+    images.(i) <- image
+  done;
+  let master = Rng.create ~seed in
+  let streams = Array.init n_items (fun _ -> Rng.split master) in
+  let slots = Array.init n_items (fun _ -> Kernel.fresh_counters ()) in
+  let work d =
+    let kernel = Kernel.create fib in
+    let i = ref d in
+    while !i < n_items do
+      if Kernel.fib kernel != images.(!i) then Kernel.rebind kernel images.(!i);
+      run_item kernel config prepare streams.(!i) slots.(!i) None None
+        items.(!i);
+      Swap.unpin swap ~epoch:epochs.(!i);
+      i := !i + domains
+    done
+  in
+  if domains = 1 then work 0
+  else begin
+    let spawned =
+      Array.init (domains - 1) (fun d -> Domain.spawn (fun () -> work (d + 1)))
+    in
+    work 0;
+    Array.iter Domain.join spawned
+  end;
+  let total = Kernel.fresh_counters () in
+  Array.iter (fun c -> Kernel.add_counters ~into:total c) slots;
+  (total, Swap.stats swap)
+
 let run_loaded ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
     items =
   (* Unlike [run_probed], link-load slots are per-domain, not per-item:

@@ -72,6 +72,29 @@ val run_probed :
     regardless of [domains] — latency histograms excepted, they measure
     wall time. *)
 
+val run_swapped :
+  ?domains:int ->
+  ?config:config ->
+  ?prepare:(Kernel.t -> rng:Pr_util.Rng.t -> item -> unit) ->
+  seed:int ->
+  schedule:(int * Fib.t) list ->
+  Fib.t ->
+  item array ->
+  Kernel.counters * Swap.stats
+(** {!run} across a control-plane edit schedule: [schedule] lists
+    [(first_item, image)] pairs — strictly increasing indices into
+    [items] — and image [k] is published (via a {!Swap} store seeded
+    with [fib]) just before item [first_item] is admitted.  Each item
+    pins the epoch current at its own admission and its worker rebinds
+    to that image before forwarding, so the image an item runs on is a
+    pure function of the item index: verdicts are bit-identical
+    regardless of [domains] {e and} of wall-clock swap timing, which the
+    determinism suite pins at domains 1/2/4.  Superseded images drain —
+    they retire only when their last in-flight item completes — and the
+    returned {!Swap.stats} lets callers assert the store ended
+    {!Swap.quiescent}.  Raises [Invalid_argument] on an unsorted or
+    out-of-range schedule. *)
+
 val run_loaded :
   ?domains:int ->
   ?config:config ->

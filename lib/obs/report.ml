@@ -279,6 +279,30 @@ let load_bench file =
                   detail = Printf.sprintf "on/off overhead x%.4f" r;
                 }
           | _ -> Error (file ^ ": no finite \"overhead_ratio\""))
+      | Some "swap" -> (
+          (* Control-plane artifact: norm = incremental-recompile time /
+             full-recompile time (below 1.0 means the delta path pays
+             off); the swap pause rides along as detail. *)
+          match Option.bind (Json.member "norm" j) Json.num with
+          | Some r when finite_pos r ->
+              let ns tag =
+                match Option.bind (Json.member tag j) Json.num with
+                | Some v when finite_pos v -> Printf.sprintf "%.0f" v
+                | _ -> "?"
+              in
+              Ok
+                {
+                  file;
+                  suite = "swap";
+                  norm = r;
+                  detail =
+                    Printf.sprintf
+                      "incremental %s / full %s ns per recompile, swap pause \
+                       %s ns"
+                      (ns "incremental_ns") (ns "full_ns")
+                      (ns "swap_pause_ns");
+                }
+          | _ -> Error (file ^ ": no finite \"norm\""))
       | Some s -> Error (Printf.sprintf "%s: unknown suite %S" file s))
 
 let scan_bench ~dir =

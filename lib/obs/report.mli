@@ -60,11 +60,12 @@ val to_json : ?top:int -> sweep -> string
 
 type bench_entry = {
   file : string;
-  suite : string;   (** "fastpath", "probe", "linkload", … *)
+  suite : string;   (** "fastpath", "probe", "linkload", "swap", … *)
   norm : float;
       (** the suite's normalised cost: compiled/reference per-packet
           ratio for fastpath, the on/off overhead ratio for probe and
-          linkload *)
+          linkload, the incremental/full recompile-time ratio for
+          swap *)
   detail : string;  (** one line of context for rendering *)
 }
 

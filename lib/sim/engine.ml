@@ -19,6 +19,17 @@ type config = {
   scheme : scheme;
 }
 
+type control = { delay : float; threshold : float }
+
+let default_control = { delay = 0.5; threshold = 0.5 }
+
+type swap_info = {
+  epoch : int;
+  link : int * int;
+  admin_up : bool;
+  admin_down : (int * int) list;
+}
+
 type backend = [ `Reference | `Compiled ]
 
 let backend_name = function `Reference -> "reference" | `Compiled -> "compiled"
@@ -48,6 +59,7 @@ type outcome = {
   metrics : Metrics.t;
   spf_runs : int;
   link_transitions : int;
+  epochs : int;
   finished_at : float;
 }
 
@@ -114,6 +126,7 @@ type packet_verdict =
 
 type observer = {
   on_link : time:float -> u:int -> v:int -> up:bool -> changed:bool -> unit;
+  on_swap : time:float -> swap_info -> unit;
   on_packet :
     time:float ->
     src:int ->
@@ -132,10 +145,14 @@ let scheme_name = function
   | Reconvergence_scheme _ -> "reconvergence"
   | Reconvergence_jittered _ -> "reconv-jitter"
 
-type event = Link of Workload.link_event | Packet of Workload.injection | Converge
+type event =
+  | Link of Workload.link_event
+  | Packet of Workload.injection
+  | Converge
+  | Swap of { u : int; v : int }
 
-let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
-    config ~link_events ~injections =
+let run ?observer ?detection ?(backend = `Reference) ?control ?probe ?linkload
+    ?series config ~link_events ~injections =
   let g = config.topology.Pr_topo.Topology.graph in
   match validate_workload g ~link_events ~injections with
   | Error e -> Error e
@@ -144,10 +161,34 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
   let cycles = Pr_core.Cycle_table.build config.rotation in
   (* The compiled fast path covers PR forwarding only; the other schemes
      have no table image to compile and always run the reference walks. *)
-  let kernel =
-    lazy (Pr_fastpath.Kernel.create (Pr_fastpath.Fib.of_tables_exn routing cycles))
+  let base_fib =
+    lazy (Pr_fastpath.Fib.of_tables_exn routing cycles)
   in
+  let kernel = lazy (Pr_fastpath.Kernel.create (Lazy.force base_fib)) in
+  let swap_store = lazy (Pr_fastpath.Swap.create (Lazy.force base_fib)) in
   let use_compiled = backend = `Compiled in
+  (* The live control plane (PR scheme only): [control.delay] after an
+     operational transition the control plane reconciles the link's
+     administrative state — an incremental recompile plus an epoch swap,
+     never a stop-the-world rebuild.  The other schemes model their own
+     convergence and ignore [control]. *)
+  let control =
+    match config.scheme with Pr_scheme _ -> control | _ -> None
+  in
+  let control_on = Option.is_some control in
+  (* Administrative liveness by base edge index; all-live = the seed
+     regime.  [cur_routing] is the reference backend's recompiled tables
+     (and both backends' stretch denominator); the compiled backend
+     carries the same state in its image lineage. *)
+  let admin = Array.make (Graph.m g) true in
+  let admin_link_up u v = admin.(Graph.edge_index g u v) in
+  let cur_routing = ref routing in
+  let admin_failures = ref None in
+  let epochs = ref 0 in
+  (* The epoch the engine's kernel currently forwards on, pinned in the
+     swap store so superseded images retire exactly when the engine
+     moves off them. *)
+  let pinned_epoch = ref None in
   let net = Netstate.create g in
   let det = Option.map (fun cfg -> Detector.create cfg g) detection in
   (* Reconvergence only starts once the failure (or repair) is detected. *)
@@ -243,7 +284,11 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
      the sender wrongly believed up dies on the wire (stale view).  Returns
      a seed-shaped trace, the classified drop reason (when dropped) and the
      ladder events, oldest first. *)
+  (* Effective liveness: operationally up and administratively live.
+     With control off the admin plane is all-live and this is the wire. *)
+  let effective_up x w = Netstate.is_up net x w && admin_link_up x w in
   let forward_detected_pr d ~termination ~now ~src ~dst =
+    let routing = !cur_routing in
     let dd_bits = Pr_core.Routing.dd_bits routing in
     let budget_guard = (Detector.config d).Detector.budget_guard in
     let pr_episodes = ref 0 in
@@ -272,20 +317,26 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
       if x = dst then finish Forward.Delivered ~reason:None acc
       else if ttl = 0 then finish Forward.Ttl_exceeded ~reason:None acc
       else
+        let link_up =
+          (* The router knows its own administratively removed
+             interfaces whatever its detector believes — mirrored by the
+             kernel's admin plane. *)
+          if control_on then fun w ->
+            Detector.local_view d ~now ~node:x w && admin_link_up x w
+          else Detector.local_view d ~now ~node:x
+        in
         let decision =
           match probe with
           | None ->
               Forward.ladder_step ~termination ~dd_bits ~hops_left:ttl
-                ~budget_guard ~routing ~cycles
-                ~link_up:(Detector.local_view d ~now ~node:x)
-                ~dst ~node:x ~arrived_from ~header ()
+                ~budget_guard ~routing ~cycles ~link_up ~dst ~node:x
+                ~arrived_from ~header ()
           | Some p ->
               let t0 = Probe.now_ns () in
               let r =
                 Forward.ladder_step ~termination ~dd_bits ~hops_left:ttl
-                  ~budget_guard ~routing ~cycles
-                  ~link_up:(Detector.local_view d ~now ~node:x)
-                  ~dst ~node:x ~arrived_from ~header ()
+                  ~budget_guard ~routing ~cycles ~link_up ~dst ~node:x
+                  ~arrived_from ~header ()
               in
               Probe.record_latency p ~cls:(ladder_class r)
                 ~ns:(Int64.sub (Probe.now_ns ()) t0);
@@ -335,7 +386,7 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
                   else Pr_obs.Linkload.cls_shortest
                 in
                 Pr_obs.Linkload.record_next s ~node:x ~next ~cls);
-            if Netstate.is_up net x next then
+            if effective_up x next then
               walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
             else
               finish Forward.Dropped_no_interface
@@ -420,7 +471,13 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
         Probe.add_failure_hits p trace.Forward.failure_hits
   in
   let handle_packet ({ src; dst; time } : Workload.injection) =
-    let failures = Netstate.failures net in
+    let failures =
+      (* A link usable by forwarding is operationally up {e and}
+         administratively live; with control off this is the wire. *)
+      match !admin_failures with
+      | None -> Netstate.failures net
+      | Some af -> Pr_core.Failure.combine (Netstate.failures net) af
+    in
     let quiesced =
       match det with
       | None -> true
@@ -451,12 +508,15 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
               end
               else
                 Pr_core.Forward.run ~termination ?linkload:obs_scratch
-                  ~routing ~cycles ~failures ~src ~dst ()
+                  ~routing:!cur_routing ~cycles ~failures ~src ~dst ()
             in
             let verdict =
               match trace.outcome with
               | Pr_core.Forward.Delivered ->
-                  let stretch = Pr_core.Forward.stretch ~routing ~trace ~src ~dst in
+                  let stretch =
+                    Pr_core.Forward.stretch ~routing:!cur_routing ~trace ~src
+                      ~dst
+                  in
                   Metrics.record_delivery metrics ~stretch;
                   Delivered { stretch }
               | Pr_core.Forward.Ttl_exceeded ->
@@ -494,7 +554,10 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
             let verdict =
               match trace.outcome with
               | Pr_core.Forward.Delivered ->
-                  let stretch = Pr_core.Forward.stretch ~routing ~trace ~src ~dst in
+                  let stretch =
+                    Pr_core.Forward.stretch ~routing:!cur_routing ~trace ~src
+                      ~dst
+                  in
                   Metrics.record_delivery metrics ~stretch;
                   Delivered { stretch }
               | Pr_core.Forward.Ttl_exceeded ->
@@ -566,6 +629,70 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
         in
         notify ~time ~src ~dst ~failures ~verdict ~trace:None
   in
+  (* The control plane reconciles one link's administrative state with
+     the operational truth it has now learned.  If the link flapped back
+     before the delay elapsed the swap is vacuous and publishes no epoch
+     — the image lineage only ever carries real changes. *)
+  let handle_swap time u v =
+    let idx = Graph.edge_index g u v in
+    let up_now = Netstate.is_up net u v in
+    if admin.(idx) <> up_now then begin
+      admin.(idx) <- up_now;
+      incr epochs;
+      (* One incremental recompile per epoch, whichever backend runs the
+         packets — the SPF ledger stays backend-invariant. *)
+      incr spf_runs;
+      let down =
+        List.rev
+          (Graph.fold_edges
+             (fun i (e : Graph.edge) acc ->
+               if admin.(i) then acc else (e.u, e.v) :: acc)
+             g [])
+      in
+      admin_failures :=
+        (if down = [] then None else Some (Pr_core.Failure.of_list g down));
+      cur_routing :=
+        Pr_core.Routing.build_blocked ~kind:(Pr_core.Routing.kind routing) g
+          ~blocked:(fun i -> not admin.(i));
+      (if use_compiled then begin
+         let store = Lazy.force swap_store in
+         let threshold =
+           match control with Some c -> c.threshold | None -> 0.5
+         in
+         let edit =
+           {
+             Pr_fastpath.Fib.Delta.u;
+             v;
+             change =
+               (if up_now then Pr_fastpath.Fib.Delta.Up
+                else Pr_fastpath.Fib.Delta.Down);
+           }
+         in
+         let next, _stats =
+           Pr_fastpath.Fib.Delta.apply_exn ~threshold
+             (Pr_fastpath.Swap.current store)
+             [ edit ]
+         in
+         ignore (Pr_fastpath.Swap.publish store next : int);
+         (match !pinned_epoch with
+         | Some e -> Pr_fastpath.Swap.unpin store ~epoch:e
+         | None -> ());
+         let e, image = Pr_fastpath.Swap.pin store in
+         pinned_epoch := Some e;
+         Pr_fastpath.Kernel.rebind (Lazy.force kernel) image
+       end);
+      match observer with
+      | None -> ()
+      | Some o ->
+          o.on_swap ~time
+            {
+              epoch = !epochs;
+              link = (u, v);
+              admin_up = up_now;
+              admin_down = down;
+            }
+    end
+  in
   let handle_link time (e : Workload.link_event) =
     let changed = Netstate.set_link net e.u e.v ~up:e.up in
     (* Every event is churn the detectors see, redundant or not. *)
@@ -597,7 +724,14 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
                 time +. lag +. min_delay
                 +. Pr_util.Rng.float jitter_rng (Float.max 1e-9 (max_delay -. min_delay)))
             deadlines
-      | Pr_scheme _ | Lfa_scheme -> ()
+      | Pr_scheme _ ->
+          (match control with
+          | Some c ->
+              Event.schedule queue
+                ~time:(time +. detect_lag ~up:e.up +. c.delay)
+                (Swap { u = e.u; v = e.v })
+          | None -> ())
+      | Lfa_scheme -> ()
     end;
     match observer with
     | None -> ()
@@ -611,7 +745,8 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
         (match ev with
         | Link e -> handle_link time e
         | Packet i -> handle_packet i
-        | Converge -> stale_trees := full_spf ());
+        | Converge -> stale_trees := full_spf ()
+        | Swap { u; v } -> handle_swap time u v);
         drain ()
   in
   (match config.scheme with
@@ -624,13 +759,14 @@ let run ?observer ?detection ?(backend = `Reference) ?probe ?linkload ?series
       metrics;
       spf_runs = !spf_runs;
       link_transitions = !link_transitions;
+      epochs = !epochs;
       finished_at = !finished_at;
     }
 
-let run_exn ?observer ?detection ?backend ?probe ?linkload ?series config
-    ~link_events ~injections =
+let run_exn ?observer ?detection ?backend ?control ?probe ?linkload ?series
+    config ~link_events ~injections =
   match
-    run ?observer ?detection ?backend ?probe ?linkload ?series config
+    run ?observer ?detection ?backend ?control ?probe ?linkload ?series config
       ~link_events ~injections
   with
   | Ok outcome -> outcome

@@ -36,6 +36,32 @@ type config = {
   scheme : scheme;
 }
 
+type control = { delay : float; threshold : float }
+(** The live control plane (PR scheme only).  [delay] time units after a
+    link's operational transition is detected, the control plane
+    reconciles the link's administrative state: an incremental FIB
+    recompile ({!Pr_fastpath.Fib.Delta}, falling back to a full rebuild
+    past [threshold], a fraction of the node count) and an epoch-ordered
+    hot swap ({!Pr_fastpath.Swap}) on the compiled backend, a
+    {!Pr_core.Routing.build_blocked} rebuild on the reference backend —
+    both backends stay verdict-identical.  In the window before the swap
+    the data plane re-cycles exactly as the paper prescribes; after it,
+    routing avoids the link without any stop-the-world rebuild.  A link
+    that flaps back within the window yields a vacuous swap and no
+    epoch. *)
+
+val default_control : control
+(** [delay = 0.5], [threshold = 0.5]. *)
+
+type swap_info = {
+  epoch : int;          (** 1-based epoch this swap published *)
+  link : int * int;     (** the reconciled link, canonical orientation *)
+  admin_up : bool;      (** its administrative state after the swap *)
+  admin_down : (int * int) list;
+      (** all administratively down links after the swap, in base edge
+          order *)
+}
+
 type backend = [ `Reference | `Compiled ]
 (** Which data plane executes {!Pr_scheme} forwarding: the reference
     walks ({!Pr_core.Forward.run} / {!Pr_core.Forward.ladder_step}), or
@@ -48,8 +74,12 @@ val backend_name : backend -> string
 
 type outcome = {
   metrics : Metrics.t;
-  spf_runs : int;        (** full-table SPF recomputations performed *)
+  spf_runs : int;
+      (** full-table SPF recomputations performed, control-plane
+          recompiles included — backend-invariant *)
   link_transitions : int;
+  epochs : int;
+      (** control-plane swaps published ({!control}); 0 without one *)
   finished_at : float;   (** time of the last processed event *)
 }
 
@@ -98,6 +128,10 @@ type observer = {
   on_link : time:float -> u:int -> v:int -> up:bool -> changed:bool -> unit;
       (** every link event, after it is applied; [changed] is false for
           redundant transitions *)
+  on_swap : time:float -> swap_info -> unit;
+      (** every control-plane swap, after the new tables are live; never
+          called without a {!control} config.  The zero-loss-across-swap
+          monitor hangs off this. *)
   on_packet :
     time:float ->
     src:int ->
@@ -119,6 +153,7 @@ val run :
   ?observer:observer ->
   ?detection:Detector.config ->
   ?backend:backend ->
+  ?control:control ->
   ?probe:Pr_telemetry.Probe.t ->
   ?linkload:Pr_obs.Linkload.t ->
   ?series:Pr_obs.Series.t ->
@@ -144,6 +179,14 @@ val run :
     [Detector.ideal] every scheme reproduces its seed verdicts exactly —
     pinned by the differential tests.
 
+    With [control], the control plane goes live mid-run (PR scheme only;
+    the other schemes model their own convergence and ignore it): each
+    detected link transition schedules a reconciliation [control.delay]
+    later that incrementally recompiles the tables and hot-swaps them
+    under the running data plane — see {!control}.  [outcome.epochs]
+    counts the published swaps and [outcome.spf_runs] the recompiles,
+    identically on both backends.
+
     [probe] (PR schemes only; the other schemes leave it untouched)
     records every injection's verdict, stretch, hop count and re-cycle
     depth into the given {!Pr_telemetry.Probe.t}, and under [detection]
@@ -166,6 +209,7 @@ val run_exn :
   ?observer:observer ->
   ?detection:Detector.config ->
   ?backend:backend ->
+  ?control:control ->
   ?probe:Pr_telemetry.Probe.t ->
   ?linkload:Pr_obs.Linkload.t ->
   ?series:Pr_obs.Series.t ->

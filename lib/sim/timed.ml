@@ -8,6 +8,7 @@ type config = {
   latency : float;
   ttl : int;
   detection : Detector.config option;
+  control : Engine.control option;
 }
 
 let default_config (topology : Pr_topo.Topology.t) rotation =
@@ -18,6 +19,7 @@ let default_config (topology : Pr_topo.Topology.t) rotation =
     latency = 0.1;
     ttl = Forward.default_ttl topology.graph;
     detection = None;
+    control = None;
   }
 
 type packet = {
@@ -34,9 +36,17 @@ type packet = {
   was_deliverable : bool; (** dst reachable at injection time *)
 }
 
-type event = Link of Workload.link_event | Arrive of packet
+type event =
+  | Link of Workload.link_event
+  | Arrive of packet
+  | Swap of { u : int; v : int }
 
-type outcome = { metrics : Metrics.t; finished_at : float; max_hops : int }
+type outcome = {
+  metrics : Metrics.t;
+  finished_at : float;
+  max_hops : int;
+  epochs : int;
+}
 
 type hop = {
   id : int;
@@ -64,6 +74,22 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
   let cycles = Pr_core.Cycle_table.build config.rotation in
   let net = Netstate.create g in
   let det = Option.map (fun c -> Detector.create c g) config.detection in
+  (* The live control plane (no compiled backend here: a reconciliation
+     is one [Routing.build_blocked] rebuild).  With [control = None] the
+     admin plane stays all-live, [cur_routing] stays the base tables and
+     every mask below is the identity — seed behaviour. *)
+  let admin = Array.make (Graph.m g) true in
+  let admin_link_up u v = admin.(Graph.edge_index g u v) in
+  let cur_routing = ref routing in
+  let admin_failures = ref None in
+  let epochs = ref 0 in
+  let effective_failures () =
+    match !admin_failures with
+    | None -> Netstate.failures net
+    | Some af -> Pr_core.Failure.combine (Netstate.failures net) af
+  in
+  let effective_up x w = Netstate.is_up net x w && admin_link_up x w in
+  (* DD bit budget is a function of the full graph and never shrinks. *)
   let dd_bits = Pr_core.Routing.dd_bits routing in
   let metrics = Metrics.create () in
   let queue = Event.create () in
@@ -187,13 +213,17 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
   let handle_arrival time (p : packet) =
     let p =
       if p.hops = 0 then
-        { p with was_deliverable = Pr_core.Failure.pair_connected (Netstate.failures net) p.src p.dst }
+        {
+          p with
+          was_deliverable =
+            Pr_core.Failure.pair_connected (effective_failures ()) p.src p.dst;
+        }
       else p
     in
     if p.at = p.dst then begin
       if p.hops > !max_hops then max_hops := p.hops;
       let stretch =
-        p.cost /. Pr_core.Routing.distance routing ~node:p.src ~dst:p.dst
+        p.cost /. Pr_core.Routing.distance !cur_routing ~node:p.src ~dst:p.dst
       in
       Metrics.record_delivery metrics ~stretch;
       probe_finish p ~verdict:(`Delivered stretch);
@@ -223,8 +253,8 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
       match det with
       | None -> (
           match
-            Forward.step ~termination:config.termination ~routing ~cycles
-              ~failures:(Netstate.failures net) ~dst:p.dst ~node:p.at
+            Forward.step ~termination:config.termination ~routing:!cur_routing
+              ~cycles ~failures:(effective_failures ()) ~dst:p.dst ~node:p.at
               ~arrived_from:p.arrived_from ~header:p.header ()
           with
           | Forward.Stuck { failure_hits = hits; _ } ->
@@ -249,8 +279,10 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
             Forward.ladder_step ~termination:config.termination ~dd_bits
               ~hops_left:(config.ttl - p.hops)
               ~budget_guard:(Detector.config d).Detector.budget_guard
-              ~routing ~cycles
-              ~link_up:(Detector.local_view d ~now:time ~node:p.at)
+              ~routing:!cur_routing ~cycles
+              ~link_up:(fun w ->
+                Detector.local_view d ~now:time ~node:p.at w
+                && admin_link_up p.at w)
               ~dst:p.dst ~node:p.at ~arrived_from:p.arrived_from
               ~header:p.header ()
           with
@@ -283,7 +315,7 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
                    else if header.Forward.pr_bit then
                      Pr_obs.Linkload.cls_recycled
                    else Pr_obs.Linkload.cls_shortest);
-              if Netstate.is_up net p.at next then
+              if effective_up p.at next then
                 send next header ~started:episode_started ~hits
               else begin
                 (* The fatal hop counts — hops, episode and hits follow
@@ -298,6 +330,28 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
                   ~looped:false ~time ~reason:Metrics.Stale_view;
                 observe_hop time p ~sent:None ~ttl_exceeded:false
               end)
+    end
+  in
+  (* The reconciliation mirrors {!Engine}'s: vacuous if the link flapped
+     back within the delay, otherwise one routing rebuild per epoch. *)
+  let handle_swap u v =
+    let idx = Graph.edge_index g u v in
+    let up_now = Netstate.is_up net u v in
+    if admin.(idx) <> up_now then begin
+      admin.(idx) <- up_now;
+      incr epochs;
+      let down =
+        List.rev
+          (Graph.fold_edges
+             (fun i (e : Graph.edge) acc ->
+               if admin.(i) then acc else (e.u, e.v) :: acc)
+             g [])
+      in
+      admin_failures :=
+        (if down = [] then None else Some (Pr_core.Failure.of_list g down));
+      cur_routing :=
+        Pr_core.Routing.build_blocked ~kind:(Pr_core.Routing.kind routing) g
+          ~blocked:(fun i -> not admin.(i))
     end
   in
   let rec drain () =
@@ -317,11 +371,22 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
                 if changed then Pr_obs.Series.record_link_transition se ~time;
                 if Option.is_some det then
                   Pr_obs.Series.record_belief_churn se ~time 2);
+            (match config.control with
+            | Some c when changed ->
+                Event.schedule queue ~time:(time +. c.Engine.delay)
+                  (Swap { u = e.u; v = e.v })
+            | Some _ | None -> ());
             (match observer with
             | None -> ()
             | Some o -> o.on_link ~time ~u:e.u ~v:e.v ~up:e.up ~changed)
-        | Arrive p -> handle_arrival time p);
+        | Arrive p -> handle_arrival time p
+        | Swap { u; v } -> handle_swap u v);
         drain ()
   in
   drain ();
-  { metrics; finished_at = !finished_at; max_hops = !max_hops }
+  {
+    metrics;
+    finished_at = !finished_at;
+    max_hops = !max_hops;
+    epochs = !epochs;
+  }

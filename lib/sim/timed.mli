@@ -28,6 +28,15 @@ type config = {
           remaining TTL — and a packet sent into a link wrongly believed
           up is lost on the wire ([Stale_view] in the {!Metrics}
           breakdown). *)
+  control : Engine.control option;
+      (** live control plane ({!Engine.control}).  [control.delay] time
+          units after each link transition the administrative state is
+          reconciled — here one {!Pr_core.Routing.build_blocked} rebuild
+          per published epoch (this simulator has no compiled backend) —
+          and forwarding continues on the new tables mid-flight.  A link
+          that flaps back within the delay yields a vacuous swap.
+          Administratively removed links count as failed for forwarding,
+          deliverability and stretch. *)
 }
 
 val default_config : Pr_topo.Topology.t -> Pr_embed.Rotation.t -> config
@@ -38,6 +47,8 @@ type outcome = {
   metrics : Metrics.t;
   finished_at : float;
   max_hops : int;         (** longest hop count of any delivered packet *)
+  epochs : int;           (** control-plane swaps published; 0 without
+                              a {!config.control} *)
 }
 
 (** {2 Observation}

@@ -445,6 +445,7 @@ let qcheck_engine_matches_modelcheck =
       let observer =
         {
           Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
+          on_swap = (fun ~time:_ _ -> ());
           on_packet =
             (fun ~time:_ ~src ~dst ~failures ~quiesced:_ ~verdict ~trace:_ ->
               let expected =

@@ -144,6 +144,7 @@ let collect_verdicts () =
   let observer =
     {
       Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
+      on_swap = (fun ~time:_ _ -> ());
       on_packet =
         (fun ~time:_ ~src:_ ~dst:_ ~failures:_ ~quiesced:_ ~verdict ~trace:_ ->
           acc := verdict :: !acc);
@@ -319,6 +320,7 @@ let test_stale_view_wire_death () =
     let observer =
       {
         Engine.on_link = (fun ~time:_ ~u:_ ~v:_ ~up:_ ~changed:_ -> ());
+        on_swap = (fun ~time:_ _ -> ());
         on_packet =
           (fun ~time:_ ~src:_ ~dst:_ ~failures:_ ~quiesced ~verdict:_ ~trace:_ ->
             quiesced_seen := quiesced :: !quiesced_seen);

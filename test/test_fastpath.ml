@@ -167,7 +167,7 @@ let test_compile_errors () =
   | Error (Fib.Port_overflow { degree; ports; _ }) ->
       Alcotest.(check int) "overflowing degree" 4 degree;
       Alcotest.(check int) "image width" 3 ports
-  | Error Fib.Graph_mismatch -> Alcotest.fail "wrong error"
+  | Error (Fib.Graph_mismatch _) -> Alcotest.fail "wrong error"
   | Ok _ -> Alcotest.fail "port overflow accepted");
   (match Fib.of_tables_exn ~ports:3 routing cycles with
   | exception Invalid_argument _ -> ()
@@ -175,7 +175,13 @@ let test_compile_errors () =
   let other, other_rot = Helpers.grid_with_rotation ~rows:2 ~cols:2 in
   let _, other_cycles = build_tables other.Pr_topo.Topology.graph other_rot in
   match Fib.of_tables routing other_cycles with
-  | Error Fib.Graph_mismatch -> ()
+  | Error (Fib.Graph_mismatch (Fib.Node_count { routing = rn; cycles = cn }))
+    ->
+      (* The mismatch carries its locus: the 3x3 grid vs the 2x2 grid. *)
+      Alcotest.(check int) "routing graph nodes" 9 rn;
+      Alcotest.(check int) "cycle graph nodes" 4 cn
+  | Error (Fib.Graph_mismatch (Fib.Edge _)) ->
+      Alcotest.fail "expected a node-count mismatch"
   | Error (Fib.Port_overflow _) -> Alcotest.fail "wrong error"
   | Ok _ -> Alcotest.fail "mismatched tables accepted"
 

@@ -343,13 +343,29 @@ let test_bench_probe_schema () = check_overhead_schema "BENCH_probe.json" "probe
 let test_bench_linkload_schema () =
   check_overhead_schema "BENCH_linkload.json" "linkload"
 
+let test_bench_swap_schema () =
+  let file = "BENCH_swap.json" in
+  let j = load file in
+  check_suite_member file j "swap";
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool) (tag ^ " positive") true (finite_pos (get tag j)))
+    [ "incremental_ns"; "full_ns"; "swap_pause_ns"; "norm" ];
+  (* The norm the history tracker reads is the ratio of the two legs. *)
+  match (Json.num (get "incremental_ns" j), Json.num (get "full_ns" j),
+         Json.num (get "norm" j)) with
+  | Some inc, Some full, Some norm ->
+      Alcotest.(check bool) "norm = incremental/full" true
+        (Float.abs (norm -. (inc /. full)) < 1e-3)
+  | _ -> Alcotest.failf "%s: non-numeric timing members" file
+
 (* ---- history entries parse the committed artifacts ---- *)
 
 let test_history_entries () =
   let entries, errs = Report.scan_bench ~dir:(artifact_dir ()) in
   List.iter (fun e -> Alcotest.failf "scan_bench: %s" e) errs;
-  Alcotest.(check bool) "all three artifacts found" true
-    (List.length entries >= 3);
+  Alcotest.(check bool) "all four artifacts found" true
+    (List.length entries >= 4);
   List.iter
     (fun (e : Report.bench_entry) ->
       Alcotest.(check bool)
@@ -380,6 +396,7 @@ let suite =
       test_bench_probe_schema;
     Alcotest.test_case "BENCH_linkload.json schema" `Quick
       test_bench_linkload_schema;
+    Alcotest.test_case "BENCH_swap.json schema" `Quick test_bench_swap_schema;
     Alcotest.test_case "history scan of committed artifacts" `Quick
       test_history_entries;
   ]
