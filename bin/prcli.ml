@@ -263,6 +263,7 @@ let trace name src_label dst_label failures_spec embedding seed simple =
     | Pr_core.Forward.Delivered -> "delivered"
     | Pr_core.Forward.Dropped_no_interface -> "DROPPED (no live interface)"
     | Pr_core.Forward.Dropped_unreachable -> "DROPPED (unreachable)"
+    | Pr_core.Forward.Dropped_corrupt -> "DROPPED (corrupt)"
     | Pr_core.Forward.Ttl_exceeded -> "LOOP (TTL exceeded)"
   in
   Printf.printf "PR %s: %s\n" outcome
@@ -663,7 +664,50 @@ let shrunk_trace_comment (s : Pr_chaos.Scenario.t) =
           Some (Buffer.contents buf))
 
 let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
-    control_delay schemes_spec no_shrink out replay backend_spec timeline =
+    control_delay schemes_spec no_shrink out replay backend_spec timeline
+    corrupt corrupt_events =
+  if corrupt && replay <> None then begin
+    Printf.eprintf
+      "--corrupt and --replay are mutually exclusive (corruption campaigns \
+       are replayed by seed)\n";
+    exit 1
+  end;
+  if corrupt && corrupt_events < 1 then begin
+    Printf.eprintf "--corrupt-events must be >= 1\n";
+    exit 1
+  end;
+  if corrupt then begin
+    let topo = load_topology name in
+    let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+    let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+    let cfg =
+      {
+        (Pr_chaos.Corrupt.default_config topo rotation ~seed) with
+        Pr_chaos.Corrupt.events = corrupt_events;
+      }
+    in
+    match Pr_chaos.Corrupt.run cfg with
+    | Error msg ->
+        Printf.eprintf "corruption campaign failed: %s\n" msg;
+        exit 2
+    | Ok result ->
+        print_string (Pr_chaos.Corrupt.report cfg result);
+        if not (Pr_chaos.Corrupt.passed result) then begin
+          (match out with
+          | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let path =
+                Filename.concat dir (topo.Topology.name ^ "-corrupt.chaos")
+              in
+              let oc = open_out path in
+              output_string oc (Pr_chaos.Corrupt.repro cfg result);
+              close_out oc;
+              Printf.printf "wrote %s\n" path
+          | None -> print_string (Pr_chaos.Corrupt.repro cfg result));
+          exit 2
+        end
+  end
+  else
   match replay with
   | Some path -> (
       match Pr_chaos.Scenario.load path with
@@ -809,12 +853,25 @@ let chaos_cmd =
                  window width (simulated time units) and render it in
                  the campaign report.")
   in
+  let corrupt =
+    Arg.(value & flag & info [ "corrupt" ]
+           ~doc:"Run the corruption campaign instead of the link-fault one:
+                 header bit-flips through both guarded backends, FIB-cell
+                 damage on scratch images, stale-epoch reads and journalled
+                 crash/recovery checks.  Exits 2 (with a .chaos artifact
+                 under $(b,--out)) on any invariant violation.")
+  in
+  let corrupt_events =
+    Arg.(value & opt int 96 & info [ "corrupt-events" ] ~docv:"INT"
+           ~doc:"Corruption descriptors to draw with $(b,--corrupt).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Chaos campaign: correlated fault injection with online invariant              monitors; violations are shrunk to replayable scenarios.")
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
           $ mix $ hold_down $ detect_delay $ control_delay $ schemes
-          $ no_shrink $ out $ replay $ backend_arg $ timeline)
+          $ no_shrink $ out $ replay $ backend_arg $ timeline $ corrupt
+          $ corrupt_events)
 
 (* ---- swap: scripted control-plane sessions over the compiled image ---- *)
 
@@ -891,11 +948,20 @@ let parse_edit_script topo path =
   end;
   List.rev !batches
 
-let swap_session name embedding seed edits_file threshold json_flag =
+let swap_session name embedding seed edits_file threshold json_flag
+    journal_path crash_after =
   if threshold < 0.0 then begin
     Printf.eprintf "threshold must be non-negative\n";
     exit 1
   end;
+  (match (journal_path, crash_after) with
+  | None, Some _ ->
+      Printf.eprintf "--crash-after needs --journal (nothing to recover from)\n";
+      exit 1
+  | _, Some k when k < 1 ->
+      Printf.eprintf "--crash-after must be >= 1\n";
+      exit 1
+  | _ -> ());
   let topo = load_topology name in
   let fig2 = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation fig2 topo in
@@ -943,6 +1009,22 @@ let swap_session name embedding seed edits_file threshold json_flag =
         Printf.sprintf "weight %s-%s %g" (label e.Delta.u) (label e.Delta.v) w
   in
   let batches = parse_edit_script topo edits_file in
+  (* The write-ahead journal: checkpoint the base, log each batch before
+     it is applied, mark it committed after its epoch is published.
+     --crash-after kills the session between apply and commit, leaving
+     the journal `prcli recover` replays. *)
+  let journal =
+    Option.map
+      (fun path ->
+        match Pr_fastpath.Journal.writer path with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        | Ok w ->
+            Pr_fastpath.Journal.log_checkpoint w ~seq:0 base;
+            w)
+      journal_path
+  in
   let c0, ll0 = sweep base in
   let prev_loads = ref (loads ll0) in
   let mismatches = ref 0 in
@@ -960,15 +1042,30 @@ let swap_session name embedding seed edits_file threshold json_flag =
       topo.Topology.name (List.length batches) threshold;
     Printf.printf "epoch 0 (base): %s\n" (counters_line c0 ll0)
   end;
+  let seq = ref 0 in
+  let crashed = ref false in
   List.iter
     (fun (lineno, batch) ->
+      if !crashed then ()
+      else begin
+      incr seq;
+      Option.iter
+        (fun w -> Pr_fastpath.Journal.log_batch w ~seq:!seq batch)
+        journal;
       match Delta.apply ~threshold (Pr_fastpath.Swap.current store) batch with
       | Error err ->
           Printf.eprintf "%s:%d: %s\n" edits_file lineno
             (Delta.describe_error err);
           exit 1
+      | Ok (_, _) when crash_after = Some !seq ->
+          (* The §crash window: the batch is journalled and applied, the
+             publish never happens.  Recovery must replay it anyway. *)
+          crashed := true
       | Ok (next, stats) ->
           let epoch = Pr_fastpath.Swap.publish store next in
+          Option.iter
+            (fun w -> Pr_fastpath.Journal.log_commit w ~seq:!seq)
+            journal;
           let pinned, image = Pr_fastpath.Swap.pin store in
           Pr_fastpath.Kernel.rebind kernel image;
           let c, ll = sweep image in
@@ -1024,8 +1121,16 @@ let swap_session name embedding seed edits_file threshold json_flag =
                         (fun (u, v, d) ->
                           Printf.sprintf " %s->%s %+d" (label u) (label v) d)
                         (List.filteri (fun i _ -> i < 3) movers)))
-          end)
+          end
+      end)
     batches;
+  Option.iter Pr_fastpath.Journal.close journal;
+  if !crashed then
+    Printf.printf
+      "simulated crash after batch %d: journalled but never published — \
+       replay with: prcli recover -t %s --journal %s\n"
+      !seq topo.Topology.name
+      (Option.value ~default:"JOURNAL" journal_path);
   if json_flag then Printf.printf "[%s]\n" (String.concat ",\n " (List.rev !records))
   else begin
     let s = Pr_fastpath.Swap.stats store in
@@ -1056,6 +1161,19 @@ let swap_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Emit one JSON array of per-epoch records instead of text.")
   in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Write-ahead journal: checkpoint the base image, log each
+                 batch before it is applied and mark it committed once its
+                 epoch publishes, so $(b,prcli recover) can replay the
+                 session after a crash.")
+  in
+  let crash_after =
+    Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"N"
+           ~doc:"Simulate a control-plane crash after batch N was
+                 journalled and applied but before it published; requires
+                 $(b,--journal).")
+  in
   Cmd.v
     (Cmd.info "swap"
        ~doc:"Replay a scripted control-plane session: apply each edit batch
@@ -1065,7 +1183,82 @@ let swap_cmd =
              link-load movers.  Exits 1 on malformed scripts, 2 on any
              differential mismatch.")
     Term.(const swap_session $ topo_arg $ embedding_arg $ seed_arg $ edits
-          $ threshold $ json)
+          $ threshold $ json $ journal $ crash_after)
+
+(* ---- recover: replay a write-ahead journal after a crash ---- *)
+
+let recover name embedding seed journal_path json_flag =
+  let topo = load_topology name in
+  let fig2 = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+  let rotation = Pr_exp.Fig2.resolve_rotation fig2 topo in
+  let g = topo.Topology.graph in
+  let base =
+    Fib.of_tables_exn (Pr_core.Routing.build g)
+      (Pr_core.Cycle_table.build rotation)
+  in
+  match Pr_fastpath.Journal.recover ~base journal_path with
+  | Error msg ->
+      (* Unreadable, truncated mid-file, checkpoint-less or otherwise
+         malformed journals are all one-line exit-1 failures, the
+         malformed-input convention. *)
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | Ok r ->
+      let image = r.Pr_fastpath.Journal.image in
+      (* The recovery invariant: the replayed image is byte-equal to a
+         cold full recompile of the final effective topology. *)
+      let ok = Fib.equal image (Delta.recompile image) in
+      let admin = Fib.admin_down image in
+      if json_flag then
+        Printf.printf
+          "{\"journal\":%S,\"checkpoint_seq\":%d,\"replayed\":%d,\"uncommitted\":%d,\"torn_tail\":%b,\"admin_down\":%d,\"recompile\":%S}\n"
+          journal_path r.Pr_fastpath.Journal.checkpoint_seq
+          r.Pr_fastpath.Journal.replayed r.Pr_fastpath.Journal.uncommitted
+          r.Pr_fastpath.Journal.torn_tail (List.length admin)
+          (if ok then "ok" else "mismatch")
+      else begin
+        Printf.printf
+          "recovered %s from %s: checkpoint seq %d, %d batch(es) replayed \
+           (%d uncommitted)%s\n"
+          topo.Topology.name journal_path r.Pr_fastpath.Journal.checkpoint_seq
+          r.Pr_fastpath.Journal.replayed r.Pr_fastpath.Journal.uncommitted
+          (if r.Pr_fastpath.Journal.torn_tail then ", torn tail dropped"
+           else "");
+        let label = Topology.label topo in
+        (match admin with
+        | [] -> Printf.printf "  administrative state: all links live\n"
+        | l ->
+            Printf.printf "  administratively down:%s\n"
+              (String.concat ""
+                 (List.map
+                    (fun (u, v) ->
+                      Printf.sprintf " %s-%s" (label u) (label v))
+                    l)));
+        Printf.printf "  full-recompile referee: %s\n"
+          (if ok then "byte-equal" else "MISMATCH")
+      end;
+      if not ok then exit 2
+
+let recover_cmd =
+  let journal =
+    Arg.(required & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"The write-ahead journal a crashed $(b,prcli swap
+                 --journal) session left behind.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one JSON object instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild the image a crashed control plane should republish:
+             decode the journal's last checkpoint and redo every
+             journalled edit batch after it, committed or not, then
+             referee the result byte-for-byte against a full recompile.
+             Exits 1 on an unreadable or damaged journal, 2 if the
+             recovered image diverges from the referee.")
+    Term.(const recover $ topo_arg $ embedding_arg $ seed_arg $ journal
+          $ json)
 
 (* ---- detect: detection-delay sweep ---- *)
 
@@ -1298,7 +1491,8 @@ let refuse_overwrite ~force path =
   end
 
 let bench name embedding seed backend_spec domains json probe repeat probe_out
-    force linkload_flag linkload_out swap_flag swap_out history history_dir =
+    force linkload_flag linkload_out swap_flag swap_out guard_flag guard_out
+    history history_dir =
   let backend = parse_backend backend_spec in
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
@@ -1312,6 +1506,7 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
   if probe then refuse_overwrite ~force probe_out;
   if linkload_flag then refuse_overwrite ~force linkload_out;
   if swap_flag then refuse_overwrite ~force swap_out;
+  if guard_flag then refuse_overwrite ~force guard_out;
   let topo = load_topology name in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
@@ -1376,7 +1571,10 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
                   Pr_sim.Metrics.record_loop metrics
               | Pr_core.Forward.Dropped_no_interface
               | Pr_core.Forward.Dropped_unreachable ->
-                  Pr_sim.Metrics.record_drop metrics)
+                  Pr_sim.Metrics.record_drop metrics
+              | Pr_core.Forward.Dropped_corrupt ->
+                  Pr_sim.Metrics.record_drop ~reason:Pr_sim.Metrics.Corrupt
+                    metrics)
           it.pairs)
       items;
     metrics
@@ -1570,6 +1768,61 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
       "  swap: incremental %.0f ns, full %.0f ns per recompile (x%.3f), \
        pause %.0f ns; wrote %s\n"
       incremental_ns full_ns norm pause_ns swap_out
+  end;
+  if guard_flag then begin
+    (* Guard-mode overhead: the same single-threaded kernel sweep with the
+       FIB-cell bounds checks off and on.  Clean traffic must keep every
+       verdict — the counters are compared exactly — so the ratio prices
+       the checks alone. *)
+    let sweep ~guard () =
+      let kernel = Pr_fastpath.Kernel.create fib in
+      Pr_fastpath.Kernel.set_guard kernel guard;
+      let counters = Pr_fastpath.Kernel.fresh_counters () in
+      Array.iter
+        (fun (it : Pr_fastpath.Parallel.item) ->
+          Pr_fastpath.Kernel.set_failures kernel it.failures;
+          Array.iter
+            (fun (src, dst) ->
+              if not (Pr_core.Failure.pair_connected it.failures src dst) then
+                Pr_fastpath.Kernel.record_unreachable counters
+              else Pr_fastpath.Kernel.forward_into kernel counters ~src ~dst)
+            it.pairs)
+        items;
+      counters
+    in
+    let off, elapsed_guard_off = best_of (fun () -> sweep ~guard:false ()) in
+    let on, elapsed_guard_on = best_of (fun () -> sweep ~guard:true ()) in
+    if not (Pr_fastpath.Kernel.equal_counters off on) then begin
+      Printf.eprintf "guard-on run changed the verdicts — guard bug\n";
+      exit 1
+    end;
+    let ns_off =
+      elapsed_guard_off *. 1e9 /. float_of_int (max 1 packets)
+    in
+    let ns_on = elapsed_guard_on *. 1e9 /. float_of_int (max 1 packets) in
+    let ratio =
+      if elapsed_guard_off > 0.0 then elapsed_guard_on /. elapsed_guard_off
+      else 1.0
+    in
+    let oc = open_out guard_out in
+    Printf.fprintf oc
+      "{\n\
+      \  \"suite\": \"guard\",\n\
+      \  \"topology\": %S,\n\
+      \  \"backend\": \"compiled\",\n\
+      \  \"repeat\": %d,\n\
+      \  \"scenarios\": %d,\n\
+      \  \"packets\": %d,\n\
+      \  \"guard_off\": {\"elapsed_s\": %.6f, \"ns_per_packet\": %.2f},\n\
+      \  \"guard_on\": {\"elapsed_s\": %.6f, \"ns_per_packet\": %.2f},\n\
+      \  \"overhead_ratio\": %.4f\n\
+       }\n"
+      topo.Topology.name repeat (Array.length items) packets elapsed_guard_off
+      ns_off elapsed_guard_on ns_on ratio;
+    close_out oc;
+    Printf.printf
+      "  guard: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
+      ns_off ns_on ratio guard_out
   end
 
 let bench_cmd =
@@ -1621,6 +1874,16 @@ let bench_cmd =
     Arg.(value & opt string "BENCH_swap.json" & info [ "swap-out" ]
            ~docv:"FILE" ~doc:"Where --swap writes its JSON.")
   in
+  let guard =
+    Arg.(value & flag & info [ "guard" ]
+           ~doc:"Also time the kernel sweep with guard mode (FIB-cell
+                 bounds checks) off and on, verify the verdicts are
+                 unchanged, and write the overhead ratio as JSON.")
+  in
+  let guard_out =
+    Arg.(value & opt string "BENCH_guard.json" & info [ "guard-out" ]
+           ~docv:"FILE" ~doc:"Where --guard writes its JSON.")
+  in
   let history =
     Arg.(value & flag & info [ "history" ]
            ~doc:"Regression check: parse the committed BENCH_*.json
@@ -1638,7 +1901,8 @@ let bench_cmd =
              compiled data plane.")
     Term.(const bench $ topo_arg $ embedding_arg $ seed_arg $ backend_arg
           $ domains $ json $ probe $ repeat $ probe_out $ force $ linkload
-          $ linkload_out $ swap $ swap_out $ history $ history_dir)
+          $ linkload_out $ swap $ swap_out $ guard $ guard_out $ history
+          $ history_dir)
 
 (* ---- report: the network observatory rollup ---- *)
 
@@ -1704,7 +1968,7 @@ let main_cmd =
     [
       topo_cmd; embed_cmd; table_cmd; trace_cmd; explain_cmd; fig2_cmd;
       figures_cmd; hunt_cmd; overhead_cmd; ablation_cmd; coverage_cmd;
-      chaos_cmd; swap_cmd; detect_cmd; bench_cmd; report_cmd;
+      chaos_cmd; swap_cmd; recover_cmd; detect_cmd; bench_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -31,6 +31,7 @@ let () =
       (match trace.Pr_core.Forward.outcome with
       | Pr_core.Forward.Delivered -> "delivered"
       | Pr_core.Forward.Dropped_no_interface | Pr_core.Forward.Dropped_unreachable
+      | Pr_core.Forward.Dropped_corrupt
         -> "DROPPED"
       | Pr_core.Forward.Ttl_exceeded -> "LOOP")
       (String.concat " -> "

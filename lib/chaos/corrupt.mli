@@ -1,0 +1,68 @@
+(** The corruption campaign: execute {!Gen.corrupt_storm} descriptors
+    against the guarded backends and check the robustness invariants.
+
+    Where {!Campaign} stresses the protocol with correlated {e link}
+    faults, this campaign damages {e state}: header bit-flips and
+    impossible injected fields run through both guarded engines
+    ({!Pr_core.Forward.run_guarded} and the guard-mode
+    {!Pr_fastpath.Kernel}) with their verdicts compared; FIB-cell junk is
+    written into a codec-deep-copied scratch image and swept with guarded
+    traffic; stale-epoch reads go through a {!Pr_fastpath.Swap} store
+    under pin accounting; and crash points kill a journalled control
+    plane between {!Pr_fastpath.Fib.Delta} apply and publication, then
+    check {!Pr_fastpath.Journal.recover}.
+
+    The invariants, all recorded as {!violation}s rather than raised:
+
+    - no uncaught exception escapes a guarded walk, however damaged the
+      input — every packet is delivered or dropped with an accounted
+      fault reason;
+    - the two backends agree on outcome and fault class for every
+      injected header;
+    - a post-crash recovered image is byte-equal
+      ({!Pr_fastpath.Fib.equal}) to both the journalled topology and a
+      full recompile of it, with a torn journal tail tolerated;
+    - superseded epochs retire exactly at their last unpin and the store
+      ends quiescent. *)
+
+type config = {
+  topology : Pr_topo.Topology.t;
+  rotation : Pr_embed.Rotation.t;
+  seed : int;
+  events : int;  (** corruption descriptors to draw *)
+  sweep : int;   (** packets swept across each damaged image *)
+  batches : int; (** journalled edit batches per crash point *)
+}
+
+val default_config :
+  Pr_topo.Topology.t -> Pr_embed.Rotation.t -> seed:int -> config
+(** 96 events, 64-packet sweeps, 6-batch journals. *)
+
+type violation = { event : string; detail : string }
+(** One broken invariant: the corruption descriptor that exposed it and a
+    one-line diagnosis. *)
+
+type t = {
+  injected : int;        (** corrupt walks and recoveries exercised *)
+  delivered : int;
+  accounted : int;       (** accounted drops plus TTL expiries *)
+  faults : (string * int) list;
+      (** {!Pr_core.Forward.fault_name} class -> detections *)
+  crash_recoveries : int;
+  stale_reads : int;
+  violations : violation list;  (** empty iff the campaign passed *)
+}
+
+val run : config -> (t, string) result
+(** Execute the campaign.  [Error] only on setup problems (a degenerate
+    topology, tables that do not compile); invariant breaks are reported
+    in [violations], never raised. *)
+
+val passed : t -> bool
+
+val report : config -> t -> string
+(** Multi-line human summary. *)
+
+val repro : config -> t -> string
+(** Replayable [.chaos]-artifact text for a failed run: comment lines
+    carrying the reproducing command and every violation. *)

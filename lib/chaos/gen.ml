@@ -10,11 +10,14 @@ type kind =
   | Flap_storm
   | Blip
   | Swap_storm
+  | Corrupt_storm
 
 (* Later generators are appended last so the shared-rng draw order of the
    earlier ones — and with it every existing seeded campaign — is
    unchanged. *)
-let all = [ Srlg; Regional; Node_crash; Cascade; Flap_storm; Blip; Swap_storm ]
+let all =
+  [ Srlg; Regional; Node_crash; Cascade; Flap_storm; Blip; Swap_storm;
+    Corrupt_storm ]
 
 let name = function
   | Srlg -> "srlg"
@@ -24,6 +27,7 @@ let name = function
   | Flap_storm -> "flap"
   | Blip -> "blip"
   | Swap_storm -> "swap"
+  | Corrupt_storm -> "corrupt"
 
 let of_name s =
   match List.find_opt (fun k -> name k = s) all with
@@ -272,6 +276,106 @@ let swap_storm rng (topo : Pr_topo.Topology.t) ~horizon ?(links = 3)
     chosen;
   normalise !events
 
+(* ---- corruption storms ----
+
+   Unlike every generator above, a corruption storm does not damage
+   links — it damages {e state}: bytes in flight (the encoded
+   [1 + dd_bits] header field), cells of a compiled FIB image, reads
+   against a superseded epoch, and the control plane's own process
+   (crash points between apply and publish).  So its output is a list of
+   corruption descriptors, not link events, and the corruption campaign
+   ({!Corrupt}) — not the timed simulator — executes them. *)
+
+type corruption =
+  | Flip_field of { src : int; dst : int; field : int }
+      (* bit-damaged encoded header field, decoded by both backends *)
+  | Raw_header of { src : int; dst : int; dd : float }
+      (* in-flight PR-marked header with a raw, possibly impossible DD *)
+  | Claim_from of { src : int; dst : int; from_ : int }
+      (* claimed previous hop, possibly not a neighbour of [src] *)
+  | Cell_damage of { table : string; slot : int; value : int }
+      (* one damaged cell of a scratch FIB image (compiled backend) *)
+  | Stale_read of { src : int; dst : int }
+      (* forward on a pinned superseded epoch *)
+  | Crash_point of { after_batch : int }
+      (* kill the control plane between Delta apply and Swap publish *)
+
+let corruption_name = function
+  | Flip_field _ -> "flip-field"
+  | Raw_header _ -> "raw-header"
+  | Claim_from _ -> "claim-from"
+  | Cell_damage _ -> "cell-damage"
+  | Stale_read _ -> "stale-read"
+  | Crash_point _ -> "crash-point"
+
+let describe_corruption = function
+  | Flip_field { src; dst; field } ->
+      Printf.sprintf "flip-field %d -> %d field %d" src dst field
+  | Raw_header { src; dst; dd } ->
+      Printf.sprintf "raw-header %d -> %d dd %h" src dst dd
+  | Claim_from { src; dst; from_ } ->
+      Printf.sprintf "claim-from %d -> %d from %d" src dst from_
+  | Cell_damage { table; slot; value } ->
+      Printf.sprintf "cell-damage %s[%d] <- %d" table slot value
+  | Stale_read { src; dst } -> Printf.sprintf "stale-read %d -> %d" src dst
+  | Crash_point { after_batch } ->
+      Printf.sprintf "crash-point after batch %d" after_batch
+
+(* The kernel's index-bearing tables, by the names {!Corrupt} resolves. *)
+let damage_tables =
+  [| "port_node"; "node_port"; "next_hop_port"; "cycle_col"; "comp_col";
+     "lfa_off"; "lfa_ports" |]
+
+let corrupt_storm rng (topo : Pr_topo.Topology.t) ?(events = 64) () =
+  let n = Graph.n topo.Pr_topo.Topology.graph in
+  if n < 2 then invalid_arg "Gen.corrupt_storm: need at least two nodes";
+  let pair () =
+    let src = Rng.int rng n in
+    (src, (src + 1 + Rng.int rng (n - 1)) mod n)
+  in
+  List.init events (fun _ ->
+      match Rng.int rng 6 with
+      | 0 ->
+          let src, dst = pair () in
+          (* Low fields decode (possibly to a PR-marked header with junk
+             DD bits); high and negative ones must come back as the
+             bad-field fault, never an exception. *)
+          let field =
+            let raw = Rng.int rng (1 lsl 16) in
+            if Rng.int rng 4 = 0 then -raw - 1 else raw
+          in
+          Flip_field { src; dst; field }
+      | 1 ->
+          let src, dst = pair () in
+          let dd =
+            match Rng.int rng 5 with
+            | 0 -> Float.nan
+            | 1 -> Float.infinity
+            | 2 -> -1.0 -. Rng.float rng 100.0
+            | 3 -> 1e9 +. Rng.float rng 1e9
+            | _ -> Rng.float rng 8.0
+          in
+          Raw_header { src; dst; dd }
+      | 2 ->
+          let src, dst = pair () in
+          Claim_from { src; dst; from_ = Rng.int rng (n + 2) - 1 }
+      | 3 ->
+          let table =
+            damage_tables.(Rng.int rng (Array.length damage_tables))
+          in
+          let value =
+            match Rng.int rng 4 with
+            | 0 -> -2
+            | 1 -> max_int / 2
+            | 2 -> n + Rng.int rng (8 * n)
+            | _ -> Rng.int rng (2 * n)
+          in
+          Cell_damage { table; slot = Rng.int rng 1_000_000; value }
+      | 4 ->
+          let src, dst = pair () in
+          Stale_read { src; dst }
+      | _ -> Crash_point { after_batch = Rng.int rng 6 })
+
 let generate rng topo ~horizon ~mix =
   let events =
     List.concat_map
@@ -283,7 +387,10 @@ let generate rng topo ~horizon ~mix =
         | Cascade -> cascade rng topo ~horizon ()
         | Flap_storm -> flap_storm rng topo ~horizon ()
         | Blip -> blip rng topo ~horizon ()
-        | Swap_storm -> swap_storm rng topo ~horizon ())
+        | Swap_storm -> swap_storm rng topo ~horizon ()
+        (* Corruption is not a link-event stream; {!corrupt_storm} feeds
+           the corruption campaign instead. *)
+        | Corrupt_storm -> [])
       mix
   in
   normalise events

@@ -27,6 +27,12 @@ type kind =
   | Swap_storm  (** long-dwell down/up cycles that each outlive a control
                     plane's reconciliation delay — maximum epoch churn for
                     the {!Pr_sim.Engine} hot-swap path *)
+  | Corrupt_storm
+                (** state damage rather than link damage: header bit-flips,
+                    FIB-cell junk, stale-epoch reads and control-plane
+                    crash points.  Emits no link events — {!corrupt_storm}
+                    produces the descriptors and the corruption campaign
+                    ({!Corrupt}) executes them. *)
 
 val all : kind list
 (** In declaration order.  Later generators are appended last so seeded
@@ -139,6 +145,48 @@ val swap_storm :
     (no vacuous swaps) — the swap-storm workload behind the
     zero-loss-across-updates campaign. *)
 
+(** {2 Corruption storms}
+
+    Damage to {e state} instead of links: these descriptors name the bad
+    byte, the damaged FIB cell, the stale epoch read or the crash point —
+    and the corruption campaign ({!Corrupt}), not the timed simulator,
+    executes them against the guarded backends. *)
+
+type corruption =
+  | Flip_field of { src : int; dst : int; field : int }
+      (** a bit-damaged encoded [1 + dd_bits] header field; both backends
+          decode it through {!Pr_core.Forward.inject_of_field} *)
+  | Raw_header of { src : int; dst : int; dd : float }
+      (** an in-flight PR-marked header carrying a raw, possibly
+          impossible DD value *)
+  | Claim_from of { src : int; dst : int; from_ : int }
+      (** a claimed previous hop, possibly not a neighbour of [src] (or
+          not a node at all) *)
+  | Cell_damage of { table : string; slot : int; value : int }
+      (** one damaged cell of a scratch FIB image — [table] is a
+          {!damage_tables} name, [slot] is reduced modulo the table's
+          length, compiled backend only *)
+  | Stale_read of { src : int; dst : int }
+      (** a forward on a pinned, superseded epoch *)
+  | Crash_point of { after_batch : int }
+      (** kill the control plane after {!Pr_fastpath.Fib.Delta} applied
+          batch [after_batch] but before {!Pr_fastpath.Swap} published
+          it *)
+
+val corruption_name : corruption -> string
+(** Stable kebab-case class name. *)
+
+val describe_corruption : corruption -> string
+(** One-line description including the locus. *)
+
+val damage_tables : string array
+(** The kernel's index-bearing FIB tables eligible for {!Cell_damage}. *)
+
+val corrupt_storm :
+  Pr_util.Rng.t -> Pr_topo.Topology.t -> ?events:int -> unit -> corruption list
+(** [events] (default 64) descriptors drawn uniformly across the six
+    corruption classes, deterministic in the rng. *)
+
 val generate :
   Pr_util.Rng.t ->
   Pr_topo.Topology.t ->
@@ -146,4 +194,6 @@ val generate :
   mix:kind list ->
   Pr_sim.Workload.link_event list
 (** Runs every generator in [mix] (in order, sharing the generator state)
-    with its defaults and returns the merged, normalised stream. *)
+    with its defaults and returns the merged, normalised stream.
+    {!Corrupt_storm} contributes no link events — draw its descriptors
+    with {!corrupt_storm}. *)

@@ -222,7 +222,9 @@ let engine_observer t =
                   "model checker delivers but the engine did not"
           | Pr_exp.Modelcheck.Drops ->
               (match tr.Forward.outcome with
-              | Forward.Dropped_no_interface | Forward.Dropped_unreachable -> ()
+              | Forward.Dropped_no_interface | Forward.Dropped_unreachable
+              | Forward.Dropped_corrupt ->
+                  ()
               | Forward.Delivered | Forward.Ttl_exceeded ->
                   record
                     ?trace:(capture_trace t ~failures ~src ~dst ())

@@ -9,6 +9,7 @@ type outcome =
   | Dropped_no_interface
   | Dropped_unreachable
   | Ttl_exceeded
+  | Dropped_corrupt
 
 type hop_header = { pr_bit : bool; dd_value : float }
 
@@ -41,6 +42,36 @@ let drop_reason_name = function
   | Interfaces_down -> "interfaces-down"
   | Continuation_lost -> "continuation-lost"
   | Budget_exhausted -> "budget-exhausted"
+
+(* Fault loci for guard-mode forwarding: each names the corruption a guarded
+   walk detected and where, in the style of Pr_fastpath.Fib's typed deltas.
+   A fault always pairs with the [Dropped_corrupt] verdict — an accounted
+   drop, never an exception. *)
+type fault =
+  | Bad_field of { field : int }
+  | Impossible_dd of { node : int; dd : float }
+  | Not_neighbour of { node : int; from_ : int }
+  | Corrupt_cell of { node : int; cell : string }
+  | Walk_blowup of { hops : int }
+
+let fault_name = function
+  | Bad_field _ -> "bad-field"
+  | Impossible_dd _ -> "impossible-dd"
+  | Not_neighbour _ -> "not-neighbour"
+  | Corrupt_cell _ -> "corrupt-cell"
+  | Walk_blowup _ -> "walk-blowup"
+
+let describe_fault = function
+  | Bad_field { field } ->
+      Printf.sprintf "header field %d does not decode" field
+  | Impossible_dd { node; dd } ->
+      Printf.sprintf "impossible DD %g at node %d" dd node
+  | Not_neighbour { node; from_ } ->
+      Printf.sprintf "previous hop %d is not a neighbour of node %d" from_ node
+  | Corrupt_cell { node; cell } ->
+      Printf.sprintf "corrupt %s cell read at node %d" cell node
+  | Walk_blowup { hops } ->
+      Printf.sprintf "corrupted walk still live after %d hops" hops
 
 type ladder_result =
   | Forwarded of {
@@ -348,8 +379,12 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
   let g = Routing.graph routing in
   let n = Graph.n g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
-    invalid_arg "Forward.run: node out of range";
-  if src = dst then invalid_arg "Forward.run: src = dst";
+    invalid_arg
+      (Printf.sprintf
+         "Forward.run: node out of range (src %d, dst %d, topology has 0..%d)"
+         src dst (n - 1));
+  if src = dst then
+    invalid_arg (Printf.sprintf "Forward.run: src = dst (node %d)" src);
   let ttl0 = match ttl with Some t -> t | None -> default_ttl g in
   let traced = Trace.enabled trace in
   let pr_episodes = ref 0 in
@@ -393,6 +428,7 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
                    reason =
                      (match outcome with
                      | Dropped_unreachable -> "no-route"
+                     | Dropped_corrupt -> "corrupt"
                      | Delivered | Dropped_no_interface | Ttl_exceeded ->
                          "interfaces-down");
                  });
@@ -450,7 +486,9 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
             Probe.record_drop p ~reason:Probe.reason_no_route ~hops ~depth
         | Dropped_no_interface ->
             Probe.record_drop p ~reason:Probe.reason_interfaces_down ~hops
-              ~depth);
+              ~depth
+        | Dropped_corrupt ->
+            Probe.record_drop p ~reason:Probe.reason_corrupt ~hops ~depth);
         for _ = 1 to !pr_episodes do
           Probe.record_episode p
         done;
@@ -459,6 +497,125 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
   in
   walk src None fresh_header ~ttl:ttl0 [ src ]
 
+type guarded = {
+  trace : trace;
+  fault : fault option;
+  drop : drop_reason option;
+  degradations : degradation list;
+}
+
+let inject_of_field ~dd_bits field =
+  match Header.decode_result ~dd_bits field with
+  | Error _ -> Error (Bad_field { field })
+  | Ok { Header.pr; dd } -> Ok { pr_bit = pr; dd_value = float_of_int dd }
+
+let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
+    ?(header = fresh_header) ?arrived_from ~routing ~cycles ~failures ~src ~dst
+    () =
+  let g = Routing.graph routing in
+  let n = Graph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg
+      (Printf.sprintf
+         "Forward.run_guarded: node out of range (src %d, dst %d, topology \
+          has 0..%d)"
+         src dst (n - 1));
+  if src = dst then
+    invalid_arg (Printf.sprintf "Forward.run_guarded: src = dst (node %d)" src);
+  let ttl0 = match ttl with Some t -> t | None -> default_ttl g in
+  (* A walk is corrupt-seeded when any header state was injected; only such
+     walks convert TTL expiry into the walk-blowup fault, so clean guarded
+     traffic keeps the plain {!Ttl_exceeded} verdict of {!run}. *)
+  let seeded = header <> fresh_header || arrived_from <> None in
+  let pr_episodes = ref 0 in
+  let failure_hits = ref 0 in
+  let max_dd = ref 0.0 in
+  let episodes = ref [] in
+  let all_degradations = ref [] in
+  let finish ?fault ?drop outcome acc =
+    {
+      trace =
+        {
+          outcome;
+          path = List.rev acc;
+          pr_episodes = !pr_episodes;
+          failure_hits = !failure_hits;
+          max_header =
+            {
+              Header.pr = !pr_episodes > 0;
+              dd = Routing.quantise_dd routing !max_dd;
+            };
+          episodes = List.rev !episodes;
+        };
+      fault;
+      drop;
+      degradations = List.rev !all_degradations;
+    }
+  in
+  (* Entry guards, in the same order the compiled kernel applies them:
+     impossible DD first, then the neighbour check on the claimed previous
+     hop.  Undecodable wire fields never reach this point — callers decode
+     with {!inject_of_field} and account {!Bad_field} directly. *)
+  let entry_fault =
+    if
+      header.pr_bit
+      && (Float.is_nan header.dd_value
+         || header.dd_value < 0.0
+         || header.dd_value = Float.infinity
+         ||
+         match dd_bits with
+         | Some b -> header.dd_value > float_of_int (Header.max_dd ~dd_bits:b)
+         | None -> false)
+    then Some (Impossible_dd { node = src; dd = header.dd_value })
+    else
+      match arrived_from with
+      | Some y
+        when y < 0 || y >= n
+             || not (Array.exists (Int.equal y) (Graph.neighbours g src)) ->
+          Some (Not_neighbour { node = src; from_ = y })
+      | _ -> None
+  in
+  match entry_fault with
+  | Some f -> finish ~fault:f Dropped_corrupt [ src ]
+  | None ->
+      let rec walk x arrived_from header ~ttl acc =
+        if x = dst then finish Delivered acc
+        else if ttl = 0 then
+          if seeded then
+            finish ~fault:(Walk_blowup { hops = ttl0 }) Dropped_corrupt acc
+          else finish Ttl_exceeded acc
+        else begin
+          match
+            ladder_step ?termination ?quantise ?dd_bits ~hops_left:ttl
+              ~budget_guard ~routing ~cycles
+              ~link_up:(fun w -> Failure.link_up failures x w)
+              ~dst ~node:x ~arrived_from ~header ()
+          with
+          | Degraded_drop { reason; failure_hits = hits; degradations } ->
+              failure_hits := !failure_hits + hits;
+              all_degradations := List.rev_append degradations !all_degradations;
+              let outcome =
+                match reason with
+                | No_route -> Dropped_unreachable
+                | Interfaces_down | Continuation_lost | Budget_exhausted ->
+                    Dropped_no_interface
+              in
+              finish ~drop:reason outcome acc
+          | Forwarded
+              { next; header; episode_started; failure_hits = hits; degradations }
+            ->
+              failure_hits := !failure_hits + hits;
+              all_degradations := List.rev_append degradations !all_degradations;
+              if episode_started then begin
+                incr pr_episodes;
+                episodes := (x, header.dd_value) :: !episodes;
+                if header.dd_value > !max_dd then max_dd := header.dd_value
+              end;
+              walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
+        end
+      in
+      walk src arrived_from header ~ttl:ttl0 [ src ]
+
 let path_cost g trace = Pr_graph.Paths.cost g trace.path
 
 let stretch ~routing ~trace ~src ~dst =
@@ -466,4 +623,6 @@ let stretch ~routing ~trace ~src ~dst =
   | Delivered ->
       let base = Routing.distance routing ~node:src ~dst in
       path_cost (Routing.graph routing) trace /. base
-  | Dropped_no_interface | Dropped_unreachable | Ttl_exceeded -> infinity
+  | Dropped_no_interface | Dropped_unreachable | Ttl_exceeded
+  | Dropped_corrupt ->
+      infinity

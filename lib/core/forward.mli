@@ -38,6 +38,10 @@ type outcome =
   | Ttl_exceeded
       (** forwarding loop: the protocol failed to terminate within the hop
           budget *)
+  | Dropped_corrupt
+      (** guard-mode only: the packet carried corrupted header state or hit
+          damaged forwarding state, detected and dropped with a {!fault}
+          locus instead of raising.  Never produced by {!step}/{!run}. *)
 
 type hop_header = { pr_bit : bool; dd_value : float }
 (** The in-flight header state: the PR bit plus the DD bits (kept as the
@@ -167,6 +171,34 @@ val degradation_name : degradation -> string
 
 val drop_reason_name : drop_reason -> string
 
+(** {2 Fault taxonomy (guard mode)}
+
+    The corruption classes a guarded walk detects and accounts.  Each
+    carries its locus, in the style of [Pr_fastpath.Fib]'s typed delta
+    errors; {!describe_fault} renders it for operators. *)
+
+type fault =
+  | Bad_field of { field : int }
+      (** the encoded [1 + dd_bits] wire field does not decode *)
+  | Impossible_dd of { node : int; dd : float }
+      (** a DD value no discriminator could have produced: negative,
+          non-finite, or above the header maximum *)
+  | Not_neighbour of { node : int; from_ : int }
+      (** the claimed previous hop is not a neighbour of the node *)
+  | Corrupt_cell of { node : int; cell : string }
+      (** a FIB cell read produced an out-of-range value ([cell] names the
+          damaged table; compiled backend only) *)
+  | Walk_blowup of { hops : int }
+      (** a corrupt-seeded walk was still live when the hop budget ran
+          out *)
+
+val fault_name : fault -> string
+(** Stable kebab-case class name: ["bad-field"], ["impossible-dd"],
+    ["not-neighbour"], ["corrupt-cell"], ["walk-blowup"]. *)
+
+val describe_fault : fault -> string
+(** One-line description including the locus. *)
+
 type trace = {
   outcome : outcome;
   path : int list;        (** nodes visited, starting at the source *)
@@ -214,6 +246,50 @@ val run :
     transmission against its directed link, classed by the header on the
     wire (PR bit set: recycled, else shortest-path — the strict walk
     never takes a ladder rung). *)
+
+type guarded = {
+  trace : trace;
+  fault : fault option;
+      (** [Some _] iff [trace.outcome = Dropped_corrupt] *)
+  drop : drop_reason option;  (** [Some _] iff a ladder drop ended the walk *)
+  degradations : degradation list;
+      (** every rung taken across the walk, oldest first *)
+}
+(** Verdict of a guarded walk. *)
+
+val inject_of_field : dd_bits:int -> int -> (hop_header, fault) result
+(** Decode a wire field into injectable header state, converting an
+    undecodable field into the {!Bad_field} fault.  Both backends share
+    this decode, so corrupted wire bytes yield identical verdicts. *)
+
+val run_guarded :
+  ?termination:termination ->
+  ?ttl:int ->
+  ?quantise:bool ->
+  ?dd_bits:int ->
+  ?budget_guard:int ->
+  ?header:hop_header ->
+  ?arrived_from:int ->
+  routing:Routing.t ->
+  cycles:Cycle_table.t ->
+  failures:Failure.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  guarded
+(** The bounds-checked reference walk: {!ladder_step} chained over the
+    global truth, with [header]/[arrived_from] (default: fresh, none)
+    injecting possibly-corrupted in-flight state at the source.
+
+    Entry guards run in the kernel's order — an impossible DD
+    (non-finite, negative, or above [Header.max_dd ~dd_bits]) and then a
+    claimed previous hop that is not a neighbour of [src] — and convert
+    the fault into an accounted {!Dropped_corrupt} verdict.  A walk
+    seeded with injected state converts TTL expiry into {!Walk_blowup};
+    clean guarded traffic keeps {!run}'s verdicts exactly (with no
+    [dd_bits] bound and no [budget_guard], verdict-for-verdict).  Raises
+    [Invalid_argument] only on caller errors ([src = dst], out-of-range
+    nodes). *)
 
 val path_cost : Pr_graph.Graph.t -> trace -> float
 (** Weighted cost of the traversed walk. *)

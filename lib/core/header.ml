@@ -26,6 +26,15 @@ let decode ~dd_bits field =
     invalid_arg "Header.decode: field out of range";
   { pr = field land 1 = 1; dd = field lsr 1 }
 
+let decode_result ~dd_bits field =
+  if dd_bits < 0 || dd_bits > 61 then
+    Error (Printf.sprintf "Header.decode: bad dd_bits %d (want 0..61)" dd_bits)
+  else if field < 0 || field >= 1 lsl (dd_bits + 1) then
+    Error
+      (Printf.sprintf "Header.decode: field %d out of range for %d+1 bits" field
+         dd_bits)
+  else Ok { pr = field land 1 = 1; dd = field lsr 1 }
+
 let bits_used ~dd_bits = 1 + dd_bits
 
 let fits_in_dscp ~dd_bits = bits_used ~dd_bits <= dscp_pool2_bits

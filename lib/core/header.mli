@@ -36,6 +36,13 @@ val decode : dd_bits:int -> int -> t
 (** Inverse of {!encode}.  Raises [Invalid_argument] on out-of-range
     fields. *)
 
+val decode_result : dd_bits:int -> int -> (t, string) result
+(** Non-raising {!decode}: a wire field that does not fit [1 + dd_bits]
+    bits (or a bad [dd_bits]) comes back as [Error] with the locus in the
+    message.  This is the entry point guard-mode forwarding uses to turn
+    corrupted header bytes into an accounted verdict instead of an
+    exception; on every [Ok] input it agrees with {!decode} exactly. *)
+
 val bits_used : dd_bits:int -> int
 
 val fits_in_dscp : dd_bits:int -> bool

@@ -118,5 +118,6 @@ let describe f =
     | Pr_core.Forward.Ttl_exceeded -> "forwarding loop"
     | Pr_core.Forward.Dropped_no_interface -> "dropped (no interface)"
     | Pr_core.Forward.Dropped_unreachable -> "dropped (unreachable)"
+    | Pr_core.Forward.Dropped_corrupt -> "dropped (corrupt)"
     | Pr_core.Forward.Delivered -> "delivered?!");
   Buffer.contents buf

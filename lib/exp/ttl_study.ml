@@ -39,7 +39,7 @@ let measure ?(seed = 42) ?(samples = 60) ?safe_rotation (topo : Topology.t) ~k
           | Forward.Delivered ->
               hops_needed := Some (Pr_graph.Paths.hops trace.Forward.path) :: !hops_needed
           | Forward.Dropped_no_interface | Forward.Dropped_unreachable
-          | Forward.Ttl_exceeded ->
+          | Forward.Dropped_corrupt | Forward.Ttl_exceeded ->
               hops_needed := None :: !hops_needed)
         (Pr_core.Scenario.connected_affected_pairs routing failures))
     scenarios;

@@ -339,6 +339,216 @@ let raw_lfa_off t = t.lfa_off
 let raw_lfa_ports t = t.lfa_ports
 let raw_live t = t.live
 
+(* ---- the checkpoint codec ---- *)
+
+module Codec = struct
+  let magic = "PRFIB1"
+
+  (* FNV-1a, 64 bit — cheap, dependency-free, and plenty to catch torn or
+     bit-flipped checkpoints (this is corruption detection, not crypto). *)
+  let fnv1a s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001b3L)
+      s;
+    !h
+
+  let add_ints buf name a =
+    Buffer.add_string buf name;
+    Array.iter
+      (fun v ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int v))
+      a;
+    Buffer.add_char buf '\n'
+
+  (* Floats travel as the hex of their IEEE bit pattern, so a decoded
+     image is bit-identical to the encoded one — the byte-equality
+     recovery invariant depends on it. *)
+  let add_floats buf name a =
+    Buffer.add_string buf name;
+    Array.iter
+      (fun v ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float v)))
+      a;
+    Buffer.add_char buf '\n'
+
+  let add_bools buf name a =
+    Buffer.add_string buf name;
+    Array.iter (fun v -> Buffer.add_string buf (if v then " 1" else " 0")) a;
+    Buffer.add_char buf '\n'
+
+  let encode t =
+    let buf = Buffer.create 4096 in
+    Printf.bprintf buf "%s %d %d %d %s %d\n" magic t.n t.ports t.dd_bits
+      (Pr_core.Discriminator.to_string t.kind)
+      (Graph.m t.g);
+    add_ints buf "degree" t.degree;
+    add_ints buf "port_node" t.port_node;
+    add_floats buf "port_weight" t.port_weight;
+    add_ints buf "node_port" t.node_port;
+    add_ints buf "next_hop_port" t.next_hop_port;
+    add_floats buf "disc" t.disc;
+    add_ints buf "disc_q" t.disc_q;
+    add_floats buf "distance" t.distance;
+    add_ints buf "cycle_col" t.cycle_col;
+    add_ints buf "comp_col" t.comp_col;
+    add_ints buf "lfa_off" t.lfa_off;
+    add_ints buf "lfa_ports" t.lfa_ports;
+    add_bools buf "live" t.live;
+    add_floats buf "eff_weight" t.eff_weight;
+    let payload = Buffer.contents buf in
+    payload ^ Printf.sprintf "sum %Lx\n" (fnv1a payload)
+
+  let fail fmt = Printf.ksprintf (fun m -> Error ("Fib.Codec: " ^ m)) fmt
+
+  let parse_row name expect ~default conv = function
+    | tag :: vals when String.equal tag name ->
+        if List.length vals <> expect then
+          fail "row %s has %d entries, want %d" name (List.length vals) expect
+        else begin
+          let a = Array.make expect default in
+          let ok = ref true in
+          List.iteri
+            (fun i s ->
+              match conv s with
+              | Some v -> a.(i) <- v
+              | None -> ok := false)
+            vals;
+          if !ok then Ok a else fail "row %s has an unparsable entry" name
+        end
+    | tag :: _ -> fail "expected row %s, found %s" name tag
+    | [] -> fail "expected row %s, found end of image" name
+
+  let int_of s = int_of_string_opt s
+
+  let float_of s =
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some bits -> Some (Int64.float_of_bits bits)
+    | None -> None
+
+  let bool_of = function "1" -> Some true | "0" -> Some false | _ -> None
+
+  let decode ~base s =
+    let ( let* ) = Result.bind in
+    let lines = String.split_on_char '\n' s in
+    let lines =
+      match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+    in
+    match List.rev lines with
+    | sum_line :: payload_rev when String.length sum_line >= 4 ->
+        let payload =
+          String.concat "\n" (List.rev payload_rev) ^ "\n"
+        in
+        let* () =
+          match String.split_on_char ' ' sum_line with
+          | [ "sum"; hex ]
+            when Int64.of_string_opt ("0x" ^ hex) = Some (fnv1a payload) ->
+              Ok ()
+          | [ "sum"; _ ] -> fail "checksum mismatch (image damaged or torn)"
+          | _ -> fail "missing checksum line"
+        in
+        let rows = List.map (String.split_on_char ' ') (List.rev payload_rev) in
+        let* header, rows =
+          match rows with
+          | h :: rest -> Ok (h, rest)
+          | [] -> fail "empty image"
+        in
+        let* n, ports, dd_bits, kind_s, m =
+          match header with
+          | [ mg; n; p; d; k; m ] when String.equal mg magic -> (
+              match
+                (int_of_string_opt n, int_of_string_opt p, int_of_string_opt d,
+                 int_of_string_opt m)
+              with
+              | Some n, Some p, Some d, Some m -> Ok (n, p, d, k, m)
+              | _ -> fail "unparsable geometry header")
+          | mg :: _ when not (String.equal mg magic) ->
+              fail "bad magic %S (want %S)" mg magic
+          | _ -> fail "unparsable geometry header"
+        in
+        let* () =
+          if
+            n = base.n && ports = base.ports && dd_bits = base.dd_bits
+            && String.equal kind_s (Pr_core.Discriminator.to_string base.kind)
+            && m = Graph.m base.g
+          then Ok ()
+          else
+            fail
+              "geometry mismatch: image is %dx%d ports, %d dd_bits, %s, %d \
+               links; base is %dx%d, %d, %s, %d"
+              n ports dd_bits kind_s m base.n base.ports base.dd_bits
+              (Pr_core.Discriminator.to_string base.kind)
+              (Graph.m base.g)
+        in
+        let* rows, degree, port_node, port_weight, node_port, next_hop_port =
+          match rows with
+          | r1 :: r2 :: r3 :: r4 :: r5 :: rest ->
+              let* degree = parse_row "degree" n ~default:0 int_of r1 in
+              let* port_node = parse_row "port_node" (n * ports) ~default:0 int_of r2 in
+              let* port_weight =
+                parse_row "port_weight" (n * ports) ~default:0.0 float_of r3
+              in
+              let* node_port = parse_row "node_port" (n * n) ~default:0 int_of r4 in
+              let* next_hop_port =
+                parse_row "next_hop_port" (n * n) ~default:0 int_of r5
+              in
+              Ok (rest, degree, port_node, port_weight, node_port, next_hop_port)
+          | _ -> fail "truncated image"
+        in
+        let* rows, disc, disc_q, distance, cycle_col, comp_col, lfa_off =
+          match rows with
+          | r1 :: r2 :: r3 :: r4 :: r5 :: r6 :: rest ->
+              let* disc = parse_row "disc" (n * n) ~default:0.0 float_of r1 in
+              let* disc_q = parse_row "disc_q" (n * n) ~default:0 int_of r2 in
+              let* distance = parse_row "distance" (n * n) ~default:0.0 float_of r3 in
+              let* cycle_col = parse_row "cycle_col" (n * ports) ~default:0 int_of r4 in
+              let* comp_col = parse_row "comp_col" (n * ports) ~default:0 int_of r5 in
+              let* lfa_off = parse_row "lfa_off" ((n * n) + 1) ~default:0 int_of r6 in
+              Ok (rest, disc, disc_q, distance, cycle_col, comp_col, lfa_off)
+          | _ -> fail "truncated image"
+        in
+        let* lfa_ports, live, eff_weight =
+          match rows with
+          | r1 :: r2 :: r3 :: ([] | [ [ "" ] ]) ->
+              let* lfa_ports =
+                parse_row "lfa_ports" lfa_off.((n * n)) ~default:0 int_of r1
+              in
+              let* live = parse_row "live" m ~default:true bool_of r2 in
+              let* eff_weight = parse_row "eff_weight" m ~default:0.0 float_of r3 in
+              Ok (lfa_ports, live, eff_weight)
+          | _ -> fail "truncated image"
+        in
+        Ok
+          {
+            g = base.g;
+            kind = base.kind;
+            n;
+            ports;
+            dd_bits;
+            degree;
+            port_node;
+            port_weight;
+            node_port;
+            next_hop_port;
+            disc;
+            disc_q;
+            distance;
+            cycle_col;
+            comp_col;
+            lfa_off;
+            lfa_ports;
+            live;
+            eff_weight;
+          }
+    | _ -> fail "truncated image"
+end
+
 (* ---- the delta overlay: incremental recompile ---- *)
 
 module Delta = struct

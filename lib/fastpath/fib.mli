@@ -191,6 +191,30 @@ val raw_lfa_ports : t -> int array
 val raw_live : t -> bool array
 (** [m]: administrative liveness by base edge index *)
 
+(** {2 The checkpoint codec}
+
+    A self-checking textual serialisation of a full image — the
+    {!Journal}'s checkpoint payload and the chaos campaign's deep-copy
+    mechanism (a decoded image shares {e no} array with any other, unlike
+    {!Delta.recompile}'s structural sharing, so its cells can be damaged
+    in place without touching the original). *)
+
+module Codec : sig
+  val encode : t -> string
+  (** Every array of the image, geometry header first, floats as the hex
+      of their IEEE bit patterns (so decoding is bit-exact), ending in an
+      FNV-1a checksum line.  [decode ~base (encode t)] satisfies
+      [equal t] for any image of [base]'s lineage. *)
+
+  val decode : base:t -> string -> (t, string) result
+  (** Rebuild an image from {!encode} output.  [base] supplies the graph
+      and geometry the blob must match (an image only makes sense over
+      its base topology); every array is freshly allocated from the blob.
+      [Error] with a one-line message on bad magic, geometry mismatch,
+      checksum failure, or a truncated / unparsable row — never an
+      exception. *)
+end
+
 (** {2 The delta overlay: incremental recompile}
 
     A batch of administrative edits against an image's current state

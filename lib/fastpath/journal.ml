@@ -1,0 +1,263 @@
+(* Write-ahead journal for the control plane's edit stream.
+
+   Every record is one line ending in its own FNV-1a checksum
+   ("<content> #<hex>"), so a torn tail — the only damage a crashed
+   writer can leave, since records are appended and flushed whole — is
+   detected structurally rather than by guessing.  Read tolerates an
+   invalid *final* line (the torn tail) and refuses an invalid line
+   anywhere else (that is corruption, not a crash). *)
+
+let magic = "prjournal 1"
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let seal content = Printf.sprintf "%s #%Lx\n" content (fnv1a content)
+
+(* Checkpoint payloads are Codec blobs — multi-line text — carried as
+   hex so a checkpoint is still one journal record. *)
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Printf.bprintf buf "%02x" (Char.code c)) s;
+  Buffer.contents buf
+
+let of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then None
+  else
+    let buf = Buffer.create (len / 2) in
+    let ok = ref true in
+    for i = 0 to (len / 2) - 1 do
+      match int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) with
+      | Some b -> Buffer.add_char buf (Char.chr b)
+      | None -> ok := false
+    done;
+    if !ok then Some (Buffer.contents buf) else None
+
+(* ---- records ---- *)
+
+type entry =
+  | Checkpoint of { seq : int; image : string }
+  | Batch of { seq : int; edits : Fib.Delta.edit list }
+  | Commit of { seq : int }
+
+let edit_to_string { Fib.Delta.u; v; change } =
+  match change with
+  | Fib.Delta.Down -> Printf.sprintf "%d,%d,down" u v
+  | Fib.Delta.Up -> Printf.sprintf "%d,%d,up" u v
+  | Fib.Delta.Weight w ->
+      Printf.sprintf "%d,%d,w%Lx" u v (Int64.bits_of_float w)
+
+let edit_of_string s =
+  match String.split_on_char ',' s with
+  | [ u; v; change ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v -> (
+          match change with
+          | "down" -> Some { Fib.Delta.u; v; change = Fib.Delta.Down }
+          | "up" -> Some { Fib.Delta.u; v; change = Fib.Delta.Up }
+          | _
+            when String.length change > 1
+                 && Char.equal change.[0] 'w' -> (
+              match
+                Int64.of_string_opt
+                  ("0x" ^ String.sub change 1 (String.length change - 1))
+              with
+              | Some bits ->
+                  Some
+                    {
+                      Fib.Delta.u;
+                      v;
+                      change = Fib.Delta.Weight (Int64.float_of_bits bits);
+                    }
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let entry_content = function
+  | Checkpoint { seq; image } ->
+      Printf.sprintf "checkpoint %d %s" seq (to_hex image)
+  | Batch { seq; edits } ->
+      Printf.sprintf "batch %d %s" seq
+        (String.concat " " (List.map edit_to_string edits))
+  | Commit { seq } -> Printf.sprintf "commit %d" seq
+
+let entry_of_content content =
+  match String.split_on_char ' ' content with
+  | [ "checkpoint"; seq; hex ] -> (
+      match (int_of_string_opt seq, of_hex hex) with
+      | Some seq, Some image -> Some (Checkpoint { seq; image })
+      | _ -> None)
+  | "batch" :: seq :: edits when edits <> [] -> (
+      match int_of_string_opt seq with
+      | Some seq ->
+          let parsed = List.filter_map edit_of_string edits in
+          if List.length parsed = List.length edits then
+            Some (Batch { seq; edits = parsed })
+          else None
+      | None -> None)
+  | [ "commit"; seq ] -> (
+      match int_of_string_opt seq with
+      | Some seq -> Some (Commit { seq })
+      | None -> None)
+  | _ -> None
+
+(* ---- writer ---- *)
+
+type writer = { oc : out_channel; path : string }
+
+let writer path =
+  match open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path with
+  | exception Sys_error m -> Error (Printf.sprintf "Journal: %s" m)
+  | oc ->
+      if out_channel_length oc = 0 then begin
+        output_string oc (seal magic);
+        flush oc
+      end;
+      Ok { oc; path }
+
+let path w = w.path
+
+(* One record = one [output_string] of a whole sealed line plus a flush:
+   the write-ahead property needs the record on its way to the file
+   before the in-memory apply proceeds. *)
+let log w entry =
+  output_string w.oc (seal (entry_content entry));
+  flush w.oc
+
+let log_checkpoint w ~seq fib = log w (Checkpoint { seq; image = Fib.Codec.encode fib })
+
+let log_batch w ~seq edits = log w (Batch { seq; edits })
+
+let log_commit w ~seq = log w (Commit { seq })
+
+let close w = close_out w.oc
+
+(* ---- reader ---- *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error (Printf.sprintf "Journal: %s" m)
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok s
+
+let parse_line line =
+  match String.rindex_opt line '#' with
+  | Some i
+    when i >= 1
+         && Char.equal line.[i - 1] ' '
+         && Int64.of_string_opt ("0x" ^ String.sub line (i + 1) (String.length line - i - 1))
+            = Some (fnv1a (String.sub line 0 (i - 1))) ->
+      let content = String.sub line 0 (i - 1) in
+      if String.equal content magic then Some `Magic
+      else Option.map (fun e -> `Entry e) (entry_of_content content)
+  | _ -> None
+
+type journal = { entries : entry list; torn_tail : bool }
+
+let read path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok s -> (
+      let lines = String.split_on_char '\n' s in
+      let lines =
+        match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+      in
+      match lines with
+      | [] -> Error "Journal: empty file"
+      | first :: rest -> (
+          match parse_line first with
+          | Some `Magic ->
+              let total = List.length rest in
+              let entries = ref [] and torn = ref false and bad = ref None in
+              List.iteri
+                (fun i line ->
+                  match parse_line line with
+                  | Some (`Entry e) -> entries := e :: !entries
+                  | Some `Magic | None ->
+                      if i = total - 1 then torn := true
+                      else if !bad = None then bad := Some (i + 2))
+                rest;
+              (match !bad with
+              | Some lineno ->
+                  Error
+                    (Printf.sprintf
+                       "Journal: damaged record at line %d (not a torn tail)"
+                       lineno)
+              | None -> Ok { entries = List.rev !entries; torn_tail = !torn })
+          | _ -> Error "Journal: missing or damaged header line"))
+
+(* ---- recovery ---- *)
+
+type recovery = {
+  image : Fib.t;
+  checkpoint_seq : int;
+  replayed : int;       (* batches re-applied after the checkpoint *)
+  uncommitted : int;    (* of those, batches with no commit marker *)
+  torn_tail : bool;
+}
+
+(* Redo-all from the last valid checkpoint: a batch that reached the
+   journal is durable intent — it is re-applied whether or not its
+   commit marker made it, because [Fib.Delta.apply] is deterministic and
+   the crash can only have lost the *publication*, never the edit.  The
+   invariant [prcli recover] enforces downstream: the replayed image is
+   byte-equal to a full recompile of the final topology. *)
+let recover ~base path =
+  match read path with
+  | Error _ as e -> e
+  | Ok { entries; torn_tail } -> (
+      let checkpoint =
+        List.fold_left
+          (fun acc e ->
+            match e with Checkpoint { seq; image } -> Some (seq, image) | _ -> acc)
+          None entries
+      in
+      match checkpoint with
+      | None -> Error "Journal: no checkpoint record (nothing to recover from)"
+      | Some (checkpoint_seq, blob) -> (
+          match Fib.Codec.decode ~base blob with
+          | Error m -> Error m
+          | Ok image ->
+              let committed = Hashtbl.create 16 in
+              List.iter
+                (function
+                  | Commit { seq } -> Hashtbl.replace committed seq ()
+                  | _ -> ())
+                entries;
+              let rec replay image last n_replayed n_uncommitted = function
+                | [] ->
+                    Ok
+                      {
+                        image;
+                        checkpoint_seq;
+                        replayed = n_replayed;
+                        uncommitted = n_uncommitted;
+                        torn_tail;
+                      }
+                | Batch { seq; edits } :: rest when seq > checkpoint_seq ->
+                    if seq <= last then
+                      Error
+                        (Printf.sprintf
+                           "Journal: batch %d out of order (after %d)" seq last)
+                    else (
+                      match Fib.Delta.apply image edits with
+                      | Error e -> Error ("Journal: " ^ Fib.Delta.describe_error e)
+                      | Ok (image, _) ->
+                          replay image seq (n_replayed + 1)
+                            (n_uncommitted
+                            + if Hashtbl.mem committed seq then 0 else 1)
+                            rest)
+                | _ :: rest -> replay image last n_replayed n_uncommitted rest
+              in
+              replay image checkpoint_seq 0 0 entries))

@@ -1,0 +1,79 @@
+(** Write-ahead journal for the control plane's edit stream.
+
+    The swap pipeline's durability story: each edit batch is logged
+    {e before} {!Fib.Delta.apply} runs and marked committed {e after}
+    {!Swap} publishes the resulting image, with periodic full-image
+    checkpoints ({!Fib.Codec}).  After a crash anywhere in that pipeline,
+    {!recover} rebuilds the image a restarted control plane should
+    publish: the last checkpoint plus a redo of every journalled batch
+    after it.
+
+    Records are self-checking single lines (content plus an FNV-1a
+    checksum), so the one legal crash artefact — a torn final line — is
+    recognised and tolerated, while damage anywhere else in the file is a
+    hard error. *)
+
+type entry =
+  | Checkpoint of { seq : int; image : string }
+      (** a full {!Fib.Codec.encode} blob; [seq] is the last batch folded
+          into it *)
+  | Batch of { seq : int; edits : Fib.Delta.edit list }
+      (** an edit batch, logged before it was applied *)
+  | Commit of { seq : int }
+      (** batch [seq]'s image was published *)
+
+(** {2 Writing} *)
+
+type writer
+
+val writer : string -> (writer, string) result
+(** Open (append) or create a journal at a path.  A fresh file gets the
+    format header; an existing one is appended to as-is.  [Error] with a
+    one-line message if the file cannot be opened. *)
+
+val path : writer -> string
+
+val log_checkpoint : writer -> seq:int -> Fib.t -> unit
+(** Write a checkpoint record and flush.  Everything before the latest
+    checkpoint is dead weight for {!recover} — callers compact by
+    checkpointing and starting a fresh file when size matters. *)
+
+val log_batch : writer -> seq:int -> Fib.Delta.edit list -> unit
+(** Write-ahead: call {e before} handing the batch to
+    {!Fib.Delta.apply}.  Flushes before returning. *)
+
+val log_commit : writer -> seq:int -> unit
+(** Call after the batch's image was published. *)
+
+val close : writer -> unit
+
+(** {2 Reading} *)
+
+type journal = {
+  entries : entry list;  (** valid records, file order *)
+  torn_tail : bool;      (** the final line was damaged and dropped *)
+}
+
+val read : string -> (journal, string) result
+(** Parse a journal file.  A damaged {e final} line is the torn-tail
+    crash artefact: dropped, flagged, not an error.  A damaged line
+    anywhere else, a missing header, or an unreadable file is [Error]
+    with a one-line message — never an exception. *)
+
+(** {2 Recovery} *)
+
+type recovery = {
+  image : Fib.t;          (** the image to republish *)
+  checkpoint_seq : int;   (** sequence of the checkpoint restored from *)
+  replayed : int;         (** batches re-applied on top of it *)
+  uncommitted : int;      (** of those, batches with no commit marker *)
+  torn_tail : bool;
+}
+
+val recover : base:Fib.t -> string -> (recovery, string) result
+(** Redo-all recovery: decode the {e last} valid checkpoint against
+    [base] and re-apply every batch with a later sequence number, in
+    order, committed or not — a journalled batch is durable intent, and
+    only publication can have been lost.  [Error] on an unreadable or
+    damaged journal, a journal with no checkpoint, out-of-order batches,
+    or a batch the image rejects. *)

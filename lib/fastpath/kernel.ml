@@ -68,6 +68,18 @@ type t = {
       (* countdown to the next clocked slow-path decision; lives here
          rather than on the probe record so the per-decide test touches
          the kernel's hot scratch, not the probe's cold cache line *)
+  mutable guard_mode : bool;
+      (* bounds-checked forwarding: every FIB-cell read that yields an
+         out-of-range port or node becomes an accounted [Corrupt] verdict
+         instead of an unsafe read.  Off (the default) costs one
+         well-predicted bool test per check site. *)
+  (* Guard-mode fault registers, written when a check fires and read back
+     by [fault_of] at verdict time — integer registers so the hot loop
+     never allocates a fault value. *)
+  mutable fault_code : int;
+  mutable fault_node : int;
+  mutable fault_aux : int;
+  mutable fault_dd : float;
 }
 
 (* [fbuf] slots. *)
@@ -126,6 +138,11 @@ let create fib =
     walk_ttl0 = 0;
     walk_ep0 = 0;
     lat_tick = 0;
+    guard_mode = false;
+    fault_code = 0;
+    fault_node = -1;
+    fault_aux = -1;
+    fault_dd = 0.0;
   }
   in
   load_admin t;
@@ -164,6 +181,10 @@ let rebind t fib =
   done
 
 let set_trace t sink = t.trace <- sink
+
+let set_guard t on = t.guard_mode <- on
+
+let guarded t = t.guard_mode
 
 let set_probe t probe = t.probe <- probe
 
@@ -215,7 +236,10 @@ let fill_truth t f = fill_plane t t.truth f
 
 let port_or_die t ~node ~other what =
   if node < 0 || node >= t.n || other < 0 || other >= t.n then
-    invalid_arg ("Kernel." ^ what ^ ": node out of range");
+    invalid_arg
+      (Printf.sprintf
+         "Kernel.%s: node out of range (node %d, other %d, image has 0..%d)"
+         what node other (t.n - 1));
   let p = t.node_port.((node * t.n) + other) in
   if p < 0 then
     invalid_arg
@@ -248,6 +272,63 @@ let c_continuation_lost = 3
 
 let c_budget_exhausted = 4
 
+let c_corrupt = 5
+
+(* Fault-register codes ([t.fault_code]). *)
+let fc_impossible_dd = 1
+
+let fc_not_neighbour = 2
+
+let fc_cell = 3
+
+let fc_walk_blowup = 4
+
+(* Which FIB table a corrupt-cell guard fired on ([t.fault_aux]). *)
+let cell_next_hop = 0
+
+let cell_cycle = 1
+
+let cell_comp = 2
+
+let cell_lfa_off = 3
+
+let cell_lfa_ports = 4
+
+let cell_port_node = 5
+
+let cell_node_port = 6
+
+let cell_names =
+  [|
+    "next-hop-port";
+    "cycle-col";
+    "comp-col";
+    "lfa-off";
+    "lfa-ports";
+    "port-node";
+    "node-port";
+  |]
+
+let fault_of t =
+  if t.fault_code = fc_impossible_dd then
+    Some (Forward.Impossible_dd { node = t.fault_node; dd = t.fault_dd })
+  else if t.fault_code = fc_not_neighbour then
+    Some (Forward.Not_neighbour { node = t.fault_node; from_ = t.fault_aux })
+  else if t.fault_code = fc_cell then
+    Some
+      (Forward.Corrupt_cell
+         { node = t.fault_node; cell = cell_names.(t.fault_aux) })
+  else if t.fault_code = fc_walk_blowup then
+    Some (Forward.Walk_blowup { hops = t.fault_aux })
+  else None
+
+(* A guard check fired: record the locus and drop with the corrupt code. *)
+let corrupt_cell t ~node ~cell =
+  t.fault_code <- fc_cell;
+  t.fault_node <- node;
+  t.fault_aux <- cell;
+  c_corrupt
+
 (* The rungs are top-level functions with explicit immediate arguments —
    no local closures, and no float parameters or returns (those would box
    on every call without flambda).  Float flow goes through [t.fbuf]:
@@ -269,6 +350,7 @@ let drop_name_of_code = function
   | 1 -> "no-route"
   | 2 -> "interfaces-down"
   | 3 -> "continuation-lost"
+  | 5 -> "corrupt"
   | _ -> "budget-exhausted"
 
 (* Forward.decide's [write_dd]: stamp the local discriminator (saturated
@@ -297,7 +379,9 @@ let start_complementary t base ~deg failed_port ~started =
            failed = Array.unsafe_get t.port_node (base + failed_port);
          });
   let rec rotate candidate remaining =
-    if remaining = 0 then c_interfaces_down
+    if t.guard_mode && (candidate < 0 || candidate >= deg) then
+      corrupt_cell t ~node:(base / t.ports) ~cell:cell_comp
+    else if remaining = 0 then c_interfaces_down
     else if up t base candidate then forwarded t candidate ~pr:true ~started
     else begin
       t.hits <- t.hits + 1;
@@ -308,7 +392,9 @@ let start_complementary t base ~deg failed_port ~started =
 
 let routed t base ii ~deg ~quantise ~max_dd_q =
   let p = Array.unsafe_get t.next_hop_port ii in
-  if p < 0 then c_no_route
+  if t.guard_mode && (p < -1 || p >= deg) then
+    corrupt_cell t ~node:(base / t.ports) ~cell:cell_next_hop
+  else if p < 0 then c_no_route
   else if up t base p then begin
     Array.unsafe_set t.fbuf f_out_dd 0.0;
     forwarded t p ~pr:false ~started:false
@@ -323,15 +409,22 @@ let routed t base ii ~deg ~quantise ~max_dd_q =
     start_complementary t base ~deg p ~started:true
   end
 
-let lfa_rescue t base ii ~reason =
+let lfa_rescue t base ii ~deg ~reason =
   if Array.unsafe_get t.next_hop_port ii < 0 then c_no_route
   else begin
-    let hi = t.lfa_off.(ii + 1) in
+    let lo = t.lfa_off.(ii) and hi = t.lfa_off.(ii + 1) in
+    if
+      t.guard_mode
+      && (lo < 0 || hi < lo || hi > Array.length t.lfa_ports)
+    then corrupt_cell t ~node:(base / t.ports) ~cell:cell_lfa_off
+    else
     let rec scan j =
       if j >= hi then reason
       else
         let w = Array.unsafe_get t.lfa_ports j in
-        if up t base w then begin
+        if t.guard_mode && (w < 0 || w >= deg) then
+          corrupt_cell t ~node:(base / t.ports) ~cell:cell_lfa_ports
+        else if up t base w then begin
           note t d_lfa;
           if traced t then
             Trace.emit t.trace
@@ -346,12 +439,14 @@ let lfa_rescue t base ii ~reason =
         end
         else scan (j + 1)
     in
-    scan t.lfa_off.(ii)
+    scan lo
   end
 
 let ladder t base ii ~deg ~quantise ~max_dd_q ~reason ~try_complementary =
   let p = Array.unsafe_get t.next_hop_port ii in
-  if p < 0 then c_no_route
+  if t.guard_mode && (p < -1 || p >= deg) then
+    corrupt_cell t ~node:(base / t.ports) ~cell:cell_next_hop
+  else if p < 0 then c_no_route
   else if up t base p then begin
     if traced t then
       Trace.emit t.trace
@@ -382,9 +477,9 @@ let ladder t base ii ~deg ~quantise ~max_dd_q ~reason ~try_complementary =
           (Trace.Pr_set
              { node = base / t.ports; dd = Array.unsafe_get t.fbuf f_out_dd });
       let r = start_complementary t base ~deg p ~started:true in
-      if r = 0 then r else lfa_rescue t base ii ~reason
+      if r = 0 then r else lfa_rescue t base ii ~deg ~reason
     end
-    else lfa_rescue t base ii ~reason
+    else lfa_rescue t base ii ~deg ~reason
   end
 
 (* The carried DD is read from [f_in_dd]; the out header's DD is left in
@@ -402,7 +497,9 @@ let decide t ~dd_term ~quantise ~max_dd_q ~hops_left ~guard ~dst ~x
   else begin
     (* Cycle following. *)
     let w = Array.unsafe_get t.cycle_col (base + arrived_port) in
-    if up t base w then begin
+    if t.guard_mode && (w < 0 || w >= deg) then
+      corrupt_cell t ~node:x ~cell:cell_cycle
+    else if up t base w then begin
       Array.unsafe_set t.fbuf f_out_dd (Array.unsafe_get t.fbuf f_in_dd);
       forwarded t w ~pr:true ~started:false
     end
@@ -449,6 +546,7 @@ type reason =
   | Continuation_lost
   | Budget_exhausted
   | Stale_view
+  | Corrupt
 
 let reason_name = function
   | No_route -> "no-route"
@@ -456,15 +554,18 @@ let reason_name = function
   | Continuation_lost -> "continuation-lost"
   | Budget_exhausted -> "budget-exhausted"
   | Stale_view -> "stale-view"
+  | Corrupt -> "corrupt"
 
 let reason_of_code = function
   | 1 -> No_route
   | 2 -> Interfaces_down
   | 3 -> Continuation_lost
+  | 5 -> Corrupt
   | _ -> Budget_exhausted
 
 let outcome_of_code = function
   | 1 -> Forward.Dropped_unreachable
+  | 5 -> Forward.Dropped_corrupt
   | _ -> Forward.Dropped_no_interface
 
 let degradation_of_code c =
@@ -499,13 +600,19 @@ type result = {
   episodes : (int * float) list;
   degradations : Forward.degradation list;
   cost : float;
+  fault : Forward.fault option;
 }
 
 let prepare_walk ?ttl t ~src ~dst =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
-    invalid_arg "Kernel: node out of range";
-  if src = dst then invalid_arg "Kernel: src = dst";
+    invalid_arg
+      (Printf.sprintf
+         "Kernel: node out of range (src %d, dst %d, image has 0..%d)" src dst
+         (t.n - 1));
+  if src = dst then
+    invalid_arg (Printf.sprintf "Kernel: src = dst (node %d)" src);
   t.hits <- 0;
+  t.fault_code <- 0;
   match ttl with Some v -> v | None -> t.default_ttl
 
 let max_dd_q_of = function
@@ -517,10 +624,15 @@ let dd_term_of = function
   | Forward.Simple -> false
 
 let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
-    ?dd_bits ?(budget_guard = 0) ?ttl t ~src ~dst =
+    ?dd_bits ?(budget_guard = 0) ?ttl ?(header = Forward.fresh_header)
+    ?arrived_from t ~src ~dst =
   let ttl0 = prepare_walk ?ttl t ~src ~dst in
   let dd_term = dd_term_of termination in
   let max_dd_q = max_dd_q_of dd_bits in
+  (* A walk is corrupt-seeded when any header state was injected; only
+     such walks convert TTL expiry into the walk-blowup fault, matching
+     {!Pr_core.Forward.run_guarded}. *)
+  let seeded = header <> Forward.fresh_header || arrived_from <> None in
   let pr_episodes = ref 0 in
   let max_dd = ref 0.0 in
   let episodes = ref [] in
@@ -536,6 +648,7 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
       episodes = List.rev !episodes;
       degradations = List.rev !degr_rev;
       cost;
+      fault = fault_of t;
     }
   in
   let tr = traced t in
@@ -546,8 +659,20 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
       finish ~outcome:Forward.Delivered ~reason:None ~cost path_rev
     end
     else if ttl = 0 then begin
-      if tr then Trace.emit t.trace (Trace.Expire { node = x; hops = ttl0 });
-      finish ~outcome:Forward.Ttl_exceeded ~reason:None ~cost path_rev
+      if seeded then begin
+        t.fault_code <- fc_walk_blowup;
+        t.fault_node <- x;
+        t.fault_aux <- ttl0;
+        if tr then
+          Trace.emit t.trace
+            (Trace.Drop { node = x; reason = drop_name_of_code c_corrupt });
+        finish ~outcome:Forward.Dropped_corrupt ~reason:(Some Corrupt) ~cost
+          path_rev
+      end
+      else begin
+        if tr then Trace.emit t.trace (Trace.Expire { node = x; hops = ttl0 });
+        finish ~outcome:Forward.Ttl_exceeded ~reason:None ~cost path_rev
+      end
     end
     else begin
       t.degr_len <- 0;
@@ -570,42 +695,109 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
         let port = t.out_port in
         let out_dd = t.fbuf.(f_out_dd) in
         let next = t.port_node.((x * t.ports) + port) in
-        if t.out_started then begin
-          incr pr_episodes;
-          episodes := (x, out_dd) :: !episodes;
-          if out_dd > !max_dd then max_dd := out_dd
-        end;
-        if tr then
-          Trace.emit t.trace
-            (Trace.Hop { node = x; next; pr = t.out_pr; dd = out_dd });
-        (match t.linkload with
-        | None -> ()
-        | Some ll ->
-            (* Counted on the wire, before any stale-view death. *)
-            Pr_obs.Linkload.record ll ~node:x ~port ~cls:(hop_cls t));
-        if Bytes.get t.truth ((x * t.ports) + port) = '\000' then begin
-          (* Sent into a link the sender wrongly believed up: lost on the
-             wire, the failed hop recorded on the path (engine
-             convention). *)
-          if tr then begin
+        if t.guard_mode && (next < 0 || next >= t.n || next = x) then begin
+          ignore (corrupt_cell t ~node:x ~cell:cell_port_node);
+          if tr then
             Trace.emit t.trace
-              (Trace.Divergence { node = x; other = next; believed_up = true });
-            Trace.emit t.trace
-              (Trace.Drop { node = next; reason = reason_name Stale_view })
-          end;
-          finish ~outcome:Forward.Dropped_no_interface ~reason:(Some Stale_view)
-            ~cost (next :: path_rev)
+              (Trace.Drop { node = x; reason = drop_name_of_code c_corrupt });
+          finish ~outcome:Forward.Dropped_corrupt ~reason:(Some Corrupt) ~cost
+            path_rev
         end
-        else
-          walk next
-            (t.node_port.((next * t.n) + x))
-            t.out_pr out_dd (ttl - 1)
-            (cost +. t.port_weight.((x * t.ports) + port))
-            (next :: path_rev)
+        else begin
+          if t.out_started then begin
+            incr pr_episodes;
+            episodes := (x, out_dd) :: !episodes;
+            if out_dd > !max_dd then max_dd := out_dd
+          end;
+          if tr then
+            Trace.emit t.trace
+              (Trace.Hop { node = x; next; pr = t.out_pr; dd = out_dd });
+          (match t.linkload with
+          | None -> ()
+          | Some ll ->
+              (* Counted on the wire, before any stale-view death. *)
+              Pr_obs.Linkload.record ll ~node:x ~port ~cls:(hop_cls t));
+          if Bytes.get t.truth ((x * t.ports) + port) = '\000' then begin
+            (* Sent into a link the sender wrongly believed up: lost on the
+               wire, the failed hop recorded on the path (engine
+               convention). *)
+            if tr then begin
+              Trace.emit t.trace
+                (Trace.Divergence
+                   { node = x; other = next; believed_up = true });
+              Trace.emit t.trace
+                (Trace.Drop { node = next; reason = reason_name Stale_view })
+            end;
+            finish ~outcome:Forward.Dropped_no_interface
+              ~reason:(Some Stale_view) ~cost (next :: path_rev)
+          end
+          else begin
+            let ap = t.node_port.((next * t.n) + x) in
+            if
+              t.guard_mode && (ap < 0 || ap >= Array.unsafe_get t.degree next)
+            then begin
+              ignore (corrupt_cell t ~node:next ~cell:cell_node_port);
+              if tr then
+                Trace.emit t.trace
+                  (Trace.Drop
+                     { node = next; reason = drop_name_of_code c_corrupt });
+              finish ~outcome:Forward.Dropped_corrupt ~reason:(Some Corrupt)
+                ~cost (next :: path_rev)
+            end
+            else
+              walk next ap t.out_pr out_dd (ttl - 1)
+                (cost +. t.port_weight.((x * t.ports) + port))
+                (next :: path_rev)
+          end
+        end
       end
     end
   in
-  walk src (-1) false 0.0 ttl0 0.0 [ src ]
+  (* Entry guards over injected state, in the reference order: impossible
+     DD first, then the claimed previous hop. *)
+  let entry_fault_code =
+    if
+      header.Forward.pr_bit
+      && (Float.is_nan header.Forward.dd_value
+         || header.Forward.dd_value < 0.0
+         || header.Forward.dd_value = Float.infinity
+         || (max_dd_q >= 0 && header.Forward.dd_value > float_of_int max_dd_q)
+         )
+    then begin
+      t.fault_code <- fc_impossible_dd;
+      t.fault_node <- src;
+      t.fault_dd <- header.Forward.dd_value;
+      c_corrupt
+    end
+    else
+      match arrived_from with
+      | Some y when y < 0 || y >= t.n || t.node_port.((src * t.n) + y) < 0 ->
+          t.fault_code <- fc_not_neighbour;
+          t.fault_node <- src;
+          t.fault_aux <- y;
+          c_corrupt
+      | Some y
+        when t.guard_mode
+             && t.node_port.((src * t.n) + y) >= Array.unsafe_get t.degree src
+        ->
+          ignore (corrupt_cell t ~node:src ~cell:cell_node_port);
+          c_corrupt
+      | _ -> 0
+  in
+  if entry_fault_code <> 0 then begin
+    if tr then
+      Trace.emit t.trace
+        (Trace.Drop { node = src; reason = drop_name_of_code c_corrupt });
+    finish ~outcome:Forward.Dropped_corrupt ~reason:(Some Corrupt) ~cost:0.0
+      [ src ]
+  end
+  else
+    let ap0 =
+      match arrived_from with
+      | None -> -1
+      | Some y -> t.node_port.((src * t.n) + y)
+    in
+    walk src ap0 header.Forward.pr_bit header.Forward.dd_value ttl0 0.0 [ src ]
 
 let to_trace t r =
   {
@@ -637,7 +829,14 @@ type counters = {
 }
 
 let all_reasons =
-  [ No_route; Interfaces_down; Continuation_lost; Budget_exhausted; Stale_view ]
+  [
+    No_route;
+    Interfaces_down;
+    Continuation_lost;
+    Budget_exhausted;
+    Stale_view;
+    Corrupt;
+  ]
 
 let reason_index = function
   | No_route -> 0
@@ -645,6 +844,7 @@ let reason_index = function
   | Continuation_lost -> 2
   | Budget_exhausted -> 3
   | Stale_view -> 4
+  | Corrupt -> 5
 
 let fresh_counters () =
   {
@@ -703,6 +903,7 @@ let probe_reason = function
   | Continuation_lost -> Probe.reason_continuation_lost
   | Budget_exhausted -> Probe.reason_budget_exhausted
   | Stale_view -> Probe.reason_stale_view
+  | Corrupt -> Probe.reason_corrupt
 
 (* Latency class of the slow-path decision just made (registers still
    hot): a ladder rung outranks the episode/cycle state it left behind. *)
@@ -724,6 +925,18 @@ let slow_class t code =
   end
 
 let[@inline] probe_depth t c = c.pr_episodes - t.walk_ep0
+
+(* Account a guard-detected corrupt drop in a batch walk (the fault
+   registers are already set). *)
+let account_corrupt t c ~hops =
+  c.dropped <- c.dropped + 1;
+  let r = reason_index Corrupt in
+  c.drops_by_reason.(r) <- c.drops_by_reason.(r) + 1;
+  match t.probe with
+  | None -> ()
+  | Some prb ->
+      Probe.record_drop prb ~reason:Probe.reason_corrupt ~hops
+        ~depth:(probe_depth t c)
 
 (* Same walk as {!run_one}, counters instead of trace capture — a
    top-level function so the whole source-to-verdict walk allocates
@@ -764,7 +977,11 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
     let p =
       if pr then -1 else Array.unsafe_get t.next_hop_port ((x * t.n) + dst)
     in
-    if p >= 0 && Bytes.unsafe_get t.view (base + p) <> '\000' then begin
+    if
+      p >= 0
+      && (not t.guard_mode || p < Array.unsafe_get t.degree x)
+      && Bytes.unsafe_get t.view (base + p) <> '\000'
+    then begin
       (* Fault-free routed hop — [decide] reduces to a fresh forward with
          no degradations, no episode, and a zero DD that the next
          (non-PR) hop never reads, so skip the full dispatch. *)
@@ -789,12 +1006,25 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
       end
       else begin
         let next = Array.unsafe_get t.port_node (base + p) in
-        Array.unsafe_set t.fbuf f_cost
-          (Array.unsafe_get t.fbuf f_cost
-          +. Array.unsafe_get t.port_weight (base + p));
-        batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
-          (Array.unsafe_get t.node_port ((next * t.n) + x))
-          false (ttl - 1)
+        if t.guard_mode && (next < 0 || next >= t.n || next = x) then begin
+          ignore (corrupt_cell t ~node:x ~cell:cell_port_node);
+          account_corrupt t c ~hops:(t.walk_ttl0 - ttl)
+        end
+        else begin
+          let ap = Array.unsafe_get t.node_port ((next * t.n) + x) in
+          if t.guard_mode && (ap < 0 || ap >= Array.unsafe_get t.degree next)
+          then begin
+            ignore (corrupt_cell t ~node:next ~cell:cell_node_port);
+            account_corrupt t c ~hops:(t.walk_ttl0 - ttl)
+          end
+          else begin
+            Array.unsafe_set t.fbuf f_cost
+              (Array.unsafe_get t.fbuf f_cost
+              +. Array.unsafe_get t.port_weight (base + p));
+            batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
+              ap false (ttl - 1)
+          end
+        end
       end
     end
     else begin
@@ -885,13 +1115,26 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
       end
       else begin
         let next = Array.unsafe_get t.port_node slot in
-        Array.unsafe_set t.fbuf f_in_dd (Array.unsafe_get t.fbuf f_out_dd);
-        Array.unsafe_set t.fbuf f_cost
-          (Array.unsafe_get t.fbuf f_cost
-          +. Array.unsafe_get t.port_weight slot);
-        batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
-          (Array.unsafe_get t.node_port ((next * t.n) + x))
-          t.out_pr (ttl - 1)
+        if t.guard_mode && (next < 0 || next >= t.n || next = x) then begin
+          ignore (corrupt_cell t ~node:x ~cell:cell_port_node);
+          account_corrupt t c ~hops:(t.walk_ttl0 - ttl)
+        end
+        else begin
+          let ap = Array.unsafe_get t.node_port ((next * t.n) + x) in
+          if t.guard_mode && (ap < 0 || ap >= Array.unsafe_get t.degree next)
+          then begin
+            ignore (corrupt_cell t ~node:next ~cell:cell_node_port);
+            account_corrupt t c ~hops:(t.walk_ttl0 - ttl)
+          end
+          else begin
+            Array.unsafe_set t.fbuf f_in_dd (Array.unsafe_get t.fbuf f_out_dd);
+            Array.unsafe_set t.fbuf f_cost
+              (Array.unsafe_get t.fbuf f_cost
+              +. Array.unsafe_get t.port_weight slot);
+            batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst next
+              ap t.out_pr (ttl - 1)
+          end
+        end
       end
     end
     end

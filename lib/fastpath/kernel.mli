@@ -67,6 +67,23 @@ val set_believed : t -> node:int -> other:int -> up:bool -> unit
 
 val believed_up : t -> node:int -> other:int -> bool
 
+(** {2 Guard mode} *)
+
+val set_guard : t -> bool -> unit
+(** Toggle bounds-checked forwarding (default off).  Guard mode validates
+    every FIB-cell read whose value is used as an index — next-hop,
+    cycle and complementary columns, LFA offsets and ports, port-node
+    and node-port maps — and converts an out-of-range value into an
+    accounted {!Pr_core.Forward.Dropped_corrupt} verdict with a
+    {!Pr_core.Forward.Corrupt_cell} locus instead of an unsafe read.  A
+    corrupt-seeded {!run_one} walk (injected header state) additionally
+    converts TTL expiry into {!Pr_core.Forward.Walk_blowup}.  On clean
+    traffic guard mode is verdict-identical to guard-off; its cost — one
+    predictable branch per check site — is benched by [prcli bench
+    --guard] and CI-gated at ≤1.10×. *)
+
+val guarded : t -> bool
+
 (** {2 Telemetry} *)
 
 val set_trace : t -> Pr_telemetry.Trace.sink -> unit
@@ -111,6 +128,9 @@ type reason =
   | Stale_view
       (** died on the wire: the sender's view said up, the truth said
           down — only possible when view and truth differ *)
+  | Corrupt
+      (** guard mode detected corrupted header or FIB state; the fault
+          locus is in {!result}'s [fault] field *)
 
 val reason_name : reason -> string
 
@@ -124,6 +144,8 @@ type result = {
   episodes : (int * float) list;
   degradations : Pr_core.Forward.degradation list;  (** oldest first *)
   cost : float;            (** weighted cost of the traversed walk *)
+  fault : Pr_core.Forward.fault option;
+      (** [Some] iff [outcome = Dropped_corrupt] *)
 }
 
 val run_one :
@@ -132,6 +154,8 @@ val run_one :
   ?dd_bits:int ->
   ?budget_guard:int ->
   ?ttl:int ->
+  ?header:Pr_core.Forward.hop_header ->
+  ?arrived_from:int ->
   t ->
   src:int ->
   dst:int ->
@@ -140,7 +164,16 @@ val run_one :
     reference engines: {!Pr_core.Forward.Distance_discriminator}, no
     quantisation, unbounded DD, guard off, TTL
     {!Pr_core.Forward.default_ttl}.  Raises [Invalid_argument] if
-    [src = dst] or either is out of range. *)
+    [src = dst] or either is out of range.
+
+    [header]/[arrived_from] inject possibly-corrupted in-flight state at
+    the source — the corruption-campaign entry point, mirroring
+    {!Pr_core.Forward.run_guarded}.  Entry guards (impossible DD, then a
+    previous hop that is not a neighbour of [src]) convert bad injected
+    state into an accounted {!Pr_core.Forward.Dropped_corrupt} verdict,
+    and an injected walk converts TTL expiry into
+    {!Pr_core.Forward.Walk_blowup}; both apply regardless of
+    {!set_guard}, which additionally arms the FIB-cell checks. *)
 
 val to_trace : t -> result -> Pr_core.Forward.trace
 (** Shape a result as the seed trace record ({!Pr_core.Forward.run}'s

@@ -268,7 +268,7 @@ let load_bench file =
                 (file
                 ^ ": fastpath artifact lacks finite compiled/reference sweep \
                    rows"))
-      | Some (("probe" | "linkload") as suite) -> (
+      | Some (("probe" | "linkload" | "guard") as suite) -> (
           match Option.bind (Json.member "overhead_ratio" j) Json.num with
           | Some r when finite_pos r ->
               Ok

@@ -40,6 +40,7 @@ let metrics_reason = function
   | Pr_fastpath.Kernel.Continuation_lost -> Metrics.Continuation_lost
   | Pr_fastpath.Kernel.Budget_exhausted -> Metrics.Budget_exhausted
   | Pr_fastpath.Kernel.Stale_view -> Metrics.Stale_view
+  | Pr_fastpath.Kernel.Corrupt -> Metrics.Corrupt
 
 let probe_reason = Metrics.probe_reason
 
@@ -526,6 +527,9 @@ let run ?observer ?detection ?(backend = `Reference) ?control ?probe ?linkload
               | Pr_core.Forward.Dropped_unreachable ->
                   Metrics.record_drop metrics;
                   Dropped
+              | Pr_core.Forward.Dropped_corrupt ->
+                  Metrics.record_drop ~reason:Metrics.Corrupt metrics;
+                  Dropped
             in
             probe_record ~trace ~verdict ~reason:None ~degradations:[];
             flush_load ~time;
@@ -566,6 +570,9 @@ let run ?observer ?detection ?(backend = `Reference) ?control ?probe ?linkload
               | Pr_core.Forward.Dropped_no_interface
               | Pr_core.Forward.Dropped_unreachable ->
                   Metrics.record_drop ?reason metrics;
+                  Dropped
+              | Pr_core.Forward.Dropped_corrupt ->
+                  Metrics.record_drop ~reason:Metrics.Corrupt metrics;
                   Dropped
             in
             probe_record ~trace ~verdict ~reason ~degradations;

@@ -6,6 +6,7 @@ type drop_reason =
   | Budget_exhausted
   | Stale_view
   | Unclassified
+  | Corrupt
 
 let all_reasons =
   [
@@ -16,6 +17,7 @@ let all_reasons =
     Budget_exhausted;
     Stale_view;
     Unclassified;
+    Corrupt;
   ]
 
 let reason_index = function
@@ -26,6 +28,7 @@ let reason_index = function
   | Budget_exhausted -> 4
   | Stale_view -> 5
   | Unclassified -> 6
+  | Corrupt -> 7
 
 let reason_name = function
   | No_route -> "no-route"
@@ -35,6 +38,7 @@ let reason_name = function
   | Budget_exhausted -> "budget-exhausted"
   | Stale_view -> "stale-view"
   | Unclassified -> "unclassified"
+  | Corrupt -> "corrupt"
 
 let reason_of_forward = function
   | Pr_core.Forward.No_route -> No_route
@@ -118,6 +122,7 @@ let of_fastpath (c : Pr_fastpath.Kernel.counters) =
         | Pr_fastpath.Kernel.Continuation_lost -> Continuation_lost
         | Pr_fastpath.Kernel.Budget_exhausted -> Budget_exhausted
         | Pr_fastpath.Kernel.Stale_view -> Stale_view
+        | Pr_fastpath.Kernel.Corrupt -> Corrupt
       in
       t.drops_by_reason.(reason_index here) <-
         c.drops_by_reason.(Pr_fastpath.Kernel.reason_index r))
@@ -138,6 +143,7 @@ let probe_reason = function
   | Budget_exhausted -> Pr_telemetry.Probe.reason_budget_exhausted
   | Stale_view -> Pr_telemetry.Probe.reason_stale_view
   | Unclassified -> Pr_telemetry.Probe.reason_unclassified
+  | Corrupt -> Pr_telemetry.Probe.reason_corrupt
 
 let of_probes (p : Pr_telemetry.Probe.t) =
   let t = create () in

@@ -15,6 +15,9 @@ type drop_reason =
       (** sent into a link the sender wrongly believed up — the packet
           died on the wire *)
   | Unclassified       (** legacy call sites that do not say *)
+  | Corrupt
+      (** guard mode detected corrupted header or FIB state and dropped
+          the packet with a {!Pr_core.Forward.fault} locus *)
 
 val all_reasons : drop_reason list
 

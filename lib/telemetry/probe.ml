@@ -27,6 +27,7 @@ let reason_names =
     "budget-exhausted";
     "stale-view";
     "unclassified";
+    "corrupt";
   |]
 
 let reason_no_route = 0
@@ -42,6 +43,8 @@ let reason_budget_exhausted = 4
 let reason_stale_view = 5
 
 let reason_unclassified = 6
+
+let reason_corrupt = 7
 
 let class_names = [| "routed"; "cycle"; "episode"; "retry"; "lfa"; "drop" |]
 

@@ -50,7 +50,7 @@ val create : unit -> t
 val reason_names : string array
 (** Drop-reason slot names, in {!Pr_sim.Metrics.all_reasons} order:
     no-route, interfaces-down, no-alternate, continuation-lost,
-    budget-exhausted, stale-view, unclassified. *)
+    budget-exhausted, stale-view, unclassified, corrupt. *)
 
 val reason_no_route : int
 val reason_interfaces_down : int
@@ -59,6 +59,7 @@ val reason_continuation_lost : int
 val reason_budget_exhausted : int
 val reason_stale_view : int
 val reason_unclassified : int
+val reason_corrupt : int
 
 val class_names : string array
 (** Latency classes, by what the decision did: [routed] (plain forward

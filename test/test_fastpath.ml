@@ -429,7 +429,8 @@ let test_forward_into_matches_run_one () =
           if stretch > expect.Kernel.worst_stretch then
             expect.Kernel.worst_stretch <- stretch
       | Forward.Ttl_exceeded -> expect.Kernel.looped <- expect.Kernel.looped + 1
-      | Forward.Dropped_no_interface | Forward.Dropped_unreachable ->
+      | Forward.Dropped_no_interface | Forward.Dropped_unreachable
+      | Forward.Dropped_corrupt ->
           expect.Kernel.dropped <- expect.Kernel.dropped + 1);
       (match r.Kernel.reason with
       | None -> ()

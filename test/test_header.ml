@@ -60,6 +60,53 @@ let qcheck_saturating_agrees_when_fits =
       Header.encode_saturating ~dd_bits { Header.pr; dd }
       = Header.encode ~dd_bits { Header.pr; dd })
 
+let test_decode_result_pins () =
+  (* The same inputs [decode] raises on come back as [Error] with the
+     locus in the message — never an exception. *)
+  let expect_error what field dd_bits =
+    match Header.decode_result ~dd_bits field with
+    | Error msg ->
+        Alcotest.(check bool)
+          (what ^ ": message carries the locus")
+          true
+          (String.length msg > 0 && String.sub msg 0 13 = "Header.decode")
+    | Ok _ -> Alcotest.fail (what ^ " accepted")
+  in
+  expect_error "negative field" (-1) 3;
+  expect_error "oversized field" 16 3;
+  expect_error "bad dd_bits" 3 (-1);
+  expect_error "oversized dd_bits" 3 62;
+  match Header.decode_result ~dd_bits:3 11 with
+  | Ok h ->
+      Alcotest.(check bool) "11 = pr set, dd 5" true
+        (h = { Header.pr = true; dd = 5 })
+  | Error msg -> Alcotest.fail msg
+
+let qcheck_decode_result_never_raises =
+  QCheck.Test.make ~name:"decode_result never raises, whatever the bytes"
+    ~count:2000
+    QCheck.(pair int int)
+    (fun (field, dd_bits) ->
+      match Header.decode_result ~dd_bits field with
+      | Ok h -> h.Header.dd >= 0 && h.Header.dd <= Header.max_dd ~dd_bits
+      | Error msg -> String.length msg > 0)
+
+let qcheck_decode_result_agrees =
+  QCheck.Test.make ~name:"decode_result = Ok decode on every valid field"
+    ~count:1000
+    QCheck.(pair (int_bound 4095) (int_range 0 11))
+    (fun (field, dd_bits) ->
+      let field = field land ((1 lsl (dd_bits + 1)) - 1) in
+      Header.decode_result ~dd_bits field = Ok (Header.decode ~dd_bits field))
+
+let qcheck_decode_result_roundtrip =
+  QCheck.Test.make ~name:"decode_result round-trips encode" ~count:1000
+    QCheck.(triple bool (int_bound 1_000_000) (int_range 1 10))
+    (fun (pr, dd, dd_bits) ->
+      let dd = min dd (Header.max_dd ~dd_bits) in
+      Header.decode_result ~dd_bits (Header.encode ~dd_bits { Header.pr; dd })
+      = Ok { Header.pr; dd })
+
 let qcheck_saturating_clamps =
   QCheck.Test.make
     ~name:"saturating encode clamps to the header max and round-trips"
@@ -82,6 +129,11 @@ let suite =
     Alcotest.test_case "max dd" `Quick test_max_dd;
     Alcotest.test_case "saturating rejects negative" `Quick
       test_saturating_rejects_negative;
+    Alcotest.test_case "decode_result: typed errors with loci" `Quick
+      test_decode_result_pins;
+    QCheck_alcotest.to_alcotest qcheck_decode_result_never_raises;
+    QCheck_alcotest.to_alcotest qcheck_decode_result_agrees;
+    QCheck_alcotest.to_alcotest qcheck_decode_result_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_field_width;
     QCheck_alcotest.to_alcotest qcheck_saturating_agrees_when_fits;

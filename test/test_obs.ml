@@ -359,13 +359,39 @@ let test_bench_swap_schema () =
         (Float.abs (norm -. (inc /. full)) < 1e-3)
   | _ -> Alcotest.failf "%s: non-numeric timing members" file
 
+let test_bench_guard_schema () =
+  let file = "BENCH_guard.json" in
+  let j = load file in
+  check_suite_member file j "guard";
+  List.iter
+    (fun leg ->
+      let sub = get ("guard_" ^ leg) j in
+      Alcotest.(check bool)
+        (leg ^ " elapsed positive")
+        true
+        (finite_pos (get "elapsed_s" sub));
+      Alcotest.(check bool)
+        (leg ^ " ns/packet positive")
+        true
+        (finite_pos (get "ns_per_packet" sub)))
+    [ "off"; "on" ];
+  match Json.num (get "overhead_ratio" j) with
+  | Some r ->
+      (* The committed artifact carries the acceptance bound: guard-mode
+         bounds checks must cost at most 10% on the hot loop. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "guard overhead x%.4f within the 1.10 budget" r)
+        true
+        (Float.is_finite r && r > 0.0 && r <= 1.10)
+  | None -> Alcotest.failf "%s: non-numeric overhead_ratio" file
+
 (* ---- history entries parse the committed artifacts ---- *)
 
 let test_history_entries () =
   let entries, errs = Report.scan_bench ~dir:(artifact_dir ()) in
   List.iter (fun e -> Alcotest.failf "scan_bench: %s" e) errs;
-  Alcotest.(check bool) "all four artifacts found" true
-    (List.length entries >= 4);
+  Alcotest.(check bool) "all five artifacts found" true
+    (List.length entries >= 5);
   List.iter
     (fun (e : Report.bench_entry) ->
       Alcotest.(check bool)
@@ -397,6 +423,8 @@ let suite =
     Alcotest.test_case "BENCH_linkload.json schema" `Quick
       test_bench_linkload_schema;
     Alcotest.test_case "BENCH_swap.json schema" `Quick test_bench_swap_schema;
+    Alcotest.test_case "BENCH_guard.json schema" `Quick
+      test_bench_guard_schema;
     Alcotest.test_case "history scan of committed artifacts" `Quick
       test_history_entries;
   ]

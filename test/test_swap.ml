@@ -243,6 +243,61 @@ let test_swap_store_lifecycle () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "publishing a foreign-geometry image must fail"
 
+(* The grace-period edge cases the corruption campaign leans on: an
+   epoch with several pins retires only at its *last* unpin, however the
+   pins interleave with publishes, and a retired epoch rejects every
+   further pin or unpin. *)
+let test_swap_store_interleaved_pins () =
+  let g, fib = abilene_fib () in
+  let swap = Swap.create fib in
+  let e0a, _ = Swap.pin swap in
+  let e0b, _ = Swap.pin swap in
+  Alcotest.(check (pair int int)) "both pins hit the base" (0, 0) (e0a, e0b);
+  let e = Graph.edge g 0 in
+  let next, _ =
+    Delta.apply_exn fib
+      [ { Delta.u = e.Graph.u; v = e.Graph.v; change = Delta.Down } ]
+  in
+  ignore (Swap.publish swap next);
+  let e1, _ = Swap.pin swap in
+  Alcotest.(check int) "third pin lands on the new epoch" 1 e1;
+  Swap.unpin swap ~epoch:0;
+  let s = Swap.stats swap in
+  Alcotest.(check bool) "first unpin does not retire (one pin left)" true
+    (s.Swap.retired = 0 && s.Swap.live_pins = 2);
+  (* The superseded epoch is still pinned, so it must still be
+     reachable for deterministic-schedule readers. *)
+  ignore (Swap.pin_at swap ~epoch:0);
+  Swap.unpin swap ~epoch:0;
+  Swap.unpin swap ~epoch:0;
+  let s = Swap.stats swap in
+  Alcotest.(check int) "last unpin retires the epoch" 1 s.Swap.retired;
+  (match Swap.unpin swap ~epoch:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unpinning a retired epoch must fail");
+  (match Swap.pin_at swap ~epoch:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pinning a retired epoch must fail");
+  Swap.unpin swap ~epoch:1;
+  Alcotest.(check bool) "store drains to quiescence" true
+    (Swap.quiescent swap)
+
+(* Geometry mismatches are caught per dimension, not just for whole
+   foreign topologies: an image compiled over the same graph but a
+   different port width must be rejected. *)
+let test_swap_store_geometry_mismatch () =
+  let g, fib = abilene_fib () in
+  let swap = Swap.create fib in
+  let rotation = Pr_embed.Geometric.of_topology (Pr_topo.Abilene.topology ()) in
+  let wide =
+    Fib.of_tables_exn
+      ~ports:(Graph.max_degree g + 1)
+      (Routing.build g) (Cycle_table.build rotation)
+  in
+  match Swap.publish swap wide with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "publishing a wider-port image must fail"
+
 (* A kernel rebound to an image forwards exactly like a kernel created
    on it. *)
 let all_pairs g =
@@ -537,6 +592,10 @@ let suite =
       test_edit_validation;
     Alcotest.test_case "epoch store: publish, pin, grace-period retire" `Quick
       test_swap_store_lifecycle;
+    Alcotest.test_case "epoch store: interleaved pins retire in order" `Quick
+      test_swap_store_interleaved_pins;
+    Alcotest.test_case "epoch store: port-width mismatch is rejected" `Quick
+      test_swap_store_geometry_mismatch;
     Alcotest.test_case "rebound kernel forwards like a fresh one" `Quick
       test_rebind_equivalence;
     Alcotest.test_case "admin-down links are masked and routed around" `Quick
