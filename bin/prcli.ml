@@ -45,6 +45,45 @@ let seed_arg =
   let doc = "Random seed (all experiments are deterministic given the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
 
+(* --shortcut validation, the malformed-input convention: a width that
+   cannot name a hint (non-positive, beyond the {!Pr_core.Seen} maximum)
+   or does not fit the header budget next to the topology's DD field is
+   a one-line error with exit 1, never a backtrace. *)
+let shortcut_range_or_die = function
+  | None -> None
+  | Some w ->
+      if w < 1 then begin
+        Printf.eprintf "shortcut width must be >= 1 (got %d)\n" w;
+        exit 1
+      end;
+      if w > Pr_core.Seen.max_width then begin
+        Printf.eprintf "shortcut width %d exceeds the %d-bit hint maximum\n" w
+          Pr_core.Seen.max_width;
+        exit 1
+      end;
+      Some w
+
+let shortcut_or_die ~dd_bits sc =
+  match shortcut_range_or_die sc with
+  | None -> None
+  | Some w ->
+      if not (Pr_core.Header.shortcut_fits ~dd_bits ~sc_width:w) then begin
+        Printf.eprintf
+          "shortcut width %d does not fit the header budget next to %d DD \
+           bit(s)\n"
+          w dd_bits;
+        exit 1
+      end;
+      Some w
+
+let shortcut_arg =
+  Arg.(value & opt (some int) None & info [ "shortcut" ] ~docv:"WIDTH"
+         ~doc:"Arm the deja-vu shortcut rung with a seen-node hint of this
+               many bits (exact bitset when the topology fits the budget,
+               saturating Bloom hint otherwise).  Delivery stays
+               guaranteed: a hint hit can only $(i,grant) a DD-sound early
+               exit from a recycled walk, never misroute.")
+
 let embedding_arg =
   let doc = "Embedding: $(b,geometric), $(b,adjacency), $(b,random), $(b,optimised) or $(b,safe)." in
   let choices =
@@ -665,7 +704,7 @@ let shrunk_trace_comment (s : Pr_chaos.Scenario.t) =
 
 let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
     control_delay schemes_spec no_shrink out replay backend_spec timeline
-    corrupt corrupt_events =
+    corrupt corrupt_events shortcut =
   if corrupt && replay <> None then begin
     Printf.eprintf
       "--corrupt and --replay are mutually exclusive (corruption campaigns \
@@ -676,14 +715,25 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
     Printf.eprintf "--corrupt-events must be >= 1\n";
     exit 1
   end;
+  if shortcut <> None && not corrupt then begin
+    Printf.eprintf
+      "--shortcut needs --corrupt (the link-fault campaign schemes do not \
+       carry the hint)\n";
+    exit 1
+  end;
   if corrupt then begin
     let topo = load_topology name in
     let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
     let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+    let dd_bits =
+      Pr_core.Routing.dd_bits (Pr_core.Routing.build topo.Topology.graph)
+    in
+    let shortcut = shortcut_or_die ~dd_bits shortcut in
     let cfg =
       {
         (Pr_chaos.Corrupt.default_config topo rotation ~seed) with
         Pr_chaos.Corrupt.events = corrupt_events;
+        shortcut;
       }
     in
     match Pr_chaos.Corrupt.run cfg with
@@ -871,7 +921,7 @@ let chaos_cmd =
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
           $ mix $ hold_down $ detect_delay $ control_delay $ schemes
           $ no_shrink $ out $ replay $ backend_arg $ timeline $ corrupt
-          $ corrupt_events)
+          $ corrupt_events $ shortcut_arg)
 
 (* ---- swap: scripted control-plane sessions over the compiled image ---- *)
 
@@ -1492,7 +1542,7 @@ let refuse_overwrite ~force path =
 
 let bench name embedding seed backend_spec domains json probe repeat probe_out
     force linkload_flag linkload_out swap_flag swap_out guard_flag guard_out
-    history history_dir =
+    history history_dir shortcut shortcut_out =
   let backend = parse_backend backend_spec in
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
@@ -1502,11 +1552,14 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     Printf.eprintf "repeat must be >= 1\n";
     exit 1
   end;
-  (* Refuse clobbering before any timing work is spent. *)
+  (* Malformed widths die before the clobber checks, which die before
+     any timing work is spent. *)
+  let shortcut = shortcut_range_or_die shortcut in
   if probe then refuse_overwrite ~force probe_out;
   if linkload_flag then refuse_overwrite ~force linkload_out;
   if swap_flag then refuse_overwrite ~force swap_out;
   if guard_flag then refuse_overwrite ~force guard_out;
+  if shortcut <> None then refuse_overwrite ~force shortcut_out;
   let topo = load_topology name in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
@@ -1524,6 +1577,9 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
   end;
   let g = topo.Topology.graph in
   let routing = Pr_core.Routing.build g in
+  let shortcut =
+    shortcut_or_die ~dd_bits:(Pr_core.Routing.dd_bits routing) shortcut
+  in
   let cycles = Pr_core.Cycle_table.build rotation in
   let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
   let items = Pr_fastpath.Parallel.all_pairs_single_failures fib in
@@ -1823,7 +1879,73 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     Printf.printf
       "  guard: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
       ns_off ns_on ratio guard_out
-  end
+  end;
+  match shortcut with
+  | None -> ()
+  | Some w ->
+      (* Shortcut-rung overhead: the same single-threaded kernel sweep
+         with the deja-vu hint disarmed and armed.  Shortcutting may
+         reroute a recycled walk early but never changes a verdict —
+         the verdict counters are compared exactly — so the ratio
+         prices the hint updates and the grant checks alone. *)
+      let sweep ~shortcut () =
+        let kernel = Pr_fastpath.Kernel.create fib in
+        Pr_fastpath.Kernel.set_shortcut kernel shortcut;
+        let counters = Pr_fastpath.Kernel.fresh_counters () in
+        Array.iter
+          (fun (it : Pr_fastpath.Parallel.item) ->
+            Pr_fastpath.Kernel.set_failures kernel it.failures;
+            Array.iter
+              (fun (src, dst) ->
+                if not (Pr_core.Failure.pair_connected it.failures src dst)
+                then Pr_fastpath.Kernel.record_unreachable counters
+                else Pr_fastpath.Kernel.forward_into kernel counters ~src ~dst)
+              it.pairs)
+          items;
+        counters
+      in
+      let off, elapsed_sc_off = best_of (fun () -> sweep ~shortcut:None ()) in
+      let on, elapsed_sc_on =
+        best_of (fun () -> sweep ~shortcut:(Some w) ())
+      in
+      let verdicts (c : Pr_fastpath.Kernel.counters) =
+        ( c.Pr_fastpath.Kernel.injected,
+          c.Pr_fastpath.Kernel.delivered,
+          c.Pr_fastpath.Kernel.dropped,
+          c.Pr_fastpath.Kernel.looped,
+          c.Pr_fastpath.Kernel.unreachable )
+      in
+      if verdicts off <> verdicts on then begin
+        Printf.eprintf "shortcut-on run changed the verdicts — shortcut bug\n";
+        exit 1
+      end;
+      let ns_off = elapsed_sc_off *. 1e9 /. float_of_int (max 1 packets) in
+      let ns_on = elapsed_sc_on *. 1e9 /. float_of_int (max 1 packets) in
+      let ratio =
+        if elapsed_sc_off > 0.0 then elapsed_sc_on /. elapsed_sc_off else 1.0
+      in
+      let oc = open_out shortcut_out in
+      Printf.fprintf oc
+        "{\n\
+        \  \"suite\": \"shortcut\",\n\
+        \  \"topology\": %S,\n\
+        \  \"backend\": \"compiled\",\n\
+        \  \"repeat\": %d,\n\
+        \  \"scenarios\": %d,\n\
+        \  \"packets\": %d,\n\
+        \  \"width\": %d,\n\
+        \  \"shortcut_off\": {\"elapsed_s\": %.6f, \"ns_per_packet\": %.2f},\n\
+        \  \"shortcut_on\": {\"elapsed_s\": %.6f, \"ns_per_packet\": %.2f},\n\
+        \  \"shortcut_exits\": %d,\n\
+        \  \"overhead_ratio\": %.4f\n\
+         }\n"
+        topo.Topology.name repeat (Array.length items) packets w elapsed_sc_off
+        ns_off elapsed_sc_on ns_on on.Pr_fastpath.Kernel.shortcut_exits ratio;
+      close_out oc;
+      Printf.printf
+        "  shortcut: off %.0f ns/packet, on %.0f ns/packet (x%.3f), %d \
+         exit(s); wrote %s\n"
+        ns_off ns_on ratio on.Pr_fastpath.Kernel.shortcut_exits shortcut_out
 
 let bench_cmd =
   let domains =
@@ -1895,6 +2017,10 @@ let bench_cmd =
     Arg.(value & opt string "." & info [ "history-dir" ] ~docv:"DIR"
            ~doc:"Where --history looks for BENCH_*.json artifacts.")
   in
+  let shortcut_out =
+    Arg.(value & opt string "BENCH_shortcut.json" & info [ "shortcut-out" ]
+           ~docv:"FILE" ~doc:"Where --shortcut writes its JSON.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Time the all-pairs single-failure PR sweep on the reference or
@@ -1902,11 +2028,11 @@ let bench_cmd =
     Term.(const bench $ topo_arg $ embedding_arg $ seed_arg $ backend_arg
           $ domains $ json $ probe $ repeat $ probe_out $ force $ linkload
           $ linkload_out $ swap $ swap_out $ guard $ guard_out $ history
-          $ history_dir)
+          $ history_dir $ shortcut_arg $ shortcut_out)
 
 (* ---- report: the network observatory rollup ---- *)
 
-let report name embedding seed domains top json out =
+let report name embedding seed domains top json out shortcut =
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
     exit 1
@@ -1914,7 +2040,11 @@ let report name embedding seed domains top json out =
   let topo = load_topology name in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
-  let s = Pr_report.Report.sweep ~domains topo rotation in
+  let dd_bits =
+    Pr_core.Routing.dd_bits (Pr_core.Routing.build topo.Topology.graph)
+  in
+  let shortcut = shortcut_or_die ~dd_bits shortcut in
+  let s = Pr_report.Report.sweep ~domains ?shortcut topo rotation in
   let text =
     if json then Pr_report.Report.to_json ~top s
     else Pr_report.Report.render ~top s
@@ -1959,7 +2089,7 @@ let report_cmd =
              shortest/recycled/rescue split, the max-link-load CCDF and the
              stretch CCDF.  Exits non-zero on any cross-backend mismatch.")
     Term.(const report $ topo_arg $ embedding_arg $ seed_arg $ domains $ top
-          $ json $ out)
+          $ json $ out $ shortcut_arg)
 
 let main_cmd =
   Cmd.group

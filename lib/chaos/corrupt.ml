@@ -13,10 +13,19 @@ type config = {
   events : int;    (* corruption descriptors to draw *)
   sweep : int;     (* packets swept across each damaged image *)
   batches : int;   (* journalled edit batches per crash point *)
+  shortcut : int option;  (* deja-vu hint width armed on every walk *)
 }
 
 let default_config topology rotation ~seed =
-  { topology; rotation; seed; events = 96; sweep = 64; batches = 6 }
+  {
+    topology;
+    rotation;
+    seed;
+    events = 96;
+    sweep = 64;
+    batches = 6;
+    shortcut = None;
+  }
 
 type violation = { event : string; detail : string }
 
@@ -80,12 +89,12 @@ let fault_opt_name = function None -> "-" | Some f -> Forward.fault_name f
 (* Run one possibly-corrupt injected header through the guarded reference
    walk and the guarded kernel; any uncaught exception or verdict/fault
    disagreement is a violation. *)
-let differential st ~event ~routing ~cycles ~failures ~dd_bits kernel ~header
-    ~arrived_from ~src ~dst =
+let differential st ~event ~routing ~cycles ~failures ~dd_bits ~sc_plan kernel
+    ~header ~arrived_from ~src ~dst =
   let ref_verdict =
     match
-      Forward.run_guarded ~dd_bits ?header ?arrived_from ~routing ~cycles
-        ~failures ~src ~dst ()
+      Forward.run_guarded ~dd_bits ?shortcut:sc_plan ?header ?arrived_from
+        ~routing ~cycles ~failures ~src ~dst ()
     with
     | g -> Ok (g.Forward.trace.Forward.outcome, g.Forward.fault)
     | exception e -> Error (Printexc.to_string e)
@@ -117,8 +126,8 @@ let table_of fib = function
   | "lfa_ports" -> Some (Fib.raw_lfa_ports fib)
   | _ -> None
 
-let cell_damage st ~event ~base ~dd_bits ~failures rng ~sweep ~table ~slot
-    ~value =
+let cell_damage st ~event ~base ~dd_bits ~shortcut ~failures rng ~sweep ~table
+    ~slot ~value =
   (* The scratch image comes from a codec round-trip: a decoded image
      shares no array with [base] (Delta.recompile shares structure), so
      its cells can be damaged in place without touching the original. *)
@@ -134,6 +143,7 @@ let cell_damage st ~event ~base ~dd_bits ~failures rng ~sweep ~table ~slot
           let k = Kernel.create scratch in
           Kernel.set_guard k true;
           Kernel.set_failures k failures;
+          Kernel.set_shortcut k shortcut;
           let n = Fib.n scratch in
           for _ = 1 to sweep do
             let src = Rng.int rng n in
@@ -148,7 +158,7 @@ let cell_damage st ~event ~base ~dd_bits ~failures rng ~sweep ~table ~slot
 
 (* ---- stale-epoch reads ---- *)
 
-let stale_read st ~event ~base ~dd_bits ~failures rng ~src ~dst =
+let stale_read st ~event ~base ~dd_bits ~shortcut ~failures rng ~src ~dst =
   let store = Swap.create base in
   let old_epoch, old_image = Swap.pin store in
   (* Publish a successor (one random live link administratively down) so
@@ -166,6 +176,7 @@ let stale_read st ~event ~base ~dd_bits ~failures rng ~src ~dst =
       let k = Kernel.create old_image in
       Kernel.set_guard k true;
       Kernel.set_failures k failures;
+      Kernel.set_shortcut k shortcut;
       (match Kernel.run_one ~dd_bits k ~src ~dst with
       | r ->
           st.s_stale <- st.s_stale + 1;
@@ -286,9 +297,15 @@ let run config =
     | Ok base ->
         let dd_bits = Pr_core.Routing.dd_bits routing in
         let failures = Pr_core.Failure.none g in
+        let sc_plan =
+          Option.map
+            (fun w -> Pr_core.Seen.plan ~nodes:(Graph.n g) ~width:w)
+            config.shortcut
+        in
         let kernel = Kernel.create base in
         Kernel.set_guard kernel true;
         Kernel.set_failures kernel failures;
+        Kernel.set_shortcut kernel config.shortcut;
         let rng = Rng.create ~seed:config.seed in
         let storm =
           Gen.corrupt_storm (Rng.copy rng) config.topology
@@ -319,22 +336,24 @@ let run config =
                     count_fault st (Some f)
                 | Ok header ->
                     differential st ~event ~routing ~cycles ~failures ~dd_bits
-                      kernel ~header:(Some header) ~arrived_from:None ~src ~dst)
+                      ~sc_plan kernel ~header:(Some header) ~arrived_from:None
+                      ~src ~dst)
             | Gen.Raw_header { src; dst; dd } ->
                 differential st ~event ~routing ~cycles ~failures ~dd_bits
-                  kernel
+                  ~sc_plan kernel
                   ~header:(Some { Forward.pr_bit = true; dd_value = dd })
                   ~arrived_from:None ~src ~dst
             | Gen.Claim_from { src; dst; from_ } ->
                 differential st ~event ~routing ~cycles ~failures ~dd_bits
-                  kernel
+                  ~sc_plan kernel
                   ~header:(Some { Forward.pr_bit = true; dd_value = 1.0 })
                   ~arrived_from:(Some from_) ~src ~dst
             | Gen.Cell_damage { table; slot; value } ->
-                cell_damage st ~event ~base ~dd_bits ~failures rng
-                  ~sweep:config.sweep ~table ~slot ~value
+                cell_damage st ~event ~base ~dd_bits ~shortcut:config.shortcut
+                  ~failures rng ~sweep:config.sweep ~table ~slot ~value
             | Gen.Stale_read { src; dst } ->
-                stale_read st ~event ~base ~dd_bits ~failures rng ~src ~dst
+                stale_read st ~event ~base ~dd_bits ~shortcut:config.shortcut
+                  ~failures rng ~src ~dst
             | Gen.Crash_point { after_batch } ->
                 crash_point st ~event ~base rng ~batches:config.batches
                   ~after_batch)
@@ -364,8 +383,11 @@ let passed t = t.violations = []
 let report config t =
   let buf = Buffer.create 512 in
   Printf.bprintf buf
-    "corruption campaign: %s, seed %d, %d event(s)\n"
-    config.topology.Pr_topo.Topology.name config.seed config.events;
+    "corruption campaign: %s, seed %d, %d event(s)%s\n"
+    config.topology.Pr_topo.Topology.name config.seed config.events
+    (match config.shortcut with
+    | None -> ""
+    | Some w -> Printf.sprintf ", shortcut width %d" w);
   Printf.bprintf buf
     "  %d walk(s): %d delivered, %d accounted (drop or TTL), 0 uncaught\n"
     (t.delivered + t.accounted) t.delivered t.accounted;
@@ -397,8 +419,11 @@ let repro config t =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "# corruption campaign violation artifact\n";
   Printf.bprintf buf
-    "# reproduce: prcli chaos %s --corrupt --seed %d --corrupt-events %d\n"
-    config.topology.Pr_topo.Topology.name config.seed config.events;
+    "# reproduce: prcli chaos %s --corrupt --seed %d --corrupt-events %d%s\n"
+    config.topology.Pr_topo.Topology.name config.seed config.events
+    (match config.shortcut with
+    | None -> ""
+    | Some w -> Printf.sprintf " --shortcut %d" w);
   List.iter
     (fun v -> Printf.bprintf buf "# violation: [%s] %s\n" v.event v.detail)
     t.violations;

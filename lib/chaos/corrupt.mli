@@ -32,11 +32,16 @@ type config = {
   events : int;  (** corruption descriptors to draw *)
   sweep : int;   (** packets swept across each damaged image *)
   batches : int; (** journalled edit batches per crash point *)
+  shortcut : int option;
+      (** deja-vu shortcut-rung hint width, armed symmetrically on the
+          guarded reference walk and every guarded kernel the campaign
+          builds — the shortcut-differential regime: same agreement and
+          delivered-or-accounted invariants, no new drop reasons *)
 }
 
 val default_config :
   Pr_topo.Topology.t -> Pr_embed.Rotation.t -> seed:int -> config
-(** 96 events, 64-packet sweeps, 6-batch journals. *)
+(** 96 events, 64-packet sweeps, 6-batch journals, shortcut disarmed. *)
 
 type violation = { event : string; detail : string }
 (** One broken invariant: the corruption descriptor that exposed it and a

@@ -21,6 +21,7 @@ type step_result =
       header : hop_header;
       episode_started : bool;
       failure_hits : int;
+      shortcut : bool;
     }
   | Stuck of { outcome : outcome; failure_hits : int }
 
@@ -80,6 +81,7 @@ type ladder_result =
       episode_started : bool;
       failure_hits : int;
       degradations : degradation list;
+      shortcut : bool;
     }
   | Degraded_drop of {
       reason : drop_reason;
@@ -93,8 +95,8 @@ type ladder_result =
    can carry ([None]: unbounded, never saturates).  [budget] is
    [(hops_left, guard)] when the hop-budget rung is armed.  [strict] keeps
    the seed behaviour of raising on a missing rotation entry. *)
-let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~routing
-    ~cycles ~link_up ~dst ~node:x ~arrived_from ~header () =
+let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~shortcut
+    ~routing ~cycles ~link_up ~dst ~node:x ~arrived_from ~header () =
   let g = Routing.graph routing in
   let up = link_up in
   (* Event emission is guarded by [traced] at every site so the null sink
@@ -122,7 +124,7 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~routing
     end;
     value
   in
-  let forwarded next header episode_started =
+  let forwarded ?(shortcut = false) next header episode_started =
     Forwarded
       {
         next;
@@ -130,6 +132,7 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~routing
         episode_started;
         failure_hits = !failure_hits;
         degradations = List.rev !degradations;
+        shortcut;
       }
   in
   let drop reason =
@@ -278,7 +281,52 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~routing
         match continuation with
         | None -> ladder ~reason:Continuation_lost ~try_complementary:true
         | Some w ->
-            if up w then forwarded w header false
+            if up w then begin
+              (* The shortcut rung: the continuation is live, but the
+                 seen-node hint says this node was already departed during
+                 the current PR period (deja-vu).  Run the §4.3 comparison
+                 {e proactively}: it is exactly the check a failure
+                 encounter would run, so a grant is sound on its own and a
+                 Bloom false positive can at worst trigger a check that
+                 declines.  Grant only if the primary next hop is also up
+                 — the packet re-enters plain routing with a fresh header
+                 and no new episode.  Every decline (no hint, no deja-vu,
+                 unsound comparison, primary down) continues cycle
+                 following unchanged. *)
+              let grant =
+                match (shortcut, termination) with
+                | Some seen, Distance_discriminator when seen x -> (
+                    let local, local_sat =
+                      carried (Routing.disc routing ~node:x ~dst)
+                    in
+                    let header_sat =
+                      match max_dd_q with
+                      | Some m -> header.dd_value >= float_of_int m
+                      | None -> false
+                    in
+                    if
+                      (not (local_sat && header_sat))
+                      && local < header.dd_value
+                    then
+                      match Routing.next_hop routing ~node:x ~dst with
+                      | Some p when up p -> Some (p, local)
+                      | _ -> None
+                    else None)
+                | _ -> None
+              in
+              match grant with
+              | Some (p, local) ->
+                  if traced then
+                    Trace.emit trace
+                      (Trace.Shortcut
+                         {
+                           node = x;
+                           local_dd = local;
+                           header_dd = header.dd_value;
+                         });
+                  forwarded ~shortcut:true p fresh_header false
+              | None -> forwarded w header false
+            end
             else begin
               incr failure_hits;
               match termination with
@@ -320,17 +368,24 @@ let decide ~termination ~quantise ~max_dd_q ~budget ~strict ~trace ~routing
             end)
 
 let step ?(termination = Distance_discriminator) ?(quantise = false)
-    ?(trace = Trace.null) ~routing ~cycles ~failures ~dst ~node ~arrived_from
-    ~header () =
+    ?(trace = Trace.null) ?shortcut ~routing ~cycles ~failures ~dst ~node
+    ~arrived_from ~header () =
   match
     decide ~termination ~quantise ~max_dd_q:None ~budget:None ~strict:true
-      ~trace ~routing ~cycles
+      ~trace ~shortcut ~routing ~cycles
       ~link_up:(fun w -> Failure.link_up failures node w)
       ~dst ~node ~arrived_from ~header ()
   with
-  | Forwarded { next; header; episode_started; failure_hits; degradations = _ }
-    ->
-      Transmit { next; header; episode_started; failure_hits }
+  | Forwarded
+      {
+        next;
+        header;
+        episode_started;
+        failure_hits;
+        degradations = _;
+        shortcut;
+      } ->
+      Transmit { next; header; episode_started; failure_hits; shortcut }
   | Degraded_drop { reason = No_route; failure_hits; _ } ->
       Stuck { outcome = Dropped_unreachable; failure_hits }
   | Degraded_drop { reason = Interfaces_down; failure_hits; _ } ->
@@ -341,8 +396,8 @@ let step ?(termination = Distance_discriminator) ?(quantise = false)
       assert false
 
 let ladder_step ?(termination = Distance_discriminator) ?(quantise = false)
-    ?dd_bits ?hops_left ?(budget_guard = 0) ?(trace = Trace.null) ~routing
-    ~cycles ~link_up ~dst ~node ~arrived_from ~header () =
+    ?dd_bits ?hops_left ?(budget_guard = 0) ?(trace = Trace.null) ?shortcut
+    ~routing ~cycles ~link_up ~dst ~node ~arrived_from ~header () =
   let max_dd_q =
     match dd_bits with
     | None -> None
@@ -353,8 +408,8 @@ let ladder_step ?(termination = Distance_discriminator) ?(quantise = false)
     | Some h when budget_guard > 0 -> Some (h, budget_guard)
     | _ -> None
   in
-  decide ~termination ~quantise ~max_dd_q ~budget ~strict:false ~trace ~routing
-    ~cycles ~link_up ~dst ~node ~arrived_from ~header ()
+  decide ~termination ~quantise ~max_dd_q ~budget ~strict:false ~trace
+    ~shortcut ~routing ~cycles ~link_up ~dst ~node ~arrived_from ~header ()
 
 type trace = {
   outcome : outcome;
@@ -363,6 +418,7 @@ type trace = {
   failure_hits : int;
   max_header : Header.t;
   episodes : (int * float) list;
+  shortcuts : int;
 }
 
 let default_ttl g = (2 * Graph.m g * (Graph.n g + 2)) + Graph.n g + 16
@@ -370,12 +426,13 @@ let default_ttl g = (2 * Graph.m g * (Graph.n g + 2)) + Graph.n g + 16
 let step_class result =
   match result with
   | Stuck _ -> Probe.cls_drop
+  | Transmit { shortcut = true; _ } -> Probe.cls_shortcut
   | Transmit { episode_started = true; _ } -> Probe.cls_episode
   | Transmit { header = { pr_bit = true; _ }; _ } -> Probe.cls_cycle
   | Transmit _ -> Probe.cls_routed
 
 let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
-    ~routing ~cycles ~failures ~src ~dst () =
+    ?shortcut ~routing ~cycles ~failures ~src ~dst () =
   let g = Routing.graph routing in
   let n = Graph.n g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -391,16 +448,28 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
   let failure_hits = ref 0 in
   let max_dd = ref 0.0 in
   let episodes = ref [] in
+  let shortcuts = ref 0 in
+  (* The seen-node hint lives per walk; the step-level query closure is
+     built once so the hot loop stays allocation-free. *)
+  let seen = Option.map Seen.create shortcut in
+  let seen_query =
+    match seen with None -> None | Some s -> Some (fun v -> Seen.query s v)
+  in
+  let track_seen x (header : hop_header) =
+    match seen with
+    | None -> ()
+    | Some s -> if header.pr_bit then Seen.insert s x else Seen.reset s
+  in
   let timed_step x arrived_from header =
     match probe with
     | None ->
-        step ?termination ?quantise ~trace ~routing ~cycles ~failures ~dst
-          ~node:x ~arrived_from ~header ()
+        step ?termination ?quantise ~trace ?shortcut:seen_query ~routing
+          ~cycles ~failures ~dst ~node:x ~arrived_from ~header ()
     | Some p ->
         let t0 = Probe.now_ns () in
         let r =
-          step ?termination ?quantise ~trace ~routing ~cycles ~failures ~dst
-            ~node:x ~arrived_from ~header ()
+          step ?termination ?quantise ~trace ?shortcut:seen_query ~routing
+            ~cycles ~failures ~dst ~node:x ~arrived_from ~header ()
         in
         Probe.record_latency p ~cls:(step_class r)
           ~ns:(Int64.sub (Probe.now_ns ()) t0);
@@ -433,13 +502,20 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
                          "interfaces-down");
                  });
           finish outcome ~ttl acc
-      | Transmit { next; header; episode_started; failure_hits = hits } ->
+      | Transmit
+          { next; header; episode_started; failure_hits = hits; shortcut = sc }
+        ->
           failure_hits := !failure_hits + hits;
           if episode_started then begin
             incr pr_episodes;
             episodes := (x, header.dd_value) :: !episodes;
             if header.dd_value > !max_dd then max_dd := header.dd_value
           end;
+          if sc then begin
+            incr shortcuts;
+            match probe with None -> () | Some p -> Probe.record_shortcut p
+          end;
+          track_seen x header;
           if traced then
             Trace.emit trace
               (Trace.Hop
@@ -448,10 +524,12 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
           | None -> ()
           | Some ll ->
               (* Strict [step] never takes a ladder rung, so hops are
-                 shortest-path or PR-mode by the header on the wire. *)
+                 shortest-path, PR-mode by the header on the wire, or a
+                 shortcut exit. *)
               Pr_obs.Linkload.record_next ll ~node:x ~next
                 ~cls:
-                  (if header.pr_bit then Pr_obs.Linkload.cls_recycled
+                  (if sc then Pr_obs.Linkload.cls_shortcut
+                   else if header.pr_bit then Pr_obs.Linkload.cls_recycled
                    else Pr_obs.Linkload.cls_shortest));
           walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
     end
@@ -468,6 +546,7 @@ let run ?termination ?ttl ?quantise ?(trace = Trace.null) ?probe ?linkload
             dd = Routing.quantise_dd routing !max_dd;
           };
         episodes = List.rev !episodes;
+        shortcuts = !shortcuts;
       }
     in
     (match probe with
@@ -510,8 +589,8 @@ let inject_of_field ~dd_bits field =
   | Ok { Header.pr; dd } -> Ok { pr_bit = pr; dd_value = float_of_int dd }
 
 let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
-    ?(header = fresh_header) ?arrived_from ~routing ~cycles ~failures ~src ~dst
-    () =
+    ?(header = fresh_header) ?arrived_from ?shortcut ~routing ~cycles ~failures
+    ~src ~dst () =
   let g = Routing.graph routing in
   let n = Graph.n g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -532,6 +611,16 @@ let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
   let max_dd = ref 0.0 in
   let episodes = ref [] in
   let all_degradations = ref [] in
+  let shortcuts = ref 0 in
+  let seen = Option.map Seen.create shortcut in
+  let seen_query =
+    match seen with None -> None | Some s -> Some (fun v -> Seen.query s v)
+  in
+  let track_seen x (header : hop_header) =
+    match seen with
+    | None -> ()
+    | Some s -> if header.pr_bit then Seen.insert s x else Seen.reset s
+  in
   let finish ?fault ?drop outcome acc =
     {
       trace =
@@ -546,6 +635,7 @@ let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
               dd = Routing.quantise_dd routing !max_dd;
             };
           episodes = List.rev !episodes;
+          shortcuts = !shortcuts;
         };
       fault;
       drop;
@@ -587,7 +677,7 @@ let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
         else begin
           match
             ladder_step ?termination ?quantise ?dd_bits ~hops_left:ttl
-              ~budget_guard ~routing ~cycles
+              ~budget_guard ?shortcut:seen_query ~routing ~cycles
               ~link_up:(fun w -> Failure.link_up failures x w)
               ~dst ~node:x ~arrived_from ~header ()
           with
@@ -602,8 +692,14 @@ let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
               in
               finish ~drop:reason outcome acc
           | Forwarded
-              { next; header; episode_started; failure_hits = hits; degradations }
-            ->
+              {
+                next;
+                header;
+                episode_started;
+                failure_hits = hits;
+                degradations;
+                shortcut = sc;
+              } ->
               failure_hits := !failure_hits + hits;
               all_degradations := List.rev_append degradations !all_degradations;
               if episode_started then begin
@@ -611,6 +707,8 @@ let run_guarded ?termination ?ttl ?quantise ?dd_bits ?(budget_guard = 0)
                 episodes := (x, header.dd_value) :: !episodes;
                 if header.dd_value > !max_dd then max_dd := header.dd_value
               end;
+              if sc then incr shortcuts;
+              track_seen x header;
               walk next (Some x) header ~ttl:(ttl - 1) (next :: acc)
         end
       in

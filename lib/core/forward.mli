@@ -56,6 +56,9 @@ type step_result =
       header : hop_header;      (** header on the wire after this router *)
       episode_started : bool;   (** this router set the PR bit *)
       failure_hits : int;       (** failed-link encounters at this router *)
+      shortcut : bool;
+          (** this router cleared the PR bit through the shortcut rung
+              (deja-vu detected, proactive §4.3 comparison granted) *)
     }
   | Stuck of { outcome : outcome; failure_hits : int }
       (** [outcome] is never [Delivered] or [Ttl_exceeded] *)
@@ -64,6 +67,7 @@ val step :
   ?termination:termination ->
   ?quantise:bool ->
   ?trace:Pr_telemetry.Trace.sink ->
+  ?shortcut:(int -> bool) ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   failures:Failure.t ->
@@ -82,7 +86,20 @@ val step :
     entry…).  The null sink compiles to zero work: no event is even
     constructed.  Emission points mirror [Pr_fastpath.Kernel.decide]
     line for line, so the two backends produce structurally equal event
-    sequences. *)
+    sequences.
+
+    [shortcut] (default: off) is the walk's deja-vu query ({!Seen.query}
+    over the walk's seen-node hint).  During cycle following with a
+    {e live} continuation, a deja-vu hit makes the router run the §4.3
+    comparison proactively: if the local discriminator beats the header
+    DD (the comparison is sound — not both saturated) and the primary
+    next hop is up, the PR bit is cleared and the packet resumes plain
+    routing with a fresh header — the {b shortcut rung}.  Any decline
+    leaves the walk exactly as without the hint, so false positives can
+    only cost a lookup, never a misroute, and delivery remains
+    guaranteed by the unchanged DD argument (the shortcut clear
+    satisfies the same strict-decrease invariant as a failure-encounter
+    clear).  Only armed under {!Distance_discriminator}. *)
 
 (** {2 The graceful-degradation ladder}
 
@@ -127,6 +144,7 @@ type ladder_result =
       episode_started : bool;
       failure_hits : int;
       degradations : degradation list;  (** in the order they occurred *)
+      shortcut : bool;  (** the shortcut rung forwarded this packet *)
     }
   | Degraded_drop of {
       reason : drop_reason;
@@ -141,6 +159,7 @@ val ladder_step :
   ?hops_left:int ->
   ?budget_guard:int ->
   ?trace:Pr_telemetry.Trace.sink ->
+  ?shortcut:(int -> bool) ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   link_up:(int -> bool) ->
@@ -210,6 +229,9 @@ type trace = {
           PR bit and the DD it wrote.  §5.3's termination argument says
           these DD values strictly decrease — property-tested on planar
           embeddings. *)
+  shortcuts : int;
+      (** walks the shortcut rung granted: PR cleared on deja-vu without
+          a failure encounter.  Always 0 with the hint off. *)
 }
 
 val default_ttl : Pr_graph.Graph.t -> int
@@ -223,6 +245,7 @@ val run :
   ?trace:Pr_telemetry.Trace.sink ->
   ?probe:Pr_telemetry.Probe.t ->
   ?linkload:Pr_obs.Linkload.t ->
+  ?shortcut:Seen.plan ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   failures:Failure.t ->
@@ -245,7 +268,13 @@ val run :
     to feed the per-class latency histograms.  [linkload] counts every
     transmission against its directed link, classed by the header on the
     wire (PR bit set: recycled, else shortest-path — the strict walk
-    never takes a ladder rung). *)
+    never takes a ladder rung; a shortcut exit: shortcut).
+
+    [shortcut] arms the shortcut rung with a {!Seen.plan}: the walk
+    keeps a seen-node hint, inserting each node it departs in PR mode
+    and resetting whenever the PR bit clears, and hands {!step} the
+    deja-vu query.  Same plan, same insertions — the compiled kernel
+    mirrors this walk-level discipline bit for bit. *)
 
 type guarded = {
   trace : trace;
@@ -270,6 +299,7 @@ val run_guarded :
   ?budget_guard:int ->
   ?header:hop_header ->
   ?arrived_from:int ->
+  ?shortcut:Seen.plan ->
   routing:Routing.t ->
   cycles:Cycle_table.t ->
   failures:Failure.t ->

@@ -39,5 +39,41 @@ let bits_used ~dd_bits = 1 + dd_bits
 
 let fits_in_dscp ~dd_bits = bits_used ~dd_bits <= dscp_pool2_bits
 
+(* Shortcut extension: the seen-node hint rides above the PR+DD field,
+   topped by one saturation-marker bit.  Layout, LSB first:
+   [pr (1) | dd (dd_bits) | seen (sc_width) | sat (1)]. *)
+
+let shortcut_bits_used ~dd_bits ~sc_width = 1 + dd_bits + sc_width + 1
+
+let shortcut_fits ~dd_bits ~sc_width =
+  dd_bits >= 0 && dd_bits <= 61 && sc_width >= 1
+  && shortcut_bits_used ~dd_bits ~sc_width <= 62
+
+let encode_shortcut ~dd_bits ~sc_width t ~seen ~seen_sat =
+  if not (shortcut_fits ~dd_bits ~sc_width) then
+    invalid_arg "Header.encode_shortcut: layout exceeds 62 bits";
+  if seen < 0 || seen >= 1 lsl sc_width then
+    invalid_arg "Header.encode_shortcut: seen hint does not fit";
+  let base = encode ~dd_bits t in
+  base
+  lor (seen lsl (1 + dd_bits))
+  lor ((if seen_sat then 1 else 0) lsl (1 + dd_bits + sc_width))
+
+let decode_shortcut_result ~dd_bits ~sc_width field =
+  if not (shortcut_fits ~dd_bits ~sc_width) then
+    Error
+      (Printf.sprintf
+         "Header.decode_shortcut: bad layout dd_bits=%d sc_width=%d" dd_bits
+         sc_width)
+  else if field < 0 || field >= 1 lsl shortcut_bits_used ~dd_bits ~sc_width
+  then
+    Error
+      (Printf.sprintf "Header.decode_shortcut: field %d out of range" field)
+  else
+    let dd = (field lsr 1) land ((1 lsl dd_bits) - 1) in
+    let seen = (field lsr (1 + dd_bits)) land ((1 lsl sc_width) - 1) in
+    let seen_sat = (field lsr (1 + dd_bits + sc_width)) land 1 = 1 in
+    Ok ({ pr = field land 1 = 1; dd }, seen, seen_sat)
+
 let pp ppf { pr; dd } =
   Format.fprintf ppf "{pr=%b; dd=%d}" pr dd

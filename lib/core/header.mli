@@ -47,4 +47,26 @@ val bits_used : dd_bits:int -> int
 
 val fits_in_dscp : dd_bits:int -> bool
 
+val shortcut_bits_used : dd_bits:int -> sc_width:int -> int
+(** Bits the shortcut-extended header occupies: PR bit, DD field, the
+    seen-node hint ({!Seen}) and one saturation-marker bit, LSB first in
+    that order. *)
+
+val shortcut_fits : dd_bits:int -> sc_width:int -> bool
+(** Whether the extended layout fits the 62-bit header budget.  This is
+    the check [prcli --shortcut] applies before accepting a width. *)
+
+val encode_shortcut :
+  dd_bits:int -> sc_width:int -> t -> seen:int -> seen_sat:bool -> int
+(** Pack PR, DD, the raw hint bits and the saturation marker into one
+    integer field.  Raises [Invalid_argument] when the layout exceeds
+    the budget or [seen] does not fit [sc_width] bits. *)
+
+val decode_shortcut_result :
+  dd_bits:int -> sc_width:int -> int -> (t * int * bool, string) result
+(** Non-raising inverse of {!encode_shortcut}: on any integer input it
+    returns [Ok (header, seen, seen_sat)] or [Error] — never raises.
+    Round-trips {!encode_shortcut} exactly, saturation marker
+    included. *)
+
 val pp : Format.formatter -> t -> unit

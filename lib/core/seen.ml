@@ -1,0 +1,89 @@
+(* The bounded seen-node hint behind the shortcut rung.
+
+   A walk in PR mode records every node it departs from; revisiting a
+   recorded node is deja-vu and makes the walk *consider* (never take
+   unconditionally) a shortcut back onto primary routing.  The hint must
+   fit a fixed header budget, so small topologies get an exact bitset
+   (one bit per node, no false positives) and larger ones a two-hash
+   Bloom filter whose false positives are harmless by construction: a
+   spurious deja-vu only triggers a DD check that is sound on its own.
+
+   Saturation is the degrade-to-no-op path: once a Bloom hint carries
+   more set bits than half its width, its false-positive rate is no
+   longer worth the lookups, so the hint latches saturated and every
+   query answers [false] — the walk falls back to plain DD termination.
+
+   Everything observable here is a pure function of [(nodes, width)] and
+   the insertion sequence, shared verbatim by the reference walk and the
+   compiled kernel so the two backends stay verdict-identical. *)
+
+type mode = Exact | Bloom
+
+type plan = { mode : mode; width : int }
+
+let max_width = 60
+
+let plan ~nodes ~width =
+  if nodes < 1 then invalid_arg "Seen.plan: empty topology";
+  if width < 1 || width > max_width then
+    invalid_arg
+      (Printf.sprintf "Seen.plan: width %d out of range 1..%d" width max_width);
+  if nodes <= width then { mode = Exact; width = nodes }
+  else { mode = Bloom; width }
+
+(* Two independent multiplicative hashes, reduced into the hint width.
+   Constants are odd 32-bit mixers (Fibonacci hashing / MurmurHash3
+   finalizer families); everything stays within OCaml's 63-bit int. *)
+let hash1 node = (((node + 1) * 0x9E3779B1) lsr 7) land 0xFFFFFF
+let hash2 node = (((node + 1) * 0x85EBCA77) lsr 9) land 0xFFFFFF
+
+let mask_of p node =
+  if node < 0 then invalid_arg "Seen.mask_of: negative node";
+  match p.mode with
+  | Exact ->
+      if node >= p.width then invalid_arg "Seen.mask_of: node out of plan"
+      else 1 lsl node
+  | Bloom -> (1 lsl (hash1 node mod p.width)) lor (1 lsl (hash2 node mod p.width))
+
+let popcount bits =
+  let rec go acc b = if b = 0 then acc else go (acc + 1) (b land (b - 1)) in
+  go 0 bits
+
+(* An exact hint never saturates: each node owns one bit, so a full
+   bitset still answers membership truthfully. *)
+let threshold p = match p.mode with Exact -> max_int | Bloom -> p.width / 2
+
+type t = { plan : plan; mutable bits : int; mutable sat : bool }
+
+let create plan = { plan; bits = 0; sat = false }
+
+let reset t =
+  t.bits <- 0;
+  t.sat <- false
+
+let insert t node =
+  if not t.sat then begin
+    t.bits <- t.bits lor mask_of t.plan node;
+    if popcount t.bits > threshold t.plan then t.sat <- true
+  end
+
+let query t node =
+  (not t.sat)
+  &&
+  let m = mask_of t.plan node in
+  t.bits land m = m
+
+let saturated t = t.sat
+let bits t = t.bits
+
+let restore t ~bits ~sat =
+  if bits < 0 || bits >= 1 lsl t.plan.width then
+    invalid_arg "Seen.restore: bits out of plan width";
+  t.bits <- bits;
+  t.sat <- sat
+
+let pp ppf t =
+  Format.fprintf ppf "{%s w=%d bits=%#x%s}"
+    (match t.plan.mode with Exact -> "exact" | Bloom -> "bloom")
+    t.plan.width t.bits
+    (if t.sat then " sat" else "")

@@ -1,0 +1,66 @@
+(** Bounded seen-node hint for the shortcut rung.
+
+    A PR-mode walk inserts every node it departs; a query hit (deja-vu)
+    lets {!Forward.decide} *consider* shortcutting back to primary
+    routing, gated by the same §4.3 DD comparison that makes ordinary
+    termination sound.  False positives are therefore harmless — they
+    can only trigger a check that independently refuses unsound grants —
+    and false negatives merely keep the walk on its guaranteed cycle.
+
+    Small topologies ([nodes <= width]) get an exact per-node bitset;
+    larger ones a two-hash Bloom hint of exactly [width] bits.  A Bloom
+    hint {e saturates} once more than half its bits are set: it latches,
+    every {!query} answers [false], and the walk degrades to plain DD
+    termination.  All behaviour is a pure function of the plan and the
+    insertion sequence — the compiled kernel mirrors it bit-for-bit via
+    {!mask_of}/{!threshold}/{!popcount}. *)
+
+type mode = Exact | Bloom
+
+type plan = { mode : mode; width : int }
+(** [width] is the number of hint bits actually carried: [nodes] for
+    exact plans, the requested budget for Bloom plans. *)
+
+val max_width : int
+(** Largest supported hint width (60 bits, leaving room for the PR bit,
+    DD field and saturation marker inside a 63-bit header integer). *)
+
+val plan : nodes:int -> width:int -> plan
+(** Choose the encoding for a topology of [nodes] nodes under a [width]
+    bit budget: exact iff [nodes <= width].  Raises [Invalid_argument]
+    on [width < 1] or [width > max_width]. *)
+
+val mask_of : plan -> int -> int
+(** The pure bit pattern node [n] contributes: a single bit for exact
+    plans, two hashed bits for Bloom plans.  Deterministic across
+    backends — the kernel precomputes these per node. *)
+
+val popcount : int -> int
+
+val threshold : plan -> int
+(** Saturation limit on set bits: [width / 2] for Bloom, [max_int]
+    (never) for exact plans. *)
+
+type t
+
+val create : plan -> t
+val reset : t -> unit
+
+val insert : t -> int -> unit
+(** Record a departure.  No-op once saturated; latches saturation when
+    the popcount of the Bloom hint exceeds {!threshold}. *)
+
+val query : t -> int -> bool
+(** Deja-vu test.  Never a false negative before saturation; always
+    [false] after (degrade-to-no-op). *)
+
+val saturated : t -> bool
+
+val bits : t -> int
+(** Raw hint bits, for the header codec ({!Header.encode_shortcut}). *)
+
+val restore : t -> bits:int -> sat:bool -> unit
+(** Overwrite the hint from decoded header fields.  Raises
+    [Invalid_argument] if [bits] exceeds the plan width. *)
+
+val pp : Format.formatter -> t -> unit

@@ -21,9 +21,16 @@ type t = {
   lfa_off : int array;       (* [n*n + 1] *)
   lfa_ports : int array;
   dd_bits : int;
+  sc_width : int;            (* effective shortcut-hint width (plan width) *)
+  sc_mask : int array;       (* [n]: per-node seen-hint contribution *)
   live : bool array;         (* [m], by base edge index: administratively up *)
   eff_weight : float array;  (* [m], by base edge index: effective weight *)
 }
+
+(* Shortcut plane: per-node hint masks compiled once per image under the
+   default header budget.  Purely structural (a function of the node
+   count alone), so Delta recompiles copy it through untouched. *)
+let default_sc_width = 16
 
 type mismatch =
   | Node_count of { routing : int; cycles : int }
@@ -171,6 +178,7 @@ let of_tables ?ports routing cycles =
         done;
         lfa_off.(n * n) <- !total;
         let lfa_ports = Array.of_list (List.rev !cand) in
+        let sc_plan = Pr_core.Seen.plan ~nodes:n ~width:default_sc_width in
         Ok
           {
             g;
@@ -190,6 +198,8 @@ let of_tables ?ports routing cycles =
             lfa_off;
             lfa_ports;
             dd_bits = Routing.dd_bits routing;
+            sc_width = sc_plan.Pr_core.Seen.width;
+            sc_mask = Array.init n (Pr_core.Seen.mask_of sc_plan);
             live = Array.make (Graph.m g) true;
             eff_weight =
               Array.init (Graph.m g) (fun i -> (Graph.edge g i).Graph.w);
@@ -211,6 +221,8 @@ let degree t x = t.degree.(x)
 
 let dd_bits t = t.dd_bits
 
+let sc_width t = t.sc_width
+
 let quantise_dd t v =
   match t.kind with
   | Pr_core.Discriminator.Hops -> int_of_float v
@@ -223,6 +235,7 @@ let memory_words t =
   + Array.length t.disc_q + Array.length t.distance
   + Array.length t.cycle_col + Array.length t.comp_col
   + Array.length t.lfa_off + Array.length t.lfa_ports
+  + Array.length t.sc_mask
   + Array.length t.live + Array.length t.eff_weight
 
 let check_node t x name =
@@ -320,7 +333,9 @@ let equal a b =
   && a.node_port = b.node_port && a.next_hop_port = b.next_hop_port
   && a.disc_q = b.disc_q && a.cycle_col = b.cycle_col
   && a.comp_col = b.comp_col && a.lfa_off = b.lfa_off
-  && a.lfa_ports = b.lfa_ports && a.live = b.live
+  && a.lfa_ports = b.lfa_ports
+  && a.sc_width = b.sc_width && a.sc_mask = b.sc_mask
+  && a.live = b.live
   && float_arrays_equal a.port_weight b.port_weight
   && float_arrays_equal a.disc b.disc
   && float_arrays_equal a.distance b.distance
@@ -337,12 +352,13 @@ let raw_cycle_col t = t.cycle_col
 let raw_comp_col t = t.comp_col
 let raw_lfa_off t = t.lfa_off
 let raw_lfa_ports t = t.lfa_ports
+let raw_sc_mask t = t.sc_mask
 let raw_live t = t.live
 
 (* ---- the checkpoint codec ---- *)
 
 module Codec = struct
-  let magic = "PRFIB1"
+  let magic = "PRFIB2"
 
   (* FNV-1a, 64 bit — cheap, dependency-free, and plenty to catch torn or
      bit-flipped checkpoints (this is corruption detection, not crypto). *)
@@ -385,9 +401,9 @@ module Codec = struct
 
   let encode t =
     let buf = Buffer.create 4096 in
-    Printf.bprintf buf "%s %d %d %d %s %d\n" magic t.n t.ports t.dd_bits
+    Printf.bprintf buf "%s %d %d %d %s %d %d\n" magic t.n t.ports t.dd_bits
       (Pr_core.Discriminator.to_string t.kind)
-      (Graph.m t.g);
+      (Graph.m t.g) t.sc_width;
     add_ints buf "degree" t.degree;
     add_ints buf "port_node" t.port_node;
     add_floats buf "port_weight" t.port_weight;
@@ -400,6 +416,7 @@ module Codec = struct
     add_ints buf "comp_col" t.comp_col;
     add_ints buf "lfa_off" t.lfa_off;
     add_ints buf "lfa_ports" t.lfa_ports;
+    add_ints buf "sc_mask" t.sc_mask;
     add_bools buf "live" t.live;
     add_floats buf "eff_weight" t.eff_weight;
     let payload = Buffer.contents buf in
@@ -459,14 +476,15 @@ module Codec = struct
           | h :: rest -> Ok (h, rest)
           | [] -> fail "empty image"
         in
-        let* n, ports, dd_bits, kind_s, m =
+        let* n, ports, dd_bits, kind_s, m, sc_width =
           match header with
-          | [ mg; n; p; d; k; m ] when String.equal mg magic -> (
+          | [ mg; n; p; d; k; m; sw ] when String.equal mg magic -> (
               match
                 (int_of_string_opt n, int_of_string_opt p, int_of_string_opt d,
-                 int_of_string_opt m)
+                 int_of_string_opt m, int_of_string_opt sw)
               with
-              | Some n, Some p, Some d, Some m -> Ok (n, p, d, k, m)
+              | Some n, Some p, Some d, Some m, Some sw ->
+                  Ok (n, p, d, k, m, sw)
               | _ -> fail "unparsable geometry header")
           | mg :: _ when not (String.equal mg magic) ->
               fail "bad magic %S (want %S)" mg magic
@@ -476,15 +494,15 @@ module Codec = struct
           if
             n = base.n && ports = base.ports && dd_bits = base.dd_bits
             && String.equal kind_s (Pr_core.Discriminator.to_string base.kind)
-            && m = Graph.m base.g
+            && m = Graph.m base.g && sc_width = base.sc_width
           then Ok ()
           else
             fail
               "geometry mismatch: image is %dx%d ports, %d dd_bits, %s, %d \
-               links; base is %dx%d, %d, %s, %d"
-              n ports dd_bits kind_s m base.n base.ports base.dd_bits
+               links, %d hint bits; base is %dx%d, %d, %s, %d, %d"
+              n ports dd_bits kind_s m sc_width base.n base.ports base.dd_bits
               (Pr_core.Discriminator.to_string base.kind)
-              (Graph.m base.g)
+              (Graph.m base.g) base.sc_width
         in
         let* rows, degree, port_node, port_weight, node_port, next_hop_port =
           match rows with
@@ -513,15 +531,16 @@ module Codec = struct
               Ok (rest, disc, disc_q, distance, cycle_col, comp_col, lfa_off)
           | _ -> fail "truncated image"
         in
-        let* lfa_ports, live, eff_weight =
+        let* lfa_ports, sc_mask, live, eff_weight =
           match rows with
-          | r1 :: r2 :: r3 :: ([] | [ [ "" ] ]) ->
+          | r1 :: r2 :: r3 :: r4 :: ([] | [ [ "" ] ]) ->
               let* lfa_ports =
                 parse_row "lfa_ports" lfa_off.((n * n)) ~default:0 int_of r1
               in
-              let* live = parse_row "live" m ~default:true bool_of r2 in
-              let* eff_weight = parse_row "eff_weight" m ~default:0.0 float_of r3 in
-              Ok (lfa_ports, live, eff_weight)
+              let* sc_mask = parse_row "sc_mask" n ~default:0 int_of r2 in
+              let* live = parse_row "live" m ~default:true bool_of r3 in
+              let* eff_weight = parse_row "eff_weight" m ~default:0.0 float_of r4 in
+              Ok (lfa_ports, sc_mask, live, eff_weight)
           | _ -> fail "truncated image"
         in
         Ok
@@ -531,6 +550,8 @@ module Codec = struct
             n;
             ports;
             dd_bits;
+            sc_width;
+            sc_mask;
             degree;
             port_node;
             port_weight;

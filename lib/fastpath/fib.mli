@@ -71,6 +71,15 @@ val degree : t -> int -> int
 val dd_bits : t -> int
 (** The topology's DD bit budget, copied from {!Pr_core.Routing.dd_bits}. *)
 
+val default_sc_width : int
+(** Hint-bit budget the shortcut plane is compiled under (16). *)
+
+val sc_width : t -> int
+(** Effective width of the compiled shortcut plane: the node count for
+    exact plans ([n <= default_sc_width]), {!default_sc_width} for Bloom
+    plans — i.e. [(Pr_core.Seen.plan ~nodes:n
+    ~width:default_sc_width).width]. *)
+
 val quantise_dd : t -> float -> int
 (** Same rounding as {!Pr_core.Routing.quantise_dd} (by discriminator
     kind). *)
@@ -187,6 +196,10 @@ val raw_lfa_off : t -> int array
 
 val raw_lfa_ports : t -> int array
 (** concatenated LFA candidate ports *)
+
+val raw_sc_mask : t -> int array
+(** [n]: each node's seen-hint contribution under the image's shortcut
+    plane ({!Pr_core.Seen.mask_of} of the compiled plan) *)
 
 val raw_live : t -> bool array
 (** [m]: administrative liveness by base edge index *)

@@ -1,5 +1,6 @@
 module Graph = Pr_graph.Graph
 module Forward = Pr_core.Forward
+module Seen = Pr_core.Seen
 module Trace = Pr_telemetry.Trace
 module Probe = Pr_telemetry.Probe
 
@@ -48,7 +49,20 @@ type t = {
   mutable out_port : int;
   mutable out_pr : bool;
   mutable out_started : bool;
+  mutable out_shortcut : bool;
   mutable hits : int;
+  (* Shortcut rung ({!set_shortcut}): the per-node hint masks and the
+     saturation threshold are configuration (recomputed on rebind); the
+     hint bits and the latch are walk registers, reset per walk.  All
+     pure functions of Pr_core.Seen, so the reference walk and this
+     kernel agree bit for bit. *)
+  mutable sc_on : bool;
+  mutable sc_width : int;      (* requested hint width, -1 when off *)
+  mutable sc_masks : int array;
+  mutable sc_threshold : int;
+  mutable sc_bits : int;
+  mutable sc_sat : bool;
+  mutable sc_exits : int;      (* shortcut grants this walk *)
   (* Telemetry.  [trace] receives the decision-level events (emission
      points mirror Pr_core.Forward.decide line for line); [probe] is fed
      by the batch walk.  Both default to off and cost nothing then: the
@@ -130,7 +144,15 @@ let create fib =
     out_port = -1;
     out_pr = false;
     out_started = false;
+    out_shortcut = false;
     hits = 0;
+    sc_on = false;
+    sc_width = -1;
+    sc_masks = [||];
+    sc_threshold = max_int;
+    sc_bits = 0;
+    sc_sat = false;
+    sc_exits = 0;
     trace = Trace.null;
     probe = None;
     linkload = None;
@@ -185,6 +207,30 @@ let set_trace t sink = t.trace <- sink
 let set_guard t on = t.guard_mode <- on
 
 let guarded t = t.guard_mode
+
+let set_shortcut t width =
+  match width with
+  | None ->
+      t.sc_on <- false;
+      t.sc_width <- -1;
+      t.sc_masks <- [||];
+      t.sc_threshold <- max_int;
+      t.sc_bits <- 0;
+      t.sc_sat <- false
+  | Some w ->
+      let plan = Seen.plan ~nodes:t.n ~width:w in
+      (* raises Invalid_argument on out-of-range widths, same as the
+         reference's [Seen.plan] — one validation path for both backends *)
+      t.sc_on <- true;
+      t.sc_width <- w;
+      t.sc_threshold <- Seen.threshold plan;
+      t.sc_masks <-
+        (if Fib.sc_width t.fib = plan.Seen.width then Fib.raw_sc_mask t.fib
+         else Array.init t.n (Seen.mask_of plan));
+      t.sc_bits <- 0;
+      t.sc_sat <- false
+
+let shortcut_width t = if t.sc_on then Some t.sc_width else None
 
 let set_probe t probe = t.probe <- probe
 
@@ -489,6 +535,7 @@ let decide t ~dd_term ~quantise ~max_dd_q ~hops_left ~guard ~dst ~x
   let base = x * t.ports in
   let ii = (x * t.n) + dst in
   let deg = Array.unsafe_get t.degree x in
+  t.out_shortcut <- false;
   if pr && guard > 0 && hops_left <= guard then
     ladder t base ii ~deg ~quantise ~max_dd_q ~reason:c_budget_exhausted
       ~try_complementary:false
@@ -500,8 +547,52 @@ let decide t ~dd_term ~quantise ~max_dd_q ~hops_left ~guard ~dst ~x
     if t.guard_mode && (w < 0 || w >= deg) then
       corrupt_cell t ~node:x ~cell:cell_cycle
     else if up t base w then begin
-      Array.unsafe_set t.fbuf f_out_dd (Array.unsafe_get t.fbuf f_in_dd);
-      forwarded t w ~pr:true ~started:false
+      let m =
+        if dd_term && t.sc_on && not t.sc_sat then
+          Array.unsafe_get t.sc_masks x
+        else 0
+      in
+      if m <> 0 && t.sc_bits land m = m then begin
+        (* Deja-vu on a live continuation: proactive §4.3 check, the
+           mirror of the reference walk's shortcut grant.  Every decline
+           falls through to plain cycle following, bit-identical to a
+           kernel running with no hint at all. *)
+        let dd = Array.unsafe_get t.fbuf f_in_dd in
+        let q = Array.unsafe_get t.disc_q ii in
+        let local_sat = carried_sat ~max_dd_q q in
+        let header_sat = max_dd_q >= 0 && dd >= float_of_int max_dd_q in
+        let local =
+          if local_sat then float_of_int max_dd_q
+          else if quantise then float_of_int q
+          else Array.unsafe_get t.disc ii
+        in
+        let p = Array.unsafe_get t.next_hop_port ii in
+        if
+          (not (local_sat && header_sat))
+          && local < dd && p >= 0
+          && ((not t.guard_mode) || p < deg)
+          && up t base p
+        then begin
+          (* A suspicious next-hop cell under guard mode *declines* the
+             shortcut rather than faulting: the rung is an optimisation,
+             so degrade-to-no-op keeps verdicts aligned with the
+             reference, which never consults that cell here. *)
+          if traced t then
+            Trace.emit t.trace
+              (Trace.Shortcut { node = x; local_dd = local; header_dd = dd });
+          t.out_shortcut <- true;
+          Array.unsafe_set t.fbuf f_out_dd 0.0;
+          forwarded t p ~pr:false ~started:false
+        end
+        else begin
+          Array.unsafe_set t.fbuf f_out_dd dd;
+          forwarded t w ~pr:true ~started:false
+        end
+      end
+      else begin
+        Array.unsafe_set t.fbuf f_out_dd (Array.unsafe_get t.fbuf f_in_dd);
+        forwarded t w ~pr:true ~started:false
+      end
     end
     else begin
       t.hits <- t.hits + 1;
@@ -581,7 +672,8 @@ let degradation_of_code c =
 let[@inline] hop_cls t =
   let cls =
     ref
-      (if t.out_pr then Pr_obs.Linkload.cls_recycled
+      (if t.out_shortcut then Pr_obs.Linkload.cls_shortcut
+       else if t.out_pr then Pr_obs.Linkload.cls_recycled
        else Pr_obs.Linkload.cls_shortest)
   in
   for j = 0 to t.degr_len - 1 do
@@ -601,6 +693,7 @@ type result = {
   degradations : Forward.degradation list;
   cost : float;
   fault : Forward.fault option;
+  shortcuts : int;
 }
 
 let prepare_walk ?ttl t ~src ~dst =
@@ -613,11 +706,32 @@ let prepare_walk ?ttl t ~src ~dst =
     invalid_arg (Printf.sprintf "Kernel: src = dst (node %d)" src);
   t.hits <- 0;
   t.fault_code <- 0;
+  t.sc_bits <- 0;
+  t.sc_sat <- false;
+  t.sc_exits <- 0;
+  t.out_shortcut <- false;
   match ttl with Some v -> v | None -> t.default_ttl
 
 let max_dd_q_of = function
   | None -> -1
   | Some b -> Pr_core.Header.max_dd ~dd_bits:b
+
+(* The walk rule of the shortcut hint, applied after every successful
+   forward: a PR-mode departure inserts the departing node; a hop whose
+   outgoing PR bit is clear resets the hint.  Identical to the
+   reference's [track_seen] over a {!Seen.t}. *)
+let[@inline] track_seen t x =
+  if t.sc_on then
+    if t.out_pr then begin
+      if not t.sc_sat then begin
+        t.sc_bits <- t.sc_bits lor Array.unsafe_get t.sc_masks x;
+        if Seen.popcount t.sc_bits > t.sc_threshold then t.sc_sat <- true
+      end
+    end
+    else begin
+      t.sc_bits <- 0;
+      t.sc_sat <- false
+    end
 
 let dd_term_of = function
   | Forward.Distance_discriminator -> true
@@ -649,6 +763,7 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
       degradations = List.rev !degr_rev;
       cost;
       fault = fault_of t;
+      shortcuts = t.sc_exits;
     }
   in
   let tr = traced t in
@@ -717,6 +832,8 @@ let run_one ?(termination = Forward.Distance_discriminator) ?(quantise = false)
           | Some ll ->
               (* Counted on the wire, before any stale-view death. *)
               Pr_obs.Linkload.record ll ~node:x ~port ~cls:(hop_cls t));
+          if t.out_shortcut then t.sc_exits <- t.sc_exits + 1;
+          track_seen t x;
           if Bytes.get t.truth ((x * t.ports) + port) = '\000' then begin
             (* Sent into a link the sender wrongly believed up: lost on the
                wire, the failed hop recorded on the path (engine
@@ -808,6 +925,7 @@ let to_trace t r =
     max_header =
       { Pr_core.Header.pr = r.pr_episodes > 0; dd = Fib.quantise_dd t.fib r.max_dd };
     episodes = r.episodes;
+    shortcuts = r.shortcuts;
   }
 
 (* ---- batches ---- *)
@@ -824,6 +942,7 @@ type counters = {
   mutable complementary_retries : int;
   mutable lfa_rescues : int;
   mutable dd_saturations : int;
+  mutable shortcut_exits : int;
   mutable pr_episodes : int;
   mutable failure_hits : int;
 }
@@ -859,6 +978,7 @@ let fresh_counters () =
     complementary_retries = 0;
     lfa_rescues = 0;
     dd_saturations = 0;
+    shortcut_exits = 0;
     pr_episodes = 0;
     failure_hits = 0;
   }
@@ -878,6 +998,7 @@ let add_counters ~into c =
   into.complementary_retries <- into.complementary_retries + c.complementary_retries;
   into.lfa_rescues <- into.lfa_rescues + c.lfa_rescues;
   into.dd_saturations <- into.dd_saturations + c.dd_saturations;
+  into.shortcut_exits <- into.shortcut_exits + c.shortcut_exits;
   into.pr_episodes <- into.pr_episodes + c.pr_episodes;
   into.failure_hits <- into.failure_hits + c.failure_hits
 
@@ -890,6 +1011,7 @@ let equal_counters a b =
   && a.complementary_retries = b.complementary_retries
   && a.lfa_rescues = b.lfa_rescues
   && a.dd_saturations = b.dd_saturations
+  && a.shortcut_exits = b.shortcut_exits
   && a.pr_episodes = b.pr_episodes
   && a.failure_hits = b.failure_hits
 
@@ -912,7 +1034,8 @@ let slow_class t code =
   else begin
     let cls =
       ref
-        (if t.out_started then Probe.cls_episode
+        (if t.out_shortcut then Probe.cls_shortcut
+         else if t.out_started then Probe.cls_episode
          else if t.out_pr then Probe.cls_cycle
          else Probe.cls_routed)
     in
@@ -991,7 +1114,7 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
            construction; counted on the wire, before any stale-view
            death.  This length test is the whole accounting-off cost on
            the fast path; the slot reuses the walk's own port index. *)
-        let i = (base + p) * 3 in
+        let i = (base + p) * 4 in
         Array.unsafe_set ll i (Array.unsafe_get ll i + 1)
       end;
       if Bytes.unsafe_get t.truth (base + p) = '\000' then begin
@@ -1091,6 +1214,12 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
         | None -> ()
         | Some prb -> Probe.record_episode prb
       end;
+      if t.out_shortcut then begin
+        c.shortcut_exits <- c.shortcut_exits + 1;
+        match t.probe with
+        | None -> ()
+        | Some prb -> Probe.record_shortcut prb
+      end;
       let slot = (x * t.ports) + port in
       let ll = t.ll in
       if Array.length ll <> 0 then begin
@@ -1098,11 +1227,14 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
            degradation-free case stays call-free: [hop_cls] has a loop,
            which the non-flambda compiler will not inline. *)
         let cls =
-          if t.degr_len = 0 then if t.out_pr then 1 else 0 else hop_cls t
+          if t.degr_len = 0 then
+            if t.out_shortcut then 3 else if t.out_pr then 1 else 0
+          else hop_cls t
         in
-        let i = (slot * 3) + cls in
+        let i = (slot * 4) + cls in
         Array.unsafe_set ll i (Array.unsafe_get ll i + 1)
       end;
+      track_seen t x;
       if Bytes.unsafe_get t.truth slot = '\000' then begin
         c.dropped <- c.dropped + 1;
         let r = reason_index Stale_view in

@@ -84,6 +84,26 @@ val set_guard : t -> bool -> unit
 
 val guarded : t -> bool
 
+(** {2 The shortcut rung} *)
+
+val set_shortcut : t -> int option -> unit
+(** Arm (or, with [None], disarm) the deja-vu shortcut rung under a hint
+    budget of [width] bits, mirroring [Forward.run ~shortcut] exactly:
+    the walk inserts every PR-mode departure into a bounded seen-node
+    hint ({!Pr_core.Seen}, per-node masks taken from the image's
+    compiled shortcut plane when the widths agree), and a hit at a
+    cycle-following hop whose continuation is live triggers a proactive
+    §4.3 DD check — granted, the packet clears PR and resumes primary
+    routing; declined (including any guard-suspicious next-hop cell:
+    degrade-to-no-op, never a fault), the walk is bit-identical to an
+    unarmed kernel.  Only armed under
+    {!Pr_core.Forward.Distance_discriminator} termination.  Raises
+    [Invalid_argument] via {!Pr_core.Seen.plan} if [width] is out of
+    range. *)
+
+val shortcut_width : t -> int option
+(** The armed hint budget, [None] when disarmed. *)
+
 (** {2 Telemetry} *)
 
 val set_trace : t -> Pr_telemetry.Trace.sink -> unit
@@ -146,6 +166,7 @@ type result = {
   cost : float;            (** weighted cost of the traversed walk *)
   fault : Pr_core.Forward.fault option;
       (** [Some] iff [outcome = Dropped_corrupt] *)
+  shortcuts : int;         (** shortcut grants taken ({!set_shortcut}) *)
 }
 
 val run_one :
@@ -193,6 +214,7 @@ type counters = {
   mutable complementary_retries : int;
   mutable lfa_rescues : int;
   mutable dd_saturations : int;
+  mutable shortcut_exits : int;
   mutable pr_episodes : int;
   mutable failure_hits : int;
 }

@@ -11,6 +11,7 @@ type config = {
   dd_bits : int option;
   budget_guard : int;
   ttl : int option;
+  shortcut : int option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     dd_bits = None;
     budget_guard = 0;
     ttl = None;
+    shortcut = None;
   }
 
 let ladder_config ~dd_bits ~budget_guard =
@@ -72,6 +74,7 @@ let run_item kernel config prepare rng slot probe linkload item =
   Kernel.set_failures kernel item.failures;
   Kernel.set_probe kernel probe;
   Kernel.set_linkload kernel linkload;
+  Kernel.set_shortcut kernel config.shortcut;
   (match prepare with None -> () | Some f -> f kernel ~rng item);
   let label = component_labels item.failures in
   Array.iter

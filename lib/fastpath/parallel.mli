@@ -28,11 +28,15 @@ type config = {
   dd_bits : int option;
   budget_guard : int;
   ttl : int option;
+  shortcut : int option;
+      (** deja-vu shortcut-rung hint width ({!Kernel.set_shortcut});
+          armed identically on every domain's kernel, so summaries stay
+          bit-identical across domain counts *)
 }
 
 val default_config : config
 (** Reference-engine defaults: DD termination, no quantisation, unbounded
-    DD, guard off, default TTL. *)
+    DD, guard off, default TTL, shortcut disarmed. *)
 
 val ladder_config : dd_bits:int -> budget_guard:int -> config
 (** The PR2 ladder regime of {!Pr_core.Forward.ladder_step}. *)

@@ -5,7 +5,7 @@ type t = {
   ports : int;
   port_node : int array;  (* n * ports -> neighbour id, -1 pad *)
   node_port : int array;  (* n * n -> port, -1 for non-neighbours *)
-  counts : int array;     (* (node * ports + port) * 3 + cls *)
+  counts : int array;     (* (node * ports + port) * 4 + cls *)
 }
 
 let cls_shortest = 0
@@ -14,9 +14,11 @@ let cls_recycled = 1
 
 let cls_rescue = 2
 
-let class_names = [| "shortest-path"; "recycled"; "rescue" |]
+let cls_shortcut = 3
 
-let classes = 3
+let class_names = [| "shortest-path"; "recycled"; "rescue"; "shortcut" |]
+
+let classes = 4
 
 let create g =
   let n = Graph.n g in
@@ -62,6 +64,7 @@ let get t ~node ~port ~cls = t.counts.((node * t.ports + port) * classes + cls)
 let load t ~node ~port =
   let base = (node * t.ports + port) * classes in
   t.counts.(base) + t.counts.(base + 1) + t.counts.(base + 2)
+  + t.counts.(base + 3)
 
 let total t = Array.fold_left ( + ) 0 t.counts
 
@@ -92,17 +95,18 @@ let iter t f =
 let max_load t =
   let best = ref 0 in
   iter t (fun ~node:_ ~next:_ ~counts ->
-      let l = counts.(0) + counts.(1) + counts.(2) in
+      let l = counts.(0) + counts.(1) + counts.(2) + counts.(3) in
       if l > !best then best := l);
   !best
 
 let top t ~k =
   let rows = ref [] in
   iter t (fun ~node ~next ~counts ->
-      rows := (node, next, counts.(0), counts.(1), counts.(2)) :: !rows);
+      rows :=
+        (node, next, counts.(0), counts.(1), counts.(2), counts.(3)) :: !rows);
   (* total descending, then (node, port) ascending = reverse list order,
      which [List.stable_sort] preserves after the [List.rev] *)
-  let weight (_, _, sp, pr, re) = sp + pr + re in
+  let weight (_, _, sp, pr, re, sc) = sp + pr + re + sc in
   let sorted =
     List.stable_sort
       (fun a b -> compare (weight b) (weight a))
@@ -122,12 +126,12 @@ let to_json t =
   Buffer.add_string buf "  \"links\": [";
   let first = ref true in
   iter t (fun ~node ~next ~counts ->
-      if counts.(0) + counts.(1) + counts.(2) > 0 then begin
+      if counts.(0) + counts.(1) + counts.(2) + counts.(3) > 0 then begin
         if not !first then Buffer.add_char buf ',';
         first := false;
         Printf.bprintf buf
-          "\n    {\"from\": %d, \"to\": %d, \"shortest\": %d, \"recycled\": %d, \"rescue\": %d}"
-          node next counts.(0) counts.(1) counts.(2)
+          "\n    {\"from\": %d, \"to\": %d, \"shortest\": %d, \"recycled\": %d, \"rescue\": %d, \"shortcut\": %d}"
+          node next counts.(0) counts.(1) counts.(2) counts.(3)
       end);
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf

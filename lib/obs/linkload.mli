@@ -11,7 +11,9 @@
     - {b recycled}: PR-mode forwarding — an episode start or cycle
       following (PR bit set on the wire) that no ladder rung forced;
     - {b rescue}: a hop forwarded because a graceful-degradation rung
-      fired (complementary retry or LFA hand-off).
+      fired (complementary retry or LFA hand-off);
+    - {b shortcut}: the first routed hop after a deja-vu shortcut
+      cleared the PR bit mid-cycle (the shortcut rung).
 
     The layout matches the compiled FIB image: a flat array indexed
     [node * ports + port], where a port is the index of the next hop in
@@ -43,15 +45,18 @@ val cls_recycled : int
 
 val cls_rescue : int
 
+val cls_shortcut : int
+
 val class_names : string array
-(** ["shortest-path"; "recycled"; "rescue"], indexed by class. *)
+(** ["shortest-path"; "recycled"; "rescue"; "shortcut"], indexed by
+    class. *)
 
 (** {2 Feeding} *)
 
 val record : t -> node:int -> port:int -> cls:int -> unit
 (** Count one transmission from [node] out of [port].  Allocation-free;
     indices are not checked — callers pass a port below [node]'s
-    degree and a class below 3. *)
+    degree and a class below 4. *)
 
 val port_of : t -> node:int -> next:int -> int
 (** Port of neighbour [next] at [node], or [-1] if not adjacent. *)
@@ -60,7 +65,7 @@ val record_next : t -> node:int -> next:int -> cls:int -> unit
 (** {!record} through {!port_of}; ignores non-adjacent pairs. *)
 
 val raw_counts : t -> int array
-(** The counters array itself, laid out [(node * ports + port) * 3 +
+(** The counters array itself, laid out [(node * ports + port) * 4 +
     cls].  Exposed for the compiled kernel's hot loop, which bumps a
     slot with local array arithmetic instead of paying a cross-module
     call per hop (the difference is measurable on cycle-heavy sweeps).
@@ -83,7 +88,7 @@ val equal : t -> t -> bool
 val get : t -> node:int -> port:int -> cls:int -> int
 
 val load : t -> node:int -> port:int -> int
-(** Total over the three classes. *)
+(** Total over the four classes. *)
 
 val total : t -> int
 
@@ -94,14 +99,14 @@ val max_load : t -> int
 
 val iter : t -> (node:int -> next:int -> counts:int array -> unit) -> unit
 (** Visit every real directed link in [(node, port)] order.  [counts] is
-    a scratch array of the three class counts, reused between calls. *)
+    a scratch array of the four class counts, reused between calls. *)
 
-val top : t -> k:int -> (int * int * int * int * int) list
+val top : t -> k:int -> (int * int * int * int * int * int) list
 (** The [k] hottest directed links as [(node, next, shortest, recycled,
-    rescue)], by total load descending, ties broken by [(node, port)]
-    ascending. *)
+    rescue, shortcut)], by total load descending, ties broken by
+    [(node, port)] ascending. *)
 
 val to_json : t -> string
 (** [{"n": .., "ports": .., "total": .., "links": [{"from", "to",
-    "shortest", "recycled", "rescue"}, ..]}] over links with non-zero
-    load. *)
+    "shortest", "recycled", "rescue", "shortcut"}, ..]}] over links with
+    non-zero load. *)

@@ -23,13 +23,20 @@ type sweep = {
   probe : Probe.t;
   scenario_max : float list;
   stretches : float list;
+  shortcut : int option;
+  dd_stretches : float list;
 }
 
-let sweep ?(domains = 2) (topo : Topology.t) rotation =
+let sweep ?(domains = 2) ?shortcut (topo : Topology.t) rotation =
   let g = topo.Topology.graph in
   let routing = Pr_core.Routing.build g in
   let cycles = Pr_core.Cycle_table.build rotation in
   let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+  let sc_plan =
+    Option.map
+      (fun w -> Pr_core.Seen.plan ~nodes:(Pr_graph.Graph.n g) ~width:w)
+      shortcut
+  in
   let items = Parallel.all_pairs_single_failures fib in
   let packets =
     Array.fold_left
@@ -53,8 +60,8 @@ let sweep ?(domains = 2) (topo : Topology.t) rotation =
           else
             let trace =
               Forward.run ~termination:Forward.Distance_discriminator ~probe
-                ~linkload:scratch ~routing ~cycles ~failures:it.failures ~src
-                ~dst ()
+                ~linkload:scratch ?shortcut:sc_plan ~routing ~cycles
+                ~failures:it.failures ~src ~dst ()
             in
             match trace.Forward.outcome with
             | Forward.Delivered ->
@@ -66,10 +73,37 @@ let sweep ?(domains = 2) (topo : Topology.t) rotation =
       Linkload.merge ~into:reference scratch;
       Linkload.reset scratch)
     items;
+  (* With the shortcut rung armed, a second reference pass with it
+     disarmed supplies the DD-only baseline the stretch-CCDF comparison
+     renders — same walks, same delivery guarantee, shortcut declined
+     everywhere. *)
+  let dd_stretches =
+    match sc_plan with
+    | None -> []
+    | Some _ ->
+        let acc = ref [] in
+        Array.iter
+          (fun (it : Parallel.item) ->
+            Array.iter
+              (fun (src, dst) ->
+                if Pr_core.Failure.pair_connected it.failures src dst then
+                  let trace =
+                    Forward.run ~termination:Forward.Distance_discriminator
+                      ~routing ~cycles ~failures:it.failures ~src ~dst ()
+                  in
+                  match trace.Forward.outcome with
+                  | Forward.Delivered ->
+                      acc := Forward.stretch ~routing ~trace ~src ~dst :: !acc
+                  | _ -> ())
+              it.pairs)
+          items;
+        List.rev !acc
+  in
   (* Compiled kernel, driven scenario by scenario on one domain. *)
   let compiled = Linkload.create g in
   let kernel = Kernel.create fib in
   Kernel.set_linkload kernel (Some compiled);
+  Kernel.set_shortcut kernel shortcut;
   let compiled_counters = Kernel.fresh_counters () in
   Array.iter
     (fun (it : Parallel.item) ->
@@ -87,7 +121,11 @@ let sweep ?(domains = 2) (topo : Topology.t) rotation =
       Kernel.add_counters ~into:compiled_counters slot)
     items;
   (* Domain-parallel batch over the same items. *)
-  let counters, parallel = Parallel.run_loaded ~domains ~seed:0 fib items in
+  let counters, parallel =
+    Parallel.run_loaded ~domains
+      ~config:{ Parallel.default_config with shortcut }
+      ~seed:0 fib items
+  in
   {
     topology = topo;
     scenarios = Array.length items;
@@ -103,6 +141,8 @@ let sweep ?(domains = 2) (topo : Topology.t) rotation =
     probe;
     scenario_max = List.rev !scenario_max;
     stretches = List.rev !stretches;
+    shortcut;
+    dd_stretches;
   }
 
 let agree s = s.loads_agree && s.counters_agree
@@ -138,10 +178,13 @@ let ccdf_lines ~name ~grid samples =
            (Ccdf.series c ~xs)
 
 let top_lines (topo : Topology.t) ll k =
-  let line (u, v, sp, pr, re) =
+  let line (u, v, sp, pr, re, sc) =
     Printf.sprintf
-      "    %-12s -> %-12s %7d = %d shortest + %d recycled + %d rescue"
-      (Topology.label topo u) (Topology.label topo v) (sp + pr + re) sp pr re
+      "    %-12s -> %-12s %7d = %d shortest + %d recycled + %d rescue + %d \
+       shortcut"
+      (Topology.label topo u) (Topology.label topo v)
+      (sp + pr + re + sc)
+      sp pr re sc
   in
   match Linkload.top ll ~k with
   | [] -> [ "    (no load recorded)" ]
@@ -158,16 +201,32 @@ let render ?(top = 5) s =
        "reference = compiled = parallel(x" ^ string_of_int s.domains ^ ") OK"
      else "MISMATCH")
     (if s.counters_agree then "OK" else "MISMATCH");
-  line "  hop classes: %d shortest-path, %d recycled, %d rescue"
+  line "  hop classes: %d shortest-path, %d recycled, %d rescue, %d shortcut"
     (Linkload.class_total s.reference ~cls:Linkload.cls_shortest)
     (Linkload.class_total s.reference ~cls:Linkload.cls_recycled)
-    (Linkload.class_total s.reference ~cls:Linkload.cls_rescue);
+    (Linkload.class_total s.reference ~cls:Linkload.cls_rescue)
+    (Linkload.class_total s.reference ~cls:Linkload.cls_shortcut);
   line "  top %d hottest directed links:" top;
   List.iter (line "%s") (top_lines s.topology s.reference top);
   List.iter (line "%s")
     (ccdf_lines ~name:"max-link-load" ~grid:None s.scenario_max);
   List.iter (line "%s")
     (ccdf_lines ~name:"stretch" ~grid:(Some stretch_grid) s.stretches);
+  (match s.shortcut with
+  | None -> ()
+  | Some w ->
+      line "  shortcut rung: width %d bit(s), %d grant(s) in the parallel run"
+        w s.counters.Kernel.shortcut_exits;
+      List.iter (line "%s")
+        (ccdf_lines ~name:"stretch (DD-only baseline)"
+           ~grid:(Some stretch_grid) s.dd_stretches);
+      let mean xs =
+        match xs with
+        | [] -> 0.0
+        | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+      in
+      line "  mean stretch: %.4f with shortcut vs %.4f DD-only"
+        (mean s.stretches) (mean s.dd_stretches));
   Buffer.contents b
 
 let json_ccdf samples ~grid =
@@ -193,19 +252,20 @@ let to_json ?(top = 5) s =
     s.loads_agree s.counters_agree;
   Printf.bprintf b
     "  \"class_totals\": {\"shortest-path\": %d, \"recycled\": %d, \
-     \"rescue\": %d},\n"
+     \"rescue\": %d, \"shortcut\": %d},\n"
     (Linkload.class_total s.reference ~cls:Linkload.cls_shortest)
     (Linkload.class_total s.reference ~cls:Linkload.cls_recycled)
-    (Linkload.class_total s.reference ~cls:Linkload.cls_rescue);
+    (Linkload.class_total s.reference ~cls:Linkload.cls_rescue)
+    (Linkload.class_total s.reference ~cls:Linkload.cls_shortcut);
   let tops =
     List.map
-      (fun (u, v, sp, pr, re) ->
+      (fun (u, v, sp, pr, re, sc) ->
         Printf.sprintf
           "{\"from\": %S, \"to\": %S, \"shortest\": %d, \"recycled\": %d, \
-           \"rescue\": %d}"
+           \"rescue\": %d, \"shortcut\": %d}"
           (Topology.label s.topology u)
           (Topology.label s.topology v)
-          sp pr re)
+          sp pr re sc)
       (Linkload.top s.reference ~k:top)
   in
   Printf.bprintf b "  \"top\": [%s],\n" (String.concat ", " tops);
@@ -213,6 +273,14 @@ let to_json ?(top = 5) s =
     (json_ccdf s.scenario_max ~grid:None);
   Printf.bprintf b "  \"stretch_ccdf\": %s,\n"
     (json_ccdf s.stretches ~grid:(Some stretch_grid));
+  (match s.shortcut with
+  | None -> ()
+  | Some w ->
+      Printf.bprintf b
+        "  \"shortcut\": {\"width\": %d, \"exits\": %d, \
+         \"stretch_ccdf_dd_only\": %s},\n"
+        w s.counters.Kernel.shortcut_exits
+        (json_ccdf s.dd_stretches ~grid:(Some stretch_grid)));
   Printf.bprintf b "  \"linkload\": %s\n}" (Linkload.to_json s.reference);
   Buffer.contents b
 
@@ -268,7 +336,7 @@ let load_bench file =
                 (file
                 ^ ": fastpath artifact lacks finite compiled/reference sweep \
                    rows"))
-      | Some (("probe" | "linkload" | "guard") as suite) -> (
+      | Some (("probe" | "linkload" | "guard" | "shortcut") as suite) -> (
           match Option.bind (Json.member "overhead_ratio" j) Json.num with
           | Some r when finite_pos r ->
               Ok

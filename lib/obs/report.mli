@@ -37,14 +37,24 @@ type sweep = {
   scenario_max : float list;
       (** per-scenario maximum directed-link load, sweep order *)
   stretches : float list;      (** delivered stretches, sweep order *)
+  shortcut : int option;       (** hint width the sweep was run with *)
+  dd_stretches : float list;
+      (** delivered stretches of a shortcut-disarmed reference pass over
+          the same walks — the DD-only baseline the comparison renders;
+          [[]] when [shortcut] is [None] *)
 }
 
-val sweep : ?domains:int -> Pr_topo.Topology.t -> Pr_embed.Rotation.t -> sweep
+val sweep :
+  ?domains:int -> ?shortcut:int -> Pr_topo.Topology.t -> Pr_embed.Rotation.t ->
+  sweep
 (** Run the sweep on all three backends (parallel with [domains],
     default 2) and collect the tables.  A disconnected pair is accounted
     unreachable without walking on {e every} backend — the compiled
     batch already does this, and parity demands the reference walk agree
-    on what counts as load. *)
+    on what counts as load.  [shortcut] arms the deja-vu shortcut rung
+    at that hint width on all three backends ({!Pr_core.Forward.run}'s
+    [?shortcut], {!Pr_fastpath.Kernel.set_shortcut}, the parallel
+    config) and additionally collects the DD-only stretch baseline. *)
 
 val agree : sweep -> bool
 (** [loads_agree && counters_agree]. *)

@@ -89,7 +89,8 @@ let render t =
       let hottest =
         match Linkload.top w.load ~k:1 with
         | [] -> "-"
-        | (u, v, sp, pr, re) :: _ -> Printf.sprintf "%d->%d (%d)" u v (sp + pr + re)
+        | (u, v, sp, pr, re, sc) :: _ ->
+            Printf.sprintf "%d->%d (%d)" u v (sp + pr + re + sc)
       in
       Printf.bprintf buf
         "%6d %8.2f %5d %5d %5d %5d %7d %6d %6d %8d %8d %8d  %s\n" w.index

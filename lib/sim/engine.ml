@@ -310,6 +310,7 @@ let run ?observer ?detection ?(backend = `Reference) ?control ?probe ?linkload
               dd = Pr_core.Routing.quantise_dd routing !max_dd;
             };
           episodes = List.rev !episodes;
+          shortcuts = 0;
         }
       in
       (trace, reason, List.rev !degr_rev)
@@ -357,7 +358,7 @@ let run ?observer ?detection ?(backend = `Reference) ?control ?probe ?linkload
             in
             finish outcome ~reason:(Some (Metrics.reason_of_forward reason)) acc
         | Forward.Forwarded
-            { next; header; episode_started; failure_hits = hits; degradations }
+            { next; header; episode_started; failure_hits = hits; degradations; _ }
           ->
             failure_hits := !failure_hits + hits;
             degr_rev := List.rev_append degradations !degr_rev;

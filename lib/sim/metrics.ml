@@ -58,6 +58,7 @@ type t = {
   mutable complementary_retries : int;
   mutable lfa_rescues : int;
   mutable dd_saturations : int;
+  mutable shortcut_exits : int;
 }
 
 let create () =
@@ -73,6 +74,7 @@ let create () =
     complementary_retries = 0;
     lfa_rescues = 0;
     dd_saturations = 0;
+    shortcut_exits = 0;
   }
 
 let record_delivery t ~stretch =
@@ -104,6 +106,8 @@ let record_degradation t (d : Pr_core.Forward.degradation) =
 
 let record_degradations t ds = List.iter (record_degradation t) ds
 
+let record_shortcuts t k = t.shortcut_exits <- t.shortcut_exits + k
+
 let of_fastpath (c : Pr_fastpath.Kernel.counters) =
   let t = create () in
   t.injected <- c.injected;
@@ -130,6 +134,7 @@ let of_fastpath (c : Pr_fastpath.Kernel.counters) =
   t.complementary_retries <- c.complementary_retries;
   t.lfa_rescues <- c.lfa_rescues;
   t.dd_saturations <- c.dd_saturations;
+  t.shortcut_exits <- c.shortcut_exits;
   t
 
 (* The probe's reason slots are laid out in [all_reasons] order by
@@ -159,6 +164,7 @@ let of_probes (p : Pr_telemetry.Probe.t) =
   t.complementary_retries <- p.complementary_retries;
   t.lfa_rescues <- p.lfa_rescues;
   t.dd_saturations <- p.dd_saturations;
+  t.shortcut_exits <- p.shortcut_exits;
   t
 
 let drop_count t reason = t.drops_by_reason.(reason_index reason)
@@ -197,4 +203,6 @@ let pp ppf t =
   if t.complementary_retries > 0 || t.lfa_rescues > 0 || t.dd_saturations > 0
   then
     Format.fprintf ppf " degraded[retries=%d lfa=%d dd-sat=%d]"
-      t.complementary_retries t.lfa_rescues t.dd_saturations
+      t.complementary_retries t.lfa_rescues t.dd_saturations;
+  if t.shortcut_exits > 0 then
+    Format.fprintf ppf " shortcuts=%d" t.shortcut_exits

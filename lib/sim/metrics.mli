@@ -39,6 +39,9 @@ type t = {
   mutable complementary_retries : int;
   mutable lfa_rescues : int;
   mutable dd_saturations : int;
+  mutable shortcut_exits : int;
+      (** deja-vu shortcut grants ({!Pr_core.Forward.run}'s [shortcuts],
+          the kernel's [shortcut_exits]) *)
 }
 
 val create : unit -> t
@@ -55,6 +58,9 @@ val record_unreachable : t -> unit
 val record_degradation : t -> Pr_core.Forward.degradation -> unit
 
 val record_degradations : t -> Pr_core.Forward.degradation list -> unit
+
+val record_shortcuts : t -> int -> unit
+(** Account [k] shortcut grants (a walk's [shortcuts] count). *)
 
 val of_fastpath : Pr_fastpath.Kernel.counters -> t
 (** Shape a batch kernel's counters as a metrics record (reason slots

@@ -263,7 +263,7 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
                 ~looped:false ~time;
               observe_hop time p ~sent:None ~ttl_exceeded:false
           | Forward.Transmit
-              { next; header; episode_started; failure_hits = hits } ->
+              { next; header; episode_started; failure_hits = hits; _ } ->
               (* Strict [step] never takes a ladder rung: the header on
                  the wire classes the hop. *)
               record_hop_load time ~node:p.at ~next
@@ -296,8 +296,14 @@ let run ?observer ?probe ?linkload ?series config ~link_events ~injections =
                 ~reason:(Metrics.reason_of_forward reason);
               observe_hop time p ~sent:None ~ttl_exceeded:false
           | Forward.Forwarded
-              { next; header; episode_started; degradations; failure_hits = hits }
-            ->
+              {
+                next;
+                header;
+                episode_started;
+                degradations;
+                failure_hits = hits;
+                _;
+              } ->
               Metrics.record_degradations metrics degradations;
               probe_degradations degradations;
               (* Counted on the wire, before any stale-view death; a

@@ -10,6 +10,7 @@ type t = {
   mutable complementary_retries : int;
   mutable lfa_rescues : int;
   mutable dd_saturations : int;
+  mutable shortcut_exits : int;
   mutable pr_episodes : int;
   mutable failure_hits : int;
   stretch_hist : int array;
@@ -46,7 +47,8 @@ let reason_unclassified = 6
 
 let reason_corrupt = 7
 
-let class_names = [| "routed"; "cycle"; "episode"; "retry"; "lfa"; "drop" |]
+let class_names =
+  [| "routed"; "cycle"; "episode"; "retry"; "lfa"; "drop"; "shortcut" |]
 
 let cls_routed = 0
 
@@ -59,6 +61,8 @@ let cls_retry = 3
 let cls_lfa = 4
 
 let cls_drop = 5
+
+let cls_shortcut = 6
 
 let stretch_edges = [| 1.0; 1.2; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0; 16.0 |]
 
@@ -85,6 +89,7 @@ let create () =
     complementary_retries = 0;
     lfa_rescues = 0;
     dd_saturations = 0;
+    shortcut_exits = 0;
     pr_episodes = 0;
     failure_hits = 0;
     stretch_hist = Array.make (Array.length stretch_edges + 1) 0;
@@ -151,6 +156,8 @@ let record_lfa t = t.lfa_rescues <- t.lfa_rescues + 1
 
 let record_dd_saturation t = t.dd_saturations <- t.dd_saturations + 1
 
+let record_shortcut t = t.shortcut_exits <- t.shortcut_exits + 1
+
 let record_episode t = t.pr_episodes <- t.pr_episodes + 1
 
 let add_failure_hits t n = t.failure_hits <- t.failure_hits + n
@@ -179,6 +186,7 @@ let merge ~into c =
     into.complementary_retries + c.complementary_retries;
   into.lfa_rescues <- into.lfa_rescues + c.lfa_rescues;
   into.dd_saturations <- into.dd_saturations + c.dd_saturations;
+  into.shortcut_exits <- into.shortcut_exits + c.shortcut_exits;
   into.pr_episodes <- into.pr_episodes + c.pr_episodes;
   into.failure_hits <- into.failure_hits + c.failure_hits;
   add_array ~into:into.stretch_hist c.stretch_hist;
@@ -195,6 +203,7 @@ let equal_counts a b =
   && a.complementary_retries = b.complementary_retries
   && a.lfa_rescues = b.lfa_rescues
   && a.dd_saturations = b.dd_saturations
+  && a.shortcut_exits = b.shortcut_exits
   && a.pr_episodes = b.pr_episodes
   && a.failure_hits = b.failure_hits
   && a.stretch_hist = b.stretch_hist
@@ -233,6 +242,7 @@ let to_json t =
     t.complementary_retries;
   Printf.bprintf buf "  \"lfa_rescues\": %d,\n" t.lfa_rescues;
   Printf.bprintf buf "  \"dd_saturations\": %d,\n" t.dd_saturations;
+  Printf.bprintf buf "  \"shortcut_exits\": %d,\n" t.shortcut_exits;
   Printf.bprintf buf "  \"pr_episodes\": %d,\n" t.pr_episodes;
   Printf.bprintf buf "  \"failure_hits\": %d,\n" t.failure_hits;
   Printf.bprintf buf "  \"stretch_hist\": {\"edges\": %s, \"counts\": %s},\n"

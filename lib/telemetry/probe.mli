@@ -31,6 +31,7 @@ type t = {
   mutable complementary_retries : int;
   mutable lfa_rescues : int;
   mutable dd_saturations : int;
+  mutable shortcut_exits : int;
   mutable pr_episodes : int;
   mutable failure_hits : int;
   (* fixed-bucket histograms *)
@@ -65,7 +66,8 @@ val class_names : string array
 (** Latency classes, by what the decision did: [routed] (plain forward
     off the slow path), [cycle] (cycle following continued), [episode]
     (PR episode started), [retry] (ladder restarted an episode), [lfa]
-    (handed to a loop-free alternate), [drop]. *)
+    (handed to a loop-free alternate), [drop], [shortcut] (deja-vu
+    shortcut cleared the PR bit and resumed routing). *)
 
 val cls_routed : int
 val cls_cycle : int
@@ -73,6 +75,7 @@ val cls_episode : int
 val cls_retry : int
 val cls_lfa : int
 val cls_drop : int
+val cls_shortcut : int
 
 val stretch_edges : float array
 (** Bucket upper bounds; the last bucket of [stretch_hist] is overflow. *)
@@ -99,6 +102,10 @@ val record_retry : t -> unit
 val record_lfa : t -> unit
 
 val record_dd_saturation : t -> unit
+
+val record_shortcut : t -> unit
+(** One deja-vu shortcut exit (the walk left PR mode through the
+    shortcut rung rather than a failure-encounter DD comparison). *)
 
 val record_episode : t -> unit
 

@@ -16,6 +16,7 @@ type event =
     }
   | Dd_refused of { node : int }
   | Dd_saturated of { node : int; dd : float }
+  | Shortcut of { node : int; local_dd : float; header_dd : float }
   | Complementary of { node : int; failed : int }
   | Rung of { node : int; rung : rung; reason : string }
   | Divergence of { node : int; other : int; believed_up : bool }
@@ -83,6 +84,10 @@ let event_to_json = function
   | Dd_saturated { node; dd } ->
       Printf.sprintf "{\"ev\":\"dd-saturated\",\"node\":%d,\"dd\":%s}" node
         (fstr dd)
+  | Shortcut { node; local_dd; header_dd } ->
+      Printf.sprintf
+        "{\"ev\":\"shortcut\",\"node\":%d,\"local\":%s,\"header\":%s}" node
+        (fstr local_dd) (fstr header_dd)
   | Complementary { node; failed } ->
       Printf.sprintf "{\"ev\":\"complementary\",\"node\":%d,\"failed\":%d}" node
         failed
@@ -130,6 +135,11 @@ let pp_event ?(label = string_of_int) ppf ev =
   | Dd_saturated { node; dd } ->
       Format.fprintf ppf "at %s: DD write clamped to header maximum %g"
         (label node) dd
+  | Shortcut { node; local_dd; header_dd } ->
+      Format.fprintf ppf
+        "at %s: deja-vu shortcut local=%g < header=%g -> PR cleared, resume \
+         routing"
+        (label node) local_dd header_dd
   | Complementary { node; failed } ->
       Format.fprintf ppf "at %s: enter complementary cycle of failed link to %s"
         (label node) (label failed)
@@ -158,7 +168,7 @@ let render ?label events =
           incr hop;
           Buffer.add_string buf (Printf.sprintf "%4d. " !hop)
       | Deliver _ | Drop _ | Expire _ -> Buffer.add_string buf "      => "
-      | Pr_set _ | Dd_compare _ | Dd_refused _ | Dd_saturated _
+      | Pr_set _ | Dd_compare _ | Dd_refused _ | Dd_saturated _ | Shortcut _
       | Complementary _ | Rung _ | Divergence _ ->
           Buffer.add_string buf "        ");
       Buffer.add_string buf (Format.asprintf "%a" (pp_event ?label) ev);

@@ -38,6 +38,11 @@ type event =
           unsound and the packet takes the ladder instead *)
   | Dd_saturated of { node : int; dd : float }
       (** a DD write was clamped to the header maximum [dd] *)
+  | Shortcut of { node : int; local_dd : float; header_dd : float }
+      (** deja-vu at [node]: the seen-node hint fired, the proactive §4.3
+          comparison [local_dd < header_dd] held, the primary interface
+          was up — the PR bit was cleared and routing resumed without
+          waiting for a failure encounter (the shortcut rung) *)
   | Complementary of { node : int; failed : int }
       (** [node] entered the complementary cycle of its failed interface
           towards [failed] *)

@@ -277,6 +277,7 @@ let reference_ladder_walk ~routing ~cycles ~g ~termination ?dd_bits
             dd = Routing.quantise_dd routing !max_dd;
           };
         episodes = List.rev !episodes;
+        shortcuts = 0;
       },
       reason,
       List.rev !degr_rev )
@@ -302,7 +303,7 @@ let reference_ladder_walk ~routing ~cycles ~g ~termination ?dd_bits
           in
           finish outcome ~reason:(Some (Forward.drop_reason_name reason)) acc
       | Forward.Forwarded
-          { next; header; episode_started; failure_hits = hits; degradations }
+          { next; header; episode_started; failure_hits = hits; degradations; _ }
         ->
           failure_hits := !failure_hits + hits;
           degr_rev := List.rev_append degradations !degr_rev;
@@ -619,6 +620,167 @@ let test_parallel_golden_pins () =
          stretch=7768785.316666666 worst=3866.000000000" );
     ]
 
+(* ---- differential: the shortcut rung ---- *)
+
+module Trace = Pr_telemetry.Trace
+module Probe = Pr_telemetry.Probe
+module Seen = Pr_core.Seen
+
+type shortcut_ctx = {
+  sc_g : Graph.t;
+  sc_routing : Routing.t;
+  sc_cycles : Cycle_table.t;
+  sc_kernel : Kernel.t;
+  sc_plan : Seen.plan;
+  sc_width : int;
+}
+
+let shortcut_ctx ?(width = Fib.default_sc_width) topo =
+  let g = topo.Pr_topo.Topology.graph in
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let routing, cycles, fib = compile g rotation in
+  {
+    sc_g = g;
+    sc_routing = routing;
+    sc_cycles = cycles;
+    sc_kernel = Kernel.create fib;
+    sc_plan = Seen.plan ~nodes:(Graph.n g) ~width;
+    sc_width = width;
+  }
+
+(* One scenario through both backends with the hint armed and disarmed,
+   under both termination schemes: verdicts, fault classes, Trace event
+   sequences and Probe histograms must agree pairwise, and on every
+   delivered walk the armed run may not stretch past the DD-only one —
+   the shortcut is a pure improvement filter over the DD walk. *)
+let check_shortcut_differential ctx failures =
+  let { sc_g = g; sc_routing = routing; sc_cycles = cycles; sc_kernel = kernel;
+        sc_plan = plan; sc_width = width } = ctx in
+  Kernel.set_failures kernel failures;
+  let ref_ring = Trace.Ring.create () in
+  let krn_ring = Trace.Ring.create () in
+  List.iter
+    (fun termination ->
+      List.iter
+        (fun armed ->
+          Kernel.set_shortcut kernel (if armed then Some width else None);
+          let shortcut = if armed then Some plan else None in
+          let probe_ref = Probe.create () and probe_krn = Probe.create () in
+          let counters = Kernel.fresh_counters () in
+          List.iter
+            (fun (src, dst) ->
+              Trace.Ring.clear ref_ring;
+              Trace.Ring.clear krn_ring;
+              let expect =
+                Forward.run ~termination ?shortcut ~probe:probe_ref
+                  ~trace:(Trace.Ring.sink ref_ring) ~routing ~cycles ~failures
+                  ~src ~dst ()
+              in
+              Kernel.set_trace kernel (Trace.Ring.sink krn_ring);
+              let r = Kernel.run_one ~termination kernel ~src ~dst in
+              Kernel.set_trace kernel Trace.null;
+              if not (traces_equal expect (Kernel.to_trace kernel r)) then
+                Alcotest.failf "shortcut verdict mismatch %d->%d (armed %b)"
+                  src dst armed;
+              if Trace.Ring.events ref_ring <> Trace.Ring.events krn_ring then
+                Alcotest.failf "shortcut event mismatch %d->%d (armed %b)" src
+                  dst armed;
+              Kernel.set_probe kernel (Some probe_krn);
+              Kernel.forward_into ~termination kernel counters ~src ~dst;
+              Kernel.set_probe kernel None;
+              if armed && expect.Forward.outcome = Forward.Delivered then begin
+                let base =
+                  Forward.run ~termination ~routing ~cycles ~failures ~src
+                    ~dst ()
+                in
+                (* A DD-only walk that loops or drops while the armed one
+                   delivers is the shortcut rescuing it — strictly
+                   better, no stretch to compare. *)
+                if base.Forward.outcome = Forward.Delivered then begin
+                  let s = Forward.stretch ~routing ~trace:expect ~src ~dst in
+                  let s0 = Forward.stretch ~routing ~trace:base ~src ~dst in
+                  if s > s0 +. 1e-9 then
+                    Alcotest.failf "shortcut stretched %d->%d: %.6f > %.6f"
+                      src dst s s0
+                end
+              end)
+            (Helpers.all_pairs g);
+          if not (Probe.equal_counts probe_ref probe_krn) then
+            Alcotest.failf "probe histograms diverged (armed %b)" armed)
+        [ false; true ])
+    [ Forward.Distance_discriminator; Forward.Simple ]
+
+let test_shortcut_differential_single () =
+  List.iter
+    (fun topo ->
+      let ctx = shortcut_ctx topo in
+      List.iter
+        (fun scenario ->
+          check_shortcut_differential ctx
+            (Failure.of_list ctx.sc_g scenario))
+        (Pr_core.Scenario.single_links ctx.sc_g))
+    [ Pr_topo.Abilene.topology (); Pr_topo.Geant.topology () ]
+
+let test_shortcut_differential_dual () =
+  List.iter
+    (fun (topo, samples) ->
+      let ctx = shortcut_ctx topo in
+      let rng = Rng.create ~seed:1234 in
+      for _ = 1 to samples do
+        check_shortcut_differential ctx (random_failures rng ctx.sc_g ~k:2)
+      done)
+    [ (Pr_topo.Abilene.topology (), 20); (Pr_topo.Geant.topology (), 6) ]
+
+let qcheck_shortcut_differential =
+  QCheck.Test.make
+    ~name:"shortcut differential holds on random graphs and failure sets"
+    ~count:25
+    QCheck.(
+      pair
+        (triple (int_bound 1_000_000) (int_range 4 10) (int_bound 12))
+        (pair (int_range 0 4) (int_range 2 24)))
+    (fun (params, (k, width)) ->
+      let g, rotation = random_instance params in
+      let seed, _, _ = params in
+      let routing, cycles, fib = compile g rotation in
+      let ctx =
+        {
+          sc_g = g;
+          sc_routing = routing;
+          sc_cycles = cycles;
+          sc_kernel = Kernel.create fib;
+          sc_plan = Seen.plan ~nodes:(Graph.n g) ~width;
+          sc_width = width;
+        }
+      in
+      check_shortcut_differential ctx
+        (random_failures (Rng.create ~seed:(seed + 3)) g ~k);
+      true)
+
+let test_shortcut_golden_exits () =
+  (* Grant counts on the paper topologies' all-pairs single-failure
+     sweep, pinned, plus domain-count bit-determinism with the rung
+     armed.  Abilene's walks all DD-terminate before any deja-vu — a
+     topology-scale fact worth locking, not a bug. *)
+  List.iter
+    (fun (topo, expect) ->
+      let rotation = Pr_embed.Geometric.of_topology topo in
+      let _, _, fib = compile topo.Pr_topo.Topology.graph rotation in
+      let config = { Parallel.default_config with Parallel.shortcut = Some 16 } in
+      let items = Parallel.all_pairs_single_failures fib in
+      let c = Parallel.run ~domains:2 ~config ~seed:42 fib items in
+      Alcotest.(check int)
+        (topo.Pr_topo.Topology.name ^ " shortcut exits")
+        expect c.Kernel.shortcut_exits;
+      let c4 = Parallel.run ~domains:4 ~config ~seed:42 fib items in
+      Alcotest.(check bool) "bit-identical at 4 domains" true
+        (Kernel.equal_counters c c4))
+    [
+      (Pr_topo.Abilene.topology (), 0);
+      (Pr_topo.Geant.topology (), 139);
+      (Pr_topo.Teleglobe.topology (), 92);
+    ]
+
 let suite =
   [
     Alcotest.test_case "round-trip: named topologies" `Quick
@@ -640,7 +802,14 @@ let suite =
     Alcotest.test_case "parallel seed sensitivity" `Quick
       test_parallel_seed_sensitivity;
     Alcotest.test_case "parallel golden pins" `Quick test_parallel_golden_pins;
+    Alcotest.test_case "shortcut differential: single failures" `Slow
+      test_shortcut_differential_single;
+    Alcotest.test_case "shortcut differential: dual failures" `Quick
+      test_shortcut_differential_dual;
+    Alcotest.test_case "shortcut golden exits + domain determinism" `Quick
+      test_shortcut_golden_exits;
     QCheck_alcotest.to_alcotest qcheck_roundtrip_random;
     QCheck_alcotest.to_alcotest qcheck_truth_differential;
     QCheck_alcotest.to_alcotest qcheck_view_differential;
+    QCheck_alcotest.to_alcotest qcheck_shortcut_differential;
   ]

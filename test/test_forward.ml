@@ -253,7 +253,7 @@ let test_ladder_step_matches_step () =
           ~dst ~node:src ~arrived_from:None ~header:Forward.fresh_header ()
       in
       match (a, b) with
-      | ( Forward.Transmit { next; header; episode_started; failure_hits },
+      | ( Forward.Transmit { next; header; episode_started; failure_hits; _ },
           Forward.Forwarded
             {
               next = next';
@@ -261,6 +261,7 @@ let test_ladder_step_matches_step () =
               episode_started = started';
               failure_hits = hits';
               degradations;
+              _;
             } ) ->
           Alcotest.(check int) "same next hop" next next';
           Alcotest.(check bool) "same header" true (header = header');
@@ -406,6 +407,123 @@ let test_ladder_dd_saturation () =
         (List.mem Forward.Dd_saturated degradations)
   | _ -> Alcotest.fail "expected a saturated episode start"
 
+(* --- the shortcut rung on the reference walk --- *)
+
+module Seen = Pr_core.Seen
+module Trace = Pr_telemetry.Trace
+
+let shortcut_setup topo =
+  let rotation = Pr_embed.Geometric.of_topology topo in
+  let routing, cycles = build topo rotation in
+  let g = topo.Pr_topo.Topology.graph in
+  let plan = Seen.plan ~nodes:(Graph.n g) ~width:16 in
+  (g, routing, cycles, plan)
+
+let single_failure_sweep g routing visit =
+  List.iter
+    (fun scenario ->
+      let failures = Failure.of_list g scenario in
+      List.iter
+        (fun (src, dst) -> visit failures ~src ~dst)
+        (Pr_core.Scenario.connected_affected_pairs routing failures))
+    (Pr_core.Scenario.single_links g)
+
+(* The rung is a pure improvement filter: arming it never loses a walk
+   the DD argument delivered, and a granted delivered walk is never
+   costlier than the ungranted one.  Locked over the full single-failure
+   sweep of both planar paper topologies. *)
+let test_shortcut_pure_improvement () =
+  List.iter
+    (fun topo ->
+      let g, routing, cycles, plan = shortcut_setup topo in
+      single_failure_sweep g routing (fun failures ~src ~dst ->
+          let base = Forward.run ~routing ~cycles ~failures ~src ~dst () in
+          let armed =
+            Forward.run ~shortcut:plan ~routing ~cycles ~failures ~src ~dst ()
+          in
+          Alcotest.(check int) "hint off counts nothing" 0
+            base.Forward.shortcuts;
+          if base.Forward.outcome = Forward.Delivered then begin
+            Alcotest.(check bool) "armed still delivers" true
+              (armed.Forward.outcome = Forward.Delivered);
+            let s = Forward.stretch ~routing ~trace:armed ~src ~dst
+            and s0 = Forward.stretch ~routing ~trace:base ~src ~dst in
+            if s > s0 +. 1e-9 then
+              Alcotest.failf "shortcut stretched %d->%d on %s: %.6f > %.6f" src
+                dst topo.Pr_topo.Topology.name s s0
+          end))
+    [ Pr_topo.Abilene.topology (); Pr_topo.Geant.topology () ]
+
+(* Every grant the counter reports is a [Trace.Shortcut] event and vice
+   versa; the sweep totals are golden.  Abilene's zero is a
+   topology-scale fact worth locking: its walks DD-terminate before any
+   deja-vu, so the rung stays silent — not a bug. *)
+let shortcut_grants topo =
+  let g, routing, cycles, plan = shortcut_setup topo in
+  let total = ref 0 in
+  single_failure_sweep g routing (fun failures ~src ~dst ->
+      let ring = Trace.Ring.create () in
+      let armed =
+        Forward.run ~shortcut:plan
+          ~trace:(Trace.Ring.sink ring)
+          ~routing ~cycles ~failures ~src ~dst ()
+      in
+      let fired =
+        List.length
+          (List.filter
+             (function Trace.Shortcut _ -> true | _ -> false)
+             (Trace.Ring.events ring))
+      in
+      Alcotest.(check int) "trace events agree with the counter"
+        armed.Forward.shortcuts fired;
+      total := !total + armed.Forward.shortcuts);
+  !total
+
+let test_shortcut_grant_accounting () =
+  Alcotest.(check int) "abilene grants" 0
+    (shortcut_grants (Pr_topo.Abilene.topology ()));
+  Alcotest.(check int) "geant grants" 139
+    (shortcut_grants (Pr_topo.Geant.topology ()))
+
+(* The rung only arms under Distance_discriminator: with Simple
+   termination the armed walk must be the unarmed walk, field for
+   field. *)
+let test_shortcut_simple_termination_noop () =
+  let g, routing, cycles, plan = shortcut_setup (Pr_topo.Abilene.topology ()) in
+  single_failure_sweep g routing (fun failures ~src ~dst ->
+      let base =
+        Forward.run ~termination:Forward.Simple ~routing ~cycles ~failures ~src
+          ~dst ()
+      in
+      let armed =
+        Forward.run ~termination:Forward.Simple ~shortcut:plan ~routing ~cycles
+          ~failures ~src ~dst ()
+      in
+      Alcotest.(check int) "no grants under simple termination" 0
+        armed.Forward.shortcuts;
+      Alcotest.(check bool) "identical trace" true (armed = base))
+
+(* Clean traffic through the guarded ladder with the rung armed keeps
+   the strict walk's full trace — grants included — and never invents a
+   fault. *)
+let test_shortcut_guarded_clean_traffic () =
+  List.iter
+    (fun topo ->
+      let g, routing, cycles, plan = shortcut_setup topo in
+      single_failure_sweep g routing (fun failures ~src ~dst ->
+          let strict =
+            Forward.run ~shortcut:plan ~routing ~cycles ~failures ~src ~dst ()
+          in
+          let guarded =
+            Forward.run_guarded ~shortcut:plan ~routing ~cycles ~failures ~src
+              ~dst ()
+          in
+          Alcotest.(check bool) "guarded trace is the strict trace" true
+            (guarded.Forward.trace = strict);
+          Alcotest.(check bool) "no fault on clean traffic" true
+            (guarded.Forward.fault = None)))
+    [ Pr_topo.Abilene.topology (); Pr_topo.Geant.topology () ]
+
 let suite =
   [
     Alcotest.test_case "no failure = shortest path" `Quick test_no_failure_is_shortest_path;
@@ -429,6 +547,14 @@ let suite =
     Alcotest.test_case "ladder: budget guard" `Quick test_ladder_budget_guard;
     Alcotest.test_case "ladder: LFA rescue" `Quick test_ladder_lfa_rescue;
     Alcotest.test_case "ladder: DD saturation" `Quick test_ladder_dd_saturation;
+    Alcotest.test_case "shortcut: pure improvement (paper topologies)" `Slow
+      test_shortcut_pure_improvement;
+    Alcotest.test_case "shortcut: grant accounting (golden)" `Slow
+      test_shortcut_grant_accounting;
+    Alcotest.test_case "shortcut: simple termination no-op" `Quick
+      test_shortcut_simple_termination_noop;
+    Alcotest.test_case "shortcut: guarded clean traffic" `Slow
+      test_shortcut_guarded_clean_traffic;
     QCheck_alcotest.to_alcotest qcheck_planar_multi_failure_delivery;
     QCheck_alcotest.to_alcotest qcheck_stretch_lower_bounded_by_reconvergence;
     QCheck_alcotest.to_alcotest qcheck_episode_dds_strictly_decrease;

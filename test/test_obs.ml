@@ -385,13 +385,49 @@ let test_bench_guard_schema () =
         (Float.is_finite r && r > 0.0 && r <= 1.10)
   | None -> Alcotest.failf "%s: non-numeric overhead_ratio" file
 
+let test_bench_shortcut_schema () =
+  let file = "BENCH_shortcut.json" in
+  let j = load file in
+  check_suite_member file j "shortcut";
+  List.iter
+    (fun leg ->
+      let sub = get ("shortcut_" ^ leg) j in
+      Alcotest.(check bool)
+        (leg ^ " elapsed positive")
+        true
+        (finite_pos (get "elapsed_s" sub));
+      Alcotest.(check bool)
+        (leg ^ " ns/packet positive")
+        true
+        (finite_pos (get "ns_per_packet" sub)))
+    [ "off"; "on" ];
+  (match Json.num (get "width" j) with
+  | Some w -> Alcotest.(check bool) "hint width in range" true (w >= 1.0 && w <= 60.0)
+  | None -> Alcotest.failf "%s: non-numeric width" file);
+  (match Json.num (get "shortcut_exits" j) with
+  | Some n -> Alcotest.(check bool) "exits non-negative" true (n >= 0.0)
+  | None -> Alcotest.failf "%s: non-numeric shortcut_exits" file);
+  match Json.num (get "overhead_ratio" j) with
+  | Some r ->
+      (* The committed artifact carries the acceptance bound: the armed
+         kernel must cost at most 10% over the ungated sweep. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "shortcut overhead x%.4f within the 1.10 budget" r)
+        true
+        (Float.is_finite r && r > 0.0 && r <= 1.10)
+  | None -> Alcotest.failf "%s: non-numeric overhead_ratio" file
+
 (* ---- history entries parse the committed artifacts ---- *)
 
 let test_history_entries () =
   let entries, errs = Report.scan_bench ~dir:(artifact_dir ()) in
   List.iter (fun e -> Alcotest.failf "scan_bench: %s" e) errs;
-  Alcotest.(check bool) "all five artifacts found" true
-    (List.length entries >= 5);
+  Alcotest.(check bool) "all six artifacts found" true
+    (List.length entries >= 6);
+  Alcotest.(check bool) "a shortcut baseline exists" true
+    (List.exists
+       (fun (e : Report.bench_entry) -> e.Report.suite = "shortcut")
+       entries);
   List.iter
     (fun (e : Report.bench_entry) ->
       Alcotest.(check bool)
@@ -425,6 +461,8 @@ let suite =
     Alcotest.test_case "BENCH_swap.json schema" `Quick test_bench_swap_schema;
     Alcotest.test_case "BENCH_guard.json schema" `Quick
       test_bench_guard_schema;
+    Alcotest.test_case "BENCH_shortcut.json schema" `Quick
+      test_bench_shortcut_schema;
     Alcotest.test_case "history scan of committed artifacts" `Quick
       test_history_entries;
   ]
