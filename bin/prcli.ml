@@ -1540,9 +1540,71 @@ let refuse_overwrite ~force path =
     exit 1
   end
 
+(* The scale observatory: synthetic BA/Waxman campaigns, exiting before
+   any named-topology work — the campaign generates its own graphs. *)
+let bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
+    ~scale_scenarios ~scale_pairs ~scale_out ~scale_spans_out =
+  refuse_overwrite ~force scale_out;
+  refuse_overwrite ~force scale_spans_out;
+  let sizes =
+    String.split_on_char ',' scale_nodes
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some n when n >= 8 -> n
+           | _ ->
+               Printf.eprintf "bad --scale-nodes entry %S (want ints >= 8)\n" s;
+               exit 1)
+  in
+  let families =
+    match scale_family with
+    | "both" -> [ Pr_report.Scale.Ba; Pr_report.Scale.Waxman ]
+    | s -> (
+        match Pr_report.Scale.family_of_string s with
+        | Some f -> [ f ]
+        | None ->
+            Printf.eprintf "bad --scale-family %S (ba, waxman or both)\n" s;
+            exit 1)
+  in
+  if sizes = [] then begin
+    Printf.eprintf "--scale-nodes named no sizes\n";
+    exit 1
+  end;
+  if scale_scenarios < 1 then begin
+    Printf.eprintf "bad --scale-scenarios %d (want >= 1)\n" scale_scenarios;
+    exit 1
+  end;
+  if scale_pairs < 1 then begin
+    Printf.eprintf "bad --scale-pairs %d (want >= 1)\n" scale_pairs;
+    exit 1
+  end;
+  let c =
+    Pr_report.Scale.run ~domains ~scenarios:scale_scenarios ~pairs:scale_pairs
+      ~repeat ~families ~sizes ~seed ()
+  in
+  print_string (Pr_report.Scale.render c);
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write scale_out (Pr_report.Scale.to_json c);
+  write scale_spans_out (Pr_report.Scale.spans_json c);
+  Printf.printf "wrote %s and %s\n" scale_out scale_spans_out;
+  (* The <= 1.10x sketch budget and the >= 95% span-accounting floor are
+     this campaign's pass/fail line, mirrored by the CI gate. *)
+  exit
+    (if
+       c.Pr_report.Scale.overhead_ratio <= 1.10
+       && c.Pr_report.Scale.span_coverage_min >= 0.95
+     then 0
+     else 1)
+
 let bench name embedding seed backend_spec domains json probe repeat probe_out
     force linkload_flag linkload_out swap_flag swap_out guard_flag guard_out
-    history history_dir shortcut shortcut_out =
+    history history_dir shortcut shortcut_out scale scale_nodes scale_family
+    scale_scenarios scale_pairs scale_out scale_spans_out =
   let backend = parse_backend backend_spec in
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
@@ -1552,6 +1614,9 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     Printf.eprintf "repeat must be >= 1\n";
     exit 1
   end;
+  if scale then
+    bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
+      ~scale_scenarios ~scale_pairs ~scale_out ~scale_spans_out;
   (* Malformed widths die before the clobber checks, which die before
      any timing work is spent. *)
   let shortcut = shortcut_range_or_die shortcut in
@@ -2021,6 +2086,41 @@ let bench_cmd =
     Arg.(value & opt string "BENCH_shortcut.json" & info [ "shortcut-out" ]
            ~docv:"FILE" ~doc:"Where --shortcut writes its JSON.")
   in
+  let scale =
+    Arg.(value & flag & info [ "scale" ]
+           ~doc:"Run the scale observatory instead of a named-topology
+                 sweep: generate BA/Waxman topologies at --scale-nodes
+                 sizes, run the full pipeline under span timing, and
+                 write per-stage wall time, exact image bytes, streaming
+                 stretch/hop quantiles and the sketch-armed overhead
+                 ratio as JSON.  Exits non-zero if sketch overhead
+                 exceeds 1.10x or the span tree accounts for less than
+                 95% of a case's wall time.")
+  in
+  let scale_nodes =
+    Arg.(value & opt string "1000,3000,10000" & info [ "scale-nodes" ]
+           ~docv:"LIST" ~doc:"Comma-separated node counts for --scale.")
+  in
+  let scale_family =
+    Arg.(value & opt string "both" & info [ "scale-family" ] ~docv:"FAM"
+           ~doc:"Topology family for --scale: ba, waxman or both.")
+  in
+  let scale_scenarios =
+    Arg.(value & opt int 4 & info [ "scale-scenarios" ] ~docv:"INT"
+           ~doc:"Sampled single-failure scenarios per --scale case.")
+  in
+  let scale_pairs =
+    Arg.(value & opt int 20000 & info [ "scale-pairs" ] ~docv:"INT"
+           ~doc:"Sampled (src, dst) pairs per --scale scenario.")
+  in
+  let scale_out =
+    Arg.(value & opt string "BENCH_scale.json" & info [ "scale-out" ]
+           ~docv:"FILE" ~doc:"Where --scale writes its bench JSON.")
+  in
+  let scale_spans_out =
+    Arg.(value & opt string "SPANS_scale.json" & info [ "scale-spans-out" ]
+           ~docv:"FILE" ~doc:"Where --scale writes the span-tree JSON.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Time the all-pairs single-failure PR sweep on the reference or
@@ -2028,7 +2128,9 @@ let bench_cmd =
     Term.(const bench $ topo_arg $ embedding_arg $ seed_arg $ backend_arg
           $ domains $ json $ probe $ repeat $ probe_out $ force $ linkload
           $ linkload_out $ swap $ swap_out $ guard $ guard_out $ history
-          $ history_dir $ shortcut_arg $ shortcut_out)
+          $ history_dir $ shortcut_arg $ shortcut_out $ scale $ scale_nodes
+          $ scale_family $ scale_scenarios $ scale_pairs $ scale_out
+          $ scale_spans_out)
 
 (* ---- report: the network observatory rollup ---- *)
 

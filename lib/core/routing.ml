@@ -8,9 +8,11 @@ type t = {
 }
 
 let build ?(kind = Discriminator.Hops) g =
+  Pr_telemetry.Span.timed "routing.build" @@ fun () ->
   { g; kind; trees = Dijkstra.all_roots g }
 
 let build_blocked ?(kind = Discriminator.Hops) g ~blocked =
+  Pr_telemetry.Span.timed "routing.build" @@ fun () ->
   { g; kind; trees = Dijkstra.all_roots ~blocked g }
 
 let graph t = t.g

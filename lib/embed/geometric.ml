@@ -1,6 +1,7 @@
 module Graph = Pr_graph.Graph
 
 let of_coords g coords =
+  Pr_telemetry.Span.timed "embed.geometric" @@ fun () ->
   if Array.length coords <> Graph.n g then
     invalid_arg "Geometric.of_coords: coords length mismatch";
   let bearing v u =

@@ -98,6 +98,7 @@ let lfa_row ~neighbours ~node_port ~n ~x ~dst ~primary ~dist ~cost_of ~live_of =
   |> List.map (fun (_, w) -> node_port.((x * n) + w))
 
 let of_tables ?ports routing cycles =
+  Pr_telemetry.Span.timed "fib.compile" @@ fun () ->
   let g = Routing.graph routing in
   if not (Graph.equal_structure g (Cycle_table.graph cycles)) then
     Error (Graph_mismatch (find_mismatch g (Cycle_table.graph cycles)))
@@ -237,6 +238,64 @@ let memory_words t =
   + Array.length t.lfa_off + Array.length t.lfa_ports
   + Array.length t.sc_mask
   + Array.length t.live + Array.length t.eff_weight
+
+(* ---- memory-footprint accounting ---- *)
+
+type plane = { plane : string; words : int; bytes : int }
+
+type footprint = {
+  planes : plane list;
+  total_bytes : int;
+  bytes_per_router : float;
+}
+
+let word_bytes = Sys.word_size / 8
+
+let footprint t =
+  (* Payload words per plane: every field is a flat array of one-word
+     cells (ints, unboxed floats in float arrays, immediate bools), so
+     bytes = words * word size.  Array headers (one word each) are
+     excluded — they vanish at scale and keeping [total_bytes] equal to
+     [memory_words * word_bytes] makes the accounting testable. *)
+  let p name a = { plane = name; words = a; bytes = a * word_bytes } in
+  let planes =
+    [
+      p "degree" (Array.length t.degree);
+      p "port_node" (Array.length t.port_node);
+      p "port_weight" (Array.length t.port_weight);
+      p "node_port" (Array.length t.node_port);
+      p "next_hop_port" (Array.length t.next_hop_port);
+      p "disc" (Array.length t.disc);
+      p "disc_q" (Array.length t.disc_q);
+      p "distance" (Array.length t.distance);
+      p "cycle_col" (Array.length t.cycle_col);
+      p "comp_col" (Array.length t.comp_col);
+      p "lfa_off" (Array.length t.lfa_off);
+      p "lfa_ports" (Array.length t.lfa_ports);
+      p "sc_mask" (Array.length t.sc_mask);
+      p "live" (Array.length t.live);
+      p "eff_weight" (Array.length t.eff_weight);
+    ]
+  in
+  let total_bytes = List.fold_left (fun a pl -> a + pl.bytes) 0 planes in
+  {
+    planes;
+    total_bytes;
+    bytes_per_router = float_of_int total_bytes /. float_of_int (max 1 t.n);
+  }
+
+let footprint_json f =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\"total_bytes\":%d,\"bytes_per_router\":%.1f,\"planes\":["
+    f.total_bytes f.bytes_per_router;
+  List.iteri
+    (fun i pl ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"plane\":%S,\"words\":%d,\"bytes\":%d}" pl.plane
+        pl.words pl.bytes)
+    f.planes;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 let check_node t x name =
   if x < 0 || x >= t.n then invalid_arg ("Fib: " ^ name ^ " out of range")
@@ -799,6 +858,7 @@ module Delta = struct
     }
 
   let apply ?(threshold = 0.5) t edits =
+    Pr_telemetry.Span.timed "fib.delta.apply" @@ fun () ->
     match validate t edits with
     | Error e -> Error e
     | Ok (edits, live, eff) ->
@@ -826,6 +886,7 @@ module Delta = struct
     | Error e -> invalid_arg (describe_error e)
 
   let recompile t =
+    Pr_telemetry.Span.timed "fib.recompile" @@ fun () ->
     let n = t.n in
     rebuild t ~live:(Array.copy t.live) ~eff:(Array.copy t.eff_weight)
       ~dirty:(Array.make n true) ~touched:(Array.make n true)

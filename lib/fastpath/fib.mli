@@ -87,6 +87,28 @@ val quantise_dd : t -> float -> int
 val memory_words : t -> int
 (** Total words across all arrays — the §6-style footprint of the image. *)
 
+type plane = {
+  plane : string;  (** field name, e.g. ["node_port"] *)
+  words : int;     (** payload cells (all planes are one-word cells) *)
+  bytes : int;     (** [words * Sys.word_size / 8] *)
+}
+
+type footprint = {
+  planes : plane list;  (** one entry per table plane, layout order *)
+  total_bytes : int;    (** = [memory_words * Sys.word_size / 8] *)
+  bytes_per_router : float;  (** [total_bytes / n] — the paper's
+                                 bounded-state-per-router claim, priced *)
+}
+
+val footprint : t -> footprint
+(** Exact payload bytes per table plane of a compiled image.  Array
+    headers (one word per plane) are excluded, so [total_bytes] is
+    consistent with {!memory_words}; the shortcut-hint plane appears as
+    [sc_mask] (one word per node at {!sc_width} effective bits). *)
+
+val footprint_json : footprint -> string
+(** One-line JSON object: [total_bytes], [bytes_per_router], [planes]. *)
+
 (** {2 Administrative state}
 
     Each image carries the administrative link state its rows were

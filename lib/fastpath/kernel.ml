@@ -1169,7 +1169,7 @@ let rec batch_walk t c ~dd_term ~quantise ~max_dd_q ~guard ~src ~dst x
               ~x ~arrived_port ~pr
           end
           else begin
-            t.lat_tick <- Probe.lat_sample - 1;
+            t.lat_tick <- Probe.lat_sample prb - 1;
             let t0 = Probe.now_ns () in
             let code =
               decide t ~dd_term ~quantise ~max_dd_q ~hops_left:ttl ~guard ~dst

@@ -92,6 +92,7 @@ let run_item kernel config prepare rng slot probe linkload item =
 
 let run_items ~domains ~config ~prepare ~seed ~probes ~linkloads fib items =
   if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+  Pr_telemetry.Span.timed "parallel.batch" @@ fun () ->
   let n_items = Array.length items in
   let master = Rng.create ~seed in
   let streams = Array.init n_items (fun _ -> Rng.split master) in
@@ -129,17 +130,19 @@ let run ?(domains = 1) ?(config = default_config) ?prepare ~seed fib items =
   run_items ~domains ~config ~prepare ~seed ~probes:None ~linkloads:None fib
     items
 
-let run_probed ?(domains = 1) ?(config = default_config) ?prepare ~seed fib
-    items =
+let run_probed ?(domains = 1) ?(config = default_config) ?prepare
+    ?(create_probe = fun () -> Probe.create ()) ~seed fib items =
   (* One probe slot per item, merged in item-index order after the join
      barrier — the same discipline that keeps the counter sums
-     bit-identical across domain counts. *)
-  let probes = Array.init (Array.length items) (fun _ -> Probe.create ()) in
+     bit-identical across domain counts.  The factory builds every slot
+     (and the merge target), so sketch-armed or re-sampled probes stay
+     uniformly configured across the batch. *)
+  let probes = Array.init (Array.length items) (fun _ -> create_probe ()) in
   let total =
     run_items ~domains ~config ~prepare ~seed ~probes:(Some probes)
       ~linkloads:None fib items
   in
-  let merged = Probe.create () in
+  let merged = create_probe () in
   Array.iter (fun p -> Probe.merge ~into:merged p) probes;
   (total, merged)
 

@@ -66,6 +66,7 @@ val run_probed :
   ?domains:int ->
   ?config:config ->
   ?prepare:(Kernel.t -> rng:Pr_util.Rng.t -> item -> unit) ->
+  ?create_probe:(unit -> Pr_telemetry.Probe.t) ->
   seed:int ->
   Fib.t ->
   item array ->
@@ -74,7 +75,12 @@ val run_probed :
     probe slot per item, merged in item-index order after the join
     barrier, so every probe count (and float sum) is bit-identical
     regardless of [domains] — latency histograms excepted, they measure
-    wall time. *)
+    wall time.  [create_probe] (default [Probe.create ()]) builds every
+    per-item slot and the merge target: pass
+    [fun () -> Probe.create ~sketch:true ()] to carry streaming
+    quantile sketches through the batch — sketch merges happen in the
+    same item-index order, so the merged sketch state is bit-identical
+    across domain counts too. *)
 
 val run_swapped :
   ?domains:int ->

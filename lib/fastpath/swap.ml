@@ -58,6 +58,7 @@ let maybe_retire t (e : entry) =
   end
 
 let publish t fib =
+  Pr_telemetry.Span.timed "swap.publish" @@ fun () ->
   with_lock t (fun () ->
       let cur = current_entry t in
       if Fib.n fib <> Fib.n cur.fib || Fib.ports fib <> Fib.ports cur.fib

@@ -50,6 +50,11 @@ let[@inline] record_next t ~node ~next ~cls =
 
 let raw_counts t = t.counts
 
+let footprint_bytes t =
+  (Array.length t.port_node + Array.length t.node_port
+  + Array.length t.counts)
+  * (Sys.word_size / 8)
+
 let reset t = Array.fill t.counts 0 (Array.length t.counts) 0
 
 let merge ~into c =

@@ -64,6 +64,11 @@ val port_of : t -> node:int -> next:int -> int
 val record_next : t -> node:int -> next:int -> cls:int -> unit
 (** {!record} through {!port_of}; ignores non-adjacent pairs. *)
 
+val footprint_bytes : t -> int
+(** Exact payload bytes of the table's arrays (the counters plus the
+    two port-lookup planes, one-word cells, headers excluded) — the
+    per-table line of the scale observatory's memory accounting. *)
+
 val raw_counts : t -> int array
 (** The counters array itself, laid out [(node * ports + port) * 4 +
     cls].  Exposed for the compiled kernel's hot loop, which bumps a

@@ -25,6 +25,8 @@ type sweep = {
   stretches : float list;
   shortcut : int option;
   dd_stretches : float list;
+  footprint : Pr_fastpath.Fib.footprint;
+  linkload_bytes : int;
 }
 
 let sweep ?(domains = 2) ?shortcut (topo : Topology.t) rotation =
@@ -143,6 +145,8 @@ let sweep ?(domains = 2) ?shortcut (topo : Topology.t) rotation =
     stretches = List.rev !stretches;
     shortcut;
     dd_stretches;
+    footprint = Pr_fastpath.Fib.footprint fib;
+    linkload_bytes = Linkload.footprint_bytes reference;
   }
 
 let agree s = s.loads_agree && s.counters_agree
@@ -206,6 +210,10 @@ let render ?(top = 5) s =
     (Linkload.class_total s.reference ~cls:Linkload.cls_recycled)
     (Linkload.class_total s.reference ~cls:Linkload.cls_rescue)
     (Linkload.class_total s.reference ~cls:Linkload.cls_shortcut);
+  line "  memory: FIB image %d bytes (%.1f per router), linkload table %d \
+        bytes"
+    s.footprint.Pr_fastpath.Fib.total_bytes
+    s.footprint.Pr_fastpath.Fib.bytes_per_router s.linkload_bytes;
   line "  top %d hottest directed links:" top;
   List.iter (line "%s") (top_lines s.topology s.reference top);
   List.iter (line "%s")
@@ -269,6 +277,9 @@ let to_json ?(top = 5) s =
       (Linkload.top s.reference ~k:top)
   in
   Printf.bprintf b "  \"top\": [%s],\n" (String.concat ", " tops);
+  Printf.bprintf b "  \"memory\": {\"fib\": %s, \"linkload_bytes\": %d},\n"
+    (Pr_fastpath.Fib.footprint_json s.footprint)
+    s.linkload_bytes;
   Printf.bprintf b "  \"max_link_load_ccdf\": %s,\n"
     (json_ccdf s.scenario_max ~grid:None);
   Printf.bprintf b "  \"stretch_ccdf\": %s,\n"
@@ -371,6 +382,28 @@ let load_bench file =
                       (ns "swap_pause_ns");
                 }
           | _ -> Error (file ^ ": no finite \"norm\""))
+      | Some "scale" -> (
+          (* Scale observatory: norm = worst sketch-armed forwarding
+             overhead across the campaign; the span-coverage floor
+             rides along as detail. *)
+          match Option.bind (Json.member "overhead_ratio" j) Json.num with
+          | Some r when finite_pos r ->
+              let cov =
+                match
+                  Option.bind (Json.member "span_coverage_min" j) Json.num
+                with
+                | Some c when Float.is_finite c ->
+                    Printf.sprintf ", span coverage %.1f%%" (100.0 *. c)
+                | _ -> ""
+              in
+              Ok
+                {
+                  file;
+                  suite = "scale";
+                  norm = r;
+                  detail = Printf.sprintf "sketch overhead x%.4f%s" r cov;
+                }
+          | _ -> Error (file ^ ": no finite \"overhead_ratio\""))
       | Some s -> Error (Printf.sprintf "%s: unknown suite %S" file s))
 
 let scan_bench ~dir =

@@ -42,6 +42,10 @@ type sweep = {
       (** delivered stretches of a shortcut-disarmed reference pass over
           the same walks — the DD-only baseline the comparison renders;
           [[]] when [shortcut] is [None] *)
+  footprint : Pr_fastpath.Fib.footprint;
+      (** exact payload bytes of the compiled image, per plane *)
+  linkload_bytes : int;
+      (** payload bytes of one {!Pr_obs.Linkload} table over this graph *)
 }
 
 val sweep :

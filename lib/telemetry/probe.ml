@@ -1,4 +1,35 @@
+(* One quantile series: a P2 bank plus a bounded staging buffer.
+   Observations are staged raw and fold into the bank lazily — on
+   overflow, on read, on serialization, or when a merge absorbs them.
+   Staging is what keeps sharded campaigns accurate: a parallel sweep
+   keeps one probe per scenario item, and most items see a few hundred
+   sampled observations — far too few for five P2 markers to converge,
+   so merging per-item marker states compounds shard bias (a marker
+   row cannot say whether its shard's tail was 2% or 40% of the item).
+   Replaying staged raw values into the merge target instead feeds one
+   sequential stream — the regime P2 is designed for — and is
+   bit-deterministic because items merge in index order.  Only shards
+   that overflow the buffer fall back to marker-state merging. *)
+type series = {
+  bank : Sketch.t array;
+  buf : float array;
+  mutable staged : int;  (* observations held in [buf] *)
+  mutable spilled : int;  (* prefix of [buf] already fed to [bank] *)
+}
+
+type sketches = {
+  sample : int;
+  mutable stretch_tick : int;
+  mutable hops_tick : int;
+  mutable lat_tick : int;
+  stretch : series;
+  hops : series;
+  lat : series;
+}
+
 type t = {
+  lat_sample : int;
+  sketch : sketches option;
   mutable injected : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -76,8 +107,51 @@ let lat_lo = 6
 
 let lat_buckets = 20
 
-let create () =
+let default_lat_sample = 16
+
+let default_sketch_sample = 8
+
+let sketch_qs = [| 0.5; 0.9; 0.99 |]
+
+(* Staging capacity per series: 4096 floats (32 KiB).  At the default
+   decimation this covers items of ~32k walks — every paper topology
+   and the scale campaign's per-scenario items stay fully staged, so
+   their merges are exact replays; only genuinely huge shards degrade
+   to marker-state merging. *)
+let sketch_buf_cap = 4096
+
+let create ?(lat_sample = default_lat_sample) ?(sketch = false)
+    ?(sketch_sample = default_sketch_sample) () =
+  if lat_sample < 1 then invalid_arg "Probe.create: lat_sample must be >= 1";
+  if sketch_sample < 1 then
+    invalid_arg "Probe.create: sketch_sample must be >= 1";
   {
+    lat_sample;
+    sketch =
+      (if not sketch then None
+       else
+         (* All three series are heavy-tailed multiplicative quantities
+            with (roughly) geometric histogram edges: log-domain
+            sketches to match.  Stretch is >= 1 by construction, hops
+            and latencies are clamped to >= 1 at the feed. *)
+         let series () =
+           {
+             bank = Array.map (fun q -> Sketch.create_log ~q) sketch_qs;
+             buf = Array.make sketch_buf_cap 0.0;
+             staged = 0;
+             spilled = 0;
+           }
+         in
+         Some
+           {
+             sample = sketch_sample;
+             stretch_tick = 0;
+             hops_tick = 0;
+             lat_tick = 0;
+             stretch = series ();
+             hops = series ();
+             lat = series ();
+           });
     injected = 0;
     delivered = 0;
     dropped = 0;
@@ -99,7 +173,44 @@ let create () =
       Array.init (Array.length class_names) (fun _ -> Array.make lat_buckets 0);
   }
 
-let lat_sample = 16
+let lat_sample t = t.lat_sample
+
+let sketched t = t.sketch <> None
+
+(* Fold any staged observations into the bank.  Idempotent; the bank
+   then reflects everything the series has seen so far. *)
+let spill s =
+  for i = s.spilled to s.staged - 1 do
+    Sketch.observe_bank s.bank (Array.unsafe_get s.buf i)
+  done;
+  s.spilled <- s.staged
+
+let series_bank s =
+  spill s;
+  s.bank
+
+let stretch_sketch t = Option.map (fun s -> series_bank s.stretch) t.sketch
+
+let hops_sketch t = Option.map (fun s -> series_bank s.hops) t.sketch
+
+let latency_sketch t = Option.map (fun s -> series_bank s.lat) t.sketch
+
+(* Feed one observation.  The fast path is a bounds-checked store into
+   the staging buffer — no P2 marker arithmetic, no boxing, no libm —
+   which is what keeps the sketch-armed forwarding leg inside the
+   <= 1.10x CI budget (a full [Sketch.observe_bank] per sampled packet
+   measured ~1.4x on short-walk topologies).  Once the buffer is full
+   the series spills and feeds the bank directly. *)
+let feed_series s v =
+  let n = s.staged in
+  if n < sketch_buf_cap then begin
+    Array.unsafe_set s.buf n v;
+    s.staged <- n + 1
+  end
+  else begin
+    if s.spilled < n then spill s;
+    Sketch.observe_bank s.bank v
+  end
 
 (* Linear scans: the edge arrays are tiny and this allocates nothing.
    Unsafe accesses — [go] never leaves the array and the bucket index is
@@ -123,9 +234,27 @@ let depth_bucket d = if d < 0 then 0 else if d > max_depth then max_depth + 1 el
 
 let[@inline] bump a i = Array.unsafe_set a i (Array.unsafe_get a i + 1)
 
+(* The packet-rate series decimate one observation in [sample]
+   (countdown, no division): a full P2 update per packet per bank is
+   what broke the <= 1.10x sketch-armed budget on short-walk topologies,
+   and quantile estimates do not need every packet.  The first
+   observation of each period is the one taken, so short runs still
+   populate the sketches; per-probe countdowns are deterministic in the
+   observation sequence, so sharded sweeps stay bit-identical however
+   the items are partitioned.  The latency series is already decimated
+   by [lat_sample] and feeds unconditionally. *)
 let record_walk t ~hops ~depth =
   bump t.hops_hist (hops_bucket hops);
-  bump t.depth_hist (depth_bucket depth)
+  bump t.depth_hist (depth_bucket depth);
+  match t.sketch with
+  | None -> ()
+  | Some s ->
+      let tick = s.hops_tick in
+      if tick = 0 then begin
+        s.hops_tick <- s.sample - 1;
+        feed_series s.hops (float_of_int (max 1 hops))
+      end
+      else s.hops_tick <- tick - 1
 
 let record_delivery t ~stretch ~hops ~depth =
   t.injected <- t.injected + 1;
@@ -133,6 +262,15 @@ let record_delivery t ~stretch ~hops ~depth =
   t.stretch_sum <- t.stretch_sum +. stretch;
   if stretch > t.worst_stretch then t.worst_stretch <- stretch;
   bump t.stretch_hist (stretch_bucket stretch);
+  (match t.sketch with
+  | None -> ()
+  | Some s ->
+      let tick = s.stretch_tick in
+      if tick = 0 then begin
+        s.stretch_tick <- s.sample - 1;
+        feed_series s.stretch stretch
+      end
+      else s.stretch_tick <- tick - 1);
   record_walk t ~hops ~depth
 
 let record_loop t ~hops ~depth =
@@ -168,7 +306,25 @@ let record_latency t ~cls ~ns =
   let ns = Int64.to_int ns in
   let rec go b v = if v <= 1 || b >= lat_buckets - 1 then b else go (b + 1) (v asr 1) in
   let b = if ns <= 0 then 0 else go 0 (ns asr lat_lo) in
-  bump t.rung_latency.(cls) b
+  bump t.rung_latency.(cls) b;
+  match t.sketch with
+  | None -> ()
+  | Some s ->
+      (* The latency series is decimated by [sample] on top of
+         [lat_sample]: a loop-flooded walk files one latency per
+         [lat_sample] of its thousands of slow-path decisions — a
+         per-packet rate in the hundreds — and once the staging buffer
+         has overflowed each feed pays full P2 marker updates, which
+         measured +17% on loop-heavy campaign rows against the
+         <= 1.10x budget.  The TTL bounds decisions per packet, so
+         with both decimations the post-overflow worst case stays a
+         few percent. *)
+      let tick = s.lat_tick in
+      if tick = 0 then begin
+        s.lat_tick <- s.sample - 1;
+        feed_series s.lat (float_of_int (max 1 ns))
+      end
+      else s.lat_tick <- tick - 1
 
 let add_array ~into a = Array.iteri (fun i v -> into.(i) <- into.(i) + v) a
 
@@ -192,7 +348,30 @@ let merge ~into c =
   add_array ~into:into.stretch_hist c.stretch_hist;
   add_array ~into:into.hops_hist c.hops_hist;
   add_array ~into:into.depth_hist c.depth_hist;
-  Array.iteri (fun i a -> add_array ~into:into.rung_latency.(i) a) c.rung_latency
+  Array.iteri (fun i a -> add_array ~into:into.rung_latency.(i) a) c.rung_latency;
+  match (into.sketch, c.sketch) with
+  | None, None -> ()
+  | Some a, Some b ->
+      (* Per series: fold the target's own staging first (fixed
+         ordering is what makes sharded merges bit-identical), replay
+         the source's unspilled staged values as a raw stream, then
+         absorb whatever the source's bank already holds (its spilled
+         prefix plus any overflow-era feeds).  A source that never
+         overflowed and was never read has an empty bank, so merging it
+         is a pure replay — exactly the stream a sequential sweep would
+         have fed. *)
+      let merge_series sa sb =
+        spill sa;
+        for i = sb.spilled to sb.staged - 1 do
+          Sketch.observe_bank sa.bank (Array.unsafe_get sb.buf i)
+        done;
+        if Sketch.count sb.bank.(0) > 0 then
+          Array.iteri (fun i s -> Sketch.merge ~into:sa.bank.(i) s) sb.bank
+      in
+      merge_series a.stretch b.stretch;
+      merge_series a.hops b.hops;
+      merge_series a.lat b.lat
+  | _ -> invalid_arg "Probe.merge: sketch arming differs"
 
 let equal_counts a b =
   a.injected = b.injected && a.delivered = b.delivered && a.dropped = b.dropped
@@ -254,6 +433,20 @@ let to_json t =
   Printf.bprintf buf "  \"depth_hist\": {\"max_depth\": %d, \"counts\": %s},\n"
     max_depth
     (json_int_array t.depth_hist);
+  (match t.sketch with
+  | None -> ()
+  | Some s ->
+      let bank name sr =
+        Printf.sprintf "%S: [%s]" name
+          (String.concat ","
+             (Array.to_list (Array.map Sketch.to_json (series_bank sr))))
+      in
+      Printf.bprintf buf "  \"sketch\": {\"qs\": %s, \"sample\": %d, %s, %s, %s},\n"
+        (json_float_array sketch_qs)
+        s.sample
+        (bank "stretch" s.stretch)
+        (bank "hops" s.hops)
+        (bank "latency_ns" s.lat));
   Printf.bprintf buf
     "  \"rung_latency_ns\": {\"log2_lo\": %d, \"classes\": %s}\n" lat_lo
     ("{"

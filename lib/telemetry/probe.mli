@@ -15,9 +15,56 @@
     for one decision in {!lat_sample} — its fault-free hops never touch
     the clock, which is what keeps probe-on overhead inside the CI
     budget.  The reference walk times every {!Pr_core.Forward.step}
-    call; it is not on any overhead budget. *)
+    call; it is not on any overhead budget.
+
+    Arming [~sketch:true] at {!create} additionally carries streaming
+    {!Sketch} quantile estimators (p50/p90/p99 of stretch, hops and
+    slow-path latency) — bounded space per probe, for campaigns too
+    large to keep sample lists.  The packet-rate series (stretch, hops)
+    are decimated one observation in [sketch_sample]: a full P² marker
+    update per packet per bank is what the ≤1.10× sketch-armed CI
+    budget cannot absorb on short-walk topologies, and the estimates do
+    not need every packet.  Sampled observations are {e staged} in a
+    bounded buffer and fold into the P² banks lazily (on read, on
+    serialization, on buffer overflow); {!merge} replays a still-staged
+    source into the target as one raw stream, so a sharded sweep's
+    merged sketch sees the same sequential stream a single-probe sweep
+    would — the regime P² converges in — instead of compounding
+    per-shard marker bias.  The fixed-bucket histograms remain the
+    exact full-population reference; the telemetry suite differentially
+    checks the (decimated) sketches against them. *)
+
+type series = {
+  bank : Sketch.t array;  (** per {!sketch_qs} P² sketches *)
+  buf : float array;  (** staging buffer for raw sampled observations *)
+  mutable staged : int;  (** observations held in [buf] *)
+  mutable spilled : int;  (** prefix of [buf] already fed to [bank] *)
+}
+(** One quantile series.  Invariant: [bank] holds [buf.(0 .. spilled-1)]
+    plus any observations fed after the buffer overflowed; the accessors
+    below fold outstanding staging before exposing the bank. *)
+
+type sketches = {
+  sample : int;
+      (** decimation period for the packet-rate series (see
+          {!create}) *)
+  mutable stretch_tick : int;  (** countdown to the next stretch feed *)
+  mutable hops_tick : int;     (** countdown to the next hops feed *)
+  mutable lat_tick : int;      (** countdown to the next latency feed *)
+  stretch : series;  (** fed one delivery in [sample] *)
+  hops : series;     (** fed one walk in [sample] *)
+  lat : series;
+      (** fed one {!record_latency} in [sample] (on top of the
+          {!lat_sample} decimation of the clock reads themselves —
+          loop-flooded walks file hundreds of latencies per packet,
+          which past the staging buffer would pay full marker updates
+          each) *)
+}
 
 type t = {
+  lat_sample : int;
+      (** clock-sampling period for slow-path latency (see {!lat_sample}) *)
+  sketch : sketches option;  (** present iff created with [~sketch:true] *)
   (* verdict counters — the {!Pr_sim.Metrics} fields, derivable back via
      [Pr_sim.Metrics.of_probes] *)
   mutable injected : int;
@@ -44,7 +91,16 @@ type t = {
           log2-ns buckets, per {!class_names} class *)
 }
 
-val create : unit -> t
+val create : ?lat_sample:int -> ?sketch:bool -> ?sketch_sample:int -> unit -> t
+(** [lat_sample] defaults to {!default_lat_sample}; see {!lat_sample}
+    for the clock-cost tradeoff ([Invalid_argument] if [< 1]).
+    [sketch] (default off) arms the streaming quantile sketches;
+    [sketch_sample] (default {!default_sketch_sample}, [Invalid_argument]
+    if [< 1]) is their packet-rate decimation period — the first
+    observation of each period feeds the banks, so even short runs
+    populate them, and per-probe countdowns make sharded sweeps
+    bit-identical under any item partition.  [1] feeds every packet;
+    the sketch-armed overhead gate is budgeted for the default. *)
 
 (** {2 Layout} *)
 
@@ -114,13 +170,40 @@ val add_failure_hits : t -> int -> unit
 val now_ns : unit -> int64
 (** Monotonic clock, nanoseconds. *)
 
-val lat_sample : int
+val default_lat_sample : int
+(** 16 — the default clock-sampling period. *)
+
+val default_sketch_sample : int
+(** 8 — the default packet-rate sketch decimation period. *)
+
+val lat_sample : t -> int
 (** The compiled kernel samples one slow-path decision latency in
-    [lat_sample] (16): two clock reads per decision would otherwise
-    dominate probe-on cost on failure-heavy sweeps.  The histograms keep
-    their shape; only their mass is scaled.  The countdown itself is
+    [lat_sample] ({!default_lat_sample} unless overridden at
+    {!create}): two clock reads per decision would otherwise dominate
+    probe-on cost on failure-heavy sweeps.  The histograms keep their
+    shape; only their mass is scaled.  The tradeoff: a smaller period
+    reads the clock more often — at 1, every slow-path decision pays
+    two monotonic-clock reads (~20–50 ns each), which on loop-heavy
+    sweeps can exceed the decision itself and blow the ≤1.10× probe
+    budget; a larger period thins the latency histograms (and the
+    latency sketches) of short campaigns.  The countdown itself is
     consumer state (the kernel keeps it on its own hot scratch), not
     part of this record. *)
+
+val sketch_qs : float array
+(** The quantiles every armed sketch bank tracks: 0.5, 0.9, 0.99. *)
+
+val sketched : t -> bool
+
+val stretch_sketch : t -> Sketch.t array option
+(** Per-{!sketch_qs} stretch sketches when armed.  Folds any staged
+    observations into the bank first (as do the other accessors and
+    {!to_json}), so the returned sketches reflect everything fed so
+    far. *)
+
+val hops_sketch : t -> Sketch.t array option
+
+val latency_sketch : t -> Sketch.t array option
 
 val record_latency : t -> cls:int -> ns:int64 -> unit
 (** File one slow-path decision of class [cls] that took [ns]. *)
@@ -129,7 +212,12 @@ val record_latency : t -> cls:int -> ns:int64 -> unit
 
 val merge : into:t -> t -> unit
 (** Field-wise sums (max for worst stretch).  Float addition order
-    matters — merge in a deterministic order for bit-identical sums. *)
+    matters — merge in a deterministic order for bit-identical sums.
+    Sketch series replay the source's staged observations into the
+    target's banks as one raw stream (marker-state merging only for
+    what a source fed after overflowing its staging buffer); merging an
+    armed probe with an unarmed one raises [Invalid_argument] (mixed
+    arming in one campaign is a configuration bug, not a sum). *)
 
 val equal_counts : t -> t -> bool
 (** Structural equality of everything except the latency histograms

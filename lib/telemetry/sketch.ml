@@ -1,0 +1,395 @@
+type t = {
+  q : float;
+  mutable count : int;
+  (* count < 5: heights.(0 .. count-1) are the raw observations,
+     unsorted, positions unused.  count >= 5: the five P2 markers —
+     heights ascending, positions.(i) the (1-based) estimated rank of
+     marker i, positions.(0) = 1, positions.(4) = count. *)
+  heights : float array;
+  positions : float array;
+  (* Exact extremes with their tie mass.  P2 interpolates as if the
+     distribution were continuous, which goes badly wrong when a large
+     share of the observations is one repeated value (path stretch is
+     exactly 1.0 for most packets): the marker creeps into the gap
+     above the tie block and converges only at O(gap / marker
+     distance).  Counting ties at the extremes is cheap, exact and
+     order-independent, and lets [quantile] answer from the tie block
+     directly whenever the quantile index lands inside it. *)
+  mutable minv : float;
+  mutable maxv : float;
+  mutable min_ties : int;
+  mutable max_ties : int;
+  (* Marker state kept in log2 of the observations.  P2 interpolates
+     linearly between markers, which diverges on heavy-tailed data
+     spanning orders of magnitude (hop counts under re-cycling run from
+     1 to thousands): the upper markers inflate across the huge sparse
+     gaps and the quantile estimate lands decades too high.  Working in
+     log2 makes interpolation error relative, not absolute — the same
+     reasoning behind the log-spaced histogram buckets the sketch is
+     checked against. *)
+  log_domain : bool;
+  (* The canonical P2 position increments 0, q/2, q, (1+q)/2, 1,
+     precomputed once: reading them from a float array keeps the hot
+     loop's desired-position arithmetic unboxed, where a float-valued
+     conditional would box at the join on a non-flambda build.  Derived
+     from [q], immutable, shared freely by [copy]. *)
+  dns : float array;
+}
+
+let make ~q ~log_domain =
+  if not (Float.is_finite q && q > 0.0 && q < 1.0) then
+    invalid_arg "Sketch.create: q must be in (0, 1)";
+  {
+    q;
+    count = 0;
+    heights = Array.make 5 0.0;
+    positions = Array.make 5 0.0;
+    minv = Float.nan;
+    maxv = Float.nan;
+    min_ties = 0;
+    max_ties = 0;
+    log_domain;
+    dns = [| 0.0; q *. 0.5; q; (1.0 +. q) *. 0.5; 1.0 |];
+  }
+
+let create ~q = make ~q ~log_domain:false
+
+let create_log ~q = make ~q ~log_domain:true
+
+let log_domain t = t.log_domain
+
+let q t = t.q
+
+let count t = t.count
+
+(* Desired marker positions after [count] observations are 1 +
+   (count-1) * dns.(i) — derived from count each time rather than kept
+   as running state, which makes the merged-state positions trivially
+   consistent. *)
+
+let sort5 a = Array.sort Float.compare a
+
+(* Core update on an already-transformed (representation-domain)
+   value: the merge replay paths feed stored log-domain values back in
+   and must not transform twice. *)
+let observe_rep t x =
+  if t.count = 0 then begin
+    t.minv <- x;
+    t.maxv <- x;
+    t.min_ties <- 1;
+    t.max_ties <- 1
+  end
+  else begin
+    if x < t.minv then begin
+      t.minv <- x;
+      t.min_ties <- 1
+    end
+    else if x = t.minv then t.min_ties <- t.min_ties + 1;
+    if x > t.maxv then begin
+      t.maxv <- x;
+      t.max_ties <- 1
+    end
+    else if x = t.maxv then t.max_ties <- t.max_ties + 1
+  end;
+  if t.count < 5 then begin
+    t.heights.(t.count) <- x;
+    t.count <- t.count + 1;
+    if t.count = 5 then begin
+      sort5 t.heights;
+      for i = 0 to 4 do
+        t.positions.(i) <- float_of_int (i + 1)
+      done
+    end
+  end
+  else begin
+    let h = t.heights and n = t.positions in
+    (* This function is written for a non-flambda build: every float
+       the hot path computes flows straight into a comparison, a float
+       array store, or further arithmetic — never through a helper
+       call, a float-valued conditional, or a local closure, all of
+       which box (the span accounting caught each variant as tens of
+       minor words per observation at packet rate). *)
+    let k =
+      if x < Array.unsafe_get h 0 then begin
+        Array.unsafe_set h 0 x;
+        0
+      end
+      else if x >= Array.unsafe_get h 4 then begin
+        Array.unsafe_set h 4 x;
+        3
+      end
+      else if
+        (* h.(0) <= x < h.(4): the cell is the largest i with
+           h.(i) <= x — three compares, unrolled. *)
+        Array.unsafe_get h 1 > x
+      then 0
+      else if Array.unsafe_get h 2 > x then 1
+      else if Array.unsafe_get h 3 > x then 2
+      else 3
+    in
+    for i = k + 1 to 4 do
+      Array.unsafe_set n i (Array.unsafe_get n i +. 1.0)
+    done;
+    t.count <- t.count + 1;
+    let cm1 = float_of_int (t.count - 1) in
+    let dns = t.dns in
+    for i = 1 to 3 do
+      let ni = Array.unsafe_get n i in
+      let d = 1.0 +. (cm1 *. Array.unsafe_get dns i) -. ni in
+      if
+        (d >= 1.0 && Array.unsafe_get n (i + 1) -. ni > 1.0)
+        || (d <= -1.0 && Array.unsafe_get n (i - 1) -. ni < -1.0)
+      then begin
+        (* |d| >= 1 here, so the sign is the step direction. *)
+        let s = Float.copy_sign 1.0 d in
+        let hm = Array.unsafe_get h (i - 1)
+        and hi = Array.unsafe_get h i
+        and hp_ = Array.unsafe_get h (i + 1) in
+        (* Tie piles park all three heights on the repeated value and
+           then move a marker on almost every observation; both the
+           parabolic and the linear rule provably return [hi] there, so
+           skip their three divisions.  (The equality test is on the
+           heights the rules read — this is the same assignment, minus
+           the arithmetic.) *)
+        if hm = hi && hi = hp_ then Array.unsafe_set n i (ni +. s)
+        else begin
+          let nm = Array.unsafe_get n (i - 1)
+          and np = Array.unsafe_get n (i + 1) in
+          let para =
+            hi
+            +. s /. (np -. nm)
+               *. (((ni -. nm +. s) *. (hp_ -. hi) /. (np -. ni))
+                  +. ((np -. ni -. s) *. (hi -. hm) /. (ni -. nm)))
+          in
+          if hm < para && para < hp_ then Array.unsafe_set h i para
+          else if s > 0.0 then
+            Array.unsafe_set h i (hi +. ((hp_ -. hi) /. (np -. ni)))
+          else Array.unsafe_set h i (hi -. ((hm -. hi) /. (nm -. ni)));
+          Array.unsafe_set n i (ni +. s)
+        end
+      end
+    done
+  end
+
+let observe t x =
+  if not (Float.is_finite x) then
+    invalid_arg "Sketch.observe: non-finite observation";
+  let x =
+    if t.log_domain then
+      if x > 0.0 then Float.log2 x
+      else invalid_arg "Sketch.observe: non-positive observation in log domain"
+    else x
+  in
+  observe_rep t x
+
+(* The packet-rate entry point.  Validating and transforming once per
+   bank matters on a non-flambda build: the transformed value is boxed
+   a single time and every [observe_rep] call then passes the same box,
+   where per-sketch [observe] calls would box (and take the libm log2)
+   once per quantile. *)
+let observe_bank bank x =
+  let n = Array.length bank in
+  if n > 0 then begin
+    if not (Float.is_finite x) then
+      invalid_arg "Sketch.observe: non-finite observation";
+    let x =
+      if (Array.unsafe_get bank 0).log_domain then
+        if x > 0.0 then Float.log2 x
+        else
+          invalid_arg "Sketch.observe: non-positive observation in log domain"
+      else x
+    in
+    for i = 0 to n - 1 do
+      observe_rep (Array.unsafe_get bank i) x
+    done
+  end
+
+(* Exact interpolated quantile of the < 5 raw values. *)
+let small_quantile t =
+  let a = Array.sub t.heights 0 t.count in
+  sort5 a;
+  let rank = t.q *. float_of_int (t.count - 1) in
+  let lo = max 0 (min (t.count - 1) (int_of_float rank)) in
+  let hi = min (t.count - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let quantile t =
+  if t.count = 0 then Float.nan
+  else begin
+    let est =
+      if t.count < 5 then small_quantile t
+      else begin
+        (* 0-based interpolated order-statistic index.  Sorted, indices
+           0 .. min_ties-1 hold the minimum and count-max_ties ..
+           count-1 the maximum: when the index lands in a tie block the
+           quantile is that exact value, no interpolation to be had. *)
+        let idx = t.q *. float_of_int (t.count - 1) in
+        if float_of_int t.min_ties > idx then t.minv
+        else if float_of_int (t.count - t.max_ties) <= idx then t.maxv
+        else t.heights.(2)
+      end
+    in
+    if t.log_domain then Float.exp2 est else est
+  end
+
+let min_value t =
+  if t.count = 0 then Float.nan
+  else if t.log_domain then Float.exp2 t.minv
+  else t.minv
+
+let max_value t =
+  if t.count = 0 then Float.nan
+  else if t.log_domain then Float.exp2 t.maxv
+  else t.maxv
+
+let blit ~into src =
+  into.count <- src.count;
+  Array.blit src.heights 0 into.heights 0 5;
+  Array.blit src.positions 0 into.positions 0 5;
+  into.minv <- src.minv;
+  into.maxv <- src.maxv;
+  into.min_ties <- src.min_ties;
+  into.max_ties <- src.max_ties
+
+let copy t =
+  {
+    q = t.q;
+    count = t.count;
+    heights = Array.copy t.heights;
+    positions = Array.copy t.positions;
+    minv = t.minv;
+    maxv = t.maxv;
+    min_ties = t.min_ties;
+    max_ties = t.max_ties;
+    log_domain = t.log_domain;
+    dns = t.dns;
+  }
+
+let merge ~into src =
+  if Int64.bits_of_float into.q <> Int64.bits_of_float src.q then
+    invalid_arg "Sketch.merge: quantiles differ";
+  if into.log_domain <> src.log_domain then
+    invalid_arg "Sketch.merge: domains differ";
+  if src.count = 0 then ()
+  else if src.count < 5 then
+    (* Few enough raw (representation-domain) values to replay
+       exactly. *)
+    for i = 0 to src.count - 1 do
+      observe_rep into src.heights.(i)
+    done
+  else if into.count = 0 then blit ~into src
+  else if into.count < 5 then begin
+    (* Swap roles: adopt the full sketch, replay our raw values. *)
+    let raw = Array.sub into.heights 0 into.count in
+    blit ~into src;
+    Array.iter (observe_rep into) raw
+  end
+  else begin
+    let total = into.count + src.count in
+    let ft = float_of_int total in
+    (if into.minv = src.minv then into.min_ties <- into.min_ties + src.min_ties
+     else if src.minv < into.minv then begin
+       into.minv <- src.minv;
+       into.min_ties <- src.min_ties
+     end);
+    (if into.maxv = src.maxv then into.max_ties <- into.max_ties + src.max_ties
+     else if src.maxv > into.maxv then begin
+       into.maxv <- src.maxv;
+       into.max_ties <- src.max_ties
+     end);
+    (* Two full sketches combine by inverting the pooled CDF their
+       marker rows imply.  Averaging heights — the obvious merge — is
+       biased whenever the shards saw different parts of the
+       distribution: a marker at 1 averaged with a marker at 1000
+       lands at 500 (or, averaged in the log domain, at ~32), but if
+       the second shard holds 2% of the mass the pooled quantile is
+       simply 1.  Each marker row is a piecewise-linear rank function
+       (height -> estimated rank, the sketch's own interpolation
+       model); ranks add across shards, so evaluating both at the ten
+       marker heights and inverting at the merged sketch's desired
+       ranks reads the combined quantiles off the pooled model with no
+       averaging anywhere. *)
+    let ha = Array.copy into.heights and na = Array.copy into.positions in
+    let hb = src.heights and nb = src.positions in
+    let ca = float_of_int into.count and cb = float_of_int src.count in
+    let rank hs ns c x =
+      if x <= hs.(0) then 1.0
+      else if x >= hs.(4) then c
+      else begin
+        let j =
+          if x < hs.(1) then 0
+          else if x < hs.(2) then 1
+          else if x < hs.(3) then 2
+          else 3
+        in
+        let dx = hs.(j + 1) -. hs.(j) in
+        if dx <= 0.0 then ns.(j + 1)
+        else ns.(j) +. ((ns.(j + 1) -. ns.(j)) *. (x -. hs.(j)) /. dx)
+      end
+    in
+    (* The pooled rank, evaluated at the ten knot heights where it can
+       change slope; between knots it is linear, so inversion is an
+       exact scan. *)
+    let ks = Array.make 10 0.0 in
+    Array.blit ha 0 ks 0 5;
+    Array.blit hb 0 ks 5 5;
+    Array.sort Float.compare ks;
+    let pr = Array.map (fun x -> rank ha na ca x +. rank hb nb cb x) ks in
+    let h = into.heights and n = into.positions in
+    h.(0) <- Float.min ha.(0) hb.(0);
+    h.(4) <- Float.max ha.(4) hb.(4);
+    for i = 1 to 3 do
+      let r = 2.0 +. ((ft -. 2.0) *. into.dns.(i)) in
+      let x =
+        if r <= pr.(0) then ks.(0)
+        else if r >= pr.(9) then ks.(9)
+        else begin
+          let j = ref 0 in
+          while pr.(!j + 1) < r do incr j done;
+          let dr = pr.(!j + 1) -. pr.(!j) in
+          if dr <= 0.0 then ks.(!j)
+          else ks.(!j) +. ((ks.(!j + 1) -. ks.(!j)) *. (r -. pr.(!j)) /. dr)
+        end
+      in
+      h.(i) <- x;
+      n.(i) <- 1.0 +. ((ft -. 1.0) *. into.dns.(i))
+    done;
+    (* Keep heights monotone and positions strictly inside 1..total
+       with unit gaps, the P2 stability invariants. *)
+    for i = 1 to 3 do
+      if h.(i) < h.(i - 1) then h.(i) <- h.(i - 1)
+    done;
+    if h.(3) > h.(4) then h.(3) <- h.(4);
+    n.(0) <- 1.0;
+    n.(4) <- ft;
+    for i = 1 to 3 do
+      if n.(i) < n.(i - 1) +. 1.0 then n.(i) <- n.(i - 1) +. 1.0
+    done;
+    for i = 3 downto 1 do
+      if n.(i) > n.(i + 1) -. 1.0 then n.(i) <- n.(i + 1) -. 1.0
+    done;
+    into.count <- total
+  end
+
+let equal a b =
+  let bits = Int64.bits_of_float in
+  let arrays x y =
+    let ok = ref true in
+    for i = 0 to 4 do
+      if bits x.(i) <> bits y.(i) then ok := false
+    done;
+    !ok
+  in
+  bits a.q = bits b.q && a.count = b.count
+  && a.log_domain = b.log_domain
+  && arrays a.heights b.heights
+  && arrays a.positions b.positions
+  && bits a.minv = bits b.minv
+  && bits a.maxv = bits b.maxv
+  && a.min_ties = b.min_ties && a.max_ties = b.max_ties
+
+let to_json t =
+  Printf.sprintf
+    "{\"q\":%g,\"count\":%d,\"estimate\":%.17g,\"min\":%.17g,\"max\":%.17g,\"min_ties\":%d,\"max_ties\":%d}"
+    t.q t.count (quantile t) (min_value t) (max_value t) t.min_ties t.max_ties

@@ -1,0 +1,145 @@
+type node = {
+  name : string;
+  wall_ns : int64;
+  minor_words : float;
+  major_words : float;
+  heap_delta_words : int;
+  children : node list;
+}
+
+(* An open frame.  Children complete before their parent, so each frame
+   collects its finished children in reverse completion order. *)
+type frame = {
+  f_name : string;
+  t0 : int64;
+  minor0 : float;
+  major0 : float;
+  heap0 : int;
+  mutable rev_children : node list;
+}
+
+type t = {
+  owner : int; (* Domain id of the creator; the only legal writer *)
+  mutable stack : frame list;
+  mutable rev_roots : node list;
+}
+
+let now = Monotonic_clock.now
+
+let self () = (Domain.self () :> int)
+
+let create () = { owner = self (); stack = []; rev_roots = [] }
+
+let reset t =
+  t.stack <- [];
+  t.rev_roots <- []
+
+let enter t name =
+  let s = Gc.quick_stat () in
+  t.stack <-
+    {
+      f_name = name;
+      t0 = now ();
+      minor0 = s.Gc.minor_words;
+      major0 = s.Gc.major_words;
+      heap0 = s.Gc.heap_words;
+      rev_children = [];
+    }
+    :: t.stack
+
+let leave t =
+  match t.stack with
+  | [] -> invalid_arg "Span.leave: no open span"
+  | f :: rest ->
+      let t1 = now () in
+      let s = Gc.quick_stat () in
+      let node =
+        {
+          name = f.f_name;
+          wall_ns = Int64.sub t1 f.t0;
+          minor_words = s.Gc.minor_words -. f.minor0;
+          major_words = s.Gc.major_words -. f.major0;
+          heap_delta_words = s.Gc.heap_words - f.heap0;
+          children = List.rev f.rev_children;
+        }
+      in
+      t.stack <- rest;
+      (match rest with
+      | parent :: _ -> parent.rev_children <- node :: parent.rev_children
+      | [] -> t.rev_roots <- node :: t.rev_roots)
+
+let timed_on t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> leave t) f
+
+let roots t = List.rev t.rev_roots
+
+(* The ambient recorder.  An [Atomic.t] because worker domains read it
+   concurrently with the main domain installing/uninstalling; the owner
+   check below keeps all *writes* to the recorder on one domain. *)
+let ambient : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set ambient (Some t)
+
+let uninstall () = Atomic.set ambient None
+
+let timed name f =
+  match Atomic.get ambient with
+  | Some t when t.owner = self () -> timed_on t name f
+  | _ -> f ()
+
+let coverage n =
+  if Int64.compare n.wall_ns 0L <= 0 then 1.0
+  else
+    let child =
+      List.fold_left (fun a c -> Int64.add a c.wall_ns) 0L n.children
+    in
+    Int64.to_float child /. Int64.to_float n.wall_ns
+
+let rec find n name =
+  if String.equal n.name name then Some n
+  else List.find_map (fun c -> find c name) n.children
+
+let wall_ms n = Int64.to_float n.wall_ns /. 1e6
+
+let render nodes =
+  let b = Buffer.create 1024 in
+  let rec go indent parent_ns n =
+    let pct =
+      if Int64.compare parent_ns 0L <= 0 then 100.0
+      else 100.0 *. Int64.to_float n.wall_ns /. Int64.to_float parent_ns
+    in
+    Printf.bprintf b "%s%-*s %10.3f ms %5.1f%%  minor %8.2f Mw  major %8.2f \
+                      Mw  heap %+d w\n"
+      (String.make (2 * indent) ' ')
+      (max 1 (28 - (2 * indent)))
+      n.name (wall_ms n) pct (n.minor_words /. 1e6) (n.major_words /. 1e6)
+      n.heap_delta_words;
+    List.iter (go (indent + 1) n.wall_ns) n.children
+  in
+  List.iter (fun n -> go 0 n.wall_ns n) nodes;
+  Buffer.contents b
+
+let to_json nodes =
+  let b = Buffer.create 1024 in
+  let rec obj n =
+    Printf.bprintf b
+      "{\"name\":%S,\"wall_ns\":%Ld,\"minor_words\":%.1f,\"major_words\":%.1f,\
+       \"heap_delta_words\":%d,\"coverage\":%.4f,\"children\":["
+      n.name n.wall_ns n.minor_words n.major_words n.heap_delta_words
+      (coverage n);
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char b ',';
+        obj c)
+      n.children;
+    Buffer.add_string b "]}"
+  in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char b ',';
+      obj n)
+    nodes;
+  Buffer.add_char b ']';
+  Buffer.contents b

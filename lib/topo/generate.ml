@@ -95,6 +95,7 @@ let gnm rng ~n ~m =
 
 let waxman rng ~n ~alpha ~beta =
   if alpha <= 0.0 || beta <= 0.0 then invalid_arg "Generate.waxman: parameters";
+  Pr_telemetry.Span.timed "topo.generate.waxman" @@ fun () ->
   let coords = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
   let dist (x1, y1) (x2, y2) = Float.hypot (x1 -. x2) (y1 -. y2) in
   let scale = beta *. Float.sqrt 2.0 in
@@ -116,6 +117,7 @@ let waxman rng ~n ~alpha ~beta =
 
 let barabasi_albert rng ~n ~k =
   if k < 1 || n <= k then invalid_arg "Generate.barabasi_albert";
+  Pr_telemetry.Span.timed "topo.generate.ba" @@ fun () ->
   (* Start from a star of k+1 nodes, then attach preferentially.  The
      endpoint pool repeats each node once per incident edge, which realises
      degree-proportional sampling. *)

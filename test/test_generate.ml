@@ -105,6 +105,63 @@ let test_waxman () =
   Alcotest.(check int) "nodes" 25 (Pr_topo.Topology.n t);
   Alcotest.(check bool) "has some edges" true (Pr_topo.Topology.m t > 0)
 
+(* ---- the scale observatory's generators at campaign size ---- *)
+
+let degrees g = Array.init (Graph.n g) (Graph.degree g)
+
+let test_barabasi_albert_1000 () =
+  let t = Generate.barabasi_albert (rng ()) ~n:1000 ~k:3 in
+  let g = t.Pr_topo.Topology.graph in
+  Alcotest.(check int) "nodes" 1000 (Pr_topo.Topology.n t);
+  (* k star edges plus k per each of the n - k - 1 newcomers. *)
+  Alcotest.(check int) "edges" (3 + (996 * 3)) (Pr_topo.Topology.m t);
+  Alcotest.(check bool) "connected by construction" true (Conn.is_connected g);
+  let ds = degrees g in
+  let mean =
+    Array.fold_left ( + ) 0 ds |> fun s -> float_of_int s /. 1000.0
+  in
+  Alcotest.(check (float 1e-9)) "mean degree = 2m/n" (2.0 *. 2991.0 /. 1000.0)
+    mean;
+  (* Preferential attachment: a heavy tail (hubs far above the mean)
+     over a floor of degree-k newcomers that make up most of the
+     graph. *)
+  Alcotest.(check bool) "newcomer floor" true
+    (Array.for_all (fun d -> d >= 1) ds);
+  let hub = Graph.max_degree g in
+  Alcotest.(check bool) "hub well above the mean" true
+    (float_of_int hub > 8.0 *. mean);
+  let small = Array.fold_left (fun a d -> if d <= 6 then a + 1 else a) 0 ds in
+  Alcotest.(check bool) "most nodes stay near degree k" true (small > 700);
+  (* Pinned seed, pinned graph. *)
+  let again = Generate.barabasi_albert (rng ()) ~n:1000 ~k:3 in
+  Alcotest.(check bool) "seed 99 reproduces the graph" true
+    (Graph.equal_structure g again.Pr_topo.Topology.graph)
+
+let test_waxman_1000 () =
+  (* The campaign's self-scaled operating point at n = 1000: alpha
+     0.05, beta 0.15 — mean degree a few links, like an ISP mesh. *)
+  let t = Generate.waxman (rng ()) ~n:1000 ~alpha:0.05 ~beta:0.15 in
+  let g = t.Pr_topo.Topology.graph in
+  Alcotest.(check int) "nodes" 1000 (Pr_topo.Topology.n t);
+  let m = Pr_topo.Topology.m t in
+  Alcotest.(check bool) "edge count in the expected band" true
+    (m > 1000 && m < 5000);
+  let _, comps = Conn.components g in
+  let ds = degrees g in
+  let isolated = Array.fold_left (fun a d -> if d = 0 then a + 1 else a) 0 ds in
+  (* Geometric sampling strands a few nodes; the campaign accounts
+     their pairs unreachable rather than demanding connectivity. *)
+  Alcotest.(check bool) "few isolated nodes" true (isolated < 100);
+  Alcotest.(check bool) "one dominant component" true
+    (comps - isolated < 20);
+  let hub = Graph.max_degree g in
+  let mean = 2.0 *. float_of_int m /. 1000.0 in
+  Alcotest.(check bool) "no scale-free hubs in a geometric graph" true
+    (float_of_int hub < 5.0 *. mean);
+  let again = Generate.waxman (rng ()) ~n:1000 ~alpha:0.05 ~beta:0.15 in
+  Alcotest.(check bool) "seed 99 reproduces the graph" true
+    (Graph.equal_structure g again.Pr_topo.Topology.graph)
+
 let test_determinism () =
   let a = Generate.gnm (Pr_util.Rng.create ~seed:5) ~n:12 ~m:20 in
   let b = Generate.gnm (Pr_util.Rng.create ~seed:5) ~n:12 ~m:20 in
@@ -126,5 +183,8 @@ let suite =
     Alcotest.test_case "gnm" `Quick test_gnm;
     Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
     Alcotest.test_case "waxman" `Quick test_waxman;
+    Alcotest.test_case "barabasi-albert at 1000" `Slow
+      test_barabasi_albert_1000;
+    Alcotest.test_case "waxman at 1000" `Slow test_waxman_1000;
     Alcotest.test_case "determinism" `Quick test_determinism;
   ]

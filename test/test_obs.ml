@@ -417,16 +417,74 @@ let test_bench_shortcut_schema () =
         (Float.is_finite r && r > 0.0 && r <= 1.10)
   | None -> Alcotest.failf "%s: non-numeric overhead_ratio" file
 
+let test_bench_scale_schema () =
+  let file = "BENCH_scale.json" in
+  let j = load file in
+  check_suite_member file j "scale";
+  (match Json.num (get "overhead_ratio" j) with
+  | Some r ->
+      (* The committed artifact carries the acceptance bound: arming
+         the streaming sketches must cost at most 10% over the probed
+         sweep. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "sketch overhead x%.4f within the 1.10 budget" r)
+        true
+        (Float.is_finite r && r > 0.0 && r <= 1.10)
+  | None -> Alcotest.failf "%s: non-numeric overhead_ratio" file);
+  (match Json.num (get "span_coverage_min" j) with
+  | Some c ->
+      (* And the accounting bound: the span tree explains >= 95% of
+         every case's end-to-end wall time. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "span coverage %.3f >= 0.95" c)
+        true (c >= 0.95 && c <= 1.0)
+  | None -> Alcotest.failf "%s: non-numeric span_coverage_min" file);
+  let results =
+    match Json.list (get "results" j) with
+    | Some (_ :: _ as rows) -> rows
+    | Some [] -> Alcotest.failf "%s: empty results" file
+    | None -> Alcotest.failf "%s: results is not a list" file
+  in
+  let seen_10k_waxman = ref false in
+  List.iter
+    (fun row ->
+      (match (Json.str (get "family" row), Json.num (get "n" row)) with
+      | Some "waxman", Some n when n >= 10000.0 -> seen_10k_waxman := true
+      | Some ("ba" | "waxman"), Some _ -> ()
+      | _ -> Alcotest.failf "%s: row without family/n" file);
+      List.iter
+        (fun tag ->
+          Alcotest.(check bool) (tag ^ " positive") true
+            (finite_pos (get tag row)))
+        [
+          "routing_ms"; "fib_compile_ms"; "image_bytes"; "bytes_per_router";
+          "ns_per_packet"; "sketch_off_ns"; "sketch_on_ns"; "sketch_overhead";
+        ];
+      (match Json.list (get "stretch_q" row) with
+      | Some [ _; _; _ ] -> ()
+      | _ -> Alcotest.failf "%s: stretch_q is not a 3-quantile row" file);
+      match Json.num (get "span_coverage" row) with
+      | Some c when c >= 0.95 -> ()
+      | Some c -> Alcotest.failf "%s: span coverage %.3f below 0.95" file c
+      | None -> Alcotest.failf "%s: non-numeric span_coverage" file)
+    results;
+  (* The acceptance campaign: a 10k-node Waxman case made it in. *)
+  Alcotest.(check bool) "10k waxman case present" true !seen_10k_waxman
+
 (* ---- history entries parse the committed artifacts ---- *)
 
 let test_history_entries () =
   let entries, errs = Report.scan_bench ~dir:(artifact_dir ()) in
   List.iter (fun e -> Alcotest.failf "scan_bench: %s" e) errs;
-  Alcotest.(check bool) "all six artifacts found" true
-    (List.length entries >= 6);
+  Alcotest.(check bool) "all seven artifacts found" true
+    (List.length entries >= 7);
   Alcotest.(check bool) "a shortcut baseline exists" true
     (List.exists
        (fun (e : Report.bench_entry) -> e.Report.suite = "shortcut")
+       entries);
+  Alcotest.(check bool) "a scale baseline exists" true
+    (List.exists
+       (fun (e : Report.bench_entry) -> e.Report.suite = "scale")
        entries);
   List.iter
     (fun (e : Report.bench_entry) ->
@@ -463,6 +521,8 @@ let suite =
       test_bench_guard_schema;
     Alcotest.test_case "BENCH_shortcut.json schema" `Quick
       test_bench_shortcut_schema;
+    Alcotest.test_case "BENCH_scale.json schema" `Quick
+      test_bench_scale_schema;
     Alcotest.test_case "history scan of committed artifacts" `Quick
       test_history_entries;
   ]
