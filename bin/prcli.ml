@@ -702,9 +702,41 @@ let shrunk_trace_comment (s : Pr_chaos.Scenario.t) =
             v.trace;
           Some (Buffer.contents buf))
 
+(* ---- flight-ledger and live-progress plumbing ----
+
+   Every substantial run (bench, chaos, swap, report) appends one
+   {!Pr_telemetry.Flight} record to the ledger — the append-only JSONL
+   trail `prcli history` and CI read back.  --no-ledger opts out.  The
+   progress heartbeat draws on stderr when it is a TTY or when
+   --progress forces it; TTY policy lives here because the telemetry
+   library does not link unix. *)
+
+let ledger_arg =
+  Arg.(value & opt string "FLIGHT_ledger.jsonl" & info [ "ledger" ]
+         ~docv:"FILE"
+         ~doc:"Flight-ledger file this run appends its record to.")
+
+let no_ledger_arg =
+  Arg.(value & flag & info [ "no-ledger" ]
+         ~doc:"Do not append a flight record for this run.")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Draw the live progress heartbeat on stderr even when it is
+               not a TTY (a TTY gets it automatically).")
+
+let progress_on ~forced ~label =
+  if forced || Unix.isatty Unix.stderr then
+    Pr_telemetry.Flight.Progress.enable ~label ()
+
+let progress_off () = Pr_telemetry.Flight.Progress.disable ()
+
+let ledger_append ~no_ledger ~ledger fl =
+  if not no_ledger then Pr_telemetry.Flight.append ~path:ledger fl
+
 let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
     control_delay schemes_spec no_shrink out replay backend_spec timeline
-    corrupt corrupt_events shortcut =
+    corrupt corrupt_events shortcut ledger no_ledger =
   if corrupt && replay <> None then begin
     Printf.eprintf
       "--corrupt and --replay are mutually exclusive (corruption campaigns \
@@ -742,6 +774,13 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
         exit 2
     | Ok result ->
         print_string (Pr_chaos.Corrupt.report cfg result);
+        let fl = Pr_telemetry.Flight.create ~cmd:"chaos" ~seed () in
+        Pr_telemetry.Flight.knob_str fl "topology" topo.Topology.name;
+        Pr_telemetry.Flight.knob_str fl "mode" "corrupt";
+        Pr_telemetry.Flight.knob_int fl "events" corrupt_events;
+        Pr_telemetry.Flight.count fl "passed"
+          (if Pr_chaos.Corrupt.passed result then 1 else 0);
+        ledger_append ~no_ledger ~ledger fl;
         if not (Pr_chaos.Corrupt.passed result) then begin
           (match out with
           | Some dir ->
@@ -822,6 +861,30 @@ let chaos name embedding seed horizon rate mix_spec hold_down detect_delay
           exit 2
       | Ok result ->
           print_string (Pr_chaos.Campaign.report campaign result);
+          let fl = Pr_telemetry.Flight.create ~cmd:"chaos" ~seed () in
+          Pr_telemetry.Flight.knob_str fl "topology" topo.Topology.name;
+          Pr_telemetry.Flight.knob fl "horizon" (Pr_util.Json.number horizon);
+          Pr_telemetry.Flight.knob fl "rate" (Pr_util.Json.number rate);
+          Pr_telemetry.Flight.knob_str fl "mix" mix_spec;
+          Pr_telemetry.Flight.knob_str fl "schemes" schemes_spec;
+          Pr_telemetry.Flight.count fl "link_events"
+            (List.length result.Pr_chaos.Campaign.link_events);
+          List.iter
+            (fun (r : Pr_chaos.Campaign.scheme_result) ->
+              let m = r.outcome.Pr_sim.Engine.metrics in
+              let pre = Pr_sim.Engine.scheme_name r.scheme in
+              Pr_telemetry.Flight.count fl (pre ^ ".injected")
+                m.Pr_sim.Metrics.injected;
+              Pr_telemetry.Flight.count fl (pre ^ ".delivered")
+                m.Pr_sim.Metrics.delivered;
+              Pr_telemetry.Flight.count fl (pre ^ ".dropped")
+                m.Pr_sim.Metrics.dropped;
+              Pr_telemetry.Flight.count fl (pre ^ ".looped")
+                m.Pr_sim.Metrics.looped;
+              Pr_telemetry.Flight.count fl (pre ^ ".violated")
+                (if r.shrunk = None then 0 else 1))
+            result.Pr_chaos.Campaign.results;
+          ledger_append ~no_ledger ~ledger fl;
           List.iter
             (fun (r : Pr_chaos.Campaign.scheme_result) ->
               match (r.shrunk, out) with
@@ -921,7 +984,7 @@ let chaos_cmd =
     Term.(const chaos $ topo_arg $ embedding_arg $ seed_arg $ horizon $ rate
           $ mix $ hold_down $ detect_delay $ control_delay $ schemes
           $ no_shrink $ out $ replay $ backend_arg $ timeline $ corrupt
-          $ corrupt_events $ shortcut_arg)
+          $ corrupt_events $ shortcut_arg $ ledger_arg $ no_ledger_arg)
 
 (* ---- swap: scripted control-plane sessions over the compiled image ---- *)
 
@@ -999,7 +1062,7 @@ let parse_edit_script topo path =
   List.rev !batches
 
 let swap_session name embedding seed edits_file threshold json_flag
-    journal_path crash_after =
+    journal_path crash_after ledger no_ledger =
   if threshold < 0.0 then begin
     Printf.eprintf "threshold must be non-negative\n";
     exit 1
@@ -1189,6 +1252,15 @@ let swap_session name embedding seed edits_file threshold json_flag
       (if Pr_fastpath.Swap.quiescent store then "quiescent"
        else "pins still live")
   end;
+  let fl = Pr_telemetry.Flight.create ~cmd:"swap" ~seed () in
+  Pr_telemetry.Flight.knob_str fl "topology" topo.Topology.name;
+  Pr_telemetry.Flight.knob fl "threshold" (Pr_util.Json.number threshold);
+  Pr_telemetry.Flight.count fl "epochs" !seq;
+  Pr_telemetry.Flight.count fl "mismatches" !mismatches;
+  Pr_telemetry.Flight.count fl "crashed" (if !crashed then 1 else 0);
+  Pr_telemetry.Flight.count fl "base.delivered" c0.Pr_fastpath.Kernel.delivered;
+  Pr_telemetry.Flight.count fl "base.injected" c0.Pr_fastpath.Kernel.injected;
+  ledger_append ~no_ledger ~ledger fl;
   if !mismatches > 0 then begin
     Printf.eprintf "%d epoch(s) diverged from the full-recompile referee\n"
       !mismatches;
@@ -1233,7 +1305,8 @@ let swap_cmd =
              link-load movers.  Exits 1 on malformed scripts, 2 on any
              differential mismatch.")
     Term.(const swap_session $ topo_arg $ embedding_arg $ seed_arg $ edits
-          $ threshold $ json $ journal $ crash_after)
+          $ threshold $ json $ journal $ crash_after $ ledger_arg
+          $ no_ledger_arg)
 
 (* ---- recover: replay a write-ahead journal after a crash ---- *)
 
@@ -1543,7 +1616,8 @@ let refuse_overwrite ~force path =
 (* The scale observatory: synthetic BA/Waxman campaigns, exiting before
    any named-topology work — the campaign generates its own graphs. *)
 let bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
-    ~scale_scenarios ~scale_pairs ~scale_out ~scale_spans_out =
+    ~scale_scenarios ~scale_pairs ~scale_out ~scale_spans_out ~progress ~ledger
+    ~no_ledger =
   refuse_overwrite ~force scale_out;
   refuse_overwrite ~force scale_spans_out;
   let sizes =
@@ -1579,9 +1653,11 @@ let bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
     Printf.eprintf "bad --scale-pairs %d (want >= 1)\n" scale_pairs;
     exit 1
   end;
+  progress_on ~forced:progress ~label:"bench --scale";
   let c =
-    Pr_report.Scale.run ~domains ~scenarios:scale_scenarios ~pairs:scale_pairs
-      ~repeat ~families ~sizes ~seed ()
+    Fun.protect ~finally:progress_off (fun () ->
+        Pr_report.Scale.run ~domains ~scenarios:scale_scenarios
+          ~pairs:scale_pairs ~repeat ~families ~sizes ~seed ())
   in
   print_string (Pr_report.Scale.render c);
   let write path s =
@@ -1592,6 +1668,42 @@ let bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
   write scale_out (Pr_report.Scale.to_json c);
   write scale_spans_out (Pr_report.Scale.spans_json c);
   Printf.printf "wrote %s and %s\n" scale_out scale_spans_out;
+  (* The flight record: seeded counts and sketch quantiles land in the
+     fingerprinted stable body (bit-identical across --domains, which is
+     why the domain count itself is recorded as a volatile metric);
+     wall-clock ratios go to the volatile tail. *)
+  let fl = Pr_telemetry.Flight.create ~cmd:"bench-scale" ~seed () in
+  Pr_telemetry.Flight.knob_str fl "families" scale_family;
+  Pr_telemetry.Flight.knob_str fl "nodes" scale_nodes;
+  Pr_telemetry.Flight.knob_int fl "scenarios" scale_scenarios;
+  Pr_telemetry.Flight.knob_int fl "pairs" scale_pairs;
+  Pr_telemetry.Flight.knob_int fl "repeat" repeat;
+  List.iter
+    (fun (r : Pr_report.Scale.result) ->
+      let pre = Printf.sprintf "%s.%d" r.family r.n in
+      Pr_telemetry.Flight.count fl (pre ^ ".edges") r.m;
+      Pr_telemetry.Flight.count fl (pre ^ ".delivered") r.delivered;
+      Pr_telemetry.Flight.count fl (pre ^ ".dropped") r.dropped;
+      Pr_telemetry.Flight.count fl (pre ^ ".looped") r.looped;
+      Pr_telemetry.Flight.count fl (pre ^ ".unreachable") r.unreachable;
+      Pr_telemetry.Flight.count fl (pre ^ ".image_bytes") r.image_bytes;
+      let bank qs vs = Array.map2 (fun q v -> (q, v)) qs vs in
+      Pr_telemetry.Flight.quantiles fl (pre ^ ".stretch")
+        (bank Probe.sketch_qs r.stretch_q);
+      Pr_telemetry.Flight.quantiles fl (pre ^ ".hops")
+        (bank Probe.sketch_qs r.hops_q))
+    c.Pr_report.Scale.results;
+  Pr_telemetry.Flight.metric fl "domains" (float_of_int domains);
+  Pr_telemetry.Flight.metric fl "overhead_ratio"
+    c.Pr_report.Scale.overhead_ratio;
+  Pr_telemetry.Flight.metric fl "span_coverage_min"
+    c.Pr_report.Scale.span_coverage_min;
+  Pr_telemetry.Flight.artifact fl scale_out;
+  Pr_telemetry.Flight.artifact fl scale_spans_out;
+  Pr_telemetry.Flight.set_spans fl
+    (List.map (fun (r : Pr_report.Scale.result) -> r.span)
+       c.Pr_report.Scale.results);
+  ledger_append ~no_ledger ~ledger fl;
   (* The <= 1.10x sketch budget and the >= 95% span-accounting floor are
      this campaign's pass/fail line, mirrored by the CI gate. *)
   exit
@@ -1604,7 +1716,8 @@ let bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
 let bench name embedding seed backend_spec domains json probe repeat probe_out
     force linkload_flag linkload_out swap_flag swap_out guard_flag guard_out
     history history_dir shortcut shortcut_out scale scale_nodes scale_family
-    scale_scenarios scale_pairs scale_out scale_spans_out =
+    scale_scenarios scale_pairs scale_out scale_spans_out progress_flag ledger
+    no_ledger =
   let backend = parse_backend backend_spec in
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
@@ -1616,7 +1729,8 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
   end;
   if scale then
     bench_scale ~domains ~seed ~repeat ~force ~scale_nodes ~scale_family
-      ~scale_scenarios ~scale_pairs ~scale_out ~scale_spans_out;
+      ~scale_scenarios ~scale_pairs ~scale_out ~scale_spans_out
+      ~progress:progress_flag ~ledger ~no_ledger;
   (* Malformed widths die before the clobber checks, which die before
      any timing work is spent. *)
   let shortcut = shortcut_range_or_die shortcut in
@@ -1641,12 +1755,43 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
         exit (if h.Pr_report.Report.regressed then 1 else 0)
   end;
   let g = topo.Topology.graph in
-  let routing = Pr_core.Routing.build g in
-  let shortcut =
-    shortcut_or_die ~dd_bits:(Pr_core.Routing.dd_bits routing) shortcut
+  let fl =
+    Pr_telemetry.Flight.create ~cmd:"bench" ~seed
+      ~backend:(Pr_sim.Engine.backend_name backend) ()
   in
-  let cycles = Pr_core.Cycle_table.build rotation in
-  let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+  Pr_telemetry.Flight.knob_str fl "topology" topo.Topology.name;
+  Pr_telemetry.Flight.knob_int fl "repeat" repeat;
+  Pr_telemetry.Flight.metric fl "domains" (float_of_int domains);
+  (* The control-plane build runs under its own span recorder: the
+     library stages (routing.build, fib.compile and its per-plane
+     children) land in the flight record, and their Enter/Leave events
+     drive the progress heartbeat.  The recorder is gone again before
+     any timed sweep starts. *)
+  let recorder = Pr_telemetry.Span.create () in
+  Pr_telemetry.Span.install recorder;
+  progress_on ~forced:progress_flag
+    ~label:(Printf.sprintf "bench %s" topo.Topology.name);
+  let routing, shortcut, cycles, fib =
+    Fun.protect
+      ~finally:(fun () ->
+        progress_off ();
+        Pr_telemetry.Span.uninstall ())
+      (fun () ->
+        let routing = Pr_core.Routing.build g in
+        let shortcut =
+          shortcut_or_die ~dd_bits:(Pr_core.Routing.dd_bits routing) shortcut
+        in
+        let cycles =
+          Pr_telemetry.Span.timed "cycles.build" (fun () ->
+              Pr_core.Cycle_table.build rotation)
+        in
+        let fib = Pr_fastpath.Fib.of_tables_exn routing cycles in
+        (routing, shortcut, cycles, fib))
+  in
+  Pr_telemetry.Flight.set_spans fl (Pr_telemetry.Span.roots recorder);
+  Option.iter (fun w -> Pr_telemetry.Flight.knob_int fl "shortcut" w) shortcut;
+  Pr_telemetry.Flight.section fl "footprint"
+    (Pr_fastpath.Fib.footprint_json (Pr_fastpath.Fib.footprint fib));
   let items = Pr_fastpath.Parallel.all_pairs_single_failures fib in
   let packets =
     Array.fold_left
@@ -1730,6 +1875,15 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
       (Array.length items) packets (elapsed *. 1e3) ns_per_packet;
     Format.printf "  %a@." Pr_sim.Metrics.pp metrics
   end;
+  Pr_telemetry.Flight.count fl "scenarios" (Array.length items);
+  Pr_telemetry.Flight.count fl "packets" packets;
+  Pr_telemetry.Flight.count fl "injected" metrics.Pr_sim.Metrics.injected;
+  Pr_telemetry.Flight.count fl "delivered" metrics.Pr_sim.Metrics.delivered;
+  Pr_telemetry.Flight.count fl "dropped" metrics.Pr_sim.Metrics.dropped;
+  Pr_telemetry.Flight.count fl "looped" metrics.Pr_sim.Metrics.looped;
+  Pr_telemetry.Flight.count fl "unreachable" metrics.Pr_sim.Metrics.unreachable;
+  Pr_telemetry.Flight.metric fl "elapsed_s" elapsed;
+  Pr_telemetry.Flight.metric fl "ns_per_packet" ns_per_packet;
   if probe then begin
     let run_on () =
       match backend with
@@ -1774,7 +1928,9 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     close_out oc;
     Printf.printf
       "  probe: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
-      ns_per_packet ns_on ratio probe_out
+      ns_per_packet ns_on ratio probe_out;
+    Pr_telemetry.Flight.metric fl "probe_overhead" ratio;
+    Pr_telemetry.Flight.artifact fl probe_out
   end;
   if linkload_flag then begin
     let run_on () =
@@ -1820,7 +1976,9 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     close_out oc;
     Printf.printf
       "  linkload: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
-      ns_per_packet ns_on ratio linkload_out
+      ns_per_packet ns_on ratio linkload_out;
+    Pr_telemetry.Flight.metric fl "linkload_overhead" ratio;
+    Pr_telemetry.Flight.artifact fl linkload_out
   end;
   if swap_flag then begin
     (* Control-plane costs: per-edge single-edit incremental recompile
@@ -1888,7 +2046,12 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     Printf.printf
       "  swap: incremental %.0f ns, full %.0f ns per recompile (x%.3f), \
        pause %.0f ns; wrote %s\n"
-      incremental_ns full_ns norm pause_ns swap_out
+      incremental_ns full_ns norm pause_ns swap_out;
+    Pr_telemetry.Flight.metric fl "swap_incremental_ns" incremental_ns;
+    Pr_telemetry.Flight.metric fl "swap_full_ns" full_ns;
+    Pr_telemetry.Flight.metric fl "swap_pause_ns" pause_ns;
+    Pr_telemetry.Flight.metric fl "swap_norm" norm;
+    Pr_telemetry.Flight.artifact fl swap_out
   end;
   if guard_flag then begin
     (* Guard-mode overhead: the same single-threaded kernel sweep with the
@@ -1943,9 +2106,11 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
     close_out oc;
     Printf.printf
       "  guard: off %.0f ns/packet, on %.0f ns/packet (x%.3f); wrote %s\n"
-      ns_off ns_on ratio guard_out
+      ns_off ns_on ratio guard_out;
+    Pr_telemetry.Flight.metric fl "guard_overhead" ratio;
+    Pr_telemetry.Flight.artifact fl guard_out
   end;
-  match shortcut with
+  (match shortcut with
   | None -> ()
   | Some w ->
       (* Shortcut-rung overhead: the same single-threaded kernel sweep
@@ -2010,7 +2175,12 @@ let bench name embedding seed backend_spec domains json probe repeat probe_out
       Printf.printf
         "  shortcut: off %.0f ns/packet, on %.0f ns/packet (x%.3f), %d \
          exit(s); wrote %s\n"
-        ns_off ns_on ratio on.Pr_fastpath.Kernel.shortcut_exits shortcut_out
+        ns_off ns_on ratio on.Pr_fastpath.Kernel.shortcut_exits shortcut_out;
+      Pr_telemetry.Flight.metric fl "shortcut_overhead" ratio;
+      Pr_telemetry.Flight.count fl "shortcut_exits"
+        on.Pr_fastpath.Kernel.shortcut_exits;
+      Pr_telemetry.Flight.artifact fl shortcut_out);
+  ledger_append ~no_ledger ~ledger fl
 
 let bench_cmd =
   let domains =
@@ -2130,11 +2300,12 @@ let bench_cmd =
           $ linkload_out $ swap $ swap_out $ guard $ guard_out $ history
           $ history_dir $ shortcut_arg $ shortcut_out $ scale $ scale_nodes
           $ scale_family $ scale_scenarios $ scale_pairs $ scale_out
-          $ scale_spans_out)
+          $ scale_spans_out $ progress_arg $ ledger_arg $ no_ledger_arg)
 
 (* ---- report: the network observatory rollup ---- *)
 
-let report name embedding seed domains top json out shortcut =
+let report name embedding seed domains top json out shortcut compile_flag
+    progress_flag ledger no_ledger =
   if domains < 1 then begin
     Printf.eprintf "domains must be >= 1\n";
     exit 1
@@ -2142,22 +2313,78 @@ let report name embedding seed domains top json out shortcut =
   let topo = load_topology name in
   let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
   let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+  let write_or_print text =
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "report written to %s\n" path
+  in
+  if compile_flag then begin
+    (* Compile-cost attribution: one FIB compile under a recorder, the
+       per-plane sub-spans and the sampled per-destination histogram —
+       the hotspot table for compile optimisation work. *)
+    progress_on ~forced:progress_flag
+      ~label:(Printf.sprintf "report --compile %s" topo.Topology.name);
+    let p =
+      Fun.protect ~finally:progress_off (fun () ->
+          Pr_report.Report.profile_compile ~top topo rotation)
+    in
+    write_or_print
+      (if json then Pr_report.Report.compile_to_json p
+       else Pr_report.Report.render_compile p);
+    let fl = Pr_telemetry.Flight.create ~cmd:"report-compile" ~seed () in
+    Pr_telemetry.Flight.knob_str fl "topology" topo.Topology.name;
+    Pr_telemetry.Flight.count fl "cost_samples"
+      (List.length p.Pr_report.Report.costs);
+    Pr_telemetry.Flight.metric fl "compile_ms"
+      (Pr_telemetry.Span.wall_ms p.Pr_report.Report.compile);
+    List.iter
+      (fun (pl : Pr_telemetry.Span.node) ->
+        Pr_telemetry.Flight.metric fl (pl.name ^ "_ms")
+          (Pr_telemetry.Span.wall_ms pl))
+      p.Pr_report.Report.planes;
+    Pr_telemetry.Flight.set_spans fl [ p.Pr_report.Report.compile ];
+    ledger_append ~no_ledger ~ledger fl;
+    exit 0
+  end;
   let dd_bits =
     Pr_core.Routing.dd_bits (Pr_core.Routing.build topo.Topology.graph)
   in
   let shortcut = shortcut_or_die ~dd_bits shortcut in
-  let s = Pr_report.Report.sweep ~domains ?shortcut topo rotation in
+  progress_on ~forced:progress_flag
+    ~label:(Printf.sprintf "report %s" topo.Topology.name);
+  let s =
+    Fun.protect ~finally:progress_off (fun () ->
+        Pr_report.Report.sweep ~domains ?shortcut topo rotation)
+  in
   let text =
     if json then Pr_report.Report.to_json ~top s
     else Pr_report.Report.render ~top s
   in
-  (match out with
-  | None -> print_string text
-  | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc;
-      Printf.printf "report written to %s\n" path);
+  write_or_print text;
+  let fl = Pr_telemetry.Flight.create ~cmd:"report" ~seed () in
+  Pr_telemetry.Flight.knob_str fl "topology" topo.Topology.name;
+  Option.iter (fun w -> Pr_telemetry.Flight.knob_int fl "shortcut" w) shortcut;
+  Pr_telemetry.Flight.metric fl "domains" (float_of_int domains);
+  Pr_telemetry.Flight.count fl "scenarios" s.Pr_report.Report.scenarios;
+  Pr_telemetry.Flight.count fl "packets" s.Pr_report.Report.packets;
+  Pr_telemetry.Flight.count fl "delivered"
+    s.Pr_report.Report.counters.Pr_fastpath.Kernel.delivered;
+  Pr_telemetry.Flight.count fl "dropped"
+    s.Pr_report.Report.counters.Pr_fastpath.Kernel.dropped;
+  Pr_telemetry.Flight.count fl "unreachable"
+    s.Pr_report.Report.counters.Pr_fastpath.Kernel.unreachable;
+  Pr_telemetry.Flight.count fl "linkload_bytes"
+    s.Pr_report.Report.linkload_bytes;
+  Pr_telemetry.Flight.count fl "agree"
+    (if Pr_report.Report.agree s then 1 else 0);
+  Pr_telemetry.Flight.section fl "footprint"
+    (Pr_fastpath.Fib.footprint_json s.Pr_report.Report.footprint);
+  Option.iter (fun path -> Pr_telemetry.Flight.artifact fl path) out;
+  ledger_append ~no_ledger ~ledger fl;
   if not (Pr_report.Report.agree s) then begin
     Printf.eprintf
       "cross-backend observability mismatch: linkload %s, counters %s\n"
@@ -2183,6 +2410,14 @@ let report_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
            ~doc:"Write the report to a file instead of stdout.")
   in
+  let compile =
+    Arg.(value & flag & info [ "compile" ]
+           ~doc:"Compile-cost attribution instead of the sweep: compile the
+                 FIB image once under span timing and render the hotspot
+                 table — per-plane wall time and allocation, the sampled
+                 per-destination cost quantiles, and the costliest
+                 destinations.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run the all-pairs single-failure sweep on all three data planes
@@ -2191,7 +2426,79 @@ let report_cmd =
              shortest/recycled/rescue split, the max-link-load CCDF and the
              stretch CCDF.  Exits non-zero on any cross-backend mismatch.")
     Term.(const report $ topo_arg $ embedding_arg $ seed_arg $ domains $ top
-          $ json $ out $ shortcut_arg)
+          $ json $ out $ shortcut_arg $ compile $ progress_arg $ ledger_arg
+          $ no_ledger_arg)
+
+(* ---- history: the perf-trend anomaly observatory ---- *)
+
+let history_run dir ledger measure name embedding seed repeat json_flag out =
+  let extra =
+    if not measure then []
+    else begin
+      (* The old flat gate's measured leg: re-time the fastpath norm now
+         and let it join the committed series as its latest point. *)
+      let topo = load_topology name in
+      let config = { (Pr_exp.Fig2.default topo ~k:1) with embedding; seed } in
+      let rotation = Pr_exp.Fig2.resolve_rotation config topo in
+      let norm =
+        Pr_report.Report.measure_norm ~repeat:(max repeat 3) topo rotation
+      in
+      [ ("bench.fastpath", { Pr_report.History.source = "measured"; value = norm }) ]
+    end
+  in
+  let r = Pr_report.History.run ?ledger ~extra ~dir () in
+  print_string (Pr_report.History.render r);
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Pr_report.History.to_json r);
+      close_out oc;
+      Printf.printf "history report written to %s\n" path);
+  if json_flag && out = None then print_string (Pr_report.History.to_json r);
+  exit (if r.Pr_report.History.anomalies > 0 then 1 else 0)
+
+let history_cmd =
+  let dir =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Where to look for BENCH_*.json artifacts and FLIGHT_*.jsonl
+                 ledgers.")
+  in
+  let ledger =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"An additional flight-ledger file to fold in (e.g. one
+                 written outside $(b,--dir)).")
+  in
+  let measure =
+    Arg.(value & flag & info [ "measure" ]
+           ~doc:"Also re-measure the normalised compiled/reference per-packet
+                 time on $(b,--topology) now and append it to the
+                 $(b,bench.fastpath) series before assessment — the live leg
+                 of the CI regression gate.")
+  in
+  let repeat =
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"INT"
+           ~doc:"Timing repetitions for --measure (best run kept).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Also emit the machine-readable pr.history/1 report on
+                 stdout.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the pr.history/1 JSON report to a file.")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"The perf-history anomaly observatory: fold every committed
+             BENCH_*.json artifact and FLIGHT_*.jsonl flight ledger into
+             named series, assess each series' latest point with a robust
+             median-absolute-deviation rule (falling back to the flat 1.15x
+             gate on short series), render sparkline trends, and exit
+             non-zero if any series is anomalous.")
+    Term.(const history_run $ dir $ ledger $ measure $ topo_arg
+          $ embedding_arg $ seed_arg $ repeat $ json $ out)
 
 let main_cmd =
   Cmd.group
@@ -2201,6 +2508,7 @@ let main_cmd =
       topo_cmd; embed_cmd; table_cmd; trace_cmd; explain_cmd; fig2_cmd;
       figures_cmd; hunt_cmd; overhead_cmd; ablation_cmd; coverage_cmd;
       chaos_cmd; swap_cmd; recover_cmd; detect_cmd; bench_cmd; report_cmd;
+      history_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -97,6 +97,19 @@ let lfa_row ~neighbours ~node_port ~n ~x ~dst ~primary ~dist ~cost_of ~live_of =
   |> List.sort compare
   |> List.map (fun (_, w) -> node_port.((x * n) + w))
 
+(* Sampled per-destination compile costs from the most recent
+   span-recorded [of_tables] on this domain: (dst, ns) pairs for every
+   k-th destination column of the routing-plane loop, k sized for at
+   most [cost_samples] samples.  Only collected while a Span recorder
+   is installed — the clock reads cost an uninstrumented compile
+   nothing — and consumed by the [prcli report --compile] hotspot
+   table. *)
+let cost_samples = 512
+
+let last_costs : (int * int64) list ref = ref []
+
+let last_compile_costs () = List.rev !last_costs
+
 let of_tables ?ports routing cycles =
   Pr_telemetry.Span.timed "fib.compile" @@ fun () ->
   let g = Routing.graph routing in
@@ -113,70 +126,90 @@ let of_tables ?ports routing cycles =
     match !overflow with
     | Some e -> Error e
     | None ->
+        let recording = Pr_telemetry.Span.recording () in
+        if recording then last_costs := [];
+        let sample_every = max 1 (n / cost_samples) in
         let degree = Array.init n (Graph.degree g) in
         let port_node = Array.make (n * width) (-1) in
         let port_weight = Array.make (n * width) 0.0 in
         let node_port = Array.make (n * n) (-1) in
-        for x = 0 to n - 1 do
-          Array.iteri
-            (fun p w ->
-              port_node.((x * width) + p) <- w;
-              port_weight.((x * width) + p) <- Graph.weight g x w;
-              node_port.((x * n) + w) <- p)
-            (Graph.neighbours g x)
-        done;
+        Pr_telemetry.Span.timed "fib.compile.ports" (fun () ->
+            for x = 0 to n - 1 do
+              Array.iteri
+                (fun p w ->
+                  port_node.((x * width) + p) <- w;
+                  port_weight.((x * width) + p) <- Graph.weight g x w;
+                  node_port.((x * n) + w) <- p)
+                (Graph.neighbours g x)
+            done);
         let next_hop_port = Array.make (n * n) (-1) in
         let disc = Array.make (n * n) infinity in
         let disc_q = Array.make (n * n) 0 in
         let distance = Array.make (n * n) infinity in
-        for dst = 0 to n - 1 do
-          for x = 0 to n - 1 do
-            let i = (x * n) + dst in
-            (match Routing.next_hop routing ~node:x ~dst with
-            | Some w -> next_hop_port.(i) <- node_port.((x * n) + w)
-            | None -> ());
-            let v = Routing.disc routing ~node:x ~dst in
-            disc.(i) <- v;
-            disc_q.(i) <- Routing.quantise_dd routing v;
-            distance.(i) <- Routing.distance routing ~node:x ~dst
-          done
-        done;
+        Pr_telemetry.Span.timed "fib.compile.routes" (fun () ->
+            for dst = 0 to n - 1 do
+              let sampled = recording && dst mod sample_every = 0 in
+              let t0 = if sampled then Pr_telemetry.Probe.now_ns () else 0L in
+              for x = 0 to n - 1 do
+                let i = (x * n) + dst in
+                (match Routing.next_hop routing ~node:x ~dst with
+                | Some w -> next_hop_port.(i) <- node_port.((x * n) + w)
+                | None -> ());
+                let v = Routing.disc routing ~node:x ~dst in
+                disc.(i) <- v;
+                disc_q.(i) <- Routing.quantise_dd routing v;
+                distance.(i) <- Routing.distance routing ~node:x ~dst
+              done;
+              if sampled then begin
+                last_costs :=
+                  (dst, Int64.sub (Pr_telemetry.Probe.now_ns ()) t0) :: !last_costs;
+                Pr_telemetry.Flight.Progress.tick
+                  ~frac:(0.5 *. float_of_int dst /. float_of_int n)
+                  ()
+              end
+            done);
         let cycle_col = Array.make (n * width) (-1) in
         let comp_col = Array.make (n * width) (-1) in
-        for x = 0 to n - 1 do
-          Array.iteri
-            (fun p w ->
-              let next = Cycle_table.cycle_next cycles ~node:x ~from_:w in
-              let next_port = node_port.((x * n) + next) in
-              cycle_col.((x * width) + p) <- next_port;
-              (* The complementary cycle of a failed interface starts at the
-                 rotation successor of the failed port — same successor
-                 function, indexed by the failed port rather than the
-                 incoming one. *)
-              comp_col.((x * width) + p) <- next_port)
-            (Graph.neighbours g x)
-        done;
+        Pr_telemetry.Span.timed "fib.compile.cycles" (fun () ->
+            for x = 0 to n - 1 do
+              Array.iteri
+                (fun p w ->
+                  let next = Cycle_table.cycle_next cycles ~node:x ~from_:w in
+                  let next_port = node_port.((x * n) + next) in
+                  cycle_col.((x * width) + p) <- next_port;
+                  (* The complementary cycle of a failed interface starts at the
+                     rotation successor of the failed port — same successor
+                     function, indexed by the failed port rather than the
+                     incoming one. *)
+                  comp_col.((x * width) + p) <- next_port)
+                (Graph.neighbours g x)
+            done);
         (* LFA candidates per (node, dst): see [lfa_row]. *)
         let lfa_off = Array.make ((n * n) + 1) 0 in
         let cand = ref [] (* reversed port list *) in
         let total = ref 0 in
-        for x = 0 to n - 1 do
-          for dst = 0 to n - 1 do
-            let i = (x * n) + dst in
-            lfa_off.(i) <- !total;
-            match Routing.next_hop routing ~node:x ~dst with
-            | None -> ()
-            | Some primary ->
-                List.iter
-                  (fun p ->
-                    cand := p :: !cand;
-                    incr total)
-                  (lfa_row ~neighbours:(Graph.neighbours g x) ~node_port ~n ~x
-                     ~dst ~primary ~dist:distance
-                     ~cost_of:(fun w -> Graph.weight g x w)
-                     ~live_of:(fun _ -> true))
-          done
-        done;
+        Pr_telemetry.Span.timed "fib.compile.lfa" (fun () ->
+            for x = 0 to n - 1 do
+              for dst = 0 to n - 1 do
+                let i = (x * n) + dst in
+                lfa_off.(i) <- !total;
+                match Routing.next_hop routing ~node:x ~dst with
+                | None -> ()
+                | Some primary ->
+                    List.iter
+                      (fun p ->
+                        cand := p :: !cand;
+                        incr total)
+                      (lfa_row ~neighbours:(Graph.neighbours g x) ~node_port ~n
+                         ~x ~dst ~primary ~dist:distance
+                         ~cost_of:(fun w -> Graph.weight g x w)
+                         ~live_of:(fun _ -> true))
+              done;
+              if recording && x mod sample_every = 0 then
+                Pr_telemetry.Flight.Progress.tick
+                  ~frac:(0.5 +. (0.5 *. float_of_int x /. float_of_int n))
+                  ()
+            done);
         lfa_off.(n * n) <- !total;
         let lfa_ports = Array.of_list (List.rev !cand) in
         let sc_plan = Pr_core.Seen.plan ~nodes:n ~width:default_sc_width in

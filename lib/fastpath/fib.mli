@@ -109,6 +109,15 @@ val footprint : t -> footprint
 val footprint_json : footprint -> string
 (** One-line JSON object: [total_bytes], [bytes_per_router], [planes]. *)
 
+val last_compile_costs : unit -> (int * int64) list
+(** Sampled per-destination compile costs — (dst, wall ns) for the
+    routing-plane column of every k-th destination — from the most
+    recent {!of_tables} run under an installed {!Pr_telemetry.Span}
+    recorder on this domain, in destination order.  Empty if the last
+    compile was uninstrumented (the clocks are span-gated so plain
+    compiles pay nothing).  Feeds the [prcli report --compile]
+    hotspot table. *)
+
 (** {2 Administrative state}
 
     Each image carries the administrative link state its rows were

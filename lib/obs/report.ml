@@ -504,6 +504,115 @@ let check_history ?(threshold = 1.15) ?repeat ~dir topo rotation =
           regressed = ratio > threshold;
         }
 
+(* ---- compile-cost attribution ---- *)
+
+type compile_profile = {
+  compile : Pr_telemetry.Span.node;  (* the fib.compile span *)
+  planes : Pr_telemetry.Span.node list;  (* its per-plane children *)
+  costs : (int * int64) list;  (* sampled (dst, ns), destination order *)
+  cost_q : (float * float) array;  (* (q, ns) over the samples *)
+  top : (int * int64) list;  (* costliest sampled destinations *)
+}
+
+let profile_compile ?(top = 5) (topo : Topology.t) rotation =
+  let sp = Pr_telemetry.Span.create () in
+  Pr_telemetry.Span.install sp;
+  let fib =
+    Fun.protect ~finally:Pr_telemetry.Span.uninstall (fun () ->
+        let g = topo.Topology.graph in
+        let routing = Pr_core.Routing.build g in
+        let cycles = Pr_core.Cycle_table.build rotation in
+        Pr_fastpath.Fib.of_tables_exn routing cycles)
+  in
+  ignore (fib : Pr_fastpath.Fib.t);
+  let compile =
+    match
+      List.find_map
+        (fun r -> Pr_telemetry.Span.find r "fib.compile")
+        (Pr_telemetry.Span.roots sp)
+    with
+    | Some node -> node
+    | None -> failwith "profile_compile: no fib.compile span recorded"
+  in
+  let costs = Pr_fastpath.Fib.last_compile_costs () in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Int64.compare b a) costs
+  in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  let ns = Array.of_list (List.map (fun (_, c) -> Int64.to_float c) costs) in
+  Array.sort Float.compare ns;
+  let quantile q =
+    let n = Array.length ns in
+    if n = 0 then Float.nan
+    else ns.(max 0 (min (n - 1) (int_of_float (q *. float_of_int (n - 1)))))
+  in
+  {
+    compile;
+    planes = compile.Pr_telemetry.Span.children;
+    costs;
+    cost_q = Array.map (fun q -> (q, quantile q)) Probe.sketch_qs;
+    top = take top sorted;
+  }
+
+let render_compile p =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let total = p.compile.Pr_telemetry.Span.wall_ns in
+  line "fib.compile hotspots: %.3f ms total, %d sampled destination(s)"
+    (Pr_telemetry.Span.wall_ms p.compile)
+    (List.length p.costs);
+  List.iter
+    (fun (c : Pr_telemetry.Span.node) ->
+      let pct =
+        if Int64.compare total 0L <= 0 then 0.0
+        else
+          100.0
+          *. Int64.to_float c.Pr_telemetry.Span.wall_ns
+          /. Int64.to_float total
+      in
+      line "  %-24s %10.3f ms %5.1f%%  minor %8.2f Mw  major %8.2f Mw"
+        c.Pr_telemetry.Span.name
+        (Pr_telemetry.Span.wall_ms c)
+        pct
+        (c.Pr_telemetry.Span.minor_words /. 1e6)
+        (c.Pr_telemetry.Span.major_words /. 1e6))
+    p.planes;
+  if p.cost_q <> [||] then
+    line "  per-destination cost (routing plane, sampled): %s"
+      (String.concat "  "
+         (Array.to_list
+            (Array.map
+               (fun (q, v) -> Printf.sprintf "p%.0f %.0f ns" (100.0 *. q) v)
+               p.cost_q)));
+  List.iter
+    (fun (dst, c) -> line "    costliest dst %-6d %Ld ns" dst c)
+    p.top;
+  Buffer.contents b
+
+let compile_to_json p =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n\"schema\": \"pr.compile/1\",\n";
+  Printf.bprintf b "\"compile_ms\": %s,\n"
+    (Json.number (Pr_telemetry.Span.wall_ms p.compile));
+  Printf.bprintf b "\"planes\": %s,\n" (Pr_telemetry.Span.to_json p.planes);
+  Printf.bprintf b "\"cost_quantiles\": [%s],\n"
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun (q, v) ->
+               Printf.sprintf "{\"q\":%s,\"ns\":%s}" (Json.number q)
+                 (Json.number v))
+             p.cost_q)));
+  Printf.bprintf b "\"top\": [%s]\n}\n"
+    (String.concat ","
+       (List.map
+          (fun (dst, c) -> Printf.sprintf "{\"dst\":%d,\"ns\":%Ld}" dst c)
+          p.top));
+  Buffer.contents b
+
 let render_history h =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in

@@ -118,3 +118,33 @@ val check_history :
     against). *)
 
 val render_history : history -> string
+
+(** {2 Compile-cost attribution} *)
+
+type compile_profile = {
+  compile : Pr_telemetry.Span.node;  (** the recorded [fib.compile] span *)
+  planes : Pr_telemetry.Span.node list;
+      (** its per-plane children ([fib.compile.ports], [.routes],
+          [.cycles], [.lfa]) *)
+  costs : (int * int64) list;
+      (** sampled (dst, wall ns) routing-plane column costs,
+          destination order — {!Pr_fastpath.Fib.last_compile_costs} *)
+  cost_q : (float * float) array;
+      (** (q, ns) over the samples at {!Pr_telemetry.Probe.sketch_qs} *)
+  top : (int * int64) list;  (** costliest sampled destinations, worst first *)
+}
+
+val profile_compile :
+  ?top:int -> Pr_topo.Topology.t -> Pr_embed.Rotation.t -> compile_profile
+(** Compile the topology's FIB image once under a fresh span recorder
+    and attribute where the time went: per-plane sub-spans plus the
+    sampled per-destination cost histogram.  [top] (default 5) bounds
+    the costliest-destination list.  The hotspot table behind [prcli
+    report --compile] — the target map for compile optimization. *)
+
+val render_compile : compile_profile -> string
+(** Human-readable hotspot table. *)
+
+val compile_to_json : compile_profile -> string
+(** [{"schema": "pr.compile/1", "compile_ms": …, "planes": […],
+    "cost_quantiles": […], "top": […]}]. *)

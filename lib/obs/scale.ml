@@ -311,8 +311,7 @@ let render c =
     c.results;
   Buffer.contents b
 
-let float_json x =
-  if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+let float_json = Pr_util.Json.number
 
 let quantile_json qs =
   "["
@@ -364,4 +363,10 @@ let to_json c =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-let spans_json c = Span.to_json (List.map (fun r -> r.span) c.results)
+let spans_schema = "pr.spans/1"
+
+let spans_json c =
+  Printf.sprintf "{\n\"schema\": %S,\n\"suite\": \"scale\",\n\"seed\": %d,\n\
+                  \"domains\": %d,\n\"roots\": %s\n}\n"
+    spans_schema c.seed c.domains
+    (Span.to_json ~pretty:true (List.map (fun r -> r.span) c.results))

@@ -113,6 +113,11 @@ val to_json : campaign -> string
     [overhead_ratio] is what {!Report.load_bench} reads as the
     history norm. *)
 
+val spans_schema : string
+(** The SPANS artifact schema tag, ["pr.spans/1"]. *)
+
 val spans_json : campaign -> string
-(** The per-case span forest as JSON ({!Pr_telemetry.Span.to_json}) —
-    written beside the bench payload as SPANS_scale.json. *)
+(** The per-case span forest as a schema-versioned, pretty-printed
+    JSON object ([{"schema": "pr.spans/1", "suite": "scale", "seed":
+    …, "domains": …, "roots": […]}]) — written beside the bench
+    payload as SPANS_scale.json. *)

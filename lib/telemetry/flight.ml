@@ -1,0 +1,334 @@
+module Json = Pr_util.Json
+
+let schema = "pr.flight/1"
+
+(* FNV-1a, 64-bit — the same checksum family Fib.Codec uses for image
+   checkpoints, reimplemented locally so the ledger layer stays free
+   of fastpath dependencies. *)
+let fnv1a_string s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let fnv1a_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      (fnv1a_string contents, len))
+
+type artifact = { file : string; fnv1a : int64; bytes : int }
+
+type t = {
+  cmd : string;
+  seed : int;
+  backend : string option;
+  mutable rev_knobs : (string * string) list; (* name, raw JSON value *)
+  mutable rev_counts : (string * int) list;
+  mutable rev_quantiles : (string * (float * float) array) list;
+  mutable rev_stable_metrics : (string * float) list;
+  mutable rev_timing_metrics : (string * float) list;
+  mutable rev_sections : (string * bool * string) list;
+      (* name, stable?, raw JSON payload *)
+  mutable rev_artifacts : artifact list;
+  mutable spans : Span.node list;
+}
+
+let create ~cmd ~seed ?backend () =
+  {
+    cmd;
+    seed;
+    backend;
+    rev_knobs = [];
+    rev_counts = [];
+    rev_quantiles = [];
+    rev_stable_metrics = [];
+    rev_timing_metrics = [];
+    rev_sections = [];
+    rev_artifacts = [];
+    spans = [];
+  }
+
+let knob t name value = t.rev_knobs <- (name, value) :: t.rev_knobs
+
+let knob_int t name v = knob t name (string_of_int v)
+
+let knob_str t name v = knob t name (Printf.sprintf "%S" v)
+
+let count t name v = t.rev_counts <- (name, v) :: t.rev_counts
+
+let quantiles t label qs =
+  t.rev_quantiles <- (label, Array.copy qs) :: t.rev_quantiles
+
+let metric ?(stable = false) t name v =
+  if stable then t.rev_stable_metrics <- (name, v) :: t.rev_stable_metrics
+  else t.rev_timing_metrics <- (name, v) :: t.rev_timing_metrics
+
+let section ?(stable = true) t name payload =
+  t.rev_sections <- (name, stable, payload) :: t.rev_sections
+
+let artifact t path =
+  match fnv1a_file path with
+  | h, len ->
+      t.rev_artifacts <-
+        { file = Filename.basename path; fnv1a = h; bytes = len }
+        :: t.rev_artifacts
+  | exception Sys_error _ -> ()
+
+let set_spans t roots = t.spans <- roots
+
+(* ---- serialization ---- *)
+
+let buf_obj b pairs emit =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S:" k;
+      emit v)
+    pairs;
+  Buffer.add_char b '}'
+
+let emit_quantiles b qs =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i (q, est) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"q\":%s,\"estimate\":%s}" (Json.number q)
+        (Json.number est))
+    qs;
+  Buffer.add_char b ']'
+
+(* The deterministic subset: everything that must be bit-identical
+   across domain counts and repeated runs of the same seed — identity,
+   knobs, verdict counts, sketch quantiles, stable metrics and
+   sections, artifact checksums.  Wall-clock metrics and the span tree
+   stay out. *)
+let stable_body t =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\"schema\":%S,\"cmd\":%S,\"seed\":%d" schema t.cmd t.seed;
+  (match t.backend with
+  | Some be -> Printf.bprintf b ",\"backend\":%S" be
+  | None -> ());
+  Buffer.add_string b ",\"knobs\":";
+  buf_obj b (List.rev t.rev_knobs) (Buffer.add_string b);
+  Buffer.add_string b ",\"counts\":";
+  buf_obj b (List.rev t.rev_counts) (fun v ->
+      Buffer.add_string b (string_of_int v));
+  Buffer.add_string b ",\"quantiles\":";
+  buf_obj b (List.rev t.rev_quantiles) (emit_quantiles b);
+  Buffer.add_string b ",\"metrics\":";
+  buf_obj b (List.rev t.rev_stable_metrics) (fun v ->
+      Buffer.add_string b (Json.number v));
+  let stable_sections =
+    List.filter_map
+      (fun (name, stable, payload) ->
+        if stable then Some (name, payload) else None)
+      (List.rev t.rev_sections)
+  in
+  Buffer.add_string b ",\"sections\":";
+  buf_obj b stable_sections (Buffer.add_string b);
+  Buffer.add_string b ",\"artifacts\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"file\":%S,\"fnv1a\":\"%016Lx\",\"bytes\":%d}" a.file
+        a.fnv1a a.bytes)
+    (List.rev t.rev_artifacts);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let stable_json t = stable_body t
+
+let stable_fingerprint t = fnv1a_string (stable_body t)
+
+let to_json t =
+  let stable = stable_body t in
+  let b = Buffer.create 1024 in
+  (* The full record embeds the stable body verbatim (so a reader can
+     re-check the fingerprint) and appends the volatile tail. *)
+  Buffer.add_string b (String.sub stable 0 (String.length stable - 1));
+  Printf.bprintf b ",\"stable_fnv1a\":\"%016Lx\"" (stable_fingerprint t);
+  Buffer.add_string b ",\"timings\":";
+  buf_obj b (List.rev t.rev_timing_metrics) (fun v ->
+      Buffer.add_string b (Json.number v));
+  let volatile_sections =
+    List.filter_map
+      (fun (name, stable, payload) ->
+        if stable then None else Some (name, payload))
+      (List.rev t.rev_sections)
+  in
+  Buffer.add_string b ",\"volatile_sections\":";
+  buf_obj b volatile_sections (Buffer.add_string b);
+  Buffer.add_string b ",\"spans\":";
+  Buffer.add_string b (Span.to_json t.spans);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let append ~path t =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')
+
+(* ---- the live progress sink ---- *)
+
+module Progress = struct
+  type state = {
+    owner : int;
+    out : out_channel;
+    label : string;
+    started : int64;
+    profile : (string * float) list;
+    profile_total : float;
+    mutable stage_stack : string list;
+    mutable completed_weight : float;
+    mutable current_weight : float; (* weight of the innermost stage *)
+    mutable current_frac : float; (* progress inside the current stage *)
+    mutable last_draw : int64;
+    mutable drew : bool;
+  }
+
+  let ambient : state option Atomic.t = Atomic.make None
+
+  (* Duration-weight shares of the scale pipeline, measured from the
+     committed SPANS_scale.json 10k-node cases; the ETA divides
+     elapsed wall time by the share of profile weight completed so
+     far.  Stages missing from the profile contribute no weight and
+     only update the stage name. *)
+  let default_profile =
+    [
+      ("topo.generate.ba", 0.5);
+      ("topo.generate.waxman", 0.5);
+      ("embed.geometric", 0.1);
+      ("routing.build", 14.0);
+      ("cycles.build", 0.1);
+      ("fib.compile", 78.0);
+      ("swap.publish", 0.1);
+      ("linkload.size", 0.3);
+      ("forward.plain", 2.0);
+      ("forward.probe", 2.2);
+      ("forward.sketch", 2.2);
+    ]
+
+  let profile_of_spans roots =
+    let acc = ref [] in
+    let rec walk n =
+      acc := (n.Span.name, Int64.to_float n.Span.wall_ns) :: !acc;
+      List.iter walk n.Span.children
+    in
+    List.iter walk roots;
+    List.rev !acc
+
+  let self () = (Domain.self () :> int)
+
+  let now = Monotonic_clock.now
+
+  let redraw_period_ns = 100_000_000L
+
+  let draw st =
+    let elapsed_s = Int64.to_float (Int64.sub (now ()) st.started) /. 1e9 in
+    let stage = match st.stage_stack with s :: _ -> s | [] -> "idle" in
+    let done_weight =
+      st.completed_weight +. (st.current_frac *. st.current_weight)
+    in
+    let eta =
+      if st.profile_total <= 0.0 || done_weight <= 0.0 then ""
+      else begin
+        let frac = Float.min 0.999 (done_weight /. st.profile_total) in
+        if frac < 0.01 then ""
+        else
+          Printf.sprintf "  ~%.0fs left" (elapsed_s *. (1.0 -. frac) /. frac)
+      end
+    in
+    let line =
+      Printf.sprintf "[%s] %s  %.1fs elapsed%s" st.label stage elapsed_s eta
+    in
+    (* Pad to blank out a longer previous line, then return the
+       cursor: one write, no cursor addressing, safe on any TTY. *)
+    Printf.fprintf st.out "\r%-72s\r" line;
+    flush st.out;
+    st.drew <- true;
+    st.last_draw <- now ()
+
+  let clear st =
+    if st.drew then begin
+      Printf.fprintf st.out "\r%72s\r" "";
+      flush st.out
+    end
+
+  let on_event ev =
+    match Atomic.get ambient with
+    | Some st when st.owner = self () -> (
+        match ev with
+        | Span.Enter name ->
+            st.stage_stack <- name :: st.stage_stack;
+            st.current_weight <-
+              Option.value ~default:0.0 (List.assoc_opt name st.profile);
+            st.current_frac <- 0.0;
+            draw st
+        | Span.Leave name ->
+            (match st.stage_stack with
+            | s :: rest when String.equal s name -> st.stage_stack <- rest
+            | _ -> ());
+            st.completed_weight <-
+              st.completed_weight
+              +. Option.value ~default:0.0 (List.assoc_opt name st.profile);
+            st.current_weight <- 0.0;
+            st.current_frac <- 0.0;
+            draw st)
+    | _ -> ()
+
+  let enable ?(profile = default_profile) ?(out = stderr) ~label () =
+    let st =
+      {
+        owner = self ();
+        out;
+        label;
+        started = now ();
+        profile;
+        profile_total = List.fold_left (fun a (_, w) -> a +. w) 0.0 profile;
+        stage_stack = [];
+        completed_weight = 0.0;
+        current_weight = 0.0;
+        current_frac = 0.0;
+        last_draw = 0L;
+        drew = false;
+      }
+    in
+    Atomic.set ambient (Some st);
+    Span.set_observer (Some on_event)
+
+  let disable () =
+    (match Atomic.get ambient with
+    | Some st when st.owner = self () -> clear st
+    | _ -> ());
+    Span.set_observer None;
+    Atomic.set ambient None
+
+  let enabled () =
+    match Atomic.get ambient with
+    | Some st -> st.owner = self ()
+    | None -> false
+
+  let tick ?frac () =
+    match Atomic.get ambient with
+    | Some st when st.owner = self () ->
+        (match frac with
+        | Some f -> st.current_frac <- Float.max 0.0 (Float.min 1.0 f)
+        | None -> ());
+        if Int64.compare (Int64.sub (now ()) st.last_draw) redraw_period_ns > 0
+        then draw st
+    | _ -> ()
+end

@@ -1,0 +1,122 @@
+(** The flight ledger: one versioned JSONL record per [prcli] run.
+
+    Every substantial subcommand (bench, chaos, swap, report) builds a
+    record as it goes — identity (command, seed, backend), the knobs
+    it ran with, verdict counts, streaming-sketch quantiles, memory
+    footprints, checksums of the artifacts it wrote, wall-clock
+    timings, and the full {!Span} tree — and appends it as a single
+    line to the ledger file (FLIGHT_ledger.jsonl by convention).  The
+    ledger is what the {b history observatory} ([prcli history]) and
+    CI read back: an auditable, append-only trail of every run.
+
+    {b Stable vs volatile.}  A record is split into a {e stable} body
+    — everything that must be bit-identical across [--domains 1/2/4]
+    and across repeated runs of the same seed — and a volatile tail
+    (wall-clock timings, span trees).  {!stable_json} serializes just
+    the body; {!stable_fingerprint} hashes it (FNV-1a 64), and the
+    full record embeds that fingerprint so readers can re-check it.
+
+    The {!Progress} submodule is the live campaign heartbeat: a
+    main-domain-only status line fed by the {!Span} stage observer and
+    by explicit {!Progress.tick} calls from long loops (the FIB
+    compiler), with an ETA from a span-duration profile. *)
+
+val schema : string
+(** The record schema tag, ["pr.flight/1"]. *)
+
+type t
+
+val create : cmd:string -> seed:int -> ?backend:string -> unit -> t
+
+(** {2 Stable fields} — all part of the fingerprinted body *)
+
+val knob : t -> string -> string -> unit
+(** [knob t name json] records a knob with a raw JSON value. *)
+
+val knob_int : t -> string -> int -> unit
+
+val knob_str : t -> string -> string -> unit
+
+val count : t -> string -> int -> unit
+(** Verdict and size counters (delivered, dropped, image bytes …). *)
+
+val quantiles : t -> string -> (float * float) array -> unit
+(** [quantiles t label qs] records a bank of (q, estimate) pairs,
+    e.g. the sketch-armed stretch quantiles. *)
+
+val metric : ?stable:bool -> t -> string -> float -> unit
+(** A named float.  [~stable:true] places it in the fingerprinted
+    body; the default records a volatile timing (ratios measured from
+    wall clocks, ns-per-packet figures). *)
+
+val section : ?stable:bool -> t -> string -> string -> unit
+(** [section t name payload] embeds a raw JSON payload produced by
+    another writer (e.g. {!Pr_fastpath.Fib.footprint_json} output,
+    link-load top-k).  Stable by default. *)
+
+val artifact : t -> string -> unit
+(** Checksum (FNV-1a 64) and size of a file this run wrote, recorded
+    under its basename.  Unreadable paths are silently skipped. *)
+
+val set_spans : t -> Span.node list -> unit
+(** Attach the run's span forest (volatile: wall times differ run to
+    run). *)
+
+(** {2 Serialization} *)
+
+val stable_json : t -> string
+(** The deterministic body only, as a single JSON line. *)
+
+val stable_fingerprint : t -> int64
+(** FNV-1a 64 of {!stable_json} — the cross-domain bit-stability
+    check. *)
+
+val to_json : t -> string
+(** The full single-line record: the stable body plus
+    ["stable_fnv1a"], ["timings"], ["volatile_sections"] and
+    ["spans"]. *)
+
+val append : path:string -> t -> unit
+(** Append the record as one line to [path], creating it if needed. *)
+
+val fnv1a_string : string -> int64
+(** The ledger's checksum primitive, exposed for tests and for
+    readers re-checking ["stable_fnv1a"]. *)
+
+(** {2 Live progress} *)
+
+module Progress : sig
+  val enable :
+    ?profile:(string * float) list ->
+    ?out:out_channel ->
+    label:string ->
+    unit ->
+    unit
+  (** Install the heartbeat for the calling domain: a single status
+      line on [out] (default [stderr]) redrawn on every {!Span} stage
+      boundary and rate-limited {!tick}, showing the current stage,
+      elapsed wall time, and — once enough profile weight has
+      completed — a remaining-time estimate.  The caller decides TTY
+      policy ([prcli] enables when stderr is a TTY or [--progress] is
+      given).  Worker domains never draw: events fire only on the
+      span owner's domain. *)
+
+  val disable : unit -> unit
+  (** Clear the status line and uninstall the observer. *)
+
+  val enabled : unit -> bool
+
+  val tick : ?frac:float -> unit -> unit
+  (** Heartbeat from inside a long stage.  [?frac] reports progress
+      through the current stage (clamped to [0, 1]) and refines the
+      ETA; calls are rate-limited to one redraw per 100 ms and cost
+      one atomic load when the sink is disabled. *)
+
+  val default_profile : (string * float) list
+  (** Stage-duration weights measured from the committed scale-
+      campaign spans; the default ETA model. *)
+
+  val profile_of_spans : Span.node list -> (string * float) list
+  (** Derive a profile from a recorded span forest (e.g. a parsed
+      SPANS_scale.json), mapping every span name to its wall time. *)
+end

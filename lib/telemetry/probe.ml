@@ -394,7 +394,7 @@ let json_int_array a =
 
 let json_float_array a =
   "["
-  ^ String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list a))
+  ^ String.concat "," (List.map Pr_util.Json.number (Array.to_list a))
   ^ "]"
 
 let to_json t =
@@ -405,8 +405,10 @@ let to_json t =
   Printf.bprintf buf "  \"dropped\": %d,\n" t.dropped;
   Printf.bprintf buf "  \"looped\": %d,\n" t.looped;
   Printf.bprintf buf "  \"unreachable\": %d,\n" t.unreachable;
-  Printf.bprintf buf "  \"stretch_sum\": %.17g,\n" t.stretch_sum;
-  Printf.bprintf buf "  \"worst_stretch\": %.17g,\n" t.worst_stretch;
+  Printf.bprintf buf "  \"stretch_sum\": %s,\n"
+    (Pr_util.Json.number t.stretch_sum);
+  Printf.bprintf buf "  \"worst_stretch\": %s,\n"
+    (Pr_util.Json.number t.worst_stretch);
   Printf.bprintf buf "  \"drop_reasons\": %s,\n"
     ("["
     ^ String.concat ","

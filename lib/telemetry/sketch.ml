@@ -390,6 +390,8 @@ let equal a b =
   && a.min_ties = b.min_ties && a.max_ties = b.max_ties
 
 let to_json t =
+  let n = Pr_util.Json.number in
   Printf.sprintf
-    "{\"q\":%g,\"count\":%d,\"estimate\":%.17g,\"min\":%.17g,\"max\":%.17g,\"min_ties\":%d,\"max_ties\":%d}"
-    t.q t.count (quantile t) (min_value t) (max_value t) t.min_ties t.max_ties
+    "{\"q\":%s,\"count\":%d,\"estimate\":%s,\"min\":%s,\"max\":%s,\"min_ties\":%d,\"max_ties\":%d}"
+    (n t.q) t.count (n (quantile t)) (n (min_value t)) (n (max_value t))
+    t.min_ties t.max_ties

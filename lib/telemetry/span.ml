@@ -83,9 +83,31 @@ let install t = Atomic.set ambient (Some t)
 
 let uninstall () = Atomic.set ambient None
 
+(* Stage observer: a progress sink (Flight.Progress) registers here to
+   learn when an ambient span opens or closes.  Only the recorder
+   owner's enter/leave paths fire it — never the disabled [timed] path
+   a worker domain or an uninstrumented benchmark takes — so arming a
+   sink costs the forwarding legs nothing. *)
+type event = Enter of string | Leave of string
+
+let observer : (event -> unit) option Atomic.t = Atomic.make None
+
+let set_observer f = Atomic.set observer f
+
+let notify ev =
+  match Atomic.get observer with Some f -> f ev | None -> ()
+
+let recording () =
+  match Atomic.get ambient with
+  | Some t -> t.owner = self ()
+  | None -> false
+
 let timed name f =
   match Atomic.get ambient with
-  | Some t when t.owner = self () -> timed_on t name f
+  | Some t when t.owner = self () ->
+      notify (Enter name);
+      Fun.protect ~finally:(fun () -> notify (Leave name)) (fun () ->
+          timed_on t name f)
   | _ -> f ()
 
 let coverage n =
@@ -120,9 +142,18 @@ let render nodes =
   List.iter (fun n -> go 0 n.wall_ns n) nodes;
   Buffer.contents b
 
-let to_json nodes =
+let to_json ?(pretty = false) nodes =
   let b = Buffer.create 1024 in
-  let rec obj n =
+  (* In pretty mode each node object opens on its own indented line;
+     compact mode is the historical single-line form. *)
+  let nl depth =
+    if pretty then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * depth) ' ')
+    end
+  in
+  let rec obj depth n =
+    nl depth;
     Printf.bprintf b
       "{\"name\":%S,\"wall_ns\":%Ld,\"minor_words\":%.1f,\"major_words\":%.1f,\
        \"heap_delta_words\":%d,\"coverage\":%.4f,\"children\":["
@@ -131,15 +162,43 @@ let to_json nodes =
     List.iteri
       (fun i c ->
         if i > 0 then Buffer.add_char b ',';
-        obj c)
+        obj (depth + 1) c)
       n.children;
+    if pretty && n.children <> [] then nl depth;
     Buffer.add_string b "]}"
   in
   Buffer.add_char b '[';
   List.iteri
     (fun i n ->
       if i > 0 then Buffer.add_char b ',';
-      obj n)
+      obj 1 n)
     nodes;
+  if pretty && nodes <> [] then Buffer.add_char b '\n';
   Buffer.add_char b ']';
   Buffer.contents b
+
+(* The reader for [to_json] output: flight ledgers and the history
+   observatory parse span forests back out of committed artifacts.
+   [coverage] is derived on emission and ignored here. *)
+let rec node_of_json j =
+  let open Pr_util.Json in
+  let field name conv msg =
+    match Option.bind (member name j) conv with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Span.of_json: %s" msg)
+  in
+  {
+    name = field "name" str "missing name";
+    wall_ns = Int64.of_float (field "wall_ns" num "missing wall_ns");
+    minor_words = field "minor_words" num "missing minor_words";
+    major_words = field "major_words" num "missing major_words";
+    heap_delta_words =
+      int_of_float (field "heap_delta_words" num "missing heap_delta_words");
+    children =
+      List.map node_of_json (field "children" list "missing children");
+  }
+
+let of_json j =
+  match Pr_util.Json.list j with
+  | Some nodes -> List.map node_of_json nodes
+  | None -> invalid_arg "Span.of_json: expected an array of spans"

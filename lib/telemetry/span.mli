@@ -72,6 +72,23 @@ val timed : string -> (unit -> 'a) -> 'a
     ambient recorder if one is installed and owned by this domain,
     else just run [f]. *)
 
+val recording : unit -> bool
+(** Whether an ambient recorder is installed and owned by this domain
+    — the guard instrumented stages use before doing span-only work
+    (e.g. the FIB compiler's sampled per-destination cost clocks). *)
+
+(** {2 Stage observer} — how a progress sink learns where the pipeline
+    is.  Fires only on the ambient owner-domain [timed] path: never on
+    worker domains, never when no recorder is installed. *)
+
+type event =
+  | Enter of string  (** an ambient span just opened *)
+  | Leave of string  (** that span closed *)
+
+val set_observer : (event -> unit) option -> unit
+(** Install (or clear) the stage observer.  At most one; used by
+    {!Flight.Progress}. *)
+
 val coverage : node -> float
 (** Fraction of a node's wall time accounted for by its direct
     children (1.0 for a leaf of zero width).  The scale campaign's
@@ -87,7 +104,14 @@ val render : node list -> string
 (** Indented tree: wall ms, percent of parent, minor/major Mwords and
     heap delta per node. *)
 
-val to_json : node list -> string
+val to_json : ?pretty:bool -> node list -> string
 (** JSON array of nested span objects ([name], [wall_ns],
     [minor_words], [major_words], [heap_delta_words], [coverage],
-    [children]). *)
+    [children]).  [~pretty:true] indents one node object per line
+    (the committed SPANS artifacts); default is the compact
+    single-line form. *)
+
+val of_json : Pr_util.Json.t -> node list
+(** Parse a forest emitted by {!to_json} back into nodes.  [coverage]
+    is derived, not stored, and is ignored on input.  Raises
+    [Invalid_argument] on shape mismatch. *)

@@ -168,6 +168,30 @@ let parse_file path =
   | contents -> parse contents
   | exception Sys_error msg -> Error msg
 
+(* Shortest decimal that parses back to the same bits: try 15, 16,
+   then 17 significant digits.  17 always round-trips a double, but
+   %.17g alone turns 0.9 into 0.90000000000000002 in every artifact;
+   most values need far fewer digits. *)
+let number x =
+  if not (Float.is_finite x) then "null"
+  else begin
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p x in
+      if float_of_string s = x then Some s else None
+    in
+    let s =
+      match try_prec 15 with
+      | Some s -> s
+      | None -> (
+          match try_prec 16 with
+          | Some s -> s
+          | None -> Printf.sprintf "%.17g" x)
+    in
+    (* %g may emit a bare integer mantissa ("1", "2e+22"); that is
+       still a valid JSON number, so keep it as is. *)
+    s
+  end
+
 let member key = function
   | Obj members -> List.assoc_opt key members
   | _ -> None

@@ -25,6 +25,14 @@ val parse_file : string -> (t, string) result
 
 (** {2 Accessors} — total, returning [None] on shape mismatch *)
 
+(** {2 Emission helpers} *)
+
+val number : float -> string
+(** Shortest decimal representation that parses back to exactly [x]
+    (tries 15, 16, then 17 significant digits), for the hand-rolled
+    JSON writers: [0.9] stays ["0.9"], not ["0.90000000000000002"].
+    Non-finite values become ["null"]. *)
+
 val member : string -> t -> t option
 (** First member with that key of an [Obj]. *)
 

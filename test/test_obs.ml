@@ -27,6 +27,7 @@ module Engine = Pr_sim.Engine
 module Metrics = Pr_sim.Metrics
 module Workload = Pr_sim.Workload
 module Probe = Pr_telemetry.Probe
+module Span = Pr_telemetry.Span
 
 let abilene () =
   let topo = Pr_topo.Abilene.topology () in
@@ -496,6 +497,136 @@ let test_history_entries () =
   Alcotest.(check bool) "a fastpath baseline exists" true
     (List.exists (fun (e : Report.bench_entry) -> e.Report.suite = "fastpath") entries)
 
+(* ---- the SPANS artifact: schema-versioned, parseable span forest ---- *)
+
+let test_spans_scale_schema () =
+  let file = "SPANS_scale.json" in
+  let j = load file in
+  (match Json.str (get "schema" j) with
+  | Some s ->
+      Alcotest.(check string) "schema tag" Pr_report.Scale.spans_schema s
+  | None -> Alcotest.failf "%s: missing schema tag" file);
+  (match Json.str (get "suite" j) with
+  | Some "scale" -> ()
+  | _ -> Alcotest.failf "%s: suite is not \"scale\"" file);
+  List.iter
+    (fun tag ->
+      match Json.num (get tag j) with
+      | Some v when Float.is_finite v && v >= 0.0 -> ()
+      | _ -> Alcotest.failf "%s: bad %s" file tag)
+    [ "seed"; "domains" ];
+  let roots =
+    match Span.of_json (get "roots" j) with
+    | roots -> roots
+    | exception Invalid_argument msg ->
+        Alcotest.failf "%s: roots do not parse as a span forest: %s" file msg
+  in
+  Alcotest.(check bool) "at least one case root" true (roots <> []);
+  List.iter
+    (fun (r : Span.node) ->
+      Alcotest.(check bool) (r.Span.name ^ " is a scale case") true
+        (String.length r.Span.name > 6 && String.sub r.Span.name 0 6 = "scale.");
+      Alcotest.(check bool) (r.Span.name ^ " wall positive") true
+        (Int64.compare r.Span.wall_ns 0L > 0);
+      Alcotest.(check bool) (r.Span.name ^ " has stage children") true
+        (r.Span.children <> []);
+      Alcotest.(check bool)
+        (r.Span.name ^ " stages include fib.compile")
+        true
+        (Option.is_some (Span.find r "fib.compile")))
+    roots
+
+(* ---- flight records: schema and fingerprint integrity ---- *)
+
+let test_flight_record_schema () =
+  let fl = Pr_telemetry.Flight.create ~cmd:"test" ~seed:9 ~backend:"ref" () in
+  Pr_telemetry.Flight.knob_str fl "topology" "abilene";
+  Pr_telemetry.Flight.knob_int fl "repeat" 2;
+  Pr_telemetry.Flight.count fl "delivered" 1540;
+  Pr_telemetry.Flight.quantiles fl "stretch" [| (0.5, 1.0); (0.9, 1.25) |];
+  Pr_telemetry.Flight.metric fl ~stable:true "coverage" 0.99;
+  Pr_telemetry.Flight.metric fl "elapsed_s" 0.25;
+  Pr_telemetry.Flight.section fl "footprint" "{\"total_bytes\":12}";
+  let line = Pr_telemetry.Flight.to_json fl in
+  Alcotest.(check bool) "one line" true (not (String.contains line '\n'));
+  let j =
+    match Json.parse line with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "flight record unparseable: %s" e
+  in
+  List.iter
+    (fun m ->
+      if Json.member m j = None then
+        Alcotest.failf "flight record missing %S" m)
+    [
+      "schema"; "cmd"; "seed"; "backend"; "knobs"; "counts"; "quantiles";
+      "metrics"; "sections"; "artifacts"; "stable_fnv1a"; "timings";
+      "volatile_sections"; "spans";
+    ];
+  (match Json.str (get "schema" j) with
+  | Some s -> Alcotest.(check string) "schema tag" Pr_telemetry.Flight.schema s
+  | None -> Alcotest.failf "flight schema not a string");
+  (* The embedded fingerprint is re-checkable: it is the FNV-1a of the
+     stable body, which the record embeds verbatim. *)
+  (match Json.str (get "stable_fnv1a" j) with
+  | Some hex ->
+      Alcotest.(check string) "embedded fingerprint matches stable body"
+        (Printf.sprintf "%016Lx" (Pr_telemetry.Flight.stable_fingerprint fl))
+        hex
+  | None -> Alcotest.failf "stable_fnv1a not a string");
+  (* Volatile fields stay out of the fingerprint; stable ones land in
+     it. *)
+  let fp0 = Pr_telemetry.Flight.stable_fingerprint fl in
+  Pr_telemetry.Flight.metric fl "another_timing" 9.9;
+  Alcotest.(check int64) "timings do not move the fingerprint" fp0
+    (Pr_telemetry.Flight.stable_fingerprint fl);
+  Pr_telemetry.Flight.count fl "late_count" 1;
+  Alcotest.(check bool) "counts do move the fingerprint" true
+    (not (Int64.equal fp0 (Pr_telemetry.Flight.stable_fingerprint fl)))
+
+(* ---- the history observatory's assessment rules ---- *)
+
+let series key values =
+  {
+    Pr_report.History.key;
+    points =
+      List.map (fun v -> { Pr_report.History.source = "t"; value = v }) values;
+  }
+
+let test_history_rules () =
+  let open Pr_report.History in
+  (* Single point: never anomalous. *)
+  let v = assess (series "s1" [ 1.0 ]) in
+  Alcotest.(check bool) "single clean" false v.anomaly;
+  (* Short series: the flat gate. *)
+  let v = assess (series "s2" [ 1.0; 1.02; 1.30 ]) in
+  Alcotest.(check bool) "flat regression flagged" true v.anomaly;
+  let v = assess (series "s3" [ 1.0; 1.02; 1.05 ]) in
+  Alcotest.(check bool) "flat within budget clean" false v.anomaly;
+  (* Long series: the MAD rule fires on a genuine step... *)
+  let v = assess (series "s4" [ 1.0; 1.01; 0.99; 1.0; 1.02; 0.98; 1.0; 1.4 ]) in
+  Alcotest.(check bool) "mad regression flagged" true v.anomaly;
+  (* ... tolerates ordinary jitter even past the old 15% line when the
+     spread is wide ... *)
+  let v = assess (series "s5" [ 1.0; 1.5; 0.7; 1.3; 0.8; 1.45; 0.9; 1.5 ]) in
+  Alcotest.(check bool) "wide jitter clean" false v.anomaly;
+  (* ... and never fires on an improvement (costs only regress up). *)
+  let v = assess (series "s6" [ 1.0; 1.01; 0.99; 1.0; 1.02; 0.98; 1.0; 0.5 ]) in
+  Alcotest.(check bool) "improvement clean" false v.anomaly;
+  (* A perfectly flat history with a late bump: zero MAD degrades to
+     the relative test. *)
+  let v = assess (series "s7" [ 1.0; 1.0; 1.0; 1.0; 1.0; 1.2 ]) in
+  Alcotest.(check bool) "zero-mad bump flagged" true v.anomaly;
+  let r =
+    run ~dir:"no-such-dir"
+      ~extra:
+        [ ("fresh.series", { Pr_report.History.source = "t"; value = 2.0 }) ]
+      ()
+  in
+  Alcotest.(check int) "extra creates a single-point series" 1
+    (List.length r.verdicts);
+  Alcotest.(check int) "nothing anomalous" 0 r.anomalies
+
 let suite =
   [
     Alcotest.test_case "linkload parity abilene (domains 1/2/4)" `Slow
@@ -525,4 +656,9 @@ let suite =
       test_bench_scale_schema;
     Alcotest.test_case "history scan of committed artifacts" `Quick
       test_history_entries;
+    Alcotest.test_case "SPANS_scale.json schema" `Quick
+      test_spans_scale_schema;
+    Alcotest.test_case "flight record schema and fingerprint" `Quick
+      test_flight_record_schema;
+    Alcotest.test_case "history assessment rules" `Quick test_history_rules;
   ]

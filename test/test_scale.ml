@@ -475,6 +475,159 @@ let test_scale_rejects_bad_knobs () =
   Alcotest.(check bool) "unknown family" true
     (Scale.family_of_string "smallworld" = None)
 
+(* ---- span JSON round-trip ---- *)
+
+let rec span_shape_eq (a : Span.node) (b : Span.node) =
+  (* wall_ns and heap_delta_words are emitted exactly; the word counts
+     go through %.1f, so round-tripping keeps them only to half a
+     word-tenth. *)
+  String.equal a.name b.name
+  && Int64.equal a.wall_ns b.wall_ns
+  && a.heap_delta_words = b.heap_delta_words
+  && Float.abs (a.minor_words -. b.minor_words) <= 0.06
+  && Float.abs (a.major_words -. b.major_words) <= 0.06
+  && List.length a.children = List.length b.children
+  && List.for_all2 span_shape_eq a.children b.children
+
+let test_span_json_roundtrip () =
+  let sp = Span.create () in
+  Span.timed_on sp "root" (fun () ->
+      Span.timed_on sp "a" (fun () ->
+          Span.timed_on sp "a.inner" (fun () ->
+              ignore (Sys.opaque_identity (Array.make 4096 0.0))));
+      Span.timed_on sp "b" ignore);
+  Span.timed_on sp "tail" ignore;
+  let roots = Span.roots sp in
+  List.iter
+    (fun pretty ->
+      let s = Span.to_json ~pretty roots in
+      match Json.parse s with
+      | Error e -> Alcotest.failf "to_json (pretty %b) unparseable: %s" pretty e
+      | Ok j ->
+          let back = Span.of_json j in
+          Alcotest.(check bool)
+            (Printf.sprintf "forest survives round-trip (pretty %b)" pretty)
+            true
+            (List.length back = List.length roots
+            && List.for_all2 span_shape_eq roots back))
+    [ false; true ];
+  (* Shape violations are refused, not mangled. *)
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Error e -> Alcotest.failf "fixture unparseable: %s" e
+      | Ok j -> (
+          match Span.of_json j with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.failf "of_json accepted %s" bad))
+    [ "{}"; "[{\"name\":\"x\"}]"; "[{\"wall_ns\":1}]"; "[42]" ]
+
+(* ---- sketch merge edge cases: the pooled-CDF fallback ---- *)
+
+let test_sketch_merge_pooled_edges () =
+  (* Disjoint shards: all the mass of one sits beyond the other.  The
+     pooled-CDF rank inversion must keep the estimate finite and inside
+     the pooled range. *)
+  let a = Sketch.create ~q:0.5 and b = Sketch.create ~q:0.5 in
+  for i = 0 to 99 do
+    Sketch.observe a (float_of_int i /. 100.0);
+    Sketch.observe b (100.0 +. (float_of_int i /. 100.0))
+  done;
+  Sketch.merge ~into:a b;
+  Alcotest.(check int) "disjoint merge count" 200 (Sketch.count a);
+  let est = Sketch.quantile a in
+  Alcotest.(check bool) "disjoint merge estimate finite" true
+    (Float.is_finite est);
+  Alcotest.(check bool) "estimate inside pooled range" true
+    (est >= Sketch.min_value a && est <= Sketch.max_value a);
+  (* Degenerate shards: every height equal on both sides (dx = 0 in the
+     inversion).  The unit-gap repair must not divide by zero. *)
+  let c = Sketch.create ~q:0.9 and d = Sketch.create ~q:0.9 in
+  for _ = 1 to 50 do
+    Sketch.observe c 5.0;
+    Sketch.observe d 5.0
+  done;
+  Sketch.merge ~into:c d;
+  Alcotest.(check (float 1e-9)) "all-equal merge is exact" 5.0
+    (Sketch.quantile c);
+  Alcotest.(check int) "all-equal merge count" 100 (Sketch.count c);
+  (* A small source replays raw values; a small destination swaps
+     roles.  Both must preserve total mass and finiteness. *)
+  let full = Sketch.create ~q:0.5 and tiny = Sketch.create ~q:0.5 in
+  for i = 1 to 40 do
+    Sketch.observe full (float_of_int i)
+  done;
+  Sketch.observe tiny 1000.0;
+  Sketch.observe tiny 2000.0;
+  let into_full = Sketch.copy full in
+  Sketch.merge ~into:into_full tiny;
+  Alcotest.(check int) "small-source merge count" 42 (Sketch.count into_full);
+  Alcotest.(check bool) "small-source merge finite" true
+    (Float.is_finite (Sketch.quantile into_full));
+  let into_tiny = Sketch.copy tiny in
+  Sketch.merge ~into:into_tiny full;
+  Alcotest.(check int) "small-destination merge count" 42
+    (Sketch.count into_tiny);
+  Alcotest.(check bool) "small-destination merge finite" true
+    (Float.is_finite (Sketch.quantile into_tiny));
+  (* Same shards, same order: bitwise equal results. *)
+  let r1 = Sketch.copy full and r2 = Sketch.copy full in
+  Sketch.merge ~into:r1 tiny;
+  Sketch.merge ~into:r2 tiny;
+  Alcotest.(check bool) "merge deterministic" true (Sketch.equal r1 r2)
+
+(* ---- flight-record bit-stability across worker-domain counts ---- *)
+
+let flight_of_campaign (c : Scale.campaign) =
+  let fl = Pr_telemetry.Flight.create ~cmd:"bench-scale" ~seed:c.Scale.seed () in
+  List.iter
+    (fun (r : Scale.result) ->
+      let pre = Printf.sprintf "%s.%d" r.family r.n in
+      Pr_telemetry.Flight.count fl (pre ^ ".edges") r.m;
+      Pr_telemetry.Flight.count fl (pre ^ ".delivered") r.delivered;
+      Pr_telemetry.Flight.count fl (pre ^ ".dropped") r.dropped;
+      Pr_telemetry.Flight.count fl (pre ^ ".looped") r.looped;
+      Pr_telemetry.Flight.count fl (pre ^ ".unreachable") r.unreachable;
+      Pr_telemetry.Flight.count fl (pre ^ ".image_bytes") r.image_bytes;
+      let bank vs = Array.map2 (fun q v -> (q, v)) Probe.sketch_qs vs in
+      Pr_telemetry.Flight.quantiles fl (pre ^ ".stretch") (bank r.stretch_q);
+      Pr_telemetry.Flight.quantiles fl (pre ^ ".hops") (bank r.hops_q))
+    c.Scale.results;
+  (* Wall-clock figures and the domain count itself are volatile: they
+     may differ across runs without breaking the stable body. *)
+  Pr_telemetry.Flight.metric fl "domains" (float_of_int c.Scale.domains);
+  Pr_telemetry.Flight.metric fl "overhead_ratio" c.Scale.overhead_ratio;
+  Pr_telemetry.Flight.set_spans fl
+    (List.map (fun (r : Scale.result) -> r.Scale.span) c.Scale.results);
+  fl
+
+let test_flight_stable_across_domains () =
+  let campaign d =
+    Scale.run ~domains:d ~scenarios:2 ~pairs:200 ~repeat:1
+      ~families:[ Scale.Ba ] ~sizes:[ 32 ] ~seed:7 ()
+  in
+  let records = List.map (fun d -> flight_of_campaign (campaign d)) [ 1; 2; 4 ] in
+  match records with
+  | fl1 :: rest ->
+      let j1 = Pr_telemetry.Flight.stable_json fl1 in
+      let f1 = Pr_telemetry.Flight.stable_fingerprint fl1 in
+      Alcotest.(check int64)
+        "fingerprint is the FNV-1a of the stable body"
+        (Pr_telemetry.Flight.fnv1a_string j1)
+        f1;
+      List.iter
+        (fun fl ->
+          Alcotest.(check string) "stable body bit-identical across domains" j1
+            (Pr_telemetry.Flight.stable_json fl);
+          Alcotest.(check int64) "fingerprint identical across domains" f1
+            (Pr_telemetry.Flight.stable_fingerprint fl))
+        rest;
+      (* The full record stays a single ledger line even with the span
+         forest attached. *)
+      Alcotest.(check bool) "record is one JSONL line" true
+        (not (String.contains (Pr_telemetry.Flight.to_json fl1) '\n'))
+  | [] -> assert false
+
 let suite =
   [
     Alcotest.test_case "span nesting and coverage" `Quick test_span_nesting;
@@ -495,4 +648,9 @@ let suite =
     Alcotest.test_case "scale campaign smoke" `Slow test_scale_campaign_smoke;
     Alcotest.test_case "scale knob validation" `Quick
       test_scale_rejects_bad_knobs;
+    Alcotest.test_case "span JSON round-trip" `Quick test_span_json_roundtrip;
+    Alcotest.test_case "sketch merge pooled-CDF edges" `Quick
+      test_sketch_merge_pooled_edges;
+    Alcotest.test_case "flight record bit-stable across domains" `Slow
+      test_flight_stable_across_domains;
   ]
